@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks for the hot kernels behind the paper's
+//! experiments: mat-mul (extraction and probe training), streaming
+//! correlation (the independent measure), logistic-regression steps (the
+//! joint measure, merged vs separate), Earley parsing (hypothesis
+//! extraction), LSTM forward (unit extraction), and an end-to-end small
+//! inspection per engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deepbase::prelude::*;
+use deepbase_lang::{EarleyParser, Grammar};
+use deepbase_stats::{LogRegConfig, MultiLogReg, StreamingPearson};
+use deepbase_tensor::{init, Matrix};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = init::seeded_rng(1);
+        let a = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = init::uniform(n, n, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_parallel(&b, 4)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_pearson(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..4096).map(|i| ((i * 37) % 101) as f32).collect();
+    let ys: Vec<f32> = (0..4096).map(|i| ((i * 13) % 97) as f32).collect();
+    c.bench_function("streaming_pearson_4096", |b| {
+        b.iter(|| {
+            let mut acc = StreamingPearson::new();
+            acc.push_block(black_box(&xs), black_box(&ys));
+            black_box(acc.correlation())
+        });
+    });
+}
+
+fn bench_logreg_step(c: &mut Criterion) {
+    let mut rng = init::seeded_rng(2);
+    let x = init::uniform(512, 64, -1.0, 1.0, &mut rng);
+    let y_one = Matrix::from_fn(512, 1, |r, _| (r % 2) as f32);
+    let y_many = Matrix::from_fn(512, 16, |r, c| ((r + c) % 2) as f32);
+    let mut group = c.benchmark_group("logreg_sgd_step");
+    group.bench_function("single_output", |b| {
+        let mut model = MultiLogReg::new(64, 1, LogRegConfig::default());
+        b.iter(|| model.sgd_step(black_box(&x), black_box(&y_one)));
+    });
+    group.bench_function("merged_16_outputs", |b| {
+        let mut model = MultiLogReg::new(64, 16, LogRegConfig::default());
+        b.iter(|| model.sgd_step(black_box(&x), black_box(&y_many)));
+    });
+    group.finish();
+}
+
+fn bench_earley(c: &mut Criterion) {
+    let grammar = deepbase_lang::sql::sql_grammar(&deepbase_lang::sql::SqlGrammarConfig::small());
+    let mut rng = init::seeded_rng(3);
+    let (query, _) = grammar.sample(&mut rng, 10);
+    c.bench_function("earley_parse_sql_query", |b| {
+        b.iter(|| {
+            let parser = EarleyParser::new(black_box(&grammar));
+            black_box(parser.parse(&query))
+        });
+    });
+
+    let toy = Grammar::from_spec("s -> '(' s ')' | 'x' ;").unwrap();
+    c.bench_function("earley_parse_nested_40", |b| {
+        let input = format!("{}x{}", "(".repeat(20), ")".repeat(20));
+        b.iter(|| {
+            let parser = EarleyParser::new(black_box(&toy));
+            black_box(parser.parse(&input))
+        });
+    });
+}
+
+fn bench_lstm_forward(c: &mut Criterion) {
+    let model = deepbase_nn::CharLstmModel::new(40, 64, deepbase_nn::OutputMode::LastStep, 4);
+    let inputs: Vec<Vec<u32>> =
+        (0..32).map(|i| (0..30).map(|t| ((i + t) % 40) as u32).collect()).collect();
+    c.bench_function("lstm_extract_32x30x64", |b| {
+        b.iter(|| black_box(model.extract_activations(black_box(&inputs))));
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // Small end-to-end inspection per engine over precomputed behaviors.
+    let ns = 10;
+    let n_records = 64;
+    let records: Vec<Record> = (0..n_records)
+        .map(|i| {
+            let text: String =
+                (0..ns).map(|t| if (i + t) % 3 == 0 { '1' } else { '0' }).collect();
+            Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+        })
+        .collect();
+    let behaviors =
+        Matrix::from_fn(n_records * ns, 8, |r, c| ((r * (c + 3)) % 17) as f32 / 17.0);
+    let dataset = Dataset::new("bench", ns, records).unwrap();
+    let extractor = PrecomputedExtractor::new(behaviors, ns);
+    let hyp = FnHypothesis::char_class("ones", |c| c == '1');
+    let corr = CorrelationMeasure;
+
+    let mut group = c.benchmark_group("engine_correlation_64rec_8units");
+    for (name, engine) in [
+        ("pybase", EngineKind::PyBase),
+        ("deepbase", EngineKind::DeepBase),
+        ("madlib", EngineKind::Madlib),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let request = InspectionRequest {
+                    model_id: "bench".into(),
+                    extractor: &extractor,
+                    groups: vec![UnitGroup::all(8)],
+                    dataset: &dataset,
+                    hypotheses: vec![&hyp],
+                    measures: vec![&corr],
+                };
+                let config = InspectionConfig { engine, ..Default::default() };
+                black_box(inspect(&request, &config).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_streaming_pearson,
+    bench_logreg_step,
+    bench_earley,
+    bench_lstm_forward,
+    bench_engines
+);
+criterion_main!(benches);

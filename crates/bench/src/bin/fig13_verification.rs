@@ -1,0 +1,111 @@
+//! Figure 13 + Appendix C: the accuracy benchmark with specialized units.
+//!
+//! Trains the 16-unit parentheses model with an auxiliary loss forcing a
+//! subset of units to track the paren-symbol hypothesis, then:
+//!
+//! * Fig 13a: 2-D projection of Δ-activation points under baseline vs
+//!   treatment perturbations, for DeepBase-selected vs random units.
+//! * Fig 13b: silhouette vs number of specialized units (weight = 0.5).
+//! * Fig 13c: silhouette vs specialization weight (|S| = 4).
+//! * Appendix C follow-ups: hypotheses that are near-task ("nesting
+//!   level") or ambiguous ("level is 4") do not verify.
+
+use deepbase::prelude::*;
+use deepbase::verify::{project_2d, verify_units, VerifyConfig};
+use deepbase::workloads::paren;
+use deepbase_bench::{print_table, Args};
+
+fn verify_for(
+    model: &deepbase_nn::CharLstmModel,
+    workload: &paren::ParenWorkload,
+    hyp: &FnHypothesis,
+    units: &[usize],
+    seed: u64,
+) -> deepbase::verify::VerificationResult {
+    let extractor = CharModelExtractor::new(model);
+    let alphabet: Vec<u32> = (1..workload.vocab.size() as u32).collect();
+    let vocab = workload.vocab.clone();
+    verify_units(
+        &extractor,
+        &workload.dataset,
+        hyp,
+        units,
+        &alphabet,
+        &move |s| vocab.char(s),
+        &VerifyConfig { max_records: 32, positions_per_record: 4, seed, ..Default::default() },
+    )
+    .expect("verification")
+}
+
+fn main() {
+    let args = Args::parse();
+    println!("== Figure 13 / Appendix C: verification of specialized units ==\n");
+    let workload = paren::build(&paren::ParenWorkloadConfig {
+        n_strings: if args.paper { 512 } else { 96 },
+        ns: 24,
+        seed: 13,
+    });
+    let hypotheses = paren::hypotheses();
+    let epochs = if args.paper { 40 } else { 15 };
+
+    // ---- Fig 13a: cluster projection for |S|=4, w=0.5 ----
+    let model = paren::train_specialized(&workload, 16, 4, 0.5, epochs, 1);
+    let spec = verify_for(&model, &workload, &hypotheses[0], &[0, 1, 2, 3], 1);
+    let rand_units = verify_for(&model, &workload, &hypotheses[0], &[6, 9, 12, 15], 1);
+    println!("-- Fig 13a: Δ-activation clusters (PCA projection) --");
+    println!("specialized units, silhouette {:+.3}:", spec.silhouette);
+    for (p, l) in project_2d(&spec.points).iter().zip(spec.labels.iter()).take(8) {
+        println!("  ({:+.3}, {:+.3}) label {}", p.0, p.1, l);
+    }
+    println!("random units, silhouette {:+.3}", rand_units.silhouette);
+
+    // ---- Fig 13b: sweep the number of specialized units ----
+    println!("\n-- Fig 13b: silhouette vs #specialized units (w=0.5) --");
+    let mut rows = Vec::new();
+    for &n_spec in &[1usize, 2, 4, 8] {
+        let model = paren::train_specialized(&workload, 16, n_spec, 0.5, epochs, 2);
+        let spec_units: Vec<usize> = (0..n_spec).collect();
+        let result = verify_for(&model, &workload, &hypotheses[0], &spec_units, 2);
+        let rand_result = verify_for(&model, &workload, &hypotheses[0], &[10, 12, 14, 15], 2);
+        rows.push(vec![
+            n_spec.to_string(),
+            format!("{:+.3}", result.silhouette),
+            format!("{:+.3}", rand_result.silhouette),
+        ]);
+    }
+    print_table(&["#specialized", "specialized silh.", "random silh."], &rows);
+
+    // ---- Fig 13c: sweep the specialization weight ----
+    println!("\n-- Fig 13c: silhouette vs specialization weight (|S|=4) --");
+    let mut rows = Vec::new();
+    for &w in &[0.25f32, 0.5, 0.75, 0.9] {
+        let model = paren::train_specialized(&workload, 16, 4, w, epochs, 3);
+        let result = verify_for(&model, &workload, &hypotheses[0], &[0, 1, 2, 3], 3);
+        let rand_result = verify_for(&model, &workload, &hypotheses[0], &[10, 12, 14, 15], 3);
+        rows.push(vec![
+            format!("{w}"),
+            format!("{:+.3}", result.silhouette),
+            format!("{:+.3}", rand_result.silhouette),
+        ]);
+    }
+    print_table(&["weight", "specialized silh.", "random silh."], &rows);
+
+    // ---- Appendix C: near-task and ambiguous hypotheses ----
+    println!("\n-- Appendix C: hypotheses that should NOT verify --");
+    let model = paren::train_specialized(&workload, 16, 4, 0.5, epochs, 4);
+    let mut rows = Vec::new();
+    for hyp in &hypotheses[1..] {
+        let result = verify_for(&model, &workload, hyp, &[0, 1, 2, 3], 4);
+        rows.push(vec![
+            hyp.id().to_string(),
+            format!("{:+.3}", result.silhouette),
+            format!("{}/{}", result.n_baseline(), result.n_treatment()),
+        ]);
+    }
+    print_table(&["hypothesis", "silhouette", "base/treat"], &rows);
+    println!(
+        "\n(expected: specialized units separate for paren_symbols and beat random \
+         units across both sweeps; the near-task and ambiguous hypotheses yield \
+         weaker separation — the false positives §4.4's verification catches)"
+    );
+}

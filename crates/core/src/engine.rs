@@ -1,0 +1,762 @@
+//! The inspection engines (paper §5): the naive design, its cumulative
+//! optimizations, and the DB-oriented MADLib baseline.
+//!
+//! | [`EngineKind`]      | materialization | logreg      | stopping      |
+//! |---------------------|-----------------|-------------|---------------|
+//! | `PyBase`            | full, up-front  | per-hyp     | none          |
+//! | `Merged`            | full, up-front  | merged (+MM)| none          |
+//! | `MergedEarlyStop`   | full, up-front  | merged      | per-pair (ES) |
+//! | `DeepBase`          | streaming blocks| merged      | ends extraction too |
+//! | `Madlib`            | dense relations | UDA per hyp | none          |
+//!
+//! [`Device::Parallel`] is the reproduction's simulated GPU: batched
+//! extraction fans record blocks across OS threads and independent
+//! measures parallelize across hypotheses (§4.3), standing in for the
+//! paper's CUDA offload.
+
+use crate::cache::HypothesisCache;
+use crate::error::DniError;
+use crate::extract::Extractor;
+use crate::measure::{Measure, MeasureKind, MeasureState, MergedState};
+use crate::model::{validate_behavior, Dataset, HypothesisFn, Record, UnitGroup};
+use crate::result::{ResultFrame, ScoreRow};
+use deepbase_relational as rel;
+use deepbase_stats::split::shuffled_indices;
+use deepbase_tensor::Matrix;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which engine design executes the inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Naive full-materialization design (the paper's Python baseline).
+    PyBase,
+    /// PyBase + model merging (+MM).
+    Merged,
+    /// PyBase + model merging + early stopping (+MM+ES).
+    MergedEarlyStop,
+    /// All optimizations: streaming extraction bounded by convergence.
+    DeepBase,
+    /// DB-oriented baseline over the relational engine (§5.1.1).
+    Madlib,
+}
+
+/// Execution device for extraction and merged training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// Sequential execution.
+    SingleCore,
+    /// Thread-parallel execution with the given worker count — the
+    /// simulated GPU (see DESIGN.md for the substitution argument).
+    Parallel(usize),
+}
+
+impl Device {
+    fn threads(&self) -> usize {
+        match self {
+            Device::SingleCore => 1,
+            Device::Parallel(n) => (*n).max(1),
+        }
+    }
+}
+
+/// Inspection configuration.
+#[derive(Clone)]
+pub struct InspectionConfig {
+    /// Engine design.
+    pub engine: EngineKind,
+    /// Execution device.
+    pub device: Device,
+    /// Records per block (`nb`; the paper finds 512 works well).
+    pub block_records: usize,
+    /// Convergence threshold override; `None` uses each measure's default
+    /// (§6.2: ε = 0.025 for correlation, 0.01 for logistic regression).
+    pub epsilon: Option<f32>,
+    /// Record-shuffle seed (§5.2.2: records are assumed shuffled).
+    pub seed: u64,
+    /// Optional hypothesis-behavior cache shared across runs (Fig. 9).
+    pub cache: Option<Arc<HypothesisCache>>,
+}
+
+impl Default for InspectionConfig {
+    fn default() -> Self {
+        InspectionConfig {
+            engine: EngineKind::DeepBase,
+            device: Device::SingleCore,
+            block_records: 512,
+            epsilon: None,
+            seed: 0,
+            cache: None,
+        }
+    }
+}
+
+/// Wall-clock and work accounting (drives Figs. 5–10).
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Time extracting unit behaviors.
+    pub unit_extraction: Duration,
+    /// Time evaluating hypothesis functions.
+    pub hypothesis_extraction: Duration,
+    /// Time inside statistical measures (the "Inspector").
+    pub inspection: Duration,
+    /// End-to-end time.
+    pub total: Duration,
+    /// Records actually read (streaming may stop early).
+    pub records_read: usize,
+    /// Blocks processed.
+    pub blocks_processed: usize,
+    /// Relational-engine scan counts (Madlib engine only).
+    pub madlib_stats: Option<rel::ExecStats>,
+}
+
+/// One inspection request: the general problem of paper Def. 2 for a
+/// single model (run once per model to compare models).
+pub struct InspectionRequest<'a> {
+    /// Model identifier for result rows.
+    pub model_id: String,
+    /// Behavior extractor for the model.
+    pub extractor: &'a dyn Extractor,
+    /// Unit groups `U` to inspect.
+    pub groups: Vec<UnitGroup>,
+    /// The dataset `D`.
+    pub dataset: &'a Dataset,
+    /// Hypotheses `H`.
+    pub hypotheses: Vec<&'a dyn HypothesisFn>,
+    /// Measures `L`.
+    pub measures: Vec<&'a dyn Measure>,
+}
+
+/// Runs an inspection, returning the score frame and a cost profile.
+pub fn inspect(
+    req: &InspectionRequest<'_>,
+    config: &InspectionConfig,
+) -> Result<(ResultFrame, Profile), DniError> {
+    if config.block_records == 0 {
+        return Err(DniError::BadConfig("block_records must be >= 1".into()));
+    }
+    if let Some(eps) = config.epsilon {
+        if !(eps > 0.0) {
+            return Err(DniError::BadConfig("epsilon must be > 0".into()));
+        }
+    }
+    for g in &req.groups {
+        if g.units.is_empty() {
+            return Err(DniError::BadUnitGroup {
+                group: g.id.clone(),
+                msg: "empty unit group".into(),
+            });
+        }
+        if let Some(&bad) = g.units.iter().find(|&&u| u >= req.extractor.n_units()) {
+            return Err(DniError::BadUnitGroup {
+                group: g.id.clone(),
+                msg: format!("unit {bad} out of range ({} units)", req.extractor.n_units()),
+            });
+        }
+    }
+    if req.dataset.is_empty() {
+        return Ok((ResultFrame::default(), Profile::default()));
+    }
+
+    match config.engine {
+        EngineKind::Madlib => inspect_madlib(req, config),
+        EngineKind::DeepBase => inspect_streaming(req, config),
+        _ => inspect_materialized(req, config),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+/// Extracts unit behaviors for `records`, fanning blocks across threads on
+/// the parallel device.
+fn extract_records(
+    extractor: &dyn Extractor,
+    records: &[Record],
+    units: &[usize],
+    device: Device,
+    ns: usize,
+) -> Matrix {
+    let threads = device.threads();
+    if threads <= 1 || records.len() < 2 * threads {
+        return extractor.extract(records, units);
+    }
+    let chunk = records.len().div_ceil(threads);
+    let mut out = Matrix::zeros(records.len() * ns, units.len());
+    {
+        let chunks: Vec<(&[Record], &mut [f32])> = {
+            let mut rec_rest = records;
+            let mut buf_rest = out.as_mut_slice();
+            let mut pairs = Vec::new();
+            while !rec_rest.is_empty() {
+                let take = chunk.min(rec_rest.len());
+                let (recs, rr) = rec_rest.split_at(take);
+                let (buf, br) = buf_rest.split_at_mut(take * ns * units.len());
+                pairs.push((recs, buf));
+                rec_rest = rr;
+                buf_rest = br;
+            }
+            pairs
+        };
+        crossbeam::thread::scope(|scope| {
+            for (recs, buf) in chunks {
+                scope.spawn(move |_| {
+                    let m = extractor.extract(recs, units);
+                    buf.copy_from_slice(m.as_slice());
+                });
+            }
+        })
+        .expect("extraction worker panicked");
+    }
+    out
+}
+
+/// Evaluates one hypothesis over records (through the cache when
+/// configured), producing a column of `records.len() * ns` values.
+fn hypothesis_column(
+    hyp: &dyn HypothesisFn,
+    records: &[Record],
+    ns: usize,
+    dataset_id: &str,
+    cache: Option<&Arc<HypothesisCache>>,
+) -> Result<Vec<f32>, DniError> {
+    let mut col = Vec::with_capacity(records.len() * ns);
+    for rec in records {
+        let behavior: Arc<Vec<f32>> = match cache {
+            Some(c) => c.get_or_compute(dataset_id, hyp.id(), rec.id, || {
+                let b = hyp.behavior(rec)?;
+                validate_behavior(hyp.id(), rec, ns, &b)?;
+                Ok(b)
+            })?,
+            None => {
+                let b = hyp.behavior(rec)?;
+                validate_behavior(hyp.id(), rec, ns, &b)?;
+                Arc::new(b)
+            }
+        };
+        col.extend_from_slice(&behavior);
+    }
+    Ok(col)
+}
+
+fn epsilon_for(measure: &dyn Measure, config: &InspectionConfig) -> f32 {
+    config.epsilon.unwrap_or_else(|| measure.default_epsilon())
+}
+
+fn shuffled_records(dataset: &Dataset, seed: u64) -> Vec<Record> {
+    shuffled_indices(dataset.len(), seed)
+        .into_iter()
+        .map(|i| dataset.records[i].clone())
+        .collect()
+}
+
+/// Emits result rows for a finished per-pair state.
+fn emit_rows(
+    frame: &mut ResultFrame,
+    req: &InspectionRequest<'_>,
+    group: &UnitGroup,
+    measure_id: &str,
+    hyp_id: &str,
+    unit_scores: &[f32],
+    group_score: f32,
+) {
+    debug_assert_eq!(unit_scores.len(), group.units.len());
+    for (&unit, &score) in group.units.iter().zip(unit_scores.iter()) {
+        frame.rows.push(ScoreRow {
+            model_id: req.model_id.clone(),
+            group_id: group.id.clone(),
+            measure_id: measure_id.to_string(),
+            hyp_id: hyp_id.to_string(),
+            unit,
+            unit_score: score,
+            group_score,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Materialized engines: PyBase, +MM, +MM+ES
+// ---------------------------------------------------------------------
+
+fn inspect_materialized(
+    req: &InspectionRequest<'_>,
+    config: &InspectionConfig,
+) -> Result<(ResultFrame, Profile), DniError> {
+    let t_start = Instant::now();
+    let mut profile = Profile::default();
+    let ns = req.dataset.ns;
+    let records = shuffled_records(req.dataset, config.seed);
+    profile.records_read = records.len();
+
+    // Materialize unit behaviors per group.
+    let t0 = Instant::now();
+    let group_behaviors: Vec<Matrix> = req
+        .groups
+        .iter()
+        .map(|g| extract_records(req.extractor, &records, &g.units, config.device, ns))
+        .collect();
+    profile.unit_extraction = t0.elapsed();
+
+    // Materialize all hypothesis behaviors.
+    let t1 = Instant::now();
+    let mut hyp_cols: Vec<Vec<f32>> = Vec::with_capacity(req.hypotheses.len());
+    for hyp in &req.hypotheses {
+        hyp_cols.push(hypothesis_column(
+            *hyp,
+            &records,
+            ns,
+            &req.dataset.id,
+            config.cache.as_ref(),
+        )?);
+    }
+    profile.hypothesis_extraction = t1.elapsed();
+
+    let merging = matches!(config.engine, EngineKind::Merged | EngineKind::MergedEarlyStop);
+    let early_stop = matches!(config.engine, EngineKind::MergedEarlyStop);
+    let rows_total = records.len() * ns;
+    let block_rows = (config.block_records * ns).max(1);
+
+    let t2 = Instant::now();
+    let mut frame = ResultFrame::default();
+    for (group, behaviors) in req.groups.iter().zip(group_behaviors.iter()) {
+        for measure in &req.measures {
+            let eps = epsilon_for(*measure, config);
+            let merged_state = if merging {
+                measure.new_merged_state(group.units.len(), req.hypotheses.len())
+            } else {
+                None
+            };
+            match merged_state {
+                Some(mut state) => {
+                    // Merged path: one composite model for all hypotheses.
+                    // Early stopping can only stop the composite as a whole
+                    // (the paper's §5.2.1 caveat).
+                    let mut hyps_matrix = Matrix::zeros(rows_total, req.hypotheses.len());
+                    for (h, col) in hyp_cols.iter().enumerate() {
+                        for (r, &v) in col.iter().enumerate() {
+                            hyps_matrix.set(r, h, v);
+                        }
+                    }
+                    let mut start = 0;
+                    while start < rows_total {
+                        let end = (start + block_rows).min(rows_total);
+                        let ub = behaviors.slice_rows(start, end);
+                        let hb = hyps_matrix.slice_rows(start, end);
+                        let errs = state.process_block(&ub, &hb);
+                        profile.blocks_processed += 1;
+                        if early_stop && errs.iter().all(|&e| e <= eps) {
+                            break;
+                        }
+                        start = end;
+                    }
+                    for (h, hyp) in req.hypotheses.iter().enumerate() {
+                        emit_rows(
+                            &mut frame,
+                            req,
+                            group,
+                            measure.id(),
+                            hyp.id(),
+                            &state.unit_scores(h),
+                            state.group_score(h),
+                        );
+                    }
+                }
+                None => {
+                    // Per-hypothesis path; independent measures can fan
+                    // hypotheses across threads on the parallel device.
+                    let threads = config.device.threads();
+                    let parallel_ok =
+                        threads > 1 && measure.kind() == MeasureKind::Independent;
+                    let results = if parallel_ok {
+                        process_hypotheses_parallel(
+                            behaviors, &hyp_cols, *measure, group, eps, early_stop, block_rows,
+                            rows_total, threads,
+                        )
+                    } else {
+                        hyp_cols
+                            .iter()
+                            .map(|col| {
+                                process_one_hypothesis(
+                                    behaviors, col, *measure, group, eps, early_stop,
+                                    block_rows, rows_total,
+                                )
+                            })
+                            .collect()
+                    };
+                    for (hyp, (unit_scores, group_score)) in
+                        req.hypotheses.iter().zip(results)
+                    {
+                        emit_rows(
+                            &mut frame,
+                            req,
+                            group,
+                            measure.id(),
+                            hyp.id(),
+                            &unit_scores,
+                            group_score,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    profile.inspection = t2.elapsed();
+    profile.total = t_start.elapsed();
+    Ok((frame, profile))
+}
+
+type PairResult = (Vec<f32>, f32);
+
+fn process_one_hypothesis(
+    behaviors: &Matrix,
+    hyp_col: &[f32],
+    measure: &dyn Measure,
+    group: &UnitGroup,
+    eps: f32,
+    early_stop: bool,
+    block_rows: usize,
+    rows_total: usize,
+) -> PairResult {
+    let mut state = measure.new_state(group.units.len());
+    let mut start = 0;
+    while start < rows_total {
+        let end = (start + block_rows).min(rows_total);
+        let ub = behaviors.slice_rows(start, end);
+        let err = state.process_block(&ub, &hyp_col[start..end]);
+        if early_stop && err <= eps {
+            break;
+        }
+        start = end;
+    }
+    (state.unit_scores(), state.group_score())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_hypotheses_parallel(
+    behaviors: &Matrix,
+    hyp_cols: &[Vec<f32>],
+    measure: &dyn Measure,
+    group: &UnitGroup,
+    eps: f32,
+    early_stop: bool,
+    block_rows: usize,
+    rows_total: usize,
+    threads: usize,
+) -> Vec<PairResult> {
+    let mut results: Vec<PairResult> = vec![(Vec::new(), 0.0); hyp_cols.len()];
+    {
+        let chunk = hyp_cols.len().div_ceil(threads).max(1);
+        let col_chunks: Vec<(usize, &[Vec<f32>])> = hyp_cols
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| (i * chunk, c))
+            .collect();
+        let res_chunks: Vec<&mut [PairResult]> = results.chunks_mut(chunk).collect();
+        crossbeam::thread::scope(|scope| {
+            for ((_, cols), out) in col_chunks.into_iter().zip(res_chunks) {
+                scope.spawn(move |_| {
+                    for (col, slot) in cols.iter().zip(out.iter_mut()) {
+                        *slot = process_one_hypothesis(
+                            behaviors, col, measure, group, eps, early_stop, block_rows,
+                            rows_total,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("inspection worker panicked");
+    }
+    results
+}
+
+// ---------------------------------------------------------------------
+// Streaming engine: DeepBase
+// ---------------------------------------------------------------------
+
+fn inspect_streaming(
+    req: &InspectionRequest<'_>,
+    config: &InspectionConfig,
+) -> Result<(ResultFrame, Profile), DniError> {
+    let t_start = Instant::now();
+    let mut profile = Profile::default();
+    let ns = req.dataset.ns;
+    let records = shuffled_records(req.dataset, config.seed);
+
+    // Active per-pair states. Merged measures get one composite state per
+    // (group, measure) covering all hypotheses.
+    enum Slot {
+        PerHyp { states: Vec<Option<Box<dyn MeasureState>>>, eps: f32 },
+        Merged { state: Box<dyn MergedState>, done: bool, eps: f32 },
+    }
+    let mut slots: Vec<(usize, usize, Slot)> = Vec::new(); // (group, measure, slot)
+    for (gi, group) in req.groups.iter().enumerate() {
+        for (mi, measure) in req.measures.iter().enumerate() {
+            let eps = epsilon_for(*measure, config);
+            let slot = match measure.new_merged_state(group.units.len(), req.hypotheses.len()) {
+                Some(state) => Slot::Merged { state, done: false, eps },
+                None => Slot::PerHyp {
+                    states: (0..req.hypotheses.len())
+                        .map(|_| Some(measure.new_state(group.units.len())))
+                        .collect(),
+                    eps,
+                },
+            };
+            slots.push((gi, mi, slot));
+        }
+    }
+    // Final scores per (group, measure, hyp), filled as pairs converge.
+    let mut finals: Vec<Vec<Vec<Option<PairResult>>>> =
+        vec![vec![vec![None; req.hypotheses.len()]; req.measures.len()]; req.groups.len()];
+
+    let nb = config.block_records;
+    let mut block_start = 0usize;
+    while block_start < records.len() {
+        let block_end = (block_start + nb).min(records.len());
+        let block = &records[block_start..block_end];
+        profile.records_read += block.len();
+        profile.blocks_processed += 1;
+
+        // Lazily extract unit behaviors for this block, per group.
+        let t0 = Instant::now();
+        let group_behaviors: Vec<Matrix> = req
+            .groups
+            .iter()
+            .map(|g| extract_records(req.extractor, block, &g.units, config.device, ns))
+            .collect();
+        profile.unit_extraction += t0.elapsed();
+
+        // Lazily evaluate hypotheses for this block.
+        let t1 = Instant::now();
+        let mut hyp_cols: Vec<Vec<f32>> = Vec::with_capacity(req.hypotheses.len());
+        for hyp in &req.hypotheses {
+            hyp_cols.push(hypothesis_column(
+                *hyp,
+                block,
+                ns,
+                &req.dataset.id,
+                config.cache.as_ref(),
+            )?);
+        }
+        profile.hypothesis_extraction += t1.elapsed();
+
+        // Update all live states.
+        let t2 = Instant::now();
+        let mut all_done = true;
+        for (gi, mi, slot) in slots.iter_mut() {
+            let behaviors = &group_behaviors[*gi];
+            match slot {
+                Slot::Merged { state, done, eps } => {
+                    if *done {
+                        continue;
+                    }
+                    let mut hyps_matrix = Matrix::zeros(behaviors.rows(), hyp_cols.len());
+                    for (h, col) in hyp_cols.iter().enumerate() {
+                        for (r, &v) in col.iter().enumerate() {
+                            hyps_matrix.set(r, h, v);
+                        }
+                    }
+                    let errs = state.process_block(behaviors, &hyps_matrix);
+                    if errs.iter().all(|&e| e <= *eps) {
+                        *done = true;
+                        for h in 0..req.hypotheses.len() {
+                            finals[*gi][*mi][h] =
+                                Some((state.unit_scores(h), state.group_score(h)));
+                        }
+                    } else {
+                        all_done = false;
+                    }
+                }
+                Slot::PerHyp { states, eps } => {
+                    for (h, maybe_state) in states.iter_mut().enumerate() {
+                        if let Some(state) = maybe_state {
+                            let err = state.process_block(behaviors, &hyp_cols[h]);
+                            if err <= *eps {
+                                finals[*gi][*mi][h] =
+                                    Some((state.unit_scores(), state.group_score()));
+                                *maybe_state = None; // converged: stop feeding
+                            } else {
+                                all_done = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        profile.inspection += t2.elapsed();
+
+        if all_done {
+            break; // §5.2.3: stop reading the moment everything converged.
+        }
+        block_start = block_end;
+    }
+
+    // Finalize any pairs that never converged (use their current scores).
+    let mut frame = ResultFrame::default();
+    for (gi, mi, slot) in slots.into_iter() {
+        for h in 0..req.hypotheses.len() {
+            let result = match finals[gi][mi][h].take() {
+                Some(r) => r,
+                None => match &slot {
+                    Slot::Merged { state, .. } => (state.unit_scores(h), state.group_score(h)),
+                    Slot::PerHyp { states, .. } => match &states[h] {
+                        Some(state) => (state.unit_scores(), state.group_score()),
+                        None => unreachable!("converged state has a final"),
+                    },
+                },
+            };
+            emit_rows(
+                &mut frame,
+                req,
+                &req.groups[gi],
+                req.measures[mi].id(),
+                req.hypotheses[h].id(),
+                &result.0,
+                result.1,
+            );
+        }
+    }
+    profile.total = t_start.elapsed();
+    Ok((frame, profile))
+}
+
+// ---------------------------------------------------------------------
+// MADLib baseline (§5.1.1)
+// ---------------------------------------------------------------------
+
+fn inspect_madlib(
+    req: &InspectionRequest<'_>,
+    config: &InspectionConfig,
+) -> Result<(ResultFrame, Profile), DniError> {
+    let t_start = Instant::now();
+    let mut profile = Profile::default();
+    let ns = req.dataset.ns;
+    let records = shuffled_records(req.dataset, config.seed);
+    profile.records_read = records.len();
+    let mut stats = rel::ExecStats::default();
+
+    let mut frame = ResultFrame::default();
+    for group in &req.groups {
+        // Materialize the dense behavior relations (unitsb_dense /
+        // hyposb_dense of §5.1.1), joined on symbolid.
+        let t0 = Instant::now();
+        let behaviors = extract_records(req.extractor, &records, &group.units, config.device, ns);
+        profile.unit_extraction += t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut hyp_cols: Vec<Vec<f32>> = Vec::with_capacity(req.hypotheses.len());
+        for hyp in &req.hypotheses {
+            hyp_cols.push(hypothesis_column(
+                *hyp,
+                &records,
+                ns,
+                &req.dataset.id,
+                config.cache.as_ref(),
+            )?);
+        }
+        profile.hypothesis_extraction += t1.elapsed();
+
+        let t2 = Instant::now();
+        let rows_total = records.len() * ns;
+        let unit_names: Vec<String> =
+            (0..group.units.len()).map(|u| format!("u{u}")).collect();
+        let hyp_names: Vec<String> = (0..hyp_cols.len()).map(|h| format!("h{h}")).collect();
+        let mut cols: Vec<(&str, rel::ColType)> = vec![("symbolid", rel::ColType::Int)];
+        for n in &unit_names {
+            cols.push((n.as_str(), rel::ColType::Float));
+        }
+        for n in &hyp_names {
+            cols.push((n.as_str(), rel::ColType::Float));
+        }
+        let mut table = rel::Table::new(rel::Schema::new(cols));
+        for r in 0..rows_total {
+            let mut row: Vec<rel::Value> = Vec::with_capacity(1 + unit_names.len() + hyp_names.len());
+            row.push(rel::Value::Int(r as i64));
+            row.extend(behaviors.row(r).iter().map(|&v| rel::Value::Float(v)));
+            row.extend(hyp_cols.iter().map(|c| rel::Value::Float(c[r])));
+            table.push_row(row).expect("dense schema");
+        }
+
+        for measure in &req.measures {
+            match measure.id() {
+                "corr" => {
+                    // Batched corr aggregates: all (unit, hyp) pairs,
+                    // <= 1,600 expressions per statement, one full scan per
+                    // statement (the paper reports up to 121 passes).
+                    let pairs: Vec<(usize, usize)> = (0..group.units.len())
+                        .flat_map(|u| (0..hyp_cols.len()).map(move |h| (u, h)))
+                        .collect();
+                    let mut scores =
+                        vec![vec![0.0f32; hyp_cols.len()]; group.units.len()];
+                    for batch in pairs.chunks(rel::MAX_EXPRESSIONS_PER_STATEMENT) {
+                        let aggs: Vec<rel::AggFn> = batch
+                            .iter()
+                            .map(|&(u, h)| {
+                                rel::AggFn::Corr(unit_names[u].clone(), hyp_names[h].clone())
+                            })
+                            .collect();
+                        let out = rel::aggregate(&table, &mut stats, &[], &aggs)
+                            .map_err(|e| DniError::BadConfig(e.msg))?;
+                        for (i, &(u, h)) in batch.iter().enumerate() {
+                            scores[u][h] =
+                                out.row(0)[i].as_f32().unwrap_or(0.0);
+                        }
+                    }
+                    for (h, hyp) in req.hypotheses.iter().enumerate() {
+                        let unit_scores: Vec<f32> =
+                            (0..group.units.len()).map(|u| scores[u][h]).collect();
+                        let group_score =
+                            unit_scores.iter().map(|s| s.abs()).fold(0.0, f32::max);
+                        emit_rows(
+                            &mut frame, req, group, measure.id(), hyp.id(), &unit_scores,
+                            group_score,
+                        );
+                    }
+                }
+                id if id.starts_with("logreg") => {
+                    // One UDA training run per hypothesis, each scanning
+                    // the behavior table once per epoch (MADLib-style).
+                    let feature_refs: Vec<&str> =
+                        unit_names.iter().map(|s| s.as_str()).collect();
+                    let lr_config = deepbase_stats::LogRegConfig {
+                        l1: if id.contains("l1") { 0.01 } else { 0.0 },
+                        l2: if id.contains("l2") { 0.01 } else { 0.0 },
+                        ..Default::default()
+                    };
+                    for (h, hyp) in req.hypotheses.iter().enumerate() {
+                        let model = rel::logreg_train_uda(
+                            &table,
+                            &mut stats,
+                            &feature_refs,
+                            &hyp_names[h],
+                            4,
+                            &lr_config,
+                        )
+                        .map_err(|e| DniError::BadConfig(e.msg))?;
+                        let unit_scores = model.unit_scores(0);
+                        // Group score: training-set F1 via one more scan.
+                        let mut x = Matrix::zeros(rows_total, group.units.len());
+                        let mut y = Matrix::zeros(rows_total, 1);
+                        for r in 0..rows_total {
+                            x.row_mut(r).copy_from_slice(behaviors.row(r));
+                            y.set(r, 0, if hyp_cols[h][r] > 0.0 { 1.0 } else { 0.0 });
+                        }
+                        let f1 = model.f1_per_output(&x, &y)[0];
+                        emit_rows(
+                            &mut frame, req, group, measure.id(), hyp.id(), &unit_scores, f1,
+                        );
+                    }
+                }
+                other => {
+                    return Err(DniError::BadConfig(format!(
+                        "the MADLib baseline supports corr and logreg measures, not {other:?}"
+                    )))
+                }
+            }
+        }
+        profile.inspection += t2.elapsed();
+    }
+    profile.madlib_stats = Some(stats);
+    profile.total = t_start.elapsed();
+    Ok((frame, profile))
+}

@@ -1,0 +1,75 @@
+//! Typed errors for the inspection engine.
+
+use std::fmt;
+
+/// Errors surfaced by DeepBase operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DniError {
+    /// A record violated dataset invariants.
+    BadRecord {
+        /// Record id.
+        record: usize,
+        /// Description.
+        msg: String,
+    },
+    /// A hypothesis emitted an invalid behavior vector (wrong length or
+    /// non-finite values); checked at execution time per §4.1.
+    BadHypothesisOutput {
+        /// Offending hypothesis id.
+        hypothesis: String,
+        /// Record being evaluated.
+        record: usize,
+        /// Description.
+        msg: String,
+    },
+    /// A unit group referenced units outside the model.
+    BadUnitGroup {
+        /// Offending group id.
+        group: String,
+        /// Description.
+        msg: String,
+    },
+    /// Invalid inspection configuration.
+    BadConfig(String),
+    /// INSPECT query syntax or binding error.
+    Query(String),
+}
+
+impl fmt::Display for DniError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DniError::BadRecord { record, msg } => write!(f, "record {record}: {msg}"),
+            DniError::BadHypothesisOutput { hypothesis, record, msg } => {
+                write!(f, "hypothesis {hypothesis:?} on record {record}: {msg}")
+            }
+            DniError::BadUnitGroup { group, msg } => write!(f, "unit group {group:?}: {msg}"),
+            DniError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            DniError::Query(msg) => write!(f, "query error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DniError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = DniError::BadHypothesisOutput {
+            hypothesis: "kw:SELECT".into(),
+            record: 3,
+            msg: "behavior length 5 != ns 30".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("kw:SELECT"));
+        assert!(s.contains("record 3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(DniError::BadConfig("x".into()), DniError::BadConfig("x".into()));
+        assert_ne!(DniError::BadConfig("x".into()), DniError::Query("x".into()));
+    }
+}

@@ -1,0 +1,215 @@
+//! Unit-behavior extractors (paper §5.1.2).
+//!
+//! An extractor runs a model over records and emits the behavior matrix:
+//! one row per `(record, symbol)` in record-major order, one column per
+//! requested hidden unit. This mirrors the paper's minimal extractor API
+//! (`extract(model, records, hid_units) -> behaviors`), with adapters for
+//! the char-RNN, the seq2seq encoder, and pre-extracted matrices (the
+//! "read behaviors from files" path).
+
+use crate::model::{Dataset, Record};
+use deepbase_nn::{CharLstmModel, Seq2Seq};
+use deepbase_tensor::Matrix;
+
+/// Extracts hidden-unit behaviors for records. Implementations must be
+/// thread-safe: the parallel device fans record blocks across threads.
+pub trait Extractor: Send + Sync {
+    /// Number of hidden units the underlying model exposes.
+    fn n_units(&self) -> usize;
+
+    /// Behavior matrix for `records`: shape
+    /// `(records.len() * ns) x unit_ids.len()`, rows record-major.
+    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> Matrix;
+}
+
+/// Extractor over a [`CharLstmModel`] (the SQL auto-completion model).
+pub struct CharModelExtractor<'m> {
+    model: &'m CharLstmModel,
+}
+
+impl<'m> CharModelExtractor<'m> {
+    /// Wraps a model reference.
+    pub fn new(model: &'m CharLstmModel) -> Self {
+        CharModelExtractor { model }
+    }
+}
+
+impl Extractor for CharModelExtractor<'_> {
+    fn n_units(&self) -> usize {
+        self.model.hidden()
+    }
+
+    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> Matrix {
+        if records.is_empty() {
+            return Matrix::zeros(0, unit_ids.len());
+        }
+        let inputs: Vec<Vec<u32>> = records.iter().map(|r| r.symbols.clone()).collect();
+        let full = self.model.extract_activations(&inputs);
+        select_columns(&full, unit_ids)
+    }
+}
+
+/// Extractor over the seq2seq encoder (paper §6.3): units `0..H` are
+/// encoder layer 0, units `H..2H` are layer 1. Records are word-id
+/// sequences; padding symbols (id 0) are excluded from the encoder run and
+/// produce zero rows, matching the inactive-on-padding behavior of Fig. 1.
+pub struct Seq2SeqEncoderExtractor<'m> {
+    model: &'m Seq2Seq,
+}
+
+impl<'m> Seq2SeqEncoderExtractor<'m> {
+    /// Wraps a model reference.
+    pub fn new(model: &'m Seq2Seq) -> Self {
+        Seq2SeqEncoderExtractor { model }
+    }
+}
+
+impl Extractor for Seq2SeqEncoderExtractor<'_> {
+    fn n_units(&self) -> usize {
+        2 * self.model.hidden()
+    }
+
+    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> Matrix {
+        let ns = records.first().map(|r| r.symbols.len()).unwrap_or(0);
+        let mut out = Matrix::zeros(records.len() * ns, unit_ids.len());
+        for (ri, rec) in records.iter().enumerate() {
+            // Strip padding (id 0) from the tail; sentences are
+            // right-padded for the fixed-ns dataset layout.
+            let len = rec.symbols.iter().rposition(|&s| s != 0).map(|p| p + 1).unwrap_or(0);
+            if len == 0 {
+                continue;
+            }
+            let acts = self.model.encoder_activations_all(&rec.symbols[..len]);
+            for t in 0..len {
+                let dst = out.row_mut(ri * ns + t);
+                for (c, &u) in unit_ids.iter().enumerate() {
+                    dst[c] = acts.get(t, u);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Extractor over a pre-materialized behavior matrix (the paper's
+/// "simply read behaviors from pre-extracted files" path, and the handle
+/// used when benchmarking inspection costs in isolation).
+pub struct PrecomputedExtractor {
+    behaviors: Matrix,
+    ns: usize,
+}
+
+impl PrecomputedExtractor {
+    /// Wraps a `(nd * ns) x n_units` matrix.
+    pub fn new(behaviors: Matrix, ns: usize) -> Self {
+        PrecomputedExtractor { behaviors, ns }
+    }
+}
+
+impl Extractor for PrecomputedExtractor {
+    fn n_units(&self) -> usize {
+        self.behaviors.cols()
+    }
+
+    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(records.len() * self.ns, unit_ids.len());
+        for (ri, rec) in records.iter().enumerate() {
+            for t in 0..self.ns {
+                let src_row = rec.id * self.ns + t;
+                let dst = out.row_mut(ri * self.ns + t);
+                for (c, &u) in unit_ids.iter().enumerate() {
+                    dst[c] = self.behaviors.get(src_row, u);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Extracts behaviors for an entire dataset in one call.
+pub fn extract_all(extractor: &dyn Extractor, dataset: &Dataset, unit_ids: &[usize]) -> Matrix {
+    extractor.extract(&dataset.records, unit_ids)
+}
+
+fn select_columns(m: &Matrix, cols: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), cols.len());
+    for r in 0..m.rows() {
+        let src = m.row(r);
+        let dst = out.row_mut(r);
+        for (c, &u) in cols.iter().enumerate() {
+            dst[c] = src[u];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Record;
+    use deepbase_nn::OutputMode;
+
+    fn records(n: usize, ns: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let syms: Vec<u32> = (0..ns).map(|t| ((i + t) % 3) as u32).collect();
+                Record::standalone(i, syms, "x".repeat(ns))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn char_extractor_shape_and_column_selection() {
+        let model = CharLstmModel::new(3, 6, OutputMode::LastStep, 1);
+        let ext = CharModelExtractor::new(&model);
+        assert_eq!(ext.n_units(), 6);
+        let recs = records(4, 5);
+        let all = ext.extract(&recs, &(0..6).collect::<Vec<_>>());
+        assert_eq!(all.shape(), (20, 6));
+        let some = ext.extract(&recs, &[2, 4]);
+        assert_eq!(some.shape(), (20, 2));
+        for r in 0..20 {
+            assert_eq!(some.get(r, 0), all.get(r, 2));
+            assert_eq!(some.get(r, 1), all.get(r, 4));
+        }
+    }
+
+    #[test]
+    fn precomputed_extractor_respects_record_ids() {
+        let behaviors = Matrix::from_fn(6, 2, |r, c| (r * 10 + c) as f32);
+        let ext = PrecomputedExtractor::new(behaviors, 2);
+        // Records with ids 2 and 0, out of order.
+        let mut recs = records(3, 2);
+        let picked = vec![recs.remove(2), recs.remove(0)];
+        let m = ext.extract(&picked, &[0, 1]);
+        assert_eq!(m.shape(), (4, 2));
+        // Record id 2 occupies source rows 4..6.
+        assert_eq!(m.get(0, 0), 40.0);
+        assert_eq!(m.get(1, 0), 50.0);
+        // Record id 0 occupies source rows 0..2.
+        assert_eq!(m.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn seq2seq_extractor_pads_with_zero_rows() {
+        let model = Seq2Seq::new(10, 10, 4, 3, 2);
+        let ext = Seq2SeqEncoderExtractor::new(&model);
+        assert_eq!(ext.n_units(), 6);
+        // One record: two real tokens then padding to ns=4.
+        let rec = Record::standalone(0, vec![4, 5, 0, 0], "ab~~".into());
+        let m = ext.extract(&[rec], &(0..6).collect::<Vec<_>>());
+        assert_eq!(m.shape(), (4, 6));
+        assert!(m.row(0).iter().any(|&v| v != 0.0), "real token has activations");
+        assert!(m.row(2).iter().all(|&v| v == 0.0), "padding row is zero");
+        assert!(m.row(3).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn extract_all_covers_dataset() {
+        let model = CharLstmModel::new(3, 4, OutputMode::LastStep, 3);
+        let ext = CharModelExtractor::new(&model);
+        let ds = Dataset::new("d", 5, records(3, 5)).unwrap();
+        let m = extract_all(&ext, &ds, &[0, 1, 2, 3]);
+        assert_eq!(m.shape(), (15, 4));
+    }
+}

@@ -1,0 +1,81 @@
+//! # deepbase (deepbase-core)
+//!
+//! A Rust implementation of **DeepBase: Deep Inspection of Neural
+//! Networks** (Sellam et al., SIGMOD 2019): a declarative system that
+//! measures the statistical affinity between hidden-unit behaviors of
+//! trained neural networks and user-provided hypothesis functions.
+//!
+//! ```no_run
+//! use deepbase::prelude::*;
+//! # fn main() -> Result<(), deepbase::DniError> {
+//! # let model = deepbase_nn::CharLstmModel::new(4, 8, deepbase_nn::OutputMode::LastStep, 0);
+//! # let dataset = Dataset::new("d", 4, vec![])?;
+//! let extractor = CharModelExtractor::new(&model);
+//! let corr = CorrelationMeasure;
+//! let logreg = LogRegMeasure::l1(0.01);
+//! let select = FnHypothesis::keyword("SELECT");
+//! let request = InspectionRequest {
+//!     model_id: "sql_char_model".into(),
+//!     extractor: &extractor,
+//!     groups: vec![UnitGroup::all(8)],
+//!     dataset: &dataset,
+//!     hypotheses: vec![&select],
+//!     measures: vec![&corr, &logreg],
+//! };
+//! let (scores, profile) = inspect(&request, &InspectionConfig::default())?;
+//! println!("{}", scores.to_table().render(20));
+//! # Ok(()) }
+//! ```
+//!
+//! Modules map to the paper:
+//!
+//! * [`model`] — the DNI problem model: datasets, records, unit groups,
+//!   hypothesis functions with execution-time validation (§3, §4.2).
+//! * [`extract`] — unit-behavior extractors for the NN substrate (§5.1.2).
+//! * [`measure`] — the standard measure library with incremental
+//!   `process_block` APIs and merged (multi-output) states (§4.3, §5.2).
+//! * [`engine`] — PyBase / +MM / +MM+ES / DeepBase / MADLib engines with
+//!   streaming extraction, early stopping and the parallel device (§5).
+//! * [`cache`] — hypothesis-behavior LRU cache (§5.1.2, Fig. 9).
+//! * [`result`] — the score frame and relational post-processing (§4.1).
+//! * [`verify`] — perturbation-based verification (§4.4, Appendix C).
+//! * [`query`] — the `INSPECT` SQL extension (Appendix B).
+//! * [`vision`] — CNN inspection and the NetDissect pipeline (Appendix E).
+//! * [`workloads`] — the paper's evaluation workloads, shared by the
+//!   examples, integration tests and benchmark harnesses.
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod extract;
+pub mod measure;
+pub mod model;
+pub mod query;
+pub mod result;
+pub mod verify;
+pub mod vision;
+pub mod workloads;
+
+pub use error::DniError;
+
+/// Convenience re-exports covering the common API surface.
+pub mod prelude {
+    pub use crate::cache::HypothesisCache;
+    pub use crate::engine::{
+        inspect, Device, EngineKind, InspectionConfig, InspectionRequest, Profile,
+    };
+    pub use crate::error::DniError;
+    pub use crate::extract::{
+        extract_all, CharModelExtractor, Extractor, PrecomputedExtractor,
+        Seq2SeqEncoderExtractor,
+    };
+    pub use crate::measure::{
+        standard_library, CorrelationMeasure, DiffMeansMeasure, GroupMiMeasure, JaccardMeasure,
+        LogRegMeasure, MajorityBaselineMeasure, Measure, MeasureKind, MutualInfoMeasure,
+        RandomBaselineMeasure,
+    };
+    pub use crate::model::{
+        Dataset, FnHypothesis, HypothesisFn, ParseCache, ParseHypothesis, Record, UnitGroup,
+    };
+    pub use crate::result::{ResultFrame, ScoreRow};
+}

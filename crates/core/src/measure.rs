@@ -1,0 +1,940 @@
+//! Statistical affinity measures (paper §4.3) behind a uniform
+//! incremental interface.
+//!
+//! Every measure exposes the paper's `process_block` API: feed a block of
+//! unit behaviors + hypothesis behaviors, get back an error estimate that
+//! the engine compares against the user's convergence threshold
+//! (§5.2.2, early stopping). Joint measures that train Keras-style models
+//! additionally expose a **merged** state that trains all hypotheses as
+//! one multi-output model (§5.2.1, model merging) — exact, because the
+//! per-hypothesis losses and parameters are independent.
+
+use deepbase_stats::{
+    baselines, corr::StreamingPearson, descriptive, mi, quantile, ConvergenceTracker,
+    LogRegConfig, MultiLogReg, Z_95,
+};
+use deepbase_tensor::Matrix;
+
+/// Whether a measure scores units one at a time or a group jointly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureKind {
+    /// Per-unit scores; parallelizable across units (§4.3).
+    Independent,
+    /// One group score plus per-unit scores from a joint model.
+    Joint,
+}
+
+/// A statistical affinity measure.
+pub trait Measure: Send + Sync {
+    /// Stable identifier (`corr`, `logreg_l1`, …).
+    fn id(&self) -> &str;
+
+    /// Independent or joint.
+    fn kind(&self) -> MeasureKind;
+
+    /// Fresh per-(unit-group, hypothesis) incremental state.
+    fn new_state(&self, n_units: usize) -> Box<dyn MeasureState>;
+
+    /// Fresh merged state covering `n_hyps` hypotheses at once, if the
+    /// measure supports model merging.
+    fn new_merged_state(&self, _n_units: usize, _n_hyps: usize) -> Option<Box<dyn MergedState>> {
+        None
+    }
+
+    /// Default convergence threshold ε (paper §6.2: 0.025 for correlation,
+    /// 0.01 for logistic regression).
+    fn default_epsilon(&self) -> f32;
+}
+
+/// Incremental state for one (unit group, hypothesis) pair.
+pub trait MeasureState: Send {
+    /// Consumes a block (`rows x n_units` behaviors, `rows` hypothesis
+    /// values) and returns the current error estimate (∞ until estimable).
+    fn process_block(&mut self, units: &Matrix, hyp: &[f32]) -> f32;
+
+    /// Current per-unit scores.
+    fn unit_scores(&self) -> Vec<f32>;
+
+    /// Current group score.
+    fn group_score(&self) -> f32;
+}
+
+/// Incremental state shared across all hypotheses (model merging).
+pub trait MergedState: Send {
+    /// Consumes a block (`rows x n_units`, `rows x n_hyps`), returning the
+    /// per-hypothesis error estimates.
+    fn process_block(&mut self, units: &Matrix, hyps: &Matrix) -> Vec<f32>;
+
+    /// Per-unit scores for one hypothesis.
+    fn unit_scores(&self, hyp: usize) -> Vec<f32>;
+
+    /// Group score for one hypothesis.
+    fn group_score(&self, hyp: usize) -> f32;
+}
+
+// ---------------------------------------------------------------------
+// Correlation
+// ---------------------------------------------------------------------
+
+/// Pearson correlation per unit (the paper's default measure). The group
+/// score is the maximum absolute per-unit correlation.
+pub struct CorrelationMeasure;
+
+impl Measure for CorrelationMeasure {
+    fn id(&self) -> &str {
+        "corr"
+    }
+
+    fn kind(&self) -> MeasureKind {
+        MeasureKind::Independent
+    }
+
+    fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
+        Box::new(CorrState { accs: vec![StreamingPearson::new(); n_units] })
+    }
+
+    fn default_epsilon(&self) -> f32 {
+        0.025
+    }
+}
+
+struct CorrState {
+    accs: Vec<StreamingPearson>,
+}
+
+impl MeasureState for CorrState {
+    fn process_block(&mut self, units: &Matrix, hyp: &[f32]) -> f32 {
+        debug_assert_eq!(units.rows(), hyp.len());
+        for (r, &h) in hyp.iter().enumerate() {
+            let row = units.row(r);
+            for (acc, &u) in self.accs.iter_mut().zip(row.iter()) {
+                acc.push(u, h);
+            }
+        }
+        self.accs
+            .iter()
+            .map(|a| a.fisher_half_width(Z_95))
+            .fold(0.0f32, f32::max)
+    }
+
+    fn unit_scores(&self) -> Vec<f32> {
+        self.accs.iter().map(|a| a.correlation()).collect()
+    }
+
+    fn group_score(&self) -> f32 {
+        self.accs.iter().map(|a| a.correlation().abs()).fold(0.0, f32::max)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutual information
+// ---------------------------------------------------------------------
+
+/// Binned mutual information per unit (Morcos et al.-style). Buffers up to
+/// `max_buffer` symbols (quantile binning needs the sample); the error
+/// estimate is the standard `1/sqrt(n)` Monte-Carlo rate.
+pub struct MutualInfoMeasure {
+    /// Quantile bins for discretization.
+    pub bins: usize,
+    /// Buffer cap in symbols.
+    pub max_buffer: usize,
+}
+
+impl Default for MutualInfoMeasure {
+    fn default() -> Self {
+        MutualInfoMeasure { bins: mi::DEFAULT_BINS, max_buffer: 65_536 }
+    }
+}
+
+impl Measure for MutualInfoMeasure {
+    fn id(&self) -> &str {
+        "mutual_info"
+    }
+
+    fn kind(&self) -> MeasureKind {
+        MeasureKind::Independent
+    }
+
+    fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
+        Box::new(BufferedState::new(n_units, self.max_buffer, BufferedScore::Mi(self.bins)))
+    }
+
+    fn default_epsilon(&self) -> f32 {
+        0.01
+    }
+}
+
+// ---------------------------------------------------------------------
+// Jaccard (NetDissect-style IoU)
+// ---------------------------------------------------------------------
+
+/// Jaccard coefficient between the unit's top-quantile activations and a
+/// binary hypothesis mask (NetDissect's IoU, Appendix E).
+pub struct JaccardMeasure {
+    /// Activations above this quantile count as "on" (NetDissect uses
+    /// a high quantile such as 0.95–0.995).
+    pub top_quantile: f32,
+    /// Buffer cap in symbols.
+    pub max_buffer: usize,
+}
+
+impl Default for JaccardMeasure {
+    fn default() -> Self {
+        JaccardMeasure { top_quantile: 0.95, max_buffer: 65_536 }
+    }
+}
+
+impl Measure for JaccardMeasure {
+    fn id(&self) -> &str {
+        "jaccard"
+    }
+
+    fn kind(&self) -> MeasureKind {
+        MeasureKind::Independent
+    }
+
+    fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
+        Box::new(BufferedState::new(
+            n_units,
+            self.max_buffer,
+            BufferedScore::Jaccard(self.top_quantile),
+        ))
+    }
+
+    fn default_epsilon(&self) -> f32 {
+        0.01
+    }
+}
+
+enum BufferedScore {
+    Mi(usize),
+    Jaccard(f32),
+}
+
+/// Shared buffered implementation for measures that need the sample.
+struct BufferedState {
+    unit_buffers: Vec<Vec<f32>>,
+    hyp_buffer: Vec<f32>,
+    max_buffer: usize,
+    score: BufferedScore,
+}
+
+impl BufferedState {
+    fn new(n_units: usize, max_buffer: usize, score: BufferedScore) -> Self {
+        BufferedState {
+            unit_buffers: vec![Vec::new(); n_units],
+            hyp_buffer: Vec::new(),
+            max_buffer,
+            score,
+        }
+    }
+}
+
+impl MeasureState for BufferedState {
+    fn process_block(&mut self, units: &Matrix, hyp: &[f32]) -> f32 {
+        let room = self.max_buffer.saturating_sub(self.hyp_buffer.len());
+        let take = room.min(hyp.len());
+        for r in 0..take {
+            let row = units.row(r);
+            for (buf, &u) in self.unit_buffers.iter_mut().zip(row.iter()) {
+                buf.push(u);
+            }
+            self.hyp_buffer.push(hyp[r]);
+        }
+        let n = self.hyp_buffer.len();
+        if n < 8 {
+            f32::INFINITY
+        } else {
+            1.0 / (n as f32).sqrt()
+        }
+    }
+
+    fn unit_scores(&self) -> Vec<f32> {
+        self.unit_buffers
+            .iter()
+            .map(|buf| match &self.score {
+                BufferedScore::Mi(bins) => mi::mutual_information(buf, &self.hyp_buffer, *bins),
+                BufferedScore::Jaccard(q) => {
+                    if buf.is_empty() {
+                        0.0
+                    } else {
+                        descriptive::jaccard_at_quantile(buf, &self.hyp_buffer, *q)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn group_score(&self) -> f32 {
+        self.unit_scores().into_iter().fold(0.0, f32::max)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Difference of means
+// ---------------------------------------------------------------------
+
+/// Standardized difference of unit activations between hypothesis-on and
+/// hypothesis-off symbols (streaming, exact).
+pub struct DiffMeansMeasure;
+
+impl Measure for DiffMeansMeasure {
+    fn id(&self) -> &str {
+        "diff_means"
+    }
+
+    fn kind(&self) -> MeasureKind {
+        MeasureKind::Independent
+    }
+
+    fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
+        Box::new(DiffMeansState { on: vec![Moments::default(); n_units], off: vec![Moments::default(); n_units] })
+    }
+
+    fn default_epsilon(&self) -> f32 {
+        0.02
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Moments {
+    n: u64,
+    sum: f64,
+    sumsq: f64,
+}
+
+impl Moments {
+    fn push(&mut self, v: f32) {
+        self.n += 1;
+        self.sum += v as f64;
+        self.sumsq += (v as f64) * (v as f64);
+    }
+
+    fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    fn var(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.sumsq - self.sum * m) / (self.n - 1) as f64
+    }
+}
+
+struct DiffMeansState {
+    on: Vec<Moments>,
+    off: Vec<Moments>,
+}
+
+impl MeasureState for DiffMeansState {
+    fn process_block(&mut self, units: &Matrix, hyp: &[f32]) -> f32 {
+        for (r, &h) in hyp.iter().enumerate() {
+            let row = units.row(r);
+            let side = if h > 0.5 { &mut self.on } else { &mut self.off };
+            for (m, &u) in side.iter_mut().zip(row.iter()) {
+                m.push(u);
+            }
+        }
+        let n = self.on.first().map(|m| m.n).unwrap_or(0).min(
+            self.off.first().map(|m| m.n).unwrap_or(0),
+        );
+        if n < 4 {
+            f32::INFINITY
+        } else {
+            // Standard-error style rate for a difference of means.
+            (2.0 / n as f32).sqrt()
+        }
+    }
+
+    fn unit_scores(&self) -> Vec<f32> {
+        self.on
+            .iter()
+            .zip(self.off.iter())
+            .map(|(on, off)| {
+                if on.n == 0 || off.n == 0 {
+                    return 0.0;
+                }
+                let pooled = ((on.var() * (on.n.max(2) - 1) as f64
+                    + off.var() * (off.n.max(2) - 1) as f64)
+                    / ((on.n + off.n).max(3) - 2) as f64)
+                    .sqrt();
+                if pooled <= 1e-12 {
+                    0.0
+                } else {
+                    ((on.mean() - off.mean()) / pooled) as f32
+                }
+            })
+            .collect()
+    }
+
+    fn group_score(&self) -> f32 {
+        self.unit_scores().into_iter().map(f32::abs).fold(0.0, f32::max)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Logistic regression (the joint measure, with model merging)
+// ---------------------------------------------------------------------
+
+/// Logistic-regression probe: predicts the (binarized) hypothesis behavior
+/// from the unit group's activations. Group score = validation F1; unit
+/// scores = absolute coefficients. Supports model merging.
+pub struct LogRegMeasure {
+    /// Identifier — distinguishes e.g. `logreg_l1` from `logreg_l2`.
+    pub name: String,
+    /// Probe hyper-parameters (regularization, learning rate, threads).
+    pub config: LogRegConfig,
+    /// SGD passes over each block as it arrives (approximates the paper's
+    /// multi-epoch training while remaining streamable).
+    pub inner_epochs: usize,
+    /// Validation window for the convergence tracker (paper: enough
+    /// batches to cover 2,048 tuples).
+    pub tracker_window: usize,
+    /// Reweight the positive class by the observed negative/positive ratio
+    /// (clamped), so rare-event hypotheses (one period per sentence) do
+    /// not collapse to the all-negative predictor.
+    pub balance_classes: bool,
+}
+
+impl LogRegMeasure {
+    /// L1-regularized probe (the paper's default joint measure).
+    pub fn l1(strength: f32) -> Self {
+        LogRegMeasure {
+            name: "logreg_l1".into(),
+            config: LogRegConfig { l1: strength, learning_rate: 0.05, ..Default::default() },
+            inner_epochs: 8,
+            tracker_window: 4,
+            balance_classes: true,
+        }
+    }
+
+    /// L2-regularized probe (Fig. 12b).
+    pub fn l2(strength: f32) -> Self {
+        LogRegMeasure {
+            name: "logreg_l2".into(),
+            config: LogRegConfig { l2: strength, learning_rate: 0.05, ..Default::default() },
+            inner_epochs: 8,
+            tracker_window: 4,
+            balance_classes: true,
+        }
+    }
+}
+
+impl Measure for LogRegMeasure {
+    fn id(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> MeasureKind {
+        MeasureKind::Joint
+    }
+
+    fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
+        Box::new(LogRegState {
+            inner: LogRegMerged::new(n_units, 1, self),
+        })
+    }
+
+    fn new_merged_state(&self, n_units: usize, n_hyps: usize) -> Option<Box<dyn MergedState>> {
+        Some(Box::new(LogRegMerged::new(n_units, n_hyps, self)))
+    }
+
+    fn default_epsilon(&self) -> f32 {
+        0.01
+    }
+}
+
+/// Merged multi-output probe state; the single-hypothesis state reuses it
+/// with `n_hyps == 1`.
+struct LogRegMerged {
+    model: MultiLogReg,
+    trackers: Vec<ConvergenceTracker>,
+    inner_epochs: usize,
+    balance_classes: bool,
+    /// Streamed positive counts per hypothesis (for class weights).
+    pos_counts: Vec<u64>,
+    total_count: u64,
+    /// Every 5th row is held out for validation (capped).
+    val_units: Vec<Vec<f32>>,
+    val_hyps: Vec<Vec<f32>>,
+    row_counter: usize,
+    n_units: usize,
+    n_hyps: usize,
+}
+
+const VAL_CAP: usize = 4096;
+
+impl LogRegMerged {
+    fn new(n_units: usize, n_hyps: usize, measure: &LogRegMeasure) -> Self {
+        LogRegMerged {
+            model: MultiLogReg::new(n_units, n_hyps, measure.config.clone()),
+            trackers: vec![ConvergenceTracker::new(measure.tracker_window); n_hyps],
+            inner_epochs: measure.inner_epochs.max(1),
+            balance_classes: measure.balance_classes,
+            pos_counts: vec![0; n_hyps],
+            total_count: 0,
+            val_units: Vec::new(),
+            val_hyps: Vec::new(),
+            row_counter: 0,
+            n_units,
+            n_hyps,
+        }
+    }
+
+    fn ingest(&mut self, units: &Matrix, hyps: &Matrix) -> Vec<f32> {
+        debug_assert_eq!(units.rows(), hyps.rows());
+        // Split rows into train / validation deterministically.
+        let mut train_rows = Vec::with_capacity(units.rows());
+        for r in 0..units.rows() {
+            if self.row_counter.is_multiple_of(5) && self.val_units.len() < VAL_CAP {
+                self.val_units.push(units.row(r).to_vec());
+                self.val_hyps.push(hyps.row(r).to_vec());
+            } else {
+                train_rows.push(r);
+            }
+            self.row_counter += 1;
+        }
+        if self.balance_classes {
+            // Update streamed class counts and refresh the per-hypothesis
+            // positive weights (clamped; identical per column regardless
+            // of merging, so merged == separate stays exact).
+            for r in 0..hyps.rows() {
+                for h in 0..self.n_hyps {
+                    if hyps.get(r, h) > 0.0 {
+                        self.pos_counts[h] += 1;
+                    }
+                }
+            }
+            self.total_count += hyps.rows() as u64;
+            let weights: Vec<f32> = self
+                .pos_counts
+                .iter()
+                .map(|&p| {
+                    if p == 0 {
+                        1.0
+                    } else {
+                        ((self.total_count - p) as f32 / p as f32).clamp(1.0, 25.0)
+                    }
+                })
+                .collect();
+            self.model.set_pos_weights(weights);
+        }
+        if !train_rows.is_empty() {
+            let mut x = Matrix::zeros(train_rows.len(), self.n_units);
+            let mut y = Matrix::zeros(train_rows.len(), self.n_hyps);
+            for (dst, &src) in train_rows.iter().enumerate() {
+                x.row_mut(dst).copy_from_slice(units.row(src));
+                for h in 0..self.n_hyps {
+                    // Binarize targets (>0 counts as active) so integer
+                    // behaviors like nesting depth are probe-able.
+                    y.set(dst, h, if hyps.get(src, h) > 0.0 { 1.0 } else { 0.0 });
+                }
+            }
+            for _ in 0..self.inner_epochs {
+                self.model.partial_fit(&x, &y);
+            }
+        }
+        self.validation_errs()
+    }
+
+    fn validation_errs(&mut self) -> Vec<f32> {
+        if self.val_units.is_empty() {
+            return vec![f32::INFINITY; self.n_hyps];
+        }
+        let n = self.val_units.len();
+        let mut x = Matrix::zeros(n, self.n_units);
+        for (r, row) in self.val_units.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(row);
+        }
+        let probs = self.model.predict_proba(&x);
+        (0..self.n_hyps)
+            .map(|h| {
+                let pred = probs.col(h);
+                let targ: Vec<f32> = self
+                    .val_hyps
+                    .iter()
+                    .map(|row| if row[h] > 0.0 { 1.0 } else { 0.0 })
+                    .collect();
+                let f1 = deepbase_stats::f1_score(&pred, &targ);
+                self.trackers[h].push(f1)
+            })
+            .collect()
+    }
+}
+
+impl MergedState for LogRegMerged {
+    fn process_block(&mut self, units: &Matrix, hyps: &Matrix) -> Vec<f32> {
+        self.ingest(units, hyps)
+    }
+
+    fn unit_scores(&self, hyp: usize) -> Vec<f32> {
+        self.model.unit_scores(hyp)
+    }
+
+    fn group_score(&self, hyp: usize) -> f32 {
+        self.trackers[hyp].latest().unwrap_or(0.0)
+    }
+}
+
+struct LogRegState {
+    inner: LogRegMerged,
+}
+
+impl MeasureState for LogRegState {
+    fn process_block(&mut self, units: &Matrix, hyp: &[f32]) -> f32 {
+        let hyps = Matrix::from_vec(hyp.len(), 1, hyp.to_vec()).expect("column shape");
+        self.inner.ingest(units, &hyps)[0]
+    }
+
+    fn unit_scores(&self) -> Vec<f32> {
+        self.inner.unit_scores(0)
+    }
+
+    fn group_score(&self) -> f32 {
+        self.inner.group_score(0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Naive baselines (§4.1: "2 naive baselines")
+// ---------------------------------------------------------------------
+
+/// Majority-class baseline: the F1 a constant predictor achieves on the
+/// hypothesis labels (unit behaviors are ignored).
+pub struct MajorityBaselineMeasure;
+
+impl Measure for MajorityBaselineMeasure {
+    fn id(&self) -> &str {
+        "majority_baseline"
+    }
+
+    fn kind(&self) -> MeasureKind {
+        MeasureKind::Joint
+    }
+
+    fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
+        Box::new(BaselineState { labels: Vec::new(), n_units, random_seed: None })
+    }
+
+    fn default_epsilon(&self) -> f32 {
+        0.01
+    }
+}
+
+/// Random-class baseline.
+pub struct RandomBaselineMeasure {
+    /// Seed for the random predictions.
+    pub seed: u64,
+}
+
+impl Measure for RandomBaselineMeasure {
+    fn id(&self) -> &str {
+        "random_baseline"
+    }
+
+    fn kind(&self) -> MeasureKind {
+        MeasureKind::Joint
+    }
+
+    fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
+        Box::new(BaselineState { labels: Vec::new(), n_units, random_seed: Some(self.seed) })
+    }
+
+    fn default_epsilon(&self) -> f32 {
+        0.01
+    }
+}
+
+struct BaselineState {
+    labels: Vec<f32>,
+    n_units: usize,
+    random_seed: Option<u64>,
+}
+
+impl MeasureState for BaselineState {
+    fn process_block(&mut self, _units: &Matrix, hyp: &[f32]) -> f32 {
+        self.labels.extend(hyp.iter().map(|&h| if h > 0.0 { 1.0 } else { 0.0 }));
+        if self.labels.len() < 8 {
+            f32::INFINITY
+        } else {
+            1.0 / (self.labels.len() as f32).sqrt()
+        }
+    }
+
+    fn unit_scores(&self) -> Vec<f32> {
+        vec![self.group_score(); self.n_units]
+    }
+
+    fn group_score(&self) -> f32 {
+        match self.random_seed {
+            Some(seed) => baselines::random_class_f1(&self.labels, seed),
+            None => baselines::majority_class_f1(&self.labels),
+        }
+    }
+}
+
+/// The full standard library of measures (paper §4.1: 8 scores + 2 naive
+/// baselines). The 8 scores: correlation, mutual information (uni- and
+/// multivariate via group MI), Jaccard, difference of means, logistic
+/// regression with L1 and with L2, and the two quantile variants of
+/// Jaccard used by NetDissect comparisons.
+pub fn standard_library() -> Vec<Box<dyn Measure>> {
+    vec![
+        Box::new(CorrelationMeasure),
+        Box::new(MutualInfoMeasure::default()),
+        Box::new(JaccardMeasure::default()),
+        Box::new(JaccardMeasure { top_quantile: 0.995, max_buffer: 65_536 }),
+        Box::new(DiffMeansMeasure),
+        Box::new(LogRegMeasure::l1(0.01)),
+        Box::new(LogRegMeasure::l2(0.01)),
+        Box::new(GroupMiMeasure::default()),
+        Box::new(MajorityBaselineMeasure),
+        Box::new(RandomBaselineMeasure { seed: 0 }),
+    ]
+}
+
+/// Multivariate mutual information over the whole unit group (paper §4.3:
+/// "a multivariate implementation of mutual information").
+pub struct GroupMiMeasure {
+    /// Quantile bins.
+    pub bins: usize,
+    /// Buffer cap.
+    pub max_buffer: usize,
+}
+
+impl Default for GroupMiMeasure {
+    fn default() -> Self {
+        GroupMiMeasure { bins: 4, max_buffer: 16_384 }
+    }
+}
+
+impl Measure for GroupMiMeasure {
+    fn id(&self) -> &str {
+        "group_mi"
+    }
+
+    fn kind(&self) -> MeasureKind {
+        MeasureKind::Joint
+    }
+
+    fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
+        Box::new(GroupMiState {
+            buffered: BufferedState::new(n_units, self.max_buffer, BufferedScore::Mi(self.bins)),
+            bins: self.bins,
+        })
+    }
+
+    fn default_epsilon(&self) -> f32 {
+        0.01
+    }
+}
+
+struct GroupMiState {
+    buffered: BufferedState,
+    bins: usize,
+}
+
+impl MeasureState for GroupMiState {
+    fn process_block(&mut self, units: &Matrix, hyp: &[f32]) -> f32 {
+        self.buffered.process_block(units, hyp)
+    }
+
+    fn unit_scores(&self) -> Vec<f32> {
+        // Per-unit MI, as the independent measure would report.
+        self.buffered.unit_scores()
+    }
+
+    fn group_score(&self) -> f32 {
+        let refs: Vec<&[f32]> =
+            self.buffered.unit_buffers.iter().map(|b| b.as_slice()).collect();
+        mi::multivariate_mi(&refs, &self.buffered.hyp_buffer, self.bins)
+    }
+}
+
+/// Quantile-binned behavior helper re-exported for NetDissect pipelines.
+pub fn binarize_at_quantile(values: &[f32], q: f32) -> Vec<f32> {
+    let thresh = quantile::quantile(values, q);
+    values.iter().map(|&v| if v > thresh { 1.0 } else { 0.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Block where unit 0 mirrors the hypothesis and unit 1 is noise.
+    fn block(n: usize) -> (Matrix, Vec<f32>) {
+        let hyp: Vec<f32> = (0..n).map(|i| ((i / 3) % 2) as f32).collect();
+        let units = Matrix::from_fn(n, 2, |r, c| {
+            if c == 0 {
+                hyp[r] * 2.0 - 0.5
+            } else {
+                ((r * 7919) % 97) as f32 / 97.0
+            }
+        });
+        (units, hyp)
+    }
+
+    #[test]
+    fn correlation_state_identifies_mirroring_unit() {
+        let m = CorrelationMeasure;
+        let mut state = m.new_state(2);
+        let (units, hyp) = block(300);
+        let err = state.process_block(&units, &hyp);
+        assert!(err < 0.2, "error should be small after 300 symbols: {err}");
+        let scores = state.unit_scores();
+        assert!(scores[0] > 0.95, "unit 0 corr {}", scores[0]);
+        assert!(scores[1].abs() < 0.3, "unit 1 corr {}", scores[1]);
+        assert!(state.group_score() > 0.95);
+    }
+
+    #[test]
+    fn correlation_error_shrinks_with_blocks() {
+        let m = CorrelationMeasure;
+        let mut state = m.new_state(2);
+        let (units, hyp) = block(64);
+        let e1 = state.process_block(&units, &hyp);
+        let mut e2 = e1;
+        for _ in 0..10 {
+            e2 = state.process_block(&units, &hyp);
+        }
+        assert!(e2 < e1, "{e1} -> {e2}");
+    }
+
+    #[test]
+    fn mutual_info_state_ranks_dependent_unit_higher() {
+        let m = MutualInfoMeasure::default();
+        let mut state = m.new_state(2);
+        let (units, hyp) = block(400);
+        state.process_block(&units, &hyp);
+        let scores = state.unit_scores();
+        assert!(scores[0] > scores[1], "{scores:?}");
+    }
+
+    #[test]
+    fn jaccard_state_scores_overlapping_unit() {
+        let m = JaccardMeasure { top_quantile: 0.5, max_buffer: 10_000 };
+        let mut state = m.new_state(2);
+        let (units, hyp) = block(200);
+        state.process_block(&units, &hyp);
+        let scores = state.unit_scores();
+        assert!(scores[0] > 0.8, "unit 0 jaccard {}", scores[0]);
+        assert!(scores[0] > scores[1]);
+    }
+
+    #[test]
+    fn diff_means_streaming_matches_batch() {
+        let m = DiffMeansMeasure;
+        let mut state = m.new_state(2);
+        let (units, hyp) = block(256);
+        // Feed in two chunks.
+        let (u1, u2) = (units.slice_rows(0, 100), units.slice_rows(100, 256));
+        state.process_block(&u1, &hyp[..100]);
+        state.process_block(&u2, &hyp[100..]);
+        let streaming = state.unit_scores();
+        let batch = descriptive::difference_of_means(&units.col(0), &hyp);
+        assert!((streaming[0] - batch).abs() < 0.05, "{} vs {}", streaming[0], batch);
+    }
+
+    #[test]
+    fn logreg_state_learns_predictable_hypothesis() {
+        let m = LogRegMeasure::l2(0.0);
+        let mut state = m.new_state(2);
+        let (units, hyp) = block(500);
+        let mut err = f32::INFINITY;
+        for _ in 0..12 {
+            err = state.process_block(&units, &hyp);
+        }
+        assert!(state.group_score() > 0.9, "probe F1 {}", state.group_score());
+        assert!(err < 0.1, "converged err {err}");
+        let coefs = state.unit_scores();
+        assert!(coefs[0] > coefs[1], "informative unit has larger |coef|: {coefs:?}");
+    }
+
+    #[test]
+    fn merged_logreg_matches_separate_states() {
+        let measure = LogRegMeasure::l1(0.005);
+        let (units, hyp) = block(300);
+        // Two hypotheses: the original and its complement.
+        let hyp2: Vec<f32> = hyp.iter().map(|&h| 1.0 - h).collect();
+        let mut hyps = Matrix::zeros(300, 2);
+        for r in 0..300 {
+            hyps.set(r, 0, hyp[r]);
+            hyps.set(r, 1, hyp2[r]);
+        }
+
+        let mut merged = measure.new_merged_state(2, 2).unwrap();
+        let mut sep0 = measure.new_state(2);
+        let mut sep1 = measure.new_state(2);
+        for _ in 0..6 {
+            merged.process_block(&units, &hyps);
+            sep0.process_block(&units, &hyp);
+            sep1.process_block(&units, &hyp2);
+        }
+        for u in 0..2 {
+            assert!(
+                (merged.unit_scores(0)[u] - sep0.unit_scores()[u]).abs() < 1e-4,
+                "hyp 0 unit {u}"
+            );
+            assert!(
+                (merged.unit_scores(1)[u] - sep1.unit_scores()[u]).abs() < 1e-4,
+                "hyp 1 unit {u}"
+            );
+        }
+        assert!((merged.group_score(0) - sep0.group_score()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn baselines_score_labels_only() {
+        let (units, hyp) = block(100);
+        let mut maj = MajorityBaselineMeasure.new_state(2);
+        maj.process_block(&units, &hyp);
+        let expected = baselines::majority_class_f1(
+            &hyp.iter().map(|&h| if h > 0.0 { 1.0 } else { 0.0 }).collect::<Vec<_>>(),
+        );
+        assert!((maj.group_score() - expected).abs() < 1e-6);
+        assert_eq!(maj.unit_scores(), vec![expected; 2]);
+
+        let mut rnd = RandomBaselineMeasure { seed: 3 }.new_state(2);
+        rnd.process_block(&units, &hyp);
+        let s = rnd.group_score();
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn group_mi_exceeds_best_single_on_xor() {
+        // XOR: no single unit is informative; the pair determines h.
+        let n = 600;
+        let u0: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
+        let u1: Vec<f32> = (0..n).map(|i| ((i / 2) % 2) as f32).collect();
+        let hyp: Vec<f32> = u0.iter().zip(u1.iter()).map(|(a, b)| (a + b) % 2.0).collect();
+        let mut units = Matrix::zeros(n, 2);
+        for r in 0..n {
+            units.set(r, 0, u0[r]);
+            units.set(r, 1, u1[r]);
+        }
+        let m = GroupMiMeasure { bins: 2, max_buffer: 10_000 };
+        let mut state = m.new_state(2);
+        state.process_block(&units, &hyp);
+        let singles = state.unit_scores();
+        let group = state.group_score();
+        assert!(group > 0.5, "group MI {group}");
+        assert!(singles.iter().all(|&s| s < 0.05), "single MIs {singles:?}");
+    }
+
+    #[test]
+    fn standard_library_has_ten_measures() {
+        let lib = standard_library();
+        assert_eq!(lib.len(), 10);
+        let ids: Vec<&str> = lib.iter().map(|m| m.id()).collect();
+        assert!(ids.contains(&"corr"));
+        assert!(ids.contains(&"logreg_l1"));
+        assert!(ids.contains(&"majority_baseline"));
+        assert!(ids.contains(&"random_baseline"));
+    }
+}

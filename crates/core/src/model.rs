@@ -1,0 +1,448 @@
+//! The Deep Neural Inspection problem model (paper §3).
+//!
+//! A [`Dataset`] is `nd` fixed-length records of `ns` symbols; a
+//! [`HypothesisFn`] maps a record to a per-symbol behavior vector; a
+//! [`UnitGroup`] names the hidden units under inspection. The engine
+//! validates hypothesis outputs at execution time (length and finiteness),
+//! as §4.1 prescribes ("output formats are checked during execution").
+
+use crate::error::DniError;
+use deepbase_lang::tree::ParseTree;
+use deepbase_lang::vocab::{project_behavior, Window};
+use deepbase_lang::{EarleyParser, Grammar, TreeHypothesis};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One record: a fixed-length window of symbols, with provenance into the
+/// source string it was cut from (so parse-derived hypotheses can label it
+/// from a single parse of the source, §6.1).
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Record index within its dataset.
+    pub id: usize,
+    /// Symbol ids fed to the model (length = dataset `ns`, padded).
+    pub symbols: Vec<u32>,
+    /// The window text (padded, same length as `symbols` for char data).
+    pub text: String,
+    /// Index of the source string this window came from.
+    pub source_id: usize,
+    /// The full source string.
+    pub source_text: Arc<String>,
+    /// Offset of the first visible symbol within the source.
+    pub offset: usize,
+    /// Number of non-padding symbols.
+    pub visible: usize,
+}
+
+impl Record {
+    /// Builds a standalone record (its own source; no windowing).
+    pub fn standalone(id: usize, symbols: Vec<u32>, text: String) -> Record {
+        let visible = symbols.len();
+        Record {
+            id,
+            symbols,
+            source_text: Arc::new(text.clone()),
+            text,
+            source_id: id,
+            offset: 0,
+            visible,
+        }
+    }
+
+    /// The window-projection descriptor for this record.
+    pub fn window(&self) -> Window {
+        Window {
+            text: self.text.clone(),
+            offset: self.offset,
+            visible: self.visible,
+            target: None,
+        }
+    }
+}
+
+/// A dataset `D`: `nd` records of exactly `ns` symbols each.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Stable identifier (keys hypothesis caches).
+    pub id: String,
+    /// Symbols per record.
+    pub ns: usize,
+    /// The records.
+    pub records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking record lengths.
+    pub fn new(id: &str, ns: usize, records: Vec<Record>) -> Result<Dataset, DniError> {
+        for r in &records {
+            if r.symbols.len() != ns {
+                return Err(DniError::BadRecord {
+                    record: r.id,
+                    msg: format!("record length {} != ns {}", r.symbols.len(), ns),
+                });
+            }
+        }
+        Ok(Dataset { id: id.to_string(), ns, records })
+    }
+
+    /// Number of records `nd`.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total number of symbols (`nd * ns`) — the behavior-matrix height.
+    pub fn total_symbols(&self) -> usize {
+        self.len() * self.ns
+    }
+}
+
+/// A named group of hidden units `U ⊆ M` (paper Def. 1: measures score a
+/// *group*, because joint measures depend on which units train together).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitGroup {
+    /// Group name (e.g. `layer0`, `all`, `epoch3/layer1`).
+    pub id: String,
+    /// Unit indices into the model's unit vector.
+    pub units: Vec<usize>,
+}
+
+impl UnitGroup {
+    /// Convenience constructor.
+    pub fn new(id: &str, units: Vec<usize>) -> UnitGroup {
+        UnitGroup { id: id.to_string(), units }
+    }
+
+    /// The group `0..n` named `all`.
+    pub fn all(n: usize) -> UnitGroup {
+        UnitGroup { id: "all".into(), units: (0..n).collect() }
+    }
+}
+
+/// A hypothesis function `h(d) ∈ R^ns` (paper §3): annotates every symbol
+/// of a record with high-level logic.
+pub trait HypothesisFn: Send + Sync {
+    /// Stable identifier (e.g. `where_clause:time`, `pos:CC`).
+    fn id(&self) -> &str;
+
+    /// Evaluates the hypothesis over one record. The engine checks that
+    /// the result has exactly `ns` finite entries.
+    fn behavior(&self, record: &Record) -> Result<Vec<f32>, DniError>;
+}
+
+/// Validates a hypothesis output per §4.1: exact length and finite values.
+pub fn validate_behavior(hyp_id: &str, record: &Record, ns: usize, b: &[f32]) -> Result<(), DniError> {
+    if b.len() != ns {
+        return Err(DniError::BadHypothesisOutput {
+            hypothesis: hyp_id.to_string(),
+            record: record.id,
+            msg: format!("behavior length {} != ns {}", b.len(), ns),
+        });
+    }
+    if let Some(pos) = b.iter().position(|v| !v.is_finite()) {
+        return Err(DniError::BadHypothesisOutput {
+            hypothesis: hyp_id.to_string(),
+            record: record.id,
+            msg: format!("non-finite behavior value at symbol {pos}"),
+        });
+    }
+    Ok(())
+}
+
+/// A hypothesis defined by a plain closure over the record text — the
+/// "arbitrary Python function" path of the paper's API.
+pub struct FnHypothesis {
+    id: String,
+    f: Box<dyn Fn(&Record) -> Vec<f32> + Send + Sync>,
+}
+
+impl FnHypothesis {
+    /// Wraps a closure producing a per-symbol behavior.
+    pub fn new(id: &str, f: impl Fn(&Record) -> Vec<f32> + Send + Sync + 'static) -> Self {
+        FnHypothesis { id: id.to_string(), f: Box::new(f) }
+    }
+
+    /// Keyword-detector hypothesis over the window text.
+    pub fn keyword(keyword: &str) -> Self {
+        let kw = keyword.to_string();
+        FnHypothesis::new(&format!("kw:{keyword}"), move |rec| {
+            deepbase_lang::hypothesis::keyword_behavior(&rec.text, &kw)
+        })
+    }
+
+    /// Character-class hypothesis over the window text.
+    pub fn char_class(id: &str, pred: impl Fn(char) -> bool + Send + Sync + 'static) -> Self {
+        FnHypothesis::new(id, move |rec| {
+            deepbase_lang::hypothesis::char_class_behavior(&rec.text, &pred)
+        })
+    }
+
+    /// Position-counter hypothesis ("does the model count symbols?").
+    pub fn position_counter() -> Self {
+        FnHypothesis::new("counter", |rec| {
+            deepbase_lang::hypothesis::position_counter_behavior(&rec.text)
+        })
+    }
+}
+
+impl HypothesisFn for FnHypothesis {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn behavior(&self, record: &Record) -> Result<Vec<f32>, DniError> {
+        Ok((self.f)(record))
+    }
+}
+
+/// Shared parse cache: each source string is parsed at most once, and the
+/// tree is shared by every parse-derived hypothesis (paper §6.1: "the
+/// other hypothesis functions based on the parser do not need to re-parse
+/// the input text"). `None` records an unparseable source.
+#[derive(Default)]
+pub struct ParseCache {
+    trees: Mutex<HashMap<usize, Option<Arc<ParseTree>>>>,
+    /// Number of parser invocations (cache misses), for the Fig. 9 cost
+    /// accounting.
+    misses: Mutex<usize>,
+}
+
+impl ParseCache {
+    /// Empty cache.
+    pub fn new() -> Arc<ParseCache> {
+        Arc::new(ParseCache::default())
+    }
+
+    /// Pre-populates the cache with a ground-truth tree (PCFG sampling
+    /// yields the derivation for free).
+    pub fn insert(&self, source_id: usize, tree: ParseTree) {
+        self.trees.lock().insert(source_id, Some(Arc::new(tree)));
+    }
+
+    /// Fetches the parse of a source, running `parse` on a miss.
+    pub fn get_or_parse(
+        &self,
+        source_id: usize,
+        parse: impl FnOnce() -> Option<ParseTree>,
+    ) -> Option<Arc<ParseTree>> {
+        if let Some(hit) = self.trees.lock().get(&source_id) {
+            return hit.clone();
+        }
+        *self.misses.lock() += 1;
+        let parsed = parse().map(Arc::new);
+        self.trees.lock().insert(source_id, parsed.clone());
+        parsed
+    }
+
+    /// Number of parser invocations so far.
+    pub fn miss_count(&self) -> usize {
+        *self.misses.lock()
+    }
+}
+
+/// A parse-derived hypothesis (paper Fig. 3): evaluates a
+/// [`TreeHypothesis`] on the record's *source* parse and projects the
+/// behavior onto the window.
+pub struct ParseHypothesis {
+    id: String,
+    grammar: Arc<Grammar>,
+    inner: TreeHypothesis,
+    cache: Arc<ParseCache>,
+}
+
+impl ParseHypothesis {
+    /// Creates a hypothesis for one grammar rule + representation, sharing
+    /// `cache` with its siblings.
+    pub fn new(grammar: Arc<Grammar>, inner: TreeHypothesis, cache: Arc<ParseCache>) -> Self {
+        ParseHypothesis { id: inner.name(), grammar, inner, cache }
+    }
+
+    /// Builds the paper's default library: one hypothesis per nonterminal
+    /// per representation, all sharing one parse cache.
+    pub fn library(
+        grammar: &Arc<Grammar>,
+        reprs: &[deepbase_lang::TreeRepr],
+        cache: &Arc<ParseCache>,
+    ) -> Vec<ParseHypothesis> {
+        deepbase_lang::grammar_hypotheses(grammar, reprs)
+            .into_iter()
+            .map(|inner| ParseHypothesis::new(Arc::clone(grammar), inner, Arc::clone(cache)))
+            .collect()
+    }
+}
+
+impl HypothesisFn for ParseHypothesis {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn behavior(&self, record: &Record) -> Result<Vec<f32>, DniError> {
+        let source = Arc::clone(&record.source_text);
+        let grammar = Arc::clone(&self.grammar);
+        let tree = self.cache.get_or_parse(record.source_id, move || {
+            EarleyParser::new(&grammar).parse(&source)
+        });
+        let ns = record.symbols.len();
+        match tree {
+            Some(tree) => {
+                let source_len = record.source_text.chars().count();
+                let full = self.inner.behavior(&tree, source_len);
+                Ok(project_behavior(&full, &record.window(), ns))
+            }
+            // Unparseable source: the hypothesis is silent everywhere.
+            None => Ok(vec![0.0; ns]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepbase_lang::TreeRepr;
+
+    fn record(text: &str) -> Record {
+        Record::standalone(0, text.chars().map(|c| c as u32).collect(), text.to_string())
+    }
+
+    #[test]
+    fn dataset_rejects_ragged_records() {
+        let r1 = record("abc");
+        let r2 = record("abcd");
+        assert!(Dataset::new("d", 3, vec![r1.clone()]).is_ok());
+        assert!(Dataset::new("d", 3, vec![r1, r2]).is_err());
+    }
+
+    #[test]
+    fn dataset_total_symbols() {
+        let d = Dataset::new("d", 3, vec![record("abc"), record("xyz")]).unwrap();
+        assert_eq!(d.total_symbols(), 6);
+    }
+
+    #[test]
+    fn unit_group_all() {
+        let g = UnitGroup::all(4);
+        assert_eq!(g.units, vec![0, 1, 2, 3]);
+        assert_eq!(g.id, "all");
+    }
+
+    #[test]
+    fn validate_behavior_checks_length_and_nan() {
+        let r = record("ab");
+        assert!(validate_behavior("h", &r, 2, &[0.0, 1.0]).is_ok());
+        assert!(validate_behavior("h", &r, 2, &[0.0]).is_err());
+        assert!(validate_behavior("h", &r, 2, &[0.0, f32::NAN]).is_err());
+        assert!(validate_behavior("h", &r, 2, &[0.0, f32::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn fn_hypothesis_keyword() {
+        let h = FnHypothesis::keyword("ab");
+        let b = h.behavior(&record("xabx")).unwrap();
+        assert_eq!(b, vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(h.id(), "kw:ab");
+    }
+
+    #[test]
+    fn fn_hypothesis_char_class_and_counter() {
+        let h = FnHypothesis::char_class("ws", char::is_whitespace);
+        assert_eq!(h.behavior(&record("a b")).unwrap(), vec![0.0, 1.0, 0.0]);
+        let c = FnHypothesis::position_counter();
+        assert_eq!(c.behavior(&record("abc")).unwrap(), vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn parse_cache_parses_once() {
+        let cache = ParseCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let t = cache.get_or_parse(7, || {
+                calls += 1;
+                Some(ParseTree { rule: "s".into(), start: 0, end: 1, children: vec![] })
+            });
+            assert!(t.is_some());
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.miss_count(), 1);
+    }
+
+    #[test]
+    fn parse_cache_remembers_failures() {
+        let cache = ParseCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let t = cache.get_or_parse(1, || {
+                calls += 1;
+                None
+            });
+            assert!(t.is_none());
+        }
+        assert_eq!(calls, 1, "failure must also be cached");
+    }
+
+    #[test]
+    fn parse_hypothesis_labels_window_from_source_parse() {
+        let grammar = Arc::new(
+            Grammar::from_spec("expr -> term | expr '+' term ; term -> '1' | '2' ;").unwrap(),
+        );
+        let cache = ParseCache::new();
+        let hyp = ParseHypothesis::new(
+            Arc::clone(&grammar),
+            TreeHypothesis { rule: "term".into(), repr: TreeRepr::Time },
+            Arc::clone(&cache),
+        );
+        // Source "1+2", window covering chars 1..3 ("+2") padded to 3.
+        let source = Arc::new("1+2".to_string());
+        let rec = Record {
+            id: 0,
+            symbols: vec![0, '+' as u32, '2' as u32],
+            text: "~+2".into(),
+            source_id: 0,
+            source_text: source,
+            offset: 1,
+            visible: 2,
+        };
+        let b = hyp.behavior(&rec).unwrap();
+        // Pad position 0, '+' not a term, '2' is a term.
+        assert_eq!(b, vec![0.0, 0.0, 1.0]);
+        assert_eq!(cache.miss_count(), 1);
+        // Second evaluation hits the cache.
+        let _ = hyp.behavior(&rec).unwrap();
+        assert_eq!(cache.miss_count(), 1);
+    }
+
+    #[test]
+    fn parse_hypothesis_unparseable_source_is_silent() {
+        let grammar =
+            Arc::new(Grammar::from_spec("s -> 'x' ;").unwrap());
+        let cache = ParseCache::new();
+        let hyp = ParseHypothesis::new(
+            Arc::clone(&grammar),
+            TreeHypothesis { rule: "s".into(), repr: TreeRepr::Time },
+            cache,
+        );
+        let rec = record("zz");
+        assert_eq!(hyp.behavior(&rec).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn parse_library_shares_cache() {
+        let grammar = Arc::new(Grammar::from_spec("a -> b ; b -> 'x' ;").unwrap());
+        let cache = ParseCache::new();
+        let lib = ParseHypothesis::library(
+            &grammar,
+            &[TreeRepr::Time, TreeRepr::Signal],
+            &cache,
+        );
+        assert_eq!(lib.len(), 4);
+        let rec = record("x");
+        for h in &lib {
+            let _ = h.behavior(&rec).unwrap();
+        }
+        assert_eq!(cache.miss_count(), 1, "one parse serves all hypotheses");
+    }
+}

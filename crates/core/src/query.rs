@@ -1,0 +1,851 @@
+//! The `INSPECT` SQL extension (paper Appendix B).
+//!
+//! DNI embeds naturally in a SQL-like language: models, hidden units,
+//! hypotheses and input datasets are catalog relations, `INSPECT ... USING
+//! ... OVER ...` runs the inspection, and ordinary `WHERE` / `GROUP BY` /
+//! `HAVING` / `SELECT` clauses pre-filter units and post-process scores:
+//!
+//! ```sql
+//! SELECT M.epoch, S.uid
+//! INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+//! FROM models M, units U, hypotheses H, inputs D
+//! WHERE M.mid = 'sqlparser' AND U.layer = 0 AND H.name = 'keywords'
+//! GROUP BY M.epoch
+//! HAVING S.unit_score > 0.8
+//! ```
+//!
+//! The implementation is a hand-written lexer + recursive-descent parser,
+//! a catalog binder, and an executor that drives [`crate::engine`] and
+//! materializes results as a [`deepbase_relational::Table`].
+
+use crate::engine::{inspect, InspectionConfig, InspectionRequest};
+use crate::error::DniError;
+use crate::extract::Extractor;
+use crate::measure::Measure;
+use crate::model::{Dataset, HypothesisFn, UnitGroup};
+use deepbase_relational::{ColType, Schema, Table, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------
+
+/// Metadata of one hidden unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitMeta {
+    /// Unit index within the model.
+    pub uid: usize,
+    /// Layer the unit belongs to.
+    pub layer: i64,
+}
+
+/// One registered model.
+pub struct CatalogModel {
+    /// Model identifier (`M.mid`).
+    pub mid: String,
+    /// Training epoch (`M.epoch`), for epoch-wise comparisons.
+    pub epoch: i64,
+    /// The model's behavior extractor.
+    pub extractor: Arc<dyn Extractor>,
+    /// Per-unit metadata (`U.uid`, `U.layer`).
+    pub units: Vec<UnitMeta>,
+}
+
+/// The catalog the query planner binds against.
+#[derive(Default)]
+pub struct Catalog {
+    models: Vec<CatalogModel>,
+    hypothesis_sets: BTreeMap<String, Vec<Arc<dyn HypothesisFn>>>,
+    datasets: BTreeMap<String, Arc<Dataset>>,
+    measures: BTreeMap<String, Arc<dyn Measure>>,
+}
+
+impl Catalog {
+    /// Empty catalog with the standard measure library pre-registered.
+    pub fn new() -> Catalog {
+        let mut catalog = Catalog::default();
+        for m in crate::measure::standard_library() {
+            let m: Arc<dyn Measure> = Arc::from(m);
+            catalog.measures.insert(m.id().to_string(), m);
+        }
+        catalog
+    }
+
+    /// Registers a model with uniform layer 0 metadata.
+    pub fn add_model(&mut self, mid: &str, epoch: i64, extractor: Arc<dyn Extractor>) {
+        let units = (0..extractor.n_units()).map(|uid| UnitMeta { uid, layer: 0 }).collect();
+        self.models.push(CatalogModel { mid: mid.to_string(), epoch, extractor, units });
+    }
+
+    /// Registers a model with explicit unit metadata.
+    pub fn add_model_with_units(
+        &mut self,
+        mid: &str,
+        epoch: i64,
+        extractor: Arc<dyn Extractor>,
+        units: Vec<UnitMeta>,
+    ) {
+        self.models.push(CatalogModel { mid: mid.to_string(), epoch, extractor, units });
+    }
+
+    /// Registers a named hypothesis set (`H.name`).
+    pub fn add_hypotheses(&mut self, name: &str, hyps: Vec<Arc<dyn HypothesisFn>>) {
+        self.hypothesis_sets.insert(name.to_string(), hyps);
+    }
+
+    /// Registers a dataset (`D.name`).
+    pub fn add_dataset(&mut self, name: &str, dataset: Arc<Dataset>) {
+        self.datasets.insert(name.to_string(), dataset);
+    }
+
+    /// Registers a measure under its id.
+    pub fn add_measure(&mut self, measure: Arc<dyn Measure>) {
+        self.measures.insert(measure.id().to_string(), measure);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Dot,
+    Comma,
+    Op(String),
+    Eof,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, DniError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '.' {
+            toks.push(Tok::Dot);
+            i += 1;
+        } else if c == ',' {
+            toks.push(Tok::Comma);
+            i += 1;
+        } else if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            let mut closed = false;
+            while i < chars.len() {
+                if chars[i] == '\'' {
+                    closed = true;
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            if !closed {
+                return Err(DniError::Query("unterminated string literal".into()));
+            }
+            toks.push(Tok::Str(s));
+        } else if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)) {
+            let start = i;
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let num = text
+                .parse::<f64>()
+                .map_err(|e| DniError::Query(format!("bad number {text:?}: {e}")))?;
+            toks.push(Tok::Num(num));
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else if "=<>!".contains(c) {
+            let mut op = String::from(c);
+            i += 1;
+            if i < chars.len() && "=<>".contains(chars[i]) {
+                op.push(chars[i]);
+                i += 1;
+            }
+            toks.push(Tok::Op(op));
+        } else {
+            return Err(DniError::Query(format!("unexpected character {c:?}")));
+        }
+    }
+    toks.push(Tok::Eof);
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------
+// AST + parser
+// ---------------------------------------------------------------------
+
+/// A qualified column reference `alias.attr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Relation alias.
+    pub alias: String,
+    /// Attribute name.
+    pub attr: String,
+}
+
+/// A comparison literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+}
+
+/// One predicate `alias.attr op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cond {
+    /// Column operand.
+    pub col: ColRef,
+    /// Comparison operator (`=`, `!=`/`<>`, `<`, `<=`, `>`, `>=`).
+    pub op: String,
+    /// Literal operand.
+    pub value: Literal,
+}
+
+/// A parsed INSPECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InspectQuery {
+    /// Projected columns.
+    pub select: Vec<ColRef>,
+    /// Unit operand of the INSPECT clause.
+    pub inspect_units: ColRef,
+    /// Hypothesis operand.
+    pub inspect_hyps: ColRef,
+    /// Measure names (defaults to `corr` per the paper).
+    pub measures: Vec<String>,
+    /// Dataset operand of OVER.
+    pub over: ColRef,
+    /// Result alias (AS S; defaults to `s`).
+    pub result_alias: String,
+    /// FROM relations as `(relation, alias)`.
+    pub from: Vec<(String, String)>,
+    /// WHERE conjuncts.
+    pub where_conds: Vec<Cond>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColRef>,
+    /// HAVING conjuncts (over the result alias).
+    pub having: Vec<Cond>,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), DniError> {
+        match self.next() {
+            Tok::Ident(id) if id.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(DniError::Query(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(id) if id.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, DniError> {
+        match self.next() {
+            Tok::Ident(id) => Ok(id),
+            other => Err(DniError::Query(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, DniError> {
+        let alias = self.ident()?;
+        match self.next() {
+            Tok::Dot => {}
+            other => return Err(DniError::Query(format!("expected '.', found {other:?}"))),
+        }
+        let attr = self.ident()?;
+        Ok(ColRef { alias: alias.to_lowercase(), attr: attr.to_lowercase() })
+    }
+
+    fn col_ref_list(&mut self) -> Result<Vec<ColRef>, DniError> {
+        let mut cols = vec![self.col_ref()?];
+        while matches!(self.peek(), Tok::Comma) {
+            self.next();
+            cols.push(self.col_ref()?);
+        }
+        Ok(cols)
+    }
+
+    fn cond(&mut self) -> Result<Cond, DniError> {
+        let col = self.col_ref()?;
+        let op = match self.next() {
+            Tok::Op(op) => match op.as_str() {
+                "=" | "!=" | "<>" | "<" | "<=" | ">" | ">=" => op,
+                other => return Err(DniError::Query(format!("unknown operator {other:?}"))),
+            },
+            other => return Err(DniError::Query(format!("expected operator, found {other:?}"))),
+        };
+        let value = match self.next() {
+            Tok::Num(n) => Literal::Num(n),
+            Tok::Str(s) => Literal::Str(s),
+            other => return Err(DniError::Query(format!("expected literal, found {other:?}"))),
+        };
+        Ok(Cond { col, op, value })
+    }
+
+    fn cond_list(&mut self) -> Result<Vec<Cond>, DniError> {
+        let mut conds = vec![self.cond()?];
+        while self.peek_keyword("and") {
+            self.next();
+            conds.push(self.cond()?);
+        }
+        Ok(conds)
+    }
+}
+
+/// Parses an INSPECT query.
+pub fn parse(input: &str) -> Result<InspectQuery, DniError> {
+    let mut p = Parser { toks: lex(input)?, pos: 0 };
+
+    p.keyword("select")?;
+    let select = p.col_ref_list()?;
+
+    p.keyword("inspect")?;
+    let inspect_units = p.col_ref()?;
+    p.keyword("and")?;
+    let inspect_hyps = p.col_ref()?;
+
+    let mut measures = Vec::new();
+    if p.peek_keyword("using") {
+        p.next();
+        measures.push(p.ident()?.to_lowercase());
+        while matches!(p.peek(), Tok::Comma) {
+            p.next();
+            measures.push(p.ident()?.to_lowercase());
+        }
+    } else {
+        // Paper: "By default, DeepBase measures correlation".
+        measures.push("corr".into());
+    }
+
+    p.keyword("over")?;
+    let over = p.col_ref()?;
+    let result_alias = if p.peek_keyword("as") {
+        p.next();
+        p.ident()?.to_lowercase()
+    } else {
+        "s".into()
+    };
+
+    p.keyword("from")?;
+    let mut from = Vec::new();
+    loop {
+        let relation = p.ident()?.to_lowercase();
+        let alias = p.ident()?.to_lowercase();
+        from.push((relation, alias));
+        if matches!(p.peek(), Tok::Comma) {
+            p.next();
+        } else {
+            break;
+        }
+    }
+
+    let mut where_conds = Vec::new();
+    if p.peek_keyword("where") {
+        p.next();
+        where_conds = p.cond_list()?;
+    }
+    let mut group_by = Vec::new();
+    if p.peek_keyword("group") {
+        p.next();
+        p.keyword("by")?;
+        group_by = p.col_ref_list()?;
+    }
+    let mut having = Vec::new();
+    if p.peek_keyword("having") {
+        p.next();
+        having = p.cond_list()?;
+    }
+    match p.peek() {
+        Tok::Eof => Ok(InspectQuery {
+            select,
+            inspect_units,
+            inspect_hyps,
+            measures,
+            over,
+            result_alias,
+            from,
+            where_conds,
+            group_by,
+            having,
+        }),
+        other => Err(DniError::Query(format!("trailing tokens near {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------
+
+fn alias_relation(query: &InspectQuery, alias: &str) -> Result<String, DniError> {
+    query
+        .from
+        .iter()
+        .find(|(_, a)| a == alias)
+        .map(|(r, _)| r.clone())
+        .ok_or_else(|| DniError::Query(format!("unknown alias {alias:?} (missing FROM entry)")))
+}
+
+fn num_matches(op: &str, lhs: f64, rhs: f64) -> bool {
+    match op {
+        "=" => (lhs - rhs).abs() < 1e-9,
+        "!=" | "<>" => (lhs - rhs).abs() >= 1e-9,
+        "<" => lhs < rhs,
+        "<=" => lhs <= rhs,
+        ">" => lhs > rhs,
+        ">=" => lhs >= rhs,
+        _ => false,
+    }
+}
+
+fn str_matches(op: &str, lhs: &str, rhs: &str) -> bool {
+    match op {
+        "=" => lhs == rhs,
+        "!=" | "<>" => lhs != rhs,
+        _ => false,
+    }
+}
+
+/// Executes a parsed query against a catalog, returning a result table.
+pub fn execute(
+    query: &InspectQuery,
+    catalog: &Catalog,
+    config: &InspectionConfig,
+) -> Result<Table, DniError> {
+    // Resolve which alias refers to which relation kind.
+    let mut model_conds = Vec::new();
+    let mut unit_conds = Vec::new();
+    let mut hyp_conds = Vec::new();
+    let mut input_conds = Vec::new();
+    for cond in &query.where_conds {
+        match alias_relation(query, &cond.col.alias)?.as_str() {
+            "models" => model_conds.push(cond),
+            "units" => unit_conds.push(cond),
+            "hypotheses" => hyp_conds.push(cond),
+            "inputs" => input_conds.push(cond),
+            other => {
+                return Err(DniError::Query(format!(
+                    "WHERE may reference models/units/hypotheses/inputs, not {other:?}"
+                )))
+            }
+        }
+    }
+
+    // Bind models.
+    let models: Vec<&CatalogModel> = catalog
+        .models
+        .iter()
+        .filter(|m| {
+            model_conds.iter().all(|c| match (c.col.attr.as_str(), &c.value) {
+                ("mid", Literal::Str(s)) => str_matches(&c.op, &m.mid, s),
+                ("epoch", Literal::Num(n)) => num_matches(&c.op, m.epoch as f64, *n),
+                _ => false,
+            })
+        })
+        .collect();
+    if models.is_empty() {
+        return Err(DniError::Query("no models match the WHERE clause".into()));
+    }
+
+    // Bind hypothesis sets.
+    let mut hypotheses: Vec<Arc<dyn HypothesisFn>> = Vec::new();
+    let name_cond = hyp_conds.iter().find(|c| c.col.attr == "name");
+    match name_cond {
+        Some(cond) => {
+            let Literal::Str(name) = &cond.value else {
+                return Err(DniError::Query("H.name must compare to a string".into()));
+            };
+            for (set_name, set) in &catalog.hypothesis_sets {
+                if str_matches(&cond.op, set_name, name) {
+                    hypotheses.extend(set.iter().cloned());
+                }
+            }
+        }
+        None => {
+            for set in catalog.hypothesis_sets.values() {
+                hypotheses.extend(set.iter().cloned());
+            }
+        }
+    }
+    if hypotheses.is_empty() {
+        return Err(DniError::Query("no hypotheses match the WHERE clause".into()));
+    }
+
+    // Bind the dataset (by D.name, else sole registered dataset).
+    let dataset: Arc<Dataset> = match input_conds.iter().find(|c| c.col.attr == "name") {
+        Some(cond) => {
+            let Literal::Str(name) = &cond.value else {
+                return Err(DniError::Query("D.name must compare to a string".into()));
+            };
+            catalog
+                .datasets
+                .get(name)
+                .cloned()
+                .ok_or_else(|| DniError::Query(format!("unknown dataset {name:?}")))?
+        }
+        None => {
+            if catalog.datasets.len() == 1 {
+                catalog.datasets.values().next().unwrap().clone()
+            } else {
+                return Err(DniError::Query(
+                    "multiple datasets registered; add WHERE D.name = '...'".into(),
+                ));
+            }
+        }
+    };
+
+    // Bind measures.
+    let mut measures: Vec<Arc<dyn Measure>> = Vec::new();
+    for name in &query.measures {
+        measures.push(
+            catalog
+                .measures
+                .get(name)
+                .cloned()
+                .ok_or_else(|| DniError::Query(format!("unknown measure {name:?}")))?,
+        );
+    }
+
+    // Output schema.
+    let mut out_cols: Vec<(String, ColType)> = Vec::new();
+    for col in &query.select {
+        let ty = select_type(query, col)?;
+        out_cols.push((format!("{}_{}", col.alias, col.attr), ty));
+    }
+    let schema =
+        Schema::new(out_cols.iter().map(|(n, t)| (n.as_str(), *t)).collect::<Vec<_>>());
+    let mut out = Table::new(schema);
+
+    for model in models {
+        // Filter units by WHERE, then group by the GROUP BY attributes.
+        let selected: Vec<&UnitMeta> = model
+            .units
+            .iter()
+            .filter(|u| {
+                unit_conds.iter().all(|c| match (c.col.attr.as_str(), &c.value) {
+                    ("uid", Literal::Num(n)) => num_matches(&c.op, u.uid as f64, *n),
+                    ("layer", Literal::Num(n)) => num_matches(&c.op, u.layer as f64, *n),
+                    _ => false,
+                })
+            })
+            .collect();
+        if selected.is_empty() {
+            continue;
+        }
+        let unit_group_attrs: Vec<&ColRef> = query
+            .group_by
+            .iter()
+            .filter(|c| alias_relation(query, &c.alias).as_deref() == Ok("units"))
+            .collect();
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for unit in &selected {
+            let key = unit_group_attrs
+                .iter()
+                .map(|c| match c.attr.as_str() {
+                    "layer" => format!("layer{}", unit.layer),
+                    other => format!("{other}?"),
+                })
+                .collect::<Vec<_>>()
+                .join("/");
+            let key = if key.is_empty() { "all".to_string() } else { key };
+            groups.entry(key).or_default().push(unit.uid);
+        }
+        let groups: Vec<UnitGroup> =
+            groups.into_iter().map(|(id, units)| UnitGroup::new(&id, units)).collect();
+
+        let hyp_refs: Vec<&dyn HypothesisFn> =
+            hypotheses.iter().map(|h| h.as_ref()).collect();
+        let measure_refs: Vec<&dyn Measure> = measures.iter().map(|m| m.as_ref()).collect();
+        let request = InspectionRequest {
+            model_id: model.mid.clone(),
+            extractor: model.extractor.as_ref(),
+            groups,
+            dataset: &dataset,
+            hypotheses: hyp_refs,
+            measures: measure_refs,
+        };
+        let (frame, _) = inspect(&request, config)?;
+
+        // HAVING + projection.
+        let layer_of: BTreeMap<usize, i64> =
+            model.units.iter().map(|u| (u.uid, u.layer)).collect();
+        for row in &frame.rows {
+            let keep = query.having.iter().all(|c| {
+                if c.col.alias != query.result_alias {
+                    return false;
+                }
+                let lhs = match c.col.attr.as_str() {
+                    "unit_score" => row.unit_score as f64,
+                    "group_score" => row.group_score as f64,
+                    _ => return false,
+                };
+                match &c.value {
+                    Literal::Num(n) => num_matches(&c.op, lhs, *n),
+                    Literal::Str(_) => false,
+                }
+            });
+            if !keep {
+                continue;
+            }
+            let mut values = Vec::with_capacity(query.select.len());
+            for col in &query.select {
+                let relation = alias_relation(query, &col.alias)
+                    .unwrap_or_else(|_| "result".into());
+                let is_result = col.alias == query.result_alias;
+                let v = if is_result {
+                    match col.attr.as_str() {
+                        "uid" => Value::Int(row.unit as i64),
+                        "unit_score" => Value::Float(row.unit_score),
+                        "group_score" => Value::Float(row.group_score),
+                        "hyp_id" => Value::Str(row.hyp_id.clone()),
+                        "score_id" => Value::Str(row.measure_id.clone()),
+                        "group_id" => Value::Str(row.group_id.clone()),
+                        other => {
+                            return Err(DniError::Query(format!(
+                                "unknown result attribute {other:?}"
+                            )))
+                        }
+                    }
+                } else {
+                    match (relation.as_str(), col.attr.as_str()) {
+                        ("models", "mid") => Value::Str(model.mid.clone()),
+                        ("models", "epoch") => Value::Int(model.epoch),
+                        ("units", "uid") => Value::Int(row.unit as i64),
+                        ("units", "layer") => {
+                            Value::Int(layer_of.get(&row.unit).copied().unwrap_or(0))
+                        }
+                        ("hypotheses", "h") | ("hypotheses", "name") => {
+                            Value::Str(row.hyp_id.clone())
+                        }
+                        (rel, attr) => {
+                            return Err(DniError::Query(format!(
+                                "cannot project {rel}.{attr}"
+                            )))
+                        }
+                    }
+                };
+                values.push(v);
+            }
+            out.push_row(values).map_err(|e| DniError::Query(e.msg))?;
+        }
+    }
+    Ok(out)
+}
+
+fn select_type(query: &InspectQuery, col: &ColRef) -> Result<ColType, DniError> {
+    if col.alias == query.result_alias {
+        return Ok(match col.attr.as_str() {
+            "uid" => ColType::Int,
+            "unit_score" | "group_score" => ColType::Float,
+            _ => ColType::Str,
+        });
+    }
+    let relation = alias_relation(query, &col.alias)?;
+    Ok(match (relation.as_str(), col.attr.as_str()) {
+        ("models", "epoch") | ("units", "uid") | ("units", "layer") => ColType::Int,
+        _ => ColType::Str,
+    })
+}
+
+/// Parses and executes in one call.
+pub fn run_query(
+    input: &str,
+    catalog: &Catalog,
+    config: &InspectionConfig,
+) -> Result<Table, DniError> {
+    execute(&parse(input)?, catalog, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::PrecomputedExtractor;
+    use crate::model::{FnHypothesis, Record};
+    use deepbase_tensor::Matrix;
+
+    const PAPER_QUERY: &str = "
+        SELECT M.epoch, S.uid
+        INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+        FROM models M, units U, hypotheses H, inputs D
+        WHERE M.mid = 'sqlparser' AND U.layer = 0 AND H.name = 'keywords'
+        GROUP BY M.epoch
+        HAVING S.unit_score > 0.8
+    ";
+
+    #[test]
+    fn parses_the_papers_example_query() {
+        let q = parse(PAPER_QUERY).unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.select[0], ColRef { alias: "m".into(), attr: "epoch".into() });
+        assert_eq!(q.inspect_units, ColRef { alias: "u".into(), attr: "uid".into() });
+        assert_eq!(q.measures, vec!["corr".to_string()]);
+        assert_eq!(q.result_alias, "s");
+        assert_eq!(q.from.len(), 4);
+        assert_eq!(q.where_conds.len(), 3);
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.having.len(), 1);
+    }
+
+    #[test]
+    fn default_measure_is_corr() {
+        let q = parse(
+            "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq \
+             FROM models M, units U, hypotheses H, inputs D",
+        )
+        .unwrap();
+        assert_eq!(q.measures, vec!["corr".to_string()]);
+        assert_eq!(q.result_alias, "s");
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("INSPECT U.uid").is_err());
+        assert!(parse("SELECT S.uid INSPECT U.uid AND H.h OVER D.seq").is_err()); // no FROM
+        assert!(parse(
+            "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq FROM models M WHERE M.mid = "
+        )
+        .is_err());
+        assert!(parse("SELECT S.uid INSPECT U.uid AND H.h OVER D.seq FROM models M extra junk q")
+            .is_err());
+    }
+
+    fn test_catalog() -> Catalog {
+        // Behaviors: unit 0 mirrors "is-a" hypothesis, unit 1 is noise.
+        let records: Vec<Record> = (0..16)
+            .map(|i| {
+                let text: String =
+                    (0..8).map(|t| if (i + t) % 3 == 0 { 'a' } else { 'b' }).collect();
+                Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+            })
+            .collect();
+        let dataset = Arc::new(Dataset::new("seq", 8, records.clone()).unwrap());
+        let mut behaviors = Matrix::zeros(16 * 8, 2);
+        for (ri, rec) in records.iter().enumerate() {
+            for (t, c) in rec.text.chars().enumerate() {
+                behaviors.set(ri * 8 + t, 0, if c == 'a' { 0.9 } else { 0.05 });
+                behaviors.set(ri * 8 + t, 1, ((ri * 31 + t * 7) % 13) as f32 / 13.0);
+            }
+        }
+        let mut catalog = Catalog::new();
+        catalog.add_model_with_units(
+            "sqlparser",
+            3,
+            Arc::new(PrecomputedExtractor::new(behaviors, 8)),
+            vec![UnitMeta { uid: 0, layer: 0 }, UnitMeta { uid: 1, layer: 1 }],
+        );
+        catalog.add_hypotheses(
+            "keywords",
+            vec![Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a'))],
+        );
+        catalog.add_dataset("seq", dataset);
+        catalog
+    }
+
+    #[test]
+    fn executes_end_to_end_with_having_filter() {
+        let catalog = test_catalog();
+        let table = run_query(
+            "SELECT M.epoch, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+             FROM models M, units U, hypotheses H, inputs D \
+             WHERE M.mid = 'sqlparser' \
+             HAVING S.unit_score > 0.8",
+            &catalog,
+            &InspectionConfig::default(),
+        )
+        .unwrap();
+        // Only the mirroring unit survives the HAVING filter.
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.value(0, "s_uid"), Some(Value::Int(0)));
+        assert_eq!(table.value(0, "m_epoch"), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn layer_filter_restricts_units() {
+        let catalog = test_catalog();
+        let table = run_query(
+            "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+             FROM models M, units U, hypotheses H, inputs D \
+             WHERE U.layer = 1",
+            &catalog,
+            &InspectionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.value(0, "s_uid"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn group_by_layer_creates_groups() {
+        let catalog = test_catalog();
+        let table = run_query(
+            "SELECT S.group_id, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+             FROM models M, units U, hypotheses H, inputs D \
+             GROUP BY U.layer",
+            &catalog,
+            &InspectionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(table.len(), 2);
+        let g0 = table.value(0, "s_group_id").unwrap();
+        let g1 = table.value(1, "s_group_id").unwrap();
+        assert_ne!(g0, g1, "layers form distinct groups");
+    }
+
+    #[test]
+    fn unknown_measure_is_a_query_error() {
+        let catalog = test_catalog();
+        let err = run_query(
+            "SELECT S.uid INSPECT U.uid AND H.h USING nope OVER D.seq AS S \
+             FROM models M, units U, hypotheses H, inputs D",
+            &catalog,
+            &InspectionConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DniError::Query(_)));
+    }
+
+    #[test]
+    fn no_matching_model_is_a_query_error() {
+        let catalog = test_catalog();
+        let err = run_query(
+            "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq \
+             FROM models M, units U, hypotheses H, inputs D WHERE M.mid = 'missing'",
+            &catalog,
+            &InspectionConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DniError::Query(_)));
+    }
+}

@@ -1,0 +1,214 @@
+//! Inspection results: the `(model_id, score_id, hyp_id, h_unit_id, val)`
+//! frame the paper's `deepbase.inspect()` returns, with the relational
+//! post-processing hooks users apply afterwards (top-k, filtering,
+//! grouping, export to the relational engine).
+
+use deepbase_relational::{ColType, Schema, Table, Value};
+use serde::{Deserialize, Serialize};
+
+/// One affinity score row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreRow {
+    /// Model identifier.
+    pub model_id: String,
+    /// Unit-group identifier.
+    pub group_id: String,
+    /// Measure identifier.
+    pub measure_id: String,
+    /// Hypothesis identifier.
+    pub hyp_id: String,
+    /// Hidden-unit index (within the model).
+    pub unit: usize,
+    /// Per-unit affinity score.
+    pub unit_score: f32,
+    /// Group affinity score (repeated on every unit row of the group).
+    pub group_score: f32,
+}
+
+/// The result frame: all scores from one `inspect` call.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResultFrame {
+    /// Score rows.
+    pub rows: Vec<ScoreRow>,
+}
+
+impl ResultFrame {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends all rows of another frame.
+    pub fn extend(&mut self, other: ResultFrame) {
+        self.rows.extend(other.rows);
+    }
+
+    /// Rows for one hypothesis.
+    pub fn for_hypothesis(&self, hyp_id: &str) -> Vec<&ScoreRow> {
+        self.rows.iter().filter(|r| r.hyp_id == hyp_id).collect()
+    }
+
+    /// Rows for one measure.
+    pub fn for_measure(&self, measure_id: &str) -> Vec<&ScoreRow> {
+        self.rows.iter().filter(|r| r.measure_id == measure_id).collect()
+    }
+
+    /// Top-`k` rows by absolute unit score (the "find the sentiment
+    /// neuron" post-processing of §4.1).
+    pub fn top_k_units(&self, k: usize) -> Vec<&ScoreRow> {
+        let mut refs: Vec<&ScoreRow> = self.rows.iter().collect();
+        refs.sort_by(|a, b| {
+            b.unit_score
+                .abs()
+                .partial_cmp(&a.unit_score.abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        refs.truncate(k);
+        refs
+    }
+
+    /// Group score for a `(measure, hypothesis)` pair, if present.
+    pub fn group_score(&self, measure_id: &str, hyp_id: &str) -> Option<f32> {
+        self.rows
+            .iter()
+            .find(|r| r.measure_id == measure_id && r.hyp_id == hyp_id)
+            .map(|r| r.group_score)
+    }
+
+    /// Unit scores for a `(measure, hypothesis)` pair, ordered by unit.
+    pub fn unit_scores(&self, measure_id: &str, hyp_id: &str) -> Vec<(usize, f32)> {
+        let mut v: Vec<(usize, f32)> = self
+            .rows
+            .iter()
+            .filter(|r| r.measure_id == measure_id && r.hyp_id == hyp_id)
+            .map(|r| (r.unit, r.unit_score))
+            .collect();
+        v.sort_by_key(|&(u, _)| u);
+        v
+    }
+
+    /// Materializes the frame as a relational table (schema of §4.1:
+    /// `model_id, score_id, hyp_id, h_unit_id, val` plus the group score),
+    /// enabling SQL-style post-processing.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(Schema::new(vec![
+            ("model_id", ColType::Str),
+            ("group_id", ColType::Str),
+            ("score_id", ColType::Str),
+            ("hyp_id", ColType::Str),
+            ("h_unit_id", ColType::Int),
+            ("val", ColType::Float),
+            ("group_val", ColType::Float),
+        ]));
+        for r in &self.rows {
+            t.push_row(vec![
+                Value::Str(r.model_id.clone()),
+                Value::Str(r.group_id.clone()),
+                Value::Str(r.measure_id.clone()),
+                Value::Str(r.hyp_id.clone()),
+                Value::Int(r.unit as i64),
+                Value::Float(r.unit_score),
+                Value::Float(r.group_score),
+            ])
+            .expect("schema matches");
+        }
+        t
+    }
+
+    /// CSV export (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("model_id,group_id,score_id,hyp_id,h_unit_id,val,group_val\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                r.model_id, r.group_id, r.measure_id, r.hyp_id, r.unit, r.unit_score, r.group_score
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> ResultFrame {
+        let mut rows = Vec::new();
+        for (unit, score) in [(0usize, 0.9f32), (1, -0.95), (2, 0.1)] {
+            rows.push(ScoreRow {
+                model_id: "m".into(),
+                group_id: "all".into(),
+                measure_id: "corr".into(),
+                hyp_id: "kw:SELECT".into(),
+                unit,
+                unit_score: score,
+                group_score: 0.95,
+            });
+        }
+        rows.push(ScoreRow {
+            model_id: "m".into(),
+            group_id: "all".into(),
+            measure_id: "logreg_l1".into(),
+            hyp_id: "kw:FROM".into(),
+            unit: 0,
+            unit_score: 0.4,
+            group_score: 0.8,
+        });
+        ResultFrame { rows }
+    }
+
+    #[test]
+    fn filters_by_hypothesis_and_measure() {
+        let f = frame();
+        assert_eq!(f.for_hypothesis("kw:SELECT").len(), 3);
+        assert_eq!(f.for_measure("logreg_l1").len(), 1);
+    }
+
+    #[test]
+    fn top_k_sorts_by_absolute_score() {
+        let f = frame();
+        let top = f.top_k_units(2);
+        assert_eq!(top[0].unit, 1, "|−0.95| is the largest");
+        assert_eq!(top[1].unit, 0);
+    }
+
+    #[test]
+    fn group_and_unit_score_lookups() {
+        let f = frame();
+        assert_eq!(f.group_score("logreg_l1", "kw:FROM"), Some(0.8));
+        assert_eq!(f.group_score("corr", "missing"), None);
+        let us = f.unit_scores("corr", "kw:SELECT");
+        assert_eq!(us.len(), 3);
+        assert_eq!(us[0], (0, 0.9));
+    }
+
+    #[test]
+    fn to_table_roundtrip() {
+        let f = frame();
+        let t = f.to_table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.value(0, "score_id"), Some(Value::Str("corr".into())));
+        assert_eq!(t.value(3, "hyp_id"), Some(Value::Str("kw:FROM".into())));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = frame().to_csv();
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("model_id,"));
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = frame();
+        let b = frame();
+        a.extend(b);
+        assert_eq!(a.len(), 8);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the inspection engine: score-range invariants,
+//! engine agreement, and streaming/caching transparency over randomized
+//! synthetic behavior worlds.
+
+use deepbase::prelude::*;
+use deepbase_tensor::Matrix;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A randomized behavior world: `n` records of 5 symbols over a small
+/// alphabet, with 3 units whose behaviors mix the hypothesis signal and
+/// noise at a random strength.
+fn world(n: usize, signal: f32, noise_seed: u64) -> (Dataset, Matrix) {
+    let ns = 5;
+    let records: Vec<Record> = (0..n)
+        .map(|i| {
+            let text: String = (0..ns)
+                .map(|t| if (i * 3 + t * 7 + noise_seed as usize) % 3 == 0 { '1' } else { '0' })
+                .collect();
+            Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+        })
+        .collect();
+    let mut behaviors = Matrix::zeros(n * ns, 3);
+    let mut lcg = noise_seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    for (ri, rec) in records.iter().enumerate() {
+        for (t, c) in rec.text.chars().enumerate() {
+            let h = if c == '1' { 1.0 } else { 0.0 };
+            let r = ri * ns + t;
+            lcg = lcg.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let noise = ((lcg >> 33) as f32 / (u32::MAX >> 1) as f32) - 0.5;
+            behaviors.set(r, 0, signal * h + (1.0 - signal) * noise);
+            behaviors.set(r, 1, noise);
+            behaviors.set(r, 2, -signal * h + (1.0 - signal) * noise);
+        }
+    }
+    (Dataset::new("prop", ns, records).unwrap(), behaviors)
+}
+
+fn hyp() -> FnHypothesis {
+    FnHypothesis::char_class("ones", |c| c == '1')
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn correlation_scores_in_unit_interval(
+        n in 8usize..48,
+        signal in 0.0f32..1.0,
+        seed in 0u64..100,
+    ) {
+        let (dataset, behaviors) = world(n, signal, seed);
+        let extractor = PrecomputedExtractor::new(behaviors, dataset.ns);
+        let h = hyp();
+        let corr = CorrelationMeasure;
+        let request = InspectionRequest {
+            model_id: "w".into(),
+            extractor: &extractor,
+            groups: vec![UnitGroup::all(3)],
+            dataset: &dataset,
+            hypotheses: vec![&h],
+            measures: vec![&corr],
+        };
+        let (frame, _) = inspect(&request, &InspectionConfig::default()).unwrap();
+        for row in &frame.rows {
+            prop_assert!((-1.0..=1.0).contains(&row.unit_score));
+            prop_assert!((0.0..=1.0).contains(&row.group_score));
+        }
+    }
+
+    #[test]
+    fn stronger_signal_never_scores_lower(
+        n in 24usize..64,
+        seed in 0u64..50,
+    ) {
+        let run = |signal: f32| {
+            let (dataset, behaviors) = world(n, signal, seed);
+            let extractor = PrecomputedExtractor::new(behaviors, dataset.ns);
+            let h = hyp();
+            let corr = CorrelationMeasure;
+            let request = InspectionRequest {
+                model_id: "w".into(),
+                extractor: &extractor,
+                groups: vec![UnitGroup::all(3)],
+                dataset: &dataset,
+                hypotheses: vec![&h],
+                measures: vec![&corr],
+            };
+            let (frame, _) = inspect(&request, &InspectionConfig::default()).unwrap();
+            frame.unit_scores("corr", "ones")[0].1
+        };
+        let weak = run(0.2);
+        let strong = run(0.9);
+        prop_assert!(strong >= weak - 0.05, "signal monotonicity: {weak} vs {strong}");
+    }
+
+    #[test]
+    fn engines_agree_for_any_world(
+        n in 16usize..40,
+        signal in 0.1f32..0.9,
+        seed in 0u64..50,
+    ) {
+        let (dataset, behaviors) = world(n, signal, seed);
+        let extractor = PrecomputedExtractor::new(behaviors, dataset.ns);
+        let h = hyp();
+        let corr = CorrelationMeasure;
+        let run = |engine: EngineKind| {
+            let request = InspectionRequest {
+                model_id: "w".into(),
+                extractor: &extractor,
+                groups: vec![UnitGroup::all(3)],
+                dataset: &dataset,
+                hypotheses: vec![&h],
+                measures: vec![&corr],
+            };
+            let config = InspectionConfig { engine, epsilon: Some(1e-6), ..Default::default() };
+            inspect(&request, &config).unwrap().0.unit_scores("corr", "ones")
+        };
+        let a = run(EngineKind::PyBase);
+        let b = run(EngineKind::DeepBase);
+        let c = run(EngineKind::Madlib);
+        for ((u, x), ((_, y), (_, z))) in a.iter().zip(b.iter().zip(c.iter())) {
+            prop_assert!((x - y).abs() < 1e-3, "unit {u} pybase/deepbase: {x} vs {y}");
+            prop_assert!((x - z).abs() < 1e-3, "unit {u} pybase/madlib: {x} vs {z}");
+        }
+    }
+
+    #[test]
+    fn cache_is_transparent_for_any_world(
+        n in 8usize..32,
+        signal in 0.0f32..1.0,
+        seed in 0u64..50,
+    ) {
+        let (dataset, behaviors) = world(n, signal, seed);
+        let extractor = PrecomputedExtractor::new(behaviors, dataset.ns);
+        let h = hyp();
+        let corr = CorrelationMeasure;
+        let cache = HypothesisCache::new(1 << 22);
+        let run = |cache: Option<Arc<HypothesisCache>>| {
+            let request = InspectionRequest {
+                model_id: "w".into(),
+                extractor: &extractor,
+                groups: vec![UnitGroup::all(3)],
+                dataset: &dataset,
+                hypotheses: vec![&h],
+                measures: vec![&corr],
+            };
+            let config = InspectionConfig { cache, ..Default::default() };
+            inspect(&request, &config).unwrap().0
+        };
+        let without = run(None);
+        let cold = run(Some(Arc::clone(&cache)));
+        let warm = run(Some(cache));
+        prop_assert_eq!(without.unit_scores("corr", "ones"), cold.unit_scores("corr", "ones"));
+        prop_assert_eq!(cold.unit_scores("corr", "ones"), warm.unit_scores("corr", "ones"));
+    }
+
+    #[test]
+    fn block_size_does_not_change_exact_scores(
+        n in 16usize..40,
+        block in 1usize..16,
+        seed in 0u64..50,
+    ) {
+        let (dataset, behaviors) = world(n, 0.7, seed);
+        let extractor = PrecomputedExtractor::new(behaviors, dataset.ns);
+        let h = hyp();
+        let corr = CorrelationMeasure;
+        let run = |block_records: usize| {
+            let request = InspectionRequest {
+                model_id: "w".into(),
+                extractor: &extractor,
+                groups: vec![UnitGroup::all(3)],
+                dataset: &dataset,
+                hypotheses: vec![&h],
+                measures: vec![&corr],
+            };
+            let config = InspectionConfig {
+                engine: EngineKind::DeepBase,
+                epsilon: Some(1e-9), // never converge early
+                block_records,
+                ..Default::default()
+            };
+            inspect(&request, &config).unwrap().0.unit_scores("corr", "ones")
+        };
+        let small = run(block);
+        let big = run(n);
+        for ((u, a), (_, b)) in small.iter().zip(big.iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "unit {u}: block-size sensitivity {a} vs {b}");
+        }
+    }
+}

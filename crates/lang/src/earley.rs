@@ -1,0 +1,295 @@
+//! Earley chart parser over character terminals.
+//!
+//! This replaces NLTK's chart parser in the paper's pipeline (§6.1):
+//! sampled SQL strings are parsed back into trees, and a single parse of a
+//! record is amortized across all parse-derived hypothesis functions. The
+//! implementation handles epsilon productions via the Aycock–Horspool
+//! nullable-prediction trick and returns the first derivation found
+//! (deterministic for a fixed grammar).
+
+use crate::grammar::{Grammar, Sym};
+use crate::tree::ParseTree;
+use std::collections::HashSet;
+
+/// An Earley item: production, dot position, origin set, plus the child
+/// trees accumulated so far (back-pointer-free tree building; strings in
+/// this pipeline are short windows, so cloning subtree vectors is cheap).
+#[derive(Debug, Clone)]
+struct Item {
+    prod: usize,
+    dot: usize,
+    origin: usize,
+    children: Vec<ParseTree>,
+}
+
+/// Earley parser bound to a grammar.
+pub struct EarleyParser<'g> {
+    grammar: &'g Grammar,
+    nullable: Vec<bool>,
+}
+
+impl<'g> EarleyParser<'g> {
+    /// Builds a parser, precomputing the nullable-nonterminal set.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        let n = grammar.nonterminal_names().len();
+        let mut nullable = vec![false; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in grammar.productions() {
+                if nullable[p.lhs] {
+                    continue;
+                }
+                let all_nullable = p.rhs.iter().all(|s| match s {
+                    Sym::T(_) => false,
+                    Sym::Nt(nt) => nullable[*nt],
+                });
+                if all_nullable {
+                    nullable[p.lhs] = true;
+                    changed = true;
+                }
+            }
+        }
+        EarleyParser { grammar, nullable }
+    }
+
+    /// True when the nonterminal can derive the empty string.
+    pub fn is_nullable(&self, nt: usize) -> bool {
+        self.nullable[nt]
+    }
+
+    /// Parses `input`, returning the first full-span derivation of the
+    /// start symbol, or `None` when the string is not in the language.
+    pub fn parse(&self, input: &str) -> Option<ParseTree> {
+        let chars: Vec<char> = input.chars().collect();
+        let n = chars.len();
+        let g = self.grammar;
+
+        // chart[k] = items ending at position k.
+        let mut chart: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
+        let mut seen: Vec<HashSet<(usize, usize, usize)>> = vec![HashSet::new(); n + 1];
+
+        for &p in g.productions_of(g.start()) {
+            push_item(
+                &mut chart[0],
+                &mut seen[0],
+                Item { prod: p, dot: 0, origin: 0, children: Vec::new() },
+            );
+        }
+
+        for k in 0..=n {
+            let mut i = 0;
+            while i < chart[k].len() {
+                let item = chart[k][i].clone();
+                i += 1;
+                let rhs = &g.productions()[item.prod].rhs;
+                if item.dot < rhs.len() {
+                    match rhs[item.dot] {
+                        Sym::Nt(nt) => {
+                            // Predictor.
+                            for &p in g.productions_of(nt) {
+                                push_item(
+                                    &mut chart[k],
+                                    &mut seen[k],
+                                    Item { prod: p, dot: 0, origin: k, children: Vec::new() },
+                                );
+                            }
+                            // Aycock–Horspool: advance over nullable NTs
+                            // immediately, attaching an empty subtree.
+                            if self.nullable[nt] {
+                                let mut advanced = item.clone();
+                                advanced.dot += 1;
+                                advanced.children.push(ParseTree {
+                                    rule: g.nt_name(nt).to_string(),
+                                    start: k,
+                                    end: k,
+                                    children: Vec::new(),
+                                });
+                                push_item(&mut chart[k], &mut seen[k], advanced);
+                            }
+                        }
+                        Sym::T(c) => {
+                            // Scanner.
+                            if k < n && chars[k] == c {
+                                let mut advanced = item.clone();
+                                advanced.dot += 1;
+                                push_item(&mut chart[k + 1], &mut seen[k + 1], advanced);
+                            }
+                        }
+                    }
+                } else {
+                    // Completer: item.prod's LHS spans item.origin..k.
+                    let lhs = g.productions()[item.prod].lhs;
+                    let completed = ParseTree {
+                        rule: g.nt_name(lhs).to_string(),
+                        start: item.origin,
+                        end: k,
+                        children: item.children.clone(),
+                    };
+                    // Advance every parent in chart[origin] waiting on lhs.
+                    let parents: Vec<Item> = chart[item.origin]
+                        .iter()
+                        .filter(|parent| {
+                            let prhs = &g.productions()[parent.prod].rhs;
+                            parent.dot < prhs.len() && prhs[parent.dot] == Sym::Nt(lhs)
+                        })
+                        .cloned()
+                        .collect();
+                    for mut parent in parents {
+                        parent.dot += 1;
+                        parent.children.push(completed.clone());
+                        push_item(&mut chart[k], &mut seen[k], parent);
+                    }
+                }
+            }
+        }
+
+        // Accept: a completed start production spanning the whole input.
+        chart[n]
+            .iter()
+            .find(|item| {
+                let p = &g.productions()[item.prod];
+                p.lhs == g.start() && item.dot == p.rhs.len() && item.origin == 0
+            })
+            .map(|item| ParseTree {
+                rule: g.nt_name(g.start()).to_string(),
+                start: 0,
+                end: n,
+                children: item.children.clone(),
+            })
+    }
+
+    /// True when `input` is in the grammar's language.
+    pub fn recognizes(&self, input: &str) -> bool {
+        self.parse(input).is_some()
+    }
+}
+
+fn push_item(set: &mut Vec<Item>, seen: &mut HashSet<(usize, usize, usize)>, item: Item) {
+    // First derivation wins: duplicates (same production/dot/origin) are
+    // dropped, which keeps the parser deterministic and linear in practice.
+    if seen.insert((item.prod, item.dot, item.origin)) {
+        set.push(item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepbase_tensor::init::seeded_rng;
+
+    const ARITH: &str = r"
+        expr -> term | expr '+' term ;
+        term -> digit | '(' expr ')' ;
+        digit -> '1' | '2' | '3' ;
+    ";
+
+    fn arith() -> Grammar {
+        Grammar::from_spec(ARITH).unwrap()
+    }
+
+    #[test]
+    fn accepts_simple_strings() {
+        let g = arith();
+        let parser = EarleyParser::new(&g);
+        for ok in ["1", "1+2", "(1+2)+3", "((1))"] {
+            assert!(parser.recognizes(ok), "should accept {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_strings() {
+        let g = arith();
+        let parser = EarleyParser::new(&g);
+        for bad in ["", "+", "1+", "(1", "4", "1++2"] {
+            assert!(!parser.recognizes(bad), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn tree_spans_cover_input() {
+        let g = arith();
+        let parser = EarleyParser::new(&g);
+        let tree = parser.parse("(1+2)+3").unwrap();
+        assert_eq!(tree.start, 0);
+        assert_eq!(tree.end, 7);
+        assert_eq!(tree.rule, "expr");
+        // The parenthesized group is an inner expr spanning chars 1..4.
+        assert!(tree.spans_of("expr").contains(&(1, 4)));
+    }
+
+    #[test]
+    fn left_recursion_handled() {
+        let g = arith();
+        let parser = EarleyParser::new(&g);
+        // expr -> expr '+' term is left-recursive; long chains must parse.
+        let long = "1+2+3+1+2+3+1+2+3";
+        assert!(parser.recognizes(long));
+    }
+
+    #[test]
+    fn nullable_set_computed_transitively() {
+        let g = Grammar::from_spec(
+            "s -> a b ; a -> | 'x' ; b -> a a ;",
+        )
+        .unwrap();
+        let parser = EarleyParser::new(&g);
+        assert!(parser.is_nullable(g.nt_id("a").unwrap()));
+        assert!(parser.is_nullable(g.nt_id("b").unwrap()));
+        assert!(parser.is_nullable(g.nt_id("s").unwrap()));
+    }
+
+    #[test]
+    fn epsilon_productions_parse() {
+        let g = Grammar::from_spec("s -> opt 'x' opt ; opt -> | 'o' ;").unwrap();
+        let parser = EarleyParser::new(&g);
+        for ok in ["x", "ox", "xo", "oxo"] {
+            assert!(parser.recognizes(ok), "should accept {ok:?}");
+        }
+        assert!(!parser.recognizes("oo"));
+        assert!(!parser.recognizes("oxoo"));
+    }
+
+    #[test]
+    fn empty_input_accepted_iff_start_nullable() {
+        let g = Grammar::from_spec("s -> | 'x' ;").unwrap();
+        let parser = EarleyParser::new(&g);
+        assert!(parser.recognizes(""));
+        let g2 = Grammar::from_spec("s -> 'x' ;").unwrap();
+        let parser2 = EarleyParser::new(&g2);
+        assert!(!parser2.recognizes(""));
+    }
+
+    #[test]
+    fn sampled_strings_reparse_under_same_grammar() {
+        let g = arith();
+        let parser = EarleyParser::new(&g);
+        let mut rng = seeded_rng(11);
+        for _ in 0..100 {
+            let (text, _) = g.sample(&mut rng, 6);
+            assert!(parser.recognizes(&text), "sampled string must parse: {text}");
+        }
+    }
+
+    #[test]
+    fn parse_tree_matches_sampled_rule_multiset_weakly() {
+        // The parsed tree need not equal the sampled derivation (ambiguity),
+        // but it must reference only rules of the grammar and have sane spans.
+        let g = arith();
+        let parser = EarleyParser::new(&g);
+        let mut rng = seeded_rng(3);
+        let (text, _) = g.sample(&mut rng, 6);
+        let tree = parser.parse(&text).unwrap();
+        let names = tree.rule_names();
+        for n in &names {
+            assert!(g.nt_id(n).is_some(), "unknown rule {n}");
+        }
+    }
+
+    #[test]
+    fn unrelated_alphabet_rejected() {
+        let g = arith();
+        let parser = EarleyParser::new(&g);
+        assert!(!parser.recognizes("abc"));
+    }
+}

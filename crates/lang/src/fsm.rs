@@ -1,0 +1,198 @@
+//! Finite-state-machine hypotheses (paper §4.2): regular expressions,
+//! simple rules and pattern detectors expressed as DFAs whose state labels
+//! become hypothesis behaviors — each input symbol triggers a transition
+//! and the hypothesis emits the current state (or a one-hot per state).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A deterministic finite automaton over characters. Missing transitions
+/// fall back to `default_state` (a dead/reset state), so the machine is
+/// total.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dfa {
+    n_states: usize,
+    start: usize,
+    default_state: usize,
+    transitions: HashMap<(usize, char), usize>,
+    /// Optional human-readable state labels.
+    labels: Vec<String>,
+}
+
+impl Dfa {
+    /// Creates a DFA with `n_states` states; state ids are `0..n_states`.
+    /// Missing transitions go to `default_state`.
+    pub fn new(n_states: usize, start: usize, default_state: usize) -> Self {
+        assert!(start < n_states && default_state < n_states, "state out of range");
+        Dfa {
+            n_states,
+            start,
+            default_state,
+            transitions: HashMap::new(),
+            labels: (0..n_states).map(|i| format!("s{i}")).collect(),
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Sets a transition.
+    pub fn transition(mut self, from: usize, on: char, to: usize) -> Self {
+        assert!(from < self.n_states && to < self.n_states, "state out of range");
+        self.transitions.insert((from, on), to);
+        self
+    }
+
+    /// Names a state (for hypothesis identifiers).
+    pub fn label(mut self, state: usize, name: &str) -> Self {
+        self.labels[state] = name.to_string();
+        self
+    }
+
+    /// Label of a state.
+    pub fn state_label(&self, state: usize) -> &str {
+        &self.labels[state]
+    }
+
+    /// Runs the machine over `text`, returning the state *after* reading
+    /// each character (length == character count).
+    pub fn run(&self, text: &str) -> Vec<usize> {
+        let mut state = self.start;
+        text.chars()
+            .map(|c| {
+                state = self
+                    .transitions
+                    .get(&(state, c))
+                    .copied()
+                    .unwrap_or(self.default_state);
+                state
+            })
+            .collect()
+    }
+
+    /// Hypothesis behavior emitting the raw state id after each symbol.
+    pub fn state_id_behavior(&self, text: &str) -> Vec<f32> {
+        self.run(text).into_iter().map(|s| s as f32).collect()
+    }
+
+    /// Hypothesis behavior emitting 1 whenever the machine is in `state`
+    /// (the "hot-one encoded state" form of §4.2).
+    pub fn state_indicator_behavior(&self, text: &str, state: usize) -> Vec<f32> {
+        self.run(text)
+            .into_iter()
+            .map(|s| if s == state { 1.0 } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Builds a keyword-tracking DFA: state `k` means "the last `k` characters
+/// matched the keyword prefix"; the final state (keyword length) means a
+/// full match just completed. This mirrors compiling a regular expression
+/// for the keyword. Fallback edges restart at the longest matching prefix
+/// (KMP-style), so overlapping text is handled correctly.
+pub fn keyword_dfa(keyword: &str) -> Dfa {
+    let kw: Vec<char> = keyword.chars().collect();
+    assert!(!kw.is_empty(), "keyword must be non-empty");
+    let n = kw.len();
+    let mut dfa = Dfa::new(n + 1, 0, 0);
+    // KMP failure function.
+    let mut fail = vec![0usize; n];
+    for i in 1..n {
+        let mut j = fail[i - 1];
+        while j > 0 && kw[i] != kw[j] {
+            j = fail[j - 1];
+        }
+        if kw[i] == kw[j] {
+            j += 1;
+        }
+        fail[i] = j;
+    }
+    // Forward edges plus fallback edges for every prefix state and every
+    // character that appears in the keyword.
+    let alphabet: std::collections::BTreeSet<char> = kw.iter().copied().collect();
+    for state in 0..=n {
+        for &c in &alphabet {
+            let mut j = if state == n { fail[n - 1] } else { state };
+            loop {
+                if j < n && kw[j] == c {
+                    j += 1;
+                    break;
+                }
+                if j == 0 {
+                    break;
+                }
+                j = fail[j - 1];
+            }
+            if j > 0 {
+                dfa = dfa.transition(state, c, j);
+            }
+        }
+    }
+    dfa.label(n, "matched")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_follows_transitions_and_default() {
+        let dfa = Dfa::new(3, 0, 0)
+            .transition(0, 'a', 1)
+            .transition(1, 'b', 2);
+        assert_eq!(dfa.run("ab"), vec![1, 2]);
+        assert_eq!(dfa.run("ax"), vec![1, 0]);
+        assert_eq!(dfa.run(""), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn state_behaviors() {
+        let dfa = Dfa::new(2, 0, 0).transition(0, 'x', 1).transition(1, 'x', 1);
+        assert_eq!(dfa.state_id_behavior("xyx"), vec![1.0, 0.0, 1.0]);
+        assert_eq!(dfa.state_indicator_behavior("xyx", 1), vec![1.0, 0.0, 1.0]);
+        assert_eq!(dfa.state_indicator_behavior("xyx", 0), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn keyword_dfa_reaches_match_state() {
+        let dfa = keyword_dfa("ab");
+        let states = dfa.run("xabx");
+        assert_eq!(states, vec![0, 1, 2, 0]);
+        assert_eq!(dfa.state_label(2), "matched");
+    }
+
+    #[test]
+    fn keyword_dfa_handles_overlap() {
+        // "aa" in "aaa": matches at positions 1 and 2 (KMP fallback).
+        let dfa = keyword_dfa("aa");
+        let match_state = 2;
+        let behavior = dfa.state_indicator_behavior("aaa", match_state);
+        assert_eq!(behavior, vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn keyword_dfa_prefix_restart() {
+        // "abab": after "aba" failing on 'a' must keep the "a" prefix.
+        let dfa = keyword_dfa("abab");
+        let states = dfa.run("ababab");
+        assert_eq!(states[3], 4, "first match at index 3");
+        assert_eq!(states[5], 4, "overlapping match at index 5");
+    }
+
+    #[test]
+    fn select_keyword_dfa_on_sql() {
+        let dfa = keyword_dfa("SELECT");
+        let text = "SELECT a FROM b";
+        let matched = dfa.state_indicator_behavior(text, 6);
+        assert_eq!(matched[5], 1.0, "match completes at the final T");
+        assert!(matched[6..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "state out of range")]
+    fn transition_bounds_checked() {
+        let _ = Dfa::new(1, 0, 0).transition(0, 'a', 5);
+    }
+}

@@ -1,0 +1,35 @@
+//! # deepbase-nn
+//!
+//! Trainable neural-network substrate for the DeepBase reproduction — the
+//! role Keras/TensorFlow/PyTorch play in the paper, built from scratch on
+//! `deepbase-tensor`.
+//!
+//! * [`adam`] — Adam optimizer state per parameter matrix.
+//! * [`dense`] — fully-connected layer with exact backward.
+//! * [`lstm`] — LSTM layer with full back-propagation through time; its
+//!   cached hidden states are the unit behaviors DeepBase inspects.
+//! * [`embedding`] — token embeddings and one-hot encoding.
+//! * [`charmodel`] — the SQL auto-completion char-RNN (paper §2.1) and the
+//!   Appendix C specialization training mode (auxiliary unit loss).
+//! * [`seq2seq`] — two-layer encoder–decoder with dot-product attention,
+//!   the OpenNMT stand-in of §6.3, exposing per-layer encoder activations.
+//! * [`conv`] — Conv2d/ReLU/MaxPool volumes and a small CNN classifier for
+//!   the NetDissect comparison (Appendix E).
+//!
+//! Every layer's backward pass is verified against finite differences in
+//! its module tests; training loops are deterministic given a seed.
+
+pub mod adam;
+pub mod charmodel;
+pub mod conv;
+pub mod dense;
+pub mod embedding;
+pub mod lstm;
+pub mod seq2seq;
+
+pub use charmodel::{train_epoch_last, CharLstmModel, OutputMode, Specialization};
+pub use conv::{SmallCnn, Tensor3};
+pub use dense::Dense;
+pub use embedding::{one_hot_batch, Embedding};
+pub use lstm::{Lstm, LstmCache};
+pub use seq2seq::Seq2Seq;

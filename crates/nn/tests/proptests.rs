@@ -1,0 +1,107 @@
+//! Property-based tests for the NN substrate: output invariants that must
+//! hold for arbitrary inputs and seeds (probability simplexes, bounded
+//! activations, determinism, extraction layout).
+
+use deepbase_nn::{one_hot_batch, CharLstmModel, OutputMode, Seq2Seq};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn char_model_proba_is_distribution(
+        seed in 0u64..1000,
+        ids in proptest::collection::vec(0u32..5, 1..12),
+    ) {
+        let model = CharLstmModel::new(5, 6, OutputMode::LastStep, seed);
+        let p = model.predict_proba(&ids);
+        prop_assert_eq!(p.len(), 5);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn lstm_activations_bounded(
+        seed in 0u64..1000,
+        ids in proptest::collection::vec(0u32..4, 2..16),
+    ) {
+        let model = CharLstmModel::new(4, 8, OutputMode::LastStep, seed);
+        let acts = model.extract_activations(&[ids.clone()]);
+        prop_assert_eq!(acts.shape(), (ids.len(), 8));
+        // h = o * tanh(c) is bounded by 1 in magnitude.
+        prop_assert!(acts.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn extraction_is_deterministic(seed in 0u64..500) {
+        let model = CharLstmModel::new(4, 6, OutputMode::EveryStep, seed);
+        let inputs = vec![vec![0u32, 1, 2, 3], vec![3u32, 2, 1, 0]];
+        let a = model.extract_activations(&inputs);
+        let b = model.extract_activations(&inputs);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn extraction_row_layout_is_record_major(
+        seed in 0u64..200,
+        n_records in 1usize..4,
+    ) {
+        let model = CharLstmModel::new(3, 5, OutputMode::LastStep, seed);
+        let inputs: Vec<Vec<u32>> =
+            (0..n_records).map(|i| (0..6).map(|t| ((i + t) % 3) as u32).collect()).collect();
+        let all = model.extract_activations(&inputs);
+        // Extracting one record alone gives the same rows.
+        for (i, input) in inputs.iter().enumerate() {
+            let single = model.extract_activations(std::slice::from_ref(input));
+            for t in 0..6 {
+                prop_assert_eq!(single.row(t), all.row(i * 6 + t));
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one(ids in proptest::collection::vec(0u32..7, 1..20)) {
+        let m = one_hot_batch(&ids, 7);
+        for r in 0..m.rows() {
+            prop_assert_eq!(m.row(r).iter().sum::<f32>(), 1.0);
+        }
+    }
+
+    #[test]
+    fn seq2seq_translate_is_bounded_and_deterministic(
+        seed in 0u64..200,
+        src in proptest::collection::vec(4u32..10, 1..6),
+    ) {
+        let model = Seq2Seq::new(12, 12, 4, 4, seed);
+        let a = model.translate(&src, 8);
+        let b = model.translate(&src, 8);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.len() <= 8);
+        prop_assert!(a.iter().all(|&t| t < 12));
+    }
+
+    #[test]
+    fn encoder_activation_shape_matches_source(
+        seed in 0u64..200,
+        src in proptest::collection::vec(4u32..10, 1..8),
+    ) {
+        let model = Seq2Seq::new(12, 12, 4, 5, seed);
+        let acts = model.encoder_activations_all(&src);
+        prop_assert_eq!(acts.shape(), (src.len(), 10));
+        prop_assert!(acts.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn training_step_keeps_parameters_finite(
+        seed in 0u64..100,
+        ids in proptest::collection::vec(0u32..4, 4..10),
+    ) {
+        let mut model = CharLstmModel::new(4, 6, OutputMode::LastStep, seed);
+        let target = ids[0];
+        let loss = model.train_batch_last(&[ids.clone()], &[target], 0.05);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        let acts = model.extract_activations(&[ids]);
+        prop_assert!(acts.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

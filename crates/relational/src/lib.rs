@@ -1,0 +1,25 @@
+//! # deepbase-relational
+//!
+//! A miniature in-memory columnar relational engine: the substrate for the
+//! paper's DB-oriented baseline (§5.1.1, "MADLib"), which materializes
+//! behavior matrices as dense relations and computes affinity scores with
+//! SQL aggregates and in-database ML UDAs.
+//!
+//! * [`table`] — typed columnar tables with schemas and text rendering.
+//! * [`exec`] — full-scan select/project, hash join, hash group-by with
+//!   aggregate functions (`count/sum/avg/min/max/corr`), an iterative
+//!   logistic-regression training UDA (one full scan per epoch, like
+//!   MADLib), scan metering ([`exec::ExecStats`]) and the PostgreSQL
+//!   1,600-expression statement limit that forces batched scans.
+//!
+//! The DeepBase core crate builds its `Engine::Madlib` baseline and the
+//! INSPECT post-processing on these primitives.
+
+pub mod exec;
+pub mod table;
+
+pub use exec::{
+    aggregate, hash_join, logreg_train_uda, project, select, AggFn, ExecStats,
+    MAX_EXPRESSIONS_PER_STATEMENT,
+};
+pub use table::{ColType, Column, Schema, Table, TableError, Value};

@@ -1,0 +1,219 @@
+//! Pearson correlation: batch, streaming, and Fisher-transform confidence
+//! intervals.
+//!
+//! Correlation is DeepBase's default *independent* affinity measure
+//! (paper §4.3). The streaming accumulator is what makes the paper's early
+//! stopping optimization (§5.2.2) possible: affinity is an empirical
+//! estimate over a sample, and the Fisher-transform confidence interval
+//! tells the engine when the estimate has converged.
+
+/// Streaming accumulator for Pearson's r over a pair of variables.
+///
+/// Maintains co-moments in a single pass (sum formulation in f64, which is
+/// stable enough for the bounded activations this pipeline produces while
+/// staying allocation-free).
+#[derive(Debug, Clone, Default)]
+pub struct StreamingPearson {
+    n: u64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_yy: f64,
+    sum_xy: f64,
+}
+
+impl StreamingPearson {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Adds one `(x, y)` observation.
+    #[inline]
+    pub fn push(&mut self, x: f32, y: f32) {
+        let (x, y) = (x as f64, y as f64);
+        self.n += 1;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_xx += x * x;
+        self.sum_yy += y * y;
+        self.sum_xy += x * y;
+    }
+
+    /// Adds a block of paired observations.
+    pub fn push_block(&mut self, xs: &[f32], ys: &[f32]) {
+        assert_eq!(xs.len(), ys.len(), "pearson block length mismatch");
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            self.push(x, y);
+        }
+    }
+
+    /// Merges another accumulator into this one (used by the parallel
+    /// device to combine per-thread partials).
+    pub fn merge(&mut self, other: &StreamingPearson) {
+        self.n += other.n;
+        self.sum_x += other.sum_x;
+        self.sum_y += other.sum_y;
+        self.sum_xx += other.sum_xx;
+        self.sum_yy += other.sum_yy;
+        self.sum_xy += other.sum_xy;
+    }
+
+    /// Current correlation estimate.
+    ///
+    /// Returns 0 when either variable is (numerically) constant — the
+    /// convention the DeepBase engine relies on for padding symbols and
+    /// dead units, where "no signal" must not poison score tables with NaN.
+    pub fn correlation(&self) -> f32 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let cov = self.sum_xy - self.sum_x * self.sum_y / n;
+        let var_x = self.sum_xx - self.sum_x * self.sum_x / n;
+        let var_y = self.sum_yy - self.sum_y * self.sum_y / n;
+        if var_x <= 1e-12 || var_y <= 1e-12 {
+            return 0.0;
+        }
+        let r = cov / (var_x * var_y).sqrt();
+        r.clamp(-1.0, 1.0) as f32
+    }
+
+    /// Half-width of the Fisher-transform confidence interval around the
+    /// current estimate, for the given `z` critical value (1.96 ≈ 95%).
+    ///
+    /// The paper's early-stopping criterion compares this against the user
+    /// threshold ε: the transform `z = atanh(r)` is approximately normal
+    /// with standard error `1/sqrt(n - 3)`, and the half-width is mapped
+    /// back through `tanh`.
+    pub fn fisher_half_width(&self, z_crit: f64) -> f32 {
+        if self.n < 4 {
+            return f32::INFINITY;
+        }
+        let r = self.correlation() as f64;
+        // Guard atanh at the boundary.
+        let r = r.clamp(-0.999_999, 0.999_999);
+        let fisher_z = r.atanh();
+        let se = 1.0 / ((self.n as f64) - 3.0).sqrt();
+        let lo = (fisher_z - z_crit * se).tanh();
+        let hi = (fisher_z + z_crit * se).tanh();
+        (((hi - lo) / 2.0) as f32).abs()
+    }
+
+    /// True once the CI half-width is below `epsilon`.
+    pub fn converged(&self, epsilon: f32, z_crit: f64) -> bool {
+        self.fisher_half_width(z_crit) <= epsilon
+    }
+}
+
+/// Critical value for a 95% two-sided normal interval.
+pub const Z_95: f64 = 1.959_963_985;
+
+/// One-shot Pearson correlation over two slices.
+pub fn pearson(xs: &[f32], ys: &[f32]) -> f32 {
+    let mut acc = StreamingPearson::new();
+    acc.push_block(xs, ys);
+    acc.correlation()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let xs: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let xs: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| -0.5 * x).collect();
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_input_yields_zero() {
+        let xs = vec![3.0f32; 10];
+        let ys: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        assert_eq!(pearson(&xs, &ys), 0.0);
+        assert_eq!(pearson(&ys, &xs), 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let xs = [1.0f32, 4.0, 2.0, 8.0, 5.0];
+        let ys = [2.0f32, 1.0, 7.0, 3.0, 9.0];
+        assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn streaming_matches_batch_under_blocking() {
+        let xs: Vec<f32> = (0..100).map(|i| ((i * 37) % 19) as f32).collect();
+        let ys: Vec<f32> = (0..100).map(|i| ((i * 11) % 23) as f32 - 5.0).collect();
+        let batch = pearson(&xs, &ys);
+        let mut acc = StreamingPearson::new();
+        for chunk in 0..10 {
+            acc.push_block(&xs[chunk * 10..(chunk + 1) * 10], &ys[chunk * 10..(chunk + 1) * 10]);
+        }
+        assert!((acc.correlation() - batch).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let xs: Vec<f32> = (0..60).map(|i| (i as f32).sin()).collect();
+        let ys: Vec<f32> = (0..60).map(|i| (i as f32 * 0.5).cos()).collect();
+        let mut whole = StreamingPearson::new();
+        whole.push_block(&xs, &ys);
+        let mut a = StreamingPearson::new();
+        let mut b = StreamingPearson::new();
+        a.push_block(&xs[..30], &ys[..30]);
+        b.push_block(&xs[30..], &ys[30..]);
+        a.merge(&b);
+        assert!((a.correlation() - whole.correlation()).abs() < 1e-6);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn fisher_half_width_shrinks_with_n() {
+        let mut acc = StreamingPearson::new();
+        let mut widths = Vec::new();
+        for i in 0..4000u32 {
+            let x = (i % 17) as f32;
+            let y = x * 0.7 + ((i * 7) % 13) as f32;
+            acc.push(x, y);
+            if i % 500 == 499 {
+                widths.push(acc.fisher_half_width(Z_95));
+            }
+        }
+        for pair in widths.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-6, "widths must be non-increasing: {widths:?}");
+        }
+    }
+
+    #[test]
+    fn convergence_flag_flips() {
+        let mut acc = StreamingPearson::new();
+        assert!(!acc.converged(0.05, Z_95));
+        for i in 0..5000u32 {
+            let x = (i % 29) as f32;
+            acc.push(x, 0.9 * x + ((i * 3) % 7) as f32);
+        }
+        assert!(acc.converged(0.05, Z_95));
+    }
+
+    #[test]
+    fn correlation_clamped_to_unit_interval() {
+        let xs: Vec<f32> = (0..5).map(|i| i as f32 * 1e6).collect();
+        let ys = xs.clone();
+        let r = pearson(&xs, &ys);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+}

@@ -1,0 +1,246 @@
+//! Descriptive statistics, Jaccard/IoU, difference of means, and the
+//! silhouette score used by DeepBase's verification procedure (§4.4).
+
+/// Mean of a slice (0 when empty).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Unbiased sample variance (0 when fewer than two values).
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f32>() / (xs.len() - 1) as f32
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Difference-of-means affinity (paper §4.3): mean behavior where the
+/// binary hypothesis is active minus mean where inactive, normalized by the
+/// pooled standard deviation (Cohen's d-style, so scores are comparable
+/// across units with different activation scales). Returns 0 when either
+/// class is empty or behaviors are constant.
+pub fn difference_of_means(behavior: &[f32], hypothesis: &[f32]) -> f32 {
+    assert_eq!(behavior.len(), hypothesis.len(), "length mismatch");
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    for (&b, &h) in behavior.iter().zip(hypothesis.iter()) {
+        if h > 0.5 {
+            on.push(b);
+        } else {
+            off.push(b);
+        }
+    }
+    if on.is_empty() || off.is_empty() {
+        return 0.0;
+    }
+    let pooled = ((variance(&on) * (on.len() - 1).max(1) as f32
+        + variance(&off) * (off.len() - 1).max(1) as f32)
+        / (on.len() + off.len()).saturating_sub(2).max(1) as f32)
+        .sqrt();
+    if pooled <= 1e-12 {
+        return 0.0;
+    }
+    (mean(&on) - mean(&off)) / pooled
+}
+
+/// Jaccard coefficient (intersection over union) between two binary masks
+/// obtained by thresholding at > 0.5. This is NetDissect's IoU measure
+/// (paper Appendix E) once activations have been binarized at a quantile
+/// threshold.
+pub fn jaccard(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let bx = x > 0.5;
+        let by = y > 0.5;
+        if bx && by {
+            inter += 1;
+        }
+        if bx || by {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        0.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+/// Jaccard between a continuous behavior thresholded at its top-`q`
+/// quantile and a binary hypothesis mask — the full NetDissect scoring rule.
+pub fn jaccard_at_quantile(behavior: &[f32], hypothesis_mask: &[f32], top_quantile: f32) -> f32 {
+    let thresh = crate::quantile::quantile(behavior, top_quantile);
+    let binarized: Vec<f32> =
+        behavior.iter().map(|&v| if v > thresh { 1.0 } else { 0.0 }).collect();
+    jaccard(&binarized, hypothesis_mask)
+}
+
+/// Mean silhouette score of points under integer cluster labels, with
+/// Euclidean distance (Rousseeuw 1987; the verification statistic of §4.4).
+///
+/// Points are rows of `points` (all the same dimension). Returns 0 when
+/// there are fewer than two clusters or fewer than three points.
+pub fn silhouette_score(points: &[Vec<f32>], labels: &[usize]) -> f32 {
+    assert_eq!(points.len(), labels.len(), "label count mismatch");
+    let n = points.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let distinct: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+    if distinct.len() < 2 {
+        return 0.0;
+    }
+
+    let dist = |a: &[f32], b: &[f32]| -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+    };
+
+    let mut total = 0.0f32;
+    let mut counted = 0usize;
+    for i in 0..n {
+        // Mean intra-cluster distance a(i) and per-other-cluster means.
+        let mut intra_sum = 0.0f32;
+        let mut intra_count = 0usize;
+        let mut inter: std::collections::BTreeMap<usize, (f32, usize)> = Default::default();
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = dist(&points[i], &points[j]);
+            if labels[j] == labels[i] {
+                intra_sum += d;
+                intra_count += 1;
+            } else {
+                let e = inter.entry(labels[j]).or_insert((0.0, 0));
+                e.0 += d;
+                e.1 += 1;
+            }
+        }
+        if intra_count == 0 || inter.is_empty() {
+            continue; // Singleton clusters contribute 0 by convention.
+        }
+        let a = intra_sum / intra_count as f32;
+        let b = inter
+            .values()
+            .map(|&(s, c)| s / c as f32)
+            .fold(f32::INFINITY, f32::min);
+        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        total += s;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known_values() {
+        let xs = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn variance_of_single_value_is_zero() {
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn diff_of_means_detects_separated_classes() {
+        let behavior = [1.0f32, 1.1, 0.9, 5.0, 5.1, 4.9];
+        let hypothesis = [0.0f32, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let d = difference_of_means(&behavior, &hypothesis);
+        assert!(d > 5.0, "expected large effect size, got {d}");
+    }
+
+    #[test]
+    fn diff_of_means_zero_when_identical_distributions() {
+        let behavior = [1.0f32, 2.0, 1.0, 2.0];
+        let hypothesis = [0.0f32, 0.0, 1.0, 1.0];
+        assert!(difference_of_means(&behavior, &hypothesis).abs() < 1e-5);
+    }
+
+    #[test]
+    fn diff_of_means_degenerate_class_is_zero() {
+        let behavior = [1.0f32, 2.0, 3.0];
+        assert_eq!(difference_of_means(&behavior, &[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(difference_of_means(&behavior, &[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_known_values() {
+        assert_eq!(jaccard(&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0]), 1.0);
+        assert_eq!(jaccard(&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]), 0.0);
+        let j = jaccard(&[1.0, 1.0, 0.0, 0.0], &[1.0, 0.0, 1.0, 0.0]);
+        assert!((j - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jaccard_empty_masks_is_zero() {
+        assert_eq!(jaccard(&[0.0; 4], &[0.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_at_quantile_matches_manual_threshold() {
+        let behavior = [0.1f32, 0.2, 0.9, 0.95, 0.3, 0.05];
+        let mask = [0.0f32, 0.0, 1.0, 1.0, 0.0, 0.0];
+        // Top ~1/3 of activations are exactly the two masked positions.
+        let j = jaccard_at_quantile(&behavior, &mask, 0.66);
+        assert!(j > 0.99, "expected ~1.0, got {j}");
+    }
+
+    #[test]
+    fn silhouette_well_separated_clusters_near_one() {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            points.push(vec![0.0 + 0.01 * i as f32, 0.0]);
+            labels.push(0);
+            points.push(vec![10.0 + 0.01 * i as f32, 10.0]);
+            labels.push(1);
+        }
+        assert!(silhouette_score(&points, &labels) > 0.9);
+    }
+
+    #[test]
+    fn silhouette_mixed_clusters_near_zero() {
+        // Interleave the two labels over the same point cloud.
+        let points: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 7) as f32, (i % 5) as f32]).collect();
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let s = silhouette_score(&points, &labels);
+        assert!(s.abs() < 0.3, "expected near-zero separation, got {s}");
+    }
+
+    #[test]
+    fn silhouette_bounds() {
+        let points: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let labels: Vec<usize> = (0..20).map(|i| i / 10).collect();
+        let s = silhouette_score(&points, &labels);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn silhouette_single_cluster_is_zero() {
+        let points: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32]).collect();
+        assert_eq!(silhouette_score(&points, &[0; 5]), 0.0);
+    }
+}

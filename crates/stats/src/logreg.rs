@@ -1,0 +1,675 @@
+//! Logistic regression probes.
+//!
+//! DeepBase's default *joint* measure (paper §4.3) trains a logistic
+//! regression classifier that predicts a hypothesis behavior from the
+//! activations of a unit group; the classifier's F1 is the group score and
+//! the coefficient magnitudes are the per-unit scores.
+//!
+//! The key systems idea reproduced here is **model merging** (§5.2.1): a
+//! multi-output model trains all |H| hypothesis probes as one weight matrix
+//! with a shared input pass. Because the per-column losses and parameters
+//! are independent, merged training is *exactly* equivalent to training the
+//! columns separately (verified by tests), while amortizing the input
+//! matrix products — the source of the paper's +MM speedup.
+
+use deepbase_tensor::{init, ops, Matrix};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters. The defaults mirror the paper's setup:
+/// Adam with Keras' default learning rate, L1 regularization, SGD
+/// mini-batches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogRegConfig {
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// L1 penalty weight (sparsity; the paper's §6.3.2 layer analysis).
+    pub l1: f32,
+    /// L2 penalty weight.
+    pub l2: f32,
+    /// Number of passes over the data in [`MultiLogReg::fit`].
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle seed (training is fully deterministic given the seed).
+    pub seed: u64,
+    /// Worker threads for the input matrix products; >1 engages the
+    /// reproduction's parallel "GPU" device.
+    pub threads: usize,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig {
+            learning_rate: 0.01,
+            l1: 0.0,
+            l2: 0.0,
+            epochs: 20,
+            batch_size: 64,
+            seed: 0,
+            threads: 1,
+        }
+    }
+}
+
+/// Adam optimizer state for one parameter matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AdamState {
+    m: Matrix,
+    v: Matrix,
+    t: u64,
+}
+
+impl AdamState {
+    fn new(rows: usize, cols: usize) -> Self {
+        AdamState { m: Matrix::zeros(rows, cols), v: Matrix::zeros(rows, cols), t: 0 }
+    }
+
+    /// One Adam update with the standard β₁=0.9, β₂=0.999.
+    fn update(&mut self, weights: &mut Matrix, grad: &Matrix, lr: f32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        self.t += 1;
+        let t = self.t as f32;
+        let (ms, vs, ws, gs) = (
+            self.m.as_mut_slice(),
+            self.v.as_mut_slice(),
+            weights.as_mut_slice(),
+            grad.as_slice(),
+        );
+        let bias1 = 1.0 - B1.powf(t);
+        let bias2 = 1.0 - B2.powf(t);
+        for i in 0..gs.len() {
+            ms[i] = B1 * ms[i] + (1.0 - B1) * gs[i];
+            vs[i] = B2 * vs[i] + (1.0 - B2) * gs[i] * gs[i];
+            let m_hat = ms[i] / bias1;
+            let v_hat = vs[i] / bias2;
+            ws[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+        }
+    }
+}
+
+/// Multi-output binary logistic regression: one sigmoid output per
+/// hypothesis, sharing the input pass. A single-output probe is the
+/// special case `n_outputs == 1`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiLogReg {
+    /// `n_features x n_outputs` weight matrix.
+    weights: Matrix,
+    /// Per-output bias.
+    bias: Vec<f32>,
+    /// Per-output positive-class loss weight (1.0 = unweighted). Class
+    /// weighting keeps rare-event probes (e.g. one period per sentence)
+    /// from collapsing to the all-negative predictor.
+    pos_weights: Vec<f32>,
+    adam_w: AdamState,
+    adam_b: AdamState,
+    config: LogRegConfig,
+}
+
+impl MultiLogReg {
+    /// Creates a zero-initialized model (the convex objective does not need
+    /// random init, and zero init keeps merged == separate exactly).
+    pub fn new(n_features: usize, n_outputs: usize, config: LogRegConfig) -> Self {
+        MultiLogReg {
+            weights: Matrix::zeros(n_features, n_outputs),
+            bias: vec![0.0; n_outputs],
+            pos_weights: vec![1.0; n_outputs],
+            adam_w: AdamState::new(n_features, n_outputs),
+            adam_b: AdamState::new(1, n_outputs),
+            config,
+        }
+    }
+
+    /// Sets per-output positive-class weights (length must match outputs).
+    pub fn set_pos_weights(&mut self, weights: Vec<f32>) {
+        assert_eq!(weights.len(), self.n_outputs(), "pos_weights length");
+        self.pos_weights = weights;
+    }
+
+    /// Number of input features (units).
+    pub fn n_features(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of outputs (hypotheses).
+    pub fn n_outputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Borrow the weight matrix (features x outputs).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Predicted probabilities, shape `n x n_outputs`.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut logits = if self.config.threads > 1 {
+            x.matmul_parallel(&self.weights, self.config.threads)
+        } else {
+            x.matmul(&self.weights)
+        };
+        logits.add_row_broadcast(&self.bias);
+        logits.map(ops::sigmoid)
+    }
+
+    /// One gradient step on a mini-batch: mean BCE gradient + L2 + L1
+    /// subgradient, applied with Adam.
+    pub fn sgd_step(&mut self, x: &Matrix, y: &Matrix) {
+        assert_eq!(x.rows(), y.rows(), "batch row mismatch");
+        assert_eq!(y.cols(), self.n_outputs(), "target output mismatch");
+        assert_eq!(x.cols(), self.n_features(), "feature mismatch");
+        let n = x.rows().max(1) as f32;
+        let probs = self.predict_proba(x);
+        let mut err = probs.sub(y); // dL/dlogits for sigmoid+BCE
+        if self.pos_weights.iter().any(|&w| w != 1.0) {
+            for r in 0..err.rows() {
+                for (c, &w) in self.pos_weights.iter().enumerate() {
+                    if y.get(r, c) > 0.5 {
+                        let v = err.get(r, c);
+                        err.set(r, c, v * w);
+                    }
+                }
+            }
+        }
+        let mut grad_w = x.t_matmul(&err);
+        grad_w.scale_inplace(1.0 / n);
+        // Regularization (not applied to bias, matching scikit-learn/Keras).
+        if self.config.l2 > 0.0 {
+            grad_w.add_scaled(&self.weights, self.config.l2);
+        }
+        if self.config.l1 > 0.0 {
+            let sign = self.weights.map(|w| {
+                if w > 0.0 {
+                    1.0
+                } else if w < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            });
+            grad_w.add_scaled(&sign, self.config.l1);
+        }
+        let col_sums = err.col_sums();
+        let grad_b =
+            Matrix::from_vec(1, self.n_outputs(), col_sums.iter().map(|s| s / n).collect())
+                .expect("bias grad shape");
+        let lr = self.config.learning_rate;
+        self.adam_w.update(&mut self.weights, &grad_w, lr);
+        let mut bias_m = Matrix::from_vec(1, self.bias.len(), self.bias.clone()).unwrap();
+        self.adam_b.update(&mut bias_m, &grad_b, lr);
+        self.bias.copy_from_slice(bias_m.as_slice());
+    }
+
+    /// Full training run: `epochs` passes of seeded-shuffled mini-batches.
+    pub fn fit(&mut self, x: &Matrix, y: &Matrix) {
+        assert_eq!(x.rows(), y.rows(), "dataset row mismatch");
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = init::seeded_rng(self.config.seed);
+        let bs = self.config.batch_size.max(1);
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(bs) {
+                let xb = gather_rows(x, chunk);
+                let yb = gather_rows(y, chunk);
+                self.sgd_step(&xb, &yb);
+            }
+        }
+    }
+
+    /// Incremental training on one block (a single pass of mini-batches, in
+    /// order): the `process_block` API of paper §5.2.2.
+    pub fn partial_fit(&mut self, x: &Matrix, y: &Matrix) {
+        let bs = self.config.batch_size.max(1);
+        let n = x.rows();
+        let mut start = 0;
+        while start < n {
+            let end = (start + bs).min(n);
+            let xb = x.slice_rows(start, end);
+            let yb = y.slice_rows(start, end);
+            self.sgd_step(&xb, &yb);
+            start = end;
+        }
+    }
+
+    /// Per-output binary F1 on a labelled set.
+    pub fn f1_per_output(&self, x: &Matrix, y: &Matrix) -> Vec<f32> {
+        let probs = self.predict_proba(x);
+        (0..self.n_outputs())
+            .map(|h| {
+                let pred = probs.col(h);
+                let targ = y.col(h);
+                crate::classify::f1_score(&pred, &targ)
+            })
+            .collect()
+    }
+
+    /// Absolute coefficient of each (feature, output) pair — DeepBase's
+    /// per-unit scores for joint measures.
+    pub fn unit_scores(&self, output: usize) -> Vec<f32> {
+        (0..self.n_features()).map(|f| self.weights.get(f, output).abs()).collect()
+    }
+
+    /// Number of coefficients with |w| above `threshold` for an output —
+    /// the "unit group size" statistic of paper §6.3.2 (L1 selection).
+    pub fn selected_units(&self, output: usize, threshold: f32) -> usize {
+        (0..self.n_features())
+            .filter(|&f| self.weights.get(f, output).abs() > threshold)
+            .count()
+    }
+
+    /// Extracts a single-output probe equivalent to column `h` of the
+    /// merged model (used by tests to verify merging exactness).
+    pub fn extract_column(&self, h: usize) -> MultiLogReg {
+        let mut single = MultiLogReg::new(self.n_features(), 1, self.config.clone());
+        for f in 0..self.n_features() {
+            single.weights.set(f, 0, self.weights.get(f, h));
+        }
+        single.bias[0] = self.bias[h];
+        single
+    }
+}
+
+/// Multiclass softmax regression (used for POS-tag probes where the
+/// hypothesis returns one of `k` tags per symbol, §6.3.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoftmaxReg {
+    weights: Matrix,
+    bias: Vec<f32>,
+    adam_w: AdamState,
+    adam_b: AdamState,
+    config: LogRegConfig,
+    n_classes: usize,
+}
+
+impl SoftmaxReg {
+    /// Creates a zero-initialized `k`-class probe.
+    pub fn new(n_features: usize, n_classes: usize, config: LogRegConfig) -> Self {
+        SoftmaxReg {
+            weights: Matrix::zeros(n_features, n_classes),
+            bias: vec![0.0; n_classes],
+            adam_w: AdamState::new(n_features, n_classes),
+            adam_b: AdamState::new(1, n_classes),
+            config,
+            n_classes,
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Class probabilities, shape `n x k`.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut logits = if self.config.threads > 1 {
+            x.matmul_parallel(&self.weights, self.config.threads)
+        } else {
+            x.matmul(&self.weights)
+        };
+        logits.add_row_broadcast(&self.bias);
+        ops::softmax_rows(&logits)
+    }
+
+    /// Hard class predictions.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.predict_proba(x).argmax_rows()
+    }
+
+    /// One gradient step on a mini-batch with integer targets.
+    pub fn sgd_step(&mut self, x: &Matrix, y: &[usize]) {
+        assert_eq!(x.rows(), y.len(), "batch target mismatch");
+        let n = x.rows().max(1) as f32;
+        let mut err = self.predict_proba(x);
+        for (r, &t) in y.iter().enumerate() {
+            let v = err.get(r, t);
+            err.set(r, t, v - 1.0);
+        }
+        let mut grad_w = x.t_matmul(&err);
+        grad_w.scale_inplace(1.0 / n);
+        if self.config.l2 > 0.0 {
+            grad_w.add_scaled(&self.weights, self.config.l2);
+        }
+        let grad_b = Matrix::from_vec(
+            1,
+            self.n_classes,
+            err.col_sums().iter().map(|s| s / n).collect(),
+        )
+        .unwrap();
+        let lr = self.config.learning_rate;
+        self.adam_w.update(&mut self.weights, &grad_w, lr);
+        let mut bias_m = Matrix::from_vec(1, self.bias.len(), self.bias.clone()).unwrap();
+        self.adam_b.update(&mut bias_m, &grad_b, lr);
+        self.bias.copy_from_slice(bias_m.as_slice());
+    }
+
+    /// Full training run with seeded shuffling.
+    pub fn fit(&mut self, x: &Matrix, y: &[usize]) {
+        assert_eq!(x.rows(), y.len(), "dataset target mismatch");
+        let n = x.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = init::seeded_rng(self.config.seed);
+        let bs = self.config.batch_size.max(1);
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(bs) {
+                let xb = gather_rows(x, chunk);
+                let yb: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                self.sgd_step(&xb, &yb);
+            }
+        }
+    }
+
+    /// Accuracy on a labelled set.
+    pub fn accuracy(&self, x: &Matrix, y: &[usize]) -> f32 {
+        crate::classify::accuracy_multiclass(&self.predict(x), y)
+    }
+}
+
+/// Copies the given rows of `m` into a new matrix (mini-batch gather).
+pub fn gather_rows(m: &Matrix, indices: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(indices.len(), m.cols());
+    for (dst, &src) in indices.iter().enumerate() {
+        out.row_mut(dst).copy_from_slice(m.row(src));
+    }
+    out
+}
+
+/// Tracks a validation-score history and reports the early-stopping error
+/// from paper §5.2.2: the absolute difference between the latest score and
+/// the mean over the trailing window.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergenceTracker {
+    window: usize,
+    history: Vec<f32>,
+}
+
+impl ConvergenceTracker {
+    /// Window of trailing scores to average (paper default: enough batches
+    /// to cover 2,048 tuples).
+    pub fn new(window: usize) -> Self {
+        ConvergenceTracker { window: window.max(1), history: Vec::new() }
+    }
+
+    /// Records `score`, returning the current error estimate
+    /// (infinity until the window has filled).
+    pub fn push(&mut self, score: f32) -> f32 {
+        self.history.push(score);
+        if self.history.len() <= self.window {
+            return f32::INFINITY;
+        }
+        let tail = &self.history[self.history.len() - 1 - self.window..self.history.len() - 1];
+        let avg = tail.iter().sum::<f32>() / tail.len() as f32;
+        (score - avg).abs()
+    }
+
+    /// Latest score, if any.
+    pub fn latest(&self) -> Option<f32> {
+        self.history.last().copied()
+    }
+
+    /// Number of recorded scores.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True when no scores have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+}
+
+/// `folds`-fold cross-validated F1 of a single-output logreg probe;
+/// the paper's default reporting protocol (§4.3: "F1 on 5-fold CV").
+pub fn kfold_f1(x: &Matrix, y: &[f32], folds: usize, config: &LogRegConfig) -> f32 {
+    assert_eq!(x.rows(), y.len(), "kfold target mismatch");
+    let n = x.rows();
+    let folds = folds.clamp(2, n.max(2));
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = init::seeded_rng(config.seed.wrapping_add(0x5EED));
+    order.shuffle(&mut rng);
+
+    let mut scores = Vec::with_capacity(folds);
+    for f in 0..folds {
+        let test_idx: Vec<usize> =
+            order.iter().copied().skip(f).step_by(folds).collect();
+        let train_idx: Vec<usize> = order
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| i % folds != f)
+            .map(|(_, v)| v)
+            .collect();
+        if test_idx.is_empty() || train_idx.is_empty() {
+            continue;
+        }
+        let xt = gather_rows(x, &train_idx);
+        let yt = Matrix::from_vec(train_idx.len(), 1, train_idx.iter().map(|&i| y[i]).collect())
+            .unwrap();
+        let xv = gather_rows(x, &test_idx);
+        let yv: Vec<f32> = test_idx.iter().map(|&i| y[i]).collect();
+        let mut model = MultiLogReg::new(x.cols(), 1, config.clone());
+        model.fit(&xt, &yt);
+        let pred = model.predict_proba(&xv).col(0);
+        scores.push(crate::classify::f1_score(&pred, &yv));
+    }
+    if scores.is_empty() {
+        0.0
+    } else {
+        scores.iter().sum::<f32>() / scores.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable toy set: y = 1 iff x0 + x1 > 1.
+    fn toy_dataset(n: usize) -> (Matrix, Matrix) {
+        let x = Matrix::from_fn(n, 2, |r, c| {
+            
+            ((r * 37 + c * 17) % 100) as f32 / 100.0
+        });
+        let y = Matrix::from_fn(n, 1, |r, _| {
+            if x.get(r, 0) + x.get(r, 1) > 1.0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        (x, y)
+    }
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        let (x, y) = toy_dataset(200);
+        let mut model = MultiLogReg::new(2, 1, LogRegConfig {
+            epochs: 100,
+            learning_rate: 0.1,
+            ..Default::default()
+        });
+        model.fit(&x, &y);
+        let f1 = model.f1_per_output(&x, &y)[0];
+        assert!(f1 > 0.95, "F1 {f1}");
+    }
+
+    #[test]
+    fn merged_training_equals_separate_training() {
+        // The central model-merging exactness claim (§5.2.1).
+        let (x, y0) = toy_dataset(120);
+        let y1 = Matrix::from_fn(120, 1, |r, _| if x.get(r, 0) > 0.5 { 1.0 } else { 0.0 });
+        let y = y0.hstack(&y1).unwrap();
+
+        let config = LogRegConfig { epochs: 30, learning_rate: 0.05, ..Default::default() };
+        let mut merged = MultiLogReg::new(2, 2, config.clone());
+        merged.fit(&x, &y);
+
+        let mut sep0 = MultiLogReg::new(2, 1, config.clone());
+        sep0.fit(&x, &y0);
+        let mut sep1 = MultiLogReg::new(2, 1, config);
+        sep1.fit(&x, &y1);
+
+        for f in 0..2 {
+            assert!(
+                (merged.weights().get(f, 0) - sep0.weights().get(f, 0)).abs() < 1e-4,
+                "output 0 weight {f} diverged"
+            );
+            assert!(
+                (merged.weights().get(f, 1) - sep1.weights().get(f, 0)).abs() < 1e-4,
+                "output 1 weight {f} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_training_equals_separate_with_regularization() {
+        let (x, y0) = toy_dataset(80);
+        let y1 = Matrix::from_fn(80, 1, |r, _| if x.get(r, 1) > 0.6 { 1.0 } else { 0.0 });
+        let y = y0.hstack(&y1).unwrap();
+        let config = LogRegConfig {
+            epochs: 15,
+            learning_rate: 0.05,
+            l1: 0.01,
+            l2: 0.01,
+            ..Default::default()
+        };
+        let mut merged = MultiLogReg::new(2, 2, config.clone());
+        merged.fit(&x, &y);
+        let mut sep = MultiLogReg::new(2, 1, config);
+        sep.fit(&x, &y0);
+        for f in 0..2 {
+            assert!((merged.weights().get(f, 0) - sep.weights().get(f, 0)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_device_matches_single_core() {
+        let (x, y) = toy_dataset(150);
+        let mut cpu = MultiLogReg::new(2, 1, LogRegConfig { epochs: 10, ..Default::default() });
+        let mut gpu = MultiLogReg::new(
+            2,
+            1,
+            LogRegConfig { epochs: 10, threads: 4, ..Default::default() },
+        );
+        cpu.fit(&x, &y);
+        gpu.fit(&x, &y);
+        for f in 0..2 {
+            assert!((cpu.weights().get(f, 0) - gpu.weights().get(f, 0)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn l1_regularization_sparsifies() {
+        // 6 features, only feature 0 is informative.
+        let n = 300;
+        let x = Matrix::from_fn(n, 6, |r, c| {
+            if c == 0 {
+                (r % 2) as f32
+            } else {
+                ((r * (c + 7) * 31) % 100) as f32 / 100.0
+            }
+        });
+        let y = Matrix::from_fn(n, 1, |r, _| (r % 2) as f32);
+        let dense_cfg = LogRegConfig { epochs: 60, learning_rate: 0.05, ..Default::default() };
+        let sparse_cfg = LogRegConfig { l1: 0.05, ..dense_cfg.clone() };
+        let mut dense = MultiLogReg::new(6, 1, dense_cfg);
+        let mut sparse = MultiLogReg::new(6, 1, sparse_cfg);
+        dense.fit(&x, &y);
+        sparse.fit(&x, &y);
+        assert!(sparse.selected_units(0, 0.1) <= dense.selected_units(0, 0.1));
+        assert!(sparse.unit_scores(0)[0] > 0.3, "informative unit kept");
+    }
+
+    #[test]
+    fn partial_fit_progresses_toward_fit() {
+        let (x, y) = toy_dataset(256);
+        let mut model = MultiLogReg::new(2, 1, LogRegConfig {
+            learning_rate: 0.1,
+            ..Default::default()
+        });
+        for _ in 0..50 {
+            model.partial_fit(&x, &y);
+        }
+        assert!(model.f1_per_output(&x, &y)[0] > 0.9);
+    }
+
+    #[test]
+    fn extract_column_predicts_identically() {
+        let (x, y0) = toy_dataset(100);
+        let y1 = y0.map(|v| 1.0 - v);
+        let y = y0.hstack(&y1).unwrap();
+        let mut merged =
+            MultiLogReg::new(2, 2, LogRegConfig { epochs: 10, ..Default::default() });
+        merged.fit(&x, &y);
+        let col1 = merged.extract_column(1);
+        let merged_prob = merged.predict_proba(&x).col(1);
+        let single_prob = col1.predict_proba(&x).col(0);
+        for (a, b) in merged_prob.iter().zip(single_prob.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_probe_learns_three_classes() {
+        let n = 300;
+        let x = Matrix::from_fn(n, 3, |r, c| if r % 3 == c { 1.0 } else { 0.0 });
+        let y: Vec<usize> = (0..n).map(|r| r % 3).collect();
+        let mut probe = SoftmaxReg::new(3, 3, LogRegConfig {
+            epochs: 40,
+            learning_rate: 0.1,
+            ..Default::default()
+        });
+        probe.fit(&x, &y);
+        assert!(probe.accuracy(&x, &y) > 0.99);
+    }
+
+    #[test]
+    fn softmax_probabilities_are_distributions() {
+        let probe = SoftmaxReg::new(2, 4, LogRegConfig::default());
+        let x = Matrix::from_fn(5, 2, |r, c| (r + c) as f32);
+        let p = probe.predict_proba(&x);
+        for r in 0..5 {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn convergence_tracker_err_drops_when_stable() {
+        let mut tracker = ConvergenceTracker::new(4);
+        assert_eq!(tracker.push(0.1), f32::INFINITY);
+        for s in [0.4, 0.6, 0.7, 0.72] {
+            tracker.push(s);
+        }
+        let err_moving = tracker.push(0.9);
+        for _ in 0..6 {
+            tracker.push(0.9);
+        }
+        let err_stable = tracker.push(0.9);
+        assert!(err_stable < err_moving);
+        assert!(err_stable < 1e-6);
+    }
+
+    #[test]
+    fn kfold_f1_high_for_separable_low_for_noise() {
+        let (x, y_mat) = toy_dataset(160);
+        let y: Vec<f32> = y_mat.col(0);
+        let cfg = LogRegConfig { epochs: 40, learning_rate: 0.1, ..Default::default() };
+        let good = kfold_f1(&x, &y, 4, &cfg);
+        // Random labels: deterministic pseudo-random, balanced.
+        let noise: Vec<f32> = (0..160).map(|i| ((i * 7919) % 2) as f32).collect();
+        let bad = kfold_f1(&x, &noise, 4, &cfg);
+        assert!(good > 0.9, "good {good}");
+        assert!(bad < good, "bad {bad} not below good {good}");
+    }
+
+    #[test]
+    fn gather_rows_selects_expected() {
+        let m = Matrix::from_fn(4, 2, |r, c| (r * 10 + c) as f32);
+        let g = gather_rows(&m, &[2, 0]);
+        assert_eq!(g.row(0), &[20.0, 21.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Mutual information between behavior vectors (paper §4.3, used by
+//! Morcos et al.-style analyses).
+//!
+//! Continuous behaviors are discretized into quantile bins before the
+//! plug-in MI estimate. A multivariate variant treats a small group of
+//! units as a joint variable; beyond `MAX_EXACT_JOINT_DIMS` units the joint
+//! histogram would explode, so the estimator falls back to the maximum
+//! pairwise MI (a standard, conservative surrogate).
+
+use crate::quantile::quantile_bin;
+use std::collections::HashMap;
+
+/// Number of quantile bins used when discretizing continuous behaviors.
+pub const DEFAULT_BINS: usize = 8;
+
+/// Joint-histogram MI is computed exactly up to this many variables.
+pub const MAX_EXACT_JOINT_DIMS: usize = 3;
+
+/// Plug-in mutual information (in nats) between two discrete label vectors.
+pub fn mutual_information_discrete(xs: &[usize], ys: &[usize]) -> f32 {
+    assert_eq!(xs.len(), ys.len(), "MI input length mismatch");
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut joint: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut px: HashMap<usize, f64> = HashMap::new();
+    let mut py: HashMap<usize, f64> = HashMap::new();
+    let w = 1.0 / n as f64;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        *joint.entry((x, y)).or_default() += w;
+        *px.entry(x).or_default() += w;
+        *py.entry(y).or_default() += w;
+    }
+    let mut mi = 0.0f64;
+    for (&(x, y), &pxy) in &joint {
+        let denom = px[&x] * py[&y];
+        if pxy > 0.0 && denom > 0.0 {
+            mi += pxy * (pxy / denom).ln();
+        }
+    }
+    mi.max(0.0) as f32
+}
+
+/// MI between two continuous behavior vectors after quantile binning.
+pub fn mutual_information(xs: &[f32], ys: &[f32], bins: usize) -> f32 {
+    let bx = quantile_bin(xs, bins);
+    let by = quantile_bin(ys, bins);
+    mutual_information_discrete(&bx, &by)
+}
+
+/// Entropy (nats) of a discrete label vector; the upper bound of any MI
+/// against it, used to normalize scores.
+pub fn entropy_discrete(xs: &[usize]) -> f32 {
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut counts: HashMap<usize, f64> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_default() += 1.0;
+    }
+    let n = n as f64;
+    let mut h = 0.0f64;
+    for &c in counts.values() {
+        let p = c / n;
+        h -= p * p.ln();
+    }
+    h.max(0.0) as f32
+}
+
+/// Multivariate MI between a group of unit behaviors (rows of
+/// `unit_behaviors`, one row per unit, columns are symbols) and a
+/// hypothesis behavior.
+///
+/// With ≤ [`MAX_EXACT_JOINT_DIMS`] units, bins each unit and forms the
+/// exact joint variable; otherwise returns the maximum pairwise MI.
+pub fn multivariate_mi(unit_behaviors: &[&[f32]], hypothesis: &[f32], bins: usize) -> f32 {
+    if unit_behaviors.is_empty() {
+        return 0.0;
+    }
+    let hy = quantile_bin(hypothesis, bins);
+    if unit_behaviors.len() <= MAX_EXACT_JOINT_DIMS {
+        // Compose a joint discrete variable by mixed-radix packing.
+        let binned: Vec<Vec<usize>> =
+            unit_behaviors.iter().map(|u| quantile_bin(u, bins)).collect();
+        let n = hypothesis.len();
+        let mut joint_ids = vec![0usize; n];
+        for b in &binned {
+            assert_eq!(b.len(), n, "unit behavior length mismatch");
+            for (j, &v) in b.iter().enumerate() {
+                joint_ids[j] = joint_ids[j] * bins + v;
+            }
+        }
+        mutual_information_discrete(&joint_ids, &hy)
+    } else {
+        unit_behaviors
+            .iter()
+            .map(|u| mutual_information_discrete(&quantile_bin(u, bins), &hy))
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_variables_mi_equals_entropy() {
+        let xs = vec![0usize, 1, 0, 1, 2, 2, 0, 1];
+        let mi = mutual_information_discrete(&xs, &xs);
+        let h = entropy_discrete(&xs);
+        assert!((mi - h).abs() < 1e-5, "{mi} vs {h}");
+    }
+
+    #[test]
+    fn independent_variables_mi_near_zero() {
+        // x cycles with period 2, y with period 3 over 600 samples: the
+        // joint distribution is exactly the product of marginals.
+        let xs: Vec<usize> = (0..600).map(|i| i % 2).collect();
+        let ys: Vec<usize> = (0..600).map(|i| i % 3).collect();
+        assert!(mutual_information_discrete(&xs, &ys) < 1e-5);
+    }
+
+    #[test]
+    fn mi_is_nonnegative_and_symmetric() {
+        let xs = vec![0usize, 0, 1, 1, 2, 0, 1, 2, 2, 1];
+        let ys = vec![1usize, 0, 1, 0, 2, 2, 1, 0, 2, 1];
+        let a = mutual_information_discrete(&xs, &ys);
+        let b = mutual_information_discrete(&ys, &xs);
+        assert!(a >= 0.0);
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuous_mi_detects_functional_dependence() {
+        let xs: Vec<f32> = (0..200).map(|i| (i as f32 * 0.1).sin()).collect();
+        let dependent = mutual_information(&xs, &xs.iter().map(|v| v * 3.0).collect::<Vec<_>>(), 8);
+        let noise: Vec<f32> = (0..200).map(|i| ((i * 7919) % 100) as f32).collect();
+        let independent = mutual_information(&xs, &noise, 8);
+        assert!(dependent > independent, "{dependent} vs {independent}");
+    }
+
+    #[test]
+    fn entropy_uniform_is_log_k() {
+        let xs: Vec<usize> = (0..100).map(|i| i % 4).collect();
+        assert!((entropy_discrete(&xs) - (4.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn entropy_constant_is_zero() {
+        assert_eq!(entropy_discrete(&[7usize; 10]), 0.0);
+    }
+
+    #[test]
+    fn multivariate_joint_beats_single_unit_on_xor() {
+        // h = XOR(u1, u2): neither unit alone is informative, together they
+        // determine h exactly — the case where joint measures matter
+        // (paper: groups of units behaving collectively as a detector).
+        let n = 400;
+        let u1: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
+        let u2: Vec<f32> = (0..n).map(|i| ((i / 2) % 2) as f32).collect();
+        let h: Vec<f32> = u1.iter().zip(u2.iter()).map(|(a, b)| (a + b) % 2.0).collect();
+        let single = multivariate_mi(&[&u1], &h, 2);
+        let joint = multivariate_mi(&[&u1, &u2], &h, 2);
+        assert!(single < 0.01, "single {single}");
+        assert!(joint > 0.5, "joint {joint}");
+    }
+
+    #[test]
+    fn multivariate_falls_back_beyond_exact_dims() {
+        let n = 100;
+        let units: Vec<Vec<f32>> = (0..5)
+            .map(|u| (0..n).map(|i| ((i + u) % 3) as f32).collect())
+            .collect();
+        let refs: Vec<&[f32]> = units.iter().map(|v| v.as_slice()).collect();
+        let h: Vec<f32> = (0..n).map(|i| (i % 3) as f32).collect();
+        let score = multivariate_mi(&refs, &h, 3);
+        // Must equal max pairwise MI: unit 0 matches h exactly.
+        let exact = mutual_information(&units[0], &h, 3);
+        assert!((score - exact).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero() {
+        assert_eq!(mutual_information_discrete(&[], &[]), 0.0);
+        assert_eq!(multivariate_mi(&[], &[], 4), 0.0);
+    }
+}

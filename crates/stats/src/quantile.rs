@@ -1,0 +1,269 @@
+//! Quantiles and quantile binning.
+//!
+//! NetDissect-style measures (paper Appendix E) binarize activations at a
+//! top-quantile threshold; mutual information discretizes behaviors into
+//! quantile bins. Both a sorted-sample exact quantile and a streaming
+//! estimator (for the online pipeline) are provided.
+
+/// Exact sample quantile by sorting a copy (linear interpolation between
+/// order statistics, matching NumPy's default).
+pub fn quantile(values: &[f32], q: f32) -> f32 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of [0,1]");
+    if values.is_empty() {
+        return f32::NAN;
+    }
+    let mut sorted: Vec<f32> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return f32::NAN;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q as f64 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = (pos - lo as f64) as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Streaming quantile estimator using the P² algorithm (Jain & Chlamtac,
+/// 1985): five markers track the running quantile without storing the
+/// sample. NetDissect uses an online quantile approximation for exactly
+/// this purpose; the paper notes the approximation is one source of its
+/// score nondeterminism.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based counts).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Increments for desired positions.
+    increments: [f64; 5],
+    /// Initial observations until five samples arrive.
+    initial: Vec<f64>,
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "P2 quantile must be strictly inside (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            initial: Vec::with_capacity(5),
+            count: 0,
+        }
+    }
+
+    /// Number of observations consumed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f32) {
+        let x = x as f64;
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+
+        // Find cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments.iter()) {
+            *d += inc;
+        }
+
+        // Adjust interior markers with parabolic (or linear) interpolation.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let new_height = self.parabolic(i, sign);
+                self.heights[i] = if self.heights[i - 1] < new_height && new_height < self.heights[i + 1] {
+                    new_height
+                } else {
+                    self.linear(i, sign)
+                };
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (h, p) = (&self.heights, &self.positions);
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate.
+    pub fn estimate(&self) -> f32 {
+        if self.count == 0 {
+            return f32::NAN;
+        }
+        if self.initial.len() < 5 && self.count < 5 {
+            // Fall back to exact quantile over the tiny buffer.
+            let vals: Vec<f32> = self.initial.iter().map(|&v| v as f32).collect();
+            return quantile(&vals, self.q as f32);
+        }
+        self.heights[2] as f32
+    }
+}
+
+/// Assigns each value to one of `bins` quantile bins (0-based). Values equal
+/// to a boundary fall into the lower bin; the mapping is monotone.
+pub fn quantile_bin(values: &[f32], bins: usize) -> Vec<usize> {
+    assert!(bins >= 1, "need at least one bin");
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut boundaries = Vec::with_capacity(bins - 1);
+    for b in 1..bins {
+        boundaries.push(quantile(values, b as f32 / bins as f32));
+    }
+    values
+        .iter()
+        .map(|&v| boundaries.iter().take_while(|&&b| v > b).count())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quantile_median_of_odd() {
+        let vals = [5.0f32, 1.0, 3.0];
+        assert_eq!(quantile(&vals, 0.5), 3.0);
+    }
+
+    #[test]
+    fn exact_quantile_interpolates() {
+        let vals = [0.0f32, 10.0];
+        assert!((quantile(&vals, 0.25) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_quantile_extremes() {
+        let vals = [2.0f32, 9.0, 4.0, 7.0];
+        assert_eq!(quantile(&vals, 0.0), 2.0);
+        assert_eq!(quantile(&vals, 1.0), 9.0);
+    }
+
+    #[test]
+    fn exact_quantile_empty_is_nan() {
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn p2_tracks_median_of_uniform_stream() {
+        let mut est = P2Quantile::new(0.5);
+        // Deterministic pseudo-uniform stream.
+        let mut x = 123456789u64;
+        let mut all = Vec::new();
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((x >> 33) as f32) / (u32::MAX >> 1) as f32;
+            est.push(v);
+            all.push(v);
+        }
+        let exact = quantile(&all, 0.5);
+        assert!((est.estimate() - exact).abs() < 0.02, "{} vs {}", est.estimate(), exact);
+    }
+
+    #[test]
+    fn p2_tracks_high_quantile() {
+        let mut est = P2Quantile::new(0.99);
+        let mut all = Vec::new();
+        for i in 0..10000 {
+            let v = ((i * 7919) % 10000) as f32 / 10000.0;
+            est.push(v);
+            all.push(v);
+        }
+        let exact = quantile(&all, 0.99);
+        assert!((est.estimate() - exact).abs() < 0.03, "{} vs {}", est.estimate(), exact);
+    }
+
+    #[test]
+    fn p2_small_sample_falls_back_to_exact() {
+        let mut est = P2Quantile::new(0.5);
+        est.push(10.0);
+        est.push(20.0);
+        assert!((est.estimate() - 15.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_bins_are_balanced() {
+        let vals: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let bins = quantile_bin(&vals, 4);
+        let mut counts = [0usize; 4];
+        for &b in &bins {
+            counts[b] += 1;
+        }
+        for &c in &counts {
+            assert!((20..=30).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn quantile_bins_monotone() {
+        let vals = [5.0f32, 1.0, 9.0, 3.0, 7.0];
+        let bins = quantile_bin(&vals, 3);
+        // Larger value never gets a smaller bin.
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                if vals[i] < vals[j] {
+                    assert!(bins[i] <= bins[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_bin_puts_everything_in_zero() {
+        let bins = quantile_bin(&[1.0, 2.0, 3.0], 1);
+        assert_eq!(bins, vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic dataset splitting helpers (shuffles, train/test splits,
+//! k-fold index generation) shared by probes and the inspection engines.
+
+use rand::seq::SliceRandom;
+
+/// Seeded permutation of `0..n`.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = deepbase_tensor::init::seeded_rng(seed);
+    idx.shuffle(&mut rng);
+    idx
+}
+
+/// Splits `0..n` into `(train, test)` index sets with the given test
+/// fraction, after a seeded shuffle. Guarantees at least one element per
+/// side when `n >= 2`.
+pub fn train_test_split(n: usize, test_fraction: f32, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&test_fraction), "fraction out of range");
+    let idx = shuffled_indices(n, seed);
+    let mut n_test = ((n as f32) * test_fraction).round() as usize;
+    if n >= 2 {
+        n_test = n_test.clamp(1, n - 1);
+    }
+    let (test, train) = idx.split_at(n_test.min(n));
+    (train.to_vec(), test.to_vec())
+}
+
+/// Generates `folds` (train, test) index pairs covering `0..n` exactly once
+/// as test data.
+pub fn kfold_indices(n: usize, folds: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let folds = folds.clamp(2, n.max(2));
+    let idx = shuffled_indices(n, seed);
+    (0..folds)
+        .map(|f| {
+            let test: Vec<usize> = idx.iter().copied().skip(f).step_by(folds).collect();
+            let train: Vec<usize> = idx
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(i, _)| i % folds != f)
+                .map(|(_, v)| v)
+                .collect();
+            (train, test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let idx = shuffled_indices(100, 9);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_deterministic_by_seed() {
+        assert_eq!(shuffled_indices(50, 3), shuffled_indices(50, 3));
+        assert_ne!(shuffled_indices(50, 3), shuffled_indices(50, 4));
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let (train, test) = train_test_split(40, 0.25, 1);
+        assert_eq!(train.len() + test.len(), 40);
+        assert_eq!(test.len(), 10);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_never_empties_either_side() {
+        let (train, test) = train_test_split(2, 0.0, 1);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+        let (train, test) = train_test_split(5, 1.0, 1);
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn kfold_covers_each_index_once_as_test() {
+        let folds = kfold_indices(23, 5, 2);
+        assert_eq!(folds.len(), 5);
+        let mut test_union: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        test_union.sort_unstable();
+        assert_eq!(test_union, (0..23).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            assert!(train.iter().all(|i| !test.contains(i)));
+        }
+    }
+}

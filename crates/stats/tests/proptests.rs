@@ -1,0 +1,145 @@
+//! Property-based tests for the statistical measures: the invariants the
+//! DeepBase engine relies on must hold for arbitrary behavior vectors.
+
+use deepbase_stats::{
+    corr::{pearson, StreamingPearson, Z_95},
+    descriptive::{jaccard, silhouette_score},
+    mi::{entropy_discrete, mutual_information_discrete},
+    quantile::{quantile, quantile_bin},
+};
+use proptest::prelude::*;
+
+fn behavior_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-50.0f32..50.0, len)
+}
+
+proptest! {
+    #[test]
+    fn correlation_bounded(
+        xs in behavior_vec(2..64),
+        shift in -5.0f32..5.0,
+    ) {
+        let ys: Vec<f32> = xs.iter().map(|x| x * 0.5 + shift).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn correlation_symmetric(pairs in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 2..64)) {
+        let xs: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        prop_assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn correlation_invariant_to_affine_transform(
+        pairs in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 4..64),
+        a in 0.1f32..10.0,
+        b in -10.0f32..10.0,
+    ) {
+        let xs: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let transformed: Vec<f32> = xs.iter().map(|x| a * x + b).collect();
+        let r1 = pearson(&xs, &ys);
+        let r2 = pearson(&transformed, &ys);
+        prop_assert!((r1 - r2).abs() < 5e-2, "{r1} vs {r2}");
+    }
+
+    #[test]
+    fn self_correlation_is_one_for_nonconstant(xs in behavior_vec(4..64)) {
+        // Skip numerically constant vectors, where the convention is 0.
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let spread = xs.iter().map(|x| (x - mean).abs()).fold(0.0f32, f32::max);
+        prop_assume!(spread > 1.0);
+        prop_assert!((pearson(&xs, &xs) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn streaming_equals_batch_for_any_block_split(
+        pairs in proptest::collection::vec((-50.0f32..50.0, -50.0f32..50.0), 8..64),
+        split_at in 1usize..7,
+    ) {
+        let xs: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let split = split_at.min(xs.len() - 1);
+        let mut acc = StreamingPearson::new();
+        acc.push_block(&xs[..split], &ys[..split]);
+        acc.push_block(&xs[split..], &ys[split..]);
+        prop_assert!((acc.correlation() - pearson(&xs, &ys)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fisher_width_nonincreasing_in_n(extra in 10u32..500) {
+        let mut acc = StreamingPearson::new();
+        for i in 0..50u32 {
+            acc.push((i % 7) as f32, (i % 5) as f32);
+        }
+        let w1 = acc.fisher_half_width(Z_95);
+        for i in 0..extra {
+            acc.push((i % 7) as f32, (i % 5) as f32);
+        }
+        // Same data-generating process: more samples can't widen the CI much.
+        prop_assert!(acc.fisher_half_width(Z_95) <= w1 + 0.05);
+    }
+
+    #[test]
+    fn mi_nonnegative_and_bounded_by_entropy(
+        labels in proptest::collection::vec((0usize..4, 0usize..4), 4..128),
+    ) {
+        let xs: Vec<usize> = labels.iter().map(|p| p.0).collect();
+        let ys: Vec<usize> = labels.iter().map(|p| p.1).collect();
+        let mi = mutual_information_discrete(&xs, &ys);
+        prop_assert!(mi >= 0.0);
+        prop_assert!(mi <= entropy_discrete(&xs) + 1e-4);
+        prop_assert!(mi <= entropy_discrete(&ys) + 1e-4);
+    }
+
+    #[test]
+    fn jaccard_bounded_and_reflexive(mask in proptest::collection::vec(0u8..2, 1..64)) {
+        let a: Vec<f32> = mask.iter().map(|&v| v as f32).collect();
+        let j_self = jaccard(&a, &a);
+        if mask.contains(&1) {
+            prop_assert_eq!(j_self, 1.0);
+        } else {
+            prop_assert_eq!(j_self, 0.0);
+        }
+        let b: Vec<f32> = mask.iter().map(|&v| 1.0 - v as f32).collect();
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn quantile_within_data_range(vals in behavior_vec(1..64), q in 0.0f32..=1.0) {
+        let v = quantile(&vals, q);
+        let min = vals.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = vals.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(v >= min - 1e-6 && v <= max + 1e-6);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q(vals in behavior_vec(2..64)) {
+        let qs = [0.1f32, 0.3, 0.5, 0.7, 0.9];
+        let vs: Vec<f32> = qs.iter().map(|&q| quantile(&vals, q)).collect();
+        for pair in vs.windows(2) {
+            prop_assert!(pair[0] <= pair[1] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantile_bin_ids_in_range(vals in behavior_vec(1..64), bins in 1usize..8) {
+        let b = quantile_bin(&vals, bins);
+        prop_assert!(b.iter().all(|&id| id < bins));
+    }
+
+    #[test]
+    fn silhouette_bounded(
+        points in proptest::collection::vec(
+            (0.0f32..10.0, 0.0f32..10.0, 0usize..3), 3..40,
+        ),
+    ) {
+        let coords: Vec<Vec<f32>> = points.iter().map(|p| vec![p.0, p.1]).collect();
+        let labels: Vec<usize> = points.iter().map(|p| p.2).collect();
+        let s = silhouette_score(&coords, &labels);
+        prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s}");
+    }
+}

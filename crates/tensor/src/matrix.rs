@@ -1,0 +1,697 @@
+//! Dense row-major `f32` matrix.
+//!
+//! This is the numeric substrate the rest of the reproduction is built on.
+//! It deliberately covers only what the DeepBase pipeline needs — dense 2-D
+//! arrays, a fast blocked mat-mul (plus transposed variants used by
+//! back-propagation), elementwise kernels and reductions — rather than being
+//! a general tensor library.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error type for shape-related failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the mismatch.
+    pub msg: String,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A dense row-major matrix of `f32` values.
+///
+/// Row-major layout means element `(r, c)` lives at `data[r * cols + c]`,
+/// which makes per-row slices (`row`) free and keeps mat-mul inner loops
+/// sequential in memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError {
+                msg: format!("data length {} != {}x{}", data.len(), rows, cols),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor. Panics when out of range (debug-friendly indexing
+    /// is the common case in this codebase; use `get_checked` for fallible
+    /// access).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Fallible element accessor.
+    pub fn get_checked(&self, r: usize, c: usize) -> Option<f32> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Sets element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns a new matrix containing rows `[start, end)`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "row slice out of range");
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Vertically stacks `self` on top of `other` (column counts must match).
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError {
+                msg: format!("vstack cols {} != {}", self.cols, other.cols),
+            });
+        }
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix { rows: self.rows + other.rows, cols: self.cols, data })
+    }
+
+    /// Horizontally stacks `self` to the left of `other` (row counts must match).
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.rows != other.rows {
+            return Err(ShapeError {
+                msg: format!("hstack rows {} != {}", self.rows, other.rows),
+            });
+        }
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Ok(Matrix { rows: self.rows, cols, data })
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two equally-shaped matrices.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Result<Matrix, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError {
+                msg: format!("zip_map {:?} vs {:?}", self.shape(), other.shape()),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Elementwise addition. Panics on shape mismatch (used on hot paths
+    /// where shapes are statically known).
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// In-place elementwise addition.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` (axpy).
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+        out
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(other.data.iter()) {
+            *a *= b;
+        }
+        out
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// In-place scaling.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Adds `row_vec` (length == cols) to every row; used for bias terms.
+    pub fn add_row_broadcast(&mut self, row_vec: &[f32]) {
+        assert_eq!(row_vec.len(), self.cols, "broadcast length mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (a, b) in row.iter_mut().zip(row_vec.iter()) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (NaN-ignoring); `f32::NEG_INFINITY` when empty.
+    pub fn max(&self) -> f32 {
+        self.data
+            .iter()
+            .copied()
+            .filter(|x| !x.is_nan())
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (NaN-ignoring); `f32::INFINITY` when empty.
+    pub fn min(&self) -> f32 {
+        self.data
+            .iter()
+            .copied()
+            .filter(|x| !x.is_nan())
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Column sums as a vector of length `cols`.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for row in self.rows_iter() {
+            for (s, v) in sums.iter_mut().zip(row.iter()) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Index of the maximum element of each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.rows_iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True when all corresponding elements differ by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Uses the `i-k-j` loop order so the inner loop walks both the output
+    /// row and the right-hand row sequentially; this is the standard
+    /// cache-friendly layout for row-major data and is what keeps LSTM
+    /// training tolerable without a BLAS dependency.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dims {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        matmul_into(&self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data);
+        out
+    }
+
+    /// `self^T * other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul outer dims {}x{} ^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        // out[c][j] += self[r][c] * other[r][j]
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (c, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[c * other.cols..(c + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t inner dims {}x{} * {}x{}^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let out_row = &mut out.data[r * other.rows..(r + 1) * other.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (x, y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Parallel matrix product, splitting output rows across `threads`
+    /// OS threads via crossbeam scoped threads.
+    ///
+    /// This is the kernel behind the reproduction's simulated "GPU" device:
+    /// the paper offloads batched extraction and merged-model training to a
+    /// K80; we offload the same matrix products to a thread pool.
+    pub fn matmul_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul_parallel inner dims");
+        let threads = threads.max(1);
+        if threads == 1 || self.rows < 2 * threads {
+            return self.matmul(other);
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let chunk_rows = self.rows.div_ceil(threads);
+        let out_cols = other.cols;
+        let lhs_cols = self.cols;
+        {
+            let lhs = &self.data;
+            let rhs = &other.data;
+            let chunks: Vec<&mut [f32]> = out.data.chunks_mut(chunk_rows * out_cols).collect();
+            crossbeam::thread::scope(|scope| {
+                for (idx, chunk) in chunks.into_iter().enumerate() {
+                    let row_start = idx * chunk_rows;
+                    let rows_here = chunk.len() / out_cols;
+                    let lhs_part = &lhs[row_start * lhs_cols..(row_start + rows_here) * lhs_cols];
+                    scope.spawn(move |_| {
+                        matmul_into(lhs_part, rows_here, lhs_cols, rhs, out_cols, chunk);
+                    });
+                }
+            })
+            .expect("matmul_parallel worker panicked");
+        }
+        out
+    }
+}
+
+/// Inner mat-mul kernel shared by the serial and parallel entry points.
+fn matmul_into(lhs: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(lhs.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &lhs[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_row = &rhs[kk * n..(kk + 1) * n];
+            for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for r in 0..show_rows {
+            let row = self.row(r);
+            let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:8.4}")).collect();
+            let ellipsis = if self.cols > 8 { ", ..." } else { "" };
+            writeln!(f, "  [{}{}]", cells.join(", "), ellipsis)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn zeros_has_correct_shape_and_values() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(1, 0, 7.5);
+        assert_eq!(a.get(1, 0), 7.5);
+        assert_eq!(a.get_checked(5, 0), None);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(a.col(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, m(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert!(a.matmul(&Matrix::identity(2)).approx_eq(&a, 1e-6));
+        assert!(Matrix::identity(2).matmul(&a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 4, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        assert!(a.t_matmul(&b).approx_eq(&a.transpose().matmul(&b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(4, 3, &(0..12).map(|x| x as f32).collect::<Vec<_>>());
+        assert!(a.matmul_t(&b).approx_eq(&a.matmul(&b.transpose()), 1e-5));
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        let a = Matrix::from_fn(17, 13, |r, c| ((r * 31 + c * 7) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(13, 9, |r, c| ((r * 13 + c * 3) % 7) as f32 - 3.0);
+        let serial = a.matmul(&b);
+        for threads in [1, 2, 4, 8] {
+            assert!(a.matmul_parallel(&b, threads).approx_eq(&serial, 1e-4));
+        }
+    }
+
+    #[test]
+    fn add_sub_hadamard() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = m(1, 2, &[1.0, 1.0]);
+        a.add_scaled(&m(1, 2, &[2.0, 4.0]), 0.5);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_adds_row_to_each_row() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 2, &[1.0, -2.0, 3.0, 4.0]);
+        assert_eq!(a.sum(), 6.0);
+        assert_eq!(a.mean(), 1.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(a.col_sums(), vec![4.0, 2.0]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_first_max() {
+        let a = m(2, 3, &[0.1, 0.9, 0.5, 0.3, 0.2, 0.8]);
+        assert_eq!(a.argmax_rows(), vec![1, 2]);
+    }
+
+    #[test]
+    fn slice_rows_copies_range() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = a.slice_rows(1, 3);
+        assert_eq!(s, m(2, 2, &[3.0, 4.0, 5.0, 6.0]));
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = m(1, 2, &[1.0, 2.0]);
+        let b = m(1, 2, &[3.0, 4.0]);
+        assert_eq!(a.vstack(&b).unwrap(), m(2, 2, &[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(a.hstack(&b).unwrap(), m(1, 4, &[1.0, 2.0, 3.0, 4.0]));
+        assert!(a.vstack(&m(1, 3, &[0.0; 3])).is_err());
+        assert!(a.hstack(&m(2, 2, &[0.0; 4])).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_is_bounded_for_large_matrices() {
+        let a = Matrix::zeros(100, 100);
+        let s = format!("{a}");
+        assert!(s.lines().count() < 12);
+    }
+}

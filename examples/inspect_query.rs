@@ -1,0 +1,68 @@
+//! The INSPECT SQL extension (paper Appendix B).
+//!
+//! Registers two epochs of the SQL model, a keyword hypothesis library and
+//! the dataset in a catalog, then runs the paper's example query —
+//! correlating layer-0 units with keyword hypotheses per epoch and keeping
+//! the high scorers.
+//!
+//! Run with: `cargo run --release --example inspect_query`
+
+use deepbase::prelude::*;
+use deepbase::query::{run_query, Catalog};
+use deepbase::workloads::sql;
+use std::sync::Arc;
+
+/// Owned extractor wrapper so models can live inside the catalog.
+struct OwnedCharExtractor {
+    model: deepbase_nn::CharLstmModel,
+}
+
+impl Extractor for OwnedCharExtractor {
+    fn n_units(&self) -> usize {
+        self.model.hidden()
+    }
+
+    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> deepbase_tensor::Matrix {
+        CharModelExtractor::new(&self.model).extract(records, unit_ids)
+    }
+}
+
+fn main() -> Result<(), DniError> {
+    println!("== Appendix B: the INSPECT clause ==\n");
+    let workload = sql::build(&sql::SqlWorkloadConfig {
+        n_queries: 32,
+        max_records: 384,
+        ..Default::default()
+    });
+    let snapshots = sql::train_model(&workload, 24, 2, 0.02, 6);
+
+    let mut catalog = Catalog::new();
+    for (epoch, model) in snapshots.into_iter().enumerate() {
+        catalog.add_model(
+            "sqlparser",
+            epoch as i64,
+            Arc::new(OwnedCharExtractor { model }),
+        );
+    }
+    catalog.add_hypotheses(
+        "keywords",
+        sql::keyword_hypotheses()
+            .into_iter()
+            .map(|h| Arc::new(h) as Arc<dyn HypothesisFn>)
+            .collect(),
+    );
+    catalog.add_dataset("seq", Arc::new(workload.dataset.clone()));
+
+    let query = "
+        SELECT M.epoch, S.uid, S.hyp_id, S.unit_score
+        INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+        FROM models M, units U, hypotheses H, inputs D
+        WHERE M.mid = 'sqlparser' AND H.name = 'keywords'
+        HAVING S.unit_score > 0.3
+    ";
+    println!("query:{query}");
+    let table = run_query(query, &catalog, &InspectionConfig::default())?;
+    println!("result ({} rows):\n", table.len());
+    println!("{}", table.render(25));
+    Ok(())
+}

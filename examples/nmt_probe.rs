@@ -1,0 +1,98 @@
+//! Probing a translation model for part-of-speech (paper §6.3).
+//!
+//! Trains the EN→DE seq2seq model on the synthetic corpus and probes its
+//! encoder: do hidden units learn POS tags as a byproduct of translation?
+//! Compares the trained encoder against an untrained one of the same
+//! architecture (the Fig. 12 contrast: architecture is a prior for
+//! low-level features, training adds the high-level ones).
+//!
+//! Run with: `cargo run --release --example nmt_probe`
+
+use deepbase::prelude::*;
+use deepbase::workloads::nmt;
+
+fn main() -> Result<(), DniError> {
+    println!("== POS probes on a seq2seq encoder (trained vs untrained) ==\n");
+    let workload = nmt::build(&nmt::NmtWorkloadConfig { n_sentences: 160, seed: 3 });
+    println!(
+        "corpus: {} sentence pairs, mean source length {:.1} tokens, tags: {:?}",
+        workload.corpus.pairs.len(),
+        workload.corpus.mean_source_len(),
+        workload.corpus.observed_tags()
+    );
+
+    let hidden = 24;
+    let trained = nmt::train_model(&workload, 16, hidden, 3, 0.01, 4);
+    let untrained = deepbase_nn::Seq2Seq::new(
+        workload.src_vocab.size(),
+        workload.tgt_vocab.size(),
+        16,
+        hidden,
+        4,
+    );
+
+    let tags = ["DT", "NN", "VBZ", "VBD", "JJ", "RB", "CC", "."];
+    let hypotheses = nmt::tag_hypotheses(&workload, &tags);
+    let hyp_refs: Vec<&dyn HypothesisFn> =
+        hypotheses.iter().map(|h| h as &dyn HypothesisFn).collect();
+    let logreg = LogRegMeasure::l2(0.001);
+
+    let mut results = Vec::new();
+    for (name, model) in [("trained", &trained), ("untrained", &untrained)] {
+        let extractor = Seq2SeqEncoderExtractor::new(model);
+        let request = InspectionRequest {
+            model_id: name.into(),
+            extractor: &extractor,
+            groups: vec![UnitGroup::all(2 * hidden)],
+            dataset: &workload.dataset,
+            hypotheses: hyp_refs.clone(),
+            measures: vec![&logreg],
+        };
+        let (frame, _) = inspect(&request, &InspectionConfig::default())?;
+        results.push((name, frame));
+    }
+
+    println!("\n{:<10} {:>10} {:>12}", "tag", "trained F1", "untrained F1");
+    for tag in &tags {
+        let hyp_id = format!("pos:{tag}");
+        let t = results[0].1.group_score("logreg_l2", &hyp_id).unwrap_or(0.0);
+        let u = results[1].1.group_score("logreg_l2", &hyp_id).unwrap_or(0.0);
+        println!("{:<10} {:>10.3} {:>12.3}", tag, t, u);
+    }
+
+    // Per-layer view (§6.3.2): which layer is more predictive, and how
+    // many units does the L1 probe select?
+    println!("\nper-layer L1 probes on the trained encoder:");
+    let l1 = LogRegMeasure::l1(0.01);
+    let extractor = Seq2SeqEncoderExtractor::new(&trained);
+    let request = InspectionRequest {
+        model_id: "trained".into(),
+        extractor: &extractor,
+        groups: vec![
+            UnitGroup::new("layer0", (0..hidden).collect()),
+            UnitGroup::new("layer1", (hidden..2 * hidden).collect()),
+        ],
+        dataset: &workload.dataset,
+        hypotheses: hyp_refs.clone(),
+        measures: vec![&l1],
+    };
+    let (frame, _) = inspect(&request, &InspectionConfig::default())?;
+    println!("{:<10} {:>10} {:>10} {:>12} {:>12}", "tag", "L0 F1", "L1 F1", "L0 #units", "L1 #units");
+    for tag in &tags {
+        let hyp_id = format!("pos:{tag}");
+        let mut f1 = [0.0f32; 2];
+        let mut selected = [0usize; 2];
+        for row in frame.rows.iter().filter(|r| r.hyp_id == hyp_id) {
+            let layer = if row.group_id == "layer0" { 0 } else { 1 };
+            f1[layer] = row.group_score;
+            if row.unit_score.abs() > 0.1 {
+                selected[layer] += 1;
+            }
+        }
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>12} {:>12}",
+            tag, f1[0], f1[1], selected[0], selected[1]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Quickstart: the paper's §4.1 walkthrough in Rust.
+//!
+//! Trains a small SQL auto-completion model, then asks DeepBase two
+//! questions about it: (1) which individual units correlate with each SQL
+//! grammar rule, and (2) how well a logistic-regression probe over *all*
+//! units predicts each rule. Mirrors the paper's Python snippet:
+//!
+//! ```python
+//! scores = [CorrelationScore('pearson'), LogRegressionScore(regul='L1', score='F1')]
+//! hypotheses = gram_hyp_functions('sql_query.grammar')
+//! deepbase.inspect([model], dataset, scores, hypotheses)
+//! ```
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use deepbase::prelude::*;
+use deepbase::workloads::sql;
+
+fn main() -> Result<(), DniError> {
+    // 1. Build the workload: sample SQL from the PCFG, cut windows,
+    //    generate two hypotheses per grammar rule (time + signal).
+    println!("== DeepBase quickstart: inspecting a SQL auto-completion RNN ==\n");
+    let config = sql::SqlWorkloadConfig {
+        n_queries: 48,
+        max_records: 768,
+        ..Default::default()
+    };
+    let workload = sql::build(&config);
+    println!(
+        "dataset: {} records x {} symbols, {} hypotheses, grammar with {} rules",
+        workload.dataset.len(),
+        workload.dataset.ns,
+        workload.hypotheses.len(),
+        workload.grammar.rule_count()
+    );
+
+    // 2. Train the model (a few epochs are enough for the demo).
+    let snapshots = sql::train_model(&workload, 48, 3, 0.02, 0);
+    let model = snapshots.last().unwrap();
+    let acc = model.accuracy(&workload.train_inputs, &workload.train_targets);
+    println!("model: LSTM with {} hidden units, next-char accuracy {:.1}%\n", model.hidden(), acc * 100.0);
+
+    // 3. Inspect: correlation per unit + L1 logreg per unit group.
+    let extractor = CharModelExtractor::new(model);
+    let corr = CorrelationMeasure;
+    let logreg = LogRegMeasure::l1(0.005);
+    // Keep the demo fast: inspect a subset of the hypothesis library.
+    let hypotheses: Vec<&dyn HypothesisFn> = workload
+        .hypotheses
+        .iter()
+        .filter(|h| {
+            ["select_kw:time", "from_kw:time", "where_kw:time", "number:time", "string_lit:time"]
+                .contains(&h.id())
+        })
+        .map(|h| h as &dyn HypothesisFn)
+        .collect();
+    let request = InspectionRequest {
+        model_id: "sql_char_model".into(),
+        extractor: &extractor,
+        groups: vec![UnitGroup::all(model.hidden())],
+        dataset: &workload.dataset,
+        hypotheses,
+        measures: vec![&corr, &logreg],
+    };
+    let (scores, profile) = inspect(&request, &InspectionConfig::default())?;
+
+    // 4. Post-process, as §4.1 describes: top units and per-hypothesis F1.
+    println!("top-5 (unit, hypothesis) correlations:");
+    let corr_rows = {
+        let mut rows: Vec<_> = scores
+            .rows
+            .iter()
+            .filter(|r| r.measure_id == "corr")
+            .collect();
+        rows.sort_by(|a, b| b.unit_score.abs().partial_cmp(&a.unit_score.abs()).unwrap());
+        rows
+    };
+    for row in corr_rows.iter().take(5) {
+        println!(
+            "  unit {:>3}  ~  {:<16} r = {:+.3}",
+            row.unit, row.hyp_id, row.unit_score
+        );
+    }
+    println!("\nlogreg-L1 probe F1 per hypothesis (all {} units):", model.hidden());
+    let mut seen = std::collections::BTreeSet::new();
+    for row in scores.for_measure("logreg_l1") {
+        if seen.insert(row.hyp_id.clone()) {
+            println!("  {:<18} F1 = {:.3}", row.hyp_id, row.group_score);
+        }
+    }
+    println!(
+        "\nprofile: extraction {:?}, hypotheses {:?}, inspection {:?} (records read: {})",
+        profile.unit_extraction,
+        profile.hypothesis_extraction,
+        profile.inspection,
+        profile.records_read
+    );
+    Ok(())
+}

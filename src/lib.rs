@@ -1,0 +1,23 @@
+//! # deepbase-repro
+//!
+//! Root facade of the DeepBase reproduction (Sellam et al., SIGMOD 2019).
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests read like downstream user code:
+//!
+//! * [`deepbase`] — the inspection engine (the paper's contribution).
+//! * [`nn`] — trainable neural-network substrate (Keras stand-in).
+//! * [`lang`] — grammars, parsing, hypotheses, POS tagging (NLTK/CoreNLP
+//!   stand-in).
+//! * [`stats`] — statistical measures (scipy/scikit-learn stand-in).
+//! * [`relational`] — mini columnar engine (PostgreSQL/MADLib stand-in).
+//! * [`tensor`] — dense linear algebra (NumPy stand-in).
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+pub use deepbase;
+pub use deepbase_lang as lang;
+pub use deepbase_nn as nn;
+pub use deepbase_relational as relational;
+pub use deepbase_stats as stats;
+pub use deepbase_tensor as tensor;
