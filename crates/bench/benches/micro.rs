@@ -18,7 +18,10 @@ fn bench_matmul(c: &mut Criterion) {
         let mut rng = init::seeded_rng(1);
         let a = init::uniform(n, n, -1.0, 1.0, &mut rng);
         let b = init::uniform(n, n, -1.0, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bench, _| {
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_naive(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
             bench.iter(|| black_box(a.matmul(&b)));
         });
         group.bench_with_input(BenchmarkId::new("parallel4", n), &n, |bench, _| {
@@ -80,8 +83,9 @@ fn bench_earley(c: &mut Criterion) {
 
 fn bench_lstm_forward(c: &mut Criterion) {
     let model = deepbase_nn::CharLstmModel::new(40, 64, deepbase_nn::OutputMode::LastStep, 4);
-    let inputs: Vec<Vec<u32>> =
-        (0..32).map(|i| (0..30).map(|t| ((i + t) % 40) as u32).collect()).collect();
+    let inputs: Vec<Vec<u32>> = (0..32)
+        .map(|i| (0..30).map(|t| ((i + t) % 40) as u32).collect())
+        .collect();
     c.bench_function("lstm_extract_32x30x64", |b| {
         b.iter(|| black_box(model.extract_activations(black_box(&inputs))));
     });
@@ -93,13 +97,13 @@ fn bench_engines(c: &mut Criterion) {
     let n_records = 64;
     let records: Vec<Record> = (0..n_records)
         .map(|i| {
-            let text: String =
-                (0..ns).map(|t| if (i + t) % 3 == 0 { '1' } else { '0' }).collect();
+            let text: String = (0..ns)
+                .map(|t| if (i + t) % 3 == 0 { '1' } else { '0' })
+                .collect();
             Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
         })
         .collect();
-    let behaviors =
-        Matrix::from_fn(n_records * ns, 8, |r, c| ((r * (c + 3)) % 17) as f32 / 17.0);
+    let behaviors = Matrix::from_fn(n_records * ns, 8, |r, c| ((r * (c + 3)) % 17) as f32 / 17.0);
     let dataset = Dataset::new("bench", ns, records).unwrap();
     let extractor = PrecomputedExtractor::new(behaviors, ns);
     let hyp = FnHypothesis::char_class("ones", |c| c == '1');
@@ -121,7 +125,10 @@ fn bench_engines(c: &mut Criterion) {
                     hypotheses: vec![&hyp],
                     measures: vec![&corr],
                 };
-                let config = InspectionConfig { engine, ..Default::default() };
+                let config = InspectionConfig {
+                    engine,
+                    ..Default::default()
+                };
                 black_box(inspect(&request, &config).unwrap())
             });
         });

@@ -1,0 +1,208 @@
+//! Kernel-timing smoke benchmark for the perf trajectory.
+//!
+//! Times the hot kernels this PR optimized — blocked vs naive mat-mul,
+//! columnar vs scalar streaming Pearson, fused merged-logreg SGD steps,
+//! and an end-to-end `engine_correlation` inspection on the single-core
+//! vs pool-parallel device — and writes the results as `BENCH_PR1.json`
+//! in the current directory (plus a human-readable table on stdout).
+//!
+//! Run with: `cargo run --release -p deepbase-bench --bin bench_smoke`
+
+use deepbase::prelude::*;
+use deepbase_stats::{LogRegConfig, MultiLogReg, StreamingPearson};
+use deepbase_tensor::{init, Matrix};
+use std::hint::black_box;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Median-of-runs wall-clock timing for one kernel configuration.
+fn time_kernel(mut f: impl FnMut()) -> f64 {
+    // Warm up, then take the median of several timed runs so one-off
+    // scheduler hiccups do not pollute the trajectory numbers.
+    f();
+    let mut samples = Vec::new();
+    let mut spent = Duration::ZERO;
+    while samples.len() < 15 && (spent < Duration::from_millis(400) || samples.len() < 5) {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        spent += elapsed;
+        samples.push(elapsed.as_secs_f64() * 1e9);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct Entry {
+    name: &'static str,
+    ns: f64,
+}
+
+fn main() {
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut record = |name: &'static str, ns: f64| {
+        println!("{name:<44} {:>12.0} ns", ns);
+        entries.push(Entry { name, ns });
+    };
+
+    // Mat-mul: blocked kernel vs the retained naive reference, 128x128
+    // (the acceptance-criteria size) plus a rectangular probe shape.
+    let mut rng = init::seeded_rng(1);
+    let a = init::uniform(128, 128, -1.0, 1.0, &mut rng);
+    let b = init::uniform(128, 128, -1.0, 1.0, &mut rng);
+    record(
+        "matmul_blocked_128",
+        time_kernel(|| {
+            black_box(black_box(&a).matmul(black_box(&b)));
+        }),
+    );
+    record(
+        "matmul_naive_128",
+        time_kernel(|| {
+            black_box(black_box(&a).matmul_naive(black_box(&b)));
+        }),
+    );
+    record(
+        "matmul_pool_parallel_128_t4",
+        time_kernel(|| {
+            black_box(black_box(&a).matmul_parallel(black_box(&b), 4));
+        }),
+    );
+    let x = init::uniform(512, 64, -1.0, 1.0, &mut rng);
+    let e = init::uniform(512, 16, -1.0, 1.0, &mut rng);
+    record(
+        "t_matmul_blocked_512x64x16",
+        time_kernel(|| {
+            black_box(black_box(&x).t_matmul(black_box(&e)));
+        }),
+    );
+
+    // Streaming Pearson: columnar strided block vs per-element pushes over
+    // a 512-record x 16-unit behavior block.
+    let units = init::uniform(512, 16, -1.0, 1.0, &mut rng);
+    let ys: Vec<f32> = (0..512).map(|i| ((i * 37) % 101) as f32 / 101.0).collect();
+    record(
+        "pearson_columnar_512x16",
+        time_kernel(|| {
+            let mut accs = vec![StreamingPearson::new(); 16];
+            for (u, acc) in accs.iter_mut().enumerate() {
+                acc.push_block_strided(units.as_slice(), u, 16, &ys);
+            }
+            black_box(accs);
+        }),
+    );
+    record(
+        "pearson_scalar_512x16",
+        time_kernel(|| {
+            let mut accs = vec![StreamingPearson::new(); 16];
+            for (r, &y) in ys.iter().enumerate() {
+                for (acc, &u) in accs.iter_mut().zip(units.row(r)) {
+                    acc.push(u, y);
+                }
+            }
+            black_box(accs);
+        }),
+    );
+
+    // Merged logreg: fused allocation-free SGD step, 512x64 -> 16 outputs.
+    let y_many = Matrix::from_fn(512, 16, |r, c| ((r + c) % 2) as f32);
+    let mut model = MultiLogReg::new(64, 16, LogRegConfig::default());
+    record(
+        "logreg_fused_sgd_step_512x64x16",
+        time_kernel(|| {
+            model.sgd_step(black_box(&x), black_box(&y_many));
+        }),
+    );
+
+    // End-to-end engine_correlation: SingleCore vs pool-parallel device,
+    // identical ResultFrame required.
+    let ns = 10;
+    let n_records = 256;
+    let records: Vec<Record> = (0..n_records)
+        .map(|i| {
+            let text: String = (0..ns)
+                .map(|t| if (i + t) % 3 == 0 { '1' } else { '0' })
+                .collect();
+            Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+        })
+        .collect();
+    let behaviors = Matrix::from_fn(n_records * ns, 32, |r, c| {
+        ((r * (c + 3)) % 17) as f32 / 17.0
+    });
+    let dataset = Dataset::new("bench", ns, records).unwrap();
+    let extractor = PrecomputedExtractor::new(behaviors, ns);
+    let hyps: Vec<FnHypothesis> = (0..8)
+        .map(|i| {
+            let target = char::from(b'0' + (i % 2) as u8);
+            FnHypothesis::char_class(if i % 2 == 0 { "ones" } else { "zeros" }, move |c| {
+                c == target
+            })
+        })
+        .collect();
+    let corr = CorrelationMeasure;
+    let run = |device: Device| {
+        let request = InspectionRequest {
+            model_id: "bench".into(),
+            extractor: &extractor,
+            groups: vec![UnitGroup::all(32)],
+            dataset: &dataset,
+            hypotheses: hyps.iter().map(|h| h as &dyn HypothesisFn).collect(),
+            measures: vec![&corr],
+        };
+        let config = InspectionConfig {
+            device,
+            ..Default::default()
+        };
+        inspect(&request, &config).unwrap()
+    };
+    let single_frame = run(Device::SingleCore).0;
+    let parallel_frame = run(Device::Parallel(4)).0;
+    assert_eq!(
+        single_frame.unit_scores("corr", "ones"),
+        parallel_frame.unit_scores("corr", "ones"),
+        "parallel device must produce an identical ResultFrame"
+    );
+    record(
+        "engine_correlation_single_core",
+        time_kernel(|| {
+            black_box(run(Device::SingleCore));
+        }),
+    );
+    record(
+        "engine_correlation_parallel_t4",
+        time_kernel(|| {
+            black_box(run(Device::Parallel(4)));
+        }),
+    );
+
+    // Emit the JSON trajectory artifact.
+    let mut json = String::from("{\n  \"pr\": 1,\n  \"benchmarks\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{}\": {{\"ns_per_iter\": {:.1}}}{comma}\n",
+            e.name, e.ns
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let path = "BENCH_PR1.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_PR1.json");
+    println!("\nwrote {path}");
+
+    let blocked = entries
+        .iter()
+        .find(|e| e.name == "matmul_blocked_128")
+        .unwrap()
+        .ns;
+    let naive = entries
+        .iter()
+        .find(|e| e.name == "matmul_naive_128")
+        .unwrap()
+        .ns;
+    println!(
+        "matmul 128: blocked is {:.2}x the naive reference speed",
+        naive / blocked
+    );
+}

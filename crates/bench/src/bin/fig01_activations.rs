@@ -39,10 +39,13 @@ fn main() {
     };
     let u_ws = top_for("whitespace");
     let u_kw = top_for("kw:FROM");
-    let units = [u_ws, u_kw, (u_ws + 7) % setup.model.hidden(), (u_kw + 13) % setup.model.hidden()];
-    println!(
-        "plotting units {units:?} (strongest whitespace / FROM correlates + two others)\n"
-    );
+    let units = [
+        u_ws,
+        u_kw,
+        (u_ws + 7) % setup.model.hidden(),
+        (u_kw + 13) % setup.model.hidden(),
+    ];
+    println!("plotting units {units:?} (strongest whitespace / FROM correlates + two others)\n");
 
     // One record whose window contains a FROM clause.
     let record = setup
@@ -52,7 +55,7 @@ fn main() {
         .iter()
         .find(|r| r.text.contains("FROM"))
         .unwrap_or(&setup.workload.dataset.records[0]);
-    let acts = extractor.extract(std::slice::from_ref(record), &units);
+    let acts = extractor.extract(&[record], &units);
 
     let mut rows = Vec::new();
     for (t, c) in record.text.chars().enumerate() {

@@ -12,21 +12,35 @@ use deepbase_bench::print_table;
 /// Approximate essential LoC per surveyed repository (paper Fig. 2;
 /// values read from the figure, analysis code only).
 const SURVEY: &[(&str, &str, usize)] = &[
-    ("Belinkov et al. 2017", "NMT morphology probes (Lua/Torch)", 1100),
-    ("NetDissect (Bau 2017)", "CNN unit/concept IoU (PyTorch)", 2100),
+    (
+        "Belinkov et al. 2017",
+        "NMT morphology probes (Lua/Torch)",
+        1100,
+    ),
+    (
+        "NetDissect (Bau 2017)",
+        "CNN unit/concept IoU (PyTorch)",
+        2100,
+    ),
     ("Kim et al. (TCAV)", "concept activation vectors (TF)", 900),
     ("Radford et al. 2017", "sentiment neuron scripts", 650),
-    ("Zhou et al. 2014", "object detectors in scene CNNs (Caffe)", 1400),
-    ("Kadar et al. 2017", "linguistic form/function analysis", 800),
+    (
+        "Zhou et al. 2014",
+        "object detectors in scene CNNs (Caffe)",
+        1400,
+    ),
+    (
+        "Kadar et al. 2017",
+        "linguistic form/function analysis",
+        800,
+    ),
 ];
 
 fn main() {
     println!("== Figure 2: lines of code for ad-hoc DNI vs DeepBase ==\n");
     let mut rows: Vec<Vec<String>> = SURVEY
         .iter()
-        .map(|(paper, what, loc)| {
-            vec![paper.to_string(), what.to_string(), loc.to_string()]
-        })
+        .map(|(paper, what, loc)| vec![paper.to_string(), what.to_string(), loc.to_string()])
         .collect();
 
     // The equivalent DeepBase program: the §4.1 Python snippet is 6 lines;

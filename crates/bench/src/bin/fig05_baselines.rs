@@ -27,12 +27,17 @@ fn main() {
     // Sweep 1: number of hypotheses (records/units at defaults).
     let base_records = if args.paper { 29_696 } else { 512 };
     let base_units = if args.paper { 512 } else { 32 };
-    let hyp_counts: Vec<usize> =
-        if args.paper { vec![48, 96, 190] } else { vec![4, 8, 16] };
+    let hyp_counts: Vec<usize> = if args.paper {
+        vec![48, 96, 190]
+    } else {
+        vec![4, 8, 16]
+    };
 
     let setup = sql_bench_setup(&args, base_records, base_units);
     for (mname, measure) in &measures {
-        println!("\n-- {mname}: sweep over #hypotheses ({base_records} records, {base_units} units) --");
+        println!(
+            "\n-- {mname}: sweep over #hypotheses ({base_records} records, {base_units} units) --"
+        );
         let mut rows = Vec::new();
         for &n_hyps in &hyp_counts {
             let hyps = hypothesis_refs(&setup.workload, n_hyps);
@@ -56,8 +61,11 @@ fn main() {
     }
 
     // Sweep 2: number of records.
-    let record_counts: Vec<usize> =
-        if args.paper { vec![7_424, 14_848, 29_696] } else { vec![128, 256, 512] };
+    let record_counts: Vec<usize> = if args.paper {
+        vec![7_424, 14_848, 29_696]
+    } else {
+        vec![128, 256, 512]
+    };
     for (mname, measure) in &measures {
         println!("\n-- {mname}: sweep over #records ({base_units} units) --");
         let mut rows = Vec::new();
@@ -83,8 +91,11 @@ fn main() {
     }
 
     // Sweep 3: number of hidden units.
-    let unit_counts: Vec<usize> =
-        if args.paper { vec![128, 256, 512] } else { vec![16, 32, 64] };
+    let unit_counts: Vec<usize> = if args.paper {
+        vec![128, 256, 512]
+    } else {
+        vec![16, 32, 64]
+    };
     for (mname, measure) in &measures {
         println!("\n-- {mname}: sweep over #hidden units ({base_records} records) --");
         let mut rows = Vec::new();

@@ -24,10 +24,21 @@ fn main() {
 
     let base_records = if args.paper { 29_696 } else { 768 };
     let base_units = if args.paper { 512 } else { 32 };
-    let hyp_counts: Vec<usize> = if args.paper { vec![48, 96, 190] } else { vec![4, 8, 16] };
-    let record_counts: Vec<usize> =
-        if args.paper { vec![7_424, 14_848, 29_696] } else { vec![192, 384, 768] };
-    let unit_counts: Vec<usize> = if args.paper { vec![128, 256, 512] } else { vec![16, 32, 64] };
+    let hyp_counts: Vec<usize> = if args.paper {
+        vec![48, 96, 190]
+    } else {
+        vec![4, 8, 16]
+    };
+    let record_counts: Vec<usize> = if args.paper {
+        vec![7_424, 14_848, 29_696]
+    } else {
+        vec![192, 384, 768]
+    };
+    let unit_counts: Vec<usize> = if args.paper {
+        vec![128, 256, 512]
+    } else {
+        vec![16, 32, 64]
+    };
 
     println!("\n-- sweep over #hypotheses --");
     let setup = sql_bench_setup(&args, base_records, base_units);
@@ -37,7 +48,16 @@ fn main() {
         let mut cells = vec![n.to_string()];
         for (_, engine) in &variants {
             cells.push(secs(
-                run_engine(&setup, &hyps, &corr, *engine, Device::SingleCore, None, None).total,
+                run_engine(
+                    &setup,
+                    &hyps,
+                    &corr,
+                    *engine,
+                    Device::SingleCore,
+                    None,
+                    None,
+                )
+                .total,
             ));
         }
         rows.push(cells);
@@ -52,7 +72,16 @@ fn main() {
         let mut cells = vec![setup.workload.dataset.len().to_string()];
         for (_, engine) in &variants {
             cells.push(secs(
-                run_engine(&setup, &hyps, &corr, *engine, Device::SingleCore, None, None).total,
+                run_engine(
+                    &setup,
+                    &hyps,
+                    &corr,
+                    *engine,
+                    Device::SingleCore,
+                    None,
+                    None,
+                )
+                .total,
             ));
         }
         rows.push(cells);
@@ -67,12 +96,23 @@ fn main() {
         let mut cells = vec![units.to_string()];
         for (_, engine) in &variants {
             cells.push(secs(
-                run_engine(&setup, &hyps, &corr, *engine, Device::SingleCore, None, None).total,
+                run_engine(
+                    &setup,
+                    &hyps,
+                    &corr,
+                    *engine,
+                    Device::SingleCore,
+                    None,
+                    None,
+                )
+                .total,
             ));
         }
         rows.push(cells);
     }
     print_table(&["#units", "PyBase", "+ES", "DeepBase"], &rows);
-    println!("\n(expected: +ES ≤ PyBase everywhere; DeepBase ≤ +ES, \
-              with the streaming gain largest on the record sweep)");
+    println!(
+        "\n(expected: +ES ≤ PyBase everywhere; DeepBase ≤ +ES, \
+              with the streaming gain largest on the record sweep)"
+    );
 }

@@ -29,10 +29,21 @@ fn main() {
 
     let base_records = if args.paper { 29_696 } else { 512 };
     let base_units = if args.paper { 512 } else { 32 };
-    let hyp_counts: Vec<usize> = if args.paper { vec![48, 96, 190] } else { vec![4, 8, 16] };
-    let record_counts: Vec<usize> =
-        if args.paper { vec![7_424, 14_848, 29_696] } else { vec![128, 256, 512] };
-    let unit_counts: Vec<usize> = if args.paper { vec![128, 256, 512] } else { vec![16, 32, 64] };
+    let hyp_counts: Vec<usize> = if args.paper {
+        vec![48, 96, 190]
+    } else {
+        vec![4, 8, 16]
+    };
+    let record_counts: Vec<usize> = if args.paper {
+        vec![7_424, 14_848, 29_696]
+    } else {
+        vec![128, 256, 512]
+    };
+    let unit_counts: Vec<usize> = if args.paper {
+        vec![128, 256, 512]
+    } else {
+        vec![16, 32, 64]
+    };
 
     println!("\n-- sweep over #hypotheses --");
     let setup = sql_bench_setup(&args, base_records, base_units);
@@ -78,6 +89,8 @@ fn main() {
         rows.push(cells);
     }
     print_table(&header, &rows);
-    println!("\n(expected: +MM ≪ PyBase; GPU gain grows with #units; \
-              DeepBase smallest overall)");
+    println!(
+        "\n(expected: +MM ≪ PyBase; GPU gain grows with #units; \
+              DeepBase smallest overall)"
+    );
 }

@@ -22,8 +22,10 @@ fn main() {
     let corr = CorrelationMeasure;
     let logreg = LogRegMeasure::l1(0.01);
     let measures: [(&str, &dyn Measure); 2] = [("correlation", &corr), ("logreg", &logreg)];
-    let engines: [(&str, EngineKind); 2] =
-        [("+MM+ES", EngineKind::MergedEarlyStop), ("DeepBase", EngineKind::DeepBase)];
+    let engines: [(&str, EngineKind); 2] = [
+        ("+MM+ES", EngineKind::MergedEarlyStop),
+        ("DeepBase", EngineKind::DeepBase),
+    ];
 
     let mut rows = Vec::new();
     for (mname, measure) in &measures {
@@ -49,7 +51,15 @@ fn main() {
         }
     }
     print_table(
-        &["measure", "engine", "unit extract", "hyp extract", "inspector", "total", "records"],
+        &[
+            "measure",
+            "engine",
+            "unit extract",
+            "hyp extract",
+            "inspector",
+            "total",
+            "records",
+        ],
         &rows,
     );
     println!(

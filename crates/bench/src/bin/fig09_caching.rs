@@ -65,14 +65,25 @@ fn main() {
             mname.to_string(),
             secs(cold.total),
             secs(warm.total),
-            format!("{:.1}x", cold.total.as_secs_f64() / warm.total.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                cold.total.as_secs_f64() / warm.total.as_secs_f64().max(1e-9)
+            ),
             secs(cold.hypothesis_extraction),
             secs(warm.hypothesis_extraction),
             format!("{}h/{}m", stats.hits, stats.misses),
         ]);
     }
     print_table(
-        &["measure", "cold total", "cached total", "speedup", "cold hyp", "cached hyp", "cache"],
+        &[
+            "measure",
+            "cold total",
+            "cached total",
+            "speedup",
+            "cold hyp",
+            "cached hyp",
+            "cache",
+        ],
         &rows,
     );
     println!(

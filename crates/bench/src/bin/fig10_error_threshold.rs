@@ -23,8 +23,10 @@ fn main() {
     let corr = CorrelationMeasure;
     let logreg = LogRegMeasure::l1(0.01);
     let measures: [(&str, &dyn Measure); 2] = [("correlation", &corr), ("logreg", &logreg)];
-    let engines: [(&str, EngineKind); 2] =
-        [("+MM+ES", EngineKind::MergedEarlyStop), ("DeepBase", EngineKind::DeepBase)];
+    let engines: [(&str, EngineKind); 2] = [
+        ("+MM+ES", EngineKind::MergedEarlyStop),
+        ("DeepBase", EngineKind::DeepBase),
+    ];
 
     for (mname, measure) in &measures {
         println!("-- {mname} --");
@@ -41,7 +43,9 @@ fn main() {
                     Some(eps),
                     None,
                 );
-                cells.push(secs(profile.unit_extraction + profile.hypothesis_extraction));
+                cells.push(secs(
+                    profile.unit_extraction + profile.hypothesis_extraction,
+                ));
                 cells.push(secs(profile.inspection));
                 cells.push(profile.records_read.to_string());
             }

@@ -34,16 +34,18 @@ fn gather(
     n_units: usize,
 ) -> (Matrix, Vec<usize>) {
     let ns = workload.dataset.ns;
-    let records: Vec<Record> =
-        sentence_ids.iter().map(|&i| workload.dataset.records[i].clone()).collect();
+    let records: Vec<&Record> = sentence_ids
+        .iter()
+        .map(|&i| &workload.dataset.records[i])
+        .collect();
     let acts = extractor.extract(&records, &(0..n_units).collect::<Vec<_>>());
     let mut rows = Vec::new();
     let mut ys = Vec::new();
     for (pos, &sid) in sentence_ids.iter().enumerate() {
         let rec = &workload.dataset.records[sid];
-        for t in 0..rec.visible {
+        for (t, &target) in targets[sid].iter().enumerate().take(rec.visible) {
             rows.push(pos * ns + t);
-            ys.push(targets[sid][t]);
+            ys.push(target);
         }
     }
     let mut x = Matrix::zeros(rows.len(), n_units);
@@ -60,21 +62,31 @@ fn main() {
     let hidden = if args.paper { 500 } else { 16 };
     let nmt_epochs = if args.paper { 12 } else { 3 };
     let probe_epochs = if args.paper { 35 } else { 12 };
-    let workload = nmt::build(&nmt::NmtWorkloadConfig { n_sentences, seed: 1 });
+    let workload = nmt::build(&nmt::NmtWorkloadConfig {
+        n_sentences,
+        seed: 1,
+    });
 
     // Two independently trained models of the same architecture.
     let model_deepbase = nmt::train_model(&workload, 16, hidden, nmt_epochs, 0.01, 100);
     let model_belinkov = nmt::train_model(&workload, 16, hidden, nmt_epochs, 0.01, 200);
 
     let tags = workload.corpus.observed_tags();
-    let tag_index: std::collections::HashMap<&str, usize> =
-        tags.iter().enumerate().map(|(i, t)| (t.as_str(), i)).collect();
+    let tag_index: std::collections::HashMap<&str, usize> = tags
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.as_str(), i))
+        .collect();
     let targets: Vec<Vec<usize>> = workload
         .record_tags
         .iter()
         .map(|row| {
             row.iter()
-                .map(|t| t.as_deref().and_then(|t| tag_index.get(t).copied()).unwrap_or(0))
+                .map(|t| {
+                    t.as_deref()
+                        .and_then(|t| tag_index.get(t).copied())
+                        .unwrap_or(0)
+                })
                 .collect()
         })
         .collect();
@@ -98,7 +110,11 @@ fn main() {
         let mut probe = SoftmaxReg::new(
             n_units,
             tags.len(),
-            LogRegConfig { learning_rate: 0.05, epochs: probe_epochs, ..Default::default() },
+            LogRegConfig {
+                learning_rate: 0.05,
+                epochs: probe_epochs,
+                ..Default::default()
+            },
         );
         probe.fit(&x_train, &y_train);
         let preds = probe.predict(&x_test);
@@ -111,13 +127,16 @@ fn main() {
         let mut probe = SoftmaxReg::new(
             n_units,
             tags.len(),
-            LogRegConfig { learning_rate: 0.05, epochs: 1, ..Default::default() },
+            LogRegConfig {
+                learning_rate: 0.05,
+                epochs: 1,
+                ..Default::default()
+            },
         );
         for _ in 0..probe_epochs {
             // No caching: activations recomputed each pass, as their
             // in-place classifier does.
-            let (x_train, y_train) =
-                gather(&extractor, &workload, &targets, &train_ids, n_units);
+            let (x_train, y_train) = gather(&extractor, &workload, &targets, &train_ids, n_units);
             probe.fit(&x_train, &y_train);
         }
         let (x_test, y_test) = gather(&extractor, &workload, &targets, &test_ids, n_units);
@@ -152,7 +171,10 @@ fn main() {
             tag_counts[i].to_string(),
         ]);
     }
-    print_table(&["tag", "Belinkov-style", "DeepBase", "#test tokens"], &rows);
+    print_table(
+        &["tag", "Belinkov-style", "DeepBase", "#test tokens"],
+        &rows,
+    );
 
     let r = deepbase_stats::pearson(&xs, &ys);
     println!("\nper-tag precision correlation r = {r:.3}  (paper: r = 0.84)");

@@ -18,9 +18,18 @@ fn main() {
     println!("== Figure 12: trained vs untrained encoder ==\n");
     let n_sentences = if args.paper { 4_823 } else { 320 };
     let hidden = if args.paper { 500 } else { 24 };
-    let workload = nmt::build(&nmt::NmtWorkloadConfig { n_sentences, seed: 2 });
-    let trained =
-        nmt::train_model(&workload, 16, hidden, if args.paper { 12 } else { 8 }, 0.01, 11);
+    let workload = nmt::build(&nmt::NmtWorkloadConfig {
+        n_sentences,
+        seed: 2,
+    });
+    let trained = nmt::train_model(
+        &workload,
+        16,
+        hidden,
+        if args.paper { 12 } else { 8 },
+        0.01,
+        11,
+    );
     let untrained = deepbase_nn::Seq2Seq::new(
         workload.src_vocab.size(),
         workload.tgt_vocab.size(),
@@ -38,7 +47,10 @@ fn main() {
         hypotheses.iter().map(|h| h as &dyn HypothesisFn).collect();
 
     // ---- (a) correlation histogram over all units ----
-    println!("-- Fig 12a: |corr| histogram over all {} encoder units --", 2 * hidden);
+    println!(
+        "-- Fig 12a: |corr| histogram over all {} encoder units --",
+        2 * hidden
+    );
     let corr = CorrelationMeasure;
     let mut histograms = Vec::new();
     for (name, model) in [("trained", &trained), ("untrained", &untrained)] {
@@ -82,7 +94,10 @@ fn main() {
 
     // ---- (b) logreg-L2 F1 per hypothesis ----
     println!("-- Fig 12b: logreg-L2 F1 per hypothesis --");
-    let logreg = LogRegMeasure { inner_epochs: 30, ..LogRegMeasure::l2(0.001) };
+    let logreg = LogRegMeasure {
+        inner_epochs: 30,
+        ..LogRegMeasure::l2(0.001)
+    };
     let mut frames = Vec::new();
     for (name, model) in [("trained", &trained), ("untrained", &untrained)] {
         let extractor = Seq2SeqEncoderExtractor::new(model);
@@ -101,15 +116,24 @@ fn main() {
     for h in &hypotheses {
         let t = frames[0].group_score("logreg_l2", h.id()).unwrap_or(0.0);
         let u = frames[1].group_score("logreg_l2", h.id()).unwrap_or(0.0);
-        rows.push(vec![h.id().to_string(), format!("{t:.3}"), format!("{u:.3}")]);
+        rows.push(vec![
+            h.id().to_string(),
+            format!("{t:.3}"),
+            format!("{u:.3}"),
+        ]);
     }
     print_table(&["hypothesis", "trained F1", "untrained F1"], &rows);
-    println!("(expected: low-level features like pos:. score for both; high-level \
-              tags and phrases only for the trained model)\n");
+    println!(
+        "(expected: low-level features like pos:. score for both; high-level \
+              tags and phrases only for the trained model)\n"
+    );
 
     // ---- §6.3.2: per-layer L1 probes and unit-group sizes ----
     println!("-- per-layer L1 probes (unit-group sizes) --");
-    let l1 = LogRegMeasure { inner_epochs: 30, ..LogRegMeasure::l1(0.01) };
+    let l1 = LogRegMeasure {
+        inner_epochs: 30,
+        ..LogRegMeasure::l1(0.01)
+    };
     let extractor = Seq2SeqEncoderExtractor::new(&trained);
     let request = InspectionRequest {
         model_id: "trained".into(),
@@ -142,7 +166,12 @@ fn main() {
             selected[1].to_string(),
         ]);
     }
-    print_table(&["hypothesis", "L0 F1", "L1 F1", "L0 units", "L1 units"], &rows);
-    println!("(expected: layer 0 slightly more predictive; group sizes vary \
-              widely by feature, as in §6.3.2)");
+    print_table(
+        &["hypothesis", "L0 F1", "L1 F1", "L0 units", "L1 units"],
+        &rows,
+    );
+    println!(
+        "(expected: layer 0 slightly more predictive; group sizes vary \
+              widely by feature, as in §6.3.2)"
+    );
 }

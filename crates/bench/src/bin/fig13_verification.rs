@@ -32,7 +32,12 @@ fn verify_for(
         units,
         &alphabet,
         &move |s| vocab.char(s),
-        &VerifyConfig { max_records: 32, positions_per_record: 4, seed, ..Default::default() },
+        &VerifyConfig {
+            max_records: 32,
+            positions_per_record: 4,
+            seed,
+            ..Default::default()
+        },
     )
     .expect("verification")
 }
@@ -54,7 +59,11 @@ fn main() {
     let rand_units = verify_for(&model, &workload, &hypotheses[0], &[6, 9, 12, 15], 1);
     println!("-- Fig 13a: Δ-activation clusters (PCA projection) --");
     println!("specialized units, silhouette {:+.3}:", spec.silhouette);
-    for (p, l) in project_2d(&spec.points).iter().zip(spec.labels.iter()).take(8) {
+    for (p, l) in project_2d(&spec.points)
+        .iter()
+        .zip(spec.labels.iter())
+        .take(8)
+    {
         println!("  ({:+.3}, {:+.3}) label {}", p.0, p.1, l);
     }
     println!("random units, silhouette {:+.3}", rand_units.silhouette);
@@ -73,7 +82,10 @@ fn main() {
             format!("{:+.3}", rand_result.silhouette),
         ]);
     }
-    print_table(&["#specialized", "specialized silh.", "random silh."], &rows);
+    print_table(
+        &["#specialized", "specialized silh.", "random silh."],
+        &rows,
+    );
 
     // ---- Fig 13c: sweep the specialization weight ----
     println!("\n-- Fig 13c: silhouette vs specialization weight (|S|=4) --");

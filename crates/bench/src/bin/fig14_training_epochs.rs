@@ -38,7 +38,10 @@ fn main() {
         .filter(|h| tracked.contains(&h.id()))
         .map(|h| h as &dyn HypothesisFn)
         .collect();
-    let logreg = LogRegMeasure { inner_epochs: 20, ..LogRegMeasure::l2(0.001) };
+    let logreg = LogRegMeasure {
+        inner_epochs: 20,
+        ..LogRegMeasure::l2(0.001)
+    };
 
     let mut per_checkpoint = Vec::new();
     let mut accuracies = Vec::new();
@@ -61,13 +64,19 @@ fn main() {
     println!(
         "model accuracy at checkpoints {:?}: {:?}\n",
         checkpoints,
-        accuracies.iter().map(|a| format!("{:.1}%", a * 100.0)).collect::<Vec<_>>()
+        accuracies
+            .iter()
+            .map(|a| format!("{:.1}%", a * 100.0))
+            .collect::<Vec<_>>()
     );
     let mut rows = Vec::new();
     for hyp in &tracked {
         let mut cells = vec![hyp.to_string()];
         for frame in &per_checkpoint {
-            cells.push(format!("{:.3}", frame.group_score("logreg_l2", hyp).unwrap_or(0.0)));
+            cells.push(format!(
+                "{:.3}",
+                frame.group_score("logreg_l2", hyp).unwrap_or(0.0)
+            ));
         }
         rows.push(cells);
     }

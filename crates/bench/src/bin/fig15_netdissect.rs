@@ -10,8 +10,7 @@
 //! approximation.
 
 use deepbase::vision::{
-    cnn_accuracy, deepbase_cnn_scores, generate_shape_images, netdissect_scores,
-    train_shape_cnn,
+    cnn_accuracy, deepbase_cnn_scores, generate_shape_images, netdissect_scores, train_shape_cnn,
 };
 use deepbase_bench::{print_table, Args};
 
@@ -53,7 +52,10 @@ fn main() {
             format!("{db_score:.3}"),
         ]);
     }
-    print_table(&["unit", "concept", "NetDissect IoU", "DeepBase Jaccard"], &rows);
+    print_table(
+        &["unit", "concept", "NetDissect IoU", "DeepBase Jaccard"],
+        &rows,
+    );
     let r = deepbase_stats::pearson(&xs, &ys);
     println!(
         "\nscore correlation r = {r:.3}  (paper: strongly correlated; residuals \

@@ -23,7 +23,10 @@ pub struct Args {
 impl Args {
     /// Parses `--paper` and `--scale X` from `std::env::args`.
     pub fn parse() -> Args {
-        let mut args = Args { paper: false, scale: 1.0 };
+        let mut args = Args {
+            paper: false,
+            scale: 1.0,
+        };
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
             match arg.as_str() {
@@ -75,8 +78,18 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -98,7 +111,11 @@ pub struct SqlBenchSetup {
 /// Paper defaults: 29,696 records, 512 hidden units, 142 grammar rules,
 /// 190 hypotheses. Quick defaults are whatever the caller passes.
 pub fn sql_bench_setup(args: &Args, records: usize, hidden: usize) -> SqlBenchSetup {
-    let (records, hidden) = if args.paper { (29_696, 512) } else { (records, hidden) };
+    let (records, hidden) = if args.paper {
+        (29_696, 512)
+    } else {
+        (records, hidden)
+    };
     let records = ((records as f32 * args.scale) as usize).max(64);
     let workload = sql::build(&sql::SqlWorkloadConfig {
         grammar: SqlGrammarConfig::medium(),
@@ -109,7 +126,11 @@ pub fn sql_bench_setup(args: &Args, records: usize, hidden: usize) -> SqlBenchSe
     let epochs = if args.paper { 8 } else { 2 };
     let snapshots = sql::train_model(&workload, hidden, epochs, 0.02, 0);
     let model = snapshots.into_iter().last().expect("at least one snapshot");
-    SqlBenchSetup { workload, model, hidden }
+    SqlBenchSetup {
+        workload,
+        model,
+        hidden,
+    }
 }
 
 /// Runs one inspection with the given engine/measure and returns its
@@ -132,7 +153,13 @@ pub fn run_engine(
         hypotheses: hypotheses.to_vec(),
         measures: vec![measure],
     };
-    let config = InspectionConfig { engine, device, epsilon, cache, ..Default::default() };
+    let config = InspectionConfig {
+        engine,
+        device,
+        epsilon,
+        cache,
+        ..Default::default()
+    };
     let (_, profile) = inspect(&request, &config).expect("benchmark inspection");
     profile
 }
@@ -153,7 +180,10 @@ mod tests {
 
     #[test]
     fn quick_setup_builds_and_runs() {
-        let args = Args { paper: false, scale: 1.0 };
+        let args = Args {
+            paper: false,
+            scale: 1.0,
+        };
         let setup = sql_bench_setup(&args, 128, 12);
         assert!(setup.workload.dataset.len() <= 128);
         let hyps = hypothesis_refs(&setup.workload, 4);
@@ -175,7 +205,10 @@ mod tests {
     fn table_printer_aligns() {
         print_table(
             &["engine", "time"],
-            &[vec!["PyBase".into(), "1.0s".into()], vec!["DeepBase".into(), "0.1s".into()]],
+            &[
+                vec!["PyBase".into(), "1.0s".into()],
+                vec!["DeepBase".into(), "0.1s".into()],
+            ],
         );
     }
 }

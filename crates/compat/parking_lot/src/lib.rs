@@ -1,0 +1,54 @@
+//! Offline stub of `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` behind parking_lot's non-poisoning `lock()`
+//! signature (guard, not `Result`). Poison is recovered by taking the
+//! inner value, which matches parking_lot's semantics of not propagating
+//! panics through locks.
+
+use std::sync::MutexGuard;
+
+/// Mutex with parking_lot's panic-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, recovering from poison.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn default_builds_empty() {
+        let m: Mutex<Vec<u8>> = Mutex::default();
+        assert!(m.lock().is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Value-generation strategies for the proptest stub.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of `Value` from a deterministic RNG.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+#[derive(Debug, Clone)]
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Non-empty list of alternatives.
+    pub fn new(options: Vec<S>) -> Union<S> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// String-literal strategies for the `[class]{m,n}` regex subset
+/// (e.g. `"[a-d]{0,20}"`, `"[A-Za-z]{1,12}"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_repeat(self);
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m,n}` into (alphabet, m, n). Panics on anything the
+/// subset does not cover, to fail loudly rather than mis-generate.
+fn parse_class_repeat(pattern: &str) -> (Vec<char>, usize, usize) {
+    fn bad(pattern: &str) -> ! {
+        panic!("unsupported string strategy pattern: {pattern:?} (expected `[class]{{m,n}}`)")
+    }
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| bad(pattern));
+    let (class, rest) = rest.split_once(']').unwrap_or_else(|| bad(pattern));
+    let rest = rest.strip_prefix('{').unwrap_or_else(|| bad(pattern));
+    let counts = rest.strip_suffix('}').unwrap_or_else(|| bad(pattern));
+    let (lo, hi) = counts.split_once(',').unwrap_or_else(|| bad(pattern));
+    let lo: usize = lo.trim().parse().unwrap_or_else(|_| bad(pattern));
+    let hi: usize = hi.trim().parse().unwrap_or_else(|_| bad(pattern));
+    assert!(lo <= hi, "bad repeat bounds in {pattern:?}");
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            assert!(a <= b, "bad char range in {pattern:?}");
+            for c in a..=b {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+    (alphabet, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vecs_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = (1usize..4, 0.0f32..1.0)
+            .prop_flat_map(|(n, _)| crate::collection::vec(-1.0f32..1.0, n * 2));
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..8).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn string_pattern_subset() {
+        let mut rng = TestRng::deterministic("strings");
+        for _ in 0..100 {
+            let s = "[a-d]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+            let t = "[A-Za-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&t.len()));
+            assert!(t.chars().all(|c| c.is_ascii_alphabetic()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_just() {
+        let mut rng = TestRng::deterministic("oneof");
+        let strat = crate::prop_oneof![Just('a'), Just('b')];
+        for _ in 0..20 {
+            assert!(matches!(strat.generate(&mut rng), 'a' | 'b'));
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model and result
+//! types so a future PR can persist them, but nothing currently calls a
+//! serializer — and the build container has no network access. This stub
+//! provides the two trait names as empty marker traits plus no-op derive
+//! macros, so the annotations compile unchanged and the real crate can be
+//! dropped in later without touching downstream code.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

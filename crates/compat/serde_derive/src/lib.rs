@@ -1,0 +1,56 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build container has no network access, so serialization is stubbed:
+//! the derives emit empty impls of the marker traits in the sibling `serde`
+//! stub crate. `#[serde(...)]` helper attributes are accepted and ignored.
+//! Only non-generic `struct`/`enum` items are supported, which covers every
+//! derived type in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum` item token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        match tok {
+            // Skip outer attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                if id == "struct" || id == "enum" {
+                    if let Some(TokenTree::Ident(name)) = tokens.next() {
+                        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                            assert!(
+                                p.as_char() != '<',
+                                "serde stub derive does not support generic type `{name}`"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    panic!("expected a type name after `{id}`");
+                }
+                // `pub`, `pub(crate)`, `union` guards etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde stub derive: no struct/enum found in input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}

@@ -153,10 +153,18 @@ mod tests {
     #[test]
     fn distinct_keys_are_separate() {
         let cache = HypothesisCache::new(1 << 20);
-        cache.get_or_compute("d1", "h", 0, || ok(vec![1.0])).unwrap();
-        cache.get_or_compute("d2", "h", 0, || ok(vec![2.0])).unwrap();
-        cache.get_or_compute("d1", "h", 1, || ok(vec![3.0])).unwrap();
-        cache.get_or_compute("d1", "h2", 0, || ok(vec![4.0])).unwrap();
+        cache
+            .get_or_compute("d1", "h", 0, || ok(vec![1.0]))
+            .unwrap();
+        cache
+            .get_or_compute("d2", "h", 0, || ok(vec![2.0]))
+            .unwrap();
+        cache
+            .get_or_compute("d1", "h", 1, || ok(vec![3.0]))
+            .unwrap();
+        cache
+            .get_or_compute("d1", "h2", 0, || ok(vec![4.0]))
+            .unwrap();
         assert_eq!(cache.len(), 4);
     }
 
@@ -164,15 +172,24 @@ mod tests {
     fn lru_evicts_oldest_beyond_budget() {
         // Budget of 2 entries x 4 floats.
         let cache = HypothesisCache::new(32);
-        cache.get_or_compute("d", "a", 0, || ok(vec![0.0; 4])).unwrap();
-        cache.get_or_compute("d", "b", 0, || ok(vec![0.0; 4])).unwrap();
+        cache
+            .get_or_compute("d", "a", 0, || ok(vec![0.0; 4]))
+            .unwrap();
+        cache
+            .get_or_compute("d", "b", 0, || ok(vec![0.0; 4]))
+            .unwrap();
         // Touch "a" so "b" becomes the LRU victim.
         cache
-            .get_or_compute("d", "a", 0, || -> Result<Vec<f32>, std::convert::Infallible> {
-                unreachable!("must hit")
-            })
+            .get_or_compute(
+                "d",
+                "a",
+                0,
+                || -> Result<Vec<f32>, std::convert::Infallible> { unreachable!("must hit") },
+            )
             .unwrap();
-        cache.get_or_compute("d", "c", 0, || ok(vec![0.0; 4])).unwrap();
+        cache
+            .get_or_compute("d", "c", 0, || ok(vec![0.0; 4]))
+            .unwrap();
         assert_eq!(cache.stats().evictions, 1);
         let mut b_recomputed = false;
         cache
@@ -202,7 +219,9 @@ mod tests {
     #[test]
     fn byte_accounting() {
         let cache = HypothesisCache::new(1 << 20);
-        cache.get_or_compute("d", "h", 0, || ok(vec![0.0; 100])).unwrap();
+        cache
+            .get_or_compute("d", "h", 0, || ok(vec![0.0; 100]))
+            .unwrap();
         assert_eq!(cache.bytes(), 400);
     }
 }

@@ -10,9 +10,29 @@
 //! | `Madlib`            | dense relations | UDA per hyp | none          |
 //!
 //! [`Device::Parallel`] is the reproduction's simulated GPU: batched
-//! extraction fans record blocks across OS threads and independent
+//! extraction fans record blocks across worker threads and independent
 //! measures parallelize across hypotheses (§4.3), standing in for the
 //! paper's CUDA offload.
+//!
+//! ## Device → runtime mapping
+//!
+//! All parallel execution runs on the **persistent worker pool** in
+//! `deepbase-runtime` (spawned once per process, sized to the machine),
+//! never on per-call threads:
+//!
+//! * [`Device::SingleCore`] executes everything inline on the calling
+//!   thread — the pool is untouched.
+//! * [`Device::Parallel(n)`] splits work into `n` deterministic chunks
+//!   (record blocks in [`Extractor`] extraction, hypothesis ranges in the
+//!   independent-measure fan-out, output-row panels inside
+//!   `Matrix::matmul_parallel`) and dispatches the chunks onto the global
+//!   pool via its scoped `spawn` API. `n` controls the *chunking* — the
+//!   simulated device width — while the pool supplies however many OS
+//!   threads the machine has; because chunk boundaries never depend on
+//!   which worker runs a chunk, results are identical to `SingleCore`.
+//!
+//! Records are shuffled by **index** and processed through `&[&Record]`
+//! borrows; no record payload is cloned per inspection.
 
 use crate::cache::HypothesisCache;
 use crate::error::DniError;
@@ -136,7 +156,7 @@ pub fn inspect(
         return Err(DniError::BadConfig("block_records must be >= 1".into()));
     }
     if let Some(eps) = config.epsilon {
-        if !(eps > 0.0) {
+        if eps.is_nan() || eps <= 0.0 {
             return Err(DniError::BadConfig("epsilon must be > 0".into()));
         }
     }
@@ -150,7 +170,10 @@ pub fn inspect(
         if let Some(&bad) = g.units.iter().find(|&&u| u >= req.extractor.n_units()) {
             return Err(DniError::BadUnitGroup {
                 group: g.id.clone(),
-                msg: format!("unit {bad} out of range ({} units)", req.extractor.n_units()),
+                msg: format!(
+                    "unit {bad} out of range ({} units)",
+                    req.extractor.n_units()
+                ),
             });
         }
     }
@@ -169,46 +192,35 @@ pub fn inspect(
 // Shared helpers
 // ---------------------------------------------------------------------
 
-/// Extracts unit behaviors for `records`, fanning blocks across threads on
-/// the parallel device.
+/// Extracts unit behaviors for `records`, fanning record chunks across the
+/// persistent runtime pool on the parallel device.
 fn extract_records(
     extractor: &dyn Extractor,
-    records: &[Record],
+    records: &[&Record],
     units: &[usize],
     device: Device,
     ns: usize,
 ) -> Matrix {
     let threads = device.threads();
-    if threads <= 1 || records.len() < 2 * threads {
+    // Degenerate datasets (ns == 0 or an empty unit list) have zero-size
+    // per-record buffers; chunking by zero would panic, and there is no
+    // work to parallelize anyway.
+    if threads <= 1 || records.len() < 2 * threads || ns * units.len() == 0 {
         return extractor.extract(records, units);
     }
     let chunk = records.len().div_ceil(threads);
     let mut out = Matrix::zeros(records.len() * ns, units.len());
-    {
-        let chunks: Vec<(&[Record], &mut [f32])> = {
-            let mut rec_rest = records;
-            let mut buf_rest = out.as_mut_slice();
-            let mut pairs = Vec::new();
-            while !rec_rest.is_empty() {
-                let take = chunk.min(rec_rest.len());
-                let (recs, rr) = rec_rest.split_at(take);
-                let (buf, br) = buf_rest.split_at_mut(take * ns * units.len());
-                pairs.push((recs, buf));
-                rec_rest = rr;
-                buf_rest = br;
-            }
-            pairs
-        };
-        crossbeam::thread::scope(|scope| {
-            for (recs, buf) in chunks {
-                scope.spawn(move |_| {
-                    let m = extractor.extract(recs, units);
-                    buf.copy_from_slice(m.as_slice());
-                });
-            }
-        })
-        .expect("extraction worker panicked");
-    }
+    deepbase_runtime::global().scope(|scope| {
+        for (recs, buf) in records
+            .chunks(chunk)
+            .zip(out.as_mut_slice().chunks_mut(chunk * ns * units.len()))
+        {
+            scope.spawn(move || {
+                let m = extractor.extract(recs, units);
+                buf.copy_from_slice(m.as_slice());
+            });
+        }
+    });
     out
 }
 
@@ -216,7 +228,7 @@ fn extract_records(
 /// configured), producing a column of `records.len() * ns` values.
 fn hypothesis_column(
     hyp: &dyn HypothesisFn,
-    records: &[Record],
+    records: &[&Record],
     ns: usize,
     dataset_id: &str,
     cache: Option<&Arc<HypothesisCache>>,
@@ -244,10 +256,13 @@ fn epsilon_for(measure: &dyn Measure, config: &InspectionConfig) -> f32 {
     config.epsilon.unwrap_or_else(|| measure.default_epsilon())
 }
 
-fn shuffled_records(dataset: &Dataset, seed: u64) -> Vec<Record> {
+/// Seeded shuffle as a vector of borrows: the engines only ever *read*
+/// records, so shuffling indices avoids cloning every record payload
+/// (symbols + window text + source text) per inspection.
+fn shuffled_records(dataset: &Dataset, seed: u64) -> Vec<&Record> {
     shuffled_indices(dataset.len(), seed)
         .into_iter()
-        .map(|i| dataset.records[i].clone())
+        .map(|i| &dataset.records[i])
         .collect()
 }
 
@@ -312,7 +327,10 @@ fn inspect_materialized(
     }
     profile.hypothesis_extraction = t1.elapsed();
 
-    let merging = matches!(config.engine, EngineKind::Merged | EngineKind::MergedEarlyStop);
+    let merging = matches!(
+        config.engine,
+        EngineKind::Merged | EngineKind::MergedEarlyStop
+    );
     let early_stop = matches!(config.engine, EngineKind::MergedEarlyStop);
     let rows_total = records.len() * ns;
     let block_rows = (config.block_records * ns).max(1);
@@ -366,8 +384,7 @@ fn inspect_materialized(
                     // Per-hypothesis path; independent measures can fan
                     // hypotheses across threads on the parallel device.
                     let threads = config.device.threads();
-                    let parallel_ok =
-                        threads > 1 && measure.kind() == MeasureKind::Independent;
+                    let parallel_ok = threads > 1 && measure.kind() == MeasureKind::Independent;
                     let results = if parallel_ok {
                         process_hypotheses_parallel(
                             behaviors, &hyp_cols, *measure, group, eps, early_stop, block_rows,
@@ -378,15 +395,13 @@ fn inspect_materialized(
                             .iter()
                             .map(|col| {
                                 process_one_hypothesis(
-                                    behaviors, col, *measure, group, eps, early_stop,
-                                    block_rows, rows_total,
+                                    behaviors, col, *measure, group, eps, early_stop, block_rows,
+                                    rows_total,
                                 )
                             })
                             .collect()
                     };
-                    for (hyp, (unit_scores, group_score)) in
-                        req.hypotheses.iter().zip(results)
-                    {
+                    for (hyp, (unit_scores, group_score)) in req.hypotheses.iter().zip(results) {
                         emit_rows(
                             &mut frame,
                             req,
@@ -408,6 +423,7 @@ fn inspect_materialized(
 
 type PairResult = (Vec<f32>, f32);
 
+#[allow(clippy::too_many_arguments)]
 fn process_one_hypothesis(
     behaviors: &Matrix,
     hyp_col: &[f32],
@@ -445,28 +461,18 @@ fn process_hypotheses_parallel(
     threads: usize,
 ) -> Vec<PairResult> {
     let mut results: Vec<PairResult> = vec![(Vec::new(), 0.0); hyp_cols.len()];
-    {
-        let chunk = hyp_cols.len().div_ceil(threads).max(1);
-        let col_chunks: Vec<(usize, &[Vec<f32>])> = hyp_cols
-            .chunks(chunk)
-            .enumerate()
-            .map(|(i, c)| (i * chunk, c))
-            .collect();
-        let res_chunks: Vec<&mut [PairResult]> = results.chunks_mut(chunk).collect();
-        crossbeam::thread::scope(|scope| {
-            for ((_, cols), out) in col_chunks.into_iter().zip(res_chunks) {
-                scope.spawn(move |_| {
-                    for (col, slot) in cols.iter().zip(out.iter_mut()) {
-                        *slot = process_one_hypothesis(
-                            behaviors, col, measure, group, eps, early_stop, block_rows,
-                            rows_total,
-                        );
-                    }
-                });
-            }
-        })
-        .expect("inspection worker panicked");
-    }
+    let chunk = hyp_cols.len().div_ceil(threads).max(1);
+    deepbase_runtime::global().scope(|scope| {
+        for (cols, out) in hyp_cols.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (col, slot) in cols.iter().zip(out.iter_mut()) {
+                    *slot = process_one_hypothesis(
+                        behaviors, col, measure, group, eps, early_stop, block_rows, rows_total,
+                    );
+                }
+            });
+        }
+    });
     results
 }
 
@@ -486,15 +492,26 @@ fn inspect_streaming(
     // Active per-pair states. Merged measures get one composite state per
     // (group, measure) covering all hypotheses.
     enum Slot {
-        PerHyp { states: Vec<Option<Box<dyn MeasureState>>>, eps: f32 },
-        Merged { state: Box<dyn MergedState>, done: bool, eps: f32 },
+        PerHyp {
+            states: Vec<Option<Box<dyn MeasureState>>>,
+            eps: f32,
+        },
+        Merged {
+            state: Box<dyn MergedState>,
+            done: bool,
+            eps: f32,
+        },
     }
     let mut slots: Vec<(usize, usize, Slot)> = Vec::new(); // (group, measure, slot)
     for (gi, group) in req.groups.iter().enumerate() {
         for (mi, measure) in req.measures.iter().enumerate() {
             let eps = epsilon_for(*measure, config);
             let slot = match measure.new_merged_state(group.units.len(), req.hypotheses.len()) {
-                Some(state) => Slot::Merged { state, done: false, eps },
+                Some(state) => Slot::Merged {
+                    state,
+                    done: false,
+                    eps,
+                },
                 None => Slot::PerHyp {
                     states: (0..req.hypotheses.len())
                         .map(|_| Some(measure.new_state(group.units.len())))
@@ -559,9 +576,8 @@ fn inspect_streaming(
                     let errs = state.process_block(behaviors, &hyps_matrix);
                     if errs.iter().all(|&e| e <= *eps) {
                         *done = true;
-                        for h in 0..req.hypotheses.len() {
-                            finals[*gi][*mi][h] =
-                                Some((state.unit_scores(h), state.group_score(h)));
+                        for (h, slot) in finals[*gi][*mi].iter_mut().enumerate() {
+                            *slot = Some((state.unit_scores(h), state.group_score(h)));
                         }
                     } else {
                         all_done = false;
@@ -658,8 +674,7 @@ fn inspect_madlib(
 
         let t2 = Instant::now();
         let rows_total = records.len() * ns;
-        let unit_names: Vec<String> =
-            (0..group.units.len()).map(|u| format!("u{u}")).collect();
+        let unit_names: Vec<String> = (0..group.units.len()).map(|u| format!("u{u}")).collect();
         let hyp_names: Vec<String> = (0..hyp_cols.len()).map(|h| format!("h{h}")).collect();
         let mut cols: Vec<(&str, rel::ColType)> = vec![("symbolid", rel::ColType::Int)];
         for n in &unit_names {
@@ -670,7 +685,8 @@ fn inspect_madlib(
         }
         let mut table = rel::Table::new(rel::Schema::new(cols));
         for r in 0..rows_total {
-            let mut row: Vec<rel::Value> = Vec::with_capacity(1 + unit_names.len() + hyp_names.len());
+            let mut row: Vec<rel::Value> =
+                Vec::with_capacity(1 + unit_names.len() + hyp_names.len());
             row.push(rel::Value::Int(r as i64));
             row.extend(behaviors.row(r).iter().map(|&v| rel::Value::Float(v)));
             row.extend(hyp_cols.iter().map(|c| rel::Value::Float(c[r])));
@@ -686,8 +702,7 @@ fn inspect_madlib(
                     let pairs: Vec<(usize, usize)> = (0..group.units.len())
                         .flat_map(|u| (0..hyp_cols.len()).map(move |h| (u, h)))
                         .collect();
-                    let mut scores =
-                        vec![vec![0.0f32; hyp_cols.len()]; group.units.len()];
+                    let mut scores = vec![vec![0.0f32; hyp_cols.len()]; group.units.len()];
                     for batch in pairs.chunks(rel::MAX_EXPRESSIONS_PER_STATEMENT) {
                         let aggs: Vec<rel::AggFn> = batch
                             .iter()
@@ -698,17 +713,20 @@ fn inspect_madlib(
                         let out = rel::aggregate(&table, &mut stats, &[], &aggs)
                             .map_err(|e| DniError::BadConfig(e.msg))?;
                         for (i, &(u, h)) in batch.iter().enumerate() {
-                            scores[u][h] =
-                                out.row(0)[i].as_f32().unwrap_or(0.0);
+                            scores[u][h] = out.row(0)[i].as_f32().unwrap_or(0.0);
                         }
                     }
                     for (h, hyp) in req.hypotheses.iter().enumerate() {
                         let unit_scores: Vec<f32> =
                             (0..group.units.len()).map(|u| scores[u][h]).collect();
-                        let group_score =
-                            unit_scores.iter().map(|s| s.abs()).fold(0.0, f32::max);
+                        let group_score = unit_scores.iter().map(|s| s.abs()).fold(0.0, f32::max);
                         emit_rows(
-                            &mut frame, req, group, measure.id(), hyp.id(), &unit_scores,
+                            &mut frame,
+                            req,
+                            group,
+                            measure.id(),
+                            hyp.id(),
+                            &unit_scores,
                             group_score,
                         );
                     }
@@ -716,8 +734,7 @@ fn inspect_madlib(
                 id if id.starts_with("logreg") => {
                     // One UDA training run per hypothesis, each scanning
                     // the behavior table once per epoch (MADLib-style).
-                    let feature_refs: Vec<&str> =
-                        unit_names.iter().map(|s| s.as_str()).collect();
+                    let feature_refs: Vec<&str> = unit_names.iter().map(|s| s.as_str()).collect();
                     let lr_config = deepbase_stats::LogRegConfig {
                         l1: if id.contains("l1") { 0.01 } else { 0.0 },
                         l2: if id.contains("l2") { 0.01 } else { 0.0 },
@@ -737,13 +754,19 @@ fn inspect_madlib(
                         // Group score: training-set F1 via one more scan.
                         let mut x = Matrix::zeros(rows_total, group.units.len());
                         let mut y = Matrix::zeros(rows_total, 1);
-                        for r in 0..rows_total {
+                        for (r, &hv) in hyp_cols[h].iter().enumerate() {
                             x.row_mut(r).copy_from_slice(behaviors.row(r));
-                            y.set(r, 0, if hyp_cols[h][r] > 0.0 { 1.0 } else { 0.0 });
+                            y.set(r, 0, if hv > 0.0 { 1.0 } else { 0.0 });
                         }
                         let f1 = model.f1_per_output(&x, &y)[0];
                         emit_rows(
-                            &mut frame, req, group, measure.id(), hyp.id(), &unit_scores, f1,
+                            &mut frame,
+                            req,
+                            group,
+                            measure.id(),
+                            hyp.id(),
+                            &unit_scores,
+                            f1,
                         );
                     }
                 }

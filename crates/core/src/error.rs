@@ -39,7 +39,11 @@ impl fmt::Display for DniError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DniError::BadRecord { record, msg } => write!(f, "record {record}: {msg}"),
-            DniError::BadHypothesisOutput { hypothesis, record, msg } => {
+            DniError::BadHypothesisOutput {
+                hypothesis,
+                record,
+                msg,
+            } => {
                 write!(f, "hypothesis {hypothesis:?} on record {record}: {msg}")
             }
             DniError::BadUnitGroup { group, msg } => write!(f, "unit group {group:?}: {msg}"),
@@ -69,7 +73,10 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(DniError::BadConfig("x".into()), DniError::BadConfig("x".into()));
+        assert_eq!(
+            DniError::BadConfig("x".into()),
+            DniError::BadConfig("x".into())
+        );
         assert_ne!(DniError::BadConfig("x".into()), DniError::Query("x".into()));
     }
 }

@@ -12,14 +12,19 @@ use deepbase_nn::{CharLstmModel, Seq2Seq};
 use deepbase_tensor::Matrix;
 
 /// Extracts hidden-unit behaviors for records. Implementations must be
-/// thread-safe: the parallel device fans record blocks across threads.
+/// thread-safe: the parallel device fans record blocks across the
+/// `deepbase-runtime` worker pool.
+///
+/// Records are passed by reference (`&[&Record]`) so the engine can hand
+/// extractors arbitrary shuffled views of a dataset without cloning record
+/// payloads (symbols, window text, source text) per inspection.
 pub trait Extractor: Send + Sync {
     /// Number of hidden units the underlying model exposes.
     fn n_units(&self) -> usize;
 
     /// Behavior matrix for `records`: shape
     /// `(records.len() * ns) x unit_ids.len()`, rows record-major.
-    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> Matrix;
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix;
 }
 
 /// Extractor over a [`CharLstmModel`] (the SQL auto-completion model).
@@ -39,7 +44,7 @@ impl Extractor for CharModelExtractor<'_> {
         self.model.hidden()
     }
 
-    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> Matrix {
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
         if records.is_empty() {
             return Matrix::zeros(0, unit_ids.len());
         }
@@ -69,13 +74,18 @@ impl Extractor for Seq2SeqEncoderExtractor<'_> {
         2 * self.model.hidden()
     }
 
-    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> Matrix {
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
         let ns = records.first().map(|r| r.symbols.len()).unwrap_or(0);
         let mut out = Matrix::zeros(records.len() * ns, unit_ids.len());
         for (ri, rec) in records.iter().enumerate() {
             // Strip padding (id 0) from the tail; sentences are
             // right-padded for the fixed-ns dataset layout.
-            let len = rec.symbols.iter().rposition(|&s| s != 0).map(|p| p + 1).unwrap_or(0);
+            let len = rec
+                .symbols
+                .iter()
+                .rposition(|&s| s != 0)
+                .map(|p| p + 1)
+                .unwrap_or(0);
             if len == 0 {
                 continue;
             }
@@ -111,7 +121,7 @@ impl Extractor for PrecomputedExtractor {
         self.behaviors.cols()
     }
 
-    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> Matrix {
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(records.len() * self.ns, unit_ids.len());
         for (ri, rec) in records.iter().enumerate() {
             for t in 0..self.ns {
@@ -128,7 +138,8 @@ impl Extractor for PrecomputedExtractor {
 
 /// Extracts behaviors for an entire dataset in one call.
 pub fn extract_all(extractor: &dyn Extractor, dataset: &Dataset, unit_ids: &[usize]) -> Matrix {
-    extractor.extract(&dataset.records, unit_ids)
+    let refs: Vec<&Record> = dataset.records.iter().collect();
+    extractor.extract(&refs, unit_ids)
 }
 
 fn select_columns(m: &Matrix, cols: &[usize]) -> Matrix {
@@ -164,6 +175,7 @@ mod tests {
         let ext = CharModelExtractor::new(&model);
         assert_eq!(ext.n_units(), 6);
         let recs = records(4, 5);
+        let recs: Vec<&Record> = recs.iter().collect();
         let all = ext.extract(&recs, &(0..6).collect::<Vec<_>>());
         assert_eq!(all.shape(), (20, 6));
         let some = ext.extract(&recs, &[2, 4]);
@@ -179,8 +191,8 @@ mod tests {
         let behaviors = Matrix::from_fn(6, 2, |r, c| (r * 10 + c) as f32);
         let ext = PrecomputedExtractor::new(behaviors, 2);
         // Records with ids 2 and 0, out of order.
-        let mut recs = records(3, 2);
-        let picked = vec![recs.remove(2), recs.remove(0)];
+        let recs = records(3, 2);
+        let picked = vec![&recs[2], &recs[0]];
         let m = ext.extract(&picked, &[0, 1]);
         assert_eq!(m.shape(), (4, 2));
         // Record id 2 occupies source rows 4..6.
@@ -197,9 +209,12 @@ mod tests {
         assert_eq!(ext.n_units(), 6);
         // One record: two real tokens then padding to ns=4.
         let rec = Record::standalone(0, vec![4, 5, 0, 0], "ab~~".into());
-        let m = ext.extract(&[rec], &(0..6).collect::<Vec<_>>());
+        let m = ext.extract(&[&rec], &(0..6).collect::<Vec<_>>());
         assert_eq!(m.shape(), (4, 6));
-        assert!(m.row(0).iter().any(|&v| v != 0.0), "real token has activations");
+        assert!(
+            m.row(0).iter().any(|&v| v != 0.0),
+            "real token has activations"
+        );
         assert!(m.row(2).iter().all(|&v| v == 0.0), "padding row is zero");
         assert!(m.row(3).iter().all(|&v| v == 0.0));
     }

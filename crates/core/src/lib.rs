@@ -66,8 +66,7 @@ pub mod prelude {
     };
     pub use crate::error::DniError;
     pub use crate::extract::{
-        extract_all, CharModelExtractor, Extractor, PrecomputedExtractor,
-        Seq2SeqEncoderExtractor,
+        extract_all, CharModelExtractor, Extractor, PrecomputedExtractor, Seq2SeqEncoderExtractor,
     };
     pub use crate::measure::{
         standard_library, CorrelationMeasure, DiffMeansMeasure, GroupMiMeasure, JaccardMeasure,

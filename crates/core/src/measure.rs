@@ -10,8 +10,8 @@
 //! per-hypothesis losses and parameters are independent.
 
 use deepbase_stats::{
-    baselines, corr::StreamingPearson, descriptive, mi, quantile, ConvergenceTracker,
-    LogRegConfig, MultiLogReg, Z_95,
+    baselines, corr::StreamingPearson, descriptive, mi, quantile, ConvergenceTracker, LogRegConfig,
+    MultiLogReg, Z_95,
 };
 use deepbase_tensor::Matrix;
 
@@ -90,7 +90,9 @@ impl Measure for CorrelationMeasure {
     }
 
     fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
-        Box::new(CorrState { accs: vec![StreamingPearson::new(); n_units] })
+        Box::new(CorrState {
+            accs: vec![StreamingPearson::new(); n_units],
+        })
     }
 
     fn default_epsilon(&self) -> f32 {
@@ -104,12 +106,39 @@ struct CorrState {
 
 impl MeasureState for CorrState {
     fn process_block(&mut self, units: &Matrix, hyp: &[f32]) -> f32 {
-        debug_assert_eq!(units.rows(), hyp.len());
-        for (r, &h) in hyp.iter().enumerate() {
-            let row = units.row(r);
-            for (acc, &u) in self.accs.iter_mut().zip(row.iter()) {
-                acc.push(u, h);
+        // Hard asserts: the strided column walk below reads garbage (not
+        // merely a prefix) if the block's column count drifts from the
+        // number of accumulators, so misuse must fail loudly in release
+        // builds too.
+        assert_eq!(units.rows(), hyp.len(), "corr block row mismatch");
+        assert_eq!(
+            units.cols(),
+            self.accs.len(),
+            "corr block unit-count mismatch"
+        );
+        // Column-wise update: the hypothesis moments are shared by every
+        // unit, so compute them once per block, then accumulate each
+        // unit's x-moments in registers over a strided column pass —
+        // instead of scattering every row across all accumulators.
+        let (mut sy, mut syy) = (0.0f64, 0.0);
+        for &h in hyp {
+            let h = h as f64;
+            sy += h;
+            syy += h * h;
+        }
+        let data = units.as_slice();
+        let stride = self.accs.len();
+        for (u, acc) in self.accs.iter_mut().enumerate() {
+            let (mut sx, mut sxx, mut sxy) = (0.0f64, 0.0, 0.0);
+            let mut idx = u;
+            for &h in hyp {
+                let x = data[idx] as f64;
+                sx += x;
+                sxx += x * x;
+                sxy += x * h as f64;
+                idx += stride;
             }
+            acc.accumulate(hyp.len() as u64, sx, sy, sxx, syy, sxy);
         }
         self.accs
             .iter()
@@ -122,7 +151,10 @@ impl MeasureState for CorrState {
     }
 
     fn group_score(&self) -> f32 {
-        self.accs.iter().map(|a| a.correlation().abs()).fold(0.0, f32::max)
+        self.accs
+            .iter()
+            .map(|a| a.correlation().abs())
+            .fold(0.0, f32::max)
     }
 }
 
@@ -142,7 +174,10 @@ pub struct MutualInfoMeasure {
 
 impl Default for MutualInfoMeasure {
     fn default() -> Self {
-        MutualInfoMeasure { bins: mi::DEFAULT_BINS, max_buffer: 65_536 }
+        MutualInfoMeasure {
+            bins: mi::DEFAULT_BINS,
+            max_buffer: 65_536,
+        }
     }
 }
 
@@ -156,7 +191,11 @@ impl Measure for MutualInfoMeasure {
     }
 
     fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
-        Box::new(BufferedState::new(n_units, self.max_buffer, BufferedScore::Mi(self.bins)))
+        Box::new(BufferedState::new(
+            n_units,
+            self.max_buffer,
+            BufferedScore::Mi(self.bins),
+        ))
     }
 
     fn default_epsilon(&self) -> f32 {
@@ -180,7 +219,10 @@ pub struct JaccardMeasure {
 
 impl Default for JaccardMeasure {
     fn default() -> Self {
-        JaccardMeasure { top_quantile: 0.95, max_buffer: 65_536 }
+        JaccardMeasure {
+            top_quantile: 0.95,
+            max_buffer: 65_536,
+        }
     }
 }
 
@@ -234,12 +276,12 @@ impl MeasureState for BufferedState {
     fn process_block(&mut self, units: &Matrix, hyp: &[f32]) -> f32 {
         let room = self.max_buffer.saturating_sub(self.hyp_buffer.len());
         let take = room.min(hyp.len());
-        for r in 0..take {
+        for (r, &h) in hyp.iter().enumerate().take(take) {
             let row = units.row(r);
             for (buf, &u) in self.unit_buffers.iter_mut().zip(row.iter()) {
                 buf.push(u);
             }
-            self.hyp_buffer.push(hyp[r]);
+            self.hyp_buffer.push(h);
         }
         let n = self.hyp_buffer.len();
         if n < 8 {
@@ -288,7 +330,10 @@ impl Measure for DiffMeansMeasure {
     }
 
     fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
-        Box::new(DiffMeansState { on: vec![Moments::default(); n_units], off: vec![Moments::default(); n_units] })
+        Box::new(DiffMeansState {
+            on: vec![Moments::default(); n_units],
+            off: vec![Moments::default(); n_units],
+        })
     }
 
     fn default_epsilon(&self) -> f32 {
@@ -341,9 +386,12 @@ impl MeasureState for DiffMeansState {
                 m.push(u);
             }
         }
-        let n = self.on.first().map(|m| m.n).unwrap_or(0).min(
-            self.off.first().map(|m| m.n).unwrap_or(0),
-        );
+        let n = self
+            .on
+            .first()
+            .map(|m| m.n)
+            .unwrap_or(0)
+            .min(self.off.first().map(|m| m.n).unwrap_or(0));
         if n < 4 {
             f32::INFINITY
         } else {
@@ -374,7 +422,10 @@ impl MeasureState for DiffMeansState {
     }
 
     fn group_score(&self) -> f32 {
-        self.unit_scores().into_iter().map(f32::abs).fold(0.0, f32::max)
+        self.unit_scores()
+            .into_iter()
+            .map(f32::abs)
+            .fold(0.0, f32::max)
     }
 }
 
@@ -407,7 +458,11 @@ impl LogRegMeasure {
     pub fn l1(strength: f32) -> Self {
         LogRegMeasure {
             name: "logreg_l1".into(),
-            config: LogRegConfig { l1: strength, learning_rate: 0.05, ..Default::default() },
+            config: LogRegConfig {
+                l1: strength,
+                learning_rate: 0.05,
+                ..Default::default()
+            },
             inner_epochs: 8,
             tracker_window: 4,
             balance_classes: true,
@@ -418,7 +473,11 @@ impl LogRegMeasure {
     pub fn l2(strength: f32) -> Self {
         LogRegMeasure {
             name: "logreg_l2".into(),
-            config: LogRegConfig { l2: strength, learning_rate: 0.05, ..Default::default() },
+            config: LogRegConfig {
+                l2: strength,
+                learning_rate: 0.05,
+                ..Default::default()
+            },
             inner_epochs: 8,
             tracker_window: 4,
             balance_classes: true,
@@ -619,7 +678,11 @@ impl Measure for MajorityBaselineMeasure {
     }
 
     fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
-        Box::new(BaselineState { labels: Vec::new(), n_units, random_seed: None })
+        Box::new(BaselineState {
+            labels: Vec::new(),
+            n_units,
+            random_seed: None,
+        })
     }
 
     fn default_epsilon(&self) -> f32 {
@@ -643,7 +706,11 @@ impl Measure for RandomBaselineMeasure {
     }
 
     fn new_state(&self, n_units: usize) -> Box<dyn MeasureState> {
-        Box::new(BaselineState { labels: Vec::new(), n_units, random_seed: Some(self.seed) })
+        Box::new(BaselineState {
+            labels: Vec::new(),
+            n_units,
+            random_seed: Some(self.seed),
+        })
     }
 
     fn default_epsilon(&self) -> f32 {
@@ -659,7 +726,8 @@ struct BaselineState {
 
 impl MeasureState for BaselineState {
     fn process_block(&mut self, _units: &Matrix, hyp: &[f32]) -> f32 {
-        self.labels.extend(hyp.iter().map(|&h| if h > 0.0 { 1.0 } else { 0.0 }));
+        self.labels
+            .extend(hyp.iter().map(|&h| if h > 0.0 { 1.0 } else { 0.0 }));
         if self.labels.len() < 8 {
             f32::INFINITY
         } else {
@@ -689,7 +757,10 @@ pub fn standard_library() -> Vec<Box<dyn Measure>> {
         Box::new(CorrelationMeasure),
         Box::new(MutualInfoMeasure::default()),
         Box::new(JaccardMeasure::default()),
-        Box::new(JaccardMeasure { top_quantile: 0.995, max_buffer: 65_536 }),
+        Box::new(JaccardMeasure {
+            top_quantile: 0.995,
+            max_buffer: 65_536,
+        }),
         Box::new(DiffMeansMeasure),
         Box::new(LogRegMeasure::l1(0.01)),
         Box::new(LogRegMeasure::l2(0.01)),
@@ -710,7 +781,10 @@ pub struct GroupMiMeasure {
 
 impl Default for GroupMiMeasure {
     fn default() -> Self {
-        GroupMiMeasure { bins: 4, max_buffer: 16_384 }
+        GroupMiMeasure {
+            bins: 4,
+            max_buffer: 16_384,
+        }
     }
 }
 
@@ -751,8 +825,12 @@ impl MeasureState for GroupMiState {
     }
 
     fn group_score(&self) -> f32 {
-        let refs: Vec<&[f32]> =
-            self.buffered.unit_buffers.iter().map(|b| b.as_slice()).collect();
+        let refs: Vec<&[f32]> = self
+            .buffered
+            .unit_buffers
+            .iter()
+            .map(|b| b.as_slice())
+            .collect();
         mi::multivariate_mi(&refs, &self.buffered.hyp_buffer, self.bins)
     }
 }
@@ -760,7 +838,10 @@ impl MeasureState for GroupMiState {
 /// Quantile-binned behavior helper re-exported for NetDissect pipelines.
 pub fn binarize_at_quantile(values: &[f32], q: f32) -> Vec<f32> {
     let thresh = quantile::quantile(values, q);
-    values.iter().map(|&v| if v > thresh { 1.0 } else { 0.0 }).collect()
+    values
+        .iter()
+        .map(|&v| if v > thresh { 1.0 } else { 0.0 })
+        .collect()
 }
 
 #[cfg(test)]
@@ -818,7 +899,10 @@ mod tests {
 
     #[test]
     fn jaccard_state_scores_overlapping_unit() {
-        let m = JaccardMeasure { top_quantile: 0.5, max_buffer: 10_000 };
+        let m = JaccardMeasure {
+            top_quantile: 0.5,
+            max_buffer: 10_000,
+        };
         let mut state = m.new_state(2);
         let (units, hyp) = block(200);
         state.process_block(&units, &hyp);
@@ -838,7 +922,12 @@ mod tests {
         state.process_block(&u2, &hyp[100..]);
         let streaming = state.unit_scores();
         let batch = descriptive::difference_of_means(&units.col(0), &hyp);
-        assert!((streaming[0] - batch).abs() < 0.05, "{} vs {}", streaming[0], batch);
+        assert!(
+            (streaming[0] - batch).abs() < 0.05,
+            "{} vs {}",
+            streaming[0],
+            batch
+        );
     }
 
     #[test]
@@ -850,10 +939,17 @@ mod tests {
         for _ in 0..12 {
             err = state.process_block(&units, &hyp);
         }
-        assert!(state.group_score() > 0.9, "probe F1 {}", state.group_score());
+        assert!(
+            state.group_score() > 0.9,
+            "probe F1 {}",
+            state.group_score()
+        );
         assert!(err < 0.1, "converged err {err}");
         let coefs = state.unit_scores();
-        assert!(coefs[0] > coefs[1], "informative unit has larger |coef|: {coefs:?}");
+        assert!(
+            coefs[0] > coefs[1],
+            "informative unit has larger |coef|: {coefs:?}"
+        );
     }
 
     #[test]
@@ -895,7 +991,9 @@ mod tests {
         let mut maj = MajorityBaselineMeasure.new_state(2);
         maj.process_block(&units, &hyp);
         let expected = baselines::majority_class_f1(
-            &hyp.iter().map(|&h| if h > 0.0 { 1.0 } else { 0.0 }).collect::<Vec<_>>(),
+            &hyp.iter()
+                .map(|&h| if h > 0.0 { 1.0 } else { 0.0 })
+                .collect::<Vec<_>>(),
         );
         assert!((maj.group_score() - expected).abs() < 1e-6);
         assert_eq!(maj.unit_scores(), vec![expected; 2]);
@@ -912,13 +1010,20 @@ mod tests {
         let n = 600;
         let u0: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
         let u1: Vec<f32> = (0..n).map(|i| ((i / 2) % 2) as f32).collect();
-        let hyp: Vec<f32> = u0.iter().zip(u1.iter()).map(|(a, b)| (a + b) % 2.0).collect();
+        let hyp: Vec<f32> = u0
+            .iter()
+            .zip(u1.iter())
+            .map(|(a, b)| (a + b) % 2.0)
+            .collect();
         let mut units = Matrix::zeros(n, 2);
         for r in 0..n {
             units.set(r, 0, u0[r]);
             units.set(r, 1, u1[r]);
         }
-        let m = GroupMiMeasure { bins: 2, max_buffer: 10_000 };
+        let m = GroupMiMeasure {
+            bins: 2,
+            max_buffer: 10_000,
+        };
         let mut state = m.new_state(2);
         state.process_block(&units, &hyp);
         let singles = state.unit_scores();

@@ -83,7 +83,11 @@ impl Dataset {
                 });
             }
         }
-        Ok(Dataset { id: id.to_string(), ns, records })
+        Ok(Dataset {
+            id: id.to_string(),
+            ns,
+            records,
+        })
     }
 
     /// Number of records `nd`.
@@ -115,12 +119,18 @@ pub struct UnitGroup {
 impl UnitGroup {
     /// Convenience constructor.
     pub fn new(id: &str, units: Vec<usize>) -> UnitGroup {
-        UnitGroup { id: id.to_string(), units }
+        UnitGroup {
+            id: id.to_string(),
+            units,
+        }
     }
 
     /// The group `0..n` named `all`.
     pub fn all(n: usize) -> UnitGroup {
-        UnitGroup { id: "all".into(), units: (0..n).collect() }
+        UnitGroup {
+            id: "all".into(),
+            units: (0..n).collect(),
+        }
     }
 }
 
@@ -136,7 +146,12 @@ pub trait HypothesisFn: Send + Sync {
 }
 
 /// Validates a hypothesis output per §4.1: exact length and finite values.
-pub fn validate_behavior(hyp_id: &str, record: &Record, ns: usize, b: &[f32]) -> Result<(), DniError> {
+pub fn validate_behavior(
+    hyp_id: &str,
+    record: &Record,
+    ns: usize,
+    b: &[f32],
+) -> Result<(), DniError> {
     if b.len() != ns {
         return Err(DniError::BadHypothesisOutput {
             hypothesis: hyp_id.to_string(),
@@ -154,17 +169,23 @@ pub fn validate_behavior(hyp_id: &str, record: &Record, ns: usize, b: &[f32]) ->
     Ok(())
 }
 
+/// Boxed behavior closure backing [`FnHypothesis`].
+type BehaviorFn = Box<dyn Fn(&Record) -> Vec<f32> + Send + Sync>;
+
 /// A hypothesis defined by a plain closure over the record text — the
 /// "arbitrary Python function" path of the paper's API.
 pub struct FnHypothesis {
     id: String,
-    f: Box<dyn Fn(&Record) -> Vec<f32> + Send + Sync>,
+    f: BehaviorFn,
 }
 
 impl FnHypothesis {
     /// Wraps a closure producing a per-symbol behavior.
     pub fn new(id: &str, f: impl Fn(&Record) -> Vec<f32> + Send + Sync + 'static) -> Self {
-        FnHypothesis { id: id.to_string(), f: Box::new(f) }
+        FnHypothesis {
+            id: id.to_string(),
+            f: Box::new(f),
+        }
     }
 
     /// Keyword-detector hypothesis over the window text.
@@ -259,7 +280,12 @@ impl ParseHypothesis {
     /// Creates a hypothesis for one grammar rule + representation, sharing
     /// `cache` with its siblings.
     pub fn new(grammar: Arc<Grammar>, inner: TreeHypothesis, cache: Arc<ParseCache>) -> Self {
-        ParseHypothesis { id: inner.name(), grammar, inner, cache }
+        ParseHypothesis {
+            id: inner.name(),
+            grammar,
+            inner,
+            cache,
+        }
     }
 
     /// Builds the paper's default library: one hypothesis per nonterminal
@@ -306,7 +332,11 @@ mod tests {
     use deepbase_lang::TreeRepr;
 
     fn record(text: &str) -> Record {
-        Record::standalone(0, text.chars().map(|c| c as u32).collect(), text.to_string())
+        Record::standalone(
+            0,
+            text.chars().map(|c| c as u32).collect(),
+            text.to_string(),
+        )
     }
 
     #[test]
@@ -362,7 +392,12 @@ mod tests {
         for _ in 0..3 {
             let t = cache.get_or_parse(7, || {
                 calls += 1;
-                Some(ParseTree { rule: "s".into(), start: 0, end: 1, children: vec![] })
+                Some(ParseTree {
+                    rule: "s".into(),
+                    start: 0,
+                    end: 1,
+                    children: vec![],
+                })
             });
             assert!(t.is_some());
         }
@@ -392,7 +427,10 @@ mod tests {
         let cache = ParseCache::new();
         let hyp = ParseHypothesis::new(
             Arc::clone(&grammar),
-            TreeHypothesis { rule: "term".into(), repr: TreeRepr::Time },
+            TreeHypothesis {
+                rule: "term".into(),
+                repr: TreeRepr::Time,
+            },
             Arc::clone(&cache),
         );
         // Source "1+2", window covering chars 1..3 ("+2") padded to 3.
@@ -417,12 +455,14 @@ mod tests {
 
     #[test]
     fn parse_hypothesis_unparseable_source_is_silent() {
-        let grammar =
-            Arc::new(Grammar::from_spec("s -> 'x' ;").unwrap());
+        let grammar = Arc::new(Grammar::from_spec("s -> 'x' ;").unwrap());
         let cache = ParseCache::new();
         let hyp = ParseHypothesis::new(
             Arc::clone(&grammar),
-            TreeHypothesis { rule: "s".into(), repr: TreeRepr::Time },
+            TreeHypothesis {
+                rule: "s".into(),
+                repr: TreeRepr::Time,
+            },
             cache,
         );
         let rec = record("zz");
@@ -433,11 +473,7 @@ mod tests {
     fn parse_library_shares_cache() {
         let grammar = Arc::new(Grammar::from_spec("a -> b ; b -> 'x' ;").unwrap());
         let cache = ParseCache::new();
-        let lib = ParseHypothesis::library(
-            &grammar,
-            &[TreeRepr::Time, TreeRepr::Signal],
-            &cache,
-        );
+        let lib = ParseHypothesis::library(&grammar, &[TreeRepr::Time, TreeRepr::Signal], &cache);
         assert_eq!(lib.len(), 4);
         let rec = record("x");
         for h in &lib {

@@ -74,8 +74,15 @@ impl Catalog {
 
     /// Registers a model with uniform layer 0 metadata.
     pub fn add_model(&mut self, mid: &str, epoch: i64, extractor: Arc<dyn Extractor>) {
-        let units = (0..extractor.n_units()).map(|uid| UnitMeta { uid, layer: 0 }).collect();
-        self.models.push(CatalogModel { mid: mid.to_string(), epoch, extractor, units });
+        let units = (0..extractor.n_units())
+            .map(|uid| UnitMeta { uid, layer: 0 })
+            .collect();
+        self.models.push(CatalogModel {
+            mid: mid.to_string(),
+            epoch,
+            extractor,
+            units,
+        });
     }
 
     /// Registers a model with explicit unit metadata.
@@ -86,7 +93,12 @@ impl Catalog {
         extractor: Arc<dyn Extractor>,
         units: Vec<UnitMeta>,
     ) {
-        self.models.push(CatalogModel { mid: mid.to_string(), epoch, extractor, units });
+        self.models.push(CatalogModel {
+            mid: mid.to_string(),
+            epoch,
+            extractor,
+            units,
+        });
     }
 
     /// Registers a named hypothesis set (`H.name`).
@@ -151,7 +163,13 @@ fn lex(input: &str) -> Result<Vec<Tok>, DniError> {
                 return Err(DniError::Query("unterminated string literal".into()));
             }
             toks.push(Tok::Str(s));
-        } else if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).map(|c| c.is_ascii_digit()).unwrap_or(false)) {
+        } else if c.is_ascii_digit()
+            || (c == '-'
+                && chars
+                    .get(i + 1)
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false))
+        {
             let start = i;
             i += 1;
             while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
@@ -274,7 +292,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, DniError> {
         match self.next() {
             Tok::Ident(id) => Ok(id),
-            other => Err(DniError::Query(format!("expected identifier, found {other:?}"))),
+            other => Err(DniError::Query(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -285,7 +305,10 @@ impl Parser {
             other => return Err(DniError::Query(format!("expected '.', found {other:?}"))),
         }
         let attr = self.ident()?;
-        Ok(ColRef { alias: alias.to_lowercase(), attr: attr.to_lowercase() })
+        Ok(ColRef {
+            alias: alias.to_lowercase(),
+            attr: attr.to_lowercase(),
+        })
     }
 
     fn col_ref_list(&mut self) -> Result<Vec<ColRef>, DniError> {
@@ -304,12 +327,20 @@ impl Parser {
                 "=" | "!=" | "<>" | "<" | "<=" | ">" | ">=" => op,
                 other => return Err(DniError::Query(format!("unknown operator {other:?}"))),
             },
-            other => return Err(DniError::Query(format!("expected operator, found {other:?}"))),
+            other => {
+                return Err(DniError::Query(format!(
+                    "expected operator, found {other:?}"
+                )))
+            }
         };
         let value = match self.next() {
             Tok::Num(n) => Literal::Num(n),
             Tok::Str(s) => Literal::Str(s),
-            other => return Err(DniError::Query(format!("expected literal, found {other:?}"))),
+            other => {
+                return Err(DniError::Query(format!(
+                    "expected literal, found {other:?}"
+                )))
+            }
         };
         Ok(Cond { col, op, value })
     }
@@ -326,7 +357,10 @@ impl Parser {
 
 /// Parses an INSPECT query.
 pub fn parse(input: &str) -> Result<InspectQuery, DniError> {
-    let mut p = Parser { toks: lex(input)?, pos: 0 };
+    let mut p = Parser {
+        toks: lex(input)?,
+        pos: 0,
+    };
 
     p.keyword("select")?;
     let select = p.col_ref_list()?;
@@ -467,11 +501,13 @@ pub fn execute(
         .models
         .iter()
         .filter(|m| {
-            model_conds.iter().all(|c| match (c.col.attr.as_str(), &c.value) {
-                ("mid", Literal::Str(s)) => str_matches(&c.op, &m.mid, s),
-                ("epoch", Literal::Num(n)) => num_matches(&c.op, m.epoch as f64, *n),
-                _ => false,
-            })
+            model_conds
+                .iter()
+                .all(|c| match (c.col.attr.as_str(), &c.value) {
+                    ("mid", Literal::Str(s)) => str_matches(&c.op, &m.mid, s),
+                    ("epoch", Literal::Num(n)) => num_matches(&c.op, m.epoch as f64, *n),
+                    _ => false,
+                })
         })
         .collect();
     if models.is_empty() {
@@ -499,7 +535,9 @@ pub fn execute(
         }
     }
     if hypotheses.is_empty() {
-        return Err(DniError::Query("no hypotheses match the WHERE clause".into()));
+        return Err(DniError::Query(
+            "no hypotheses match the WHERE clause".into(),
+        ));
     }
 
     // Bind the dataset (by D.name, else sole registered dataset).
@@ -543,8 +581,12 @@ pub fn execute(
         let ty = select_type(query, col)?;
         out_cols.push((format!("{}_{}", col.alias, col.attr), ty));
     }
-    let schema =
-        Schema::new(out_cols.iter().map(|(n, t)| (n.as_str(), *t)).collect::<Vec<_>>());
+    let schema = Schema::new(
+        out_cols
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect::<Vec<_>>(),
+    );
     let mut out = Table::new(schema);
 
     for model in models {
@@ -553,11 +595,13 @@ pub fn execute(
             .units
             .iter()
             .filter(|u| {
-                unit_conds.iter().all(|c| match (c.col.attr.as_str(), &c.value) {
-                    ("uid", Literal::Num(n)) => num_matches(&c.op, u.uid as f64, *n),
-                    ("layer", Literal::Num(n)) => num_matches(&c.op, u.layer as f64, *n),
-                    _ => false,
-                })
+                unit_conds
+                    .iter()
+                    .all(|c| match (c.col.attr.as_str(), &c.value) {
+                        ("uid", Literal::Num(n)) => num_matches(&c.op, u.uid as f64, *n),
+                        ("layer", Literal::Num(n)) => num_matches(&c.op, u.layer as f64, *n),
+                        _ => false,
+                    })
             })
             .collect();
         if selected.is_empty() {
@@ -578,14 +622,19 @@ pub fn execute(
                 })
                 .collect::<Vec<_>>()
                 .join("/");
-            let key = if key.is_empty() { "all".to_string() } else { key };
+            let key = if key.is_empty() {
+                "all".to_string()
+            } else {
+                key
+            };
             groups.entry(key).or_default().push(unit.uid);
         }
-        let groups: Vec<UnitGroup> =
-            groups.into_iter().map(|(id, units)| UnitGroup::new(&id, units)).collect();
+        let groups: Vec<UnitGroup> = groups
+            .into_iter()
+            .map(|(id, units)| UnitGroup::new(&id, units))
+            .collect();
 
-        let hyp_refs: Vec<&dyn HypothesisFn> =
-            hypotheses.iter().map(|h| h.as_ref()).collect();
+        let hyp_refs: Vec<&dyn HypothesisFn> = hypotheses.iter().map(|h| h.as_ref()).collect();
         let measure_refs: Vec<&dyn Measure> = measures.iter().map(|m| m.as_ref()).collect();
         let request = InspectionRequest {
             model_id: model.mid.clone(),
@@ -598,8 +647,7 @@ pub fn execute(
         let (frame, _) = inspect(&request, config)?;
 
         // HAVING + projection.
-        let layer_of: BTreeMap<usize, i64> =
-            model.units.iter().map(|u| (u.uid, u.layer)).collect();
+        let layer_of: BTreeMap<usize, i64> = model.units.iter().map(|u| (u.uid, u.layer)).collect();
         for row in &frame.rows {
             let keep = query.having.iter().all(|c| {
                 if c.col.alias != query.result_alias {
@@ -620,8 +668,8 @@ pub fn execute(
             }
             let mut values = Vec::with_capacity(query.select.len());
             for col in &query.select {
-                let relation = alias_relation(query, &col.alias)
-                    .unwrap_or_else(|_| "result".into());
+                let relation =
+                    alias_relation(query, &col.alias).unwrap_or_else(|_| "result".into());
                 let is_result = col.alias == query.result_alias;
                 let v = if is_result {
                     match col.attr.as_str() {
@@ -649,9 +697,7 @@ pub fn execute(
                             Value::Str(row.hyp_id.clone())
                         }
                         (rel, attr) => {
-                            return Err(DniError::Query(format!(
-                                "cannot project {rel}.{attr}"
-                            )))
+                            return Err(DniError::Query(format!("cannot project {rel}.{attr}")))
                         }
                     }
                 };
@@ -707,8 +753,20 @@ mod tests {
     fn parses_the_papers_example_query() {
         let q = parse(PAPER_QUERY).unwrap();
         assert_eq!(q.select.len(), 2);
-        assert_eq!(q.select[0], ColRef { alias: "m".into(), attr: "epoch".into() });
-        assert_eq!(q.inspect_units, ColRef { alias: "u".into(), attr: "uid".into() });
+        assert_eq!(
+            q.select[0],
+            ColRef {
+                alias: "m".into(),
+                attr: "epoch".into()
+            }
+        );
+        assert_eq!(
+            q.inspect_units,
+            ColRef {
+                alias: "u".into(),
+                attr: "uid".into()
+            }
+        );
         assert_eq!(q.measures, vec!["corr".to_string()]);
         assert_eq!(q.result_alias, "s");
         assert_eq!(q.from.len(), 4);
@@ -737,16 +795,19 @@ mod tests {
             "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq FROM models M WHERE M.mid = "
         )
         .is_err());
-        assert!(parse("SELECT S.uid INSPECT U.uid AND H.h OVER D.seq FROM models M extra junk q")
-            .is_err());
+        assert!(
+            parse("SELECT S.uid INSPECT U.uid AND H.h OVER D.seq FROM models M extra junk q")
+                .is_err()
+        );
     }
 
     fn test_catalog() -> Catalog {
         // Behaviors: unit 0 mirrors "is-a" hypothesis, unit 1 is noise.
         let records: Vec<Record> = (0..16)
             .map(|i| {
-                let text: String =
-                    (0..8).map(|t| if (i + t) % 3 == 0 { 'a' } else { 'b' }).collect();
+                let text: String = (0..8)
+                    .map(|t| if (i + t) % 3 == 0 { 'a' } else { 'b' })
+                    .collect();
                 Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
             })
             .collect();

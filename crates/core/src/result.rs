@@ -55,7 +55,10 @@ impl ResultFrame {
 
     /// Rows for one measure.
     pub fn for_measure(&self, measure_id: &str) -> Vec<&ScoreRow> {
-        self.rows.iter().filter(|r| r.measure_id == measure_id).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.measure_id == measure_id)
+            .collect()
     }
 
     /// Top-`k` rows by absolute unit score (the "find the sentiment
@@ -122,8 +125,7 @@ impl ResultFrame {
 
     /// CSV export (header + rows).
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("model_id,group_id,score_id,hyp_id,h_unit_id,val,group_val\n");
+        let mut out = String::from("model_id,group_id,score_id,hyp_id,h_unit_id,val,group_val\n");
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{}\n",

@@ -101,7 +101,7 @@ pub fn verify_units(
             continue;
         }
         let base_behavior = hypothesis.behavior(record)?;
-        let base_acts = extractor.extract(std::slice::from_ref(record), units);
+        let base_acts = extractor.extract(&[record], units);
 
         for _ in 0..config.positions_per_record {
             // Perturb only visible (non-padding) positions.
@@ -109,8 +109,11 @@ pub fn verify_units(
             let k = pad + rng.gen_range(0..record.visible);
             let original = record.symbols[k];
 
-            let mut candidates: Vec<u32> =
-                alphabet.iter().copied().filter(|&s| s != original).collect();
+            let mut candidates: Vec<u32> = alphabet
+                .iter()
+                .copied()
+                .filter(|&s| s != original)
+                .collect();
             candidates.shuffle(&mut rng);
             candidates.truncate(config.candidates_per_position);
 
@@ -131,7 +134,7 @@ pub fn verify_units(
                 if !same && picked_treatment {
                     continue;
                 }
-                let pert_acts = extractor.extract(std::slice::from_ref(&perturbed), units);
+                let pert_acts = extractor.extract(&[&perturbed], units);
                 let delta: Vec<f32> = (0..units.len())
                     .map(|u| pert_acts.get(k, u) - base_acts.get(k, u))
                     .collect();
@@ -148,7 +151,11 @@ pub fn verify_units(
     }
 
     let silhouette = silhouette_score(&points, &labels);
-    Ok(VerificationResult { points, labels, silhouette })
+    Ok(VerificationResult {
+        points,
+        labels,
+        silhouette,
+    })
 }
 
 fn perturb_record(
@@ -207,7 +214,9 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 
 fn power_iteration(data: &[Vec<f32>], orthogonal_to: Option<&[f32]>) -> Vec<f32> {
     let dim = data[0].len();
-    let mut v: Vec<f32> = (0..dim).map(|i| ((i * 37 + 11) % 17) as f32 / 17.0 + 0.1).collect();
+    let mut v: Vec<f32> = (0..dim)
+        .map(|i| ((i * 37 + 11) % 17) as f32 / 17.0 + 0.1)
+        .collect();
     for _ in 0..50 {
         if let Some(prev) = orthogonal_to {
             let proj = dot(&v, prev);
@@ -251,7 +260,7 @@ mod tests {
             2
         }
 
-        fn extract(&self, records: &[Record], unit_ids: &[usize]) -> Matrix {
+        fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
             let ns = records.first().map(|r| r.symbols.len()).unwrap_or(0);
             let mut out = Matrix::zeros(records.len() * ns, unit_ids.len());
             for (ri, rec) in records.iter().enumerate() {
@@ -280,8 +289,10 @@ mod tests {
         let records: Vec<Record> = (0..12)
             .map(|i| {
                 let symbols: Vec<u32> = (0..8).map(|t| ((i + t) % 4) as u32).collect();
-                let text: String =
-                    symbols.iter().map(|&s| char::from_digit(s, 10).unwrap()).collect();
+                let text: String = symbols
+                    .iter()
+                    .map(|&s| char::from_digit(s, 10).unwrap())
+                    .collect();
                 Record::standalone(i, symbols, text)
             })
             .collect();
@@ -303,11 +314,23 @@ mod tests {
             &[0],
             &[0, 1, 2, 3],
             &|s| char::from_digit(s, 10).unwrap(),
-            &VerifyConfig { max_records: 12, positions_per_record: 4, ..Default::default() },
+            &VerifyConfig {
+                max_records: 12,
+                positions_per_record: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!(result.n_baseline() > 5, "baseline count {}", result.n_baseline());
-        assert!(result.n_treatment() > 5, "treatment count {}", result.n_treatment());
+        assert!(
+            result.n_baseline() > 5,
+            "baseline count {}",
+            result.n_baseline()
+        );
+        assert!(
+            result.n_treatment() > 5,
+            "treatment count {}",
+            result.n_treatment()
+        );
         // Treatment deltas point both ways (adding vs. removing a match),
         // which bounds the silhouette below 1; the paper's Fig. 13b
         // reports ~0.4–0.6 for genuinely specialized units.
@@ -361,11 +384,12 @@ mod tests {
         let proj = project_2d(&points);
         assert_eq!(proj.len(), 30);
         // First PC must carry the blob separation.
-        let even_mean: f32 =
-            proj.iter().step_by(2).map(|p| p.0).sum::<f32>() / 15.0;
-        let odd_mean: f32 =
-            proj.iter().skip(1).step_by(2).map(|p| p.0).sum::<f32>() / 15.0;
-        assert!((even_mean - odd_mean).abs() > 5.0, "{even_mean} vs {odd_mean}");
+        let even_mean: f32 = proj.iter().step_by(2).map(|p| p.0).sum::<f32>() / 15.0;
+        let odd_mean: f32 = proj.iter().skip(1).step_by(2).map(|p| p.0).sum::<f32>() / 15.0;
+        assert!(
+            (even_mean - odd_mean).abs() > 5.0,
+            "{even_mean} vs {odd_mean}"
+        );
     }
 
     #[test]

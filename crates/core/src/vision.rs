@@ -56,8 +56,10 @@ pub fn generate_shape_images(n: usize, size: usize, seed: u64) -> Vec<ShapeImage
                     let inside = match CONCEPTS[label] {
                         "square" => dy.abs() <= r as i64 && dx.abs() <= r as i64,
                         "circle" => dy * dy + dx * dx <= (r * r) as i64,
-                        _ => (dy.abs() <= 1 && dx.abs() <= r as i64)
-                            || (dx.abs() <= 1 && dy.abs() <= r as i64),
+                        _ => {
+                            (dy.abs() <= 1 && dx.abs() <= r as i64)
+                                || (dx.abs() <= 1 && dy.abs() <= r as i64)
+                        }
                     };
                     if inside {
                         mask.set(y, x, 1.0);
@@ -77,10 +79,18 @@ pub fn generate_shape_images(n: usize, size: usize, seed: u64) -> Vec<ShapeImage
             for (ci, &concept) in CONCEPTS.iter().enumerate() {
                 masks.insert(
                     concept.to_string(),
-                    if ci == label { mask.clone() } else { Matrix::zeros(size, size) },
+                    if ci == label {
+                        mask.clone()
+                    } else {
+                        Matrix::zeros(size, size)
+                    },
                 );
             }
-            ShapeImage { pixels, masks, label }
+            ShapeImage {
+                pixels,
+                masks,
+                label,
+            }
         })
         .collect()
 }
@@ -107,7 +117,10 @@ pub fn cnn_accuracy(cnn: &SmallCnn, images: &[ShapeImage]) -> f32 {
     if images.is_empty() {
         return 0.0;
     }
-    let correct = images.iter().filter(|img| cnn.predict(&img.pixels) == img.label).count();
+    let correct = images
+        .iter()
+        .filter(|img| cnn.predict(&img.pixels) == img.label)
+        .count();
     correct as f32 / images.len() as f32
 }
 
@@ -129,8 +142,9 @@ pub fn netdissect_scores(
 ) -> Vec<(usize, String, f32)> {
     let n_units = cnn.units();
     // Pass 1: streaming quantile per unit.
-    let mut quantiles: Vec<P2Quantile> =
-        (0..n_units).map(|_| P2Quantile::new(top_quantile)).collect();
+    let mut quantiles: Vec<P2Quantile> = (0..n_units)
+        .map(|_| P2Quantile::new(top_quantile))
+        .collect();
     let mut all_maps: Vec<Vec<Matrix>> = Vec::with_capacity(images.len());
     for img in images {
         let maps = cnn.unit_maps(&img.pixels);
@@ -163,7 +177,11 @@ pub fn netdissect_scores(
                     }
                 }
             }
-            let iou = if union == 0 { 0.0 } else { inter as f32 / union as f32 };
+            let iou = if union == 0 {
+                0.0
+            } else {
+                inter as f32 / union as f32
+            };
             scores.push((u, concept.to_string(), iou));
         }
     }
@@ -216,7 +234,11 @@ pub struct CnnPixelExtractor<'m> {
 impl<'m> CnnPixelExtractor<'m> {
     /// Binds a CNN to its image corpus.
     pub fn new(cnn: &'m SmallCnn, images: &[ShapeImage], size: usize) -> Self {
-        CnnPixelExtractor { cnn, images: Arc::new(images.to_vec()), size }
+        CnnPixelExtractor {
+            cnn,
+            images: Arc::new(images.to_vec()),
+            size,
+        }
     }
 }
 
@@ -225,7 +247,7 @@ impl Extractor for CnnPixelExtractor<'_> {
         self.cnn.units()
     }
 
-    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> Matrix {
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
         let ns = self.size * self.size;
         let mut out = Matrix::zeros(records.len() * ns, unit_ids.len());
         for (ri, rec) in records.iter().enumerate() {
@@ -260,9 +282,14 @@ pub fn deepbase_cnn_scores(
     let dataset = pixel_dataset(images, size);
     let hypotheses = concept_hypotheses(images);
     let extractor = CnnPixelExtractor::new(cnn, images, size);
-    let measure = JaccardMeasure { top_quantile, max_buffer: usize::MAX };
-    let hyp_refs: Vec<&dyn crate::model::HypothesisFn> =
-        hypotheses.iter().map(|h| h as &dyn crate::model::HypothesisFn).collect();
+    let measure = JaccardMeasure {
+        top_quantile,
+        max_buffer: usize::MAX,
+    };
+    let hyp_refs: Vec<&dyn crate::model::HypothesisFn> = hypotheses
+        .iter()
+        .map(|h| h as &dyn crate::model::HypothesisFn)
+        .collect();
     let request = InspectionRequest {
         model_id: "shape_cnn".into(),
         extractor: &extractor,
@@ -384,7 +411,10 @@ mod tests {
         for (u, c, s) in &db {
             db_map.insert((*u, c.clone()), *s);
         }
-        let ys: Vec<f32> = nd.iter().map(|(u, c, _)| db_map[&(*u, c.clone())]).collect();
+        let ys: Vec<f32> = nd
+            .iter()
+            .map(|(u, c, _)| db_map[&(*u, c.clone())])
+            .collect();
         let r = deepbase_stats::pearson(&xs, &ys);
         assert!(r > 0.6, "pipeline score correlation {r}");
     }

@@ -187,7 +187,11 @@ pub mod paren {
 
     impl Default for ParenWorkloadConfig {
         fn default() -> Self {
-            ParenWorkloadConfig { n_strings: 96, ns: 24, seed: 11 }
+            ParenWorkloadConfig {
+                n_strings: 96,
+                ns: 24,
+                seed: 11,
+            }
         }
     }
 
@@ -241,7 +245,12 @@ pub mod paren {
         }
         let dataset = Dataset::new(&format!("paren-{}", config.seed), config.ns, records)
             .expect("fixed-length records");
-        ParenWorkload { vocab, dataset, train_inputs, train_targets }
+        ParenWorkload {
+            vocab,
+            dataset,
+            train_inputs,
+            train_targets,
+        }
     }
 
     /// The three Appendix C hypotheses.
@@ -272,7 +281,10 @@ pub mod paren {
             .iter()
             .map(|r| paren_symbol_behavior(&r.text))
             .collect();
-        let spec = Specialization { units: (0..n_specialized).collect(), weight };
+        let spec = Specialization {
+            units: (0..n_specialized).collect(),
+            weight,
+        };
         let batch = 16usize;
         for _ in 0..epochs {
             let mut start = 0;
@@ -282,12 +294,7 @@ pub mod paren {
                 let targets = &workload.train_targets[start..end];
                 let aux_block = &aux[start..end];
                 if n_specialized > 0 && weight > 0.0 {
-                    model.train_batch_every(
-                        inputs,
-                        targets,
-                        Some((&spec, aux_block)),
-                        0.02,
-                    );
+                    model.train_batch_every(inputs, targets, Some((&spec, aux_block)), 0.02);
                 } else {
                     model.train_batch_every(inputs, targets, None, 0.02);
                 }
@@ -316,7 +323,10 @@ pub mod nmt {
 
     impl Default for NmtWorkloadConfig {
         fn default() -> Self {
-            NmtWorkloadConfig { n_sentences: 256, seed: 21 }
+            NmtWorkloadConfig {
+                n_sentences: 256,
+                seed: 21,
+            }
         }
     }
 
@@ -341,12 +351,23 @@ pub mod nmt {
     pub fn build(config: &NmtWorkloadConfig) -> NmtWorkload {
         let corpus = generate_corpus(config.n_sentences, config.seed);
         let src_vocab = WordVocab::build(
-            corpus.pairs.iter().flat_map(|p| p.source.iter().map(|s| s.as_str())),
+            corpus
+                .pairs
+                .iter()
+                .flat_map(|p| p.source.iter().map(|s| s.as_str())),
         );
         let tgt_vocab = WordVocab::build(
-            corpus.pairs.iter().flat_map(|p| p.target.iter().map(|s| s.as_str())),
+            corpus
+                .pairs
+                .iter()
+                .flat_map(|p| p.target.iter().map(|s| s.as_str())),
         );
-        let ns = corpus.pairs.iter().map(|p| p.source.len()).max().unwrap_or(1);
+        let ns = corpus
+            .pairs
+            .iter()
+            .map(|p| p.source.len())
+            .max()
+            .unwrap_or(1);
 
         let mut records = Vec::new();
         let mut train_pairs = Vec::new();
@@ -375,8 +396,8 @@ pub mod nmt {
                 visible,
             });
         }
-        let dataset = Dataset::new(&format!("nmt-{}", config.seed), ns, records)
-            .expect("padded records");
+        let dataset =
+            Dataset::new(&format!("nmt-{}", config.seed), ns, records).expect("padded records");
         NmtWorkload {
             corpus,
             src_vocab,
@@ -537,10 +558,7 @@ mod tests {
         assert_eq!(w.dataset.ns, 30);
         assert_eq!(w.train_inputs.len(), w.train_targets.len());
         // Two representations per nonterminal.
-        assert_eq!(
-            w.hypotheses.len(),
-            2 * w.grammar.nonterminal_names().len()
-        );
+        assert_eq!(w.hypotheses.len(), 2 * w.grammar.nonterminal_names().len());
         // Ground-truth trees pre-populate the cache: evaluating any
         // hypothesis must not invoke the parser.
         let rec = &w.dataset.records[0];
@@ -610,7 +628,10 @@ mod tests {
 
     #[test]
     fn nmt_workload_builds_aligned_tags() {
-        let w = nmt::build(&nmt::NmtWorkloadConfig { n_sentences: 32, seed: 5 });
+        let w = nmt::build(&nmt::NmtWorkloadConfig {
+            n_sentences: 32,
+            seed: 5,
+        });
         assert_eq!(w.dataset.len(), 32);
         assert_eq!(w.record_tags.len(), 32);
         for (rec, tags) in w.dataset.records.iter().zip(w.record_tags.iter()) {
@@ -623,7 +644,10 @@ mod tests {
 
     #[test]
     fn nmt_tag_hypotheses_match_annotations() {
-        let w = nmt::build(&nmt::NmtWorkloadConfig { n_sentences: 16, seed: 6 });
+        let w = nmt::build(&nmt::NmtWorkloadConfig {
+            n_sentences: 16,
+            seed: 6,
+        });
         let hyps = nmt::tag_hypotheses(&w, &["DT", "."]);
         let rec = &w.dataset.records[0];
         let dt = hyps[0].behavior(rec).unwrap();
@@ -635,7 +659,10 @@ mod tests {
 
     #[test]
     fn nmt_phrase_hypotheses_mark_np_spans() {
-        let w = nmt::build(&nmt::NmtWorkloadConfig { n_sentences: 64, seed: 7 });
+        let w = nmt::build(&nmt::NmtWorkloadConfig {
+            n_sentences: 64,
+            seed: 7,
+        });
         let hyps = nmt::phrase_hypotheses(&w);
         let np = &hyps[0];
         // Find a record starting with DT JJ NN (template 1).
@@ -652,7 +679,10 @@ mod tests {
 
     #[test]
     fn nmt_training_runs() {
-        let w = nmt::build(&nmt::NmtWorkloadConfig { n_sentences: 12, seed: 8 });
+        let w = nmt::build(&nmt::NmtWorkloadConfig {
+            n_sentences: 12,
+            seed: 8,
+        });
         let model = nmt::train_model(&w, 8, 8, 1, 0.01, 9);
         let (src, _) = &w.train_pairs[0];
         let acts = model.encoder_activations_all(src);

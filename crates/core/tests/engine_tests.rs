@@ -101,10 +101,7 @@ fn all_engines_agree_on_correlation() {
             Some(exact) => {
                 for ((u1, s1), (u2, s2)) in exact.iter().zip(scores.iter()) {
                     assert_eq!(u1, u2);
-                    assert!(
-                        (s1 - s2).abs() < 0.05,
-                        "{engine:?} unit {u1}: {s1} vs {s2}"
-                    );
+                    assert!((s1 - s2).abs() < 0.05, "{engine:?} unit {u1}: {s1} vs {s2}");
                 }
             }
         }
@@ -120,7 +117,10 @@ fn merged_logreg_engine_matches_pybase() {
 
     let run = |engine: EngineKind| {
         let req = request(&extractor, &dataset, &hyps, vec![&logreg]);
-        let config = InspectionConfig { engine, ..Default::default() };
+        let config = InspectionConfig {
+            engine,
+            ..Default::default()
+        };
         inspect(&req, &config).unwrap().0
     };
     let pybase = run(EngineKind::PyBase);
@@ -145,9 +145,14 @@ fn logreg_probe_learns_the_predictable_hypothesis() {
     let hyps = vec![ones_hypothesis()];
     let logreg = LogRegMeasure::l2(0.0);
     let req = request(&extractor, &dataset, &hyps, vec![&logreg]);
-    let (frame, _) =
-        inspect(&req, &InspectionConfig { engine: EngineKind::Merged, ..Default::default() })
-            .unwrap();
+    let (frame, _) = inspect(
+        &req,
+        &InspectionConfig {
+            engine: EngineKind::Merged,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let f1 = frame.group_score("logreg_l2", "ones").unwrap();
     assert!(f1 > 0.9, "probe F1 {f1}");
 }
@@ -189,9 +194,15 @@ fn early_stopped_scores_approximate_exact_scores() {
 
     let exact = {
         let req = request(&extractor, &dataset, &hyps, vec![&corr]);
-        inspect(&req, &InspectionConfig { engine: EngineKind::PyBase, ..Default::default() })
-            .unwrap()
-            .0
+        inspect(
+            &req,
+            &InspectionConfig {
+                engine: EngineKind::PyBase,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .0
     };
     let approx = {
         let req = request(&extractor, &dataset, &hyps, vec![&corr]);
@@ -209,7 +220,10 @@ fn early_stopped_scores_approximate_exact_scores() {
         .zip(approx.unit_scores("corr", "ones").iter())
     {
         assert_eq!(u1, u2);
-        assert!((s1 - s2).abs() < 0.1, "unit {u1}: exact {s1} vs approx {s2}");
+        assert!(
+            (s1 - s2).abs() < 0.1,
+            "unit {u1}: exact {s1} vs approx {s2}"
+        );
     }
 }
 
@@ -222,7 +236,11 @@ fn parallel_device_matches_single_core() {
 
     let run = |device: Device| {
         let req = request(&extractor, &dataset, &hyps, vec![&corr]);
-        let config = InspectionConfig { device, engine: EngineKind::PyBase, ..Default::default() };
+        let config = InspectionConfig {
+            device,
+            engine: EngineKind::PyBase,
+            ..Default::default()
+        };
         inspect(&req, &config).unwrap().0
     };
     let single = run(Device::SingleCore);
@@ -260,7 +278,11 @@ fn hypothesis_cache_skips_reevaluation() {
     // Second run (e.g. a retrained model): all hits, identical scores.
     let req2 = request(&extractor, &dataset, &hyps, vec![&corr]);
     let (second, _) = inspect(&req2, &config).unwrap();
-    assert_eq!(cache.stats().misses, misses_after_first, "no new evaluations");
+    assert_eq!(
+        cache.stats().misses,
+        misses_after_first,
+        "no new evaluations"
+    );
     assert!(cache.stats().hits >= 32);
     assert_eq!(
         first.unit_scores("corr", "ones"),
@@ -276,9 +298,14 @@ fn madlib_engine_pays_many_scans() {
     let hyps = vec![ones_hypothesis(), zeros_hypothesis()];
     let corr = CorrelationMeasure;
     let req = request(&extractor, &dataset, &hyps, vec![&corr]);
-    let (_, profile) =
-        inspect(&req, &InspectionConfig { engine: EngineKind::Madlib, ..Default::default() })
-            .unwrap();
+    let (_, profile) = inspect(
+        &req,
+        &InspectionConfig {
+            engine: EngineKind::Madlib,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let stats = profile.madlib_stats.expect("madlib reports scan stats");
     assert!(stats.full_scans >= 1);
     assert!(stats.rows_scanned >= dataset.total_symbols());
@@ -291,9 +318,14 @@ fn madlib_rejects_unsupported_measures() {
     let hyps = vec![ones_hypothesis()];
     let mi = MutualInfoMeasure::default();
     let req = request(&extractor, &dataset, &hyps, vec![&mi]);
-    let err =
-        inspect(&req, &InspectionConfig { engine: EngineKind::Madlib, ..Default::default() })
-            .unwrap_err();
+    let err = inspect(
+        &req,
+        &InspectionConfig {
+            engine: EngineKind::Madlib,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
     assert!(matches!(err, DniError::BadConfig(_)));
 }
 
@@ -339,6 +371,28 @@ fn bad_unit_groups_are_rejected() {
 }
 
 #[test]
+fn zero_symbol_records_survive_the_parallel_device() {
+    // ns == 0 means zero-size extraction buffers; the parallel chunking
+    // must fall back to the serial path instead of chunking by zero.
+    let records: Vec<Record> = (0..16)
+        .map(|i| Record::standalone(i, vec![], String::new()))
+        .collect();
+    let dataset = Dataset::new("empty-symbols", 0, records).unwrap();
+    let extractor = PrecomputedExtractor::new(Matrix::zeros(0, 4), 0);
+    let hyps = vec![ones_hypothesis()];
+    let corr = CorrelationMeasure;
+    let req = request(&extractor, &dataset, &hyps, vec![&corr]);
+    let config = InspectionConfig {
+        engine: EngineKind::PyBase,
+        device: Device::Parallel(4),
+        ..Default::default()
+    };
+    let (frame, _) = inspect(&req, &config).unwrap();
+    assert_eq!(frame.rows.len(), 4, "one row per unit, scores default to 0");
+    assert!(frame.rows.iter().all(|r| r.unit_score == 0.0));
+}
+
+#[test]
 fn empty_dataset_yields_empty_frame() {
     let dataset = Dataset::new("empty", 6, vec![]).unwrap();
     let extractor = PrecomputedExtractor::new(Matrix::zeros(0, 4), 6);
@@ -361,13 +415,29 @@ fn multiple_groups_scored_independently_by_logreg() {
         UnitGroup::new("informative", vec![0, 2]),
         UnitGroup::new("noise", vec![1, 3]),
     ];
-    let (frame, _) =
-        inspect(&req, &InspectionConfig { engine: EngineKind::Merged, ..Default::default() })
-            .unwrap();
-    let informative: Vec<&ScoreRow> =
-        frame.rows.iter().filter(|r| r.group_id == "informative").collect();
-    let noise: Vec<&ScoreRow> = frame.rows.iter().filter(|r| r.group_id == "noise").collect();
-    assert!(informative[0].group_score > 0.9, "informative F1 {}", informative[0].group_score);
+    let (frame, _) = inspect(
+        &req,
+        &InspectionConfig {
+            engine: EngineKind::Merged,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let informative: Vec<&ScoreRow> = frame
+        .rows
+        .iter()
+        .filter(|r| r.group_id == "informative")
+        .collect();
+    let noise: Vec<&ScoreRow> = frame
+        .rows
+        .iter()
+        .filter(|r| r.group_id == "noise")
+        .collect();
+    assert!(
+        informative[0].group_score > 0.9,
+        "informative F1 {}",
+        informative[0].group_score
+    );
     assert!(
         noise[0].group_score < informative[0].group_score,
         "noise {} vs informative {}",
@@ -385,7 +455,11 @@ fn profile_accounts_for_phases() {
     let req = request(&extractor, &dataset, &hyps, vec![&corr]);
     let (_, profile) = inspect(
         &req,
-        &InspectionConfig { engine: EngineKind::DeepBase, block_records: 32, ..Default::default() },
+        &InspectionConfig {
+            engine: EngineKind::DeepBase,
+            block_records: 32,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(profile.blocks_processed >= 1);

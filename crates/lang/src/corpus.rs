@@ -23,107 +23,367 @@ struct Entry {
 }
 
 const NOUNS: &[Entry] = &[
-    Entry { en: "dog", de: "hund", tag: "NN" },
-    Entry { en: "cat", de: "katze", tag: "NN" },
-    Entry { en: "house", de: "haus", tag: "NN" },
-    Entry { en: "book", de: "buch", tag: "NN" },
-    Entry { en: "child", de: "kind", tag: "NN" },
-    Entry { en: "man", de: "mann", tag: "NN" },
-    Entry { en: "woman", de: "frau", tag: "NN" },
-    Entry { en: "apple", de: "apfel", tag: "NN" },
-    Entry { en: "car", de: "auto", tag: "NN" },
-    Entry { en: "tree", de: "baum", tag: "NN" },
-    Entry { en: "water", de: "wasser", tag: "NN" },
-    Entry { en: "bread", de: "brot", tag: "NN" },
+    Entry {
+        en: "dog",
+        de: "hund",
+        tag: "NN",
+    },
+    Entry {
+        en: "cat",
+        de: "katze",
+        tag: "NN",
+    },
+    Entry {
+        en: "house",
+        de: "haus",
+        tag: "NN",
+    },
+    Entry {
+        en: "book",
+        de: "buch",
+        tag: "NN",
+    },
+    Entry {
+        en: "child",
+        de: "kind",
+        tag: "NN",
+    },
+    Entry {
+        en: "man",
+        de: "mann",
+        tag: "NN",
+    },
+    Entry {
+        en: "woman",
+        de: "frau",
+        tag: "NN",
+    },
+    Entry {
+        en: "apple",
+        de: "apfel",
+        tag: "NN",
+    },
+    Entry {
+        en: "car",
+        de: "auto",
+        tag: "NN",
+    },
+    Entry {
+        en: "tree",
+        de: "baum",
+        tag: "NN",
+    },
+    Entry {
+        en: "water",
+        de: "wasser",
+        tag: "NN",
+    },
+    Entry {
+        en: "bread",
+        de: "brot",
+        tag: "NN",
+    },
 ];
 
 const PLURAL_NOUNS: &[Entry] = &[
-    Entry { en: "dogs", de: "hunde", tag: "NNS" },
-    Entry { en: "books", de: "buecher", tag: "NNS" },
-    Entry { en: "children", de: "kinder", tag: "NNS" },
-    Entry { en: "apples", de: "aepfel", tag: "NNS" },
-    Entry { en: "trees", de: "baeume", tag: "NNS" },
+    Entry {
+        en: "dogs",
+        de: "hunde",
+        tag: "NNS",
+    },
+    Entry {
+        en: "books",
+        de: "buecher",
+        tag: "NNS",
+    },
+    Entry {
+        en: "children",
+        de: "kinder",
+        tag: "NNS",
+    },
+    Entry {
+        en: "apples",
+        de: "aepfel",
+        tag: "NNS",
+    },
+    Entry {
+        en: "trees",
+        de: "baeume",
+        tag: "NNS",
+    },
 ];
 
 const VERBS_VBZ: &[Entry] = &[
-    Entry { en: "sees", de: "sieht", tag: "VBZ" },
-    Entry { en: "eats", de: "isst", tag: "VBZ" },
-    Entry { en: "reads", de: "liest", tag: "VBZ" },
-    Entry { en: "finds", de: "findet", tag: "VBZ" },
-    Entry { en: "likes", de: "mag", tag: "VBZ" },
-    Entry { en: "knows", de: "kennt", tag: "VBZ" },
-    Entry { en: "watches", de: "schaut", tag: "VBZ" },
+    Entry {
+        en: "sees",
+        de: "sieht",
+        tag: "VBZ",
+    },
+    Entry {
+        en: "eats",
+        de: "isst",
+        tag: "VBZ",
+    },
+    Entry {
+        en: "reads",
+        de: "liest",
+        tag: "VBZ",
+    },
+    Entry {
+        en: "finds",
+        de: "findet",
+        tag: "VBZ",
+    },
+    Entry {
+        en: "likes",
+        de: "mag",
+        tag: "VBZ",
+    },
+    Entry {
+        en: "knows",
+        de: "kennt",
+        tag: "VBZ",
+    },
+    Entry {
+        en: "watches",
+        de: "schaut",
+        tag: "VBZ",
+    },
 ];
 
 const VERBS_VBD: &[Entry] = &[
-    Entry { en: "saw", de: "sah", tag: "VBD" },
-    Entry { en: "found", de: "fand", tag: "VBD" },
-    Entry { en: "read", de: "las", tag: "VBD" },
-    Entry { en: "ate", de: "ass", tag: "VBD" },
-    Entry { en: "knew", de: "kannte", tag: "VBD" },
+    Entry {
+        en: "saw",
+        de: "sah",
+        tag: "VBD",
+    },
+    Entry {
+        en: "found",
+        de: "fand",
+        tag: "VBD",
+    },
+    Entry {
+        en: "read",
+        de: "las",
+        tag: "VBD",
+    },
+    Entry {
+        en: "ate",
+        de: "ass",
+        tag: "VBD",
+    },
+    Entry {
+        en: "knew",
+        de: "kannte",
+        tag: "VBD",
+    },
 ];
 
 const ADJECTIVES: &[Entry] = &[
-    Entry { en: "big", de: "gross", tag: "JJ" },
-    Entry { en: "small", de: "klein", tag: "JJ" },
-    Entry { en: "red", de: "rot", tag: "JJ" },
-    Entry { en: "old", de: "alt", tag: "JJ" },
-    Entry { en: "young", de: "jung", tag: "JJ" },
-    Entry { en: "good", de: "gut", tag: "JJ" },
+    Entry {
+        en: "big",
+        de: "gross",
+        tag: "JJ",
+    },
+    Entry {
+        en: "small",
+        de: "klein",
+        tag: "JJ",
+    },
+    Entry {
+        en: "red",
+        de: "rot",
+        tag: "JJ",
+    },
+    Entry {
+        en: "old",
+        de: "alt",
+        tag: "JJ",
+    },
+    Entry {
+        en: "young",
+        de: "jung",
+        tag: "JJ",
+    },
+    Entry {
+        en: "good",
+        de: "gut",
+        tag: "JJ",
+    },
 ];
 
 const COMPARATIVES: &[Entry] = &[
-    Entry { en: "bigger", de: "groesser", tag: "JJR" },
-    Entry { en: "smaller", de: "kleiner", tag: "JJR" },
-    Entry { en: "older", de: "aelter", tag: "JJR" },
+    Entry {
+        en: "bigger",
+        de: "groesser",
+        tag: "JJR",
+    },
+    Entry {
+        en: "smaller",
+        de: "kleiner",
+        tag: "JJR",
+    },
+    Entry {
+        en: "older",
+        de: "aelter",
+        tag: "JJR",
+    },
 ];
 
 const ADVERBS: &[Entry] = &[
-    Entry { en: "quickly", de: "schnell", tag: "RB" },
-    Entry { en: "often", de: "oft", tag: "RB" },
-    Entry { en: "here", de: "hier", tag: "RB" },
-    Entry { en: "never", de: "nie", tag: "RB" },
-    Entry { en: "slowly", de: "langsam", tag: "RB" },
+    Entry {
+        en: "quickly",
+        de: "schnell",
+        tag: "RB",
+    },
+    Entry {
+        en: "often",
+        de: "oft",
+        tag: "RB",
+    },
+    Entry {
+        en: "here",
+        de: "hier",
+        tag: "RB",
+    },
+    Entry {
+        en: "never",
+        de: "nie",
+        tag: "RB",
+    },
+    Entry {
+        en: "slowly",
+        de: "langsam",
+        tag: "RB",
+    },
 ];
 
 const DETERMINERS: &[Entry] = &[
-    Entry { en: "the", de: "der", tag: "DT" },
-    Entry { en: "a", de: "ein", tag: "DT" },
-    Entry { en: "every", de: "jeder", tag: "DT" },
-    Entry { en: "this", de: "dieser", tag: "DT" },
+    Entry {
+        en: "the",
+        de: "der",
+        tag: "DT",
+    },
+    Entry {
+        en: "a",
+        de: "ein",
+        tag: "DT",
+    },
+    Entry {
+        en: "every",
+        de: "jeder",
+        tag: "DT",
+    },
+    Entry {
+        en: "this",
+        de: "dieser",
+        tag: "DT",
+    },
 ];
 
 const PREPOSITIONS: &[Entry] = &[
-    Entry { en: "in", de: "in", tag: "IN" },
-    Entry { en: "with", de: "mit", tag: "IN" },
-    Entry { en: "near", de: "bei", tag: "IN" },
-    Entry { en: "under", de: "unter", tag: "IN" },
+    Entry {
+        en: "in",
+        de: "in",
+        tag: "IN",
+    },
+    Entry {
+        en: "with",
+        de: "mit",
+        tag: "IN",
+    },
+    Entry {
+        en: "near",
+        de: "bei",
+        tag: "IN",
+    },
+    Entry {
+        en: "under",
+        de: "unter",
+        tag: "IN",
+    },
 ];
 
 const PRONOUNS: &[Entry] = &[
-    Entry { en: "he", de: "er", tag: "PRP" },
-    Entry { en: "she", de: "sie", tag: "PRP" },
-    Entry { en: "it", de: "es", tag: "PRP" },
-    Entry { en: "we", de: "wir", tag: "PRP" },
-    Entry { en: "they", de: "sie", tag: "PRP" },
+    Entry {
+        en: "he",
+        de: "er",
+        tag: "PRP",
+    },
+    Entry {
+        en: "she",
+        de: "sie",
+        tag: "PRP",
+    },
+    Entry {
+        en: "it",
+        de: "es",
+        tag: "PRP",
+    },
+    Entry {
+        en: "we",
+        de: "wir",
+        tag: "PRP",
+    },
+    Entry {
+        en: "they",
+        de: "sie",
+        tag: "PRP",
+    },
 ];
 
 const CONJUNCTIONS: &[Entry] = &[
-    Entry { en: "and", de: "und", tag: "CC" },
-    Entry { en: "or", de: "oder", tag: "CC" },
-    Entry { en: "but", de: "aber", tag: "CC" },
+    Entry {
+        en: "and",
+        de: "und",
+        tag: "CC",
+    },
+    Entry {
+        en: "or",
+        de: "oder",
+        tag: "CC",
+    },
+    Entry {
+        en: "but",
+        de: "aber",
+        tag: "CC",
+    },
 ];
 
 const CARDINALS: &[Entry] = &[
-    Entry { en: "two", de: "zwei", tag: "CD" },
-    Entry { en: "three", de: "drei", tag: "CD" },
-    Entry { en: "four", de: "vier", tag: "CD" },
+    Entry {
+        en: "two",
+        de: "zwei",
+        tag: "CD",
+    },
+    Entry {
+        en: "three",
+        de: "drei",
+        tag: "CD",
+    },
+    Entry {
+        en: "four",
+        de: "vier",
+        tag: "CD",
+    },
 ];
 
 const NAMES: &[Entry] = &[
-    Entry { en: "Anna", de: "Anna", tag: "NNP" },
-    Entry { en: "Max", de: "Max", tag: "NNP" },
-    Entry { en: "Berlin", de: "Berlin", tag: "NNP" },
+    Entry {
+        en: "Anna",
+        de: "Anna",
+        tag: "NNP",
+    },
+    Entry {
+        en: "Max",
+        de: "Max",
+        tag: "NNP",
+    },
+    Entry {
+        en: "Berlin",
+        de: "Berlin",
+        tag: "NNP",
+    },
 ];
 
 /// A slot in a sentence template.
@@ -172,16 +432,97 @@ impl Slot {
 /// Sentence templates. Each is a main clause, optionally followed by a
 /// `because` subordinate clause (whose German verb goes clause-final).
 const TEMPLATES: &[&[Slot]] = &[
-    &[Slot::Dt, Slot::Jj, Slot::Nn, Slot::Vbz, Slot::Dt, Slot::Nn, Slot::Period],
-    &[Slot::Prp, Slot::Vbd, Slot::Dt, Slot::Nn, Slot::In, Slot::Dt, Slot::Nn, Slot::Period],
+    &[
+        Slot::Dt,
+        Slot::Jj,
+        Slot::Nn,
+        Slot::Vbz,
+        Slot::Dt,
+        Slot::Nn,
+        Slot::Period,
+    ],
+    &[
+        Slot::Prp,
+        Slot::Vbd,
+        Slot::Dt,
+        Slot::Nn,
+        Slot::In,
+        Slot::Dt,
+        Slot::Nn,
+        Slot::Period,
+    ],
     &[Slot::Dt, Slot::Nn, Slot::Vbz, Slot::Rb, Slot::Period],
-    &[Slot::Prp, Slot::Vbz, Slot::Dt, Slot::Nn, Slot::Cc, Slot::Prp, Slot::Vbz, Slot::Dt, Slot::Nn, Slot::Period],
-    &[Slot::Cd, Slot::Nns, Slot::Vbd, Slot::Dt, Slot::Jj, Slot::Nn, Slot::Period],
-    &[Slot::Nnp, Slot::Vbz, Slot::Dt, Slot::Jjr, Slot::Nn, Slot::Period],
-    &[Slot::Dt, Slot::Nn, Slot::In, Slot::Dt, Slot::Nn, Slot::Vbz, Slot::Rb, Slot::Period],
-    &[Slot::Prp, Slot::Vbz, Slot::Dt, Slot::Nn, Slot::Because, Slot::Prp, Slot::Vbz, Slot::Dt, Slot::Nn, Slot::Period],
-    &[Slot::Nnp, Slot::Cc, Slot::Nnp, Slot::Vbd, Slot::Dt, Slot::Nns, Slot::Period],
-    &[Slot::Dt, Slot::Jj, Slot::Jj, Slot::Nn, Slot::Vbd, Slot::Dt, Slot::Nn, Slot::Rb, Slot::Period],
+    &[
+        Slot::Prp,
+        Slot::Vbz,
+        Slot::Dt,
+        Slot::Nn,
+        Slot::Cc,
+        Slot::Prp,
+        Slot::Vbz,
+        Slot::Dt,
+        Slot::Nn,
+        Slot::Period,
+    ],
+    &[
+        Slot::Cd,
+        Slot::Nns,
+        Slot::Vbd,
+        Slot::Dt,
+        Slot::Jj,
+        Slot::Nn,
+        Slot::Period,
+    ],
+    &[
+        Slot::Nnp,
+        Slot::Vbz,
+        Slot::Dt,
+        Slot::Jjr,
+        Slot::Nn,
+        Slot::Period,
+    ],
+    &[
+        Slot::Dt,
+        Slot::Nn,
+        Slot::In,
+        Slot::Dt,
+        Slot::Nn,
+        Slot::Vbz,
+        Slot::Rb,
+        Slot::Period,
+    ],
+    &[
+        Slot::Prp,
+        Slot::Vbz,
+        Slot::Dt,
+        Slot::Nn,
+        Slot::Because,
+        Slot::Prp,
+        Slot::Vbz,
+        Slot::Dt,
+        Slot::Nn,
+        Slot::Period,
+    ],
+    &[
+        Slot::Nnp,
+        Slot::Cc,
+        Slot::Nnp,
+        Slot::Vbd,
+        Slot::Dt,
+        Slot::Nns,
+        Slot::Period,
+    ],
+    &[
+        Slot::Dt,
+        Slot::Jj,
+        Slot::Jj,
+        Slot::Nn,
+        Slot::Vbd,
+        Slot::Dt,
+        Slot::Nn,
+        Slot::Rb,
+        Slot::Period,
+    ],
 ];
 
 /// One aligned sentence pair with source-side POS annotations.
@@ -277,7 +618,11 @@ fn generate_pair(rng: &mut impl Rng) -> SentencePair {
     }
     target.push(".".to_string());
 
-    SentencePair { source, target, source_tags: tags }
+    SentencePair {
+        source,
+        target,
+        source_tags: tags,
+    }
 }
 
 /// A word-level vocabulary with the reserved symbols sequence models need.
@@ -300,10 +645,15 @@ pub const UNK_ID: u32 = 3;
 impl WordVocab {
     /// Builds a vocabulary over an iterator of tokens.
     pub fn build<'a>(tokens: impl IntoIterator<Item = &'a str>) -> WordVocab {
-        let mut words: Vec<String> =
-            ["<pad>", "<bos>", "<eos>", "<unk>"].iter().map(|s| s.to_string()).collect();
-        let mut index: HashMap<String, u32> =
-            words.iter().enumerate().map(|(i, w)| (w.clone(), i as u32)).collect();
+        let mut words: Vec<String> = ["<pad>", "<bos>", "<eos>", "<unk>"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut index: HashMap<String, u32> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i as u32))
+            .collect();
         for tok in tokens {
             if !index.contains_key(tok) {
                 index.insert(tok.to_string(), words.len() as u32);
@@ -315,8 +665,12 @@ impl WordVocab {
 
     /// Rebuilds the lookup index (after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.index =
-            self.words.iter().enumerate().map(|(i, w)| (w.clone(), i as u32)).collect();
+        self.index = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i as u32))
+            .collect();
     }
 
     /// Vocabulary size including reserved symbols.
@@ -331,7 +685,10 @@ impl WordVocab {
 
     /// Token for an id.
     pub fn word(&self, id: u32) -> &str {
-        self.words.get(id as usize).map(|s| s.as_str()).unwrap_or("<unk>")
+        self.words
+            .get(id as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("<unk>")
     }
 
     /// Encodes a token sequence (no BOS/EOS added).
@@ -376,8 +733,13 @@ mod tests {
         let corpus = generate_corpus(300, 3);
         let tags = corpus.observed_tags();
         // Templates cover at least these categories.
-        for required in ["DT", "NN", "VBZ", "VBD", "JJ", "RB", "PRP", "CC", "IN", "CD", "NNP", "."] {
-            assert!(tags.contains(&required.to_string()), "missing {required}: {tags:?}");
+        for required in [
+            "DT", "NN", "VBZ", "VBD", "JJ", "RB", "PRP", "CC", "IN", "CD", "NNP", ".",
+        ] {
+            assert!(
+                tags.contains(&required.to_string()),
+                "missing {required}: {tags:?}"
+            );
         }
     }
 
@@ -432,7 +794,10 @@ mod tests {
     fn word_vocab_encode_roundtrip() {
         let corpus = generate_corpus(10, 9);
         let v = WordVocab::build(
-            corpus.pairs.iter().flat_map(|p| p.source.iter().map(|s| s.as_str())),
+            corpus
+                .pairs
+                .iter()
+                .flat_map(|p| p.source.iter().map(|s| s.as_str())),
         );
         let pair = &corpus.pairs[0];
         let ids = v.encode(&pair.source);

@@ -73,7 +73,12 @@ impl<'g> EarleyParser<'g> {
             push_item(
                 &mut chart[0],
                 &mut seen[0],
-                Item { prod: p, dot: 0, origin: 0, children: Vec::new() },
+                Item {
+                    prod: p,
+                    dot: 0,
+                    origin: 0,
+                    children: Vec::new(),
+                },
             );
         }
 
@@ -91,7 +96,12 @@ impl<'g> EarleyParser<'g> {
                                 push_item(
                                     &mut chart[k],
                                     &mut seen[k],
-                                    Item { prod: p, dot: 0, origin: k, children: Vec::new() },
+                                    Item {
+                                        prod: p,
+                                        dot: 0,
+                                        origin: k,
+                                        children: Vec::new(),
+                                    },
                                 );
                             }
                             // Aycock–Horspool: advance over nullable NTs
@@ -229,10 +239,7 @@ mod tests {
 
     #[test]
     fn nullable_set_computed_transitively() {
-        let g = Grammar::from_spec(
-            "s -> a b ; a -> | 'x' ; b -> a a ;",
-        )
-        .unwrap();
+        let g = Grammar::from_spec("s -> a b ; a -> | 'x' ; b -> a a ;").unwrap();
         let parser = EarleyParser::new(&g);
         assert!(parser.is_nullable(g.nt_id("a").unwrap()));
         assert!(parser.is_nullable(g.nt_id("b").unwrap()));
@@ -267,7 +274,10 @@ mod tests {
         let mut rng = seeded_rng(11);
         for _ in 0..100 {
             let (text, _) = g.sample(&mut rng, 6);
-            assert!(parser.recognizes(&text), "sampled string must parse: {text}");
+            assert!(
+                parser.recognizes(&text),
+                "sampled string must parse: {text}"
+            );
         }
     }
 

@@ -23,7 +23,10 @@ impl Dfa {
     /// Creates a DFA with `n_states` states; state ids are `0..n_states`.
     /// Missing transitions go to `default_state`.
     pub fn new(n_states: usize, start: usize, default_state: usize) -> Self {
-        assert!(start < n_states && default_state < n_states, "state out of range");
+        assert!(
+            start < n_states && default_state < n_states,
+            "state out of range"
+        );
         Dfa {
             n_states,
             start,
@@ -40,7 +43,10 @@ impl Dfa {
 
     /// Sets a transition.
     pub fn transition(mut self, from: usize, on: char, to: usize) -> Self {
-        assert!(from < self.n_states && to < self.n_states, "state out of range");
+        assert!(
+            from < self.n_states && to < self.n_states,
+            "state out of range"
+        );
         self.transitions.insert((from, on), to);
         self
     }
@@ -149,7 +155,9 @@ mod tests {
 
     #[test]
     fn state_behaviors() {
-        let dfa = Dfa::new(2, 0, 0).transition(0, 'x', 1).transition(1, 'x', 1);
+        let dfa = Dfa::new(2, 0, 0)
+            .transition(0, 'x', 1)
+            .transition(1, 'x', 1);
         assert_eq!(dfa.state_id_behavior("xyx"), vec![1.0, 0.0, 1.0]);
         assert_eq!(dfa.state_indicator_behavior("xyx", 1), vec![1.0, 0.0, 1.0]);
         assert_eq!(dfa.state_indicator_behavior("xyx", 0), vec![0.0, 1.0, 0.0]);

@@ -85,7 +85,10 @@ impl Grammar {
         let mut nt_names: Vec<String> = Vec::new();
         let mut raw_rules: Vec<(usize, Vec<RawAlt>)> = Vec::new();
 
-        let intern = |name: &str, nt_names: &mut Vec<String>, nt_index: &mut HashMap<String, usize>| -> usize {
+        let intern = |name: &str,
+                      nt_names: &mut Vec<String>,
+                      nt_index: &mut HashMap<String, usize>|
+         -> usize {
             if let Some(&i) = nt_index.get(name) {
                 i
             } else {
@@ -127,7 +130,9 @@ impl Grammar {
         }
 
         if raw_rules.is_empty() {
-            return Err(GrammarError { msg: "empty grammar".into() });
+            return Err(GrammarError {
+                msg: "empty grammar".into(),
+            });
         }
         let start = raw_rules[0].0;
 
@@ -161,7 +166,11 @@ impl Grammar {
                         }
                     }
                 }
-                productions.push(Production { lhs: *lhs, rhs, weight: alt.weight });
+                productions.push(Production {
+                    lhs: *lhs,
+                    rhs,
+                    weight: alt.weight,
+                });
             }
         }
 
@@ -214,7 +223,13 @@ impl Grammar {
             });
         }
 
-        Ok(Grammar { nt_names, productions, by_lhs, start, min_depth })
+        Ok(Grammar {
+            nt_names,
+            productions,
+            by_lhs,
+            start,
+            min_depth,
+        })
     }
 
     /// Names of all nonterminals, in definition order.
@@ -329,13 +344,21 @@ impl Grammar {
             }
         }
         let end = out.chars().count();
-        ParseTree { rule: self.nt_names[nt].clone(), start, end, children }
+        ParseTree {
+            rule: self.nt_names[nt].clone(),
+            start,
+            end,
+            children,
+        }
     }
 }
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -387,13 +410,17 @@ fn parse_alternative(text: &str, rule_no: usize) -> Result<RawAlt, GrammarError>
     let mut rest = text.trim();
     if let Some(stripped) = rest.strip_prefix('{') {
         let Some((w, tail)) = stripped.split_once('}') else {
-            return Err(GrammarError { msg: format!("rule {rule_no}: unterminated weight") });
+            return Err(GrammarError {
+                msg: format!("rule {rule_no}: unterminated weight"),
+            });
         };
         weight = w.trim().parse::<f32>().map_err(|e| GrammarError {
             msg: format!("rule {rule_no}: bad weight {w:?}: {e}"),
         })?;
         if weight <= 0.0 {
-            return Err(GrammarError { msg: format!("rule {rule_no}: weight must be > 0") });
+            return Err(GrammarError {
+                msg: format!("rule {rule_no}: weight must be > 0"),
+            });
         }
         rest = tail.trim();
     }

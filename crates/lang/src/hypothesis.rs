@@ -87,7 +87,10 @@ pub fn grammar_hypotheses(grammar: &Grammar, reprs: &[TreeRepr]) -> Vec<TreeHypo
     let mut out = Vec::with_capacity(grammar.nonterminal_names().len() * reprs.len());
     for name in grammar.nonterminal_names() {
         for &repr in reprs {
-            out.push(TreeHypothesis { rule: name.clone(), repr });
+            out.push(TreeHypothesis {
+                rule: name.clone(),
+                repr,
+            });
         }
     }
     out
@@ -120,7 +123,9 @@ pub fn keyword_behavior(text: &str, keyword: &str) -> Vec<f32> {
 /// Character-class detector: 1 where the predicate holds. Used for
 /// low-level hypotheses like "whitespace", "period", "digit".
 pub fn char_class_behavior(text: &str, pred: impl Fn(char) -> bool) -> Vec<f32> {
-    text.chars().map(|c| if pred(c) { 1.0 } else { 0.0 }).collect()
+    text.chars()
+        .map(|c| if pred(c) { 1.0 } else { 0.0 })
+        .collect()
 }
 
 /// Position counter: the 0-based index of each character, the paper's
@@ -158,36 +163,56 @@ mod tests {
                 rule: "paren".into(),
                 start: 1,
                 end: 5,
-                children: vec![ParseTree { rule: "atom".into(), start: 2, end: 4, children: vec![] }],
+                children: vec![ParseTree {
+                    rule: "atom".into(),
+                    start: 2,
+                    end: 4,
+                    children: vec![],
+                }],
             }],
         }
     }
 
     #[test]
     fn time_representation_covers_spans() {
-        let h = TreeHypothesis { rule: "atom".into(), repr: TreeRepr::Time };
+        let h = TreeHypothesis {
+            rule: "atom".into(),
+            repr: TreeRepr::Time,
+        };
         assert_eq!(h.behavior(&tree(), 6), vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
     }
 
     #[test]
     fn signal_representation_marks_endpoints() {
-        let h = TreeHypothesis { rule: "atom".into(), repr: TreeRepr::Signal };
+        let h = TreeHypothesis {
+            rule: "atom".into(),
+            repr: TreeRepr::Signal,
+        };
         assert_eq!(h.behavior(&tree(), 6), vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
-        let h2 = TreeHypothesis { rule: "paren".into(), repr: TreeRepr::Signal };
+        let h2 = TreeHypothesis {
+            rule: "paren".into(),
+            repr: TreeRepr::Signal,
+        };
         // Outer span marks 0 and 5; inner marks 1 and 4.
         assert_eq!(h2.behavior(&tree(), 6), vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0]);
     }
 
     #[test]
     fn depth_representation_counts_nesting() {
-        let h = TreeHypothesis { rule: "paren".into(), repr: TreeRepr::Depth };
+        let h = TreeHypothesis {
+            rule: "paren".into(),
+            repr: TreeRepr::Depth,
+        };
         assert_eq!(h.behavior(&tree(), 6), vec![1.0, 2.0, 2.0, 2.0, 2.0, 1.0]);
     }
 
     #[test]
     fn behavior_length_always_matches_len() {
         for repr in [TreeRepr::Time, TreeRepr::Signal, TreeRepr::Depth] {
-            let h = TreeHypothesis { rule: "paren".into(), repr };
+            let h = TreeHypothesis {
+                rule: "paren".into(),
+                repr,
+            };
             for len in [0usize, 3, 6, 10] {
                 assert_eq!(h.behavior(&tree(), len).len(), len);
             }
@@ -196,7 +221,10 @@ mod tests {
 
     #[test]
     fn absent_rule_gives_zero_vector() {
-        let h = TreeHypothesis { rule: "missing".into(), repr: TreeRepr::Time };
+        let h = TreeHypothesis {
+            rule: "missing".into(),
+            repr: TreeRepr::Time,
+        };
         assert!(h.behavior(&tree(), 6).iter().all(|&v| v == 0.0));
     }
 
@@ -233,12 +261,18 @@ mod tests {
 
     #[test]
     fn char_class_and_counter() {
-        assert_eq!(char_class_behavior("a b", char::is_whitespace), vec![0.0, 1.0, 0.0]);
+        assert_eq!(
+            char_class_behavior("a b", char::is_whitespace),
+            vec![0.0, 1.0, 0.0]
+        );
         assert_eq!(position_counter_behavior("abcd"), vec![0.0, 1.0, 2.0, 3.0]);
     }
 
     #[test]
     fn annotation_behavior_clamps_to_len() {
-        assert_eq!(annotation_behavior(4, &[(1, 3), (3, 99)]), vec![0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(
+            annotation_behavior(4, &[(1, 3), (3, 99)]),
+            vec![0.0, 1.0, 1.0, 1.0]
+        );
     }
 }

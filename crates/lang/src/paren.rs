@@ -13,7 +13,10 @@ pub const MAX_LEVEL: usize = 4;
 pub fn paren_grammar_spec() -> String {
     let mut spec = String::new();
     for i in 0..MAX_LEVEL {
-        spec.push_str(&format!("r{i} -> {{2.0}} '{i}' r{i} | '(' r{} ')' ;\n", i + 1));
+        spec.push_str(&format!(
+            "r{i} -> {{2.0}} '{i}' r{i} | '(' r{} ')' ;\n",
+            i + 1
+        ));
     }
     spec.push_str(&format!("r{MAX_LEVEL} -> | '{MAX_LEVEL}' r{MAX_LEVEL} ;\n"));
     spec
@@ -27,7 +30,9 @@ pub fn paren_grammar() -> Grammar {
 /// Hypothesis: 1 where the character is `(` or `)` — the "recognizes
 /// parentheses symbols" hypothesis verified in Appendix C.
 pub fn paren_symbol_behavior(text: &str) -> Vec<f32> {
-    text.chars().map(|c| if c == '(' || c == ')' { 1.0 } else { 0.0 }).collect()
+    text.chars()
+        .map(|c| if c == '(' || c == ')' { 1.0 } else { 0.0 })
+        .collect()
 }
 
 /// Hypothesis: the current nesting level at each character. Opening parens
@@ -133,22 +138,25 @@ mod tests {
 
     #[test]
     fn paren_symbol_behavior_marks_parens() {
-        assert_eq!(
-            paren_symbol_behavior("0(1)"),
-            vec![0.0, 1.0, 0.0, 1.0]
-        );
+        assert_eq!(paren_symbol_behavior("0(1)"), vec![0.0, 1.0, 0.0, 1.0]);
     }
 
     #[test]
     fn nesting_level_of_paper_example() {
         let b = nesting_level_behavior("0(1(2((44))))");
         // 0 ( 1 ( 2 ( ( 4 4 ) ) ) )
-        assert_eq!(b, vec![0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 4.0, 4.0, 4.0, 4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(
+            b,
+            vec![0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 4.0, 4.0, 4.0, 4.0, 3.0, 2.0, 1.0]
+        );
     }
 
     #[test]
     fn level_is_max_flags_only_level4() {
         let b = level_is_max_behavior("0(1(2((44))))");
-        assert_eq!(b, vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(
+            b,
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0]
+        );
     }
 }

@@ -13,10 +13,10 @@ use serde::{Deserialize, Serialize};
 /// The 46-tag Penn Treebank tagset (36 word tags + 10 punctuation/symbol
 /// tags), as used by the paper's POS probes.
 pub const PENN_TAGS: &[&str] = &[
-    "CC", "CD", "DT", "EX", "FW", "IN", "JJ", "JJR", "JJS", "LS", "MD", "NN", "NNS", "NNP",
-    "NNPS", "PDT", "POS", "PRP", "PRP$", "RB", "RBR", "RBS", "RP", "SYM", "TO", "UH", "VB",
-    "VBD", "VBG", "VBN", "VBP", "VBZ", "WDT", "WP", "WP$", "WRB", ".", ",", ":", "(", ")",
-    "\"", "'", "`", "#", "$",
+    "CC", "CD", "DT", "EX", "FW", "IN", "JJ", "JJR", "JJS", "LS", "MD", "NN", "NNS", "NNP", "NNPS",
+    "PDT", "POS", "PRP", "PRP$", "RB", "RBR", "RBS", "RP", "SYM", "TO", "UH", "VB", "VBD", "VBG",
+    "VBN", "VBP", "VBZ", "WDT", "WP", "WP$", "WRB", ".", ",", ":", "(", ")", "\"", "'", "`", "#",
+    "$",
 ];
 
 /// Index of a tag in [`PENN_TAGS`].
@@ -64,7 +64,9 @@ impl PosTagger {
             return tag;
         }
         // Digits.
-        if word.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',')
+        if word
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == ',')
             && word.chars().any(|c| c.is_ascii_digit())
         {
             return "CD";
@@ -76,7 +78,12 @@ impl PosTagger {
             }
         }
         // Capitalized unknown word: proper noun.
-        if word.chars().next().map(|c| c.is_ascii_uppercase()).unwrap_or(false) {
+        if word
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_uppercase())
+            .unwrap_or(false)
+        {
             return "NNP";
         }
         "NN"
@@ -112,21 +119,19 @@ const SUFFIX_RULES: &[(&str, &str)] = &[
 fn lexicon_tag(lower: &str) -> Option<&'static str> {
     let tag = match lower {
         // Determiners.
-        "the" | "a" | "an" | "this" | "that" | "these" | "those" | "each" | "every"
-        | "no" => "DT",
+        "the" | "a" | "an" | "this" | "that" | "these" | "those" | "each" | "every" | "no" => "DT",
         // Coordinating conjunctions (the paper's §4.4 example).
         "and" | "or" | "but" | "nor" | "yet" => "CC",
         // Prepositions / subordinating conjunctions.
-        "in" | "on" | "at" | "by" | "with" | "from" | "of" | "for" | "about" | "into"
-        | "over" | "under" | "after" | "before" | "because" | "while" | "if" | "near" => "IN",
+        "in" | "on" | "at" | "by" | "with" | "from" | "of" | "for" | "about" | "into" | "over"
+        | "under" | "after" | "before" | "because" | "while" | "if" | "near" => "IN",
         // Personal pronouns.
-        "i" | "you" | "he" | "she" | "it" | "we" | "they" | "him" | "her" | "them"
-        | "me" | "us" => "PRP",
+        "i" | "you" | "he" | "she" | "it" | "we" | "they" | "him" | "her" | "them" | "me"
+        | "us" => "PRP",
         // Possessive pronouns.
         "my" | "your" | "his" | "its" | "our" | "their" => "PRP$",
         // Modals.
-        "can" | "could" | "will" | "would" | "shall" | "should" | "may" | "might"
-        | "must" => "MD",
+        "can" | "could" | "will" | "would" | "shall" | "should" | "may" | "might" | "must" => "MD",
         // Wh-words.
         "who" | "what" | "whom" => "WP",
         "whose" => "WP$",
@@ -137,16 +142,16 @@ fn lexicon_tag(lower: &str) -> Option<&'static str> {
         // To.
         "to" => "TO",
         // Common adverbs not ending in -ly.
-        "very" | "quite" | "rather" | "too" | "so" | "now" | "then" | "here"
-        | "always" | "never" | "often" | "again" | "still" => "RB",
+        "very" | "quite" | "rather" | "too" | "so" | "now" | "then" | "here" | "always"
+        | "never" | "often" | "again" | "still" => "RB",
         // Common irregular verbs, base/3rd/past forms.
-        "be" | "have" | "do" | "go" | "see" | "say" | "eat" | "run" | "sing" | "watch"
-        | "read" | "write" | "find" | "like" | "want" | "know" => "VB",
+        "be" | "have" | "do" | "go" | "see" | "say" | "eat" | "run" | "sing" | "watch" | "read"
+        | "write" | "find" | "like" | "want" | "know" => "VB",
         "is" | "has" | "does" | "goes" | "sees" | "says" | "eats" | "runs" | "sings"
         | "watches" | "reads" | "writes" | "finds" | "likes" | "wants" | "knows" => "VBZ",
         "are" | "am" => "VBP",
-        "was" | "were" | "went" | "saw" | "said" | "ate" | "ran" | "sang" | "found"
-        | "knew" | "wrote" => "VBD",
+        "was" | "were" | "went" | "saw" | "said" | "ate" | "ran" | "sang" | "found" | "knew"
+        | "wrote" => "VBD",
         "been" | "done" | "gone" | "seen" | "eaten" | "sung" | "known" | "written" => "VBN",
         // Interjections.
         "oh" | "ah" | "wow" | "hey" => "UH",
@@ -236,8 +241,10 @@ mod tests {
     fn paper_example_sentence() {
         // "He watched Rick and Morty ." — the §4.4 perturbation example.
         let t = PosTagger::new();
-        let words: Vec<String> =
-            ["He", "watched", "Rick", "and", "Morty", "."].iter().map(|s| s.to_string()).collect();
+        let words: Vec<String> = ["He", "watched", "Rick", "and", "Morty", "."]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let tags = t.tag_sentence(&words);
         assert_eq!(tags, vec!["PRP", "VBD", "NNP", "CC", "NNP", "."]);
     }
@@ -245,7 +252,16 @@ mod tests {
     #[test]
     fn all_emitted_tags_are_in_tagset() {
         let t = PosTagger::new();
-        for word in ["the", "zorp", "Running", "42", ".", "watched", "carefully", "greatest"] {
+        for word in [
+            "the",
+            "zorp",
+            "Running",
+            "42",
+            ".",
+            "watched",
+            "carefully",
+            "greatest",
+        ] {
             let tag = t.tag(word);
             assert!(tag_id(tag).is_some(), "tag {tag} for {word} not in tagset");
         }

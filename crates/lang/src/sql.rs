@@ -26,14 +26,26 @@ pub struct SqlGrammarConfig {
 impl Default for SqlGrammarConfig {
     fn default() -> Self {
         // The paper's default setup reports 142 grammar rules.
-        SqlGrammarConfig { tables: 10, columns: 70, with_order: true, with_limit: true, with_group: false }
+        SqlGrammarConfig {
+            tables: 10,
+            columns: 70,
+            with_order: true,
+            with_limit: true,
+            with_group: false,
+        }
     }
 }
 
 impl SqlGrammarConfig {
     /// Small grammar (~95 rules, the paper's lower bound).
     pub fn small() -> Self {
-        SqlGrammarConfig { tables: 6, columns: 30, with_order: false, with_limit: false, with_group: false }
+        SqlGrammarConfig {
+            tables: 6,
+            columns: 30,
+            with_order: false,
+            with_limit: false,
+            with_group: false,
+        }
     }
 
     /// Default grammar (~142 rules, the paper's default).
@@ -43,7 +55,13 @@ impl SqlGrammarConfig {
 
     /// Large grammar (~171 rules, the paper's upper bound).
     pub fn large() -> Self {
-        SqlGrammarConfig { tables: 16, columns: 90, with_order: true, with_limit: true, with_group: true }
+        SqlGrammarConfig {
+            tables: 16,
+            columns: 90,
+            with_order: true,
+            with_limit: true,
+            with_group: true,
+        }
     }
 }
 
@@ -105,11 +123,13 @@ pub fn sql_grammar_spec(config: &SqlGrammarConfig) -> String {
         spec.push_str("limit_kw -> 'LIMIT' ;\n");
     }
 
-    let table_alts: Vec<String> =
-        (0..config.tables.max(1)).map(|i| format!("'table_{i}'")).collect();
+    let table_alts: Vec<String> = (0..config.tables.max(1))
+        .map(|i| format!("'table_{i}'"))
+        .collect();
     spec.push_str(&format!("table_name -> {} ;\n", table_alts.join(" | ")));
-    let col_alts: Vec<String> =
-        (0..config.columns.max(1)).map(|i| format!("'col_{i:02}'")).collect();
+    let col_alts: Vec<String> = (0..config.columns.max(1))
+        .map(|i| format!("'col_{i:02}'"))
+        .collect();
     spec.push_str(&format!("column_name -> {} ;\n", col_alts.join(" | ")));
 
     spec
@@ -121,8 +141,9 @@ pub fn sql_grammar(config: &SqlGrammarConfig) -> Grammar {
 }
 
 /// The SQL keywords used by keyword hypotheses and the Fig. 1 walkthrough.
-pub const SQL_KEYWORDS: &[&str] =
-    &["SELECT", "FROM", "WHERE", "AND", "OR", "ORDER BY", "GROUP BY", "LIMIT", "ASC", "DESC"];
+pub const SQL_KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "AND", "OR", "ORDER BY", "GROUP BY", "LIMIT", "ASC", "DESC",
+];
 
 #[cfg(test)]
 mod tests {
@@ -195,7 +216,10 @@ mod tests {
     fn table_and_column_names_parse_digits() {
         // table_10+ style names need two digit chars; ensure the grammar's
         // terminals include what its names use.
-        let g = sql_grammar(&SqlGrammarConfig { tables: 12, ..Default::default() });
+        let g = sql_grammar(&SqlGrammarConfig {
+            tables: 12,
+            ..Default::default()
+        });
         let mut rng = seeded_rng(3);
         let (q, _) = g.sample(&mut rng, 10);
         assert!(q.contains("table_"));

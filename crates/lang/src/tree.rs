@@ -30,12 +30,21 @@ impl ParseTree {
 
     /// Total number of nodes in the tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(ParseTree::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(ParseTree::node_count)
+            .sum::<usize>()
     }
 
     /// Maximum depth (a lone root has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(ParseTree::depth).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(ParseTree::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Pre-order traversal visiting every node.
@@ -107,14 +116,29 @@ mod tests {
             start: 0,
             end: 5,
             children: vec![
-                ParseTree { rule: "term".into(), start: 0, end: 1, children: vec![] },
+                ParseTree {
+                    rule: "term".into(),
+                    start: 0,
+                    end: 1,
+                    children: vec![],
+                },
                 ParseTree {
                     rule: "expr".into(),
                     start: 2,
                     end: 5,
                     children: vec![
-                        ParseTree { rule: "term".into(), start: 2, end: 3, children: vec![] },
-                        ParseTree { rule: "term".into(), start: 4, end: 5, children: vec![] },
+                        ParseTree {
+                            rule: "term".into(),
+                            start: 2,
+                            end: 3,
+                            children: vec![],
+                        },
+                        ParseTree {
+                            rule: "term".into(),
+                            start: 4,
+                            end: 5,
+                            children: vec![],
+                        },
                     ],
                 },
             ],
@@ -138,7 +162,10 @@ mod tests {
 
     #[test]
     fn rule_names_sorted_unique() {
-        assert_eq!(sample_tree().rule_names(), vec!["expr".to_string(), "term".to_string()]);
+        assert_eq!(
+            sample_tree().rule_names(),
+            vec!["expr".to_string(), "term".to_string()]
+        );
     }
 
     #[test]

@@ -31,13 +31,22 @@ impl Vocab {
                 chars.push(c);
             }
         }
-        let index = chars.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+        let index = chars
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
         Vocab { chars, index }
     }
 
     /// Rebuilds the lookup index (needed after serde deserialization).
     pub fn rebuild_index(&mut self) {
-        self.index = self.chars.iter().enumerate().map(|(i, &c)| (c, i as u32)).collect();
+        self.index = self
+            .chars
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
     }
 
     /// Number of symbols (including padding).
@@ -107,7 +116,12 @@ pub fn sliding_windows(source: &str, ns: usize, stride: usize) -> Vec<Window> {
             text.push(PAD);
         }
         text.extend(&chars[start..p]);
-        windows.push(Window { text, offset: start, visible, target: chars.get(p).copied() });
+        windows.push(Window {
+            text,
+            offset: start,
+            visible,
+            target: chars.get(p).copied(),
+        });
         if p >= chars.len() {
             break;
         }
@@ -207,9 +221,15 @@ mod tests {
         let source_b = vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0];
         let ws = sliding_windows("abcdef", 4, 2);
         // First window "~~ab": pads then behavior of chars 0..2.
-        assert_eq!(project_behavior(&source_b, &ws[0], 4), vec![0.0, 0.0, 10.0, 20.0]);
+        assert_eq!(
+            project_behavior(&source_b, &ws[0], 4),
+            vec![0.0, 0.0, 10.0, 20.0]
+        );
         // Second window "abcd".
-        assert_eq!(project_behavior(&source_b, &ws[1], 4), vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(
+            project_behavior(&source_b, &ws[1], 4),
+            vec![10.0, 20.0, 30.0, 40.0]
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct Adam {
 impl Adam {
     /// Creates zeroed state for a `rows x cols` parameter.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Adam { m: Matrix::zeros(rows, cols), v: Matrix::zeros(rows, cols), t: 0 }
+        Adam {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            t: 0,
+        }
     }
 
     /// Applies one Adam update of `param` using `grad`.
@@ -73,7 +77,11 @@ mod tests {
         let mut opt = Adam::new(1, 1);
         let grad = Matrix::full(1, 1, 123.0);
         opt.step(&mut w, &grad, 0.01);
-        assert!((w.get(0, 0) + 0.01).abs() < 1e-4, "step was {}", w.get(0, 0));
+        assert!(
+            (w.get(0, 0) + 0.01).abs() < 1e-4,
+            "step was {}",
+            w.get(0, 0)
+        );
         assert_eq!(opt.steps(), 1);
     }
 

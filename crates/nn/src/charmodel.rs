@@ -369,9 +369,16 @@ mod tests {
             .collect();
         let aux: Vec<Vec<f32>> = inputs
             .iter()
-            .map(|seq| seq.iter().map(|&c| if c == 1 { 1.0 } else { 0.0 }).collect())
+            .map(|seq| {
+                seq.iter()
+                    .map(|&c| if c == 1 { 1.0 } else { 0.0 })
+                    .collect()
+            })
             .collect();
-        let spec = Specialization { units: vec![0], weight: 0.9 };
+        let spec = Specialization {
+            units: vec![0],
+            weight: 0.9,
+        };
         let mut model = CharLstmModel::new(2, 8, OutputMode::EveryStep, 4);
         for _ in 0..150 {
             model.train_batch_every(&inputs, &targets, Some((&spec, &aux)), 0.05);

@@ -26,11 +26,21 @@ pub struct Tensor3 {
 impl Tensor3 {
     /// Zero-filled volume.
     pub fn zeros(c: usize, h: usize, w: usize) -> Self {
-        Tensor3 { c, h, w, data: vec![0.0; c * h * w] }
+        Tensor3 {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
     }
 
     /// Builds from a closure over `(channel, y, x)`.
-    pub fn from_fn(c: usize, h: usize, w: usize, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+    pub fn from_fn(
+        c: usize,
+        h: usize,
+        w: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f32,
+    ) -> Self {
         let mut data = Vec::with_capacity(c * h * w);
         for ci in 0..c {
             for y in 0..h {
@@ -63,8 +73,12 @@ impl Tensor3 {
     /// One channel as an `h x w` matrix (an "activation map").
     pub fn channel(&self, c: usize) -> Matrix {
         let start = c * self.h * self.w;
-        Matrix::from_vec(self.h, self.w, self.data[start..start + self.h * self.w].to_vec())
-            .expect("channel shape")
+        Matrix::from_vec(
+            self.h,
+            self.w,
+            self.data[start..start + self.h * self.w].to_vec(),
+        )
+        .expect("channel shape")
     }
 
     /// Flattens to a `1 x (c*h*w)` row for a dense head.
@@ -250,7 +264,11 @@ pub fn maxpool2(x: &Tensor3) -> (Tensor3, Vec<usize>) {
 }
 
 /// Backward of [`maxpool2`]: routes gradients to the argmax positions.
-pub fn maxpool2_backward(dy: &Tensor3, argmax: &[usize], in_shape: (usize, usize, usize)) -> Tensor3 {
+pub fn maxpool2_backward(
+    dy: &Tensor3,
+    argmax: &[usize],
+    in_shape: (usize, usize, usize),
+) -> Tensor3 {
     let (c, h, w) = in_shape;
     let mut dx = Tensor3::zeros(c, h, w);
     for (i, &src) in argmax.iter().enumerate() {
@@ -279,14 +297,26 @@ pub struct SmallCnn {
     conv2: Conv2d,
     head: Dense,
     input_size: usize,
+    /// Construction-time metadata, retained for future serialization.
+    #[allow(dead_code)]
     classes: usize,
 }
 
 impl SmallCnn {
     /// Builds the network for `input_size`-pixel square images with
     /// `in_ch` channels, `c1`/`c2` conv channels and `classes` outputs.
-    pub fn new(in_ch: usize, input_size: usize, c1: usize, c2: usize, classes: usize, seed: u64) -> Self {
-        assert!(input_size.is_multiple_of(4), "input must be divisible by 4 (two pools)");
+    pub fn new(
+        in_ch: usize,
+        input_size: usize,
+        c1: usize,
+        c2: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            input_size.is_multiple_of(4),
+            "input must be divisible by 4 (two pools)"
+        );
         let mut rng = init::seeded_rng(seed);
         let feat = c2 * (input_size / 4) * (input_size / 4);
         SmallCnn {
@@ -400,14 +430,20 @@ mod tests {
     fn conv_gradient_check() {
         let mut rng = seeded_rng(2);
         let mut conv = Conv2d::new(2, 2, &mut rng);
-        let img = Tensor3::from_fn(2, 4, 4, |c, y, x| ((c + 2 * y + 3 * x) % 5) as f32 * 0.3 - 0.5);
+        let img = Tensor3::from_fn(2, 4, 4, |c, y, x| {
+            ((c + 2 * y + 3 * x) % 5) as f32 * 0.3 - 0.5
+        });
         let y = conv.forward(&img);
         let dy = y.clone(); // L = sum(y^2)/2
         let dx = conv.backward(&img, &dy);
         let analytic_w = conv.grad_w.clone();
 
         let loss = |conv: &Conv2d, img: &Tensor3| -> f32 {
-            conv.forward(img).as_slice().iter().map(|v| v * v / 2.0).sum()
+            conv.forward(img)
+                .as_slice()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum()
         };
         let eps = 1e-2;
         for oc in 0..2 {
@@ -420,7 +456,10 @@ mod tests {
                 conv.w.set(oc, k, orig);
                 let fd = (lp - lm) / (2.0 * eps);
                 let an = analytic_w.get(oc, k);
-                assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dW[{oc},{k}] {fd} vs {an}");
+                assert!(
+                    (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+                    "dW[{oc},{k}] {fd} vs {an}"
+                );
             }
         }
         // Input gradient at a few positions.
@@ -433,7 +472,10 @@ mod tests {
             let lm = loss(&conv, &imgm);
             let fd = (lp - lm) / (2.0 * eps);
             let an = dx.get(c, yy, xx);
-            assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "dx[{c},{yy},{xx}] {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 0.05 * (1.0 + an.abs()),
+                "dx[{c},{yy},{xx}] {fd} vs {an}"
+            );
         }
     }
 
@@ -452,7 +494,12 @@ mod tests {
 
     #[test]
     fn relu_volume_masks() {
-        let x = Tensor3::from_fn(1, 2, 2, |_, y, xx| if (y + xx) % 2 == 0 { 1.5 } else { -1.5 });
+        let x = Tensor3::from_fn(
+            1,
+            2,
+            2,
+            |_, y, xx| if (y + xx) % 2 == 0 { 1.5 } else { -1.5 },
+        );
         let (y, mask) = relu_volume(&x);
         assert_eq!(y.get(0, 0, 1), 0.0);
         assert_eq!(y.get(0, 0, 0), 1.5);

@@ -112,9 +112,19 @@ mod tests {
             for c in 0..2 {
                 let orig = layer.w.get(r, c);
                 layer.w.set(r, c, orig + eps);
-                let lp: f32 = layer.forward(&x).as_slice().iter().map(|v| v * v / 2.0).sum();
+                let lp: f32 = layer
+                    .forward(&x)
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v / 2.0)
+                    .sum();
                 layer.w.set(r, c, orig - eps);
-                let lm: f32 = layer.forward(&x).as_slice().iter().map(|v| v * v / 2.0).sum();
+                let lm: f32 = layer
+                    .forward(&x)
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v / 2.0)
+                    .sum();
                 layer.w.set(r, c, orig);
                 let fd = (lp - lm) / (2.0 * eps);
                 let an = analytic.get(r, c);
@@ -136,10 +146,20 @@ mod tests {
             for c in 0..3 {
                 let mut xp = x.clone();
                 xp.set(r, c, x.get(r, c) + eps);
-                let lp: f32 = layer.forward(&xp).as_slice().iter().map(|v| v * v / 2.0).sum();
+                let lp: f32 = layer
+                    .forward(&xp)
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v / 2.0)
+                    .sum();
                 let mut xm = x.clone();
                 xm.set(r, c, x.get(r, c) - eps);
-                let lm: f32 = layer.forward(&xm).as_slice().iter().map(|v| v * v / 2.0).sum();
+                let lm: f32 = layer
+                    .forward(&xm)
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v / 2.0)
+                    .sum();
                 let fd = (lp - lm) / (2.0 * eps);
                 assert!((fd - dx.get(r, c)).abs() < 2e-2, "dx[{r},{c}]");
             }

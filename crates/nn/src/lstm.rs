@@ -143,7 +143,11 @@ impl Lstm {
                 let row = z.row_mut(r);
                 for (col, v) in row.iter_mut().enumerate() {
                     let gate = col / hsz;
-                    *v = if gate == 2 { v.tanh() } else { ops::sigmoid(*v) };
+                    *v = if gate == 2 {
+                        v.tanh()
+                    } else {
+                        ops::sigmoid(*v)
+                    };
                 }
             }
 
@@ -295,12 +299,18 @@ mod tests {
     use deepbase_tensor::init::seeded_rng;
 
     fn sequence(rng: &mut impl Rng, steps: usize, batch: usize, dim: usize) -> Vec<Matrix> {
-        (0..steps).map(|_| init::uniform(batch, dim, -1.0, 1.0, rng)).collect()
+        (0..steps)
+            .map(|_| init::uniform(batch, dim, -1.0, 1.0, rng))
+            .collect()
     }
 
     /// Scalar loss L = sum_t sum(h_t^2)/2, whose dL/dh_t = h_t.
     fn loss_of(cache: &LstmCache) -> f32 {
-        cache.hs.iter().map(|h| h.as_slice().iter().map(|v| v * v / 2.0).sum::<f32>()).sum()
+        cache
+            .hs
+            .iter()
+            .map(|h| h.as_slice().iter().map(|v| v * v / 2.0).sum::<f32>())
+            .sum()
     }
 
     #[test]
@@ -452,7 +462,9 @@ mod tests {
         let mut final_loss = f32::INFINITY;
         for _ in 0..300 {
             // Batch of 8: first input ±1, later inputs noise.
-            let first: Vec<f32> = (0..8).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+            let first: Vec<f32> = (0..8)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect();
             let mut xs: Vec<Matrix> = Vec::new();
             xs.push(Matrix::from_vec(8, 1, first.clone()).unwrap());
             for _ in 1..steps {
@@ -482,6 +494,9 @@ mod tests {
         let h0 = Matrix::full(1, 3, 0.9);
         let c0 = Matrix::full(1, 3, 0.9);
         let warm = lstm.forward_from(&xs, h0, c0);
-        assert!(!zero.hs[0].approx_eq(&warm.hs[0], 1e-6), "initial state must matter");
+        assert!(
+            !zero.hs[0].approx_eq(&warm.hs[0], 1e-6),
+            "initial state must matter"
+        );
     }
 }

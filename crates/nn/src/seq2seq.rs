@@ -18,7 +18,11 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Seq2Seq {
     hidden: usize,
+    /// Construction-time metadata, retained for future serialization.
+    #[allow(dead_code)]
     emb_dim: usize,
+    /// Construction-time metadata, retained for future serialization.
+    #[allow(dead_code)]
     tgt_vocab: usize,
     src_emb: Embedding,
     tgt_emb: Embedding,
@@ -40,7 +44,13 @@ pub const EOS: u32 = 2;
 impl Seq2Seq {
     /// Creates a model. `hidden` is the per-layer unit count the paper's
     /// probes inspect (500 in the paper; scale down for experiments).
-    pub fn new(src_vocab: usize, tgt_vocab: usize, emb_dim: usize, hidden: usize, seed: u64) -> Self {
+    pub fn new(
+        src_vocab: usize,
+        tgt_vocab: usize,
+        emb_dim: usize,
+        hidden: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = init::seeded_rng(seed);
         Seq2Seq {
             hidden,
@@ -95,11 +105,19 @@ impl Seq2Seq {
         let tgt_len = tgt.len();
 
         // Decoder inputs: BOS followed by all but the last target token.
-        let dec_ids: Vec<u32> =
-            std::iter::once(BOS).chain(tgt.iter().copied().take(tgt_len - 1)).collect();
-        let dec_xs: Vec<Matrix> = dec_ids.iter().map(|&id| self.tgt_emb.forward(&[id])).collect();
-        let dec1 = self.dec1.forward_from(&dec_xs, enc1.final_h().clone(), enc1.final_c().clone());
-        let dec2 = self.dec2.forward_from(&dec1.hs, enc2.final_h().clone(), enc2.final_c().clone());
+        let dec_ids: Vec<u32> = std::iter::once(BOS)
+            .chain(tgt.iter().copied().take(tgt_len - 1))
+            .collect();
+        let dec_xs: Vec<Matrix> = dec_ids
+            .iter()
+            .map(|&id| self.tgt_emb.forward(&[id]))
+            .collect();
+        let dec1 = self
+            .dec1
+            .forward_from(&dec_xs, enc1.final_h().clone(), enc1.final_c().clone());
+        let dec2 = self
+            .dec2
+            .forward_from(&dec1.hs, enc2.final_h().clone(), enc2.final_c().clone());
 
         // Attention + output per decoder step, caching what backward needs.
         let mut total_loss = 0.0f32;
@@ -134,7 +152,9 @@ impl Seq2Seq {
             dlogits.set(0, target, v - 1.0);
             dlogits.scale_inplace(inv_t);
             let dcomb = self.out.backward(&comb, &dlogits);
-            let dcomb_pre = dcomb.zip_map(&comb, |d, c| d * (1.0 - c * c)).expect("tanh grad");
+            let dcomb_pre = dcomb
+                .zip_map(&comb, |d, c| d * (1.0 - c * c))
+                .expect("tanh grad");
             let dconcat = self.attn_combine.backward(&concat, &dcomb_pre);
             let mut dh_t = Matrix::zeros(1, self.hidden);
             let mut dctx = Matrix::zeros(1, self.hidden);
@@ -165,10 +185,12 @@ impl Seq2Seq {
             self.tgt_emb.backward(&[dec_ids[t]], dx);
         }
         // Decoder initial states came from encoder finals.
-        let (d_enc1_hs, _, _) =
-            self.enc2.backward(&enc2, &denc2_hs, Some((&dh0_dec2, &dc0_dec2)));
-        let (d_src_xs, _, _) =
-            self.enc1.backward(&enc1, &d_enc1_hs, Some((&dh0_dec1, &dc0_dec1)));
+        let (d_enc1_hs, _, _) = self
+            .enc2
+            .backward(&enc2, &denc2_hs, Some((&dh0_dec2, &dc0_dec2)));
+        let (d_src_xs, _, _) = self
+            .enc1
+            .backward(&enc1, &d_enc1_hs, Some((&dh0_dec1, &dc0_dec1)));
         for (t, dx) in d_src_xs.iter().enumerate() {
             self.src_emb.backward(&[src[t]], dx);
         }
@@ -201,8 +223,7 @@ impl Seq2Seq {
             let step2 = self.dec2.forward_from(&[step1.hs[0].clone()], h2, c2);
             let h_t = &step2.hs[0];
             // Attention, as in training.
-            let mut scores: Vec<f32> =
-                enc2.hs.iter().map(|e| dot(h_t.row(0), e.row(0))).collect();
+            let mut scores: Vec<f32> = enc2.hs.iter().map(|e| dot(h_t.row(0), e.row(0))).collect();
             ops::softmax_slice(&mut scores);
             let mut ctx = Matrix::zeros(1, self.hidden);
             for (j, enc_h) in enc2.hs.iter().enumerate() {
@@ -227,18 +248,24 @@ impl Seq2Seq {
 
     /// Mean per-token loss without updating parameters (validation).
     pub fn evaluate_pair(&self, src: &[u32], tgt: &[u32]) -> f32 {
-        let (_, enc2) = self.encode(src);
-        let (enc1, _) = self.encode(src);
-        let dec_ids: Vec<u32> =
-            std::iter::once(BOS).chain(tgt.iter().copied().take(tgt.len() - 1)).collect();
-        let dec_xs: Vec<Matrix> = dec_ids.iter().map(|&id| self.tgt_emb.forward(&[id])).collect();
-        let dec1 = self.dec1.forward_from(&dec_xs, enc1.final_h().clone(), enc1.final_c().clone());
-        let dec2 = self.dec2.forward_from(&dec1.hs, enc2.final_h().clone(), enc2.final_c().clone());
+        let (enc1, enc2) = self.encode(src);
+        let dec_ids: Vec<u32> = std::iter::once(BOS)
+            .chain(tgt.iter().copied().take(tgt.len() - 1))
+            .collect();
+        let dec_xs: Vec<Matrix> = dec_ids
+            .iter()
+            .map(|&id| self.tgt_emb.forward(&[id]))
+            .collect();
+        let dec1 = self
+            .dec1
+            .forward_from(&dec_xs, enc1.final_h().clone(), enc1.final_c().clone());
+        let dec2 = self
+            .dec2
+            .forward_from(&dec1.hs, enc2.final_h().clone(), enc2.final_c().clone());
         let mut total = 0.0f32;
-        for t in 0..tgt.len() {
+        for (t, &tgt_tok) in tgt.iter().enumerate() {
             let h_t = &dec2.hs[t];
-            let mut scores: Vec<f32> =
-                enc2.hs.iter().map(|e| dot(h_t.row(0), e.row(0))).collect();
+            let mut scores: Vec<f32> = enc2.hs.iter().map(|e| dot(h_t.row(0), e.row(0))).collect();
             ops::softmax_slice(&mut scores);
             let mut ctx = Matrix::zeros(1, self.hidden);
             for (j, enc_h) in enc2.hs.iter().enumerate() {
@@ -247,7 +274,7 @@ impl Seq2Seq {
             let concat = h_t.hstack(&ctx).expect("attention concat");
             let comb = self.attn_combine.forward(&concat).map(f32::tanh);
             let probs = ops::softmax_rows(&self.out.forward(&comb));
-            total += -probs.get(0, tgt[t] as usize).max(1e-12).ln();
+            total += -probs.get(0, tgt_tok as usize).max(1e-12).ln();
         }
         total / tgt.len() as f32
     }
@@ -296,15 +323,21 @@ mod tests {
     fn training_reduces_loss() {
         let mut model = Seq2Seq::new(12, 12, 8, 16, 1);
         let pairs = toy_pairs();
-        let first: f32 =
-            pairs.iter().map(|(s, t)| model.evaluate_pair(s, t)).sum::<f32>() / pairs.len() as f32;
+        let first: f32 = pairs
+            .iter()
+            .map(|(s, t)| model.evaluate_pair(s, t))
+            .sum::<f32>()
+            / pairs.len() as f32;
         for _ in 0..60 {
             for (s, t) in &pairs {
                 model.train_pair(s, t, 0.01);
             }
         }
-        let last: f32 =
-            pairs.iter().map(|(s, t)| model.evaluate_pair(s, t)).sum::<f32>() / pairs.len() as f32;
+        let last: f32 = pairs
+            .iter()
+            .map(|(s, t)| model.evaluate_pair(s, t))
+            .sum::<f32>()
+            / pairs.len() as f32;
         assert!(last < first * 0.5, "loss {first} -> {last}");
     }
 
@@ -321,7 +354,11 @@ mod tests {
         let (src, tgt) = &pairs[0];
         let hyp = model.translate(src, 10);
         let expect: Vec<u32> = tgt.iter().copied().filter(|&t| t != EOS).collect();
-        let correct = hyp.iter().zip(expect.iter()).filter(|(a, b)| a == b).count();
+        let correct = hyp
+            .iter()
+            .zip(expect.iter())
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(
             correct * 2 >= expect.len(),
             "decode {hyp:?} vs {expect:?} ({correct} correct)"
@@ -348,7 +385,10 @@ mod tests {
         let src = vec![4u32, 5, 6];
         let a = trained.encoder_activations_all(&src);
         let b = untrained.encoder_activations_all(&src);
-        assert!(!a.approx_eq(&b, 1e-3), "training must change encoder activations");
+        assert!(
+            !a.approx_eq(&b, 1e-3),
+            "training must change encoder activations"
+        );
     }
 
     #[test]

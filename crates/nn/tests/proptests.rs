@@ -27,7 +27,7 @@ proptest! {
         ids in proptest::collection::vec(0u32..4, 2..16),
     ) {
         let model = CharLstmModel::new(4, 8, OutputMode::LastStep, seed);
-        let acts = model.extract_activations(&[ids.clone()]);
+        let acts = model.extract_activations(std::slice::from_ref(&ids));
         prop_assert_eq!(acts.shape(), (ids.len(), 8));
         // h = o * tanh(c) is bounded by 1 in magnitude.
         prop_assert!(acts.as_slice().iter().all(|v| v.abs() <= 1.0));
@@ -99,7 +99,7 @@ proptest! {
     ) {
         let mut model = CharLstmModel::new(4, 6, OutputMode::LastStep, seed);
         let target = ids[0];
-        let loss = model.train_batch_last(&[ids.clone()], &[target], 0.05);
+        let loss = model.train_batch_last(std::slice::from_ref(&ids), &[target], 0.05);
         prop_assert!(loss.is_finite() && loss >= 0.0);
         let acts = model.extract_activations(&[ids]);
         prop_assert!(acts.as_slice().iter().all(|v| v.is_finite()));

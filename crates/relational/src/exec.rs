@@ -101,11 +101,17 @@ impl AggState {
                 *n += 1;
             }
             (AggState::Min(m), AggFn::Min(c)) => {
-                let v = table.value(row, c).and_then(|v| v.as_f32()).unwrap_or(f32::INFINITY);
+                let v = table
+                    .value(row, c)
+                    .and_then(|v| v.as_f32())
+                    .unwrap_or(f32::INFINITY);
                 *m = m.min(v);
             }
             (AggState::Max(m), AggFn::Max(c)) => {
-                let v = table.value(row, c).and_then(|v| v.as_f32()).unwrap_or(f32::NEG_INFINITY);
+                let v = table
+                    .value(row, c)
+                    .and_then(|v| v.as_f32())
+                    .unwrap_or(f32::NEG_INFINITY);
                 *m = m.max(v);
             }
             (AggState::Corr(acc), AggFn::Corr(a, b)) => {
@@ -155,7 +161,10 @@ pub fn project(table: &Table, stats: &mut ExecStats, cols: &[&str]) -> Result<Ta
     }
     let mut out = Table::new(Schema::new(schema_cols));
     for r in 0..table.len() {
-        let row: Vec<Value> = indices.iter().map(|&i| table.column_at(i).value(r)).collect();
+        let row: Vec<Value> = indices
+            .iter()
+            .map(|&i| table.column_at(i).value(r))
+            .collect();
         out.push_row(row).expect("projected schema");
     }
     Ok(out)
@@ -174,16 +183,22 @@ pub fn hash_join(
     let li = left.schema().index_of(left_col).ok_or_else(|| TableError {
         msg: format!("unknown left column {left_col:?}"),
     })?;
-    let ri = right.schema().index_of(right_col).ok_or_else(|| TableError {
-        msg: format!("unknown right column {right_col:?}"),
-    })?;
+    let ri = right
+        .schema()
+        .index_of(right_col)
+        .ok_or_else(|| TableError {
+            msg: format!("unknown right column {right_col:?}"),
+        })?;
     stats.record_scan(left.len());
     stats.record_scan(right.len());
 
     // Build on the right side.
     let mut build: HashMap<String, Vec<usize>> = HashMap::new();
     for r in 0..right.len() {
-        build.entry(key_of(&right.column_at(ri).value(r))).or_default().push(r);
+        build
+            .entry(key_of(&right.column_at(ri).value(r)))
+            .or_default()
+            .push(r);
     }
 
     let left_names = left.schema().names();
@@ -200,8 +215,11 @@ pub fn hash_join(
         };
         cols.push((name, right.schema().col_type(i)));
     }
-    let schema =
-        Schema::new(cols.iter().map(|(n, t)| (n.as_str(), *t)).collect::<Vec<_>>());
+    let schema = Schema::new(
+        cols.iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect::<Vec<_>>(),
+    );
     let mut out = Table::new(schema);
     for l in 0..left.len() {
         let key = key_of(&left.column_at(li).value(l));
@@ -257,10 +275,11 @@ pub fn aggregate(
     let mut groups: HashMap<String, (Vec<Value>, Vec<AggState>)> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
     for r in 0..table.len() {
-        let key_vals: Vec<Value> =
-            group_indices.iter().map(|&i| table.column_at(i).value(r)).collect();
-        let key: String =
-            key_vals.iter().map(key_of).collect::<Vec<_>>().join("|");
+        let key_vals: Vec<Value> = group_indices
+            .iter()
+            .map(|&i| table.column_at(i).value(r))
+            .collect();
+        let key: String = key_vals.iter().map(key_of).collect::<Vec<_>>().join("|");
         let entry = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
             (key_vals, aggs.iter().map(AggState::new).collect())
@@ -277,11 +296,18 @@ pub fn aggregate(
         .map(|(c, &i)| (c.to_string(), table.schema().col_type(i)))
         .collect();
     for f in aggs {
-        let ty = if matches!(f, AggFn::Count) { ColType::Int } else { ColType::Float };
+        let ty = if matches!(f, AggFn::Count) {
+            ColType::Int
+        } else {
+            ColType::Float
+        };
         cols.push((f.output_name(), ty));
     }
-    let schema =
-        Schema::new(cols.iter().map(|(n, t)| (n.as_str(), *t)).collect::<Vec<_>>());
+    let schema = Schema::new(
+        cols.iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect::<Vec<_>>(),
+    );
     let mut out = Table::new(schema);
     for key in order {
         let (vals, states) = groups.remove(&key).expect("group present");
@@ -314,9 +340,12 @@ pub fn logreg_train_uda(
             })
         })
         .collect::<Result<_, _>>()?;
-    let label_idx = table.schema().index_of(label_col).ok_or_else(|| TableError {
-        msg: format!("unknown label column {label_col:?}"),
-    })?;
+    let label_idx = table
+        .schema()
+        .index_of(label_col)
+        .ok_or_else(|| TableError {
+            msg: format!("unknown label column {label_col:?}"),
+        })?;
 
     let mut model = deepbase_stats::MultiLogReg::new(feat_idx.len(), 1, config.clone());
     let block = 512usize;
@@ -329,9 +358,17 @@ pub fn logreg_train_uda(
             let mut y = Matrix::zeros(end - start, 1);
             for r in start..end {
                 for (c, &fi) in feat_idx.iter().enumerate() {
-                    x.set(r - start, c, table.column_at(fi).value(r).as_f32().unwrap_or(0.0));
+                    x.set(
+                        r - start,
+                        c,
+                        table.column_at(fi).value(r).as_f32().unwrap_or(0.0),
+                    );
                 }
-                y.set(r - start, 0, table.column_at(label_idx).value(r).as_f32().unwrap_or(0.0));
+                y.set(
+                    r - start,
+                    0,
+                    table.column_at(label_idx).value(r).as_f32().unwrap_or(0.0),
+                );
             }
             model.partial_fit(&x, &y);
             start = end;
@@ -355,8 +392,13 @@ mod tests {
             let u0 = (i % 10) as f32;
             let u1 = ((i * 7) % 13) as f32;
             let h0 = if i % 10 >= 5 { 1.0 } else { 0.0 };
-            t.push_row(vec![Value::Int(i), Value::Float(u0), Value::Float(u1), Value::Float(h0)])
-                .unwrap();
+            t.push_row(vec![
+                Value::Int(i),
+                Value::Float(u0),
+                Value::Float(u1),
+                Value::Float(h0),
+            ])
+            .unwrap();
         }
         t
     }
@@ -391,7 +433,12 @@ mod tests {
             &t,
             &mut stats,
             &[],
-            &[AggFn::Count, AggFn::Avg("u0".into()), AggFn::Min("u0".into()), AggFn::Max("u0".into())],
+            &[
+                AggFn::Count,
+                AggFn::Avg("u0".into()),
+                AggFn::Min("u0".into()),
+                AggFn::Max("u0".into()),
+            ],
         )
         .unwrap();
         assert_eq!(out.len(), 1);
@@ -405,8 +452,13 @@ mod tests {
     fn aggregate_grouped_sums() {
         let t = behavior_table();
         let mut stats = ExecStats::default();
-        let out = aggregate(&t, &mut stats, &["h0"], &[AggFn::Count, AggFn::Sum("u0".into())])
-            .unwrap();
+        let out = aggregate(
+            &t,
+            &mut stats,
+            &["h0"],
+            &[AggFn::Count, AggFn::Sum("u0".into())],
+        )
+        .unwrap();
         assert_eq!(out.len(), 2);
         // Group h0=0 holds u0 in 0..5 over 10 cycles: sum = 10*(0+..+4)=100.
         let mut by_group = std::collections::HashMap::new();
@@ -423,8 +475,13 @@ mod tests {
     fn corr_aggregate_matches_stats_crate() {
         let t = behavior_table();
         let mut stats = ExecStats::default();
-        let out =
-            aggregate(&t, &mut stats, &[], &[AggFn::Corr("u0".into(), "h0".into())]).unwrap();
+        let out = aggregate(
+            &t,
+            &mut stats,
+            &[],
+            &[AggFn::Corr("u0".into(), "h0".into())],
+        )
+        .unwrap();
         let expected = deepbase_stats::pearson(
             t.column("u0").unwrap().floats().unwrap(),
             t.column("h0").unwrap().floats().unwrap(),
@@ -437,26 +494,42 @@ mod tests {
     fn expression_limit_enforced() {
         let t = behavior_table();
         let mut stats = ExecStats::default();
-        let too_many: Vec<AggFn> =
-            (0..MAX_EXPRESSIONS_PER_STATEMENT + 1).map(|_| AggFn::Count).collect();
+        let too_many: Vec<AggFn> = (0..MAX_EXPRESSIONS_PER_STATEMENT + 1)
+            .map(|_| AggFn::Count)
+            .collect();
         let err = aggregate(&t, &mut stats, &[], &too_many).unwrap_err();
         assert!(err.msg.contains("batch"));
     }
 
     #[test]
     fn hash_join_matches_keys() {
-        let mut left = Table::new(Schema::new(vec![("uid", ColType::Int), ("layer", ColType::Int)]));
+        let mut left = Table::new(Schema::new(vec![
+            ("uid", ColType::Int),
+            ("layer", ColType::Int),
+        ]));
         left.push_row(vec![Value::Int(1), Value::Int(0)]).unwrap();
         left.push_row(vec![Value::Int(2), Value::Int(1)]).unwrap();
-        let mut right = Table::new(Schema::new(vec![("uid", ColType::Int), ("score", ColType::Float)]));
-        right.push_row(vec![Value::Int(2), Value::Float(0.9)]).unwrap();
-        right.push_row(vec![Value::Int(3), Value::Float(0.1)]).unwrap();
-        right.push_row(vec![Value::Int(2), Value::Float(0.7)]).unwrap();
+        let mut right = Table::new(Schema::new(vec![
+            ("uid", ColType::Int),
+            ("score", ColType::Float),
+        ]));
+        right
+            .push_row(vec![Value::Int(2), Value::Float(0.9)])
+            .unwrap();
+        right
+            .push_row(vec![Value::Int(3), Value::Float(0.1)])
+            .unwrap();
+        right
+            .push_row(vec![Value::Int(2), Value::Float(0.7)])
+            .unwrap();
 
         let mut stats = ExecStats::default();
         let out = hash_join(&left, &right, "uid", "uid", &mut stats).unwrap();
         assert_eq!(out.len(), 2, "uid=2 matches twice");
-        assert_eq!(out.schema().names(), vec!["uid", "layer", "right_uid", "score"]);
+        assert_eq!(
+            out.schema().names(),
+            vec!["uid", "layer", "right_uid", "score"]
+        );
         assert_eq!(out.value(0, "layer"), Some(Value::Int(1)));
     }
 
@@ -464,15 +537,15 @@ mod tests {
     fn logreg_uda_learns_separable_hypothesis() {
         let t = behavior_table();
         let mut stats = ExecStats::default();
-        let config = deepbase_stats::LogRegConfig { learning_rate: 0.1, ..Default::default() };
-        let model =
-            logreg_train_uda(&t, &mut stats, &["u0", "u1"], "h0", 20, &config).unwrap();
+        let config = deepbase_stats::LogRegConfig {
+            learning_rate: 0.1,
+            ..Default::default()
+        };
+        let model = logreg_train_uda(&t, &mut stats, &["u0", "u1"], "h0", 20, &config).unwrap();
         assert_eq!(stats.full_scans, 20, "one scan per epoch");
         // h0 = (u0 >= 5): linearly separable on u0.
         use deepbase_tensor::Matrix;
-        let x = Matrix::from_fn(100, 2, |r, c| {
-            t.column_at(1 + c).value(r).as_f32().unwrap()
-        });
+        let x = Matrix::from_fn(100, 2, |r, c| t.column_at(1 + c).value(r).as_f32().unwrap());
         let y = Matrix::from_fn(100, 1, |r, _| t.column_at(3).value(r).as_f32().unwrap());
         let f1 = model.f1_per_output(&x, &y)[0];
         assert!(f1 > 0.9, "UDA probe F1 {f1}");
@@ -480,7 +553,10 @@ mod tests {
 
     #[test]
     fn stats_reset() {
-        let mut stats = ExecStats { full_scans: 3, rows_scanned: 10 };
+        let mut stats = ExecStats {
+            full_scans: 3,
+            rows_scanned: 10,
+        };
         stats.reset();
         assert_eq!(stats, ExecStats::default());
     }

@@ -121,7 +121,10 @@ impl Column {
             (Column::Strs(col), Value::Str(s)) => col.push(s),
             (col, v) => {
                 return Err(TableError {
-                    msg: format!("type mismatch pushing {v:?} into {:?} column", col_type(col)),
+                    msg: format!(
+                        "type mismatch pushing {v:?} into {:?} column",
+                        col_type(col)
+                    ),
                 })
             }
         }
@@ -169,7 +172,9 @@ pub struct Schema {
 impl Schema {
     /// Builds a schema from `(name, type)` pairs.
     pub fn new(cols: Vec<(&str, ColType)>) -> Schema {
-        Schema { cols: cols.into_iter().map(|(n, t)| (n.to_string(), t)).collect() }
+        Schema {
+            cols: cols.into_iter().map(|(n, t)| (n.to_string(), t)).collect(),
+        }
     }
 
     /// Number of columns.
@@ -204,8 +209,14 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: Schema) -> Table {
-        let columns = (0..schema.arity()).map(|i| Column::new(schema.col_type(i))).collect();
-        Table { schema, columns, rows: 0 }
+        let columns = (0..schema.arity())
+            .map(|i| Column::new(schema.col_type(i)))
+            .collect();
+        Table {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     /// Schema accessor.
@@ -262,8 +273,7 @@ impl Table {
     /// benchmark harnesses to print paper-style result tables.
     pub fn render(&self, max_rows: usize) -> String {
         let names = self.schema.names();
-        let mut cells: Vec<Vec<String>> =
-            vec![names.iter().map(|s| s.to_string()).collect()];
+        let mut cells: Vec<Vec<String>> = vec![names.iter().map(|s| s.to_string()).collect()];
         for r in 0..self.rows.min(max_rows) {
             cells.push(self.row(r).iter().map(|v| v.to_string()).collect());
         }
@@ -301,8 +311,18 @@ mod tests {
             ("score", ColType::Float),
             ("name", ColType::Str),
         ]));
-        t.push_row(vec![Value::Int(1), Value::Float(0.5), Value::Str("a".into())]).unwrap();
-        t.push_row(vec![Value::Int(2), Value::Float(0.8), Value::Str("b".into())]).unwrap();
+        t.push_row(vec![
+            Value::Int(1),
+            Value::Float(0.5),
+            Value::Str("a".into()),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::Int(2),
+            Value::Float(0.8),
+            Value::Str("b".into()),
+        ])
+        .unwrap();
         t
     }
 
@@ -327,7 +347,11 @@ mod tests {
     fn type_mismatch_rejected() {
         let mut t = sample();
         let err = t
-            .push_row(vec![Value::Str("x".into()), Value::Float(0.0), Value::Str("c".into())])
+            .push_row(vec![
+                Value::Str("x".into()),
+                Value::Float(0.0),
+                Value::Str("c".into()),
+            ])
             .unwrap_err();
         assert!(err.msg.contains("type mismatch"));
     }
@@ -342,7 +366,10 @@ mod tests {
     #[test]
     fn column_float_slice() {
         let t = sample();
-        assert_eq!(t.column("score").unwrap().floats(), Some(&[0.5f32, 0.8][..]));
+        assert_eq!(
+            t.column("score").unwrap().floats(),
+            Some(&[0.5f32, 0.8][..])
+        );
         assert_eq!(t.column("uid").unwrap().floats(), None);
     }
 

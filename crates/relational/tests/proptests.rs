@@ -14,7 +14,8 @@ fn table_from(rows: &[(i64, f32, f32)]) -> Table {
         ("y", ColType::Float),
     ]));
     for &(k, x, y) in rows {
-        t.push_row(vec![Value::Int(k), Value::Float(x), Value::Float(y)]).unwrap();
+        t.push_row(vec![Value::Int(k), Value::Float(x), Value::Float(y)])
+            .unwrap();
     }
     t
 }

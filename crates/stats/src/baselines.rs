@@ -10,7 +10,11 @@ pub fn majority_class_f1(target: &[f32]) -> f32 {
         return 0.0;
     }
     let positives = target.iter().filter(|&&t| t > 0.5).count();
-    let majority = if positives * 2 >= target.len() { 1.0 } else { 0.0 };
+    let majority = if positives * 2 >= target.len() {
+        1.0
+    } else {
+        0.0
+    };
     let pred = vec![majority; target.len()];
     crate::classify::f1_score(&pred, target)
 }
@@ -21,8 +25,9 @@ pub fn random_class_f1(target: &[f32], seed: u64) -> f32 {
         return 0.0;
     }
     let mut rng = deepbase_tensor::init::seeded_rng(seed);
-    let pred: Vec<f32> =
-        (0..target.len()).map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 }).collect();
+    let pred: Vec<f32> = (0..target.len())
+        .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 })
+        .collect();
     crate::classify::f1_score(&pred, target)
 }
 

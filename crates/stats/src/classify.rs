@@ -87,7 +87,11 @@ pub fn accuracy_multiclass(predicted: &[usize], target: &[usize]) -> f32 {
     if predicted.is_empty() {
         return 0.0;
     }
-    let correct = predicted.iter().zip(target.iter()).filter(|(p, t)| p == t).count();
+    let correct = predicted
+        .iter()
+        .zip(target.iter())
+        .filter(|(p, t)| p == t)
+        .count();
     correct as f32 / predicted.len() as f32
 }
 
@@ -149,7 +153,11 @@ pub fn macro_f1(predicted: &[usize], target: &[usize], k: usize) -> f32 {
     for c in 0..k {
         if target.contains(&c) {
             let (p, r) = (prec[c], rec[c]);
-            total += if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+            total += if p + r == 0.0 {
+                0.0
+            } else {
+                2.0 * p * r / (p + r)
+            };
             classes += 1;
         }
     }
@@ -169,7 +177,15 @@ mod tests {
         let pred = [1.0f32, 1.0, 0.0, 0.0, 1.0];
         let targ = [1.0f32, 0.0, 0.0, 1.0, 1.0];
         let c = Confusion::from_predictions(&pred, &targ);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
     }
 
     #[test]

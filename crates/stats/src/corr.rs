@@ -46,11 +46,73 @@ impl StreamingPearson {
     }
 
     /// Adds a block of paired observations.
+    ///
+    /// Accumulates the block's moments in registers before folding them
+    /// into the state once — the vectorizable hot path behind the
+    /// correlation measure (the per-`push` path updates six struct fields
+    /// per element).
     pub fn push_block(&mut self, xs: &[f32], ys: &[f32]) {
         assert_eq!(xs.len(), ys.len(), "pearson block length mismatch");
+        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
         for (&x, &y) in xs.iter().zip(ys.iter()) {
-            self.push(x, y);
+            let (x, y) = (x as f64, y as f64);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
         }
+        self.accumulate(xs.len() as u64, sx, sy, sxx, syy, sxy);
+    }
+
+    /// Adds a block where `x` is a strided column view: observation `i`
+    /// pairs `xs[offset + i * stride]` with `ys[i]`.
+    ///
+    /// This is the columnar entry point for row-major behavior matrices
+    /// (`stride` = number of units, `offset` = unit index): one pass per
+    /// unit with register accumulation, instead of scattering every row
+    /// across all unit accumulators.
+    pub fn push_block_strided(&mut self, xs: &[f32], offset: usize, stride: usize, ys: &[f32]) {
+        assert!(stride > 0, "pearson stride must be positive");
+        if !ys.is_empty() {
+            assert!(
+                offset + (ys.len() - 1) * stride < xs.len(),
+                "pearson strided block out of range"
+            );
+        }
+        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+        let mut idx = offset;
+        for &y in ys {
+            let x = xs[idx] as f64;
+            let y = y as f64;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+            idx += stride;
+        }
+        self.accumulate(ys.len() as u64, sx, sy, sxx, syy, sxy);
+    }
+
+    /// Folds pre-aggregated block moments into the state. Lets callers
+    /// that score many units against one shared `y` column (the
+    /// correlation measure) compute the `y` moments once per block.
+    pub fn accumulate(
+        &mut self,
+        n: u64,
+        sum_x: f64,
+        sum_y: f64,
+        sum_xx: f64,
+        sum_yy: f64,
+        sum_xy: f64,
+    ) {
+        self.n += n;
+        self.sum_x += sum_x;
+        self.sum_y += sum_y;
+        self.sum_xx += sum_xx;
+        self.sum_yy += sum_yy;
+        self.sum_xy += sum_xy;
     }
 
     /// Merges another accumulator into this one (used by the parallel
@@ -161,9 +223,63 @@ mod tests {
         let batch = pearson(&xs, &ys);
         let mut acc = StreamingPearson::new();
         for chunk in 0..10 {
-            acc.push_block(&xs[chunk * 10..(chunk + 1) * 10], &ys[chunk * 10..(chunk + 1) * 10]);
+            acc.push_block(
+                &xs[chunk * 10..(chunk + 1) * 10],
+                &ys[chunk * 10..(chunk + 1) * 10],
+            );
         }
         assert!((acc.correlation() - batch).abs() < 1e-6);
+    }
+
+    #[test]
+    fn strided_push_matches_dense_push() {
+        // 3 interleaved columns; correlate column 1 against ys.
+        let stride = 3;
+        let rows = 40;
+        let xs: Vec<f32> = (0..rows * stride)
+            .map(|i| ((i * 29) % 31) as f32 - 15.0)
+            .collect();
+        let ys: Vec<f32> = (0..rows).map(|i| ((i * 13) % 17) as f32).collect();
+        let col1: Vec<f32> = (0..rows).map(|r| xs[1 + r * stride]).collect();
+
+        let mut dense = StreamingPearson::new();
+        for (&x, &y) in col1.iter().zip(ys.iter()) {
+            dense.push(x, y);
+        }
+        let mut strided = StreamingPearson::new();
+        strided.push_block_strided(&xs, 1, stride, &ys);
+        assert_eq!(strided.count(), dense.count());
+        assert!((strided.correlation() - dense.correlation()).abs() < 1e-6);
+        assert!((strided.fisher_half_width(Z_95) - dense.fisher_half_width(Z_95)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accumulate_equals_pushes() {
+        let xs = [1.0f32, -2.0, 3.5, 0.25];
+        let ys = [2.0f32, 0.5, -1.0, 4.0];
+        let mut pushed = StreamingPearson::new();
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            pushed.push(x, y);
+        }
+        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            let (x, y) = (x as f64, y as f64);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+        let mut folded = StreamingPearson::new();
+        folded.accumulate(4, sx, sy, sxx, syy, sxy);
+        assert!((folded.correlation() - pushed.correlation()).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "strided block out of range")]
+    fn strided_push_rejects_short_buffer() {
+        let mut acc = StreamingPearson::new();
+        acc.push_block_strided(&[1.0, 2.0, 3.0], 1, 2, &[0.0, 1.0]);
     }
 
     #[test]
@@ -194,7 +310,10 @@ mod tests {
             }
         }
         for pair in widths.windows(2) {
-            assert!(pair[1] <= pair[0] + 1e-6, "widths must be non-increasing: {widths:?}");
+            assert!(
+                pair[1] <= pair[0] + 1e-6,
+                "widths must be non-increasing: {widths:?}"
+            );
         }
     }
 

@@ -82,8 +82,10 @@ pub fn jaccard(a: &[f32], b: &[f32]) -> f32 {
 /// quantile and a binary hypothesis mask — the full NetDissect scoring rule.
 pub fn jaccard_at_quantile(behavior: &[f32], hypothesis_mask: &[f32], top_quantile: f32) -> f32 {
     let thresh = crate::quantile::quantile(behavior, top_quantile);
-    let binarized: Vec<f32> =
-        behavior.iter().map(|&v| if v > thresh { 1.0 } else { 0.0 }).collect();
+    let binarized: Vec<f32> = behavior
+        .iter()
+        .map(|&v| if v > thresh { 1.0 } else { 0.0 })
+        .collect();
     jaccard(&binarized, hypothesis_mask)
 }
 
@@ -104,7 +106,11 @@ pub fn silhouette_score(points: &[Vec<f32>], labels: &[usize]) -> f32 {
     }
 
     let dist = |a: &[f32], b: &[f32]| -> f32 {
-        a.iter().zip(b.iter()).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f32>()
+            .sqrt()
     };
 
     let mut total = 0.0f32;
@@ -136,7 +142,11 @@ pub fn silhouette_score(points: &[Vec<f32>], labels: &[usize]) -> f32 {
             .values()
             .map(|&(s, c)| s / c as f32)
             .fold(f32::INFINITY, f32::min);
-        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        let s = if a.max(b) > 0.0 {
+            (b - a) / a.max(b)
+        } else {
+            0.0
+        };
         total += s;
         counted += 1;
     }
@@ -224,7 +234,9 @@ mod tests {
     #[test]
     fn silhouette_mixed_clusters_near_zero() {
         // Interleave the two labels over the same point cloud.
-        let points: Vec<Vec<f32>> = (0..40).map(|i| vec![(i % 7) as f32, (i % 5) as f32]).collect();
+        let points: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![(i % 7) as f32, (i % 5) as f32])
+            .collect();
         let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
         let s = silhouette_score(&points, &labels);
         assert!(s.abs() < 0.3, "expected near-zero separation, got {s}");

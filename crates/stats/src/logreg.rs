@@ -62,30 +62,72 @@ struct AdamState {
 
 impl AdamState {
     fn new(rows: usize, cols: usize) -> Self {
-        AdamState { m: Matrix::zeros(rows, cols), v: Matrix::zeros(rows, cols), t: 0 }
+        AdamState {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            t: 0,
+        }
     }
 
-    /// One Adam update with the standard β₁=0.9, β₂=0.999.
-    fn update(&mut self, weights: &mut Matrix, grad: &Matrix, lr: f32) {
+    /// One Adam update with the standard β₁=0.9, β₂=0.999. Operates on raw
+    /// slices so weight matrices and bias vectors share one allocation-free
+    /// path.
+    fn update(&mut self, weights: &mut [f32], grad: &[f32], lr: f32) {
         const B1: f32 = 0.9;
         const B2: f32 = 0.999;
         const EPS: f32 = 1e-8;
         self.t += 1;
         let t = self.t as f32;
-        let (ms, vs, ws, gs) = (
-            self.m.as_mut_slice(),
-            self.v.as_mut_slice(),
-            weights.as_mut_slice(),
-            grad.as_slice(),
-        );
+        let (ms, vs) = (self.m.as_mut_slice(), self.v.as_mut_slice());
+        assert_eq!(weights.len(), grad.len(), "adam slice mismatch");
+        assert_eq!(ms.len(), grad.len(), "adam state mismatch");
         let bias1 = 1.0 - B1.powf(t);
         let bias2 = 1.0 - B2.powf(t);
-        for i in 0..gs.len() {
-            ms[i] = B1 * ms[i] + (1.0 - B1) * gs[i];
-            vs[i] = B2 * vs[i] + (1.0 - B2) * gs[i] * gs[i];
+        for i in 0..grad.len() {
+            ms[i] = B1 * ms[i] + (1.0 - B1) * grad[i];
+            vs[i] = B2 * vs[i] + (1.0 - B2) * grad[i] * grad[i];
             let m_hat = ms[i] / bias1;
             let v_hat = vs[i] / bias2;
-            ws[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+            weights[i] -= lr * m_hat / (v_hat.sqrt() + EPS);
+        }
+    }
+}
+
+/// Reusable buffers for [`MultiLogReg::sgd_step`] /
+/// [`SoftmaxReg::sgd_step`]: the probability/error matrix, the weight
+/// gradient, and the bias gradient are each written in place and survive
+/// across blocks, so steady-state training steps allocate nothing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StepScratch {
+    err: Matrix,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+}
+
+impl Default for StepScratch {
+    fn default() -> Self {
+        StepScratch {
+            err: Matrix::zeros(0, 0),
+            grad_w: Matrix::zeros(0, 0),
+            grad_b: Vec::new(),
+        }
+    }
+}
+
+impl StepScratch {
+    /// Ensures buffer shapes for a batch of `rows` with the given model
+    /// dimensions, reallocating only when a shape changes (the streaming
+    /// engines feed constant-size blocks, so this is a no-op in steady
+    /// state).
+    fn ensure(&mut self, rows: usize, n_features: usize, n_outputs: usize) {
+        if self.err.shape() != (rows, n_outputs) {
+            self.err = Matrix::zeros(rows, n_outputs);
+        }
+        if self.grad_w.shape() != (n_features, n_outputs) {
+            self.grad_w = Matrix::zeros(n_features, n_outputs);
+        }
+        if self.grad_b.len() != n_outputs {
+            self.grad_b = vec![0.0; n_outputs];
         }
     }
 }
@@ -106,6 +148,9 @@ pub struct MultiLogReg {
     adam_w: AdamState,
     adam_b: AdamState,
     config: LogRegConfig,
+    /// Reused per-step buffers; not part of the model state.
+    #[serde(skip)]
+    scratch: StepScratch,
 }
 
 impl MultiLogReg {
@@ -119,6 +164,7 @@ impl MultiLogReg {
             adam_w: AdamState::new(n_features, n_outputs),
             adam_b: AdamState::new(1, n_outputs),
             config,
+            scratch: StepScratch::default(),
         }
     }
 
@@ -156,50 +202,82 @@ impl MultiLogReg {
 
     /// One gradient step on a mini-batch: mean BCE gradient + L2 + L1
     /// subgradient, applied with Adam.
+    ///
+    /// Fully fused hot path: the forward pass, error, weight gradient and
+    /// bias gradient are all written into reusable scratch buffers
+    /// ([`StepScratch`]), so a steady-state training step performs zero
+    /// heap allocations.
     pub fn sgd_step(&mut self, x: &Matrix, y: &Matrix) {
         assert_eq!(x.rows(), y.rows(), "batch row mismatch");
         assert_eq!(y.cols(), self.n_outputs(), "target output mismatch");
         assert_eq!(x.cols(), self.n_features(), "feature mismatch");
         let n = x.rows().max(1) as f32;
-        let probs = self.predict_proba(x);
-        let mut err = probs.sub(y); // dL/dlogits for sigmoid+BCE
-        if self.pos_weights.iter().any(|&w| w != 1.0) {
-            for r in 0..err.rows() {
-                for (c, &w) in self.pos_weights.iter().enumerate() {
-                    if y.get(r, c) > 0.5 {
-                        let v = err.get(r, c);
-                        err.set(r, c, v * w);
-                    }
+        let n_outputs = self.n_outputs();
+        self.scratch.ensure(x.rows(), self.n_features(), n_outputs);
+
+        // Forward pass into the error buffer: err = sigmoid(xW + b).
+        let err = &mut self.scratch.err;
+        if self.config.threads > 1 {
+            x.matmul_parallel_into(&self.weights, self.config.threads, err);
+        } else {
+            x.matmul_into(&self.weights, err);
+        }
+        err.add_row_broadcast(&self.bias);
+        err.map_inplace(ops::sigmoid);
+
+        // err = (probs - y), with the positive-class weight fused in.
+        let weighted = self.pos_weights.iter().any(|&w| w != 1.0);
+        for (err_row, y_row) in err.as_mut_slice().chunks_mut(n_outputs).zip(y.rows_iter()) {
+            for ((e, &t), &w) in err_row.iter_mut().zip(y_row).zip(&self.pos_weights) {
+                *e -= t;
+                if weighted && t > 0.5 {
+                    *e *= w;
                 }
             }
         }
-        let mut grad_w = x.t_matmul(&err);
+
+        // grad_w = x^T err / n (+ regularization, not applied to bias,
+        // matching scikit-learn/Keras), written in place.
+        let grad_w = &mut self.scratch.grad_w;
+        x.t_matmul_into(err, grad_w);
         grad_w.scale_inplace(1.0 / n);
-        // Regularization (not applied to bias, matching scikit-learn/Keras).
         if self.config.l2 > 0.0 {
             grad_w.add_scaled(&self.weights, self.config.l2);
         }
         if self.config.l1 > 0.0 {
-            let sign = self.weights.map(|w| {
-                if w > 0.0 {
-                    1.0
-                } else if w < 0.0 {
-                    -1.0
-                } else {
-                    0.0
-                }
-            });
-            grad_w.add_scaled(&sign, self.config.l1);
+            let l1 = self.config.l1;
+            for (g, &w) in grad_w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(self.weights.as_slice())
+            {
+                *g += l1
+                    * if w > 0.0 {
+                        1.0
+                    } else if w < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    };
+            }
         }
-        let col_sums = err.col_sums();
-        let grad_b =
-            Matrix::from_vec(1, self.n_outputs(), col_sums.iter().map(|s| s / n).collect())
-                .expect("bias grad shape");
+
+        // grad_b = column means of err, in place.
+        let grad_b = &mut self.scratch.grad_b;
+        grad_b.fill(0.0);
+        for err_row in err.as_slice().chunks(n_outputs.max(1)) {
+            for (b, &e) in grad_b.iter_mut().zip(err_row) {
+                *b += e;
+            }
+        }
+        for b in grad_b.iter_mut() {
+            *b /= n;
+        }
+
         let lr = self.config.learning_rate;
-        self.adam_w.update(&mut self.weights, &grad_w, lr);
-        let mut bias_m = Matrix::from_vec(1, self.bias.len(), self.bias.clone()).unwrap();
-        self.adam_b.update(&mut bias_m, &grad_b, lr);
-        self.bias.copy_from_slice(bias_m.as_slice());
+        self.adam_w
+            .update(self.weights.as_mut_slice(), grad_w.as_slice(), lr);
+        self.adam_b.update(&mut self.bias, grad_b, lr);
     }
 
     /// Full training run: `epochs` passes of seeded-shuffled mini-batches.
@@ -249,7 +327,9 @@ impl MultiLogReg {
     /// Absolute coefficient of each (feature, output) pair — DeepBase's
     /// per-unit scores for joint measures.
     pub fn unit_scores(&self, output: usize) -> Vec<f32> {
-        (0..self.n_features()).map(|f| self.weights.get(f, output).abs()).collect()
+        (0..self.n_features())
+            .map(|f| self.weights.get(f, output).abs())
+            .collect()
     }
 
     /// Number of coefficients with |w| above `threshold` for an output —
@@ -332,17 +412,11 @@ impl SoftmaxReg {
         if self.config.l2 > 0.0 {
             grad_w.add_scaled(&self.weights, self.config.l2);
         }
-        let grad_b = Matrix::from_vec(
-            1,
-            self.n_classes,
-            err.col_sums().iter().map(|s| s / n).collect(),
-        )
-        .unwrap();
+        let grad_b: Vec<f32> = err.col_sums().iter().map(|s| s / n).collect();
         let lr = self.config.learning_rate;
-        self.adam_w.update(&mut self.weights, &grad_w, lr);
-        let mut bias_m = Matrix::from_vec(1, self.bias.len(), self.bias.clone()).unwrap();
-        self.adam_b.update(&mut bias_m, &grad_b, lr);
-        self.bias.copy_from_slice(bias_m.as_slice());
+        self.adam_w
+            .update(self.weights.as_mut_slice(), grad_w.as_slice(), lr);
+        self.adam_b.update(&mut self.bias, &grad_b, lr);
     }
 
     /// Full training run with seeded shuffling.
@@ -390,7 +464,10 @@ impl ConvergenceTracker {
     /// Window of trailing scores to average (paper default: enough batches
     /// to cover 2,048 tuples).
     pub fn new(window: usize) -> Self {
-        ConvergenceTracker { window: window.max(1), history: Vec::new() }
+        ConvergenceTracker {
+            window: window.max(1),
+            history: Vec::new(),
+        }
     }
 
     /// Records `score`, returning the current error estimate
@@ -433,8 +510,7 @@ pub fn kfold_f1(x: &Matrix, y: &[f32], folds: usize, config: &LogRegConfig) -> f
 
     let mut scores = Vec::with_capacity(folds);
     for f in 0..folds {
-        let test_idx: Vec<usize> =
-            order.iter().copied().skip(f).step_by(folds).collect();
+        let test_idx: Vec<usize> = order.iter().copied().skip(f).step_by(folds).collect();
         let train_idx: Vec<usize> = order
             .iter()
             .copied()
@@ -446,8 +522,12 @@ pub fn kfold_f1(x: &Matrix, y: &[f32], folds: usize, config: &LogRegConfig) -> f
             continue;
         }
         let xt = gather_rows(x, &train_idx);
-        let yt = Matrix::from_vec(train_idx.len(), 1, train_idx.iter().map(|&i| y[i]).collect())
-            .unwrap();
+        let yt = Matrix::from_vec(
+            train_idx.len(),
+            1,
+            train_idx.iter().map(|&i| y[i]).collect(),
+        )
+        .unwrap();
         let xv = gather_rows(x, &test_idx);
         let yv: Vec<f32> = test_idx.iter().map(|&i| y[i]).collect();
         let mut model = MultiLogReg::new(x.cols(), 1, config.clone());
@@ -468,10 +548,7 @@ mod tests {
 
     /// Linearly separable toy set: y = 1 iff x0 + x1 > 1.
     fn toy_dataset(n: usize) -> (Matrix, Matrix) {
-        let x = Matrix::from_fn(n, 2, |r, c| {
-            
-            ((r * 37 + c * 17) % 100) as f32 / 100.0
-        });
+        let x = Matrix::from_fn(n, 2, |r, c| ((r * 37 + c * 17) % 100) as f32 / 100.0);
         let y = Matrix::from_fn(n, 1, |r, _| {
             if x.get(r, 0) + x.get(r, 1) > 1.0 {
                 1.0
@@ -485,11 +562,15 @@ mod tests {
     #[test]
     fn learns_linearly_separable_data() {
         let (x, y) = toy_dataset(200);
-        let mut model = MultiLogReg::new(2, 1, LogRegConfig {
-            epochs: 100,
-            learning_rate: 0.1,
-            ..Default::default()
-        });
+        let mut model = MultiLogReg::new(
+            2,
+            1,
+            LogRegConfig {
+                epochs: 100,
+                learning_rate: 0.1,
+                ..Default::default()
+            },
+        );
         model.fit(&x, &y);
         let f1 = model.f1_per_output(&x, &y)[0];
         assert!(f1 > 0.95, "F1 {f1}");
@@ -502,7 +583,11 @@ mod tests {
         let y1 = Matrix::from_fn(120, 1, |r, _| if x.get(r, 0) > 0.5 { 1.0 } else { 0.0 });
         let y = y0.hstack(&y1).unwrap();
 
-        let config = LogRegConfig { epochs: 30, learning_rate: 0.05, ..Default::default() };
+        let config = LogRegConfig {
+            epochs: 30,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
         let mut merged = MultiLogReg::new(2, 2, config.clone());
         merged.fit(&x, &y);
 
@@ -547,11 +632,22 @@ mod tests {
     #[test]
     fn parallel_device_matches_single_core() {
         let (x, y) = toy_dataset(150);
-        let mut cpu = MultiLogReg::new(2, 1, LogRegConfig { epochs: 10, ..Default::default() });
+        let mut cpu = MultiLogReg::new(
+            2,
+            1,
+            LogRegConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         let mut gpu = MultiLogReg::new(
             2,
             1,
-            LogRegConfig { epochs: 10, threads: 4, ..Default::default() },
+            LogRegConfig {
+                epochs: 10,
+                threads: 4,
+                ..Default::default()
+            },
         );
         cpu.fit(&x, &y);
         gpu.fit(&x, &y);
@@ -572,8 +668,15 @@ mod tests {
             }
         });
         let y = Matrix::from_fn(n, 1, |r, _| (r % 2) as f32);
-        let dense_cfg = LogRegConfig { epochs: 60, learning_rate: 0.05, ..Default::default() };
-        let sparse_cfg = LogRegConfig { l1: 0.05, ..dense_cfg.clone() };
+        let dense_cfg = LogRegConfig {
+            epochs: 60,
+            learning_rate: 0.05,
+            ..Default::default()
+        };
+        let sparse_cfg = LogRegConfig {
+            l1: 0.05,
+            ..dense_cfg.clone()
+        };
         let mut dense = MultiLogReg::new(6, 1, dense_cfg);
         let mut sparse = MultiLogReg::new(6, 1, sparse_cfg);
         dense.fit(&x, &y);
@@ -585,10 +688,14 @@ mod tests {
     #[test]
     fn partial_fit_progresses_toward_fit() {
         let (x, y) = toy_dataset(256);
-        let mut model = MultiLogReg::new(2, 1, LogRegConfig {
-            learning_rate: 0.1,
-            ..Default::default()
-        });
+        let mut model = MultiLogReg::new(
+            2,
+            1,
+            LogRegConfig {
+                learning_rate: 0.1,
+                ..Default::default()
+            },
+        );
         for _ in 0..50 {
             model.partial_fit(&x, &y);
         }
@@ -600,8 +707,14 @@ mod tests {
         let (x, y0) = toy_dataset(100);
         let y1 = y0.map(|v| 1.0 - v);
         let y = y0.hstack(&y1).unwrap();
-        let mut merged =
-            MultiLogReg::new(2, 2, LogRegConfig { epochs: 10, ..Default::default() });
+        let mut merged = MultiLogReg::new(
+            2,
+            2,
+            LogRegConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         merged.fit(&x, &y);
         let col1 = merged.extract_column(1);
         let merged_prob = merged.predict_proba(&x).col(1);
@@ -616,11 +729,15 @@ mod tests {
         let n = 300;
         let x = Matrix::from_fn(n, 3, |r, c| if r % 3 == c { 1.0 } else { 0.0 });
         let y: Vec<usize> = (0..n).map(|r| r % 3).collect();
-        let mut probe = SoftmaxReg::new(3, 3, LogRegConfig {
-            epochs: 40,
-            learning_rate: 0.1,
-            ..Default::default()
-        });
+        let mut probe = SoftmaxReg::new(
+            3,
+            3,
+            LogRegConfig {
+                epochs: 40,
+                learning_rate: 0.1,
+                ..Default::default()
+            },
+        );
         probe.fit(&x, &y);
         assert!(probe.accuracy(&x, &y) > 0.99);
     }
@@ -656,7 +773,11 @@ mod tests {
     fn kfold_f1_high_for_separable_low_for_noise() {
         let (x, y_mat) = toy_dataset(160);
         let y: Vec<f32> = y_mat.col(0);
-        let cfg = LogRegConfig { epochs: 40, learning_rate: 0.1, ..Default::default() };
+        let cfg = LogRegConfig {
+            epochs: 40,
+            learning_rate: 0.1,
+            ..Default::default()
+        };
         let good = kfold_f1(&x, &y, 4, &cfg);
         // Random labels: deterministic pseudo-random, balanced.
         let noise: Vec<f32> = (0..160).map(|i| ((i * 7919) % 2) as f32).collect();

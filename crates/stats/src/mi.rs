@@ -82,8 +82,10 @@ pub fn multivariate_mi(unit_behaviors: &[&[f32]], hypothesis: &[f32], bins: usiz
     let hy = quantile_bin(hypothesis, bins);
     if unit_behaviors.len() <= MAX_EXACT_JOINT_DIMS {
         // Compose a joint discrete variable by mixed-radix packing.
-        let binned: Vec<Vec<usize>> =
-            unit_behaviors.iter().map(|u| quantile_bin(u, bins)).collect();
+        let binned: Vec<Vec<usize>> = unit_behaviors
+            .iter()
+            .map(|u| quantile_bin(u, bins))
+            .collect();
         let n = hypothesis.len();
         let mut joint_ids = vec![0usize; n];
         for b in &binned {
@@ -160,7 +162,11 @@ mod tests {
         let n = 400;
         let u1: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
         let u2: Vec<f32> = (0..n).map(|i| ((i / 2) % 2) as f32).collect();
-        let h: Vec<f32> = u1.iter().zip(u2.iter()).map(|(a, b)| (a + b) % 2.0).collect();
+        let h: Vec<f32> = u1
+            .iter()
+            .zip(u2.iter())
+            .map(|(a, b)| (a + b) % 2.0)
+            .collect();
         let single = multivariate_mi(&[&u1], &h, 2);
         let joint = multivariate_mi(&[&u1, &u2], &h, 2);
         assert!(single < 0.01, "single {single}");

@@ -52,7 +52,10 @@ pub struct P2Quantile {
 impl P2Quantile {
     /// Creates an estimator for quantile `q` in `(0, 1)`.
     pub fn new(q: f64) -> Self {
-        assert!(q > 0.0 && q < 1.0, "P2 quantile must be strictly inside (0,1)");
+        assert!(
+            q > 0.0 && q < 1.0,
+            "P2 quantile must be strictly inside (0,1)"
+        );
         P2Quantile {
             q,
             heights: [0.0; 5],
@@ -115,11 +118,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let sign = d.signum();
                 let new_height = self.parabolic(i, sign);
-                self.heights[i] = if self.heights[i - 1] < new_height && new_height < self.heights[i + 1] {
-                    new_height
-                } else {
-                    self.linear(i, sign)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < new_height && new_height < self.heights[i + 1] {
+                        new_height
+                    } else {
+                        self.linear(i, sign)
+                    };
                 self.positions[i] += sign;
             }
         }
@@ -204,13 +208,20 @@ mod tests {
         let mut x = 123456789u64;
         let mut all = Vec::new();
         for _ in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((x >> 33) as f32) / (u32::MAX >> 1) as f32;
             est.push(v);
             all.push(v);
         }
         let exact = quantile(&all, 0.5);
-        assert!((est.estimate() - exact).abs() < 0.02, "{} vs {}", est.estimate(), exact);
+        assert!(
+            (est.estimate() - exact).abs() < 0.02,
+            "{} vs {}",
+            est.estimate(),
+            exact
+        );
     }
 
     #[test]
@@ -223,7 +234,12 @@ mod tests {
             all.push(v);
         }
         let exact = quantile(&all, 0.99);
-        assert!((est.estimate() - exact).abs() < 0.03, "{} vs {}", est.estimate(), exact);
+        assert!(
+            (est.estimate() - exact).abs() < 0.03,
+            "{} vs {}",
+            est.estimate(),
+            exact
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
 /// fraction, after a seeded shuffle. Guarantees at least one element per
 /// side when `n >= 2`.
 pub fn train_test_split(n: usize, test_fraction: f32, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..=1.0).contains(&test_fraction), "fraction out of range");
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "fraction out of range"
+    );
     let idx = shuffled_indices(n, seed);
     let mut n_test = ((n as f32) * test_fraction).round() as usize;
     if n >= 2 {

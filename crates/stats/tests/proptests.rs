@@ -6,11 +6,114 @@ use deepbase_stats::{
     descriptive::{jaccard, silhouette_score},
     mi::{entropy_discrete, mutual_information_discrete},
     quantile::{quantile, quantile_bin},
+    LogRegConfig, MultiLogReg,
 };
+use deepbase_tensor::Matrix;
 use proptest::prelude::*;
 
 fn behavior_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-50.0f32..50.0, len)
+}
+
+/// Straightforward scalar re-implementation of the fused
+/// `MultiLogReg::sgd_step` (sigmoid + BCE gradient + L1/L2 + Adam),
+/// serving as the parity reference for the allocation-free kernel path.
+struct NaiveLogReg {
+    w: Vec<Vec<f32>>, // features x outputs
+    b: Vec<f32>,
+    mw: Vec<Vec<f32>>,
+    vw: Vec<Vec<f32>>,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+    t: u64,
+    config: LogRegConfig,
+    pos_weights: Vec<f32>,
+}
+
+impl NaiveLogReg {
+    fn new(features: usize, outputs: usize, config: LogRegConfig, pos_weights: Vec<f32>) -> Self {
+        NaiveLogReg {
+            w: vec![vec![0.0; outputs]; features],
+            b: vec![0.0; outputs],
+            mw: vec![vec![0.0; outputs]; features],
+            vw: vec![vec![0.0; outputs]; features],
+            mb: vec![0.0; outputs],
+            vb: vec![0.0; outputs],
+            t: 0,
+            config,
+            pos_weights,
+        }
+    }
+
+    // Deliberately written with plain indexed loops: this IS the naive
+    // reference the fused kernel is checked against.
+    #[allow(clippy::needless_range_loop)]
+    fn step(&mut self, x: &Matrix, y: &Matrix) {
+        let (rows, features, outputs) = (x.rows(), self.w.len(), self.b.len());
+        let n = rows.max(1) as f32;
+        // Forward + error.
+        let mut err = vec![vec![0.0f32; outputs]; rows];
+        for r in 0..rows {
+            for o in 0..outputs {
+                let mut logit = self.b[o];
+                for (f, w_row) in self.w.iter().enumerate() {
+                    logit += x.get(r, f) * w_row[o];
+                }
+                let p = 1.0 / (1.0 + (-logit).exp());
+                let t = y.get(r, o);
+                err[r][o] = p - t;
+                if t > 0.5 {
+                    err[r][o] *= self.pos_weights[o];
+                }
+            }
+        }
+        // Gradients.
+        let mut gw = vec![vec![0.0f32; outputs]; features];
+        for r in 0..rows {
+            for (f, gw_row) in gw.iter_mut().enumerate() {
+                for (o, g) in gw_row.iter_mut().enumerate() {
+                    *g += x.get(r, f) * err[r][o];
+                }
+            }
+        }
+        let mut gb = vec![0.0f32; outputs];
+        for row in &err {
+            for (o, g) in gb.iter_mut().enumerate() {
+                *g += row[o];
+            }
+        }
+        for (f, gw_row) in gw.iter_mut().enumerate() {
+            for (o, g) in gw_row.iter_mut().enumerate() {
+                *g /= n;
+                *g += self.config.l2 * self.w[f][o];
+                *g += self.config.l1 * self.w[f][o].signum() * f32::from(self.w[f][o] != 0.0);
+            }
+        }
+        for g in gb.iter_mut() {
+            *g /= n;
+        }
+        // Adam.
+        self.t += 1;
+        let (b1, b2, eps) = (0.9f32, 0.999f32, 1e-8f32);
+        let bias1 = 1.0 - b1.powf(self.t as f32);
+        let bias2 = 1.0 - b2.powf(self.t as f32);
+        let lr = self.config.learning_rate;
+        for f in 0..features {
+            for o in 0..outputs {
+                let g = gw[f][o];
+                self.mw[f][o] = b1 * self.mw[f][o] + (1.0 - b1) * g;
+                self.vw[f][o] = b2 * self.vw[f][o] + (1.0 - b2) * g * g;
+                self.w[f][o] -=
+                    lr * (self.mw[f][o] / bias1) / ((self.vw[f][o] / bias2).sqrt() + eps);
+            }
+        }
+        for o in 0..outputs {
+            let g = gb[o];
+            self.mb[o] = b1 * self.mb[o] + (1.0 - b1) * g;
+            self.vb[o] = b2 * self.vb[o] + (1.0 - b2) * g * g;
+            self.b[o] -= lr * (self.mb[o] / bias1) / ((self.vb[o] / bias2).sqrt() + eps);
+        }
+    }
 }
 
 proptest! {
@@ -80,6 +183,88 @@ proptest! {
         }
         // Same data-generating process: more samples can't widen the CI much.
         prop_assert!(acc.fisher_half_width(Z_95) <= w1 + 0.05);
+    }
+
+    #[test]
+    fn columnar_strided_push_matches_scalar_pushes(
+        rows in proptest::collection::vec((-20.0f32..20.0, -20.0f32..20.0, -20.0f32..20.0), 4..48),
+        unit in 0usize..3,
+        split_at in 1usize..40,
+    ) {
+        // Interleave 3 columns row-major (the behavior-matrix layout) and
+        // a shared y; the strided block update must match per-element
+        // pushes even across an arbitrary block split.
+        let stride = 3;
+        let flat: Vec<f32> = rows.iter().flat_map(|&(a, b, c)| [a, b, c]).collect();
+        let ys: Vec<f32> = rows.iter().map(|&(a, b, _)| (a + b) * 0.25).collect();
+        let split = split_at.min(rows.len() - 1);
+
+        let mut scalar = StreamingPearson::new();
+        for (r, &y) in ys.iter().enumerate() {
+            scalar.push(flat[unit + r * stride], y);
+        }
+        let mut strided = StreamingPearson::new();
+        strided.push_block_strided(&flat[..split * stride], unit, stride, &ys[..split]);
+        strided.push_block_strided(&flat[split * stride..], unit, stride, &ys[split..]);
+        prop_assert_eq!(strided.count(), scalar.count());
+        prop_assert!(
+            (strided.correlation() - scalar.correlation()).abs() < 1e-4,
+            "strided {} vs scalar {}",
+            strided.correlation(),
+            scalar.correlation()
+        );
+        prop_assert!(
+            (strided.fisher_half_width(Z_95) - scalar.fisher_half_width(Z_95)).abs() < 1e-4
+        );
+    }
+
+    #[test]
+    fn fused_sgd_step_matches_naive_reference(
+        rows in proptest::collection::vec((-2.0f32..2.0, -2.0f32..2.0, 0u8..2, 0u8..2), 6..32),
+        l1 in 0.0f32..0.05,
+        l2 in 0.0f32..0.05,
+        pos_weight in 1.0f32..4.0,
+        steps in 1usize..6,
+    ) {
+        let n = rows.len();
+        let x = Matrix::from_fn(n, 2, |r, c| if c == 0 { rows[r].0 } else { rows[r].1 });
+        let y = Matrix::from_fn(n, 2, |r, c| {
+            f32::from(if c == 0 { rows[r].2 } else { rows[r].3 })
+        });
+        let config = LogRegConfig { learning_rate: 0.05, l1, l2, ..Default::default() };
+
+        let mut fused = MultiLogReg::new(2, 2, config.clone());
+        fused.set_pos_weights(vec![pos_weight, 1.0]);
+        let mut reference = NaiveLogReg::new(2, 2, config, vec![pos_weight, 1.0]);
+        for _ in 0..steps {
+            fused.sgd_step(&x, &y);
+            reference.step(&x, &y);
+        }
+        for f in 0..2 {
+            for o in 0..2 {
+                let got = fused.weights().get(f, o);
+                let want = reference.w[f][o];
+                prop_assert!(
+                    (got - want).abs() < 1e-3,
+                    "weight ({f},{o}): fused {got} vs reference {want}"
+                );
+            }
+        }
+        // Bias agreement is observable through the probabilities.
+        let probs = fused.predict_proba(&x);
+        for r in 0..n {
+            for o in 0..2 {
+                let mut logit = reference.b[o];
+                for f in 0..2 {
+                    logit += x.get(r, f) * reference.w[f][o];
+                }
+                let want = 1.0 / (1.0 + (-logit).exp());
+                prop_assert!(
+                    (probs.get(r, o) - want).abs() < 1e-3,
+                    "prob ({r},{o}) diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! sufficient for the model scales in this reproduction).
 
 use crate::Matrix;
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 /// Deterministic RNG for reproducible experiments. Every harness and test in
 /// this repository seeds explicitly; nothing uses entropy from the OS.
@@ -70,8 +70,8 @@ mod tests {
         let mut rng = seeded_rng(3);
         let m = normal(100, 100, 2.0, &mut rng);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>()
-            / (m.len() - 1) as f32;
+        let var =
+            m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (m.len() - 1) as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

@@ -39,12 +39,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -189,7 +197,11 @@ impl Matrix {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Ok(Matrix { rows: self.rows + other.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Horizontally stacks `self` to the left of `other` (row counts must match).
@@ -205,7 +217,11 @@ impl Matrix {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Ok(Matrix { rows: self.rows, cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
     }
 
     /// Returns the transpose.
@@ -236,7 +252,11 @@ impl Matrix {
     }
 
     /// Elementwise combination of two equally-shaped matrices.
-    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Result<Matrix, ShapeError> {
+    pub fn zip_map(
+        &self,
+        other: &Matrix,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Matrix, ShapeError> {
         if self.shape() != other.shape() {
             return Err(ShapeError {
                 msg: format!("zip_map {:?} vs {:?}", self.shape(), other.shape()),
@@ -393,12 +413,8 @@ impl Matrix {
                 .all(|(a, b)| (a - b).abs() <= tol)
     }
 
-    /// Matrix product `self * other`.
-    ///
-    /// Uses the `i-k-j` loop order so the inner loop walks both the output
-    /// row and the right-hand row sequentially; this is the standard
-    /// cache-friendly layout for row-major data and is what keeps LSTM
-    /// training tolerable without a BLAS dependency.
+    /// Matrix product `self * other`, via the blocked kernel
+    /// ([`kernels::matmul_into`]).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
@@ -406,7 +422,52 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        matmul_into(&self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data);
+        kernels::matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Matrix product written into an existing, correctly-shaped output
+    /// (allocation-free hot path for training loops).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul_into inner dims");
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into output shape"
+        );
+        kernels::matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
+    }
+
+    /// Reference `i-k-j` scalar product, retained for parity tests and as
+    /// the benchmark baseline the blocked kernel is measured against.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul_naive inner dims");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
         out
     }
 
@@ -418,21 +479,33 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        // out[c][j] += self[r][c] * other[r][j]
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (c, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[c * other.cols..(c + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::t_matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
         out
+    }
+
+    /// `self^T * other` into an existing `cols x other.cols` output.
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "t_matmul_into outer dims");
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "t_matmul_into output shape"
+        );
+        kernels::t_matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
     }
 
     /// `self * other^T` without materializing the transpose.
@@ -443,72 +516,277 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let out_row = &mut out.data[r * other.rows..(r + 1) * other.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row.iter()) {
-                    acc += x * y;
-                }
-                *o = acc;
-            }
-        }
+        kernels::matmul_t_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            &mut out.data,
+        );
         out
     }
 
-    /// Parallel matrix product, splitting output rows across `threads`
-    /// OS threads via crossbeam scoped threads.
+    /// `self * other^T` into an existing `rows x other.rows` output.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.cols, "matmul_t_into inner dims");
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_t_into output shape"
+        );
+        kernels::matmul_t_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            &mut out.data,
+        );
+    }
+
+    /// Parallel matrix product: output rows are split into `threads`
+    /// deterministic chunks and dispatched onto the persistent
+    /// `deepbase-runtime` worker pool (no per-call thread spawning).
     ///
     /// This is the kernel behind the reproduction's simulated "GPU" device:
     /// the paper offloads batched extraction and merged-model training to a
-    /// K80; we offload the same matrix products to a thread pool.
+    /// K80; we offload the same matrix products to the pool. Chunking is
+    /// independent of which worker runs which chunk, so results are
+    /// bit-identical to [`Matrix::matmul`].
     pub fn matmul_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul_parallel inner dims");
-        let threads = threads.max(1);
-        if threads == 1 || self.rows < 2 * threads {
-            return self.matmul(other);
-        }
         let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_parallel_into(other, threads, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_parallel`] into an existing output (the
+    /// allocation-free hot path used by fused training steps).
+    pub fn matmul_parallel_into(&self, other: &Matrix, threads: usize, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul_parallel inner dims");
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_parallel output shape"
+        );
+        let threads = threads.max(1);
+        if threads == 1 || self.rows < 2 * threads || out.data.is_empty() {
+            return self.matmul_into(other, out);
+        }
         let chunk_rows = self.rows.div_ceil(threads);
         let out_cols = other.cols;
         let lhs_cols = self.cols;
-        {
-            let lhs = &self.data;
-            let rhs = &other.data;
-            let chunks: Vec<&mut [f32]> = out.data.chunks_mut(chunk_rows * out_cols).collect();
-            crossbeam::thread::scope(|scope| {
-                for (idx, chunk) in chunks.into_iter().enumerate() {
-                    let row_start = idx * chunk_rows;
-                    let rows_here = chunk.len() / out_cols;
-                    let lhs_part = &lhs[row_start * lhs_cols..(row_start + rows_here) * lhs_cols];
-                    scope.spawn(move |_| {
-                        matmul_into(lhs_part, rows_here, lhs_cols, rhs, out_cols, chunk);
-                    });
-                }
-            })
-            .expect("matmul_parallel worker panicked");
-        }
-        out
+        let lhs = &self.data;
+        let rhs = &other.data;
+        deepbase_runtime::parallel_for_chunks(
+            &mut out.data,
+            chunk_rows * out_cols,
+            |idx, chunk| {
+                let row_start = idx * chunk_rows;
+                let rows_here = chunk.len() / out_cols;
+                let lhs_part = &lhs[row_start * lhs_cols..(row_start + rows_here) * lhs_cols];
+                kernels::matmul_into(lhs_part, rows_here, lhs_cols, rhs, out_cols, chunk);
+            },
+        );
     }
 }
 
-/// Inner mat-mul kernel shared by the serial and parallel entry points.
-fn matmul_into(lhs: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
-    debug_assert_eq!(lhs.len(), m * k);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &lhs[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &a) in a_row.iter().enumerate() {
-            if a == 0.0 {
-                continue;
+/// Cache-blocked, register-tiled mat-mul kernels.
+///
+/// All three product shapes (`A*B`, `Aᵀ*B`, `A*Bᵀ`) share the same design:
+///
+/// * the shared dimension is processed in panels of [`KC`] so the active
+///   right-hand rows stay in cache across output rows;
+/// * the left operand's panel is **packed** into a contiguous stack buffer
+///   (two rows at a time), so the micro-kernel reads one linear stream;
+/// * the micro-kernel updates two output rows with four shared-dimension
+///   steps per pass — a branch-free `2x4` register tile whose inner loop
+///   is a pure mul-add stream the compiler autovectorizes;
+/// * there is deliberately no per-element `a == 0.0` skip: the old
+///   branch made sparse-ish inputs fast but cost a branch per element on
+///   the dense inputs that dominate (activations, weights, gradients).
+mod kernels {
+    /// Shared-dimension panel width (f32s): 4 rows of 256 floats = 4 KiB
+    /// per right-hand panel stripe, comfortably inside L1 alongside the
+    /// packed left panel.
+    const KC: usize = 256;
+
+    /// `out = lhs(m x k) * rhs(k x n)`, overwriting `out`.
+    pub fn matmul_into(lhs: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+        debug_assert_eq!(lhs.len(), m * k);
+        debug_assert_eq!(rhs.len(), k * n);
+        debug_assert_eq!(out.len(), m * n);
+        out.fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let mut apack = [0.0f32; 2 * KC];
+        let mut kb = 0;
+        while kb < k {
+            let kc = KC.min(k - kb);
+            let rhs_panel = &rhs[kb * n..(kb + kc) * n];
+            let mut i = 0;
+            while i + 1 < m {
+                apack[..kc].copy_from_slice(&lhs[i * k + kb..i * k + kb + kc]);
+                apack[KC..KC + kc].copy_from_slice(&lhs[(i + 1) * k + kb..(i + 1) * k + kb + kc]);
+                let (head, tail) = out.split_at_mut((i + 1) * n);
+                let out0 = &mut head[i * n..];
+                let out1 = &mut tail[..n];
+                accumulate_two_rows(&apack, kc, rhs_panel, n, out0, out1);
+                i += 2;
             }
-            let b_row = &rhs[kk * n..(kk + 1) * n];
-            for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a * b;
+            if i < m {
+                apack[..kc].copy_from_slice(&lhs[i * k + kb..i * k + kb + kc]);
+                accumulate_one_row(&apack[..kc], rhs_panel, n, &mut out[i * n..(i + 1) * n]);
             }
+            kb += kc;
+        }
+    }
+
+    /// `out = lhs(m x k)^T * rhs(m x n)`, overwriting `out` (`k x n`).
+    ///
+    /// Identical panel structure with the roles swapped: the shared
+    /// dimension is `m` (rows of both inputs), and the packed "left" panel
+    /// holds a *column pair* of `lhs` gathered across the row panel.
+    pub fn t_matmul_into(lhs: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+        debug_assert_eq!(lhs.len(), m * k);
+        debug_assert_eq!(rhs.len(), m * n);
+        debug_assert_eq!(out.len(), k * n);
+        out.fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let mut apack = [0.0f32; 2 * KC];
+        let mut rb = 0;
+        while rb < m {
+            let rc = KC.min(m - rb);
+            let rhs_panel = &rhs[rb * n..(rb + rc) * n];
+            let mut c = 0;
+            while c + 1 < k {
+                for (p, r) in (rb..rb + rc).enumerate() {
+                    apack[p] = lhs[r * k + c];
+                    apack[KC + p] = lhs[r * k + c + 1];
+                }
+                let (head, tail) = out.split_at_mut((c + 1) * n);
+                let out0 = &mut head[c * n..];
+                let out1 = &mut tail[..n];
+                accumulate_two_rows(&apack, rc, rhs_panel, n, out0, out1);
+                c += 2;
+            }
+            if c < k {
+                for (p, r) in (rb..rb + rc).enumerate() {
+                    apack[p] = lhs[r * k + c];
+                }
+                accumulate_one_row(&apack[..rc], rhs_panel, n, &mut out[c * n..(c + 1) * n]);
+            }
+            rb += rc;
+        }
+    }
+
+    /// `out = lhs(m x k) * rhs(n x k)^T`, overwriting `out` (`m x n`).
+    ///
+    /// Both operands are traversed along contiguous rows; each output
+    /// element is a dot product. Four dots are computed per pass so the
+    /// `lhs` row is loaded once per four `rhs` rows.
+    pub fn matmul_t_into(lhs: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+        debug_assert_eq!(lhs.len(), m * k);
+        debug_assert_eq!(rhs.len(), n * k);
+        debug_assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            let a_row = &lhs[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 3 < n {
+                let b0 = &rhs[j * k..(j + 1) * k];
+                let b1 = &rhs[(j + 1) * k..(j + 2) * k];
+                let b2 = &rhs[(j + 2) * k..(j + 3) * k];
+                let b3 = &rhs[(j + 3) * k..(j + 4) * k];
+                let (mut d0, mut d1, mut d2, mut d3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for ((((&a, &x0), &x1), &x2), &x3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                    d0 += a * x0;
+                    d1 += a * x1;
+                    d2 += a * x2;
+                    d3 += a * x3;
+                }
+                out_row[j] = d0;
+                out_row[j + 1] = d1;
+                out_row[j + 2] = d2;
+                out_row[j + 3] = d3;
+                j += 4;
+            }
+            while j < n {
+                let b_row = &rhs[j * k..(j + 1) * k];
+                out_row[j] = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+                j += 1;
+            }
+        }
+    }
+
+    /// `2x4` register tile: accumulates four shared-dimension steps into
+    /// two output rows per pass. `a` packs the two left rows at offsets
+    /// `0` and [`KC`]; `rhs_panel` holds `kc` contiguous right rows.
+    fn accumulate_two_rows(
+        a: &[f32; 2 * KC],
+        kc: usize,
+        rhs_panel: &[f32],
+        n: usize,
+        out0: &mut [f32],
+        out1: &mut [f32],
+    ) {
+        let mut kk = 0;
+        while kk + 3 < kc {
+            let (a00, a01, a02, a03) = (a[kk], a[kk + 1], a[kk + 2], a[kk + 3]);
+            let (a10, a11, a12, a13) = (a[KC + kk], a[KC + kk + 1], a[KC + kk + 2], a[KC + kk + 3]);
+            let b0 = &rhs_panel[kk * n..(kk + 1) * n];
+            let b1 = &rhs_panel[(kk + 1) * n..(kk + 2) * n];
+            let b2 = &rhs_panel[(kk + 2) * n..(kk + 3) * n];
+            let b3 = &rhs_panel[(kk + 3) * n..(kk + 4) * n];
+            for (((((o0, o1), &x0), &x1), &x2), &x3) in out0
+                .iter_mut()
+                .zip(out1.iter_mut())
+                .zip(b0)
+                .zip(b1)
+                .zip(b2)
+                .zip(b3)
+            {
+                *o0 += a00 * x0 + a01 * x1 + a02 * x2 + a03 * x3;
+                *o1 += a10 * x0 + a11 * x1 + a12 * x2 + a13 * x3;
+            }
+            kk += 4;
+        }
+        while kk < kc {
+            let (a0, a1) = (a[kk], a[KC + kk]);
+            let b_row = &rhs_panel[kk * n..(kk + 1) * n];
+            for ((o0, o1), &b) in out0.iter_mut().zip(out1.iter_mut()).zip(b_row) {
+                *o0 += a0 * b;
+                *o1 += a1 * b;
+            }
+            kk += 1;
+        }
+    }
+
+    /// Single-row tail of the tile: same four-step unrolling, one output.
+    fn accumulate_one_row(a: &[f32], rhs_panel: &[f32], n: usize, out: &mut [f32]) {
+        let kc = a.len();
+        let mut kk = 0;
+        while kk + 3 < kc {
+            let (a0, a1, a2, a3) = (a[kk], a[kk + 1], a[kk + 2], a[kk + 3]);
+            let b0 = &rhs_panel[kk * n..(kk + 1) * n];
+            let b1 = &rhs_panel[(kk + 1) * n..(kk + 2) * n];
+            let b2 = &rhs_panel[(kk + 2) * n..(kk + 3) * n];
+            let b3 = &rhs_panel[(kk + 3) * n..(kk + 4) * n];
+            for ((((o, &x0), &x1), &x2), &x3) in out.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                *o += a0 * x0 + a1 * x1 + a2 * x2 + a3 * x3;
+            }
+            kk += 4;
+        }
+        while kk < kc {
+            let a0 = a[kk];
+            let b_row = &rhs_panel[kk * n..(kk + 1) * n];
+            for (o, &b) in out.iter_mut().zip(b_row) {
+                *o += a0 * b;
+            }
+            kk += 1;
         }
     }
 }
@@ -623,6 +901,59 @@ mod tests {
         for threads in [1, 2, 4, 8] {
             assert!(a.matmul_parallel(&b, threads).approx_eq(&serial, 1e-4));
         }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_across_shapes() {
+        // Shapes straddling the tile boundaries: odd rows, k remainders,
+        // k larger than one panel, and tiny edges.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 2),
+            (5, 7, 3),
+            (8, 256, 4),
+            (7, 300, 5),
+            (3, 513, 9),
+            (33, 17, 31),
+        ] {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 11 + c * 5) % 9) as f32 - 4.0);
+            let blocked = a.matmul(&b);
+            let naive = a.matmul_naive(&b);
+            assert!(
+                blocked.approx_eq(&naive, 1e-3),
+                "blocked != naive at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_output() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Matrix::full(2, 2, 99.0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, m(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+
+        let mut t_out = Matrix::full(3, 2, 99.0);
+        a.t_matmul_into(&m(2, 2, &[1.0, 0.0, 0.0, 1.0]), &mut t_out);
+        assert!(t_out.approx_eq(&a.transpose(), 1e-6));
+
+        let mut mt_out = Matrix::full(2, 2, 99.0);
+        a.matmul_t_into(&a, &mut mt_out);
+        assert!(mt_out.approx_eq(&a.matmul(&a.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn kernels_handle_zero_heavy_inputs() {
+        // The old kernel special-cased a == 0.0; the blocked one must stay
+        // correct (not fast-pathed) on sparse data.
+        let a = Matrix::from_fn(9, 20, |r, c| if (r + c) % 5 == 0 { 2.5 } else { 0.0 });
+        let b = Matrix::from_fn(20, 6, |r, c| if r % 3 == 0 { c as f32 } else { 0.0 });
+        assert!(a.matmul(&b).approx_eq(&a.matmul_naive(&b), 1e-4));
+        assert!(a
+            .t_matmul(&Matrix::identity(9).matmul(&a))
+            .approx_eq(&a.transpose().matmul(&a), 1e-3));
     }
 
     #[test]

@@ -69,6 +69,43 @@ proptest! {
     }
 
     #[test]
+    fn blocked_matmul_matches_naive_reference((a, b) in matmul_pair()) {
+        // The cache-blocked kernel must agree with the retained scalar
+        // reference for arbitrary shapes and contents.
+        prop_assert!(a.matmul(&b).approx_eq(&a.matmul_naive(&b), 1e-2));
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_kernels((a, b) in matmul_pair()) {
+        // Stale output contents must not leak into any _into result.
+        let mut out = Matrix::full(a.rows(), b.cols(), f32::NAN);
+        a.matmul_into(&b, &mut out);
+        prop_assert!(out.approx_eq(&a.matmul(&b), 1e-3));
+
+        let at = a.transpose();
+        let mut t_out = Matrix::full(a.rows(), b.cols(), f32::NAN);
+        at.t_matmul_into(&b, &mut t_out);
+        prop_assert!(t_out.approx_eq(&a.matmul(&b), 1e-2));
+
+        let bt = b.transpose();
+        let mut mt_out = Matrix::full(a.rows(), b.cols(), f32::NAN);
+        a.matmul_t_into(&bt, &mut mt_out);
+        prop_assert!(mt_out.approx_eq(&a.matmul(&b), 1e-2));
+    }
+
+    #[test]
+    fn wide_shared_dimension_crosses_panel_boundary(
+        m in 1usize..4,
+        n in 1usize..4,
+        k in 250usize..260,
+    ) {
+        // k straddles the kernel's KC=256 panel width.
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 5 + c * 13) % 7) as f32 - 3.0);
+        prop_assert!(a.matmul(&b).approx_eq(&a.matmul_naive(&b), 1e-1));
+    }
+
+    #[test]
     fn add_commutes(a in small_matrix()) {
         let b = a.map(|x| x * 0.5 - 1.0);
         prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-4));

@@ -22,7 +22,7 @@ impl Extractor for OwnedCharExtractor {
         self.model.hidden()
     }
 
-    fn extract(&self, records: &[Record], unit_ids: &[usize]) -> deepbase_tensor::Matrix {
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> deepbase_tensor::Matrix {
         CharModelExtractor::new(&self.model).extract(records, unit_ids)
     }
 }

@@ -13,7 +13,10 @@ use deepbase::workloads::nmt;
 
 fn main() -> Result<(), DniError> {
     println!("== POS probes on a seq2seq encoder (trained vs untrained) ==\n");
-    let workload = nmt::build(&nmt::NmtWorkloadConfig { n_sentences: 160, seed: 3 });
+    let workload = nmt::build(&nmt::NmtWorkloadConfig {
+        n_sentences: 160,
+        seed: 3,
+    });
     println!(
         "corpus: {} sentence pairs, mean source length {:.1} tokens, tags: {:?}",
         workload.corpus.pairs.len(),
@@ -52,11 +55,20 @@ fn main() -> Result<(), DniError> {
         results.push((name, frame));
     }
 
-    println!("\n{:<10} {:>10} {:>12}", "tag", "trained F1", "untrained F1");
+    println!(
+        "\n{:<10} {:>10} {:>12}",
+        "tag", "trained F1", "untrained F1"
+    );
     for tag in &tags {
         let hyp_id = format!("pos:{tag}");
-        let t = results[0].1.group_score("logreg_l2", &hyp_id).unwrap_or(0.0);
-        let u = results[1].1.group_score("logreg_l2", &hyp_id).unwrap_or(0.0);
+        let t = results[0]
+            .1
+            .group_score("logreg_l2", &hyp_id)
+            .unwrap_or(0.0);
+        let u = results[1]
+            .1
+            .group_score("logreg_l2", &hyp_id)
+            .unwrap_or(0.0);
         println!("{:<10} {:>10.3} {:>12.3}", tag, t, u);
     }
 
@@ -77,7 +89,10 @@ fn main() -> Result<(), DniError> {
         measures: vec![&l1],
     };
     let (frame, _) = inspect(&request, &InspectionConfig::default())?;
-    println!("{:<10} {:>10} {:>10} {:>12} {:>12}", "tag", "L0 F1", "L1 F1", "L0 #units", "L1 #units");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>12}",
+        "tag", "L0 F1", "L1 F1", "L0 #units", "L1 #units"
+    );
     for tag in &tags {
         let hyp_id = format!("pos:{tag}");
         let mut f1 = [0.0f32; 2];

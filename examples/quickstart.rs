@@ -38,7 +38,11 @@ fn main() -> Result<(), DniError> {
     let snapshots = sql::train_model(&workload, 48, 3, 0.02, 0);
     let model = snapshots.last().unwrap();
     let acc = model.accuracy(&workload.train_inputs, &workload.train_targets);
-    println!("model: LSTM with {} hidden units, next-char accuracy {:.1}%\n", model.hidden(), acc * 100.0);
+    println!(
+        "model: LSTM with {} hidden units, next-char accuracy {:.1}%\n",
+        model.hidden(),
+        acc * 100.0
+    );
 
     // 3. Inspect: correlation per unit + L1 logreg per unit group.
     let extractor = CharModelExtractor::new(model);
@@ -49,8 +53,14 @@ fn main() -> Result<(), DniError> {
         .hypotheses
         .iter()
         .filter(|h| {
-            ["select_kw:time", "from_kw:time", "where_kw:time", "number:time", "string_lit:time"]
-                .contains(&h.id())
+            [
+                "select_kw:time",
+                "from_kw:time",
+                "where_kw:time",
+                "number:time",
+                "string_lit:time",
+            ]
+            .contains(&h.id())
         })
         .map(|h| h as &dyn HypothesisFn)
         .collect();
@@ -81,7 +91,10 @@ fn main() -> Result<(), DniError> {
             row.unit, row.hyp_id, row.unit_score
         );
     }
-    println!("\nlogreg-L1 probe F1 per hypothesis (all {} units):", model.hidden());
+    println!(
+        "\nlogreg-L1 probe F1 per hypothesis (all {} units):",
+        model.hidden()
+    );
     let mut seen = std::collections::BTreeSet::new();
     for row in scores.for_measure("logreg_l1") {
         if seen.insert(row.hyp_id.clone()) {

@@ -24,7 +24,13 @@ fn main() -> Result<(), DniError> {
     let snapshots = sql::train_model(&workload, 32, epochs, 0.02, 1);
 
     let logreg = LogRegMeasure::l2(0.001);
-    let tracked = ["select_kw:time", "from_kw:time", "where_kw:time", "order_kw:time", "number:time"];
+    let tracked = [
+        "select_kw:time",
+        "from_kw:time",
+        "where_kw:time",
+        "order_kw:time",
+        "number:time",
+    ];
     let hypotheses: Vec<&dyn HypothesisFn> = workload
         .hypotheses
         .iter()
@@ -32,7 +38,13 @@ fn main() -> Result<(), DniError> {
         .map(|h| h as &dyn HypothesisFn)
         .collect();
 
-    println!("{:<18} {}", "hypothesis", (0..=epochs).map(|e| format!("ep{e:<6}")).collect::<String>());
+    println!(
+        "{:<18} {}",
+        "hypothesis",
+        (0..=epochs)
+            .map(|e| format!("ep{e:<6}"))
+            .collect::<String>()
+    );
     let mut per_epoch_frames = Vec::new();
     for snapshot in &snapshots {
         let extractor = CharModelExtractor::new(snapshot);
@@ -79,7 +91,10 @@ fn main() -> Result<(), DniError> {
         &chosen,
         &alphabet,
         &move |s| vocab.char(s),
-        &VerifyConfig { max_records: 24, ..Default::default() },
+        &VerifyConfig {
+            max_records: 24,
+            ..Default::default()
+        },
     )?;
     println!(
         "  top units   : silhouette {:+.3} over {} baseline / {} treatment swaps",
@@ -97,7 +112,10 @@ fn main() -> Result<(), DniError> {
         &random_units,
         &alphabet,
         &move |s| vocab.char(s),
-        &VerifyConfig { max_records: 24, ..Default::default() },
+        &VerifyConfig {
+            max_records: 24,
+            ..Default::default()
+        },
     )?;
     println!("  random units: silhouette {:+.3}", random.silhouette);
     Ok(())

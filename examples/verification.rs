@@ -50,17 +50,31 @@ fn main() -> Result<(), DniError> {
     // Verification: swap parens with parens (baseline) vs digits (treatment).
     let alphabet: Vec<u32> = (1..workload.vocab.size() as u32).collect();
     let paren_hyp = &hypotheses[0];
-    let config = VerifyConfig { max_records: 24, positions_per_record: 4, ..Default::default() };
+    let config = VerifyConfig {
+        max_records: 24,
+        positions_per_record: 4,
+        ..Default::default()
+    };
 
     let vocab = workload.vocab.clone();
     let top = verify_units(
-        &extractor, &workload.dataset, paren_hyp, &top_units, &alphabet,
-        &move |s| vocab.char(s), &config,
+        &extractor,
+        &workload.dataset,
+        paren_hyp,
+        &top_units,
+        &alphabet,
+        &move |s| vocab.char(s),
+        &config,
     )?;
     let vocab = workload.vocab.clone();
     let random = verify_units(
-        &extractor, &workload.dataset, paren_hyp, &[5, 9, 12, 15], &alphabet,
-        &move |s| vocab.char(s), &config,
+        &extractor,
+        &workload.dataset,
+        paren_hyp,
+        &[5, 9, 12, 15],
+        &alphabet,
+        &move |s| vocab.char(s),
+        &config,
     )?;
     println!("\nsilhouette of Δ-activation clusters (baseline vs treatment):");
     println!("  DeepBase-selected units: {:+.3}", top.silhouette);

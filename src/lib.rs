@@ -10,14 +10,23 @@
 //!   stand-in).
 //! * [`stats`] — statistical measures (scipy/scikit-learn stand-in).
 //! * [`relational`] — mini columnar engine (PostgreSQL/MADLib stand-in).
-//! * [`tensor`] — dense linear algebra (NumPy stand-in).
+//! * [`tensor`] — dense linear algebra (NumPy stand-in), built on cache-
+//!   blocked mat-mul kernels.
+//! * [`runtime`] — the persistent worker pool behind every parallel path
+//!   (the CUDA stand-in). `Device::Parallel(n)` in the engine splits work
+//!   into `n` deterministic chunks and runs them on this pool; workers are
+//!   spawned once per process and reused across extraction, measure
+//!   fan-out and mat-mul calls, so parallel results are always identical
+//!   to `Device::SingleCore`.
 //!
 //! See `examples/` for runnable walkthroughs and `crates/bench` for the
-//! harnesses that regenerate every table and figure of the paper.
+//! harnesses that regenerate every table and figure of the paper (plus
+//! `bench_smoke`, which emits kernel timings as `BENCH_PR1.json`).
 
 pub use deepbase;
 pub use deepbase_lang as lang;
 pub use deepbase_nn as nn;
 pub use deepbase_relational as relational;
+pub use deepbase_runtime as runtime;
 pub use deepbase_stats as stats;
 pub use deepbase_tensor as tensor;

@@ -42,14 +42,17 @@ fn sql_pipeline_end_to_end() {
     };
     let (frame, profile) = inspect(&request, &InspectionConfig::default()).unwrap();
     assert_eq!(frame.len(), n_hyps * model.hidden());
-    assert!(frame.rows.iter().all(|r| (-1.0..=1.0).contains(&r.unit_score)));
+    assert!(frame
+        .rows
+        .iter()
+        .all(|r| (-1.0..=1.0).contains(&r.unit_score)));
     assert!(profile.records_read > 0);
 }
 
 #[test]
 fn trained_model_has_stronger_keyword_affinity_than_untrained() {
     let workload = small_sql_workload();
-    let snapshots = sql::train_model(&workload, 24, 3, 0.02, 1);
+    let snapshots = sql::train_model(&workload, 24, 5, 0.02, 1);
     let untrained = &snapshots[0];
     let trained = snapshots.last().unwrap();
 
@@ -109,15 +112,20 @@ fn engines_agree_on_a_real_model() {
             hypotheses: vec![hyp as &dyn HypothesisFn],
             measures: vec![&corr],
         };
-        let config = InspectionConfig { engine, epsilon: Some(1e-5), ..Default::default() };
-        inspect(&request, &config).unwrap().0.unit_scores("corr", "from_kw:time")
+        let config = InspectionConfig {
+            engine,
+            epsilon: Some(1e-5),
+            ..Default::default()
+        };
+        inspect(&request, &config)
+            .unwrap()
+            .0
+            .unit_scores("corr", "from_kw:time")
     };
     let pybase = run(EngineKind::PyBase);
     let deepbase_scores = run(EngineKind::DeepBase);
     let madlib = run(EngineKind::Madlib);
-    for ((u, a), ((_, b), (_, c))) in
-        pybase.iter().zip(deepbase_scores.iter().zip(madlib.iter()))
-    {
+    for ((u, a), ((_, b), (_, c))) in pybase.iter().zip(deepbase_scores.iter().zip(madlib.iter())) {
         assert!((a - b).abs() < 0.02, "unit {u}: pybase {a} vs deepbase {b}");
         assert!((a - c).abs() < 0.02, "unit {u}: pybase {a} vs madlib {c}");
     }
@@ -146,10 +154,8 @@ fn specialized_units_outscore_free_units_and_verify() {
     };
     let (frame, _) = inspect(&request, &InspectionConfig::default()).unwrap();
     let scores = frame.unit_scores("corr", "paren_symbols");
-    let spec_mean: f32 =
-        scores.iter().take(4).map(|(_, s)| s.abs()).sum::<f32>() / 4.0;
-    let free_mean: f32 =
-        scores.iter().skip(4).map(|(_, s)| s.abs()).sum::<f32>() / 12.0;
+    let spec_mean: f32 = scores.iter().take(4).map(|(_, s)| s.abs()).sum::<f32>() / 4.0;
+    let free_mean: f32 = scores.iter().skip(4).map(|(_, s)| s.abs()).sum::<f32>() / 12.0;
     assert!(
         spec_mean > free_mean,
         "specialized mean |r| {spec_mean} vs free {free_mean}"
@@ -165,7 +171,10 @@ fn specialized_units_outscore_free_units_and_verify() {
         &[0, 1, 2, 3],
         &alphabet,
         &move |s| vocab.char(s),
-        &VerifyConfig { max_records: 20, ..Default::default() },
+        &VerifyConfig {
+            max_records: 20,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(result.n_baseline() > 0);
@@ -175,7 +184,10 @@ fn specialized_units_outscore_free_units_and_verify() {
 
 #[test]
 fn nmt_probe_runs_over_encoder_layers() {
-    let workload = nmt::build(&nmt::NmtWorkloadConfig { n_sentences: 200, seed: 5 });
+    let workload = nmt::build(&nmt::NmtWorkloadConfig {
+        n_sentences: 200,
+        seed: 5,
+    });
     let model = nmt::train_model(&workload, 16, 16, 12, 0.01, 6);
     let extractor = Seq2SeqEncoderExtractor::new(&model);
     let hypotheses = nmt::tag_hypotheses(&workload, &["DT", "."]);
@@ -223,7 +235,7 @@ fn inspect_query_over_real_catalog() {
         fn n_units(&self) -> usize {
             self.0.hidden()
         }
-        fn extract(&self, records: &[Record], units: &[usize]) -> deepbase_tensor::Matrix {
+        fn extract(&self, records: &[&Record], units: &[usize]) -> deepbase_tensor::Matrix {
             CharModelExtractor::new(&self.0).extract(records, units)
         }
     }
