@@ -1,0 +1,278 @@
+//! Multi-query sharing benchmark (ISSUE 2): shared-extraction batch
+//! scheduling vs per-query execution.
+//!
+//! Runs a workload of INSPECT queries that all inspect the same model —
+//! the paper's §5 amortization claim — once as N sequential
+//! `run_query` calls and once through `Catalog::run_batch`, on the
+//! single-core and pool-parallel devices, and reports wall-clock plus
+//! extraction-work accounting (records extracted, hypothesis
+//! evaluations). Writes `BENCH_PR2.json` in the current directory.
+//!
+//! Run with: `cargo run --release -p deepbase-bench --bin fig_batch_sharing`
+
+use deepbase::prelude::*;
+use deepbase::query::{run_query, UnitMeta};
+use deepbase_nn::{CharLstmModel, OutputMode};
+use deepbase_tensor::Matrix;
+use std::hint::black_box;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ND: usize = 384;
+const NS: usize = 12;
+const UNITS: usize = 48;
+
+/// Owned char-LSTM extractor: a *real* forward pass per extraction, the
+/// cost the paper's shared-extraction argument is about (the catalog
+/// needs `'static` extractors, so the model is owned rather than
+/// borrowed as in `CharModelExtractor`).
+struct CountingExtractor {
+    model: CharLstmModel,
+    records: Arc<AtomicUsize>,
+}
+
+impl Extractor for CountingExtractor {
+    fn n_units(&self) -> usize {
+        self.model.hidden()
+    }
+
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
+        self.records.fetch_add(records.len(), Ordering::SeqCst);
+        if records.is_empty() {
+            return Matrix::zeros(0, unit_ids.len());
+        }
+        let inputs: Vec<Vec<u32>> = records.iter().map(|r| r.symbols.clone()).collect();
+        let full = self.model.extract_activations(&inputs);
+        let mut out = Matrix::zeros(full.rows(), unit_ids.len());
+        for r in 0..full.rows() {
+            let src = full.row(r);
+            let dst = out.row_mut(r);
+            for (c, &u) in unit_ids.iter().enumerate() {
+                dst[c] = src[u];
+            }
+        }
+        out
+    }
+}
+
+struct CountingHypothesis {
+    inner: FnHypothesis,
+    calls: Arc<AtomicUsize>,
+}
+
+impl HypothesisFn for CountingHypothesis {
+    fn id(&self) -> &str {
+        self.inner.id()
+    }
+
+    fn behavior(&self, record: &Record) -> Result<Vec<f32>, DniError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.behavior(record)
+    }
+}
+
+fn build_catalog() -> (Catalog, Arc<AtomicUsize>, Arc<AtomicUsize>) {
+    let records: Vec<Record> = (0..ND)
+        .map(|i| {
+            let chars: Vec<char> = (0..NS)
+                .map(|t| match (i * 11 + t * 5) % 7 {
+                    0 | 4 => 'a',
+                    1 | 5 => 'b',
+                    2 => 'c',
+                    _ => 'd',
+                })
+                .collect();
+            let symbols: Vec<u32> = chars.iter().map(|&c| c as u32 - 'a' as u32).collect();
+            Record::standalone(i, symbols, chars.into_iter().collect())
+        })
+        .collect();
+    let dataset = Arc::new(Dataset::new("seq", NS, records).unwrap());
+
+    let extracted = Arc::new(AtomicUsize::new(0));
+    let evals = Arc::new(AtomicUsize::new(0));
+    let mut catalog = Catalog::new();
+    catalog.add_model_with_units(
+        "probe",
+        5,
+        Arc::new(CountingExtractor {
+            model: CharLstmModel::new(4, UNITS, OutputMode::LastStep, 42),
+            records: Arc::clone(&extracted),
+        }),
+        (0..UNITS)
+            .map(|uid| UnitMeta {
+                uid,
+                layer: (uid % 2) as i64,
+            })
+            .collect(),
+    );
+
+    let count = |h: FnHypothesis| -> Arc<dyn HypothesisFn> {
+        Arc::new(CountingHypothesis {
+            inner: h,
+            calls: Arc::clone(&evals),
+        })
+    };
+    let is_a = count(FnHypothesis::char_class("is_a", |c| c == 'a'));
+    let is_b = count(FnHypothesis::char_class("is_b", |c| c == 'b'));
+    let is_c = count(FnHypothesis::char_class("is_c", |c| c == 'c'));
+    let counter = count(FnHypothesis::position_counter());
+    catalog.add_hypotheses("chars", vec![Arc::clone(&is_a), is_b, is_c]);
+    catalog.add_hypotheses("position", vec![counter, is_a]);
+    catalog.add_dataset("seq", dataset);
+    (catalog, extracted, evals)
+}
+
+/// Eight queries over one model: overlapping hypothesis sets, varied unit
+/// filters, GROUP BY, HAVING, and measures — the "many hypotheses over
+/// one model" workload the batch scheduler amortizes.
+const QUERIES: [&str; 8] = [
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D HAVING S.unit_score > 0.5",
+    "SELECT S.group_id, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE H.name = 'chars' GROUP BY U.layer",
+    "SELECT S.uid, S.hyp_id, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D WHERE H.name = 'position'",
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE U.layer = 0 HAVING S.unit_score > 0.3",
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE U.layer = 1 AND H.name = 'chars'",
+    "SELECT S.uid, S.unit_score, S.group_score INSPECT U.uid AND H.h USING mutual_info \
+     OVER D.seq AS S FROM models M, units U, hypotheses H, inputs D \
+     WHERE U.uid < 6 AND H.name = 'chars'",
+    "SELECT S.uid, S.group_score INSPECT U.uid AND H.h USING logreg_l1 OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE U.uid < 16 AND H.name = 'position'",
+    "SELECT M.epoch, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D HAVING S.group_score > 0.2",
+];
+
+fn time_runs(mut f: impl FnMut()) -> f64 {
+    f(); // warm up
+    let mut samples = Vec::new();
+    let mut spent = Duration::ZERO;
+    while samples.len() < 9 && (spent < Duration::from_millis(1500) || samples.len() < 3) {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        spent += elapsed;
+        samples.push(elapsed.as_secs_f64() * 1e9);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, ns: f64| {
+        println!("{name:<44} {ns:>14.0} ns");
+        entries.push((name.to_string(), ns));
+    };
+
+    let config = |device: Device| InspectionConfig {
+        device,
+        block_records: 64,
+        ..Default::default()
+    };
+
+    // Wall-clock: N sequential executions vs one shared batch, both devices.
+    let (catalog, _, _) = build_catalog();
+    for (i, q) in QUERIES.iter().enumerate() {
+        let cfg = config(Device::SingleCore);
+        let t = Instant::now();
+        let _ = run_query(q, &catalog, &cfg).unwrap();
+        println!("query {i}: {:>10.1} us", t.elapsed().as_secs_f64() * 1e6);
+    }
+    for (device, tag) in [
+        (Device::SingleCore, "single"),
+        (Device::Parallel(4), "parallel_t4"),
+    ] {
+        let cfg = config(device);
+        // Correctness gate before timing: identical tables.
+        let sequential: Vec<_> = QUERIES
+            .iter()
+            .map(|q| run_query(q, &catalog, &cfg).unwrap())
+            .collect();
+        let batch = catalog.run_batch(&QUERIES, &cfg).unwrap();
+        assert_eq!(
+            batch.tables, sequential,
+            "batch must match sequential execution"
+        );
+        record(
+            &format!("multi_query_sequential_{tag}"),
+            time_runs(|| {
+                for q in &QUERIES {
+                    black_box(run_query(q, &catalog, &cfg).unwrap());
+                }
+            }),
+        );
+        record(
+            &format!("multi_query_batch_{tag}"),
+            time_runs(|| {
+                black_box(catalog.run_batch(&QUERIES, &cfg).unwrap());
+            }),
+        );
+    }
+
+    // Work accounting on fresh catalogs (tight epsilon: full passes, so
+    // the counts are exact rather than convergence-dependent).
+    let tight = InspectionConfig {
+        epsilon: Some(1e-9),
+        block_records: 64,
+        ..Default::default()
+    };
+    let (catalog, extracted, evals) = build_catalog();
+    for q in &QUERIES {
+        let _ = run_query(q, &catalog, &tight).unwrap();
+    }
+    let seq_extracted = extracted.load(Ordering::SeqCst);
+    let seq_evals = evals.load(Ordering::SeqCst);
+
+    let (catalog, extracted, evals) = build_catalog();
+    let batch = catalog.run_batch(&QUERIES, &tight).unwrap();
+    let batch_extracted = extracted.load(Ordering::SeqCst);
+    let batch_evals = evals.load(Ordering::SeqCst);
+    assert_eq!(batch.report.groups.len(), 1);
+    assert_eq!(batch.report.groups[0].extraction_passes, 1);
+
+    println!("records extracted : sequential {seq_extracted}, batch {batch_extracted}");
+    println!("hypothesis evals  : sequential {seq_evals}, batch {batch_evals}");
+
+    let seq_single = entries
+        .iter()
+        .find(|(n, _)| n == "multi_query_sequential_single")
+        .unwrap()
+        .1;
+    let batch_single = entries
+        .iter()
+        .find(|(n, _)| n == "multi_query_batch_single")
+        .unwrap()
+        .1;
+    let speedup = seq_single / batch_single;
+    println!("shared-batch speedup (single-core): {speedup:.2}x");
+
+    let mut json = String::from("{\n  \"pr\": 2,\n  \"benchmarks\": {\n");
+    for (name, ns) in &entries {
+        json.push_str(&format!("    \"{name}\": {{\"ns_per_iter\": {ns:.1}}},\n"));
+    }
+    json.push_str(&format!(
+        "    \"speedup_single_core\": {{\"x\": {speedup:.3}}}\n  }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"extraction\": {{\n    \"sequential_records_extracted\": {seq_extracted},\n    \
+         \"batch_records_extracted\": {batch_extracted},\n    \
+         \"sequential_hypothesis_evals\": {seq_evals},\n    \
+         \"batch_hypothesis_evals\": {batch_evals},\n    \
+         \"queries\": {},\n    \"extraction_passes\": 1\n  }}\n}}\n",
+        QUERIES.len()
+    ));
+    let path = "BENCH_PR2.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_PR2.json");
+    println!("wrote {path}");
+}

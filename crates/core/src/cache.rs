@@ -82,10 +82,19 @@ impl HypothesisCache {
         }
         let value = Arc::new(compute()?);
         let mut inner = self.inner.lock();
-        let size = value.len() * std::mem::size_of::<f32>();
-        inner.bytes += size;
         inner.clock += 1;
         let clock = inner.clock;
+        // Another thread may have missed on the same key concurrently and
+        // published its result while we were computing. Reuse that entry:
+        // blindly inserting would overwrite it while `bytes` kept both
+        // charges, drifting the byte accounting upward forever and causing
+        // spurious evictions under a long-lived shared batch cache.
+        if let Some(existing) = inner.map.get_mut(&key) {
+            existing.1 = clock;
+            return Ok(Arc::clone(&existing.0));
+        }
+        let size = value.len() * std::mem::size_of::<f32>();
+        inner.bytes += size;
         inner.map.insert(key, (Arc::clone(&value), clock));
         while inner.bytes > self.capacity_bytes && inner.map.len() > 1 {
             let victim = inner
@@ -199,6 +208,47 @@ mod tests {
             })
             .unwrap();
         assert!(b_recomputed, "b must have been evicted");
+    }
+
+    #[test]
+    fn concurrent_duplicate_misses_do_not_leak_bytes() {
+        // Two threads miss on the same key and both compute. The loser of
+        // the publish race must reuse the winner's entry: historically the
+        // second insert overwrote the first while `bytes` was charged
+        // twice, so `bytes` drifted upward forever and a long-lived shared
+        // batch cache evicted spuriously.
+        let cache = HypothesisCache::new(1 << 20);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let results: Vec<Arc<Vec<f32>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        cache
+                            .get_or_compute("d", "h", 0, || {
+                                // Both threads are inside `compute` at the
+                                // same time, so both necessarily missed.
+                                barrier.wait();
+                                ok(vec![0.0; 64])
+                            })
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.bytes(),
+            64 * std::mem::size_of::<f32>(),
+            "bytes must match the single cached entry"
+        );
+        assert_eq!(cache.stats().misses, 2, "both lookups were real misses");
+        assert!(
+            Arc::ptr_eq(&results[0], &results[1]),
+            "racing computes must settle on one shared entry"
+        );
     }
 
     #[test]

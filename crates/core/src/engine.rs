@@ -33,16 +33,55 @@
 //!
 //! Records are shuffled by **index** and processed through `&[&Record]`
 //! borrows; no record payload is cloned per inspection.
+//!
+//! ## Multi-query sharing
+//!
+//! Inspection amortizes (§5): many hypotheses and measures over the same
+//! model share one extraction pass. [`inspect_shared`] is the multi-request
+//! entry point behind the batch scheduler in [`crate::query`]: it takes N
+//! member requests that name the *same* `(extractor, dataset)` pair and
+//! runs them through a **single** streaming pass —
+//!
+//! * unit behaviors are extracted once per block for the *union* of all
+//!   member unit columns and demuxed per group
+//!   ([`crate::extract::ColumnDemux`]);
+//! * hypothesis columns are evaluated once per block for the union of
+//!   member hypotheses (deduplicated by function identity, so Arc-shared
+//!   catalog sets collapse while same-id-different-function
+//!   registrations stay separate), and only while some unconverged
+//!   consumer still needs them;
+//! * measure states are deduplicated across members: an independent
+//!   measure shares one state per `(units, measure, hypothesis)`, a
+//!   merged measure one composite state per `(units, measure, hypothesis
+//!   list)` — the exact keys that keep every member's scores bit-identical
+//!   to a standalone [`inspect`] call;
+//! * every unique pair is emitted once into a merged [`ResultFrame`] and
+//!   member frames are reassembled from row spans
+//!   ([`ResultFrame::demux`]), with per-member rows-read/timing reported
+//!   in [`SharedOutcome`].
+//!
+//! Sharing requires that measure ids uniquely identify their behavior
+//! within one shared pass (the catalog registers measures by id, so
+//! catalog-driven batches satisfy this by construction), and that
+//! extractors are column-wise consistent (all in-tree extractors compute
+//! full activation rows and select columns). Hypotheses need no id
+//! uniqueness — they are deduplicated by function identity — but a
+//! configured [`HypothesisCache`] keys on `(dataset id, hypothesis id,
+//! record)`, so callers must not combine a cache with same-id-different-
+//! function hypotheses (the batch scheduler detects this and withholds
+//! its implicit cache). The single-request streaming engine is the
+//! one-member special case of the same implementation.
 
 use crate::cache::HypothesisCache;
 use crate::error::DniError;
-use crate::extract::Extractor;
+use crate::extract::{ColumnDemux, Extractor};
 use crate::measure::{Measure, MeasureKind, MeasureState, MergedState};
 use crate::model::{validate_behavior, Dataset, HypothesisFn, Record, UnitGroup};
-use crate::result::{ResultFrame, ScoreRow};
+use crate::result::{ResultFrame, RowSpan, ScoreRow};
 use deepbase_relational as rel;
 use deepbase_stats::split::shuffled_indices;
 use deepbase_tensor::Matrix;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -130,6 +169,24 @@ pub struct Profile {
     pub madlib_stats: Option<rel::ExecStats>,
 }
 
+impl Profile {
+    /// Adds another profile's counters and timings into this one (used to
+    /// total a query's cost across shared-extraction groups).
+    pub fn accumulate(&mut self, other: &Profile) {
+        self.unit_extraction += other.unit_extraction;
+        self.hypothesis_extraction += other.hypothesis_extraction;
+        self.inspection += other.inspection;
+        self.total += other.total;
+        self.records_read += other.records_read;
+        self.blocks_processed += other.blocks_processed;
+        if let Some(theirs) = &other.madlib_stats {
+            let ours = self.madlib_stats.get_or_insert_with(Default::default);
+            ours.full_scans += theirs.full_scans;
+            ours.rows_scanned += theirs.rows_scanned;
+        }
+    }
+}
+
 /// One inspection request: the general problem of paper Def. 2 for a
 /// single model (run once per model to compare models).
 pub struct InspectionRequest<'a> {
@@ -147,11 +204,7 @@ pub struct InspectionRequest<'a> {
     pub measures: Vec<&'a dyn Measure>,
 }
 
-/// Runs an inspection, returning the score frame and a cost profile.
-pub fn inspect(
-    req: &InspectionRequest<'_>,
-    config: &InspectionConfig,
-) -> Result<(ResultFrame, Profile), DniError> {
+fn validate_config(config: &InspectionConfig) -> Result<(), DniError> {
     if config.block_records == 0 {
         return Err(DniError::BadConfig("block_records must be >= 1".into()));
     }
@@ -160,6 +213,10 @@ pub fn inspect(
             return Err(DniError::BadConfig("epsilon must be > 0".into()));
         }
     }
+    Ok(())
+}
+
+fn validate_request(req: &InspectionRequest<'_>) -> Result<(), DniError> {
     for g in &req.groups {
         if g.units.is_empty() {
             return Err(DniError::BadUnitGroup {
@@ -177,6 +234,16 @@ pub fn inspect(
             });
         }
     }
+    Ok(())
+}
+
+/// Runs an inspection, returning the score frame and a cost profile.
+pub fn inspect(
+    req: &InspectionRequest<'_>,
+    config: &InspectionConfig,
+) -> Result<(ResultFrame, Profile), DniError> {
+    validate_config(config)?;
+    validate_request(req)?;
     if req.dataset.is_empty() {
         return Ok((ResultFrame::default(), Profile::default()));
     }
@@ -477,163 +544,576 @@ fn process_hypotheses_parallel(
 }
 
 // ---------------------------------------------------------------------
-// Streaming engine: DeepBase
+// Streaming engine: DeepBase (single-request and shared multi-request)
 // ---------------------------------------------------------------------
+
+/// Outcome of a shared multi-request pass ([`inspect_shared`]).
+#[derive(Debug, Default)]
+pub struct SharedOutcome {
+    /// Per-member score frames and profiles, in request order. A member's
+    /// frame and scores are bit-identical to what a standalone
+    /// [`inspect`] call would produce for the same request.
+    pub results: Vec<(ResultFrame, Profile)>,
+    /// Every unique `(group units, measure, hypothesis)` pair, emitted
+    /// once (the frame member frames are demuxed from). Left empty on
+    /// the non-streaming fallback path, and for a single-member batch
+    /// whose frame would equal it verbatim — in both cases populating it
+    /// would only duplicate `results` allocations.
+    pub merged: ResultFrame,
+    /// Accounting for the shared streaming pass itself: the union stream's
+    /// records/blocks and phase timings.
+    pub pass: Profile,
+    /// Extraction passes over the dataset: 1 on the shared streaming
+    /// path, one per member on the fallback path.
+    pub extraction_passes: usize,
+}
+
+/// Identity of one deduplicated measure-state slot. Hypotheses are
+/// identified by their union column index (function identity), not id
+/// string, so same-id-different-function registrations never conflate.
+#[derive(PartialEq, Eq, Hash)]
+enum SlotKey {
+    /// `(units, measure id, hypothesis column)` — independent measures
+    /// score each pair in isolation, so any member naming the same triple
+    /// can share the state.
+    PerHyp(Vec<usize>, String, usize),
+    /// `(units, measure id, ordered hypothesis columns)` — a merged state
+    /// trains one composite model over its full hypothesis list, so the
+    /// exact list is part of the identity (anything less would change
+    /// member scores).
+    Merged(Vec<usize>, String, Vec<usize>),
+}
+
+enum SlotState {
+    PerHyp {
+        /// `None` once converged (stop feeding).
+        state: Option<Box<dyn MeasureState>>,
+        /// Column index into the union hypothesis set.
+        hyp: usize,
+        result: Option<PairResult>,
+    },
+    Merged {
+        state: Box<dyn MergedState>,
+        /// Column indices into the union hypothesis set, in slot order.
+        hyps: Vec<usize>,
+        done: bool,
+        results: Vec<Option<PairResult>>,
+    },
+}
+
+struct SharedSlot {
+    /// Index into the unique unit-selection list.
+    sel: usize,
+    eps: f32,
+    measure_id: String,
+    /// Canonical ids for merged-frame rows (first registrant; members
+    /// rebrand during demux).
+    model_id: String,
+    group_id: String,
+    state: SlotState,
+}
+
+impl SharedSlot {
+    fn converged(&self) -> bool {
+        match &self.state {
+            SlotState::PerHyp { state, .. } => state.is_none(),
+            SlotState::Merged { done, .. } => *done,
+        }
+    }
+}
+
+/// A member's handle on its (group, measure) slots, in the member's
+/// canonical emission order.
+enum MemberSlots {
+    /// One shared slot per member hypothesis, in member hypothesis order.
+    PerHyp(Vec<usize>),
+    Merged(usize),
+}
+
+struct MemberEntry {
+    slots: MemberSlots,
+    group_id: String,
+}
+
+struct MemberRun {
+    entries: Vec<MemberEntry>,
+    live: bool,
+    profile: Profile,
+}
 
 fn inspect_streaming(
     req: &InspectionRequest<'_>,
     config: &InspectionConfig,
 ) -> Result<(ResultFrame, Profile), DniError> {
-    let t_start = Instant::now();
-    let mut profile = Profile::default();
-    let ns = req.dataset.ns;
-    let records = shuffled_records(req.dataset, config.seed);
+    let mut outcome = inspect_shared(std::slice::from_ref(req), config)?;
+    Ok(outcome.results.pop().expect("one member, one result"))
+}
 
-    // Active per-pair states. Merged measures get one composite state per
-    // (group, measure) covering all hypotheses.
-    enum Slot {
-        PerHyp {
-            states: Vec<Option<Box<dyn MeasureState>>>,
-            eps: f32,
-        },
-        Merged {
-            state: Box<dyn MergedState>,
-            done: bool,
-            eps: f32,
-        },
+/// Runs several inspection requests over the **same** `(extractor,
+/// dataset)` pair through one shared streaming extraction pass (see the
+/// module docs, *Multi-query sharing*). Member scores are bit-identical
+/// to standalone [`inspect`] calls; redundant work — unit extraction,
+/// hypothesis evaluation, measure states shared between members — is done
+/// once. For non-streaming engine kinds the members are executed
+/// individually (sharing only the configured hypothesis cache).
+pub fn inspect_shared(
+    reqs: &[InspectionRequest<'_>],
+    config: &InspectionConfig,
+) -> Result<SharedOutcome, DniError> {
+    validate_config(config)?;
+    if reqs.is_empty() {
+        return Ok(SharedOutcome::default());
     }
-    let mut slots: Vec<(usize, usize, Slot)> = Vec::new(); // (group, measure, slot)
-    for (gi, group) in req.groups.iter().enumerate() {
-        for (mi, measure) in req.measures.iter().enumerate() {
-            let eps = epsilon_for(*measure, config);
-            let slot = match measure.new_merged_state(group.units.len(), req.hypotheses.len()) {
-                Some(state) => Slot::Merged {
-                    state,
-                    done: false,
-                    eps,
-                },
-                None => Slot::PerHyp {
-                    states: (0..req.hypotheses.len())
-                        .map(|_| Some(measure.new_state(group.units.len())))
-                        .collect(),
-                    eps,
-                },
-            };
-            slots.push((gi, mi, slot));
+    let extractor = reqs[0].extractor;
+    let dataset = reqs[0].dataset;
+    for req in reqs {
+        validate_request(req)?;
+        let same_extractor = std::ptr::eq(
+            req.extractor as *const dyn Extractor as *const u8,
+            extractor as *const dyn Extractor as *const u8,
+        );
+        if !same_extractor || !std::ptr::eq(req.dataset, dataset) {
+            return Err(DniError::BadConfig(
+                "inspect_shared members must share one (extractor, dataset) pair".into(),
+            ));
         }
     }
-    // Final scores per (group, measure, hyp), filled as pairs converge.
-    let mut finals: Vec<Vec<Vec<Option<PairResult>>>> =
-        vec![vec![vec![None; req.hypotheses.len()]; req.measures.len()]; req.groups.len()];
+    if dataset.is_empty() {
+        return Ok(SharedOutcome {
+            results: reqs
+                .iter()
+                .map(|_| (ResultFrame::default(), Profile::default()))
+                .collect(),
+            merged: ResultFrame::default(),
+            pass: Profile::default(),
+            extraction_passes: 0,
+        });
+    }
+    if config.engine != EngineKind::DeepBase {
+        // The materializing engines keep their per-request shape; members
+        // still share the hypothesis cache configured by the caller.
+        let mut outcome = SharedOutcome {
+            extraction_passes: reqs.len(),
+            ..SharedOutcome::default()
+        };
+        for req in reqs {
+            let (frame, profile) = inspect(req, config)?;
+            outcome.pass.accumulate(&profile);
+            outcome.results.push((frame, profile));
+        }
+        return Ok(outcome);
+    }
 
+    let t_start = Instant::now();
+    let ns = dataset.ns;
+    let records = shuffled_records(dataset, config.seed);
+
+    // Union of all unit columns any member needs, extracted once per block.
+    let mut union_units: Vec<usize> = reqs
+        .iter()
+        .flat_map(|r| r.groups.iter().flat_map(|g| g.units.iter().copied()))
+        .collect();
+    union_units.sort_unstable();
+    union_units.dedup();
+
+    // Union of member hypotheses, deduplicated by *function identity*
+    // (data pointer), not by id string: two different functions may be
+    // registered under the same id (nothing enforces uniqueness), and
+    // conflating them would silently diverge from standalone execution.
+    // Pointer-equal hypotheses (the catalog's Arc-shared sets) still
+    // collapse into one column.
+    let hyp_ptr = |h: &dyn HypothesisFn| h as *const dyn HypothesisFn as *const u8;
+    let mut union_hyps: Vec<&dyn HypothesisFn> = Vec::new();
+    let mut hyp_col_of: HashMap<*const u8, usize> = HashMap::new();
+    for req in reqs {
+        for hyp in &req.hypotheses {
+            hyp_col_of.entry(hyp_ptr(*hyp)).or_insert_with(|| {
+                union_hyps.push(*hyp);
+                union_hyps.len() - 1
+            });
+        }
+    }
+
+    // Unique unit selections (one column demux each, with the identity
+    // check precomputed) and shared slots.
+    struct Selection {
+        units: Vec<usize>,
+        demux: ColumnDemux,
+        identity: bool,
+    }
+    let mut selections: Vec<Selection> = Vec::new();
+    let mut sel_of: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut slots: Vec<SharedSlot> = Vec::new();
+    let mut slot_of: HashMap<SlotKey, usize> = HashMap::new();
+    // How many unconverged slots still consume each union hypothesis
+    // column; columns with no consumers are not evaluated.
+    let mut hyp_consumers: Vec<usize> = vec![0; union_hyps.len()];
+
+    // Whether a measure supports merged states, memoized per
+    // `(measure id, n_units, n_hyps)` — the exact probe inputs, since the
+    // trait lets the answer depend on the shape — so repeated probes never
+    // allocate a throwaway merged state (e.g. logreg weight matrices).
+    let mut supports_merged: HashMap<(String, usize, usize), bool> = HashMap::new();
+    let mut members: Vec<MemberRun> = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        let mut entries = Vec::new();
+        for group in &req.groups {
+            let sel = *sel_of.entry(group.units.clone()).or_insert_with(|| {
+                let demux = ColumnDemux::new(&union_units, &group.units);
+                selections.push(Selection {
+                    units: group.units.clone(),
+                    identity: demux.is_identity(union_units.len()),
+                    demux,
+                });
+                selections.len() - 1
+            });
+            for measure in &req.measures {
+                let eps = epsilon_for(*measure, config);
+                let probe_key = (
+                    measure.id().to_string(),
+                    group.units.len(),
+                    req.hypotheses.len(),
+                );
+                let mut merged_ref: Option<MemberSlots> = None;
+                if supports_merged.get(&probe_key).copied() != Some(false) {
+                    let hyps: Vec<usize> = req
+                        .hypotheses
+                        .iter()
+                        .map(|h| hyp_col_of[&hyp_ptr(*h)])
+                        .collect();
+                    let key = SlotKey::Merged(group.units.clone(), measure.id().to_string(), hyps);
+                    if let Some(&idx) = slot_of.get(&key) {
+                        merged_ref = Some(MemberSlots::Merged(idx));
+                    } else if let Some(state) =
+                        measure.new_merged_state(group.units.len(), req.hypotheses.len())
+                    {
+                        supports_merged.insert(probe_key, true);
+                        let SlotKey::Merged(_, _, ref hyps) = key else {
+                            unreachable!("key built as Merged above")
+                        };
+                        let hyps = hyps.clone();
+                        for &c in &hyps {
+                            hyp_consumers[c] += 1;
+                        }
+                        slots.push(SharedSlot {
+                            sel,
+                            eps,
+                            measure_id: measure.id().to_string(),
+                            model_id: req.model_id.clone(),
+                            group_id: group.id.clone(),
+                            state: SlotState::Merged {
+                                state,
+                                results: vec![None; req.hypotheses.len()],
+                                hyps,
+                                done: false,
+                            },
+                        });
+                        slot_of.insert(key, slots.len() - 1);
+                        merged_ref = Some(MemberSlots::Merged(slots.len() - 1));
+                    } else {
+                        supports_merged.insert(probe_key, false);
+                    }
+                }
+                let slots_ref = match merged_ref {
+                    Some(slots_ref) => slots_ref,
+                    None => {
+                        let pair_slots: Vec<usize> = req
+                            .hypotheses
+                            .iter()
+                            .map(|hyp| {
+                                let col = hyp_col_of[&hyp_ptr(*hyp)];
+                                let key = SlotKey::PerHyp(
+                                    group.units.clone(),
+                                    measure.id().to_string(),
+                                    col,
+                                );
+                                *slot_of.entry(key).or_insert_with(|| {
+                                    hyp_consumers[col] += 1;
+                                    slots.push(SharedSlot {
+                                        sel,
+                                        eps,
+                                        measure_id: measure.id().to_string(),
+                                        model_id: req.model_id.clone(),
+                                        group_id: group.id.clone(),
+                                        state: SlotState::PerHyp {
+                                            state: Some(measure.new_state(group.units.len())),
+                                            hyp: col,
+                                            result: None,
+                                        },
+                                    });
+                                    slots.len() - 1
+                                })
+                            })
+                            .collect();
+                        MemberSlots::PerHyp(pair_slots)
+                    }
+                };
+                entries.push(MemberEntry {
+                    slots: slots_ref,
+                    group_id: group.id.clone(),
+                });
+            }
+        }
+        members.push(MemberRun {
+            entries,
+            live: false,
+            profile: Profile::default(),
+        });
+    }
+    let member_live = |member: &MemberRun, slots: &[SharedSlot]| {
+        member.entries.iter().any(|e| match &e.slots {
+            MemberSlots::PerHyp(v) => v.iter().any(|&s| !slots[s].converged()),
+            MemberSlots::Merged(s) => !slots[*s].converged(),
+        })
+    };
+    for member in members.iter_mut() {
+        member.live = member_live(member, &slots);
+    }
+
+    // The shared streaming pass: one block of the union stream at a time,
+    // until every member's pairs converged or the records run out.
+    let mut pass = Profile::default();
     let nb = config.block_records;
     let mut block_start = 0usize;
     while block_start < records.len() {
+        let live_at_start: Vec<bool> = members.iter().map(|m| m.live).collect();
+        if !live_at_start.iter().any(|&l| l) {
+            break; // §5.2.3: stop reading the moment everything converged.
+        }
         let block_end = (block_start + nb).min(records.len());
         let block = &records[block_start..block_end];
-        profile.records_read += block.len();
-        profile.blocks_processed += 1;
-
-        // Lazily extract unit behaviors for this block, per group.
-        let t0 = Instant::now();
-        let group_behaviors: Vec<Matrix> = req
-            .groups
-            .iter()
-            .map(|g| extract_records(req.extractor, block, &g.units, config.device, ns))
-            .collect();
-        profile.unit_extraction += t0.elapsed();
-
-        // Lazily evaluate hypotheses for this block.
-        let t1 = Instant::now();
-        let mut hyp_cols: Vec<Vec<f32>> = Vec::with_capacity(req.hypotheses.len());
-        for hyp in &req.hypotheses {
-            hyp_cols.push(hypothesis_column(
-                *hyp,
-                block,
-                ns,
-                &req.dataset.id,
-                config.cache.as_ref(),
-            )?);
+        pass.records_read += block.len();
+        pass.blocks_processed += 1;
+        for (member, &live) in members.iter_mut().zip(&live_at_start) {
+            if live {
+                member.profile.records_read += block.len();
+                member.profile.blocks_processed += 1;
+            }
         }
-        profile.hypothesis_extraction += t1.elapsed();
 
-        // Update all live states.
+        // Extract the union unit behaviors once, then demux the unit
+        // selections still backing an unconverged slot. A selection that
+        // covers the whole union in order (the common single-query,
+        // one-group case) borrows the union matrix instead of copying it.
+        let t0 = Instant::now();
+        let union_behaviors = extract_records(extractor, block, &union_units, config.device, ns);
+        let mut sel_behaviors: Vec<Option<Matrix>> = vec![None; selections.len()];
+        for slot in &slots {
+            if !slot.converged()
+                && sel_behaviors[slot.sel].is_none()
+                && !selections[slot.sel].identity
+            {
+                sel_behaviors[slot.sel] = Some(selections[slot.sel].demux.apply(&union_behaviors));
+            }
+        }
+        let d0 = t0.elapsed();
+
+        // Evaluate the union hypothesis columns that still have consumers.
+        let t1 = Instant::now();
+        let mut hyp_cols: Vec<Option<Vec<f32>>> = vec![None; union_hyps.len()];
+        for (c, hyp) in union_hyps.iter().enumerate() {
+            if hyp_consumers[c] > 0 {
+                hyp_cols[c] = Some(hypothesis_column(
+                    *hyp,
+                    block,
+                    ns,
+                    &dataset.id,
+                    config.cache.as_ref(),
+                )?);
+            }
+        }
+        let d1 = t1.elapsed();
+
+        // Advance every live slot exactly once, no matter how many
+        // members reference it.
         let t2 = Instant::now();
-        let mut all_done = true;
-        for (gi, mi, slot) in slots.iter_mut() {
-            let behaviors = &group_behaviors[*gi];
-            match slot {
-                Slot::Merged { state, done, eps } => {
+        for slot in slots.iter_mut() {
+            match &mut slot.state {
+                SlotState::PerHyp {
+                    state: maybe_state,
+                    hyp,
+                    result,
+                } => {
+                    if let Some(state) = maybe_state {
+                        // `None` means the identity selection: use the
+                        // union matrix directly.
+                        let behaviors =
+                            sel_behaviors[slot.sel].as_ref().unwrap_or(&union_behaviors);
+                        let col = hyp_cols[*hyp].as_ref().expect("consumed column");
+                        let err = state.process_block(behaviors, col);
+                        if err <= slot.eps {
+                            *result = Some((state.unit_scores(), state.group_score()));
+                            *maybe_state = None; // converged: stop feeding
+                            hyp_consumers[*hyp] -= 1;
+                        }
+                    }
+                }
+                SlotState::Merged {
+                    state,
+                    hyps,
+                    done,
+                    results,
+                } => {
                     if *done {
                         continue;
                     }
-                    let mut hyps_matrix = Matrix::zeros(behaviors.rows(), hyp_cols.len());
-                    for (h, col) in hyp_cols.iter().enumerate() {
+                    let behaviors = sel_behaviors[slot.sel].as_ref().unwrap_or(&union_behaviors);
+                    let mut hyps_matrix = Matrix::zeros(behaviors.rows(), hyps.len());
+                    for (h, &c) in hyps.iter().enumerate() {
+                        let col = hyp_cols[c].as_ref().expect("consumed column");
                         for (r, &v) in col.iter().enumerate() {
                             hyps_matrix.set(r, h, v);
                         }
                     }
                     let errs = state.process_block(behaviors, &hyps_matrix);
-                    if errs.iter().all(|&e| e <= *eps) {
+                    if errs.iter().all(|&e| e <= slot.eps) {
                         *done = true;
-                        for (h, slot) in finals[*gi][*mi].iter_mut().enumerate() {
-                            *slot = Some((state.unit_scores(h), state.group_score(h)));
+                        for (h, r) in results.iter_mut().enumerate() {
+                            *r = Some((state.unit_scores(h), state.group_score(h)));
                         }
-                    } else {
-                        all_done = false;
-                    }
-                }
-                Slot::PerHyp { states, eps } => {
-                    for (h, maybe_state) in states.iter_mut().enumerate() {
-                        if let Some(state) = maybe_state {
-                            let err = state.process_block(behaviors, &hyp_cols[h]);
-                            if err <= *eps {
-                                finals[*gi][*mi][h] =
-                                    Some((state.unit_scores(), state.group_score()));
-                                *maybe_state = None; // converged: stop feeding
-                            } else {
-                                all_done = false;
-                            }
+                        for &c in hyps.iter() {
+                            hyp_consumers[c] -= 1;
                         }
                     }
                 }
             }
         }
-        profile.inspection += t2.elapsed();
+        let d2 = t2.elapsed();
 
-        if all_done {
-            break; // §5.2.3: stop reading the moment everything converged.
+        pass.unit_extraction += d0;
+        pass.hypothesis_extraction += d1;
+        pass.inspection += d2;
+        for (member, &live) in members.iter_mut().zip(&live_at_start) {
+            if live {
+                member.profile.unit_extraction += d0;
+                member.profile.hypothesis_extraction += d1;
+                member.profile.inspection += d2;
+            }
+        }
+        for member in members.iter_mut() {
+            if member.live {
+                member.live = member_live(member, &slots);
+                if !member.live {
+                    // The member's pairs all converged this block: its
+                    // total stops accruing here, so the per-query profile
+                    // stays consistent with its phase timings even while
+                    // the shared pass keeps streaming for other members.
+                    member.profile.total = t_start.elapsed();
+                }
+            }
         }
         block_start = block_end;
     }
 
-    // Finalize any pairs that never converged (use their current scores).
-    let mut frame = ResultFrame::default();
-    for (gi, mi, slot) in slots.into_iter() {
-        for h in 0..req.hypotheses.len() {
-            let result = match finals[gi][mi][h].take() {
-                Some(r) => r,
-                None => match &slot {
-                    Slot::Merged { state, .. } => (state.unit_scores(h), state.group_score(h)),
-                    Slot::PerHyp { states, .. } => match &states[h] {
-                        Some(state) => (state.unit_scores(), state.group_score()),
-                        None => unreachable!("converged state has a final"),
-                    },
-                },
-            };
-            emit_rows(
-                &mut frame,
-                req,
-                &req.groups[gi],
-                req.measures[mi].id(),
-                req.hypotheses[h].id(),
-                &result.0,
-                result.1,
-            );
+    // Emit every unique pair once into the merged frame (converged pairs
+    // use their recorded finals, the rest their current estimates) and
+    // remember each pair's row span for the per-member demux.
+    let mut merged = ResultFrame::default();
+    let mut spans: Vec<Vec<(usize, usize)>> = Vec::with_capacity(slots.len());
+    for slot in &slots {
+        let units = &selections[slot.sel].units;
+        let mut slot_spans = Vec::new();
+        let mut emit = |hyp_id: &str, result: (Vec<f32>, f32), merged: &mut ResultFrame| {
+            let start = merged.rows.len();
+            debug_assert_eq!(result.0.len(), units.len());
+            for (&unit, &score) in units.iter().zip(result.0.iter()) {
+                merged.rows.push(ScoreRow {
+                    model_id: slot.model_id.clone(),
+                    group_id: slot.group_id.clone(),
+                    measure_id: slot.measure_id.clone(),
+                    hyp_id: hyp_id.to_string(),
+                    unit,
+                    unit_score: score,
+                    group_score: result.1,
+                });
+            }
+            slot_spans.push((start, units.len()));
+        };
+        match &slot.state {
+            SlotState::PerHyp { state, hyp, result } => {
+                let result = result.clone().unwrap_or_else(|| {
+                    let state = state.as_ref().expect("unconverged pair keeps its state");
+                    (state.unit_scores(), state.group_score())
+                });
+                emit(union_hyps[*hyp].id(), result, &mut merged);
+            }
+            SlotState::Merged {
+                state,
+                hyps,
+                results,
+                ..
+            } => {
+                for (h, &c) in hyps.iter().enumerate() {
+                    let result = results[h]
+                        .clone()
+                        .unwrap_or_else(|| (state.unit_scores(h), state.group_score(h)));
+                    emit(union_hyps[c].id(), result, &mut merged);
+                }
+            }
         }
+        spans.push(slot_spans);
     }
-    profile.total = t_start.elapsed();
-    Ok((frame, profile))
+
+    // Demux the merged frame into per-member frames, in each member's
+    // canonical (group, measure, hypothesis) order.
+    let total = t_start.elapsed();
+    pass.total = total;
+    let mut results = Vec::with_capacity(members.len());
+    for (member, req) in members.iter_mut().zip(reqs) {
+        let mut member_spans: Vec<RowSpan> = Vec::new();
+        for entry in &member.entries {
+            let claim = |slot_idx: usize, span_idx: usize, member_spans: &mut Vec<RowSpan>| {
+                let (start, len) = spans[slot_idx][span_idx];
+                member_spans.push(RowSpan {
+                    start,
+                    len,
+                    model_id: req.model_id.clone(),
+                    group_id: entry.group_id.clone(),
+                });
+            };
+            match &entry.slots {
+                MemberSlots::PerHyp(pair_slots) => {
+                    for &s in pair_slots {
+                        claim(s, 0, &mut member_spans);
+                    }
+                }
+                MemberSlots::Merged(s) => {
+                    for h in 0..spans[*s].len() {
+                        claim(*s, h, &mut member_spans);
+                    }
+                }
+            }
+        }
+        if member.live {
+            // Never converged: this member consumed the whole pass.
+            member.profile.total = total;
+        }
+        // A sole member whose spans tile the merged frame in order (no
+        // dedup-induced repeats) would demux into an exact copy; move the
+        // frame instead of cloning every row — this is the standalone
+        // `inspect` hot path. Id overrides are no-ops for a sole member
+        // (every slot's canonical ids came from it).
+        let sole_member_tiles = reqs.len() == 1 && {
+            let mut cursor = 0usize;
+            member_spans.iter().all(|s| {
+                let aligned = s.start == cursor;
+                cursor += s.len;
+                aligned
+            }) && cursor == merged.len()
+        };
+        let frame = if sole_member_tiles {
+            std::mem::take(&mut merged)
+        } else {
+            merged.demux(&member_spans)
+        };
+        results.push((frame, member.profile.clone()));
+    }
+    Ok(SharedOutcome {
+        results,
+        merged,
+        pass,
+        extraction_passes: 1,
+    })
 }
 
 // ---------------------------------------------------------------------

@@ -142,6 +142,58 @@ pub fn extract_all(extractor: &dyn Extractor, dataset: &Dataset, unit_ids: &[usi
     extractor.extract(&refs, unit_ids)
 }
 
+/// Column demultiplexer for shared extraction passes.
+///
+/// The batch scheduler extracts the *union* of all unit columns that any
+/// member query needs, once per block, and then slices per-group behavior
+/// matrices out of the union instead of re-running the extractor. All
+/// in-tree extractors are column-wise consistent — `extract(r, A)` column
+/// `i` equals `extract(r, B)` column `j` whenever `A[i] == B[j]`, because
+/// each computes the full activation row and selects columns — so the
+/// demuxed matrix is bit-identical to a direct extraction.
+pub struct ColumnDemux {
+    cols: Vec<usize>,
+}
+
+impl ColumnDemux {
+    /// Maps `wanted` unit ids onto their column positions within a union
+    /// extraction over `union_units`, which must be sorted ascending (the
+    /// planner builds it with `sort_unstable` + `dedup`). Every wanted
+    /// unit must appear in the union (the planner derives the union from
+    /// the very groups it demuxes).
+    pub fn new(union_units: &[usize], wanted: &[usize]) -> ColumnDemux {
+        debug_assert!(
+            union_units.windows(2).all(|w| w[0] < w[1]),
+            "extraction union must be sorted and deduplicated"
+        );
+        let cols = wanted
+            .iter()
+            .map(|u| {
+                union_units
+                    .binary_search(u)
+                    .unwrap_or_else(|_| panic!("unit {u} missing from the extraction union"))
+            })
+            .collect();
+        ColumnDemux { cols }
+    }
+
+    /// Number of demuxed columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when this demux selects every column of a `union_width`-wide
+    /// union in order — i.e. applying it would just copy the matrix.
+    pub fn is_identity(&self, union_width: usize) -> bool {
+        self.cols.len() == union_width && self.cols.iter().enumerate().all(|(i, &c)| i == c)
+    }
+
+    /// Selects this demux's columns out of a union behavior matrix.
+    pub fn apply(&self, union: &Matrix) -> Matrix {
+        select_columns(union, &self.cols)
+    }
+}
+
 fn select_columns(m: &Matrix, cols: &[usize]) -> Matrix {
     let mut out = Matrix::zeros(m.rows(), cols.len());
     for r in 0..m.rows() {
@@ -217,6 +269,30 @@ mod tests {
         );
         assert!(m.row(2).iter().all(|&v| v == 0.0), "padding row is zero");
         assert!(m.row(3).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn column_demux_matches_direct_extraction() {
+        let behaviors = Matrix::from_fn(12, 5, |r, c| (r * 10 + c) as f32);
+        let ext = PrecomputedExtractor::new(behaviors, 2);
+        let recs = records(6, 2);
+        let refs: Vec<&Record> = recs.iter().collect();
+        let union_units = vec![0, 2, 3, 4];
+        let union = ext.extract(&refs, &union_units);
+        let demux = ColumnDemux::new(&union_units, &[4, 2]);
+        assert_eq!(demux.width(), 2);
+        let sliced = demux.apply(&union);
+        let direct = ext.extract(&refs, &[4, 2]);
+        assert_eq!(sliced.shape(), direct.shape());
+        for r in 0..direct.rows() {
+            assert_eq!(sliced.row(r), direct.row(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from the extraction union")]
+    fn column_demux_rejects_units_outside_the_union() {
+        let _ = ColumnDemux::new(&[0, 1], &[3]);
     }
 
     #[test]

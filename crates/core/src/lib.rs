@@ -35,11 +35,15 @@
 //! * [`measure`] — the standard measure library with incremental
 //!   `process_block` APIs and merged (multi-output) states (§4.3, §5.2).
 //! * [`engine`] — PyBase / +MM / +MM+ES / DeepBase / MADLib engines with
-//!   streaming extraction, early stopping and the parallel device (§5).
-//! * [`cache`] — hypothesis-behavior LRU cache (§5.1.2, Fig. 9).
+//!   streaming extraction, early stopping, the parallel device (§5), and
+//!   the shared multi-request pass behind batch scheduling
+//!   ([`engine::inspect_shared`]).
+//! * [`cache`] — hypothesis-behavior LRU cache (§5.1.2, Fig. 9), shared
+//!   across every member of a query batch.
 //! * [`result`] — the score frame and relational post-processing (§4.1).
 //! * [`verify`] — perturbation-based verification (§4.4, Appendix C).
-//! * [`query`] — the `INSPECT` SQL extension (Appendix B).
+//! * [`query`] — the `INSPECT` SQL extension (Appendix B) and the
+//!   multi-query batch scheduler ([`query::execute_batch`]).
 //! * [`vision`] — CNN inspection and the NetDissect pipeline (Appendix E).
 //! * [`workloads`] — the paper's evaluation workloads, shared by the
 //!   examples, integration tests and benchmark harnesses.
@@ -60,13 +64,15 @@ pub use error::DniError;
 
 /// Convenience re-exports covering the common API surface.
 pub mod prelude {
-    pub use crate::cache::HypothesisCache;
+    pub use crate::cache::{CacheStats, HypothesisCache};
     pub use crate::engine::{
-        inspect, Device, EngineKind, InspectionConfig, InspectionRequest, Profile,
+        inspect, inspect_shared, Device, EngineKind, InspectionConfig, InspectionRequest, Profile,
+        SharedOutcome,
     };
     pub use crate::error::DniError;
     pub use crate::extract::{
-        extract_all, CharModelExtractor, Extractor, PrecomputedExtractor, Seq2SeqEncoderExtractor,
+        extract_all, CharModelExtractor, ColumnDemux, Extractor, PrecomputedExtractor,
+        Seq2SeqEncoderExtractor,
     };
     pub use crate::measure::{
         standard_library, CorrelationMeasure, DiffMeansMeasure, GroupMiMeasure, JaccardMeasure,
@@ -75,6 +81,9 @@ pub mod prelude {
     };
     pub use crate::model::{
         Dataset, FnHypothesis, HypothesisFn, ParseCache, ParseHypothesis, Record, UnitGroup,
+    };
+    pub use crate::query::{
+        execute, execute_batch, parse, run_query, BatchOutput, BatchReport, Catalog, GroupReport,
     };
     pub use crate::result::{ResultFrame, ScoreRow};
 }

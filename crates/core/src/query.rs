@@ -17,8 +17,31 @@
 //! The implementation is a hand-written lexer + recursive-descent parser,
 //! a catalog binder, and an executor that drives [`crate::engine`] and
 //! materializes results as a [`deepbase_relational::Table`].
+//!
+//! ## Batch planning and shared extraction
+//!
+//! [`execute_batch`] (also [`Catalog::execute_batch`]) is the multi-query
+//! scheduler: it parses/binds N queries, builds one work item per bound
+//! `(query, model)` pair, and groups the items by `(model, dataset)`.
+//! Each group runs through a **single** streaming extraction pass via
+//! [`crate::engine::inspect_shared`] — the engine merges the members'
+//! unit filters and hypothesis sets into one union stream, deduplicates
+//! measure state across queries, and demultiplexes the merged result
+//! frame back into per-query frames, to which each query's own
+//! GROUP BY / HAVING / projection is applied. On
+//! [`crate::engine::Device::Parallel`] independent groups additionally
+//! fan out across the `deepbase-runtime` worker pool. All members of a
+//! batch share one [`HypothesisCache`] (a default-budget cache is
+//! installed when the config has none), so repeated hypotheses are
+//! evaluated once per record across the whole batch. Every query's table
+//! is bit-identical to what a standalone [`execute`] call would return;
+//! [`BatchReport`] exposes the per-query rows-read/timing and per-group
+//! extraction accounting that proves the sharing.
 
-use crate::engine::{inspect, InspectionConfig, InspectionRequest};
+use crate::cache::{CacheStats, HypothesisCache};
+use crate::engine::{
+    inspect, inspect_shared, Device, InspectionConfig, InspectionRequest, Profile, SharedOutcome,
+};
 use crate::error::DniError;
 use crate::extract::Extractor;
 use crate::measure::Measure;
@@ -471,23 +494,23 @@ fn str_matches(op: &str, lhs: &str, rhs: &str) -> bool {
     }
 }
 
-/// Executes a parsed query against a catalog, returning a result table.
-pub fn execute(
-    query: &InspectQuery,
-    catalog: &Catalog,
-    config: &InspectionConfig,
-) -> Result<Table, DniError> {
-    // Resolve which alias refers to which relation kind.
-    let mut model_conds = Vec::new();
-    let mut unit_conds = Vec::new();
-    let mut hyp_conds = Vec::new();
-    let mut input_conds = Vec::new();
+/// WHERE conjuncts sorted by the catalog relation they constrain.
+#[derive(Default)]
+struct CondSets<'q> {
+    model: Vec<&'q Cond>,
+    unit: Vec<&'q Cond>,
+    hyp: Vec<&'q Cond>,
+    input: Vec<&'q Cond>,
+}
+
+fn classify_conds(query: &InspectQuery) -> Result<CondSets<'_>, DniError> {
+    let mut sets = CondSets::default();
     for cond in &query.where_conds {
         match alias_relation(query, &cond.col.alias)?.as_str() {
-            "models" => model_conds.push(cond),
-            "units" => unit_conds.push(cond),
-            "hypotheses" => hyp_conds.push(cond),
-            "inputs" => input_conds.push(cond),
+            "models" => sets.model.push(cond),
+            "units" => sets.unit.push(cond),
+            "hypotheses" => sets.hyp.push(cond),
+            "inputs" => sets.input.push(cond),
             other => {
                 return Err(DniError::Query(format!(
                     "WHERE may reference models/units/hypotheses/inputs, not {other:?}"
@@ -495,13 +518,34 @@ pub fn execute(
             }
         }
     }
+    Ok(sets)
+}
+
+/// One query after catalog binding: the models it inspects (in catalog
+/// order), its hypothesis set, dataset, and measures.
+struct BoundQuery<'c> {
+    models: Vec<(usize, &'c CatalogModel)>,
+    hypotheses: Vec<Arc<dyn HypothesisFn>>,
+    dataset: Arc<Dataset>,
+    measures: Vec<Arc<dyn Measure>>,
+}
+
+/// Binds a parsed query against the catalog, returning the binding plus
+/// the classified WHERE conjuncts (so callers never re-classify).
+fn bind<'c, 'q>(
+    query: &'q InspectQuery,
+    catalog: &'c Catalog,
+) -> Result<(BoundQuery<'c>, CondSets<'q>), DniError> {
+    let conds = classify_conds(query)?;
 
     // Bind models.
-    let models: Vec<&CatalogModel> = catalog
+    let models: Vec<(usize, &CatalogModel)> = catalog
         .models
         .iter()
-        .filter(|m| {
-            model_conds
+        .enumerate()
+        .filter(|(_, m)| {
+            conds
+                .model
                 .iter()
                 .all(|c| match (c.col.attr.as_str(), &c.value) {
                     ("mid", Literal::Str(s)) => str_matches(&c.op, &m.mid, s),
@@ -516,7 +560,7 @@ pub fn execute(
 
     // Bind hypothesis sets.
     let mut hypotheses: Vec<Arc<dyn HypothesisFn>> = Vec::new();
-    let name_cond = hyp_conds.iter().find(|c| c.col.attr == "name");
+    let name_cond = conds.hyp.iter().find(|c| c.col.attr == "name");
     match name_cond {
         Some(cond) => {
             let Literal::Str(name) = &cond.value else {
@@ -541,7 +585,7 @@ pub fn execute(
     }
 
     // Bind the dataset (by D.name, else sole registered dataset).
-    let dataset: Arc<Dataset> = match input_conds.iter().find(|c| c.col.attr == "name") {
+    let dataset: Arc<Dataset> = match conds.input.iter().find(|c| c.col.attr == "name") {
         Some(cond) => {
             let Literal::Str(name) = &cond.value else {
                 return Err(DniError::Query("D.name must compare to a string".into()));
@@ -552,15 +596,28 @@ pub fn execute(
                 .cloned()
                 .ok_or_else(|| DniError::Query(format!("unknown dataset {name:?}")))?
         }
-        None => {
-            if catalog.datasets.len() == 1 {
-                catalog.datasets.values().next().unwrap().clone()
-            } else {
+        None => match catalog.datasets.len() {
+            // An empty catalog used to fall into an `unwrap` here and
+            // panic; queries must fail with a diagnosable error instead.
+            0 => {
+                return Err(DniError::Query(
+                    "no datasets registered; add one with Catalog::add_dataset \
+                     before running INSPECT queries"
+                        .into(),
+                ))
+            }
+            1 => catalog
+                .datasets
+                .values()
+                .next()
+                .expect("length checked")
+                .clone(),
+            _ => {
                 return Err(DniError::Query(
                     "multiple datasets registered; add WHERE D.name = '...'".into(),
-                ));
+                ))
             }
-        }
+        },
     };
 
     // Bind measures.
@@ -575,138 +632,441 @@ pub fn execute(
         );
     }
 
-    // Output schema.
+    Ok((
+        BoundQuery {
+            models,
+            hypotheses,
+            dataset,
+            measures,
+        },
+        conds,
+    ))
+}
+
+/// Applies the query's unit WHERE filter (the `unit_conds` classified
+/// once per query by [`classify_conds`]) to one model and partitions the
+/// surviving units into GROUP BY groups. Empty when no unit matches.
+fn unit_groups_for(
+    query: &InspectQuery,
+    unit_conds: &[&Cond],
+    model: &CatalogModel,
+) -> Result<Vec<UnitGroup>, DniError> {
+    let selected: Vec<&UnitMeta> = model
+        .units
+        .iter()
+        .filter(|u| {
+            unit_conds
+                .iter()
+                .all(|c| match (c.col.attr.as_str(), &c.value) {
+                    ("uid", Literal::Num(n)) => num_matches(&c.op, u.uid as f64, *n),
+                    ("layer", Literal::Num(n)) => num_matches(&c.op, u.layer as f64, *n),
+                    _ => false,
+                })
+        })
+        .collect();
+    let unit_group_attrs: Vec<&ColRef> = query
+        .group_by
+        .iter()
+        .filter(|c| alias_relation(query, &c.alias).as_deref() == Ok("units"))
+        .collect();
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for unit in &selected {
+        let key = unit_group_attrs
+            .iter()
+            .map(|c| match c.attr.as_str() {
+                "layer" => format!("layer{}", unit.layer),
+                other => format!("{other}?"),
+            })
+            .collect::<Vec<_>>()
+            .join("/");
+        let key = if key.is_empty() {
+            "all".to_string()
+        } else {
+            key
+        };
+        groups.entry(key).or_default().push(unit.uid);
+    }
+    Ok(groups
+        .into_iter()
+        .map(|(id, units)| UnitGroup::new(&id, units))
+        .collect())
+}
+
+/// Builds the query's empty output table.
+fn output_table(query: &InspectQuery) -> Result<Table, DniError> {
     let mut out_cols: Vec<(String, ColType)> = Vec::new();
     for col in &query.select {
         let ty = select_type(query, col)?;
         out_cols.push((format!("{}_{}", col.alias, col.attr), ty));
     }
-    let schema = Schema::new(
+    Ok(Table::new(Schema::new(
         out_cols
             .iter()
             .map(|(n, t)| (n.as_str(), *t))
             .collect::<Vec<_>>(),
-    );
-    let mut out = Table::new(schema);
+    )))
+}
 
-    for model in models {
-        // Filter units by WHERE, then group by the GROUP BY attributes.
-        let selected: Vec<&UnitMeta> = model
-            .units
-            .iter()
-            .filter(|u| {
-                unit_conds
-                    .iter()
-                    .all(|c| match (c.col.attr.as_str(), &c.value) {
-                        ("uid", Literal::Num(n)) => num_matches(&c.op, u.uid as f64, *n),
-                        ("layer", Literal::Num(n)) => num_matches(&c.op, u.layer as f64, *n),
-                        _ => false,
-                    })
-            })
-            .collect();
-        if selected.is_empty() {
+/// Applies HAVING and the SELECT projection to one model's score frame,
+/// appending the surviving rows to `out`.
+fn apply_post(
+    query: &InspectQuery,
+    model: &CatalogModel,
+    frame: &crate::result::ResultFrame,
+    out: &mut Table,
+) -> Result<(), DniError> {
+    let layer_of: BTreeMap<usize, i64> = model.units.iter().map(|u| (u.uid, u.layer)).collect();
+    for row in &frame.rows {
+        let keep = query.having.iter().all(|c| {
+            if c.col.alias != query.result_alias {
+                return false;
+            }
+            let lhs = match c.col.attr.as_str() {
+                "unit_score" => row.unit_score as f64,
+                "group_score" => row.group_score as f64,
+                _ => return false,
+            };
+            match &c.value {
+                Literal::Num(n) => num_matches(&c.op, lhs, *n),
+                Literal::Str(_) => false,
+            }
+        });
+        if !keep {
             continue;
         }
-        let unit_group_attrs: Vec<&ColRef> = query
-            .group_by
-            .iter()
-            .filter(|c| alias_relation(query, &c.alias).as_deref() == Ok("units"))
-            .collect();
-        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-        for unit in &selected {
-            let key = unit_group_attrs
-                .iter()
-                .map(|c| match c.attr.as_str() {
-                    "layer" => format!("layer{}", unit.layer),
-                    other => format!("{other}?"),
-                })
-                .collect::<Vec<_>>()
-                .join("/");
-            let key = if key.is_empty() {
-                "all".to_string()
+        let mut values = Vec::with_capacity(query.select.len());
+        for col in &query.select {
+            let relation = alias_relation(query, &col.alias).unwrap_or_else(|_| "result".into());
+            let is_result = col.alias == query.result_alias;
+            let v = if is_result {
+                match col.attr.as_str() {
+                    "uid" => Value::Int(row.unit as i64),
+                    "unit_score" => Value::Float(row.unit_score),
+                    "group_score" => Value::Float(row.group_score),
+                    "hyp_id" => Value::Str(row.hyp_id.clone()),
+                    "score_id" => Value::Str(row.measure_id.clone()),
+                    "group_id" => Value::Str(row.group_id.clone()),
+                    other => {
+                        return Err(DniError::Query(format!(
+                            "unknown result attribute {other:?}"
+                        )))
+                    }
+                }
             } else {
-                key
+                match (relation.as_str(), col.attr.as_str()) {
+                    ("models", "mid") => Value::Str(model.mid.clone()),
+                    ("models", "epoch") => Value::Int(model.epoch),
+                    ("units", "uid") => Value::Int(row.unit as i64),
+                    ("units", "layer") => Value::Int(layer_of.get(&row.unit).copied().unwrap_or(0)),
+                    ("hypotheses", "h") | ("hypotheses", "name") => Value::Str(row.hyp_id.clone()),
+                    (rel, attr) => {
+                        return Err(DniError::Query(format!("cannot project {rel}.{attr}")))
+                    }
+                }
             };
-            groups.entry(key).or_default().push(unit.uid);
+            values.push(v);
         }
-        let groups: Vec<UnitGroup> = groups
-            .into_iter()
-            .map(|(id, units)| UnitGroup::new(&id, units))
-            .collect();
+        out.push_row(values).map_err(|e| DniError::Query(e.msg))?;
+    }
+    Ok(())
+}
 
-        let hyp_refs: Vec<&dyn HypothesisFn> = hypotheses.iter().map(|h| h.as_ref()).collect();
-        let measure_refs: Vec<&dyn Measure> = measures.iter().map(|m| m.as_ref()).collect();
+/// Executes a parsed query against a catalog, returning a result table.
+pub fn execute(
+    query: &InspectQuery,
+    catalog: &Catalog,
+    config: &InspectionConfig,
+) -> Result<Table, DniError> {
+    let (bound, conds) = bind(query, catalog)?;
+    let mut out = output_table(query)?;
+    for (_, model) in &bound.models {
+        let groups = unit_groups_for(query, &conds.unit, model)?;
+        if groups.is_empty() {
+            continue;
+        }
+        let hyp_refs: Vec<&dyn HypothesisFn> =
+            bound.hypotheses.iter().map(|h| h.as_ref()).collect();
+        let measure_refs: Vec<&dyn Measure> = bound.measures.iter().map(|m| m.as_ref()).collect();
         let request = InspectionRequest {
             model_id: model.mid.clone(),
             extractor: model.extractor.as_ref(),
             groups,
-            dataset: &dataset,
+            dataset: &bound.dataset,
             hypotheses: hyp_refs,
             measures: measure_refs,
         };
         let (frame, _) = inspect(&request, config)?;
-
-        // HAVING + projection.
-        let layer_of: BTreeMap<usize, i64> = model.units.iter().map(|u| (u.uid, u.layer)).collect();
-        for row in &frame.rows {
-            let keep = query.having.iter().all(|c| {
-                if c.col.alias != query.result_alias {
-                    return false;
-                }
-                let lhs = match c.col.attr.as_str() {
-                    "unit_score" => row.unit_score as f64,
-                    "group_score" => row.group_score as f64,
-                    _ => return false,
-                };
-                match &c.value {
-                    Literal::Num(n) => num_matches(&c.op, lhs, *n),
-                    Literal::Str(_) => false,
-                }
-            });
-            if !keep {
-                continue;
-            }
-            let mut values = Vec::with_capacity(query.select.len());
-            for col in &query.select {
-                let relation =
-                    alias_relation(query, &col.alias).unwrap_or_else(|_| "result".into());
-                let is_result = col.alias == query.result_alias;
-                let v = if is_result {
-                    match col.attr.as_str() {
-                        "uid" => Value::Int(row.unit as i64),
-                        "unit_score" => Value::Float(row.unit_score),
-                        "group_score" => Value::Float(row.group_score),
-                        "hyp_id" => Value::Str(row.hyp_id.clone()),
-                        "score_id" => Value::Str(row.measure_id.clone()),
-                        "group_id" => Value::Str(row.group_id.clone()),
-                        other => {
-                            return Err(DniError::Query(format!(
-                                "unknown result attribute {other:?}"
-                            )))
-                        }
-                    }
-                } else {
-                    match (relation.as_str(), col.attr.as_str()) {
-                        ("models", "mid") => Value::Str(model.mid.clone()),
-                        ("models", "epoch") => Value::Int(model.epoch),
-                        ("units", "uid") => Value::Int(row.unit as i64),
-                        ("units", "layer") => {
-                            Value::Int(layer_of.get(&row.unit).copied().unwrap_or(0))
-                        }
-                        ("hypotheses", "h") | ("hypotheses", "name") => {
-                            Value::Str(row.hyp_id.clone())
-                        }
-                        (rel, attr) => {
-                            return Err(DniError::Query(format!("cannot project {rel}.{attr}")))
-                        }
-                    }
-                };
-                values.push(v);
-            }
-            out.push_row(values).map_err(|e| DniError::Query(e.msg))?;
-        }
+        apply_post(query, model, &frame, &mut out)?;
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Batch scheduler
+// ---------------------------------------------------------------------
+
+/// Byte budget of the hypothesis cache [`execute_batch`] installs when
+/// the caller's config has none: large enough to hold the hypothesis
+/// columns of a typical batch, small enough to stay an implementation
+/// detail.
+pub const BATCH_CACHE_BYTES: usize = 64 << 20;
+
+/// Accounting for one `(model, dataset)` shared-extraction group.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// Model the group inspected.
+    pub model_id: String,
+    /// Dataset the group streamed.
+    pub dataset_id: String,
+    /// Indices (into the batch) of the queries that joined this group.
+    pub queries: Vec<usize>,
+    /// Streaming extraction passes over the dataset: 1 on the shared
+    /// path, one per member on the non-streaming fallback.
+    pub extraction_passes: usize,
+    /// The shared pass itself: union-stream records/blocks and timings.
+    pub pass: Profile,
+}
+
+/// Per-query and per-group accounting for one [`execute_batch`] call.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Per-query profiles (rows read, phase timings), summed over the
+    /// groups each query participated in.
+    pub per_query: Vec<Profile>,
+    /// One entry per `(model, dataset)` shared-extraction group.
+    pub groups: Vec<GroupReport>,
+    /// Batch-delta statistics of the shared hypothesis cache.
+    pub cache: CacheStats,
+}
+
+/// Result of a batch execution: one table per input query plus the
+/// sharing report.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// Per-query result tables, in input order — bit-identical to what N
+    /// sequential [`execute`] calls would produce.
+    pub tables: Vec<Table>,
+    /// Accounting that quantifies the sharing.
+    pub report: BatchReport,
+}
+
+/// Executes a batch of parsed queries through shared extraction passes
+/// (see the module docs). Queries keep their individual semantics; work
+/// common to queries that inspect the same `(model, dataset)` pair is
+/// done once.
+pub fn execute_batch(
+    queries: &[InspectQuery],
+    catalog: &Catalog,
+    config: &InspectionConfig,
+) -> Result<BatchOutput, DniError> {
+    let mut bound = Vec::with_capacity(queries.len());
+    let mut query_conds = Vec::with_capacity(queries.len());
+    for query in queries {
+        let (bq, conds) = bind(query, catalog)?;
+        bound.push(bq);
+        query_conds.push(conds);
+    }
+
+    // One shared hypothesis cache across the whole batch. The cache is
+    // keyed by `Dataset::id` (not catalog registration name), so if two
+    // *distinct* datasets in this batch share an id, a shared cache would
+    // serve one dataset's behaviors for the other's records — in that
+    // (misconfigured but reachable) case no implicit cache is installed
+    // and the caller's own cache choice, if any, is left untouched.
+    // The same applies to hypotheses: the cache keys on hypothesis *id*
+    // while the engine distinguishes hypotheses by function identity, so
+    // two different functions registered under one id must also disable
+    // the implicit cache.
+    let mut dataset_ids: Vec<(&str, *const Dataset)> = Vec::new();
+    let mut hyp_ids: Vec<(&str, *const u8)> = Vec::new();
+    let mut ambiguous_ids = false;
+    for bq in &bound {
+        let ptr = Arc::as_ptr(&bq.dataset);
+        match dataset_ids.iter().find(|(id, _)| *id == bq.dataset.id) {
+            Some(&(_, seen)) if !std::ptr::eq(seen, ptr) => ambiguous_ids = true,
+            Some(_) => {}
+            None => dataset_ids.push((bq.dataset.id.as_str(), ptr)),
+        }
+        for hyp in &bq.hypotheses {
+            let ptr = Arc::as_ptr(hyp) as *const u8;
+            match hyp_ids.iter().find(|(id, _)| *id == hyp.id()) {
+                Some(&(_, seen)) if !std::ptr::eq(seen, ptr) => ambiguous_ids = true,
+                Some(_) => {}
+                None => hyp_ids.push((hyp.id(), ptr)),
+            }
+        }
+    }
+    let cache = if ambiguous_ids {
+        config.cache.clone()
+    } else {
+        Some(
+            config
+                .cache
+                .clone()
+                .unwrap_or_else(|| HypothesisCache::new(BATCH_CACHE_BYTES)),
+        )
+    };
+    let stats_before = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+    let config = InspectionConfig {
+        cache: cache.clone(),
+        ..config.clone()
+    };
+
+    // One work item per bound (query, model) pair, grouped by
+    // (model, dataset) in first-appearance order.
+    struct Item {
+        query: usize,
+        groups: Vec<UnitGroup>,
+    }
+    struct SharedGroup<'c> {
+        model_idx: usize,
+        model: &'c CatalogModel,
+        dataset: Arc<Dataset>,
+        items: Vec<Item>,
+    }
+    let mut shared_groups: Vec<SharedGroup> = Vec::new();
+    // Per query, per bound model: where its work item landed.
+    let mut placements: Vec<Vec<Option<(usize, usize)>>> = Vec::with_capacity(queries.len());
+    for (qi, (query, bq)) in queries.iter().zip(&bound).enumerate() {
+        let conds = &query_conds[qi];
+        let mut query_placements = Vec::with_capacity(bq.models.len());
+        for (model_idx, model) in &bq.models {
+            let groups = unit_groups_for(query, &conds.unit, model)?;
+            if groups.is_empty() {
+                query_placements.push(None);
+                continue;
+            }
+            let gidx = shared_groups
+                .iter()
+                .position(|g| g.model_idx == *model_idx && Arc::ptr_eq(&g.dataset, &bq.dataset))
+                .unwrap_or_else(|| {
+                    shared_groups.push(SharedGroup {
+                        model_idx: *model_idx,
+                        model,
+                        dataset: Arc::clone(&bq.dataset),
+                        items: Vec::new(),
+                    });
+                    shared_groups.len() - 1
+                });
+            let member_idx = shared_groups[gidx].items.len();
+            shared_groups[gidx].items.push(Item { query: qi, groups });
+            query_placements.push(Some((gidx, member_idx)));
+        }
+        placements.push(query_placements);
+    }
+
+    // Run every group through one shared pass; independent groups fan out
+    // across the runtime pool on the parallel device.
+    let run_group = |g: &SharedGroup| -> Result<SharedOutcome, DniError> {
+        let requests: Vec<InspectionRequest> = g
+            .items
+            .iter()
+            .map(|item| InspectionRequest {
+                model_id: g.model.mid.clone(),
+                extractor: g.model.extractor.as_ref(),
+                groups: item.groups.clone(),
+                dataset: &g.dataset,
+                hypotheses: bound[item.query]
+                    .hypotheses
+                    .iter()
+                    .map(|h| h.as_ref())
+                    .collect(),
+                measures: bound[item.query]
+                    .measures
+                    .iter()
+                    .map(|m| m.as_ref())
+                    .collect(),
+            })
+            .collect();
+        inspect_shared(&requests, &config)
+    };
+    let fan_out = matches!(config.device, Device::Parallel(_)) && shared_groups.len() > 1;
+    let outcomes: Vec<Result<SharedOutcome, DniError>> = if fan_out {
+        let mut slots: Vec<Option<Result<SharedOutcome, DniError>>> =
+            (0..shared_groups.len()).map(|_| None).collect();
+        deepbase_runtime::global().scope(|scope| {
+            for (group, slot) in shared_groups.iter().zip(slots.iter_mut()) {
+                let run_group = &run_group;
+                scope.spawn(move || {
+                    *slot = Some(run_group(group));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("group job ran"))
+            .collect()
+    } else {
+        shared_groups.iter().map(run_group).collect()
+    };
+    let mut group_outcomes = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        group_outcomes.push(outcome?);
+    }
+
+    // Demultiplex: each query assembles its table from its work items'
+    // frames, models in catalog order, its own HAVING/projection applied.
+    let mut tables = Vec::with_capacity(queries.len());
+    let mut per_query = vec![Profile::default(); queries.len()];
+    for (qi, (query, bq)) in queries.iter().zip(&bound).enumerate() {
+        let mut out = output_table(query)?;
+        for (pos, (_, model)) in bq.models.iter().enumerate() {
+            let Some((gidx, member_idx)) = placements[qi][pos] else {
+                continue;
+            };
+            let (frame, profile) = &group_outcomes[gidx].results[member_idx];
+            per_query[qi].accumulate(profile);
+            apply_post(query, model, frame, &mut out)?;
+        }
+        tables.push(out);
+    }
+
+    let stats_after = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+    let report = BatchReport {
+        per_query,
+        groups: shared_groups
+            .iter()
+            .zip(&group_outcomes)
+            .map(|(g, o)| GroupReport {
+                model_id: g.model.mid.clone(),
+                dataset_id: g.dataset.id.clone(),
+                queries: g.items.iter().map(|i| i.query).collect(),
+                extraction_passes: o.extraction_passes,
+                pass: o.pass.clone(),
+            })
+            .collect(),
+        cache: CacheStats {
+            hits: stats_after.hits - stats_before.hits,
+            misses: stats_after.misses - stats_before.misses,
+            evictions: stats_after.evictions - stats_before.evictions,
+        },
+    };
+    Ok(BatchOutput { tables, report })
+}
+
+impl Catalog {
+    /// Executes a batch of parsed queries with shared extraction (see
+    /// [`execute_batch`]).
+    pub fn execute_batch(
+        &self,
+        queries: &[InspectQuery],
+        config: &InspectionConfig,
+    ) -> Result<BatchOutput, DniError> {
+        execute_batch(queries, self, config)
+    }
+
+    /// Parses and batch-executes INSPECT statements in one call.
+    pub fn run_batch(
+        &self,
+        inputs: &[&str],
+        config: &InspectionConfig,
+    ) -> Result<BatchOutput, DniError> {
+        let queries = inputs
+            .iter()
+            .map(|s| parse(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        execute_batch(&queries, self, config)
+    }
 }
 
 fn select_type(query: &InspectQuery, col: &ColRef) -> Result<ColType, DniError> {
@@ -907,6 +1267,126 @@ mod tests {
             &InspectionConfig::default(),
         )
         .unwrap_err();
+        assert!(matches!(err, DniError::Query(_)));
+    }
+
+    #[test]
+    fn missing_dataset_is_a_query_error_not_a_panic() {
+        // A catalog with models and hypotheses but no datasets used to
+        // panic on `datasets.values().next().unwrap()` when the query
+        // named no dataset; it must be a diagnosable query error.
+        let mut catalog = Catalog::new();
+        catalog.add_model(
+            "m",
+            0,
+            Arc::new(PrecomputedExtractor::new(Matrix::zeros(4, 1), 2)),
+        );
+        catalog.add_hypotheses(
+            "h",
+            vec![Arc::new(FnHypothesis::char_class("x", |c| c == 'x'))],
+        );
+        let err = run_query(
+            "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq \
+             FROM models M, units U, hypotheses H, inputs D",
+            &catalog,
+            &InspectionConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            DniError::Query(msg) => {
+                assert!(msg.contains("no datasets registered"), "got: {msg}")
+            }
+            other => panic!("expected a query error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_unit_with_large_constant_activation_scores_zero() {
+        // A saturated unit (constant large activation) must score 0, not
+        // clamped cancellation noise, so HAVING filters stay meaningful.
+        let records: Vec<Record> = (0..32)
+            .map(|i| {
+                let text: String = (0..4)
+                    .map(|t| if (i + t) % 2 == 0 { 'a' } else { 'b' })
+                    .collect();
+                Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+            })
+            .collect();
+        let mut behaviors = Matrix::zeros(32 * 4, 1);
+        for r in 0..32 * 4 {
+            behaviors.set(r, 0, 5.5e8);
+        }
+        let mut catalog = Catalog::new();
+        catalog.add_model("dead", 0, Arc::new(PrecomputedExtractor::new(behaviors, 4)));
+        catalog.add_hypotheses(
+            "ha",
+            vec![Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a'))],
+        );
+        catalog.add_dataset("seq", Arc::new(Dataset::new("seq", 4, records).unwrap()));
+        let table = run_query(
+            "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+             FROM models M, units U, hypotheses H, inputs D",
+            &catalog,
+            &InspectionConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.value(0, "s_unit_score"), Some(Value::Float(0.0)));
+    }
+
+    const BATCH_QUERIES: [&str; 3] = [
+        "SELECT M.epoch, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+         FROM models M, units U, hypotheses H, inputs D \
+         WHERE M.mid = 'sqlparser' HAVING S.unit_score > 0.8",
+        "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+         FROM models M, units U, hypotheses H, inputs D WHERE U.layer = 1",
+        "SELECT S.group_id, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+         FROM models M, units U, hypotheses H, inputs D GROUP BY U.layer",
+    ];
+
+    #[test]
+    fn batch_matches_sequential_execution() {
+        let catalog = test_catalog();
+        let config = InspectionConfig::default();
+        let sequential: Vec<Table> = BATCH_QUERIES
+            .iter()
+            .map(|q| run_query(q, &catalog, &config).unwrap())
+            .collect();
+        let batch = catalog
+            .run_batch(&BATCH_QUERIES, &config)
+            .expect("batch executes");
+        assert_eq!(batch.tables, sequential);
+        // All three queries inspect the same (model, dataset): one group,
+        // one extraction pass.
+        assert_eq!(batch.report.groups.len(), 1);
+        assert_eq!(batch.report.groups[0].extraction_passes, 1);
+        assert_eq!(batch.report.groups[0].queries, vec![0, 1, 2]);
+        assert_eq!(batch.report.per_query.len(), 3);
+        assert!(batch.report.per_query.iter().all(|p| p.records_read > 0));
+    }
+
+    #[test]
+    fn batch_of_one_matches_execute() {
+        let catalog = test_catalog();
+        let config = InspectionConfig::default();
+        let single = run_query(BATCH_QUERIES[0], &catalog, &config).unwrap();
+        let batch = catalog.run_batch(&BATCH_QUERIES[..1], &config).unwrap();
+        assert_eq!(batch.tables, vec![single]);
+    }
+
+    #[test]
+    fn batch_bind_errors_surface() {
+        let catalog = test_catalog();
+        let err = catalog
+            .run_batch(
+                &[
+                    BATCH_QUERIES[0],
+                    "SELECT S.uid INSPECT U.uid AND H.h USING nope OVER D.seq AS S \
+                     FROM models M, units U, hypotheses H, inputs D",
+                ],
+                &InspectionConfig::default(),
+            )
+            .unwrap_err();
         assert!(matches!(err, DniError::Query(_)));
     }
 }

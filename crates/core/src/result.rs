@@ -32,6 +32,29 @@ pub struct ResultFrame {
     pub rows: Vec<ScoreRow>,
 }
 
+/// One contiguous slice of a merged shared-pass frame, as claimed by a
+/// member query during demultiplexing.
+///
+/// The shared batch engine emits every unique `(group, measure,
+/// hypothesis)` pair exactly once into a merged [`ResultFrame`]; each
+/// member query then reassembles its own frame from row spans, in its own
+/// canonical order. Because deduplication is keyed on unit *contents* (two
+/// queries may name the same units under different GROUP BY labels, and
+/// both always name their own model), the span carries the member's
+/// `model_id`/`group_id`, which overwrite the merged rows' canonical ids
+/// on the way out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSpan {
+    /// First row of the span within the merged frame.
+    pub start: usize,
+    /// Number of rows (one per unit of the pair's group).
+    pub len: usize,
+    /// Model id the member query binds these rows to.
+    pub model_id: String,
+    /// Group id under which the member query addressed these units.
+    pub group_id: String,
+}
+
 impl ResultFrame {
     /// Number of rows.
     pub fn len(&self) -> usize {
@@ -46,6 +69,24 @@ impl ResultFrame {
     /// Appends all rows of another frame.
     pub fn extend(&mut self, other: ResultFrame) {
         self.rows.extend(other.rows);
+    }
+
+    /// Demultiplexes a merged shared-pass frame into one member query's
+    /// frame: concatenates the given row spans (cloning score values
+    /// bit-for-bit) while rebranding each span with the member's own
+    /// model/group ids. Spans may overlap and repeat — several queries can
+    /// claim the same deduplicated pair.
+    pub fn demux(&self, spans: &[RowSpan]) -> ResultFrame {
+        let mut rows = Vec::with_capacity(spans.iter().map(|s| s.len).sum());
+        for span in spans {
+            for row in &self.rows[span.start..span.start + span.len] {
+                let mut row = row.clone();
+                row.model_id.clone_from(&span.model_id);
+                row.group_id.clone_from(&span.group_id);
+                rows.push(row);
+            }
+        }
+        ResultFrame { rows }
     }
 
     /// Rows for one hypothesis.
@@ -204,6 +245,44 @@ mod tests {
         let csv = frame().to_csv();
         assert_eq!(csv.lines().count(), 5);
         assert!(csv.starts_with("model_id,"));
+    }
+
+    #[test]
+    fn demux_reassembles_spans_with_member_ids() {
+        let f = frame();
+        let spans = vec![
+            RowSpan {
+                start: 3,
+                len: 1,
+                model_id: "m2".into(),
+                group_id: "layer1".into(),
+            },
+            RowSpan {
+                start: 0,
+                len: 3,
+                model_id: "m2".into(),
+                group_id: "layer1".into(),
+            },
+            // Overlapping claim of the same pair by a second "query".
+            RowSpan {
+                start: 0,
+                len: 3,
+                model_id: "m3".into(),
+                group_id: "all".into(),
+            },
+        ];
+        let out = f.demux(&spans);
+        assert_eq!(out.len(), 7);
+        assert_eq!(out.rows[0].measure_id, "logreg_l1");
+        assert_eq!(out.rows[0].model_id, "m2");
+        assert_eq!(out.rows[0].group_id, "layer1");
+        // Scores are cloned bit-for-bit from the merged frame.
+        assert_eq!(out.rows[1].unit_score, f.rows[0].unit_score);
+        assert_eq!(out.rows[4].model_id, "m3");
+        assert_eq!(out.rows[4].group_id, "all");
+        assert_eq!(out.rows[4].unit_score, f.rows[0].unit_score);
+        // Empty span list -> empty frame.
+        assert!(f.demux(&[]).is_empty());
     }
 
     #[test]

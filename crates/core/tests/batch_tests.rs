@@ -1,0 +1,543 @@
+//! Batch scheduler semantics (ISSUE 2 acceptance): `execute_batch` must
+//! produce byte-identical tables to sequential `execute` calls on both
+//! devices, while doing strictly less work — exactly one extraction pass
+//! per `(model, dataset)` group and strictly fewer hypothesis
+//! evaluations, proven via counting wrappers and `CacheStats`.
+
+use deepbase::prelude::*;
+use deepbase::query::{run_query, UnitMeta};
+use deepbase_relational::Table;
+use deepbase_tensor::Matrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const ND: usize = 96;
+const NS: usize = 8;
+
+/// Extractor wrapper counting how many records it was asked to extract.
+struct CountingExtractor {
+    inner: PrecomputedExtractor,
+    records: Arc<AtomicUsize>,
+}
+
+impl Extractor for CountingExtractor {
+    fn n_units(&self) -> usize {
+        self.inner.n_units()
+    }
+
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
+        self.records.fetch_add(records.len(), Ordering::SeqCst);
+        self.inner.extract(records, unit_ids)
+    }
+}
+
+/// Hypothesis wrapper counting `behavior` evaluations.
+struct CountingHypothesis {
+    inner: FnHypothesis,
+    calls: Arc<AtomicUsize>,
+}
+
+impl HypothesisFn for CountingHypothesis {
+    fn id(&self) -> &str {
+        self.inner.id()
+    }
+
+    fn behavior(&self, record: &Record) -> Result<Vec<f32>, DniError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.behavior(record)
+    }
+}
+
+struct Counters {
+    extracted_records: Arc<AtomicUsize>,
+    hypothesis_evals: Arc<AtomicUsize>,
+}
+
+/// Two models over one dataset; hypothesis set "alpha" = {is_a, counter},
+/// "beta" = {is_b, is_a} — `is_a` is deliberately registered in both sets
+/// so unfiltered queries carry a duplicate hypothesis id.
+fn test_catalog() -> (Catalog, Counters) {
+    let records: Vec<Record> = (0..ND)
+        .map(|i| {
+            let text: String = (0..NS)
+                .map(|t| match (i * 7 + t * 3) % 5 {
+                    0 | 3 => 'a',
+                    1 => 'b',
+                    _ => 'c',
+                })
+                .collect();
+            Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+        })
+        .collect();
+    let dataset = Arc::new(Dataset::new("seq", NS, records.clone()).unwrap());
+
+    let extracted_records = Arc::new(AtomicUsize::new(0));
+    let hypothesis_evals = Arc::new(AtomicUsize::new(0));
+
+    // m1: 6 units in layers 0/1, a couple tracking 'a' and 'b', the rest
+    // deterministic pseudo-noise.
+    let mut m1 = Matrix::zeros(ND * NS, 6);
+    for (ri, rec) in records.iter().enumerate() {
+        for (t, c) in rec.text.chars().enumerate() {
+            let r = ri * NS + t;
+            m1.set(r, 0, if c == 'a' { 0.8 } else { 0.1 });
+            m1.set(r, 1, if c == 'b' { 0.9 } else { -0.2 });
+            m1.set(r, 2, t as f32 / NS as f32);
+            for u in 3..6 {
+                m1.set(r, u, ((r * (u + 13) * 31) % 97) as f32 / 97.0 - 0.5);
+            }
+        }
+    }
+    // m2: 4 units, different mixture.
+    let mut m2 = Matrix::zeros(ND * NS, 4);
+    for (ri, rec) in records.iter().enumerate() {
+        for (t, c) in rec.text.chars().enumerate() {
+            let r = ri * NS + t;
+            m2.set(r, 0, if c == 'c' { 0.7 } else { 0.0 });
+            for u in 1..4 {
+                m2.set(r, u, ((r * (u + 5) * 17) % 89) as f32 / 89.0 - 0.5);
+            }
+        }
+    }
+
+    let mut catalog = Catalog::new();
+    catalog.add_model_with_units(
+        "m1",
+        3,
+        Arc::new(CountingExtractor {
+            inner: PrecomputedExtractor::new(m1, NS),
+            records: Arc::clone(&extracted_records),
+        }),
+        (0..6)
+            .map(|uid| UnitMeta {
+                uid,
+                layer: (uid % 2) as i64,
+            })
+            .collect(),
+    );
+    catalog.add_model_with_units(
+        "m2",
+        7,
+        Arc::new(CountingExtractor {
+            inner: PrecomputedExtractor::new(m2, NS),
+            records: Arc::clone(&extracted_records),
+        }),
+        (0..4).map(|uid| UnitMeta { uid, layer: 0 }).collect(),
+    );
+
+    let count = |h: FnHypothesis| -> Arc<dyn HypothesisFn> {
+        Arc::new(CountingHypothesis {
+            inner: h,
+            calls: Arc::clone(&hypothesis_evals),
+        })
+    };
+    let is_a = count(FnHypothesis::char_class("is_a", |c| c == 'a'));
+    let is_b = count(FnHypothesis::char_class("is_b", |c| c == 'b'));
+    let counter = count(FnHypothesis::position_counter());
+    catalog.add_hypotheses("alpha", vec![Arc::clone(&is_a), counter]);
+    catalog.add_hypotheses("beta", vec![is_b, is_a]);
+    catalog.add_dataset("seq", dataset);
+    (
+        catalog,
+        Counters {
+            extracted_records,
+            hypothesis_evals,
+        },
+    )
+}
+
+/// Five queries over m1 (overlapping hypothesis sets, different GROUP BY /
+/// HAVING / measures, one merged-measure query) plus one query spanning
+/// both models.
+const QUERIES: [&str; 6] = [
+    "SELECT M.epoch, S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE M.mid = 'm1' HAVING S.unit_score > 0.5",
+    "SELECT S.group_id, S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE M.mid = 'm1' AND H.name = 'alpha' GROUP BY U.layer",
+    "SELECT S.uid, S.hyp_id, S.unit_score INSPECT U.uid AND H.h USING corr, mutual_info \
+     OVER D.seq AS S FROM models M, units U, hypotheses H, inputs D \
+     WHERE M.mid = 'm1' AND H.name = 'beta'",
+    "SELECT S.uid, S.group_score INSPECT U.uid AND H.h USING logreg_l1 OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE M.mid = 'm1' AND H.name = 'alpha'",
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE M.mid = 'm1' AND U.layer = 1 HAVING S.unit_score > -2.0",
+    "SELECT M.mid, S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D WHERE H.name = 'beta'",
+];
+
+fn config(device: Device) -> InspectionConfig {
+    InspectionConfig {
+        device,
+        block_records: 24,
+        ..Default::default()
+    }
+}
+
+fn sequential_tables(catalog: &Catalog, config: &InspectionConfig) -> Vec<Table> {
+    QUERIES
+        .iter()
+        .map(|q| run_query(q, catalog, config).unwrap())
+        .collect()
+}
+
+#[test]
+fn batch_is_bit_identical_to_sequential_on_both_devices() {
+    for device in [Device::SingleCore, Device::Parallel(3)] {
+        let (catalog, _) = test_catalog();
+        let config = config(device);
+        let sequential = sequential_tables(&catalog, &config);
+        let batch = catalog.run_batch(&QUERIES, &config).expect("batch runs");
+        assert_eq!(
+            batch.tables, sequential,
+            "batch tables must match sequential execution on {device:?}"
+        );
+        assert!(
+            batch.tables.iter().any(|t| !t.is_empty()),
+            "results nonempty"
+        );
+    }
+}
+
+#[test]
+fn parallel_batch_matches_single_core_batch() {
+    let (catalog, _) = test_catalog();
+    let single = catalog
+        .run_batch(&QUERIES, &config(Device::SingleCore))
+        .unwrap();
+    let parallel = catalog
+        .run_batch(&QUERIES, &config(Device::Parallel(4)))
+        .unwrap();
+    assert_eq!(single.tables, parallel.tables);
+}
+
+#[test]
+fn batch_runs_one_extraction_pass_per_model_dataset_group() {
+    // A tight epsilon disables early stopping, so a full pass is exactly
+    // ND records: the sharing is visible as exact counts.
+    let tight = InspectionConfig {
+        epsilon: Some(1e-9),
+        block_records: 24,
+        ..Default::default()
+    };
+    let m1_queries = &QUERIES[..5];
+
+    let (catalog, counters) = test_catalog();
+    let batch = catalog.run_batch(m1_queries, &tight).unwrap();
+    let batch_extracted = counters.extracted_records.load(Ordering::SeqCst);
+    assert_eq!(
+        batch_extracted, ND,
+        "five m1 queries must share exactly one extraction pass"
+    );
+    assert_eq!(batch.report.groups.len(), 1);
+    assert_eq!(batch.report.groups[0].extraction_passes, 1);
+    assert_eq!(batch.report.groups[0].model_id, "m1");
+    assert_eq!(batch.report.groups[0].queries, vec![0, 1, 2, 3, 4]);
+    assert_eq!(batch.report.groups[0].pass.records_read, ND);
+    assert_eq!(batch.report.per_query.len(), 5);
+    assert!(batch.report.per_query.iter().all(|p| p.records_read == ND));
+
+    // Sequential execution re-extracts per query (and per GROUP BY group).
+    let (catalog, counters) = test_catalog();
+    let _ = m1_queries
+        .iter()
+        .map(|q| run_query(q, &catalog, &tight).unwrap())
+        .collect::<Vec<_>>();
+    let sequential_extracted = counters.extracted_records.load(Ordering::SeqCst);
+    assert!(
+        sequential_extracted >= 5 * ND,
+        "sequential: at least one pass per query, got {sequential_extracted}"
+    );
+    assert!(batch_extracted < sequential_extracted);
+}
+
+#[test]
+fn batch_does_strictly_fewer_hypothesis_evaluations() {
+    let tight = InspectionConfig {
+        epsilon: Some(1e-9),
+        block_records: 24,
+        ..Default::default()
+    };
+    let m1_queries = &QUERIES[..5];
+
+    let (catalog, counters) = test_catalog();
+    let batch = catalog.run_batch(m1_queries, &tight).unwrap();
+    let batch_evals = counters.hypothesis_evals.load(Ordering::SeqCst);
+    // The shared cache deduplicates evaluation across queries and blocks:
+    // each of the 3 distinct hypotheses runs once per record.
+    assert_eq!(batch_evals, 3 * ND);
+    assert_eq!(batch.report.cache.misses, 3 * ND);
+    // Within one shared group the union pass already evaluates each
+    // (hypothesis, record) exactly once, so nothing is ever looked up
+    // twice: sharing shows up as the *absence* of redundant lookups, not
+    // as cache hits. (Hits appear across groups; see the multi-model test.)
+    assert_eq!(batch.report.cache.hits, 0);
+    assert_eq!(batch.report.cache.evictions, 0);
+
+    let (catalog, counters) = test_catalog();
+    let _ = m1_queries
+        .iter()
+        .map(|q| run_query(q, &catalog, &tight).unwrap())
+        .collect::<Vec<_>>();
+    let sequential_evals = counters.hypothesis_evals.load(Ordering::SeqCst);
+    assert!(
+        batch_evals < sequential_evals,
+        "batch {batch_evals} must be < sequential {sequential_evals}"
+    );
+}
+
+#[test]
+fn multi_model_queries_fan_into_separate_groups() {
+    let (catalog, _) = test_catalog();
+    let config = config(Device::SingleCore);
+    let batch = catalog.run_batch(&QUERIES, &config).unwrap();
+    // m1 group (queries 0-5: query 5 spans both models) + m2 group.
+    assert_eq!(batch.report.groups.len(), 2);
+    let m2_group = batch
+        .report
+        .groups
+        .iter()
+        .find(|g| g.model_id == "m2")
+        .expect("m2 group exists");
+    assert_eq!(m2_group.queries, vec![5]);
+    assert_eq!(m2_group.dataset_id, "seq");
+    // Both groups stream the same dataset with overlapping hypotheses, so
+    // the second group's hypothesis columns come from the shared cache.
+    assert!(
+        batch.report.cache.hits > 0,
+        "cross-group lookups must hit the shared batch cache"
+    );
+    // The cross-model query's table contains rows from both models.
+    let t = &batch.tables[5];
+    let mids: Vec<String> = (0..t.len())
+        .filter_map(|r| match t.value(r, "m_mid") {
+            Some(deepbase_relational::Value::Str(s)) => Some(s),
+            _ => None,
+        })
+        .collect();
+    assert!(mids.iter().any(|m| m == "m1"));
+    assert!(mids.iter().any(|m| m == "m2"));
+}
+
+#[test]
+fn colliding_dataset_ids_do_not_cross_contaminate() {
+    // Two *distinct* datasets registered under different catalog names
+    // but sharing the same internal `Dataset::id` (a user mistake, but
+    // reachable): the batch scheduler must not let its implicit shared
+    // cache serve one dataset's behaviors for the other's records. The
+    // proof is parity with cache-less sequential execution.
+    let build = || {
+        let mk_records = |flip: bool| -> Vec<Record> {
+            (0..32)
+                .map(|i| {
+                    let text: String = (0..NS)
+                        .map(|t| {
+                            let a = (i + t) % 3 == 0;
+                            if a != flip {
+                                'a'
+                            } else {
+                                'b'
+                            }
+                        })
+                        .collect();
+                    Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+                })
+                .collect()
+        };
+        let mut catalog = Catalog::new();
+        let behaviors = Matrix::from_fn(32 * NS, 2, |r, c| ((r * (c + 2) * 7) % 19) as f32 / 19.0);
+        catalog.add_model("m", 0, Arc::new(PrecomputedExtractor::new(behaviors, NS)));
+        catalog.add_hypotheses(
+            "h",
+            vec![Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a'))],
+        );
+        // Same internal id "dup" for two different record sets.
+        catalog.add_dataset(
+            "train",
+            Arc::new(Dataset::new("dup", NS, mk_records(false)).unwrap()),
+        );
+        catalog.add_dataset(
+            "test",
+            Arc::new(Dataset::new("dup", NS, mk_records(true)).unwrap()),
+        );
+        catalog
+    };
+    let queries = [
+        "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+         FROM models M, units U, hypotheses H, inputs D WHERE D.name = 'train'",
+        "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+         FROM models M, units U, hypotheses H, inputs D WHERE D.name = 'test'",
+    ];
+    let config = InspectionConfig::default();
+    let catalog = build();
+    let sequential: Vec<Table> = queries
+        .iter()
+        .map(|q| run_query(q, &catalog, &config).unwrap())
+        .collect();
+    let batch = catalog.run_batch(&queries, &config).unwrap();
+    assert_eq!(batch.tables, sequential);
+    assert_ne!(
+        batch.tables[0], batch.tables[1],
+        "the two datasets genuinely differ"
+    );
+}
+
+#[test]
+fn colliding_hypothesis_ids_do_not_cross_contaminate() {
+    // Two *different* predicates registered under the same hypothesis id
+    // in two sets (nothing enforces id uniqueness): a query binding both
+    // carries both functions. The union dedup must key on function
+    // identity — not id — and the implicit batch cache (which keys on
+    // id) must stand down, so batch results still match cache-less
+    // sequential execution.
+    let records: Vec<Record> = (0..48)
+        .map(|i| {
+            let text: String = (0..NS)
+                .map(|t| if (i + t) % 3 == 0 { 'a' } else { 'b' })
+                .collect();
+            Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+        })
+        .collect();
+    let mut catalog = Catalog::new();
+    let behaviors = Matrix::from_fn(48 * NS, 3, |r, c| ((r * (c + 2) * 13) % 29) as f32 / 29.0);
+    let mut m = Matrix::zeros(48 * NS, 3);
+    for (ri, rec) in records.iter().enumerate() {
+        for (t, c) in rec.text.chars().enumerate() {
+            let r = ri * NS + t;
+            m.set(r, 0, if c == 'a' { 0.9 } else { 0.0 });
+            m.set(r, 1, behaviors.get(r, 1));
+            m.set(r, 2, behaviors.get(r, 2));
+        }
+    }
+    catalog.add_model("m", 0, Arc::new(PrecomputedExtractor::new(m, NS)));
+    catalog.add_hypotheses(
+        "s1",
+        vec![Arc::new(FnHypothesis::char_class("dup", |c| c == 'a'))],
+    );
+    catalog.add_hypotheses(
+        "s2",
+        vec![Arc::new(FnHypothesis::char_class("dup", |c| c == 'b'))],
+    );
+    catalog.add_dataset("seq", Arc::new(Dataset::new("seq", NS, records).unwrap()));
+    let queries = [
+        // Binds both sets: one request with two distinct functions, both
+        // with id "dup".
+        "SELECT S.uid, S.hyp_id, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+         FROM models M, units U, hypotheses H, inputs D",
+        "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+         FROM models M, units U, hypotheses H, inputs D WHERE H.name = 's2'",
+    ];
+    let config = InspectionConfig::default();
+    let sequential: Vec<Table> = queries
+        .iter()
+        .map(|q| run_query(q, &catalog, &config).unwrap())
+        .collect();
+    // Sanity: the two same-id functions genuinely score differently.
+    assert_eq!(sequential[0].len(), 6, "2 hypotheses x 3 units");
+    let batch = catalog.run_batch(&queries, &config).unwrap();
+    assert_eq!(batch.tables, sequential);
+}
+
+#[test]
+fn shared_inspection_engine_level_parity() {
+    // Engine-level check: inspect_shared member results are identical to
+    // standalone inspect calls for members with different unit groups,
+    // hypothesis subsets and measures.
+    let records: Vec<Record> = (0..64)
+        .map(|i| {
+            let text: String = (0..NS)
+                .map(|t| if (i + 2 * t) % 3 == 0 { 'a' } else { 'b' })
+                .collect();
+            Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+        })
+        .collect();
+    let dataset = Dataset::new("d", NS, records).unwrap();
+    let behaviors = Matrix::from_fn(64 * NS, 5, |r, c| ((r * (c + 3) * 11) % 23) as f32 / 23.0);
+    let extractor = PrecomputedExtractor::new(behaviors, NS);
+    let is_a = FnHypothesis::char_class("is_a", |c| c == 'a');
+    let is_b = FnHypothesis::char_class("is_b", |c| c == 'b');
+    let corr = CorrelationMeasure;
+    let mi = MutualInfoMeasure::default();
+
+    let requests = vec![
+        InspectionRequest {
+            model_id: "m".into(),
+            extractor: &extractor,
+            groups: vec![UnitGroup::all(5)],
+            dataset: &dataset,
+            hypotheses: vec![&is_a, &is_b],
+            measures: vec![&corr],
+        },
+        InspectionRequest {
+            model_id: "m".into(),
+            extractor: &extractor,
+            groups: vec![
+                UnitGroup::new("low", vec![0, 1]),
+                UnitGroup::new("high", vec![2, 3, 4]),
+            ],
+            dataset: &dataset,
+            hypotheses: vec![&is_b],
+            measures: vec![&corr, &mi],
+        },
+    ];
+    let config = InspectionConfig {
+        block_records: 16,
+        ..Default::default()
+    };
+    let outcome = inspect_shared(&requests, &config).unwrap();
+    assert_eq!(outcome.extraction_passes, 1);
+    assert_eq!(outcome.results.len(), 2);
+    for (req, (shared_frame, _)) in requests.iter().zip(&outcome.results) {
+        let (solo_frame, _) = inspect(req, &config).unwrap();
+        assert_eq!(
+            shared_frame, &solo_frame,
+            "member frame must be bit-identical"
+        );
+    }
+    // The merged frame deduplicates: request 0's (all, corr, is_b) and the
+    // per-group variants of request 1 are distinct pairs, but nothing is
+    // emitted twice.
+    let unique: std::collections::BTreeSet<(String, String, String, usize)> = outcome
+        .merged
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r.group_id.clone(),
+                r.measure_id.clone(),
+                r.hyp_id.clone(),
+                r.unit,
+            )
+        })
+        .collect();
+    assert_eq!(unique.len(), outcome.merged.len());
+}
+
+#[test]
+fn shared_inspection_rejects_mixed_datasets() {
+    let records: Vec<Record> = (0..8)
+        .map(|i| Record::standalone(i, vec![0; 4], "aaaa".into()))
+        .collect();
+    let d1 = Dataset::new("d1", 4, records.clone()).unwrap();
+    let d2 = Dataset::new("d2", 4, records).unwrap();
+    let behaviors = Matrix::zeros(32, 2);
+    let extractor = PrecomputedExtractor::new(behaviors, 4);
+    let hyp = FnHypothesis::char_class("is_a", |c| c == 'a');
+    let corr = CorrelationMeasure;
+    let reqs: Vec<InspectionRequest> = [&d1, &d2]
+        .into_iter()
+        .map(|d| InspectionRequest {
+            model_id: "m".into(),
+            extractor: &extractor,
+            groups: vec![UnitGroup::all(2)],
+            dataset: d,
+            hypotheses: vec![&hyp],
+            measures: vec![&corr],
+        })
+        .collect();
+    let err = inspect_shared(&reqs, &InspectionConfig::default()).unwrap_err();
+    assert!(matches!(err, DniError::BadConfig(_)));
+}
