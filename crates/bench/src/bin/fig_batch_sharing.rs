@@ -3,10 +3,13 @@
 //!
 //! Runs a workload of INSPECT queries that all inspect the same model —
 //! the paper's §5 amortization claim — once as N sequential
-//! `run_query` calls and once through `Catalog::run_batch`, on the
-//! single-core and pool-parallel devices, and reports wall-clock plus
-//! extraction-work accounting (records extracted, hypothesis
-//! evaluations). Writes `BENCH_PR2.json` in the current directory.
+//! `run_query` calls and once as a batch through the `Session` API
+//! (score reuse disabled, so the timing isolates shared extraction and
+//! plan-cache amortization, not result caching; `fig_plan_cache` measures
+//! the caches), on the single-core and pool-parallel devices, and reports
+//! wall-clock plus extraction-work accounting (records extracted,
+//! hypothesis evaluations). Writes `BENCH_PR2.json` in the current
+//! directory.
 //!
 //! Run with: `cargo run --release -p deepbase-bench --bin fig_batch_sharing`
 
@@ -197,11 +200,6 @@ fn main() {
             .iter()
             .map(|q| run_query(q, &catalog, &cfg).unwrap())
             .collect();
-        let batch = catalog.run_batch(&QUERIES, &cfg).unwrap();
-        assert_eq!(
-            batch.tables, sequential,
-            "batch must match sequential execution"
-        );
         record(
             &format!("multi_query_sequential_{tag}"),
             time_runs(|| {
@@ -210,10 +208,24 @@ fn main() {
                 }
             }),
         );
+        let (session_catalog, _, _) = build_catalog();
+        let mut session = Session::with_config(
+            session_catalog,
+            SessionConfig {
+                inspection: cfg.clone(),
+                reuse_scores: false,
+                ..SessionConfig::default()
+            },
+        );
+        let batch = session.run_batch(&QUERIES).unwrap();
+        assert_eq!(
+            batch.tables, sequential,
+            "batch must match sequential execution"
+        );
         record(
             &format!("multi_query_batch_{tag}"),
             time_runs(|| {
-                black_box(catalog.run_batch(&QUERIES, &cfg).unwrap());
+                black_box(session.run_batch(&QUERIES).unwrap());
             }),
         );
     }
@@ -233,7 +245,15 @@ fn main() {
     let seq_evals = evals.load(Ordering::SeqCst);
 
     let (catalog, extracted, evals) = build_catalog();
-    let batch = catalog.run_batch(&QUERIES, &tight).unwrap();
+    let mut session = Session::with_config(
+        catalog,
+        SessionConfig {
+            inspection: tight.clone(),
+            reuse_scores: false,
+            ..SessionConfig::default()
+        },
+    );
+    let batch = session.run_batch(&QUERIES).unwrap();
     let batch_extracted = extracted.load(Ordering::SeqCst);
     let batch_evals = evals.load(Ordering::SeqCst);
     assert_eq!(batch.report.groups.len(), 1);

@@ -1,0 +1,237 @@
+//! Plan-cache / session benchmark (ISSUE 3): repeated-batch workloads
+//! through a long-lived `Session` vs per-call one-shot execution.
+//!
+//! A development session re-runs the same INSPECT batch many times (the
+//! paper's model-development loop: the hypothesis library and test set
+//! stay fixed while the analyst iterates). The one-shot path re-parses,
+//! re-binds and re-extracts on every call; a session binds once (plan
+//! cache), shares hypothesis behaviors across batches (session cache)
+//! and reuses converged scores (score cache). This bin measures the
+//! amortization on a real char-LSTM extractor:
+//!
+//! * `per_call_run_batch`   — `Catalog::run_batch` every iteration
+//! * `session_bind_amortized` — `Session::run_batch`, score reuse off
+//!   (plan cache + session hypothesis cache only)
+//! * `session_full_reuse`   — `Session::run_batch`, full score reuse
+//!
+//! and reports the repeated-batch speedups plus the plan-cache hit rate.
+//! Writes `BENCH_PR3.json` in the current directory.
+//!
+//! Run with: `cargo run --release -p deepbase-bench --bin fig_plan_cache`
+
+use deepbase::prelude::*;
+use deepbase::query::UnitMeta;
+use deepbase_nn::{CharLstmModel, OutputMode};
+use deepbase_tensor::Matrix;
+use std::hint::black_box;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ND: usize = 256;
+const NS: usize = 12;
+const UNITS: usize = 32;
+
+/// Owned char-LSTM extractor: a real forward pass per extraction — the
+/// cost the session caches amortize away.
+struct OwnedLstmExtractor {
+    model: CharLstmModel,
+}
+
+impl Extractor for OwnedLstmExtractor {
+    fn n_units(&self) -> usize {
+        self.model.hidden()
+    }
+
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
+        if records.is_empty() {
+            return Matrix::zeros(0, unit_ids.len());
+        }
+        let inputs: Vec<Vec<u32>> = records.iter().map(|r| r.symbols.clone()).collect();
+        let full = self.model.extract_activations(&inputs);
+        let mut out = Matrix::zeros(full.rows(), unit_ids.len());
+        for r in 0..full.rows() {
+            let src = full.row(r);
+            let dst = out.row_mut(r);
+            for (c, &u) in unit_ids.iter().enumerate() {
+                dst[c] = src[u];
+            }
+        }
+        out
+    }
+}
+
+fn build_catalog() -> Catalog {
+    let records: Vec<Record> = (0..ND)
+        .map(|i| {
+            let chars: Vec<char> = (0..NS)
+                .map(|t| match (i * 11 + t * 5) % 7 {
+                    0 | 4 => 'a',
+                    1 | 5 => 'b',
+                    2 => 'c',
+                    _ => 'd',
+                })
+                .collect();
+            let symbols: Vec<u32> = chars.iter().map(|&c| c as u32 - 'a' as u32).collect();
+            Record::standalone(i, symbols, chars.into_iter().collect())
+        })
+        .collect();
+    let mut catalog = Catalog::new();
+    catalog.add_model_with_units(
+        "probe",
+        5,
+        Arc::new(OwnedLstmExtractor {
+            model: CharLstmModel::new(4, UNITS, OutputMode::LastStep, 42),
+        }),
+        (0..UNITS)
+            .map(|uid| UnitMeta {
+                uid,
+                layer: (uid % 2) as i64,
+            })
+            .collect(),
+    );
+    catalog.add_hypotheses(
+        "chars",
+        vec![
+            Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a')),
+            Arc::new(FnHypothesis::char_class("is_b", |c| c == 'b')),
+            Arc::new(FnHypothesis::char_class("is_c", |c| c == 'c')),
+        ],
+    );
+    catalog.add_hypotheses("position", vec![Arc::new(FnHypothesis::position_counter())]);
+    catalog.add_dataset("seq", Arc::new(Dataset::new("seq", NS, records).unwrap()));
+    catalog
+}
+
+/// The repeated development batch: overlapping hypothesis sets, varied
+/// unit filters, GROUP BY and measures.
+const QUERIES: [&str; 6] = [
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D HAVING S.unit_score > 0.5",
+    "SELECT S.group_id, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE H.name = 'chars' GROUP BY U.layer",
+    "SELECT S.uid, S.hyp_id, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D WHERE H.name = 'position'",
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE U.layer = 0 HAVING S.unit_score > 0.3",
+    "SELECT S.uid, S.unit_score, S.group_score INSPECT U.uid AND H.h USING mutual_info \
+     OVER D.seq AS S FROM models M, units U, hypotheses H, inputs D \
+     WHERE U.uid < 6 AND H.name = 'chars'",
+    "SELECT S.uid, S.group_score INSPECT U.uid AND H.h USING logreg_l1 OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE U.uid < 12 AND H.name = 'position'",
+];
+
+fn time_runs(mut f: impl FnMut()) -> f64 {
+    f(); // warm up (fills session caches: steady-state cost is the point)
+    let mut samples = Vec::new();
+    let mut spent = Duration::ZERO;
+    while samples.len() < 9 && (spent < Duration::from_millis(1500) || samples.len() < 3) {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        spent += elapsed;
+        samples.push(elapsed.as_secs_f64() * 1e9);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn session_with(reuse_scores: bool, cfg: &InspectionConfig) -> Session {
+    Session::with_config(
+        build_catalog(),
+        SessionConfig {
+            inspection: cfg.clone(),
+            reuse_scores,
+            ..SessionConfig::default()
+        },
+    )
+}
+
+fn main() {
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, ns: f64| {
+        println!("{name:<44} {ns:>14.0} ns");
+        entries.push((name.to_string(), ns));
+    };
+    let cfg = InspectionConfig {
+        block_records: 64,
+        ..Default::default()
+    };
+
+    // Correctness gate: all three paths produce identical tables.
+    let catalog = build_catalog();
+    let per_call = catalog.run_batch(&QUERIES, &cfg).unwrap();
+    let mut bind_amortized = session_with(false, &cfg);
+    let mut full_reuse = session_with(true, &cfg);
+    assert_eq!(
+        bind_amortized.run_batch(&QUERIES).unwrap().tables,
+        per_call.tables
+    );
+    let first = full_reuse.run_batch(&QUERIES).unwrap();
+    assert_eq!(first.tables, per_call.tables);
+    let replay = full_reuse.run_batch(&QUERIES).unwrap();
+    assert_eq!(replay.tables, per_call.tables);
+    assert_eq!(replay.report.plan.plan_cache_hits, QUERIES.len());
+    assert!(replay.report.plan.score_cache_hits > 0);
+
+    record(
+        "per_call_run_batch",
+        time_runs(|| {
+            black_box(catalog.run_batch(&QUERIES, &cfg).unwrap());
+        }),
+    );
+    record(
+        "session_bind_amortized",
+        time_runs(|| {
+            black_box(bind_amortized.run_batch(&QUERIES).unwrap());
+        }),
+    );
+    record(
+        "session_full_reuse",
+        time_runs(|| {
+            black_box(full_reuse.run_batch(&QUERIES).unwrap());
+        }),
+    );
+
+    let ns_of = |name: &str| entries.iter().find(|(n, _)| n == name).unwrap().1;
+    let per_call_ns = ns_of("per_call_run_batch");
+    let bind_speedup = per_call_ns / ns_of("session_bind_amortized");
+    let reuse_speedup = per_call_ns / ns_of("session_full_reuse");
+
+    let stats = full_reuse.stats();
+    let lookups = stats.plan_cache_hits + stats.plan_cache_misses;
+    let hit_rate = stats.plan_cache_hits as f64 / lookups.max(1) as f64;
+    println!(
+        "plan cache        : {} hits / {} lookups ({:.1}% hit rate)",
+        stats.plan_cache_hits,
+        lookups,
+        100.0 * hit_rate
+    );
+    println!("score cache hits  : {}", stats.score_cache_hits);
+    println!("prepare-amortization speedup (scores off): {bind_speedup:.2}x");
+    println!("full session reuse speedup               : {reuse_speedup:.2}x");
+
+    let mut json = String::from("{\n  \"pr\": 3,\n  \"benchmarks\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{name}\": {{\"ns_per_iter\": {ns:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"plan_cache_hit_rate\": {hit_rate:.4},\n  \
+         \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \
+         \"score_cache_hits\": {},\n  \
+         \"bind_amortization_speedup\": {bind_speedup:.3},\n  \
+         \"full_reuse_speedup\": {reuse_speedup:.3}\n}}\n",
+        stats.plan_cache_hits, stats.plan_cache_misses, stats.score_cache_hits
+    ));
+    std::fs::File::create("BENCH_PR3.json")
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_PR3.json");
+    println!("wrote BENCH_PR3.json");
+}

@@ -25,6 +25,18 @@ pub struct CacheStats {
     pub evictions: usize,
 }
 
+impl CacheStats {
+    /// Counter movement since an earlier snapshot (used for per-batch
+    /// deltas of a long-lived session cache).
+    pub fn delta_since(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            evictions: self.evictions - before.evictions,
+        }
+    }
+}
+
 type Key = (String, String, usize);
 
 /// LRU cache of per-record hypothesis behaviors.

@@ -38,9 +38,11 @@
 //!
 //! Inspection amortizes (§5): many hypotheses and measures over the same
 //! model share one extraction pass. [`inspect_shared`] is the multi-request
-//! entry point behind the batch scheduler in [`crate::query`]: it takes N
-//! member requests that name the *same* `(extractor, dataset)` pair and
-//! runs them through a **single** streaming pass —
+//! entry point the physical plans of [`crate::plan`] execute through (the
+//! engine consumes the [`InspectionRequest`]s a plan produces, never raw
+//! query ASTs): it takes N member requests that name the *same*
+//! `(extractor, dataset)` pair and runs them through a **single**
+//! streaming pass —
 //!
 //! * unit behaviors are extracted once per block for the *union* of all
 //!   member unit columns and demuxed per group
@@ -86,7 +88,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which engine design executes the inspection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Naive full-materialization design (the paper's Python baseline).
     PyBase,

@@ -5,27 +5,48 @@
 //! measures the statistical affinity between hidden-unit behaviors of
 //! trained neural networks and user-provided hypothesis functions.
 //!
+//! Inspection is a *query* workload, and the public API follows the
+//! classical database shape: register models, hypothesis sets and
+//! datasets in a [`query::Catalog`], open a [`session::Session`] over it,
+//! and run INSPECT statements through the explicit pipeline
+//! `parse → bind → optimize → execute`. Prepared statements cache their
+//! bound plans across batches, converged scores are reused, and
+//! admission control keeps oversized batches from exceeding the
+//! configured stream width:
+//!
 //! ```no_run
 //! use deepbase::prelude::*;
+//! # use std::sync::Arc;
 //! # fn main() -> Result<(), deepbase::DniError> {
-//! # let model = deepbase_nn::CharLstmModel::new(4, 8, deepbase_nn::OutputMode::LastStep, 0);
-//! # let dataset = Dataset::new("d", 4, vec![])?;
-//! let extractor = CharModelExtractor::new(&model);
-//! let corr = CorrelationMeasure;
-//! let logreg = LogRegMeasure::l1(0.01);
-//! let select = FnHypothesis::keyword("SELECT");
-//! let request = InspectionRequest {
-//!     model_id: "sql_char_model".into(),
-//!     extractor: &extractor,
-//!     groups: vec![UnitGroup::all(8)],
-//!     dataset: &dataset,
-//!     hypotheses: vec![&select],
-//!     measures: vec![&corr, &logreg],
-//! };
-//! let (scores, profile) = inspect(&request, &InspectionConfig::default())?;
-//! println!("{}", scores.to_table().render(20));
+//! let mut catalog = Catalog::new();
+//! # catalog.add_model(
+//! #     "sqlparser",
+//! #     0,
+//! #     Arc::new(PrecomputedExtractor::new(deepbase_tensor::Matrix::zeros(0, 8), 4)),
+//! # );
+//! # catalog.add_hypotheses(
+//! #     "keywords",
+//! #     vec![Arc::new(FnHypothesis::keyword("SELECT"))],
+//! # );
+//! # catalog.add_dataset("seq", Arc::new(Dataset::new("seq", 4, vec![])?));
+//! // ... catalog.add_model / add_hypotheses / add_dataset ...
+//! let mut session = Session::new(catalog);
+//! let sql = "SELECT S.uid, S.unit_score \
+//!            INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+//!            FROM models M, units U, hypotheses H, inputs D \
+//!            HAVING S.unit_score > 0.8";
+//! println!("{}", session.explain(sql)?);      // the physical plan tree
+//! let prepared = session.prepare(sql)?;       // parse + bind, cached
+//! let table = session.execute(&prepared)?;    // shared streaming pass
+//! let again = session.execute(&prepared)?;    // zero bind work, scores reused
+//! assert_eq!(table, again);
+//! println!("{}", table.render(20));
 //! # Ok(()) }
 //! ```
+//!
+//! Lower-level entry points remain for one-shot use: [`engine::inspect`]
+//! for a single [`engine::InspectionRequest`], [`query::run_query`] /
+//! [`query::Catalog::run_batch`] as thin shims over the same pipeline.
 //!
 //! Modules map to the paper:
 //!
@@ -36,14 +57,20 @@
 //!   `process_block` APIs and merged (multi-output) states (§4.3, §5.2).
 //! * [`engine`] — PyBase / +MM / +MM+ES / DeepBase / MADLib engines with
 //!   streaming extraction, early stopping, the parallel device (§5), and
-//!   the shared multi-request pass behind batch scheduling
-//!   ([`engine::inspect_shared`]).
+//!   the shared multi-request pass ([`engine::inspect_shared`]) physical
+//!   plans execute through.
 //! * [`cache`] — hypothesis-behavior LRU cache (§5.1.2, Fig. 9), shared
-//!   across every member of a query batch.
+//!   across every batch of a session.
 //! * [`result`] — the score frame and relational post-processing (§4.1).
 //! * [`verify`] — perturbation-based verification (§4.4, Appendix C).
-//! * [`query`] — the `INSPECT` SQL extension (Appendix B) and the
-//!   multi-query batch scheduler ([`query::execute_batch`]).
+//! * [`query`] — the `INSPECT` SQL surface (Appendix B): catalog, lexer,
+//!   parser, and the one-shot shims.
+//! * [`plan`] — the explicit pipeline: [`plan::bind`] →
+//!   [`plan::LogicalPlan`] → [`plan::optimize`] → [`plan::PhysicalPlan`]
+//!   (shared-extraction grouping, dedup estimates, admission control,
+//!   `explain`).
+//! * [`session`] — long-lived sessions: prepared statements, the
+//!   cross-batch plan cache, score reuse, admission configuration.
 //! * [`vision`] — CNN inspection and the NetDissect pipeline (Appendix E).
 //! * [`workloads`] — the paper's evaluation workloads, shared by the
 //!   examples, integration tests and benchmark harnesses.
@@ -54,8 +81,10 @@ pub mod error;
 pub mod extract;
 pub mod measure;
 pub mod model;
+pub mod plan;
 pub mod query;
 pub mod result;
+pub mod session;
 pub mod verify;
 pub mod vision;
 pub mod workloads;
@@ -82,8 +111,11 @@ pub mod prelude {
     pub use crate::model::{
         Dataset, FnHypothesis, HypothesisFn, ParseCache, ParseHypothesis, Record, UnitGroup,
     };
-    pub use crate::query::{
-        execute, execute_batch, parse, run_query, BatchOutput, BatchReport, Catalog, GroupReport,
+    pub use crate::plan::{
+        bind, optimize, AdmissionConfig, BatchOutput, BatchReport, GroupReport, LogicalPlan,
+        PhysicalPlan, PlanStats,
     };
+    pub use crate::query::{execute, execute_batch, parse, run_query, Catalog};
     pub use crate::result::{ResultFrame, ScoreRow};
+    pub use crate::session::{PreparedBatch, PreparedQuery, Session, SessionConfig, SessionStats};
 }

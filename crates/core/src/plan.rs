@@ -1,0 +1,1013 @@
+//! The explicit query pipeline: `parse → bind → optimize → execute`.
+//!
+//! DeepBase treats inspection as a declarative query workload, so the
+//! query-facing API follows the classical database shape:
+//!
+//! 1. [`crate::query::parse`] turns an INSPECT statement into an
+//!    [`InspectQuery`] AST;
+//! 2. [`bind`] resolves the AST against a [`Catalog`] into an owned,
+//!    immutable [`LogicalPlan`] — models (with their extractors and unit
+//!    metadata), hypothesis sets, dataset, measures and the precomputed
+//!    unit groups, plus the validated output schema. A bound plan borrows
+//!    nothing from the catalog, so it can be cached across calls (the
+//!    session plan cache in [`crate::session`]);
+//! 3. [`optimize`] turns one or more logical plans into a [`PhysicalPlan`]:
+//!    work items grouped by `(extractor, dataset)` for shared streaming
+//!    extraction, union unit columns, hypothesis columns deduplicated by
+//!    function identity, measure-state sharing estimates, and the
+//!    **admission** decision — oversized groups are split into sequential
+//!    waves so no single pass exceeds the configured union-stream width;
+//! 4. [`PhysicalPlan::execute`] drives [`crate::engine::inspect_shared`]
+//!    per group/wave and assembles each query's result table, reporting
+//!    per-query profiles, per-pass accounting, cache statistics and the
+//!    plan/admission counters in [`BatchReport`].
+//!
+//! [`PhysicalPlan::explain`] renders the plan tree (units extracted,
+//! hypotheses deduplicated, measure states shared, estimated stream
+//! width, admission waves) for tests and debugging.
+//!
+//! The legacy one-shot entry points (`query::execute`,
+//! `query::execute_batch`, `query::run_query`, `Catalog::run_batch`) are
+//! thin shims over this pipeline; the streaming engine consumes the
+//! [`InspectionRequest`]s a physical plan produces, never raw
+//! [`InspectQuery`] structs.
+
+use crate::cache::{CacheStats, HypothesisCache};
+use crate::engine::{
+    inspect_shared, Device, InspectionConfig, InspectionRequest, Profile, SharedOutcome,
+};
+use crate::error::DniError;
+use crate::extract::Extractor;
+use crate::measure::Measure;
+use crate::model::{Dataset, HypothesisFn, UnitGroup};
+use crate::query::{Catalog, ColRef, Cond, InspectQuery, Literal, UnitMeta};
+use crate::result::ResultFrame;
+use deepbase_relational::{ColType, Schema, Table, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Byte budget of the hypothesis cache the batch shims install when the
+/// caller's config has none: large enough to hold the hypothesis columns
+/// of a typical batch, small enough to stay an implementation detail.
+pub const BATCH_CACHE_BYTES: usize = 64 << 20;
+
+// ---------------------------------------------------------------------
+// Predicate helpers (shared by binding and post-processing)
+// ---------------------------------------------------------------------
+
+fn alias_relation(query: &InspectQuery, alias: &str) -> Result<String, DniError> {
+    query
+        .from
+        .iter()
+        .find(|(_, a)| a == alias)
+        .map(|(r, _)| r.clone())
+        .ok_or_else(|| DniError::Query(format!("unknown alias {alias:?} (missing FROM entry)")))
+}
+
+fn num_matches(op: &str, lhs: f64, rhs: f64) -> bool {
+    match op {
+        "=" => (lhs - rhs).abs() < 1e-9,
+        "!=" | "<>" => (lhs - rhs).abs() >= 1e-9,
+        "<" => lhs < rhs,
+        "<=" => lhs <= rhs,
+        ">" => lhs > rhs,
+        ">=" => lhs >= rhs,
+        _ => false,
+    }
+}
+
+fn str_matches(op: &str, lhs: &str, rhs: &str) -> bool {
+    match op {
+        "=" => lhs == rhs,
+        "!=" | "<>" => lhs != rhs,
+        _ => false,
+    }
+}
+
+/// WHERE conjuncts sorted by the catalog relation they constrain.
+#[derive(Default)]
+struct CondSets<'q> {
+    model: Vec<&'q Cond>,
+    unit: Vec<&'q Cond>,
+    hyp: Vec<&'q Cond>,
+    input: Vec<&'q Cond>,
+}
+
+fn classify_conds(query: &InspectQuery) -> Result<CondSets<'_>, DniError> {
+    let mut sets = CondSets::default();
+    for cond in &query.where_conds {
+        match alias_relation(query, &cond.col.alias)?.as_str() {
+            "models" => sets.model.push(cond),
+            "units" => sets.unit.push(cond),
+            "hypotheses" => sets.hyp.push(cond),
+            "inputs" => sets.input.push(cond),
+            other => {
+                return Err(DniError::Query(format!(
+                    "WHERE may reference models/units/hypotheses/inputs, not {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(sets)
+}
+
+fn select_type(query: &InspectQuery, col: &ColRef) -> Result<ColType, DniError> {
+    if col.alias == query.result_alias {
+        return Ok(match col.attr.as_str() {
+            "uid" => ColType::Int,
+            "unit_score" | "group_score" => ColType::Float,
+            _ => ColType::Str,
+        });
+    }
+    let relation = alias_relation(query, &col.alias)?;
+    Ok(match (relation.as_str(), col.attr.as_str()) {
+        ("models", "epoch") | ("units", "uid") | ("units", "layer") => ColType::Int,
+        _ => ColType::Str,
+    })
+}
+
+/// Applies the query's unit WHERE filter to one model's units and
+/// partitions the survivors into GROUP BY groups. Empty when no unit
+/// matches.
+fn unit_groups_for(
+    query: &InspectQuery,
+    unit_conds: &[&Cond],
+    units: &[UnitMeta],
+) -> Vec<UnitGroup> {
+    let selected: Vec<&UnitMeta> = units
+        .iter()
+        .filter(|u| {
+            unit_conds
+                .iter()
+                .all(|c| match (c.col.attr.as_str(), &c.value) {
+                    ("uid", Literal::Num(n)) => num_matches(&c.op, u.uid as f64, *n),
+                    ("layer", Literal::Num(n)) => num_matches(&c.op, u.layer as f64, *n),
+                    _ => false,
+                })
+        })
+        .collect();
+    let unit_group_attrs: Vec<&ColRef> = query
+        .group_by
+        .iter()
+        .filter(|c| alias_relation(query, &c.alias).as_deref() == Ok("units"))
+        .collect();
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for unit in &selected {
+        let key = unit_group_attrs
+            .iter()
+            .map(|c| match c.attr.as_str() {
+                "layer" => format!("layer{}", unit.layer),
+                other => format!("{other}?"),
+            })
+            .collect::<Vec<_>>()
+            .join("/");
+        let key = if key.is_empty() {
+            "all".to_string()
+        } else {
+            key
+        };
+        groups.entry(key).or_default().push(unit.uid);
+    }
+    groups
+        .into_iter()
+        .map(|(id, units)| UnitGroup::new(&id, units))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Logical plans (bind)
+// ---------------------------------------------------------------------
+
+/// One catalog model as resolved into a [`LogicalPlan`]: everything the
+/// executor needs, owned (Arc-shared with the catalog), so the plan stays
+/// valid independently of later catalog borrows.
+pub struct BoundModel {
+    /// Model identifier (`M.mid`).
+    pub mid: String,
+    /// Training epoch (`M.epoch`).
+    pub epoch: i64,
+    /// The model's behavior extractor.
+    pub extractor: Arc<dyn Extractor>,
+    /// Per-unit metadata, for result projection.
+    pub units: Vec<UnitMeta>,
+    /// The query's unit groups on this model (WHERE filter + GROUP BY
+    /// partitioning), precomputed at bind time. Empty when no unit of the
+    /// model survives the filter — the model contributes no work item.
+    pub groups: Vec<UnitGroup>,
+}
+
+/// A bound INSPECT query: the AST resolved against a catalog snapshot.
+///
+/// Logical plans are immutable and self-contained (catalog entries are
+/// `Arc`-shared, never borrowed), which is what makes the session plan
+/// cache sound: a cached plan re-executes without re-binding for as long
+/// as the catalog generation it was bound against stays current.
+pub struct LogicalPlan {
+    /// The parsed statement.
+    pub query: InspectQuery,
+    /// Matching models in catalog order, with precomputed unit groups.
+    pub models: Vec<BoundModel>,
+    /// The resolved hypothesis set.
+    pub hypotheses: Vec<Arc<dyn HypothesisFn>>,
+    /// The resolved dataset.
+    pub dataset: Arc<Dataset>,
+    /// The resolved measures, in statement order.
+    pub measures: Vec<Arc<dyn Measure>>,
+    /// Validated output schema (column name, type), in SELECT order.
+    schema: Vec<(String, ColType)>,
+}
+
+impl LogicalPlan {
+    /// Builds the plan's empty output table.
+    pub fn output_table(&self) -> Table {
+        Table::new(Schema::new(
+            self.schema
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect::<Vec<_>>(),
+        ))
+    }
+}
+
+/// Binds a parsed query against the catalog, resolving models, datasets,
+/// hypotheses and measures, validating column references, and
+/// precomputing per-model unit groups.
+pub fn bind(query: &InspectQuery, catalog: &Catalog) -> Result<LogicalPlan, DniError> {
+    let conds = classify_conds(query)?;
+
+    // Bind models.
+    let models: Vec<&crate::query::CatalogModel> = catalog
+        .models()
+        .iter()
+        .filter(|m| {
+            conds
+                .model
+                .iter()
+                .all(|c| match (c.col.attr.as_str(), &c.value) {
+                    ("mid", Literal::Str(s)) => str_matches(&c.op, &m.mid, s),
+                    ("epoch", Literal::Num(n)) => num_matches(&c.op, m.epoch as f64, *n),
+                    _ => false,
+                })
+        })
+        .collect();
+    if models.is_empty() {
+        return Err(DniError::Query("no models match the WHERE clause".into()));
+    }
+
+    // Bind hypothesis sets.
+    let mut hypotheses: Vec<Arc<dyn HypothesisFn>> = Vec::new();
+    let name_cond = conds.hyp.iter().find(|c| c.col.attr == "name");
+    match name_cond {
+        Some(cond) => {
+            let Literal::Str(name) = &cond.value else {
+                return Err(DniError::Query("H.name must compare to a string".into()));
+            };
+            for (set_name, set) in catalog.hypothesis_sets() {
+                if str_matches(&cond.op, set_name, name) {
+                    hypotheses.extend(set.iter().cloned());
+                }
+            }
+        }
+        None => {
+            for (_, set) in catalog.hypothesis_sets() {
+                hypotheses.extend(set.iter().cloned());
+            }
+        }
+    }
+    if hypotheses.is_empty() {
+        return Err(DniError::Query(
+            "no hypotheses match the WHERE clause".into(),
+        ));
+    }
+
+    // Bind the dataset (by D.name, else sole registered dataset).
+    let dataset: Arc<Dataset> = match conds.input.iter().find(|c| c.col.attr == "name") {
+        Some(cond) => {
+            let Literal::Str(name) = &cond.value else {
+                return Err(DniError::Query("D.name must compare to a string".into()));
+            };
+            catalog
+                .dataset(name)
+                .ok_or_else(|| DniError::Query(format!("unknown dataset {name:?}")))?
+        }
+        None => {
+            let mut datasets = catalog.datasets();
+            match (datasets.next(), datasets.next()) {
+                (None, _) => {
+                    return Err(DniError::Query(
+                        "no datasets registered; add one with Catalog::add_dataset \
+                         before running INSPECT queries"
+                            .into(),
+                    ))
+                }
+                (Some((_, d)), None) => Arc::clone(d),
+                _ => {
+                    return Err(DniError::Query(
+                        "multiple datasets registered; add WHERE D.name = '...'".into(),
+                    ))
+                }
+            }
+        }
+    };
+
+    // Bind measures.
+    let mut measures: Vec<Arc<dyn Measure>> = Vec::new();
+    for name in &query.measures {
+        measures.push(
+            catalog
+                .measure(name)
+                .ok_or_else(|| DniError::Query(format!("unknown measure {name:?}")))?,
+        );
+    }
+
+    // Validate the SELECT list into the output schema.
+    let mut schema: Vec<(String, ColType)> = Vec::with_capacity(query.select.len());
+    for col in &query.select {
+        let ty = select_type(query, col)?;
+        schema.push((format!("{}_{}", col.alias, col.attr), ty));
+    }
+
+    // Precompute unit groups per model.
+    let bound_models = models
+        .iter()
+        .map(|m| BoundModel {
+            mid: m.mid.clone(),
+            epoch: m.epoch,
+            extractor: Arc::clone(&m.extractor),
+            units: m.units.clone(),
+            groups: unit_groups_for(query, &conds.unit, &m.units),
+        })
+        .collect();
+
+    Ok(LogicalPlan {
+        query: query.clone(),
+        models: bound_models,
+        hypotheses,
+        dataset,
+        measures,
+        schema,
+    })
+}
+
+/// Applies HAVING and the SELECT projection to one model's score frame,
+/// appending the surviving rows to `out`.
+fn apply_post(
+    plan: &LogicalPlan,
+    model: &BoundModel,
+    frame: &ResultFrame,
+    out: &mut Table,
+) -> Result<(), DniError> {
+    let query = &plan.query;
+    let layer_of: BTreeMap<usize, i64> = model.units.iter().map(|u| (u.uid, u.layer)).collect();
+    for row in &frame.rows {
+        let keep = query.having.iter().all(|c| {
+            if c.col.alias != query.result_alias {
+                return false;
+            }
+            let lhs = match c.col.attr.as_str() {
+                "unit_score" => row.unit_score as f64,
+                "group_score" => row.group_score as f64,
+                _ => return false,
+            };
+            match &c.value {
+                Literal::Num(n) => num_matches(&c.op, lhs, *n),
+                Literal::Str(_) => false,
+            }
+        });
+        if !keep {
+            continue;
+        }
+        let mut values = Vec::with_capacity(query.select.len());
+        for col in &query.select {
+            let relation = alias_relation(query, &col.alias).unwrap_or_else(|_| "result".into());
+            let is_result = col.alias == query.result_alias;
+            let v = if is_result {
+                match col.attr.as_str() {
+                    "uid" => Value::Int(row.unit as i64),
+                    "unit_score" => Value::Float(row.unit_score),
+                    "group_score" => Value::Float(row.group_score),
+                    "hyp_id" => Value::Str(row.hyp_id.clone()),
+                    "score_id" => Value::Str(row.measure_id.clone()),
+                    "group_id" => Value::Str(row.group_id.clone()),
+                    other => {
+                        return Err(DniError::Query(format!(
+                            "unknown result attribute {other:?}"
+                        )))
+                    }
+                }
+            } else {
+                match (relation.as_str(), col.attr.as_str()) {
+                    ("models", "mid") => Value::Str(model.mid.clone()),
+                    ("models", "epoch") => Value::Int(model.epoch),
+                    ("units", "uid") => Value::Int(row.unit as i64),
+                    ("units", "layer") => Value::Int(layer_of.get(&row.unit).copied().unwrap_or(0)),
+                    ("hypotheses", "h") | ("hypotheses", "name") => Value::Str(row.hyp_id.clone()),
+                    (rel, attr) => {
+                        return Err(DniError::Query(format!("cannot project {rel}.{attr}")))
+                    }
+                }
+            };
+            values.push(v);
+        }
+        out.push_row(values).map_err(|e| DniError::Query(e.msg))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Physical plans (optimize)
+// ---------------------------------------------------------------------
+
+/// Admission-control policy applied by [`optimize`].
+///
+/// The union stream of a shared-extraction group carries one f32 per
+/// symbol step for every union unit column and deduplicated hypothesis
+/// column; its per-block footprint is `width × block_records × ns × 4`
+/// bytes. A bound on the width keeps one misbehaving batch (many wide
+/// queries over one model) from holding an unbounded block resident:
+/// oversized groups are **split** into member waves that run **queued**
+/// (sequentially), each within the bound, instead of OOMing the pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum union-stream width (unit + hypothesis columns) one shared
+    /// pass may carry. `None` admits everything unsplit. A single work
+    /// item whose own width exceeds the bound cannot be split further and
+    /// runs alone in its own wave.
+    pub max_stream_width: Option<usize>,
+}
+
+/// Plan-pipeline counters carried per batch in [`BatchReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Statements served from the session plan cache (zero bind work).
+    pub plan_cache_hits: usize,
+    /// Statements that had to be parsed and bound.
+    pub plan_cache_misses: usize,
+    /// Work items answered from the session score cache (no extraction).
+    pub score_cache_hits: usize,
+    /// Shared groups split into multiple waves by admission control.
+    pub admission_splits: usize,
+    /// Waves beyond the first, i.e. passes that had to queue.
+    pub admission_queued: usize,
+}
+
+/// One work item: a `(query, model)` pair scheduled into a shared group.
+struct PlanItem {
+    query: usize,
+    model_pos: usize,
+}
+
+/// Where a `(query, model)` pair's result frame comes from.
+enum Placement {
+    /// No unit survived the WHERE filter: nothing to do.
+    Skip,
+    /// Scheduled into `groups[group].items[item]`.
+    Run { group: usize, item: usize },
+    /// Served from a session score cache (frame captured at plan time).
+    Cached(Arc<ResultFrame>),
+}
+
+/// One `(extractor, dataset)` shared-extraction group of a physical plan.
+pub struct PlanGroup {
+    /// Model id of the first registrant (groups key on extractor
+    /// identity, so all members share the extractor).
+    pub model_id: String,
+    /// Dataset id the group streams.
+    pub dataset_id: String,
+    dataset: Arc<Dataset>,
+    items: Vec<PlanItem>,
+    /// Union of all member unit columns (sorted, deduplicated).
+    pub union_units: Vec<usize>,
+    /// Unit columns requested across members before the union.
+    pub requested_unit_columns: usize,
+    /// Hypothesis columns after function-identity deduplication.
+    pub unique_hypotheses: usize,
+    /// Hypothesis columns requested across members before deduplication.
+    pub requested_hypotheses: usize,
+    /// Measure states after cross-member sharing.
+    pub shared_measure_states: usize,
+    /// Measure states requested across members before sharing.
+    pub requested_measure_states: usize,
+    /// Admission outcome: item-index ranges, one per sequential wave.
+    pub waves: Vec<std::ops::Range<usize>>,
+    /// Union-stream width of each wave (unit + hypothesis columns).
+    pub wave_widths: Vec<usize>,
+}
+
+impl PlanGroup {
+    /// Union-stream width of the unsplit group.
+    pub fn stream_width(&self) -> usize {
+        self.union_units.len() + self.unique_hypotheses
+    }
+
+    /// Estimated bytes one streamed block of this group holds.
+    pub fn block_bytes(&self, block_records: usize) -> usize {
+        self.stream_width() * block_records * self.dataset.ns * std::mem::size_of::<f32>()
+    }
+
+    /// Indices (into the batch) of the queries with an item in the group.
+    pub fn member_queries(&self) -> Vec<usize> {
+        self.items.iter().map(|i| i.query).collect()
+    }
+}
+
+/// An executable physical plan over one or more bound queries.
+pub struct PhysicalPlan {
+    plans: Vec<Arc<LogicalPlan>>,
+    /// Shared-extraction groups in first-appearance order.
+    pub groups: Vec<PlanGroup>,
+    placements: Vec<Vec<Placement>>,
+    /// Score-cache and admission counters decided at optimize time.
+    pub stats: PlanStats,
+    block_records: usize,
+    admission: AdmissionConfig,
+}
+
+/// Thin-pointer identity of an `Arc<dyn T>` (data pointer, metadata
+/// discarded) — the same identity [`inspect_shared`] requires of its
+/// members' extractors, and the one the engine uses to deduplicate
+/// hypothesis functions.
+fn thin<T: ?Sized>(arc: &Arc<T>) -> *const u8 {
+    Arc::as_ptr(arc) as *const u8
+}
+
+/// Union-stream width of a set of items: distinct unit columns plus
+/// function-identity-distinct hypothesis columns.
+fn items_width(plans: &[Arc<LogicalPlan>], items: &[PlanItem]) -> usize {
+    let mut units: HashSet<usize> = HashSet::new();
+    let mut hyps: HashSet<*const u8> = HashSet::new();
+    for item in items {
+        let plan = &plans[item.query];
+        for g in &plan.models[item.model_pos].groups {
+            units.extend(g.units.iter().copied());
+        }
+        hyps.extend(plan.hypotheses.iter().map(thin));
+    }
+    units.len() + hyps.len()
+}
+
+/// Groups the bound queries' work items by `(extractor, dataset)`,
+/// estimates per-group sharing and stream width, and applies admission
+/// control. The resulting [`PhysicalPlan`] executes via
+/// [`PhysicalPlan::execute`].
+pub fn optimize(
+    plans: &[Arc<LogicalPlan>],
+    config: &InspectionConfig,
+    admission: AdmissionConfig,
+) -> PhysicalPlan {
+    optimize_with(plans, config, admission, &mut |_, _| None)
+}
+
+/// [`optimize`] with a score-cache lookup: items whose frame the session
+/// already holds are placed as `Cached` and never scheduled.
+pub(crate) fn optimize_with(
+    plans: &[Arc<LogicalPlan>],
+    config: &InspectionConfig,
+    admission: AdmissionConfig,
+    cached_frame: &mut dyn FnMut(usize, usize) -> Option<Arc<ResultFrame>>,
+) -> PhysicalPlan {
+    let mut stats = PlanStats::default();
+    let mut groups: Vec<PlanGroup> = Vec::new();
+    let mut group_of: Vec<(*const u8, *const u8)> = Vec::new();
+    let mut placements: Vec<Vec<Placement>> = Vec::with_capacity(plans.len());
+
+    for (qi, plan) in plans.iter().enumerate() {
+        let mut places = Vec::with_capacity(plan.models.len());
+        for (pos, model) in plan.models.iter().enumerate() {
+            if model.groups.is_empty() {
+                places.push(Placement::Skip);
+                continue;
+            }
+            if let Some(frame) = cached_frame(qi, pos) {
+                stats.score_cache_hits += 1;
+                places.push(Placement::Cached(frame));
+                continue;
+            }
+            let key = (thin(&model.extractor), thin(&plan.dataset));
+            let gidx = group_of.iter().position(|&k| k == key).unwrap_or_else(|| {
+                groups.push(PlanGroup {
+                    model_id: model.mid.clone(),
+                    dataset_id: plan.dataset.id.clone(),
+                    dataset: Arc::clone(&plan.dataset),
+                    items: Vec::new(),
+                    union_units: Vec::new(),
+                    requested_unit_columns: 0,
+                    unique_hypotheses: 0,
+                    requested_hypotheses: 0,
+                    shared_measure_states: 0,
+                    requested_measure_states: 0,
+                    waves: Vec::new(),
+                    wave_widths: Vec::new(),
+                });
+                group_of.push(key);
+                groups.len() - 1
+            });
+            let item = groups[gidx].items.len();
+            groups[gidx].items.push(PlanItem {
+                query: qi,
+                model_pos: pos,
+            });
+            places.push(Placement::Run { group: gidx, item });
+        }
+        placements.push(places);
+    }
+
+    // Per-group sharing estimates and admission waves.
+    for group in groups.iter_mut() {
+        let mut units: Vec<usize> = Vec::new();
+        let mut hyp_cols: HashMap<*const u8, usize> = HashMap::new();
+        // Merged-measure support memoized per (measure id, shape), exactly
+        // as the engine probes it.
+        let mut supports_merged: HashMap<(String, usize, usize), bool> = HashMap::new();
+        #[derive(PartialEq, Eq, Hash)]
+        enum StateKey {
+            PerHyp(Vec<usize>, String, usize),
+            Merged(Vec<usize>, String, Vec<usize>),
+        }
+        let mut state_keys: HashSet<StateKey> = HashSet::new();
+        for item in &group.items {
+            let plan = &plans[item.query];
+            let model = &plan.models[item.model_pos];
+            group.requested_unit_columns += plans[item.query].requested_unit_columns_for(item);
+            for g in &model.groups {
+                units.extend(g.units.iter().copied());
+            }
+            group.requested_hypotheses += plan.hypotheses.len();
+            for hyp in &plan.hypotheses {
+                let next = hyp_cols.len();
+                hyp_cols.entry(thin(hyp)).or_insert(next);
+            }
+            for g in &model.groups {
+                for measure in &plan.measures {
+                    let probe = (
+                        measure.id().to_string(),
+                        g.units.len(),
+                        plan.hypotheses.len(),
+                    );
+                    let merged = *supports_merged.entry(probe).or_insert_with(|| {
+                        measure
+                            .new_merged_state(g.units.len(), plan.hypotheses.len())
+                            .is_some()
+                    });
+                    if merged {
+                        group.requested_measure_states += 1;
+                        let cols: Vec<usize> =
+                            plan.hypotheses.iter().map(|h| hyp_cols[&thin(h)]).collect();
+                        state_keys.insert(StateKey::Merged(
+                            g.units.clone(),
+                            measure.id().to_string(),
+                            cols,
+                        ));
+                    } else {
+                        group.requested_measure_states += plan.hypotheses.len();
+                        for hyp in &plan.hypotheses {
+                            state_keys.insert(StateKey::PerHyp(
+                                g.units.clone(),
+                                measure.id().to_string(),
+                                hyp_cols[&thin(hyp)],
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        units.sort_unstable();
+        units.dedup();
+        group.union_units = units;
+        group.unique_hypotheses = hyp_cols.len();
+        group.shared_measure_states = state_keys.len();
+
+        // Admission: split into in-order waves whose widths respect the
+        // bound; a lone item wider than the bound gets its own wave.
+        let width = group.stream_width();
+        match admission.max_stream_width {
+            Some(bound) if width > bound => {
+                let mut start = 0;
+                while start < group.items.len() {
+                    let mut end = start + 1;
+                    while end < group.items.len()
+                        && items_width(plans, &group.items[start..=end]) <= bound
+                    {
+                        end += 1;
+                    }
+                    group
+                        .wave_widths
+                        .push(items_width(plans, &group.items[start..end]));
+                    group.waves.push(start..end);
+                    start = end;
+                }
+                if group.waves.len() > 1 {
+                    stats.admission_splits += 1;
+                    stats.admission_queued += group.waves.len() - 1;
+                }
+            }
+            _ => {
+                group.waves.push(0..group.items.len());
+                group.wave_widths.push(width);
+            }
+        }
+    }
+
+    PhysicalPlan {
+        plans: plans.to_vec(),
+        groups,
+        placements,
+        stats,
+        block_records: config.block_records.max(1),
+        admission,
+    }
+}
+
+impl LogicalPlan {
+    fn requested_unit_columns_for(&self, item: &PlanItem) -> usize {
+        self.models[item.model_pos]
+            .groups
+            .iter()
+            .map(|g| g.units.len())
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution (the batch report and output types)
+// ---------------------------------------------------------------------
+
+/// Accounting for one shared-extraction pass (one wave of one group).
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// Model the group inspected.
+    pub model_id: String,
+    /// Dataset the group streamed.
+    pub dataset_id: String,
+    /// Indices (into the batch) of the queries that joined this pass.
+    pub queries: Vec<usize>,
+    /// Streaming extraction passes over the dataset: 1 on the shared
+    /// path, one per member on the non-streaming fallback.
+    pub extraction_passes: usize,
+    /// The shared pass itself: union-stream records/blocks and timings.
+    pub pass: Profile,
+}
+
+/// Per-query, per-pass and plan-pipeline accounting for one batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Per-query profiles (rows read, phase timings), summed over the
+    /// passes each query participated in. Zero for queries answered
+    /// entirely from the session score cache.
+    pub per_query: Vec<Profile>,
+    /// One entry per executed shared pass (one per group wave).
+    pub groups: Vec<GroupReport>,
+    /// Batch-delta statistics of the shared hypothesis cache.
+    pub cache: CacheStats,
+    /// Plan-cache, score-cache and admission counters.
+    pub plan: PlanStats,
+}
+
+/// Result of a batch execution: one table per input query plus the
+/// sharing report.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// Per-query result tables, in input order — bit-identical to what N
+    /// sequential one-shot executions would produce.
+    pub tables: Vec<Table>,
+    /// Accounting that quantifies the sharing.
+    pub report: BatchReport,
+}
+
+/// Frames computed for `(query, model_pos)` work items during one
+/// execution, handed back so the session can feed its score cache.
+pub(crate) type ComputedFrames = Vec<(usize, usize, Arc<ResultFrame>)>;
+
+impl PhysicalPlan {
+    /// Executes the plan with batch semantics: a default-budget hypothesis
+    /// cache is installed when the config has none (and the catalog ids
+    /// are unambiguous), shared across every pass of the batch.
+    pub fn execute(&self, config: &InspectionConfig) -> Result<BatchOutput, DniError> {
+        self.execute_with(config, Some(HypothesisCache::new(BATCH_CACHE_BYTES)), false)
+            .map(|(out, _)| out)
+    }
+
+    /// True when two distinct datasets share one id, or two distinct
+    /// hypothesis functions share one id, anywhere in the batch — the
+    /// configurations under which an implicit shared hypothesis cache
+    /// (keyed on ids) would cross-contaminate and must be withheld.
+    fn ambiguous_ids(&self) -> bool {
+        let mut dataset_ids: Vec<(&str, *const u8)> = Vec::new();
+        let mut hyp_ids: Vec<(&str, *const u8)> = Vec::new();
+        for plan in &self.plans {
+            let ptr = thin(&plan.dataset);
+            match dataset_ids.iter().find(|(id, _)| *id == plan.dataset.id) {
+                Some(&(_, seen)) if !std::ptr::eq(seen, ptr) => return true,
+                Some(_) => {}
+                None => dataset_ids.push((plan.dataset.id.as_str(), ptr)),
+            }
+            for hyp in &plan.hypotheses {
+                let ptr = thin(hyp);
+                match hyp_ids.iter().find(|(id, _)| *id == hyp.id()) {
+                    Some(&(_, seen)) if !std::ptr::eq(seen, ptr) => return true,
+                    Some(_) => {}
+                    None => hyp_ids.push((hyp.id(), ptr)),
+                }
+            }
+        }
+        false
+    }
+
+    /// Executes the plan. `implicit_cache` is installed as the shared
+    /// hypothesis cache when the caller's config has none (unless
+    /// ambiguous ids force it off); `collect_frames` additionally returns
+    /// the frame computed for every executed work item.
+    pub(crate) fn execute_with(
+        &self,
+        config: &InspectionConfig,
+        implicit_cache: Option<Arc<HypothesisCache>>,
+        collect_frames: bool,
+    ) -> Result<(BatchOutput, ComputedFrames), DniError> {
+        let cache = if self.ambiguous_ids() {
+            config.cache.clone()
+        } else {
+            config.cache.clone().or(implicit_cache)
+        };
+        let stats_before = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let config = InspectionConfig {
+            cache: cache.clone(),
+            ..config.clone()
+        };
+
+        // Run every wave of every group through one shared pass; waves of
+        // one group run sequentially (that is the admission queue), while
+        // independent groups fan out across the runtime pool on the
+        // parallel device.
+        let run_group = |g: &PlanGroup| -> Result<Vec<SharedOutcome>, DniError> {
+            g.waves
+                .iter()
+                .map(|wave| {
+                    let requests: Vec<InspectionRequest> = g.items[wave.clone()]
+                        .iter()
+                        .map(|item| {
+                            let plan = &self.plans[item.query];
+                            let model = &plan.models[item.model_pos];
+                            InspectionRequest {
+                                model_id: model.mid.clone(),
+                                extractor: model.extractor.as_ref(),
+                                groups: model.groups.clone(),
+                                dataset: &plan.dataset,
+                                hypotheses: plan.hypotheses.iter().map(|h| h.as_ref()).collect(),
+                                measures: plan.measures.iter().map(|m| m.as_ref()).collect(),
+                            }
+                        })
+                        .collect();
+                    inspect_shared(&requests, &config)
+                })
+                .collect()
+        };
+        let fan_out = matches!(config.device, Device::Parallel(_)) && self.groups.len() > 1;
+        let outcomes: Vec<Result<Vec<SharedOutcome>, DniError>> = if fan_out {
+            let mut slots: Vec<Option<Result<Vec<SharedOutcome>, DniError>>> =
+                (0..self.groups.len()).map(|_| None).collect();
+            deepbase_runtime::global().scope(|scope| {
+                for (group, slot) in self.groups.iter().zip(slots.iter_mut()) {
+                    let run_group = &run_group;
+                    scope.spawn(move || {
+                        *slot = Some(run_group(group));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("group job ran"))
+                .collect()
+        } else {
+            self.groups.iter().map(run_group).collect()
+        };
+        let mut group_outcomes: Vec<Vec<SharedOutcome>> = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            group_outcomes.push(outcome?);
+        }
+
+        // Flatten wave outcomes into per-item results (waves partition the
+        // item list in order, so concatenation restores item order).
+        let item_results: Vec<Vec<&(ResultFrame, Profile)>> = group_outcomes
+            .iter()
+            .map(|waves| waves.iter().flat_map(|o| o.results.iter()).collect())
+            .collect();
+
+        // Assemble each query's table from its placements, models in
+        // catalog order, its own HAVING/projection applied.
+        let mut tables = Vec::with_capacity(self.plans.len());
+        let mut per_query = vec![Profile::default(); self.plans.len()];
+        let mut computed: ComputedFrames = Vec::new();
+        for (qi, plan) in self.plans.iter().enumerate() {
+            let mut out = plan.output_table();
+            for (pos, model) in plan.models.iter().enumerate() {
+                match &self.placements[qi][pos] {
+                    Placement::Skip => {}
+                    Placement::Cached(frame) => apply_post(plan, model, frame, &mut out)?,
+                    Placement::Run { group, item } => {
+                        let (frame, profile) = item_results[*group][*item];
+                        per_query[qi].accumulate(profile);
+                        apply_post(plan, model, frame, &mut out)?;
+                        if collect_frames {
+                            computed.push((qi, pos, Arc::new(frame.clone())));
+                        }
+                    }
+                }
+            }
+            tables.push(out);
+        }
+
+        let stats_after = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let mut report = BatchReport {
+            per_query,
+            groups: Vec::new(),
+            cache: stats_after.delta_since(&stats_before),
+            plan: self.stats,
+        };
+        for (group, waves) in self.groups.iter().zip(&group_outcomes) {
+            for (wave, outcome) in group.waves.iter().zip(waves) {
+                report.groups.push(GroupReport {
+                    model_id: group.model_id.clone(),
+                    dataset_id: group.dataset_id.clone(),
+                    queries: group.items[wave.clone()].iter().map(|i| i.query).collect(),
+                    extraction_passes: outcome.extraction_passes,
+                    pass: outcome.pass.clone(),
+                });
+            }
+        }
+        Ok((BatchOutput { tables, report }, computed))
+    }
+
+    /// Renders the plan tree: per group, the unit-column union, the
+    /// hypothesis and measure-state deduplication, the estimated stream
+    /// width/footprint, and the admission decision. Deterministic (no
+    /// timings, no addresses), so it is snapshot-testable.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let cached = self.stats.score_cache_hits;
+        out.push_str(&format!(
+            "PhysicalPlan: {} quer{}, {} shared group{}, block_records={}\n",
+            self.plans.len(),
+            if self.plans.len() == 1 { "y" } else { "ies" },
+            self.groups.len(),
+            if self.groups.len() == 1 { "" } else { "s" },
+            self.block_records,
+        ));
+        if cached > 0 {
+            out.push_str(&format!(
+                "├─ score cache: {cached} work item{} answered without execution\n",
+                if cached == 1 { "" } else { "s" }
+            ));
+        }
+        for (gi, g) in self.groups.iter().enumerate() {
+            let last = gi == self.groups.len() - 1;
+            let (head, stem) = if last {
+                ("└─", "   ")
+            } else {
+                ("├─", "│  ")
+            };
+            let members: Vec<String> = g.member_queries().iter().map(|q| q.to_string()).collect();
+            out.push_str(&format!(
+                "{head} group[{gi}] model='{}' dataset='{}' members=[{}]\n",
+                g.model_id,
+                g.dataset_id,
+                members.join(", ")
+            ));
+            out.push_str(&format!(
+                "{stem}├─ unit columns: {} union ({} requested)\n",
+                g.union_units.len(),
+                g.requested_unit_columns
+            ));
+            out.push_str(&format!(
+                "{stem}├─ hypothesis columns: {} deduped ({} requested)\n",
+                g.unique_hypotheses, g.requested_hypotheses
+            ));
+            out.push_str(&format!(
+                "{stem}├─ measure states: {} shared ({} requested)\n",
+                g.shared_measure_states, g.requested_measure_states
+            ));
+            out.push_str(&format!(
+                "{stem}├─ stream width: {} columns, {} bytes/block (ns={})\n",
+                g.stream_width(),
+                g.block_bytes(self.block_records),
+                g.dataset.ns
+            ));
+            match (self.admission.max_stream_width, g.waves.len()) {
+                (None, _) => out.push_str(&format!("{stem}└─ admission: 1 wave (unbounded)\n")),
+                (Some(bound), 1) => out.push_str(&format!(
+                    "{stem}└─ admission: 1 wave (width {} <= bound {bound})\n",
+                    g.stream_width()
+                )),
+                (Some(bound), n) => {
+                    let widths: Vec<String> = g.wave_widths.iter().map(|w| w.to_string()).collect();
+                    out.push_str(&format!(
+                        "{stem}└─ admission: split into {n} queued waves \
+                         (width {} > bound {bound}; wave widths [{}])\n",
+                        g.stream_width(),
+                        widths.join(", ")
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,4 +1,5 @@
-//! The `INSPECT` SQL extension (paper Appendix B).
+//! The `INSPECT` SQL extension (paper Appendix B): catalog, lexer,
+//! parser, and the legacy one-shot entry points.
 //!
 //! DNI embeds naturally in a SQL-like language: models, hidden units,
 //! hypotheses and input datasets are catalog relations, `INSPECT ... USING
@@ -14,41 +15,31 @@
 //! HAVING S.unit_score > 0.8
 //! ```
 //!
-//! The implementation is a hand-written lexer + recursive-descent parser,
-//! a catalog binder, and an executor that drives [`crate::engine`] and
-//! materializes results as a [`deepbase_relational::Table`].
+//! This module owns the surface: a hand-written lexer + recursive-descent
+//! parser producing [`InspectQuery`], and the [`Catalog`] the planner
+//! binds against. Everything downstream of parsing lives in the explicit
+//! pipeline of [`crate::plan`] (`bind → optimize → execute`) and the
+//! long-lived [`crate::session::Session`] API (prepared statements, plan
+//! cache, admission control).
 //!
-//! ## Batch planning and shared extraction
-//!
-//! [`execute_batch`] (also [`Catalog::execute_batch`]) is the multi-query
-//! scheduler: it parses/binds N queries, builds one work item per bound
-//! `(query, model)` pair, and groups the items by `(model, dataset)`.
-//! Each group runs through a **single** streaming extraction pass via
-//! [`crate::engine::inspect_shared`] — the engine merges the members'
-//! unit filters and hypothesis sets into one union stream, deduplicates
-//! measure state across queries, and demultiplexes the merged result
-//! frame back into per-query frames, to which each query's own
-//! GROUP BY / HAVING / projection is applied. On
-//! [`crate::engine::Device::Parallel`] independent groups additionally
-//! fan out across the `deepbase-runtime` worker pool. All members of a
-//! batch share one [`HypothesisCache`] (a default-budget cache is
-//! installed when the config has none), so repeated hypotheses are
-//! evaluated once per record across the whole batch. Every query's table
-//! is bit-identical to what a standalone [`execute`] call would return;
-//! [`BatchReport`] exposes the per-query rows-read/timing and per-group
-//! extraction accounting that proves the sharing.
+//! [`execute`], [`execute_batch`], [`run_query`], [`Catalog::run_batch`]
+//! and [`Catalog::execute_batch`] are kept as thin shims over the
+//! pipeline so one-shot callers and existing code keep working; new code
+//! should prefer a [`crate::session::Session`].
 
-use crate::cache::{CacheStats, HypothesisCache};
-use crate::engine::{
-    inspect, inspect_shared, Device, InspectionConfig, InspectionRequest, Profile, SharedOutcome,
-};
+use crate::engine::InspectionConfig;
 use crate::error::DniError;
 use crate::extract::Extractor;
 use crate::measure::Measure;
-use crate::model::{Dataset, HypothesisFn, UnitGroup};
-use deepbase_relational::{ColType, Schema, Table, Value};
+use crate::model::{Dataset, HypothesisFn};
+use crate::plan;
+use deepbase_relational::Table;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+// Re-exported so long-standing `query::` paths keep working now that the
+// executor lives in the plan pipeline.
+pub use crate::plan::{BatchOutput, BatchReport, GroupReport, PlanStats, BATCH_CACHE_BYTES};
 
 // ---------------------------------------------------------------------
 // Catalog
@@ -138,6 +129,56 @@ impl Catalog {
     pub fn add_measure(&mut self, measure: Arc<dyn Measure>) {
         self.measures.insert(measure.id().to_string(), measure);
     }
+
+    /// Registered models, in registration order.
+    pub fn models(&self) -> &[CatalogModel] {
+        &self.models
+    }
+
+    /// Registered hypothesis sets, in name order.
+    pub fn hypothesis_sets(
+        &self,
+    ) -> impl Iterator<Item = (&str, &Vec<Arc<dyn HypothesisFn>>)> + '_ {
+        self.hypothesis_sets.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// Looks up a dataset by registration name.
+    pub fn dataset(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.datasets.get(name).cloned()
+    }
+
+    /// Registered datasets, in name order.
+    pub fn datasets(&self) -> impl Iterator<Item = (&str, &Arc<Dataset>)> + '_ {
+        self.datasets.iter().map(|(n, d)| (n.as_str(), d))
+    }
+
+    /// Looks up a measure by id.
+    pub fn measure(&self, id: &str) -> Option<Arc<dyn Measure>> {
+        self.measures.get(id).cloned()
+    }
+
+    /// Executes a batch of parsed queries with shared extraction (see
+    /// [`execute_batch`]).
+    pub fn execute_batch(
+        &self,
+        queries: &[InspectQuery],
+        config: &InspectionConfig,
+    ) -> Result<BatchOutput, DniError> {
+        execute_batch(queries, self, config)
+    }
+
+    /// Parses and batch-executes INSPECT statements in one call.
+    pub fn run_batch(
+        &self,
+        inputs: &[&str],
+        config: &InspectionConfig,
+    ) -> Result<BatchOutput, DniError> {
+        let queries = inputs
+            .iter()
+            .map(|s| parse(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        execute_batch(&queries, self, config)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -225,6 +266,31 @@ fn lex(input: &str) -> Result<Vec<Tok>, DniError> {
     Ok(toks)
 }
 
+/// Canonicalizes a statement for plan-cache keying: lexes it and joins
+/// the tokens with single spaces, lowercasing identifiers (the parser
+/// lowercases every identifier it consumes, so two statements with the
+/// same normalization always bind to the same plan). The result is
+/// itself a parseable statement.
+pub(crate) fn normalize_statement(input: &str) -> Result<String, DniError> {
+    let mut out = String::new();
+    for tok in lex(input)? {
+        let piece = match tok {
+            Tok::Eof => break,
+            Tok::Ident(s) => s.to_lowercase(),
+            Tok::Str(s) => format!("'{s}'"),
+            Tok::Num(n) => format!("{n}"),
+            Tok::Dot => ".".to_string(),
+            Tok::Comma => ",".to_string(),
+            Tok::Op(op) => op,
+        };
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&piece);
+    }
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------
 // AST + parser
 // ---------------------------------------------------------------------
@@ -283,6 +349,10 @@ pub struct InspectQuery {
     pub having: Vec<Cond>,
 }
 
+/// The token the parser hands out once input is exhausted. Returning a
+/// reference needs a value with static lifetime.
+const EOF: Tok = Tok::Eof;
+
 struct Parser {
     toks: Vec<Tok>,
     pos: usize,
@@ -290,14 +360,17 @@ struct Parser {
 
 impl Parser {
     fn peek(&self) -> &Tok {
-        &self.toks[self.pos]
+        self.toks.get(self.pos).unwrap_or(&EOF)
     }
 
+    /// Consumes one token. Past the end of input this returns [`Tok::Eof`]
+    /// forever — it must never clamp the cursor and hand the *last real
+    /// token* out again, which would let a truncated statement parse as if
+    /// its final token repeated (and turn "unexpected end of input" errors
+    /// into misleading ones).
     fn next(&mut self) -> Tok {
-        let t = self.toks[self.pos].clone();
-        if self.pos < self.toks.len() - 1 {
-            self.pos += 1;
-        }
+        let t = self.toks.get(self.pos).cloned().unwrap_or(Tok::Eof);
+        self.pos += 1;
         t
     }
 
@@ -378,7 +451,9 @@ impl Parser {
     }
 }
 
-/// Parses an INSPECT query.
+/// Parses an INSPECT query. Statements must be complete — input ending
+/// mid-clause is an error — and must end after the statement: trailing
+/// tokens are rejected with a [`DniError::Query`].
 pub fn parse(input: &str) -> Result<InspectQuery, DniError> {
     let mut p = Parser {
         toks: lex(input)?,
@@ -462,626 +537,50 @@ pub fn parse(input: &str) -> Result<InspectQuery, DniError> {
 }
 
 // ---------------------------------------------------------------------
-// Executor
+// One-shot shims over the plan pipeline
 // ---------------------------------------------------------------------
 
-fn alias_relation(query: &InspectQuery, alias: &str) -> Result<String, DniError> {
-    query
-        .from
-        .iter()
-        .find(|(_, a)| a == alias)
-        .map(|(r, _)| r.clone())
-        .ok_or_else(|| DniError::Query(format!("unknown alias {alias:?} (missing FROM entry)")))
-}
-
-fn num_matches(op: &str, lhs: f64, rhs: f64) -> bool {
-    match op {
-        "=" => (lhs - rhs).abs() < 1e-9,
-        "!=" | "<>" => (lhs - rhs).abs() >= 1e-9,
-        "<" => lhs < rhs,
-        "<=" => lhs <= rhs,
-        ">" => lhs > rhs,
-        ">=" => lhs >= rhs,
-        _ => false,
-    }
-}
-
-fn str_matches(op: &str, lhs: &str, rhs: &str) -> bool {
-    match op {
-        "=" => lhs == rhs,
-        "!=" | "<>" => lhs != rhs,
-        _ => false,
-    }
-}
-
-/// WHERE conjuncts sorted by the catalog relation they constrain.
-#[derive(Default)]
-struct CondSets<'q> {
-    model: Vec<&'q Cond>,
-    unit: Vec<&'q Cond>,
-    hyp: Vec<&'q Cond>,
-    input: Vec<&'q Cond>,
-}
-
-fn classify_conds(query: &InspectQuery) -> Result<CondSets<'_>, DniError> {
-    let mut sets = CondSets::default();
-    for cond in &query.where_conds {
-        match alias_relation(query, &cond.col.alias)?.as_str() {
-            "models" => sets.model.push(cond),
-            "units" => sets.unit.push(cond),
-            "hypotheses" => sets.hyp.push(cond),
-            "inputs" => sets.input.push(cond),
-            other => {
-                return Err(DniError::Query(format!(
-                    "WHERE may reference models/units/hypotheses/inputs, not {other:?}"
-                )))
-            }
-        }
-    }
-    Ok(sets)
-}
-
-/// One query after catalog binding: the models it inspects (in catalog
-/// order), its hypothesis set, dataset, and measures.
-struct BoundQuery<'c> {
-    models: Vec<(usize, &'c CatalogModel)>,
-    hypotheses: Vec<Arc<dyn HypothesisFn>>,
-    dataset: Arc<Dataset>,
-    measures: Vec<Arc<dyn Measure>>,
-}
-
-/// Binds a parsed query against the catalog, returning the binding plus
-/// the classified WHERE conjuncts (so callers never re-classify).
-fn bind<'c, 'q>(
-    query: &'q InspectQuery,
-    catalog: &'c Catalog,
-) -> Result<(BoundQuery<'c>, CondSets<'q>), DniError> {
-    let conds = classify_conds(query)?;
-
-    // Bind models.
-    let models: Vec<(usize, &CatalogModel)> = catalog
-        .models
-        .iter()
-        .enumerate()
-        .filter(|(_, m)| {
-            conds
-                .model
-                .iter()
-                .all(|c| match (c.col.attr.as_str(), &c.value) {
-                    ("mid", Literal::Str(s)) => str_matches(&c.op, &m.mid, s),
-                    ("epoch", Literal::Num(n)) => num_matches(&c.op, m.epoch as f64, *n),
-                    _ => false,
-                })
-        })
-        .collect();
-    if models.is_empty() {
-        return Err(DniError::Query("no models match the WHERE clause".into()));
-    }
-
-    // Bind hypothesis sets.
-    let mut hypotheses: Vec<Arc<dyn HypothesisFn>> = Vec::new();
-    let name_cond = conds.hyp.iter().find(|c| c.col.attr == "name");
-    match name_cond {
-        Some(cond) => {
-            let Literal::Str(name) = &cond.value else {
-                return Err(DniError::Query("H.name must compare to a string".into()));
-            };
-            for (set_name, set) in &catalog.hypothesis_sets {
-                if str_matches(&cond.op, set_name, name) {
-                    hypotheses.extend(set.iter().cloned());
-                }
-            }
-        }
-        None => {
-            for set in catalog.hypothesis_sets.values() {
-                hypotheses.extend(set.iter().cloned());
-            }
-        }
-    }
-    if hypotheses.is_empty() {
-        return Err(DniError::Query(
-            "no hypotheses match the WHERE clause".into(),
-        ));
-    }
-
-    // Bind the dataset (by D.name, else sole registered dataset).
-    let dataset: Arc<Dataset> = match conds.input.iter().find(|c| c.col.attr == "name") {
-        Some(cond) => {
-            let Literal::Str(name) = &cond.value else {
-                return Err(DniError::Query("D.name must compare to a string".into()));
-            };
-            catalog
-                .datasets
-                .get(name)
-                .cloned()
-                .ok_or_else(|| DniError::Query(format!("unknown dataset {name:?}")))?
-        }
-        None => match catalog.datasets.len() {
-            // An empty catalog used to fall into an `unwrap` here and
-            // panic; queries must fail with a diagnosable error instead.
-            0 => {
-                return Err(DniError::Query(
-                    "no datasets registered; add one with Catalog::add_dataset \
-                     before running INSPECT queries"
-                        .into(),
-                ))
-            }
-            1 => catalog
-                .datasets
-                .values()
-                .next()
-                .expect("length checked")
-                .clone(),
-            _ => {
-                return Err(DniError::Query(
-                    "multiple datasets registered; add WHERE D.name = '...'".into(),
-                ))
-            }
-        },
-    };
-
-    // Bind measures.
-    let mut measures: Vec<Arc<dyn Measure>> = Vec::new();
-    for name in &query.measures {
-        measures.push(
-            catalog
-                .measures
-                .get(name)
-                .cloned()
-                .ok_or_else(|| DniError::Query(format!("unknown measure {name:?}")))?,
-        );
-    }
-
-    Ok((
-        BoundQuery {
-            models,
-            hypotheses,
-            dataset,
-            measures,
-        },
-        conds,
-    ))
-}
-
-/// Applies the query's unit WHERE filter (the `unit_conds` classified
-/// once per query by [`classify_conds`]) to one model and partitions the
-/// surviving units into GROUP BY groups. Empty when no unit matches.
-fn unit_groups_for(
-    query: &InspectQuery,
-    unit_conds: &[&Cond],
-    model: &CatalogModel,
-) -> Result<Vec<UnitGroup>, DniError> {
-    let selected: Vec<&UnitMeta> = model
-        .units
-        .iter()
-        .filter(|u| {
-            unit_conds
-                .iter()
-                .all(|c| match (c.col.attr.as_str(), &c.value) {
-                    ("uid", Literal::Num(n)) => num_matches(&c.op, u.uid as f64, *n),
-                    ("layer", Literal::Num(n)) => num_matches(&c.op, u.layer as f64, *n),
-                    _ => false,
-                })
-        })
-        .collect();
-    let unit_group_attrs: Vec<&ColRef> = query
-        .group_by
-        .iter()
-        .filter(|c| alias_relation(query, &c.alias).as_deref() == Ok("units"))
-        .collect();
-    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-    for unit in &selected {
-        let key = unit_group_attrs
-            .iter()
-            .map(|c| match c.attr.as_str() {
-                "layer" => format!("layer{}", unit.layer),
-                other => format!("{other}?"),
-            })
-            .collect::<Vec<_>>()
-            .join("/");
-        let key = if key.is_empty() {
-            "all".to_string()
-        } else {
-            key
-        };
-        groups.entry(key).or_default().push(unit.uid);
-    }
-    Ok(groups
-        .into_iter()
-        .map(|(id, units)| UnitGroup::new(&id, units))
-        .collect())
-}
-
-/// Builds the query's empty output table.
-fn output_table(query: &InspectQuery) -> Result<Table, DniError> {
-    let mut out_cols: Vec<(String, ColType)> = Vec::new();
-    for col in &query.select {
-        let ty = select_type(query, col)?;
-        out_cols.push((format!("{}_{}", col.alias, col.attr), ty));
-    }
-    Ok(Table::new(Schema::new(
-        out_cols
-            .iter()
-            .map(|(n, t)| (n.as_str(), *t))
-            .collect::<Vec<_>>(),
-    )))
-}
-
-/// Applies HAVING and the SELECT projection to one model's score frame,
-/// appending the surviving rows to `out`.
-fn apply_post(
-    query: &InspectQuery,
-    model: &CatalogModel,
-    frame: &crate::result::ResultFrame,
-    out: &mut Table,
-) -> Result<(), DniError> {
-    let layer_of: BTreeMap<usize, i64> = model.units.iter().map(|u| (u.uid, u.layer)).collect();
-    for row in &frame.rows {
-        let keep = query.having.iter().all(|c| {
-            if c.col.alias != query.result_alias {
-                return false;
-            }
-            let lhs = match c.col.attr.as_str() {
-                "unit_score" => row.unit_score as f64,
-                "group_score" => row.group_score as f64,
-                _ => return false,
-            };
-            match &c.value {
-                Literal::Num(n) => num_matches(&c.op, lhs, *n),
-                Literal::Str(_) => false,
-            }
-        });
-        if !keep {
-            continue;
-        }
-        let mut values = Vec::with_capacity(query.select.len());
-        for col in &query.select {
-            let relation = alias_relation(query, &col.alias).unwrap_or_else(|_| "result".into());
-            let is_result = col.alias == query.result_alias;
-            let v = if is_result {
-                match col.attr.as_str() {
-                    "uid" => Value::Int(row.unit as i64),
-                    "unit_score" => Value::Float(row.unit_score),
-                    "group_score" => Value::Float(row.group_score),
-                    "hyp_id" => Value::Str(row.hyp_id.clone()),
-                    "score_id" => Value::Str(row.measure_id.clone()),
-                    "group_id" => Value::Str(row.group_id.clone()),
-                    other => {
-                        return Err(DniError::Query(format!(
-                            "unknown result attribute {other:?}"
-                        )))
-                    }
-                }
-            } else {
-                match (relation.as_str(), col.attr.as_str()) {
-                    ("models", "mid") => Value::Str(model.mid.clone()),
-                    ("models", "epoch") => Value::Int(model.epoch),
-                    ("units", "uid") => Value::Int(row.unit as i64),
-                    ("units", "layer") => Value::Int(layer_of.get(&row.unit).copied().unwrap_or(0)),
-                    ("hypotheses", "h") | ("hypotheses", "name") => Value::Str(row.hyp_id.clone()),
-                    (rel, attr) => {
-                        return Err(DniError::Query(format!("cannot project {rel}.{attr}")))
-                    }
-                }
-            };
-            values.push(v);
-        }
-        out.push_row(values).map_err(|e| DniError::Query(e.msg))?;
-    }
-    Ok(())
-}
-
 /// Executes a parsed query against a catalog, returning a result table.
+///
+/// Thin shim over the explicit pipeline: `bind → optimize → execute` with
+/// a single-query physical plan and no implicit hypothesis cache —
+/// exactly the legacy one-shot semantics. Prefer
+/// [`crate::session::Session`] for repeated queries.
 pub fn execute(
     query: &InspectQuery,
     catalog: &Catalog,
     config: &InspectionConfig,
 ) -> Result<Table, DniError> {
-    let (bound, conds) = bind(query, catalog)?;
-    let mut out = output_table(query)?;
-    for (_, model) in &bound.models {
-        let groups = unit_groups_for(query, &conds.unit, model)?;
-        if groups.is_empty() {
-            continue;
-        }
-        let hyp_refs: Vec<&dyn HypothesisFn> =
-            bound.hypotheses.iter().map(|h| h.as_ref()).collect();
-        let measure_refs: Vec<&dyn Measure> = bound.measures.iter().map(|m| m.as_ref()).collect();
-        let request = InspectionRequest {
-            model_id: model.mid.clone(),
-            extractor: model.extractor.as_ref(),
-            groups,
-            dataset: &bound.dataset,
-            hypotheses: hyp_refs,
-            measures: measure_refs,
-        };
-        let (frame, _) = inspect(&request, config)?;
-        apply_post(query, model, &frame, &mut out)?;
-    }
-    Ok(out)
-}
-
-// ---------------------------------------------------------------------
-// Batch scheduler
-// ---------------------------------------------------------------------
-
-/// Byte budget of the hypothesis cache [`execute_batch`] installs when
-/// the caller's config has none: large enough to hold the hypothesis
-/// columns of a typical batch, small enough to stay an implementation
-/// detail.
-pub const BATCH_CACHE_BYTES: usize = 64 << 20;
-
-/// Accounting for one `(model, dataset)` shared-extraction group.
-#[derive(Debug, Clone)]
-pub struct GroupReport {
-    /// Model the group inspected.
-    pub model_id: String,
-    /// Dataset the group streamed.
-    pub dataset_id: String,
-    /// Indices (into the batch) of the queries that joined this group.
-    pub queries: Vec<usize>,
-    /// Streaming extraction passes over the dataset: 1 on the shared
-    /// path, one per member on the non-streaming fallback.
-    pub extraction_passes: usize,
-    /// The shared pass itself: union-stream records/blocks and timings.
-    pub pass: Profile,
-}
-
-/// Per-query and per-group accounting for one [`execute_batch`] call.
-#[derive(Debug, Clone, Default)]
-pub struct BatchReport {
-    /// Per-query profiles (rows read, phase timings), summed over the
-    /// groups each query participated in.
-    pub per_query: Vec<Profile>,
-    /// One entry per `(model, dataset)` shared-extraction group.
-    pub groups: Vec<GroupReport>,
-    /// Batch-delta statistics of the shared hypothesis cache.
-    pub cache: CacheStats,
-}
-
-/// Result of a batch execution: one table per input query plus the
-/// sharing report.
-#[derive(Debug, Clone)]
-pub struct BatchOutput {
-    /// Per-query result tables, in input order — bit-identical to what N
-    /// sequential [`execute`] calls would produce.
-    pub tables: Vec<Table>,
-    /// Accounting that quantifies the sharing.
-    pub report: BatchReport,
+    let plan = Arc::new(plan::bind(query, catalog)?);
+    let physical = plan::optimize(
+        std::slice::from_ref(&plan),
+        config,
+        plan::AdmissionConfig::default(),
+    );
+    let (mut output, _) = physical.execute_with(config, None, false)?;
+    Ok(output.tables.pop().expect("one query, one table"))
 }
 
 /// Executes a batch of parsed queries through shared extraction passes
-/// (see the module docs). Queries keep their individual semantics; work
+/// (see [`crate::plan`]). Queries keep their individual semantics; work
 /// common to queries that inspect the same `(model, dataset)` pair is
-/// done once.
+/// done once. Thin shim over `bind → optimize → execute` with a
+/// temporary per-call batch cache; a [`crate::session::Session`]
+/// additionally caches plans and scores *across* batches.
 pub fn execute_batch(
     queries: &[InspectQuery],
     catalog: &Catalog,
     config: &InspectionConfig,
 ) -> Result<BatchOutput, DniError> {
-    let mut bound = Vec::with_capacity(queries.len());
-    let mut query_conds = Vec::with_capacity(queries.len());
-    for query in queries {
-        let (bq, conds) = bind(query, catalog)?;
-        bound.push(bq);
-        query_conds.push(conds);
-    }
-
-    // One shared hypothesis cache across the whole batch. The cache is
-    // keyed by `Dataset::id` (not catalog registration name), so if two
-    // *distinct* datasets in this batch share an id, a shared cache would
-    // serve one dataset's behaviors for the other's records — in that
-    // (misconfigured but reachable) case no implicit cache is installed
-    // and the caller's own cache choice, if any, is left untouched.
-    // The same applies to hypotheses: the cache keys on hypothesis *id*
-    // while the engine distinguishes hypotheses by function identity, so
-    // two different functions registered under one id must also disable
-    // the implicit cache.
-    let mut dataset_ids: Vec<(&str, *const Dataset)> = Vec::new();
-    let mut hyp_ids: Vec<(&str, *const u8)> = Vec::new();
-    let mut ambiguous_ids = false;
-    for bq in &bound {
-        let ptr = Arc::as_ptr(&bq.dataset);
-        match dataset_ids.iter().find(|(id, _)| *id == bq.dataset.id) {
-            Some(&(_, seen)) if !std::ptr::eq(seen, ptr) => ambiguous_ids = true,
-            Some(_) => {}
-            None => dataset_ids.push((bq.dataset.id.as_str(), ptr)),
-        }
-        for hyp in &bq.hypotheses {
-            let ptr = Arc::as_ptr(hyp) as *const u8;
-            match hyp_ids.iter().find(|(id, _)| *id == hyp.id()) {
-                Some(&(_, seen)) if !std::ptr::eq(seen, ptr) => ambiguous_ids = true,
-                Some(_) => {}
-                None => hyp_ids.push((hyp.id(), ptr)),
-            }
-        }
-    }
-    let cache = if ambiguous_ids {
-        config.cache.clone()
-    } else {
-        Some(
-            config
-                .cache
-                .clone()
-                .unwrap_or_else(|| HypothesisCache::new(BATCH_CACHE_BYTES)),
-        )
-    };
-    let stats_before = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
-    let config = InspectionConfig {
-        cache: cache.clone(),
-        ..config.clone()
-    };
-
-    // One work item per bound (query, model) pair, grouped by
-    // (model, dataset) in first-appearance order.
-    struct Item {
-        query: usize,
-        groups: Vec<UnitGroup>,
-    }
-    struct SharedGroup<'c> {
-        model_idx: usize,
-        model: &'c CatalogModel,
-        dataset: Arc<Dataset>,
-        items: Vec<Item>,
-    }
-    let mut shared_groups: Vec<SharedGroup> = Vec::new();
-    // Per query, per bound model: where its work item landed.
-    let mut placements: Vec<Vec<Option<(usize, usize)>>> = Vec::with_capacity(queries.len());
-    for (qi, (query, bq)) in queries.iter().zip(&bound).enumerate() {
-        let conds = &query_conds[qi];
-        let mut query_placements = Vec::with_capacity(bq.models.len());
-        for (model_idx, model) in &bq.models {
-            let groups = unit_groups_for(query, &conds.unit, model)?;
-            if groups.is_empty() {
-                query_placements.push(None);
-                continue;
-            }
-            let gidx = shared_groups
-                .iter()
-                .position(|g| g.model_idx == *model_idx && Arc::ptr_eq(&g.dataset, &bq.dataset))
-                .unwrap_or_else(|| {
-                    shared_groups.push(SharedGroup {
-                        model_idx: *model_idx,
-                        model,
-                        dataset: Arc::clone(&bq.dataset),
-                        items: Vec::new(),
-                    });
-                    shared_groups.len() - 1
-                });
-            let member_idx = shared_groups[gidx].items.len();
-            shared_groups[gidx].items.push(Item { query: qi, groups });
-            query_placements.push(Some((gidx, member_idx)));
-        }
-        placements.push(query_placements);
-    }
-
-    // Run every group through one shared pass; independent groups fan out
-    // across the runtime pool on the parallel device.
-    let run_group = |g: &SharedGroup| -> Result<SharedOutcome, DniError> {
-        let requests: Vec<InspectionRequest> = g
-            .items
-            .iter()
-            .map(|item| InspectionRequest {
-                model_id: g.model.mid.clone(),
-                extractor: g.model.extractor.as_ref(),
-                groups: item.groups.clone(),
-                dataset: &g.dataset,
-                hypotheses: bound[item.query]
-                    .hypotheses
-                    .iter()
-                    .map(|h| h.as_ref())
-                    .collect(),
-                measures: bound[item.query]
-                    .measures
-                    .iter()
-                    .map(|m| m.as_ref())
-                    .collect(),
-            })
-            .collect();
-        inspect_shared(&requests, &config)
-    };
-    let fan_out = matches!(config.device, Device::Parallel(_)) && shared_groups.len() > 1;
-    let outcomes: Vec<Result<SharedOutcome, DniError>> = if fan_out {
-        let mut slots: Vec<Option<Result<SharedOutcome, DniError>>> =
-            (0..shared_groups.len()).map(|_| None).collect();
-        deepbase_runtime::global().scope(|scope| {
-            for (group, slot) in shared_groups.iter().zip(slots.iter_mut()) {
-                let run_group = &run_group;
-                scope.spawn(move || {
-                    *slot = Some(run_group(group));
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.expect("group job ran"))
-            .collect()
-    } else {
-        shared_groups.iter().map(run_group).collect()
-    };
-    let mut group_outcomes = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        group_outcomes.push(outcome?);
-    }
-
-    // Demultiplex: each query assembles its table from its work items'
-    // frames, models in catalog order, its own HAVING/projection applied.
-    let mut tables = Vec::with_capacity(queries.len());
-    let mut per_query = vec![Profile::default(); queries.len()];
-    for (qi, (query, bq)) in queries.iter().zip(&bound).enumerate() {
-        let mut out = output_table(query)?;
-        for (pos, (_, model)) in bq.models.iter().enumerate() {
-            let Some((gidx, member_idx)) = placements[qi][pos] else {
-                continue;
-            };
-            let (frame, profile) = &group_outcomes[gidx].results[member_idx];
-            per_query[qi].accumulate(profile);
-            apply_post(query, model, frame, &mut out)?;
-        }
-        tables.push(out);
-    }
-
-    let stats_after = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
-    let report = BatchReport {
-        per_query,
-        groups: shared_groups
-            .iter()
-            .zip(&group_outcomes)
-            .map(|(g, o)| GroupReport {
-                model_id: g.model.mid.clone(),
-                dataset_id: g.dataset.id.clone(),
-                queries: g.items.iter().map(|i| i.query).collect(),
-                extraction_passes: o.extraction_passes,
-                pass: o.pass.clone(),
-            })
-            .collect(),
-        cache: CacheStats {
-            hits: stats_after.hits - stats_before.hits,
-            misses: stats_after.misses - stats_before.misses,
-            evictions: stats_after.evictions - stats_before.evictions,
-        },
-    };
-    Ok(BatchOutput { tables, report })
-}
-
-impl Catalog {
-    /// Executes a batch of parsed queries with shared extraction (see
-    /// [`execute_batch`]).
-    pub fn execute_batch(
-        &self,
-        queries: &[InspectQuery],
-        config: &InspectionConfig,
-    ) -> Result<BatchOutput, DniError> {
-        execute_batch(queries, self, config)
-    }
-
-    /// Parses and batch-executes INSPECT statements in one call.
-    pub fn run_batch(
-        &self,
-        inputs: &[&str],
-        config: &InspectionConfig,
-    ) -> Result<BatchOutput, DniError> {
-        let queries = inputs
-            .iter()
-            .map(|s| parse(s))
-            .collect::<Result<Vec<_>, _>>()?;
-        execute_batch(&queries, self, config)
-    }
-}
-
-fn select_type(query: &InspectQuery, col: &ColRef) -> Result<ColType, DniError> {
-    if col.alias == query.result_alias {
-        return Ok(match col.attr.as_str() {
-            "uid" => ColType::Int,
-            "unit_score" | "group_score" => ColType::Float,
-            _ => ColType::Str,
-        });
-    }
-    let relation = alias_relation(query, &col.alias)?;
-    Ok(match (relation.as_str(), col.attr.as_str()) {
-        ("models", "epoch") | ("units", "uid") | ("units", "layer") => ColType::Int,
-        _ => ColType::Str,
-    })
+    let plans = queries
+        .iter()
+        .map(|q| plan::bind(q, catalog).map(Arc::new))
+        .collect::<Result<Vec<_>, _>>()?;
+    let physical = plan::optimize(&plans, config, plan::AdmissionConfig::default());
+    let mut output = physical.execute(config)?;
+    // One-shot callers bind every statement every call.
+    output.report.plan.plan_cache_misses = queries.len();
+    Ok(output)
 }
 
 /// Parses and executes in one call.
@@ -1098,6 +597,7 @@ mod tests {
     use super::*;
     use crate::extract::PrecomputedExtractor;
     use crate::model::{FnHypothesis, Record};
+    use deepbase_relational::Value;
     use deepbase_tensor::Matrix;
 
     const PAPER_QUERY: &str = "
@@ -1159,6 +659,79 @@ mod tests {
             parse("SELECT S.uid INSPECT U.uid AND H.h OVER D.seq FROM models M extra junk q")
                 .is_err()
         );
+    }
+
+    #[test]
+    fn end_of_input_is_a_clear_eof_error_not_a_repeated_token() {
+        // `Parser::next` used to clamp its cursor at the final token; a
+        // statement truncated mid-clause must surface end-of-input, not
+        // whatever token happened to be last.
+        let err = parse("SELECT S.uid INSPECT U.uid AND").unwrap_err();
+        match err {
+            DniError::Query(msg) => assert!(msg.contains("Eof"), "got: {msg}"),
+            other => panic!("expected a query error, got {other:?}"),
+        }
+        // Truncation in every later clause position is an error too.
+        for truncated in [
+            "SELECT",
+            "SELECT S.uid INSPECT",
+            "SELECT S.uid INSPECT U.uid AND H.h USING",
+            "SELECT S.uid INSPECT U.uid AND H.h OVER",
+            "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq FROM",
+            "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq FROM models M WHERE",
+            "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq FROM models M GROUP BY",
+            "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq FROM models M HAVING S.unit_score >",
+        ] {
+            assert!(parse(truncated).is_err(), "must reject {truncated:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_after_a_complete_statement_are_rejected() {
+        let complete = "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq \
+                        FROM models M, units U, hypotheses H, inputs D";
+        assert!(parse(complete).is_ok());
+        // A trailing comma continues the FROM list and dies on EOF
+        // instead; it is still an error, just not a trailing-token one.
+        assert!(parse(&format!("{complete} ,")).is_err());
+        for junk in [" 42", " M.mid", " SELECT", " 'str'"] {
+            let err = parse(&format!("{complete}{junk}")).unwrap_err();
+            match err {
+                DniError::Query(msg) => {
+                    assert!(msg.contains("trailing tokens"), "got: {msg}")
+                }
+                other => panic!("expected a query error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_canonicalizes_case_and_whitespace() {
+        let a = normalize_statement(
+            "SELECT  S.uid   INSPECT U.uid AND H.h OVER D.seq \
+             FROM models M, units U, hypotheses H, inputs D WHERE M.mid = 'X'",
+        )
+        .unwrap();
+        let b = normalize_statement(
+            "select s . uid inspect u.uid and h.h over d.seq \
+             from MODELS m, UNITS u, HYPOTHESES h, INPUTS d where m.MID = 'X'",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        // String literal case is significant.
+        let c = normalize_statement(
+            "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq \
+             FROM models M, units U, hypotheses H, inputs D WHERE M.mid = 'x'",
+        )
+        .unwrap();
+        assert_ne!(a, c);
+        // The normalized form reparses to the same AST.
+        let orig = parse(
+            "SELECT S.uid INSPECT U.uid AND H.h OVER D.seq \
+             FROM models M, units U, hypotheses H, inputs D WHERE M.mid = 'X'",
+        )
+        .unwrap();
+        assert_eq!(parse(&a).unwrap(), orig);
     }
 
     fn test_catalog() -> Catalog {

@@ -286,6 +286,89 @@ mod tests {
     }
 
     #[test]
+    fn demux_empty_spans_contribute_nothing() {
+        let f = frame();
+        // A zero-length span is legal (a converged pair with an empty
+        // claim) and must contribute no rows, wherever it sits.
+        let spans = vec![
+            RowSpan {
+                start: 0,
+                len: 0,
+                model_id: "m2".into(),
+                group_id: "g".into(),
+            },
+            RowSpan {
+                start: 1,
+                len: 2,
+                model_id: "m2".into(),
+                group_id: "g".into(),
+            },
+            RowSpan {
+                start: 4,
+                len: 0,
+                model_id: "m2".into(),
+                group_id: "g".into(),
+            },
+        ];
+        let out = f.demux(&spans);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.rows[0].unit, 1);
+        assert_eq!(out.rows[1].unit, 2);
+        // A span list of only empty spans demuxes to an empty frame.
+        let empties = vec![
+            RowSpan {
+                start: 2,
+                len: 0,
+                model_id: "m".into(),
+                group_id: "g".into(),
+            };
+            3
+        ];
+        assert!(f.demux(&empties).is_empty());
+    }
+
+    #[test]
+    fn demux_out_of_order_spans_preserve_member_order() {
+        let f = frame();
+        // Members claim spans in their own canonical order, which need
+        // not follow merged-frame order: the output must follow the span
+        // list, not the source offsets.
+        let spans = vec![
+            RowSpan {
+                start: 2,
+                len: 1,
+                model_id: "mx".into(),
+                group_id: "g1".into(),
+            },
+            RowSpan {
+                start: 3,
+                len: 1,
+                model_id: "mx".into(),
+                group_id: "g2".into(),
+            },
+            RowSpan {
+                start: 0,
+                len: 2,
+                model_id: "mx".into(),
+                group_id: "g3".into(),
+            },
+        ];
+        let out = f.demux(&spans);
+        assert_eq!(out.len(), 4);
+        // Span order, not source order.
+        assert_eq!(out.rows[0].unit, 2);
+        assert_eq!(out.rows[0].unit_score, f.rows[2].unit_score);
+        assert_eq!(out.rows[1].measure_id, "logreg_l1");
+        assert_eq!(out.rows[2].unit, 0);
+        assert_eq!(out.rows[3].unit, 1);
+        // Rebranding applies per span.
+        assert_eq!(out.rows[0].group_id, "g1");
+        assert_eq!(out.rows[1].group_id, "g2");
+        assert_eq!(out.rows[3].group_id, "g3");
+        assert!(out.rows.iter().all(|r| r.model_id == "mx"));
+    }
+
+    #[test]
     fn extend_concatenates() {
         let mut a = frame();
         let b = frame();

@@ -1,0 +1,476 @@
+//! Long-lived inspection sessions: prepared statements over the explicit
+//! plan pipeline, a cross-batch plan cache, a score cache, and admission
+//! control.
+//!
+//! A [`Session`] owns a [`Catalog`] handle, an [`InspectionConfig`], one
+//! [`HypothesisCache`] shared by every batch it runs, a **plan cache**
+//! and an **admission controller**:
+//!
+//! * [`Session::prepare`] parses and binds a statement into a
+//!   [`PreparedQuery`], caching the bound [`LogicalPlan`] keyed by the
+//!   *normalized* statement text and the current **catalog generation**.
+//!   Preparing the same statement again performs zero bind work; any
+//!   catalog mutation (through [`Session::catalog_mut`]) bumps the
+//!   generation and invalidates every cached plan.
+//! * [`Session::execute`] / [`Session::run_batch`] optimize the bound
+//!   plans into a [`PhysicalPlan`] (shared-extraction grouping plus the
+//!   session's [`AdmissionConfig`]) and execute it. Converged result
+//!   frames are kept in a session **score cache**, so re-executing an
+//!   identical statement under an unchanged catalog and config skips
+//!   extraction entirely — the cross-batch reuse the ROADMAP's
+//!   multi-query-sharing follow-up calls for. Set
+//!   [`SessionConfig::reuse_scores`] to `false` to re-run every pass.
+//! * [`Session::explain`] renders the physical plan tree for a statement
+//!   (or batch) without executing it.
+//!
+//! Every batch's [`BatchReport`] carries the per-call plan-cache
+//! hit/miss, score-cache and admission split/queue counters in
+//! [`BatchReport::plan`]; [`Session::stats`] accumulates them across the
+//! session's lifetime.
+
+use crate::cache::HypothesisCache;
+use crate::engine::{EngineKind, InspectionConfig};
+use crate::error::DniError;
+use crate::model::{Dataset, HypothesisFn};
+use crate::plan::{
+    self, AdmissionConfig, BatchOutput, LogicalPlan, PhysicalPlan, BATCH_CACHE_BYTES,
+};
+use crate::query::{normalize_statement, parse, Catalog};
+use crate::result::ResultFrame;
+use deepbase_relational::Table;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Session-wide configuration.
+#[derive(Clone)]
+pub struct SessionConfig {
+    /// Engine configuration every execution uses. A cache configured here
+    /// takes precedence over the session's own hypothesis cache.
+    pub inspection: InspectionConfig,
+    /// Admission control applied to every batch.
+    pub admission: AdmissionConfig,
+    /// Reuse converged result frames across batches (the score cache).
+    /// Results are bit-identical either way — execution is deterministic —
+    /// so this only trades memory for skipped extraction passes.
+    pub reuse_scores: bool,
+    /// Bound plans kept in the plan cache (FIFO eviction).
+    pub max_cached_plans: usize,
+    /// Result frames kept in the score cache (FIFO eviction).
+    pub max_cached_frames: usize,
+    /// Byte budget of the session hypothesis cache.
+    pub cache_bytes: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            inspection: InspectionConfig::default(),
+            admission: AdmissionConfig::default(),
+            reuse_scores: true,
+            max_cached_plans: 256,
+            max_cached_frames: 256,
+            cache_bytes: BATCH_CACHE_BYTES,
+        }
+    }
+}
+
+/// Cumulative session counters (per-call deltas live in
+/// [`crate::plan::BatchReport::plan`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Statements served from the plan cache with zero bind work.
+    pub plan_cache_hits: usize,
+    /// Statements parsed and bound.
+    pub plan_cache_misses: usize,
+    /// Cached plans discarded because the catalog generation moved on.
+    pub plan_cache_invalidations: usize,
+    /// Work items answered from the score cache without execution.
+    pub score_cache_hits: usize,
+    /// Shared groups split into waves by admission control.
+    pub admission_splits: usize,
+    /// Waves that had to queue behind an earlier wave.
+    pub admission_queued: usize,
+    /// Batches executed.
+    pub batches_executed: usize,
+}
+
+/// A statement prepared by [`Session::prepare`]: the normalized text plus
+/// the bound plan and the catalog generation it was bound against.
+/// Executing a stale handle (the catalog changed since) transparently
+/// re-prepares through the plan cache.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    key: String,
+    generation: u64,
+    plan: Arc<LogicalPlan>,
+}
+
+impl PreparedQuery {
+    /// The bound logical plan.
+    pub fn plan(&self) -> &Arc<LogicalPlan> {
+        &self.plan
+    }
+
+    /// The normalized statement text the plan cache keys on.
+    pub fn statement(&self) -> &str {
+        &self.key
+    }
+
+    /// Catalog generation the plan was bound against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// A batch of prepared statements ([`Session::prepare_batch`]).
+#[derive(Clone)]
+pub struct PreparedBatch {
+    entries: Vec<PreparedQuery>,
+}
+
+impl PreparedBatch {
+    /// The prepared member statements, in batch order.
+    pub fn queries(&self) -> &[PreparedQuery] {
+        &self.entries
+    }
+}
+
+/// Fingerprint of the config fields that determine inspection *results*
+/// (scores depend on engine kind, block size, convergence threshold and
+/// shuffle seed; the device only changes how the same numbers are
+/// computed). Keys the score cache.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ConfigFp {
+    engine: EngineKind,
+    block_records: usize,
+    epsilon_bits: Option<u32>,
+    seed: u64,
+}
+
+type FrameKey = (String, u64, usize, ConfigFp);
+
+/// A long-lived query session (see the module docs).
+pub struct Session {
+    catalog: Catalog,
+    config: SessionConfig,
+    generation: u64,
+    hypothesis_cache: Arc<HypothesisCache>,
+    /// The dataset / hypothesis-function identity each id resolved to
+    /// when it first reached the session hypothesis cache. The cache keys
+    /// on id strings, so a *later* batch that resolves one of these ids
+    /// to a different identity must not touch the session cache — the
+    /// per-batch ambiguity guard in the executor cannot see collisions
+    /// that only exist *across* batches. Holding the `Arc`s keeps the
+    /// identities' addresses from being reused.
+    cache_dataset_owners: HashMap<String, Arc<Dataset>>,
+    cache_hyp_owners: HashMap<String, Arc<dyn HypothesisFn>>,
+    plans: HashMap<String, (u64, Arc<LogicalPlan>)>,
+    plan_order: VecDeque<String>,
+    frames: HashMap<FrameKey, Arc<ResultFrame>>,
+    frame_order: VecDeque<FrameKey>,
+    stats: SessionStats,
+}
+
+/// Thin-pointer (data address) identity of an `Arc`, metadata discarded —
+/// the same identity the engine deduplicates hypothesis functions by.
+fn thin<T: ?Sized>(arc: &Arc<T>) -> *const u8 {
+    Arc::as_ptr(arc) as *const u8
+}
+
+impl Session {
+    /// Opens a session over a catalog with default configuration.
+    pub fn new(catalog: Catalog) -> Session {
+        Session::with_config(catalog, SessionConfig::default())
+    }
+
+    /// Opens a session with explicit configuration.
+    pub fn with_config(catalog: Catalog, config: SessionConfig) -> Session {
+        let hypothesis_cache = HypothesisCache::new(config.cache_bytes);
+        Session {
+            catalog,
+            config,
+            generation: 0,
+            hypothesis_cache,
+            cache_dataset_owners: HashMap::new(),
+            cache_hyp_owners: HashMap::new(),
+            plans: HashMap::new(),
+            plan_order: VecDeque::new(),
+            frames: HashMap::new(),
+            frame_order: VecDeque::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog. Every call bumps the catalog
+    /// generation: cached plans, cached scores and the session hypothesis
+    /// cache are conservatively invalidated, whether or not a mutation
+    /// actually happens. (Stale plans are dropped outright rather than
+    /// left for FIFO eviction — they would otherwise pin the replaced
+    /// datasets and extractors in memory; and a mutation may re-register
+    /// a dataset or hypothesis under an id the hypothesis cache already
+    /// holds behaviors for, so the cache starts over too.)
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        self.generation += 1;
+        self.frames.clear();
+        self.frame_order.clear();
+        self.stats.plan_cache_invalidations += self.plans.len();
+        self.plans.clear();
+        self.plan_order.clear();
+        self.hypothesis_cache = HypothesisCache::new(self.config.cache_bytes);
+        self.cache_dataset_owners.clear();
+        self.cache_hyp_owners.clear();
+        &mut self.catalog
+    }
+
+    /// Consumes the session, returning the catalog.
+    pub fn into_catalog(self) -> Catalog {
+        self.catalog
+    }
+
+    /// Current catalog generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Cumulative session statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The session's shared hypothesis cache (installed into every batch
+    /// unless the inspection config carries its own, or ambiguous
+    /// dataset/hypothesis ids force caching off for a batch).
+    pub fn hypothesis_cache(&self) -> &Arc<HypothesisCache> {
+        &self.hypothesis_cache
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    fn fingerprint(&self) -> ConfigFp {
+        ConfigFp {
+            engine: self.config.inspection.engine,
+            block_records: self.config.inspection.block_records,
+            epsilon_bits: self.config.inspection.epsilon.map(f32::to_bits),
+            seed: self.config.inspection.seed,
+        }
+    }
+
+    /// Parses and binds one statement, serving the bound plan from the
+    /// plan cache when the statement was prepared before under the
+    /// current catalog generation.
+    pub fn prepare(&mut self, sql: &str) -> Result<PreparedQuery, DniError> {
+        let key = normalize_statement(sql)?;
+        if let Some((generation, plan)) = self.plans.get(&key) {
+            if *generation == self.generation {
+                self.stats.plan_cache_hits += 1;
+                return Ok(PreparedQuery {
+                    key,
+                    generation: self.generation,
+                    plan: Arc::clone(plan),
+                });
+            }
+            self.stats.plan_cache_invalidations += 1;
+        }
+        self.stats.plan_cache_misses += 1;
+        let plan = Arc::new(plan::bind(&parse(sql)?, &self.catalog)?);
+        if !self.plans.contains_key(&key) {
+            self.plan_order.push_back(key.clone());
+            while self.plan_order.len() > self.config.max_cached_plans.max(1) {
+                if let Some(evicted) = self.plan_order.pop_front() {
+                    self.plans.remove(&evicted);
+                }
+            }
+        }
+        self.plans
+            .insert(key.clone(), (self.generation, Arc::clone(&plan)));
+        Ok(PreparedQuery {
+            key,
+            generation: self.generation,
+            plan,
+        })
+    }
+
+    /// Prepares a batch of statements (each through the plan cache).
+    pub fn prepare_batch(&mut self, sqls: &[&str]) -> Result<PreparedBatch, DniError> {
+        let entries = sqls
+            .iter()
+            .map(|sql| self.prepare(sql))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PreparedBatch { entries })
+    }
+
+    /// Executes one prepared statement, returning its result table. A
+    /// stale handle (catalog mutated since `prepare`) is transparently
+    /// re-prepared first.
+    pub fn execute(&mut self, prepared: &PreparedQuery) -> Result<Table, DniError> {
+        let batch = PreparedBatch {
+            entries: vec![prepared.clone()],
+        };
+        let mut output = self.execute_batch(&batch)?;
+        Ok(output.tables.pop().expect("one query, one table"))
+    }
+
+    /// Prepares and executes one statement.
+    pub fn run(&mut self, sql: &str) -> Result<Table, DniError> {
+        let prepared = self.prepare(sql)?;
+        self.execute(&prepared)
+    }
+
+    /// Prepares and executes a batch of statements through shared
+    /// extraction, the plan cache and admission control.
+    pub fn run_batch(&mut self, sqls: &[&str]) -> Result<BatchOutput, DniError> {
+        let base = self.stats;
+        let prepared = self.prepare_batch(sqls)?;
+        self.execute_entries(&prepared.entries, base)
+    }
+
+    /// Executes a prepared batch. Stale members are transparently
+    /// re-prepared through the plan cache.
+    pub fn execute_batch(&mut self, prepared: &PreparedBatch) -> Result<BatchOutput, DniError> {
+        let base = self.stats;
+        self.execute_entries(&prepared.entries, base)
+    }
+
+    fn execute_entries(
+        &mut self,
+        entries: &[PreparedQuery],
+        base: SessionStats,
+    ) -> Result<BatchOutput, DniError> {
+        // Revalidate: the normalized statement is itself a parseable
+        // statement, so a stale entry re-prepares from its key.
+        let mut fresh: Vec<PreparedQuery> = Vec::with_capacity(entries.len());
+        for entry in entries {
+            if entry.generation == self.generation {
+                fresh.push(entry.clone());
+            } else {
+                let key = entry.key.clone();
+                fresh.push(self.prepare(&key)?);
+            }
+        }
+        let plans: Vec<Arc<LogicalPlan>> = fresh.iter().map(|e| Arc::clone(&e.plan)).collect();
+
+        let physical = self.optimize_entries(&fresh, &plans);
+        let implicit_cache = self.admit_to_session_cache(&plans);
+        let (mut output, computed) = physical.execute_with(
+            &self.config.inspection,
+            Some(implicit_cache),
+            self.config.reuse_scores,
+        )?;
+
+        // Feed the score cache with this batch's freshly computed frames.
+        if self.config.reuse_scores {
+            let fp = self.fingerprint();
+            for (qi, pos, frame) in computed {
+                let key: FrameKey = (fresh[qi].key.clone(), self.generation, pos, fp.clone());
+                if self.frames.insert(key.clone(), frame).is_none() {
+                    self.frame_order.push_back(key);
+                    while self.frame_order.len() > self.config.max_cached_frames.max(1) {
+                        if let Some(evicted) = self.frame_order.pop_front() {
+                            self.frames.remove(&evicted);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.stats.score_cache_hits += physical.stats.score_cache_hits;
+        self.stats.admission_splits += physical.stats.admission_splits;
+        self.stats.admission_queued += physical.stats.admission_queued;
+        self.stats.batches_executed += 1;
+
+        // Per-call plan counters: prepare/revalidation deltas plus the
+        // physical plan's own score/admission numbers.
+        output.report.plan.plan_cache_hits = self.stats.plan_cache_hits - base.plan_cache_hits;
+        output.report.plan.plan_cache_misses =
+            self.stats.plan_cache_misses - base.plan_cache_misses;
+        Ok(output)
+    }
+
+    /// Decides which implicit hypothesis cache a batch may share. The
+    /// session cache keys behaviors on `(dataset id, hypothesis id,
+    /// record id)`, so it is only sound while every id keeps resolving
+    /// to the identity that first populated it — a collision *within*
+    /// one batch is caught by the executor's own guard, but a collision
+    /// *across* batches (same id, different dataset or function in a
+    /// later batch) can only be seen here. Conflicting batches get a
+    /// private per-batch cache instead, and never register as owners.
+    fn admit_to_session_cache(&mut self, plans: &[Arc<LogicalPlan>]) -> Arc<HypothesisCache> {
+        let conflicts = plans.iter().any(|plan| {
+            let dataset_conflict = self
+                .cache_dataset_owners
+                .get(&plan.dataset.id)
+                .is_some_and(|owner| thin(owner) != thin(&plan.dataset));
+            dataset_conflict
+                || plan.hypotheses.iter().any(|hyp| {
+                    self.cache_hyp_owners
+                        .get(hyp.id())
+                        .is_some_and(|owner| thin(owner) != thin(hyp))
+                })
+        });
+        if conflicts {
+            return HypothesisCache::new(self.config.cache_bytes);
+        }
+        for plan in plans {
+            self.cache_dataset_owners
+                .entry(plan.dataset.id.clone())
+                .or_insert_with(|| Arc::clone(&plan.dataset));
+            for hyp in &plan.hypotheses {
+                self.cache_hyp_owners
+                    .entry(hyp.id().to_string())
+                    .or_insert_with(|| Arc::clone(hyp));
+            }
+        }
+        Arc::clone(&self.hypothesis_cache)
+    }
+
+    fn optimize_entries(
+        &self,
+        entries: &[PreparedQuery],
+        plans: &[Arc<LogicalPlan>],
+    ) -> PhysicalPlan {
+        let fp = self.fingerprint();
+        let generation = self.generation;
+        let frames = &self.frames;
+        let reuse = self.config.reuse_scores;
+        let mut lookup = |qi: usize, pos: usize| -> Option<Arc<ResultFrame>> {
+            if !reuse {
+                return None;
+            }
+            frames
+                .get(&(entries[qi].key.clone(), generation, pos, fp.clone()))
+                .cloned()
+        };
+        plan::optimize_with(
+            plans,
+            &self.config.inspection,
+            self.config.admission,
+            &mut lookup,
+        )
+    }
+
+    /// Renders the physical plan tree for one statement (prepared through
+    /// the plan cache) without executing it. The rendering ignores the
+    /// score cache, so it is deterministic across repeated calls.
+    pub fn explain(&mut self, sql: &str) -> Result<String, DniError> {
+        self.explain_batch(&[sql])
+    }
+
+    /// Renders the physical plan tree for a batch of statements.
+    pub fn explain_batch(&mut self, sqls: &[&str]) -> Result<String, DniError> {
+        let prepared = self.prepare_batch(sqls)?;
+        let plans: Vec<Arc<LogicalPlan>> = prepared
+            .entries
+            .iter()
+            .map(|e| Arc::clone(&e.plan))
+            .collect();
+        Ok(plan::optimize(&plans, &self.config.inspection, self.config.admission).explain())
+    }
+}

@@ -203,6 +203,21 @@ fn batch_is_bit_identical_to_sequential_on_both_devices() {
 }
 
 #[test]
+fn one_shot_batch_reports_plan_provenance() {
+    // The shim path binds every statement on every call and never
+    // splits: the new BatchReport.plan counters must say exactly that.
+    let (catalog, _) = test_catalog();
+    let batch = catalog
+        .run_batch(&QUERIES, &config(Device::SingleCore))
+        .unwrap();
+    assert_eq!(batch.report.plan.plan_cache_hits, 0);
+    assert_eq!(batch.report.plan.plan_cache_misses, QUERIES.len());
+    assert_eq!(batch.report.plan.score_cache_hits, 0);
+    assert_eq!(batch.report.plan.admission_splits, 0);
+    assert_eq!(batch.report.plan.admission_queued, 0);
+}
+
+#[test]
 fn parallel_batch_matches_single_core_batch() {
     let (catalog, _) = test_catalog();
     let single = catalog

@@ -1,14 +1,16 @@
-//! The INSPECT SQL extension (paper Appendix B).
+//! The INSPECT SQL extension (paper Appendix B) through the session API.
 //!
 //! Registers two epochs of the SQL model, a keyword hypothesis library and
-//! the dataset in a catalog, then runs the paper's example query —
-//! correlating layer-0 units with keyword hypotheses per epoch and keeping
-//! the high scorers.
+//! the dataset in a catalog, opens a [`Session`] over it, and runs the
+//! paper's example query — correlating layer-0 units with keyword
+//! hypotheses per epoch and keeping the high scorers. The session is the
+//! long-lived entry point: `explain` renders the physical plan,
+//! `prepare` caches the bound plan, and re-executing the prepared
+//! statement does zero bind work and reuses the converged scores.
 //!
 //! Run with: `cargo run --release --example inspect_query`
 
 use deepbase::prelude::*;
-use deepbase::query::{run_query, Catalog};
 use deepbase::workloads::sql;
 use std::sync::Arc;
 
@@ -53,6 +55,7 @@ fn main() -> Result<(), DniError> {
     );
     catalog.add_dataset("seq", Arc::new(workload.dataset.clone()));
 
+    let mut session = Session::new(catalog);
     let query = "
         SELECT M.epoch, S.uid, S.hyp_id, S.unit_score
         INSPECT U.uid AND H.h USING corr OVER D.seq AS S
@@ -61,8 +64,21 @@ fn main() -> Result<(), DniError> {
         HAVING S.unit_score > 0.3
     ";
     println!("query:{query}");
-    let table = run_query(query, &catalog, &InspectionConfig::default())?;
+    println!("plan:\n{}", session.explain(query)?);
+
+    let prepared = session.prepare(query)?;
+    let table = session.execute(&prepared)?;
     println!("result ({} rows):\n", table.len());
     println!("{}", table.render(25));
+
+    // Re-executing the prepared statement binds nothing and reuses the
+    // converged scores from the session cache.
+    let again = session.execute(&prepared)?;
+    assert_eq!(table, again);
+    let stats = session.stats();
+    println!(
+        "session: {} plan-cache hit(s), {} miss(es), {} score-cache hit(s)",
+        stats.plan_cache_hits, stats.plan_cache_misses, stats.score_cache_hits
+    );
     Ok(())
 }
