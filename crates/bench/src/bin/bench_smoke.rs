@@ -12,7 +12,6 @@ use deepbase::prelude::*;
 use deepbase_stats::{LogRegConfig, MultiLogReg, StreamingPearson};
 use deepbase_tensor::{init, Matrix};
 use std::hint::black_box;
-use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Median-of-runs wall-clock timing for one kernel configuration.
@@ -185,11 +184,8 @@ fn main() {
         ));
     }
     json.push_str("  }\n}\n");
-    let path = "BENCH_PR1.json";
-    std::fs::File::create(path)
-        .and_then(|mut f| f.write_all(json.as_bytes()))
-        .expect("write BENCH_PR1.json");
-    println!("\nwrote {path}");
+    println!();
+    deepbase_bench::emit_json("BENCH_PR1.json", &json);
 
     let blocked = entries
         .iter()

@@ -18,7 +18,6 @@ use deepbase::query::{run_query, UnitMeta};
 use deepbase_nn::{CharLstmModel, OutputMode};
 use deepbase_tensor::Matrix;
 use std::hint::black_box;
-use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -290,9 +289,5 @@ fn main() {
          \"queries\": {},\n    \"extraction_passes\": 1\n  }}\n}}\n",
         QUERIES.len()
     ));
-    let path = "BENCH_PR2.json";
-    std::fs::File::create(path)
-        .and_then(|mut f| f.write_all(json.as_bytes()))
-        .expect("write BENCH_PR2.json");
-    println!("wrote {path}");
+    deepbase_bench::emit_json("BENCH_PR2.json", &json);
 }

@@ -24,7 +24,6 @@ use deepbase::query::UnitMeta;
 use deepbase_nn::{CharLstmModel, OutputMode};
 use deepbase_tensor::Matrix;
 use std::hint::black_box;
-use std::io::Write;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -230,8 +229,5 @@ fn main() {
          \"full_reuse_speedup\": {reuse_speedup:.3}\n}}\n",
         stats.plan_cache_hits, stats.plan_cache_misses, stats.score_cache_hits
     ));
-    std::fs::File::create("BENCH_PR3.json")
-        .and_then(|mut f| f.write_all(json.as_bytes()))
-        .expect("write BENCH_PR3.json");
-    println!("wrote BENCH_PR3.json");
+    deepbase_bench::emit_json("BENCH_PR3.json", &json);
 }

@@ -1,0 +1,278 @@
+//! Behavior-store benchmark (ISSUE 4): cold live extraction vs warm
+//! store scans across *process-fresh* sessions.
+//!
+//! The paper's headline optimization is materializing extracted unit
+//! behaviors so repeated inspection never re-runs the model; PR 4 makes
+//! that durable. This bin measures the payoff on a real char-LSTM
+//! extractor: every iteration opens a **fresh** `Session` (fresh-process
+//! semantics — plan cache, score cache and buffer pool all start cold,
+//! only the on-disk store persists) and runs the same extraction-bound
+//! 5-query correlation batch (materialization pays for the extractor,
+//! so the workload is sized to be extraction-dominated — 96 hidden
+//! units over 384 records of 16 symbols):
+//!
+//! * `cold_live_extraction` — no store configured: the LSTM forward
+//!   passes run every iteration.
+//! * `warm_store_scan`      — read-write store populated once: unit
+//!   columns are scanned from disk through the buffer pool; the
+//!   extractor is never called (asserted via a counting wrapper).
+//!
+//! Writes `BENCH_PR4.json` in the current directory.
+//!
+//! Run with: `cargo run --release -p deepbase-bench --bin fig_store`
+
+use deepbase::prelude::*;
+use deepbase::query::UnitMeta;
+use deepbase_nn::{CharLstmModel, OutputMode};
+use deepbase_tensor::Matrix;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ND: usize = 384;
+const NS: usize = 16;
+const UNITS: usize = 96;
+
+/// Owned char-LSTM extractor with forward-pass counting and a weight
+/// fingerprint — the store key that survives process restarts.
+struct OwnedLstmExtractor {
+    model: CharLstmModel,
+    forward_passes: Arc<AtomicUsize>,
+}
+
+impl Extractor for OwnedLstmExtractor {
+    fn n_units(&self) -> usize {
+        self.model.hidden()
+    }
+
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
+        self.forward_passes.fetch_add(1, Ordering::SeqCst);
+        if records.is_empty() {
+            return Matrix::zeros(0, unit_ids.len());
+        }
+        let inputs: Vec<Vec<u32>> = records.iter().map(|r| r.symbols.clone()).collect();
+        let full = self.model.extract_activations(&inputs);
+        let mut out = Matrix::zeros(full.rows(), unit_ids.len());
+        for r in 0..full.rows() {
+            let src = full.row(r);
+            let dst = out.row_mut(r);
+            for (c, &u) in unit_ids.iter().enumerate() {
+                dst[c] = src[u];
+            }
+        }
+        out
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(char_model_fingerprint(&self.model))
+    }
+}
+
+fn build_catalog(forward_passes: &Arc<AtomicUsize>) -> Catalog {
+    let records: Vec<Record> = (0..ND)
+        .map(|i| {
+            let chars: Vec<char> = (0..NS)
+                .map(|t| match (i * 11 + t * 5) % 7 {
+                    0 | 4 => 'a',
+                    1 | 5 => 'b',
+                    2 => 'c',
+                    _ => 'd',
+                })
+                .collect();
+            let symbols: Vec<u32> = chars.iter().map(|&c| c as u32 - 'a' as u32).collect();
+            Record::standalone(i, symbols, chars.into_iter().collect())
+        })
+        .collect();
+    let mut catalog = Catalog::new();
+    catalog.add_model_with_units(
+        "probe",
+        5,
+        Arc::new(OwnedLstmExtractor {
+            model: CharLstmModel::new(4, UNITS, OutputMode::LastStep, 42),
+            forward_passes: Arc::clone(forward_passes),
+        }),
+        (0..UNITS)
+            .map(|uid| UnitMeta {
+                uid,
+                layer: (uid % 2) as i64,
+            })
+            .collect(),
+    );
+    catalog.add_hypotheses(
+        "chars",
+        vec![
+            Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a')),
+            Arc::new(FnHypothesis::char_class("is_b", |c| c == 'b')),
+            Arc::new(FnHypothesis::char_class("is_c", |c| c == 'c')),
+        ],
+    );
+    catalog.add_hypotheses("position", vec![Arc::new(FnHypothesis::position_counter())]);
+    catalog.add_dataset("seq", Arc::new(Dataset::new("seq", NS, records).unwrap()));
+    catalog
+}
+
+/// The repeated inspection batch: overlapping unit filters and GROUP BY
+/// over correlation (a tiny epsilon keeps every pass streaming the full
+/// dataset, so the cold run materializes complete columns).
+const QUERIES: [&str; 5] = [
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D HAVING S.unit_score > 0.5",
+    "SELECT S.group_id, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE H.name = 'chars' GROUP BY U.layer",
+    "SELECT S.uid, S.hyp_id, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D WHERE H.name = 'position'",
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D \
+     WHERE U.layer = 0 HAVING S.unit_score > 0.3",
+    "SELECT S.uid, S.unit_score, S.group_score INSPECT U.uid AND H.h USING corr \
+     OVER D.seq AS S FROM models M, units U, hypotheses H, inputs D \
+     WHERE U.uid < 24 AND H.name = 'chars'",
+];
+
+fn inspection_config() -> InspectionConfig {
+    InspectionConfig {
+        block_records: 64,
+        epsilon: Some(1e-12),
+        ..Default::default()
+    }
+}
+
+fn fresh_session(forward_passes: &Arc<AtomicUsize>, store: Option<StoreConfig>) -> Session {
+    Session::with_config(
+        build_catalog(forward_passes),
+        SessionConfig {
+            inspection: inspection_config(),
+            store,
+            ..SessionConfig::default()
+        },
+    )
+}
+
+/// Median nanoseconds per iteration; `f` builds and runs one
+/// process-fresh session per call.
+fn time_runs(mut f: impl FnMut()) -> f64 {
+    f(); // warm the OS caches, not the session (each call is fresh)
+    let mut samples = Vec::new();
+    let mut spent = Duration::ZERO;
+    while samples.len() < 9 && (spent < Duration::from_millis(1500) || samples.len() < 3) {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        spent += elapsed;
+        samples.push(elapsed.as_secs_f64() * 1e9);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let store_dir = PathBuf::from("target/tmp-fig-store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_config = || StoreConfig {
+        block_records: 64,
+        ..StoreConfig::at(&store_dir)
+    };
+
+    // Correctness gate: populate the store once, then prove a fresh
+    // session answers bit-identically with zero forward passes.
+    let live_passes = Arc::new(AtomicUsize::new(0));
+    let mut live = fresh_session(&live_passes, None);
+    let reference = live.run_batch(&QUERIES).unwrap();
+    drop(live);
+
+    let cold_passes = Arc::new(AtomicUsize::new(0));
+    let mut cold = fresh_session(&cold_passes, Some(store_config()));
+    let populated = cold.run_batch(&QUERIES).unwrap();
+    assert_eq!(populated.tables, reference.tables);
+    let columns_written = populated.report.store.columns_written;
+    assert_eq!(
+        columns_written, UNITS,
+        "cold pass materializes every column"
+    );
+    drop(cold);
+
+    let warm_passes = Arc::new(AtomicUsize::new(0));
+    let mut warm = fresh_session(&warm_passes, Some(store_config()));
+    let warmed = warm.run_batch(&QUERIES).unwrap();
+    assert_eq!(
+        warmed.tables, reference.tables,
+        "warm store scan must be bit-identical to live extraction"
+    );
+    assert_eq!(
+        warm_passes.load(Ordering::SeqCst),
+        0,
+        "warm store scan must run zero extractor forward passes"
+    );
+    let warm_stats = warmed.report.store.clone();
+    drop(warm);
+
+    // Timed comparison: one process-fresh session per iteration.
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, ns: f64| {
+        println!("{name:<28} {ns:>14.0} ns");
+        entries.push((name.to_string(), ns));
+    };
+    let timing_passes = Arc::new(AtomicUsize::new(0));
+    record(
+        "cold_live_extraction",
+        time_runs(|| {
+            let mut session = fresh_session(&timing_passes, None);
+            black_box(session.run_batch(&QUERIES).unwrap());
+        }),
+    );
+    let scan_passes = Arc::new(AtomicUsize::new(0));
+    record(
+        "warm_store_scan",
+        time_runs(|| {
+            let mut session = fresh_session(&scan_passes, Some(store_config()));
+            black_box(session.run_batch(&QUERIES).unwrap());
+        }),
+    );
+    assert_eq!(
+        scan_passes.load(Ordering::SeqCst),
+        0,
+        "every timed warm iteration stays extraction-free"
+    );
+
+    let ns_of = |name: &str| entries.iter().find(|(n, _)| n == name).unwrap().1;
+    let speedup = ns_of("cold_live_extraction") / ns_of("warm_store_scan");
+    println!("store columns written     : {columns_written}");
+    println!(
+        "warm blocks read          : {} ({} pool hits, {} pool misses)",
+        warm_stats.blocks_read, warm_stats.pool_hits, warm_stats.pool_misses
+    );
+    println!(
+        "forward passes avoided    : {} per warm batch",
+        warm_stats.forward_passes_avoided
+    );
+    println!("warm store scan speedup   : {speedup:.2}x");
+
+    let mut json = String::from("{\n  \"pr\": 4,\n  \"benchmarks\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{name}\": {{\"ns_per_iter\": {ns:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"warm_scan_speedup\": {speedup:.3},\n  \
+         \"columns_written\": {columns_written},\n  \
+         \"warm_blocks_read\": {},\n  \
+         \"warm_pool_hits\": {},\n  \
+         \"warm_pool_misses\": {},\n  \
+         \"warm_pool_evictions\": {},\n  \
+         \"warm_forward_passes_avoided\": {},\n  \
+         \"warm_forward_passes\": 0\n}}\n",
+        warm_stats.blocks_read,
+        warm_stats.pool_hits,
+        warm_stats.pool_misses,
+        warm_stats.pool_evictions,
+        warm_stats.forward_passes_avoided
+    ));
+    deepbase_bench::emit_json("BENCH_PR4.json", &json);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

@@ -264,6 +264,93 @@ mod tests {
     }
 
     #[test]
+    fn filling_past_capacity_evicts_and_keeps_accounting_consistent() {
+        // Budget of exactly 4 entries x 10 floats (40 bytes each).
+        let entry_bytes = 10 * std::mem::size_of::<f32>();
+        let cache = HypothesisCache::new(4 * entry_bytes);
+        for i in 0..20 {
+            cache
+                .get_or_compute("d", "h", i, || ok(vec![0.5; 10]))
+                .unwrap();
+            // The budget is enforced after every insert, not eventually.
+            assert!(
+                cache.bytes() <= 4 * entry_bytes,
+                "bytes {} over budget after insert {i}",
+                cache.bytes()
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 20, "every distinct key misses once");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(cache.len(), 4, "budget holds exactly 4 entries");
+        assert_eq!(
+            stats.evictions,
+            stats.misses - cache.len(),
+            "every miss beyond capacity evicted exactly one entry"
+        );
+        assert_eq!(
+            cache.bytes(),
+            cache.len() * entry_bytes,
+            "bytes() equals the sum of resident entries"
+        );
+        // Resident entries still serve hits without recomputation.
+        let before = cache.stats().misses;
+        for i in 16..20 {
+            cache
+                .get_or_compute(
+                    "d",
+                    "h",
+                    i,
+                    || -> Result<Vec<f32>, std::convert::Infallible> {
+                        unreachable!("recent entries must be resident")
+                    },
+                )
+                .unwrap();
+        }
+        assert_eq!(cache.stats().misses, before);
+        assert_eq!(cache.stats().hits, 4);
+    }
+
+    #[test]
+    fn concurrent_fills_past_capacity_stay_consistent() {
+        // 8 threads x 16 distinct keys, budget of 6 entries: eviction
+        // races with insertion from every thread, but bytes/len/stats
+        // must stay mutually consistent and under budget throughout.
+        let entry_bytes = 8 * std::mem::size_of::<f32>();
+        let budget = 6 * entry_bytes;
+        let cache = HypothesisCache::new(budget);
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..16usize {
+                        let v = cache
+                            .get_or_compute("d", "h", t * 16 + i, || ok(vec![t as f32; 8]))
+                            .unwrap();
+                        assert_eq!(v.len(), 8);
+                        assert!(cache.bytes() <= budget, "over budget mid-race");
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            8 * 16,
+            "every lookup is counted exactly once"
+        );
+        assert_eq!(
+            stats.misses,
+            8 * 16,
+            "all keys distinct: every lookup missed"
+        );
+        assert!(cache.len() <= 6);
+        assert!(!cache.is_empty());
+        assert_eq!(cache.bytes(), cache.len() * entry_bytes);
+        assert_eq!(stats.evictions, stats.misses - cache.len());
+    }
+
+    #[test]
     fn errors_are_not_cached() {
         let cache = HypothesisCache::new(1 << 20);
         let r: Result<_, String> = cache.get_or_compute("d", "h", 0, || Err("boom".to_string()));

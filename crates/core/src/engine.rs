@@ -82,8 +82,9 @@ use crate::model::{validate_behavior, Dataset, HypothesisFn, Record, UnitGroup};
 use crate::result::{ResultFrame, RowSpan, ScoreRow};
 use deepbase_relational as rel;
 use deepbase_stats::split::shuffled_indices;
+use deepbase_store::{BehaviorStore, ColumnKey, StoreStats};
 use deepbase_tensor::Matrix;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -568,6 +569,274 @@ pub struct SharedOutcome {
     /// Extraction passes over the dataset: 1 on the shared streaming
     /// path, one per member on the fallback path.
     pub extraction_passes: usize,
+    /// Behavior-store accounting for the pass (all zeros when no store
+    /// source was supplied): blocks scanned/written, pool hit/miss/evict
+    /// counters, forward passes avoided, and any corruption errors the
+    /// pass survived by falling back to live extraction.
+    pub store: StoreStats,
+}
+
+/// The optimizer's store decision for one shared pass: the column key
+/// fingerprints, the plan-time hit/miss split, and the policy flags.
+/// Produced by [`crate::plan`], carried in its `GroupSource::StoreScan`,
+/// and bound to an open store as a [`StoreSource`] at execution time.
+#[derive(Debug, Clone)]
+pub struct StorePlan {
+    /// Content fingerprint of the pass's model.
+    pub model_fp: u64,
+    /// Content fingerprint of the pass's dataset.
+    pub dataset_fp: u64,
+    /// Union unit columns with a stored column at plan time.
+    pub hits: Vec<usize>,
+    /// Union unit columns that will be extracted live.
+    pub misses: Vec<usize>,
+    /// Scan stored columns (off under a write-only policy).
+    pub read: bool,
+    /// Persist newly extracted columns after a fully streamed pass.
+    pub write: bool,
+    /// Skip write-back capture when the missing columns would buffer more
+    /// than this many bytes.
+    pub writeback_limit_bytes: usize,
+}
+
+/// A store-backed unit-behavior source for one shared pass: a
+/// [`StorePlan`] bound to its open [`BehaviorStore`].
+///
+/// The engine intersects the plan's `hits` with the pass's union unit
+/// columns: intersected units are scanned from stored columns through
+/// the buffer pool (checksums verified per block), the rest are
+/// extracted live in a single narrowed extractor call per block and
+/// merged into the union stream. With `write` set, the live-extracted
+/// columns are buffered and persisted at the end of a fully streamed
+/// pass (a pass that early-stops has only seen a subset of the records
+/// and persists nothing). A column that fails a checksum mid-pass is
+/// quarantined and demoted to live extraction for the remaining blocks —
+/// results stay bit-identical because stored columns hold exactly what
+/// the extractor would produce.
+pub struct StoreSource {
+    /// The open store.
+    pub store: Arc<BehaviorStore>,
+    /// The optimizer's decision for this pass.
+    pub plan: StorePlan,
+}
+
+/// Per-pass mutable state of a [`StoreSource`].
+struct StorePass<'s> {
+    source: &'s StoreSource,
+    /// Union units servable from the store, in union order.
+    hits: Vec<usize>,
+    /// Union units that must be extracted live, in union order.
+    misses: Vec<usize>,
+    /// Hits demoted after a scan failure (corrupt columns are also
+    /// quarantined; transient I/O failures only demote for this pass).
+    demoted: HashSet<usize>,
+    /// Columns that produced at least one scanned block this pass.
+    scanned: HashSet<usize>,
+    writeback: Option<WriteBack>,
+    stats: StoreStats,
+}
+
+/// Write-back capture: complete columns for the pass's miss units,
+/// assembled from the live-extracted blocks in shuffled order.
+struct WriteBack {
+    /// Captured units (the pass's initial misses), in union order.
+    units: Vec<usize>,
+    /// One `nd * ns` column per captured unit.
+    cols: Vec<Vec<f32>>,
+    /// Which record positions have been filled.
+    filled: Vec<bool>,
+    n_filled: usize,
+}
+
+impl<'s> StorePass<'s> {
+    fn new(source: &'s StoreSource, union_units: &[usize], nd: usize, ns: usize) -> StorePass<'s> {
+        let plan = &source.plan;
+        let hit_set: HashSet<usize> = if plan.read {
+            plan.hits.iter().copied().collect()
+        } else {
+            HashSet::new()
+        };
+        let hits: Vec<usize> = union_units
+            .iter()
+            .copied()
+            .filter(|u| hit_set.contains(u))
+            .collect();
+        let misses: Vec<usize> = union_units
+            .iter()
+            .copied()
+            .filter(|u| !hit_set.contains(u))
+            .collect();
+        let mut stats = StoreStats::default();
+        let writeback = if plan.write && !misses.is_empty() {
+            let bytes = misses.len() * nd * ns * std::mem::size_of::<f32>();
+            if bytes <= plan.writeback_limit_bytes {
+                Some(WriteBack {
+                    units: misses.clone(),
+                    cols: vec![vec![0.0; nd * ns]; misses.len()],
+                    filled: vec![false; nd],
+                    n_filled: 0,
+                })
+            } else {
+                stats.errors.push(format!(
+                    "write-back skipped: {} missing columns would buffer {bytes} bytes \
+                     (limit {})",
+                    misses.len(),
+                    plan.writeback_limit_bytes
+                ));
+                None
+            }
+        } else {
+            None
+        };
+        StorePass {
+            source,
+            hits,
+            misses,
+            demoted: HashSet::new(),
+            scanned: HashSet::new(),
+            writeback,
+            stats,
+        }
+    }
+
+    fn key(&self, unit: usize) -> ColumnKey {
+        ColumnKey {
+            model_fp: self.source.plan.model_fp,
+            dataset_fp: self.source.plan.dataset_fp,
+            unit,
+        }
+    }
+
+    /// Produces the union behavior matrix for one streamed block: stored
+    /// columns are scanned through the pool, the rest extracted live in a
+    /// single narrowed call and scattered into union column positions.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_block(
+        &mut self,
+        extractor: &dyn Extractor,
+        block: &[&Record],
+        positions: &[usize],
+        union_units: &[usize],
+        device: Device,
+        ns: usize,
+        nd: usize,
+    ) -> Matrix {
+        let width = union_units.len();
+        let rows = block.len() * ns;
+        let mut out = Matrix::zeros(rows, width);
+        let union_pos = |u: usize| union_units.binary_search(&u).expect("unit in union");
+
+        // Scan the still-trusted hit columns. Any failure demotes the
+        // column to live extraction for this and every remaining block;
+        // only *corruption* (checksum/shape disagreement) additionally
+        // quarantines the file — a transient I/O error must not destroy
+        // a valid column, and a read-only store must stay byte-identical
+        // on disk short of proven corruption.
+        let mut failed: Vec<usize> = Vec::new();
+        for &u in &self.hits {
+            if self.demoted.contains(&u) {
+                continue;
+            }
+            let col = union_pos(u);
+            let scan = self.source.store.scan_into(
+                &self.key(u),
+                nd,
+                ns,
+                positions,
+                out.as_mut_slice(),
+                width,
+                col,
+                &mut self.stats,
+            );
+            match scan {
+                Ok(()) => {
+                    if self.scanned.insert(u) {
+                        self.stats.columns_scanned += 1;
+                    }
+                }
+                Err(e) => {
+                    self.stats
+                        .errors
+                        .push(format!("unit {u} column unusable, extracting live: {e}"));
+                    // Quarantine only proven corruption, and only when
+                    // the policy lets this pass touch the store at all —
+                    // a read-only store stays byte-identical on disk.
+                    if self.source.plan.write && matches!(e, deepbase_store::StoreError::Corrupt(_))
+                    {
+                        self.source.store.quarantine(&self.key(u));
+                    }
+                    failed.push(u);
+                }
+            }
+        }
+        self.demoted.extend(failed);
+
+        // One narrowed extractor call covers the misses and any demoted
+        // units. Column-wise consistency of extractors (see
+        // [`crate::extract::ColumnDemux`]) makes the merged matrix
+        // bit-identical to a full live extraction of the union.
+        let live: Vec<usize> = union_units
+            .iter()
+            .copied()
+            .filter(|u| self.demoted.contains(u) || self.misses.binary_search(u).is_ok())
+            .collect();
+        if live.is_empty() {
+            self.stats.forward_passes_avoided += 1;
+            return out;
+        }
+        let live_m = extract_records(extractor, block, &live, device, ns);
+        for (li, &u) in live.iter().enumerate() {
+            let col = union_pos(u);
+            for r in 0..rows {
+                out.set(r, col, live_m.get(r, li));
+            }
+        }
+        if let Some(wb) = &mut self.writeback {
+            for (pi, &pos) in positions.iter().enumerate() {
+                if wb.filled[pos] {
+                    continue;
+                }
+                wb.filled[pos] = true;
+                wb.n_filled += 1;
+                for (wi, &u) in wb.units.iter().enumerate() {
+                    let li = live.binary_search(&u).expect("captured unit is live");
+                    for t in 0..ns {
+                        wb.cols[wi][pos * ns + t] = live_m.get(pi * ns + t, li);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Persists the captured miss columns if the pass streamed every
+    /// record (an early-stopped pass has incomplete columns and persists
+    /// nothing). Write failures are recorded, never fatal.
+    fn flush_writeback(&mut self, nd: usize, ns: usize) {
+        let Some(wb) = self.writeback.take() else {
+            return;
+        };
+        if wb.n_filled != nd {
+            return;
+        }
+        for (wi, &u) in wb.units.iter().enumerate() {
+            match self
+                .source
+                .store
+                .write_column(&self.key(u), nd, ns, &wb.cols[wi])
+            {
+                Ok(report) => {
+                    self.stats.columns_written += 1;
+                    self.stats.blocks_written += report.blocks_written;
+                    self.stats.pool_evictions += report.pool_evictions;
+                }
+                Err(e) => self
+                    .stats
+                    .errors
+                    .push(format!("unit {u} write-back failed: {e}")),
+            }
+        }
+    }
 }
 
 /// Identity of one deduplicated measure-state slot. Hypotheses are
@@ -662,6 +931,21 @@ pub fn inspect_shared(
     reqs: &[InspectionRequest<'_>],
     config: &InspectionConfig,
 ) -> Result<SharedOutcome, DniError> {
+    inspect_shared_store(reqs, config, None)
+}
+
+/// [`inspect_shared`] with an optional persistent-store source: union
+/// unit columns available in the store are scanned instead of extracted
+/// (zero extractor forward passes when every column hits), missing
+/// columns are extracted live and — under a read-write policy — written
+/// back at the end of a fully streamed pass. Store sources only apply to
+/// the streaming `DeepBase` engine; the materializing fallbacks ignore
+/// them.
+pub fn inspect_shared_store(
+    reqs: &[InspectionRequest<'_>],
+    config: &InspectionConfig,
+    source: Option<&StoreSource>,
+) -> Result<SharedOutcome, DniError> {
     validate_config(config)?;
     if reqs.is_empty() {
         return Ok(SharedOutcome::default());
@@ -686,9 +970,7 @@ pub fn inspect_shared(
                 .iter()
                 .map(|_| (ResultFrame::default(), Profile::default()))
                 .collect(),
-            merged: ResultFrame::default(),
-            pass: Profile::default(),
-            extraction_passes: 0,
+            ..SharedOutcome::default()
         });
     }
     if config.engine != EngineKind::DeepBase {
@@ -708,7 +990,11 @@ pub fn inspect_shared(
 
     let t_start = Instant::now();
     let ns = dataset.ns;
-    let records = shuffled_records(dataset, config.seed);
+    let nd = dataset.len();
+    // Shuffled record order, with each record's dataset position kept
+    // alongside — stored columns are addressed by position.
+    let order = shuffled_indices(nd, config.seed);
+    let records: Vec<&Record> = order.iter().map(|&i| &dataset.records[i]).collect();
 
     // Union of all unit columns any member needs, extracted once per block.
     let mut union_units: Vec<usize> = reqs
@@ -717,6 +1003,10 @@ pub fn inspect_shared(
         .collect();
     union_units.sort_unstable();
     union_units.dedup();
+
+    // The pass's store state: which union columns can be scanned vs must
+    // be extracted, plus write-back capture for the misses.
+    let mut store_pass = source.map(|s| StorePass::new(s, &union_units, nd, ns));
 
     // Union of member hypotheses, deduplicated by *function identity*
     // (data pointer), not by id string: two different functions may be
@@ -760,15 +1050,19 @@ pub fn inspect_shared(
     for req in reqs {
         let mut entries = Vec::new();
         for group in &req.groups {
-            let sel = *sel_of.entry(group.units.clone()).or_insert_with(|| {
-                let demux = ColumnDemux::new(&union_units, &group.units);
-                selections.push(Selection {
-                    units: group.units.clone(),
-                    identity: demux.is_identity(union_units.len()),
-                    demux,
-                });
-                selections.len() - 1
-            });
+            let sel = match sel_of.get(&group.units) {
+                Some(&sel) => sel,
+                None => {
+                    let demux = ColumnDemux::new(&union_units, &group.units)?;
+                    selections.push(Selection {
+                        units: group.units.clone(),
+                        identity: demux.is_identity(union_units.len()),
+                        demux,
+                    });
+                    sel_of.insert(group.units.clone(), selections.len() - 1);
+                    selections.len() - 1
+                }
+            };
             for measure in &req.measures {
                 let eps = epsilon_for(*measure, config);
                 let probe_key = (
@@ -893,12 +1187,25 @@ pub fn inspect_shared(
             }
         }
 
-        // Extract the union unit behaviors once, then demux the unit
-        // selections still backing an unconverged slot. A selection that
-        // covers the whole union in order (the common single-query,
-        // one-group case) borrows the union matrix instead of copying it.
+        // Source the union unit behaviors once — scanned from the store
+        // and/or extracted live — then demux the unit selections still
+        // backing an unconverged slot. A selection that covers the whole
+        // union in order (the common single-query, one-group case)
+        // borrows the union matrix instead of copying it.
         let t0 = Instant::now();
-        let union_behaviors = extract_records(extractor, block, &union_units, config.device, ns);
+        let block_positions = &order[block_start..block_end];
+        let union_behaviors = match &mut store_pass {
+            Some(pass) => pass.fetch_block(
+                extractor,
+                block,
+                block_positions,
+                &union_units,
+                config.device,
+                ns,
+                nd,
+            ),
+            None => extract_records(extractor, block, &union_units, config.device, ns),
+        };
         let mut sel_behaviors: Vec<Option<Matrix>> = vec![None; selections.len()];
         for slot in &slots {
             if !slot.converged()
@@ -1006,6 +1313,16 @@ pub fn inspect_shared(
         }
         block_start = block_end;
     }
+
+    // Persist captured miss columns (only after a fully streamed pass)
+    // and detach the pass's store accounting.
+    let store_stats = match &mut store_pass {
+        Some(pass) => {
+            pass.flush_writeback(nd, ns);
+            std::mem::take(&mut pass.stats)
+        }
+        None => StoreStats::default(),
+    };
 
     // Emit every unique pair once into the merged frame (converged pairs
     // use their recorded finals, the rest their current estimates) and
@@ -1115,6 +1432,7 @@ pub fn inspect_shared(
         merged,
         pass,
         extraction_passes: 1,
+        store: store_stats,
     })
 }
 

@@ -7,8 +7,10 @@
 //! the char-RNN, the seq2seq encoder, and pre-extracted matrices (the
 //! "read behaviors from files" path).
 
+use crate::error::DniError;
 use crate::model::{Dataset, Record};
 use deepbase_nn::{CharLstmModel, Seq2Seq};
+use deepbase_store::FpHasher;
 use deepbase_tensor::Matrix;
 
 /// Extracts hidden-unit behaviors for records. Implementations must be
@@ -25,6 +27,17 @@ pub trait Extractor: Send + Sync {
     /// Behavior matrix for `records`: shape
     /// `(records.len() * ns) x unit_ids.len()`, rows record-major.
     fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix;
+
+    /// Stable **content fingerprint** of the underlying model, if one can
+    /// be computed: two extractors must return the same fingerprint iff
+    /// they would produce bit-identical behaviors on every input. Keys
+    /// the persistent behavior store (`deepbase-store`), so it must be
+    /// stable across processes. The default `None` opts the model out of
+    /// persistence entirely — the safe choice when the weights cannot be
+    /// hashed — and the planner then always extracts live.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Extractor over a [`CharLstmModel`] (the SQL auto-completion model).
@@ -52,6 +65,25 @@ impl Extractor for CharModelExtractor<'_> {
         let full = self.model.extract_activations(&inputs);
         select_columns(&full, unit_ids)
     }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(char_model_fingerprint(self.model))
+    }
+}
+
+/// Content fingerprint of a char-LSTM model: architecture constants plus
+/// every trainable parameter, bit-exact. Shared with owned-extractor
+/// wrappers (benches, tests) so they hash identically to
+/// [`CharModelExtractor`].
+pub fn char_model_fingerprint(model: &CharLstmModel) -> u64 {
+    let mut h = FpHasher::new();
+    h.write_str("char-lstm")
+        .write_u64(model.vocab_size() as u64)
+        .write_u64(model.hidden() as u64);
+    model.visit_params(|m| {
+        h.write_f32s(m.as_slice());
+    });
+    h.finish()
 }
 
 /// Extractor over the seq2seq encoder (paper §6.3): units `0..H` are
@@ -121,6 +153,16 @@ impl Extractor for PrecomputedExtractor {
         self.behaviors.cols()
     }
 
+    fn fingerprint(&self) -> Option<u64> {
+        let mut h = FpHasher::new();
+        h.write_str("precomputed")
+            .write_u64(self.ns as u64)
+            .write_u64(self.behaviors.rows() as u64)
+            .write_u64(self.behaviors.cols() as u64)
+            .write_f32s(self.behaviors.as_slice());
+        Some(h.finish())
+    }
+
     fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(records.len() * self.ns, unit_ids.len());
         for (ri, rec) in records.iter().enumerate() {
@@ -151,6 +193,7 @@ pub fn extract_all(extractor: &dyn Extractor, dataset: &Dataset, unit_ids: &[usi
 /// `i` equals `extract(r, B)` column `j` whenever `A[i] == B[j]`, because
 /// each computes the full activation row and selects columns — so the
 /// demuxed matrix is bit-identical to a direct extraction.
+#[derive(Debug)]
 pub struct ColumnDemux {
     cols: Vec<usize>,
 }
@@ -159,9 +202,11 @@ impl ColumnDemux {
     /// Maps `wanted` unit ids onto their column positions within a union
     /// extraction over `union_units`, which must be sorted ascending (the
     /// planner builds it with `sort_unstable` + `dedup`). Every wanted
-    /// unit must appear in the union (the planner derives the union from
-    /// the very groups it demuxes).
-    pub fn new(union_units: &[usize], wanted: &[usize]) -> ColumnDemux {
+    /// unit must appear in the union — the planner derives the union from
+    /// the very groups it demuxes, so a miss means the caller handed a
+    /// non-superset union and gets a [`DniError::Query`] instead of an
+    /// aborted process.
+    pub fn new(union_units: &[usize], wanted: &[usize]) -> Result<ColumnDemux, DniError> {
         debug_assert!(
             union_units.windows(2).all(|w| w[0] < w[1]),
             "extraction union must be sorted and deduplicated"
@@ -169,12 +214,12 @@ impl ColumnDemux {
         let cols = wanted
             .iter()
             .map(|u| {
-                union_units
-                    .binary_search(u)
-                    .unwrap_or_else(|_| panic!("unit {u} missing from the extraction union"))
+                union_units.binary_search(u).map_err(|_| {
+                    DniError::Query(format!("unit {u} missing from the extraction union"))
+                })
             })
-            .collect();
-        ColumnDemux { cols }
+            .collect::<Result<Vec<usize>, DniError>>()?;
+        Ok(ColumnDemux { cols })
     }
 
     /// Number of demuxed columns.
@@ -279,7 +324,7 @@ mod tests {
         let refs: Vec<&Record> = recs.iter().collect();
         let union_units = vec![0, 2, 3, 4];
         let union = ext.extract(&refs, &union_units);
-        let demux = ColumnDemux::new(&union_units, &[4, 2]);
+        let demux = ColumnDemux::new(&union_units, &[4, 2]).unwrap();
         assert_eq!(demux.width(), 2);
         let sliced = demux.apply(&union);
         let direct = ext.extract(&refs, &[4, 2]);
@@ -290,9 +335,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "missing from the extraction union")]
-    fn column_demux_rejects_units_outside_the_union() {
-        let _ = ColumnDemux::new(&[0, 1], &[3]);
+    fn column_demux_rejects_units_outside_the_union_with_an_error() {
+        // Regression: a demux over a non-superset union used to panic and
+        // abort the process; it must surface a query error instead.
+        let err = ColumnDemux::new(&[0, 1], &[3]).unwrap_err();
+        assert!(matches!(err, DniError::Query(_)), "got {err:?}");
+        assert!(err.to_string().contains("unit 3 missing"));
+        // A partially covered request errors too (no silent truncation).
+        assert!(ColumnDemux::new(&[0, 1, 5], &[1, 4]).is_err());
+        // And the superset case still succeeds.
+        assert_eq!(ColumnDemux::new(&[0, 1, 5], &[5, 0]).unwrap().width(), 2);
     }
 
     #[test]

@@ -48,6 +48,40 @@
 //! for a single [`engine::InspectionRequest`], [`query::run_query`] /
 //! [`query::Catalog::run_batch`] as thin shims over the same pipeline.
 //!
+//! ## Persistence
+//!
+//! Extraction is the dominant cost of inspection, and it is pure
+//! recomputation: the same model over the same dataset always produces
+//! the same behaviors. Configure [`session::SessionConfig::store`] with a
+//! [`prelude::StoreConfig`] and the session materializes extracted
+//! unit-behavior columns into an on-disk columnar **behavior store**
+//! (`deepbase-store`): a fresh process that re-inspects the same
+//! `(model, dataset)` scans stored columns through a byte-budgeted buffer
+//! pool instead of running the model — zero extractor forward passes,
+//! bit-identical scores. Partially covered queries scan the stored
+//! columns and extract only the missing units, merging both into one
+//! union stream; under `MaterializationPolicy::ReadWrite` the missing
+//! columns are persisted at the end of a fully streamed pass.
+//!
+//! Columns are keyed by **content fingerprints**: the model's
+//! ([`extract::Extractor::fingerprint`], hashing the actual weights — a
+//! model that cannot be hashed returns `None` and simply opts out) and
+//! the dataset's ([`model::Dataset::content_fingerprint`]). Fingerprints
+//! make invalidation implicit: mutating the catalog
+//! ([`session::Session::catalog_mut`]) re-binds and re-fingerprints, so
+//! changed contents miss the store while identical re-registrations keep
+//! hitting — there is no stale-read window. Corruption is handled
+//! fail-soft: every block carries a CRC32 checksum; a block that fails
+//! validation is quarantined (the file is renamed aside and re-
+//! materialized by the next read-write pass) and the pass falls back to
+//! live extraction, surfacing the error in
+//! [`prelude::StoreStats::errors`] — never a panic, never a wrong score.
+//! `explain` renders the chosen source per group (`store scan (k/n unit
+//! columns stored, m extracted live)`), and every [`plan::BatchReport`]
+//! carries the batch's [`prelude::StoreStats`] (blocks read/written,
+//! pool hits/evictions, forward passes avoided);
+//! [`session::Session::store_stats`] accumulates them per session.
+//!
 //! Modules map to the paper:
 //!
 //! * [`model`] — the DNI problem model: datasets, records, unit groups,
@@ -61,6 +95,10 @@
 //!   plans execute through.
 //! * [`cache`] — hypothesis-behavior LRU cache (§5.1.2, Fig. 9), shared
 //!   across every batch of a session.
+//! * `deepbase-store` (re-exported essentials in the [`prelude`]) — the
+//!   persistent columnar behavior store: self-describing column files
+//!   (header + schema + zone maps + per-block checksums) scanned through
+//!   a CLOCK buffer pool with pinned pages.
 //! * [`result`] — the score frame and relational post-processing (§4.1).
 //! * [`verify`] — perturbation-based verification (§4.4, Appendix C).
 //! * [`query`] — the `INSPECT` SQL surface (Appendix B): catalog, lexer,
@@ -95,13 +133,13 @@ pub use error::DniError;
 pub mod prelude {
     pub use crate::cache::{CacheStats, HypothesisCache};
     pub use crate::engine::{
-        inspect, inspect_shared, Device, EngineKind, InspectionConfig, InspectionRequest, Profile,
-        SharedOutcome,
+        inspect, inspect_shared, inspect_shared_store, Device, EngineKind, InspectionConfig,
+        InspectionRequest, Profile, SharedOutcome, StoreSource,
     };
     pub use crate::error::DniError;
     pub use crate::extract::{
-        extract_all, CharModelExtractor, ColumnDemux, Extractor, PrecomputedExtractor,
-        Seq2SeqEncoderExtractor,
+        char_model_fingerprint, extract_all, CharModelExtractor, ColumnDemux, Extractor,
+        PrecomputedExtractor, Seq2SeqEncoderExtractor,
     };
     pub use crate::measure::{
         standard_library, CorrelationMeasure, DiffMeansMeasure, GroupMiMeasure, JaccardMeasure,
@@ -112,10 +150,14 @@ pub mod prelude {
         Dataset, FnHypothesis, HypothesisFn, ParseCache, ParseHypothesis, Record, UnitGroup,
     };
     pub use crate::plan::{
-        bind, optimize, AdmissionConfig, BatchOutput, BatchReport, GroupReport, LogicalPlan,
-        PhysicalPlan, PlanStats,
+        bind, optimize, optimize_store, AdmissionConfig, BatchOutput, BatchReport, GroupReport,
+        GroupSource, LogicalPlan, PhysicalPlan, PlanStats, StoreBinding, StorePlan,
     };
     pub use crate::query::{execute, execute_batch, parse, run_query, Catalog};
     pub use crate::result::{ResultFrame, ScoreRow};
     pub use crate::session::{PreparedBatch, PreparedQuery, Session, SessionConfig, SessionStats};
+    pub use deepbase_store::{
+        BehaviorStore, ColumnKey, FpHasher, MaterializationPolicy, StoreConfig, StoreError,
+        StoreStats,
+    };
 }

@@ -104,6 +104,27 @@ impl Dataset {
     pub fn total_symbols(&self) -> usize {
         self.len() * self.ns
     }
+
+    /// Content fingerprint of everything an extractor can observe: the
+    /// shape, each record's id (the `PrecomputedExtractor` addressing
+    /// key) and its symbols. Keys the persistent behavior store, so two
+    /// datasets fingerprint equal iff extraction over them is
+    /// bit-identical; window text and provenance are deliberately
+    /// excluded (extractors never read them).
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut h = deepbase_store::FpHasher::new();
+        h.write_str("dataset")
+            .write_u64(self.ns as u64)
+            .write_u64(self.len() as u64);
+        for r in &self.records {
+            h.write_u64(r.id as u64);
+            h.write_u64(r.symbols.len() as u64);
+            for &s in &r.symbols {
+                h.write_u32(s);
+            }
+        }
+        h.finish()
+    }
 }
 
 /// A named group of hidden units `U ⊆ M` (paper Def. 1: measures score a

@@ -34,8 +34,12 @@
 
 use crate::cache::{CacheStats, HypothesisCache};
 use crate::engine::{
-    inspect_shared, Device, InspectionConfig, InspectionRequest, Profile, SharedOutcome,
+    inspect_shared_store, Device, EngineKind, InspectionConfig, InspectionRequest, Profile,
+    SharedOutcome, StoreSource,
 };
+// The optimizer's per-group store decision lives next to the executor
+// that consumes it; re-exported here because it is a planning artifact.
+pub use crate::engine::StorePlan;
 use crate::error::DniError;
 use crate::extract::Extractor;
 use crate::measure::Measure;
@@ -43,8 +47,9 @@ use crate::model::{Dataset, HypothesisFn, UnitGroup};
 use crate::query::{Catalog, ColRef, Cond, InspectQuery, Literal, UnitMeta};
 use crate::result::ResultFrame;
 use deepbase_relational::{ColType, Schema, Table, Value};
+use deepbase_store::{BehaviorStore, MaterializationPolicy, StoreStats};
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Byte budget of the hypothesis cache the batch shims install when the
 /// caller's config has none: large enough to hold the hypothesis columns
@@ -194,6 +199,20 @@ pub struct BoundModel {
     /// partitioning), precomputed at bind time. Empty when no unit of the
     /// model survives the filter — the model contributes no work item.
     pub groups: Vec<UnitGroup>,
+    /// Lazily computed model content fingerprint (hashing weights can be
+    /// expensive; only store-configured sessions need it).
+    fingerprint: OnceLock<Option<u64>>,
+}
+
+impl BoundModel {
+    /// The model's content fingerprint, if the extractor provides one
+    /// (`None` opts the model out of persistence). Computed on first use
+    /// and cached for the plan's lifetime.
+    pub fn fingerprint(&self) -> Option<u64> {
+        *self
+            .fingerprint
+            .get_or_init(|| self.extractor.fingerprint())
+    }
 }
 
 /// A bound INSPECT query: the AST resolved against a catalog snapshot.
@@ -215,6 +234,8 @@ pub struct LogicalPlan {
     pub measures: Vec<Arc<dyn Measure>>,
     /// Validated output schema (column name, type), in SELECT order.
     schema: Vec<(String, ColType)>,
+    /// Lazily computed dataset content fingerprint.
+    dataset_fp: OnceLock<u64>,
 }
 
 impl LogicalPlan {
@@ -226,6 +247,14 @@ impl LogicalPlan {
                 .map(|(n, t)| (n.as_str(), *t))
                 .collect::<Vec<_>>(),
         ))
+    }
+
+    /// Content fingerprint of the bound dataset (store key). Computed on
+    /// first use and cached for the plan's lifetime.
+    pub fn dataset_fingerprint(&self) -> u64 {
+        *self
+            .dataset_fp
+            .get_or_init(|| self.dataset.content_fingerprint())
     }
 }
 
@@ -336,6 +365,7 @@ pub fn bind(query: &InspectQuery, catalog: &Catalog) -> Result<LogicalPlan, DniE
             extractor: Arc::clone(&m.extractor),
             units: m.units.clone(),
             groups: unit_groups_for(query, &conds.unit, &m.units),
+            fingerprint: OnceLock::new(),
         })
         .collect();
 
@@ -346,6 +376,7 @@ pub fn bind(query: &InspectQuery, catalog: &Catalog) -> Result<LogicalPlan, DniE
         dataset,
         measures,
         schema,
+        dataset_fp: OnceLock::new(),
     })
 }
 
@@ -467,6 +498,30 @@ enum Placement {
     Cached(Arc<ResultFrame>),
 }
 
+/// The session's open behavior store, as handed to the optimizer.
+#[derive(Clone)]
+pub struct StoreBinding {
+    /// The open store.
+    pub store: Arc<BehaviorStore>,
+    /// Materialization policy (a binding with `Off` is never built).
+    pub policy: MaterializationPolicy,
+    /// Write-back capture budget in bytes.
+    pub writeback_limit_bytes: usize,
+}
+
+/// Where a group's union unit behaviors come from.
+pub enum GroupSource {
+    /// Live extraction — no store was configured for the session.
+    Extract,
+    /// Live extraction although a store is configured: the model's
+    /// extractor provides no content fingerprint, so its columns cannot
+    /// be keyed durably.
+    ExtractUnkeyed,
+    /// Store-backed: scan the `hits`, extract the `misses`, merge into
+    /// the union stream (and write back under a read-write policy).
+    StoreScan(StorePlan),
+}
+
 /// One `(extractor, dataset)` shared-extraction group of a physical plan.
 pub struct PlanGroup {
     /// Model id of the first registrant (groups key on extractor
@@ -492,6 +547,9 @@ pub struct PlanGroup {
     pub waves: Vec<std::ops::Range<usize>>,
     /// Union-stream width of each wave (unit + hypothesis columns).
     pub wave_widths: Vec<usize>,
+    /// Where the union unit behaviors come from (store scan vs live
+    /// extraction), decided at optimize time.
+    pub source: GroupSource,
 }
 
 impl PlanGroup {
@@ -521,6 +579,8 @@ pub struct PhysicalPlan {
     pub stats: PlanStats,
     block_records: usize,
     admission: AdmissionConfig,
+    /// The open store the `StoreScan` sources execute against.
+    store: Option<Arc<BehaviorStore>>,
 }
 
 /// Thin-pointer identity of an `Arc<dyn T>` (data pointer, metadata
@@ -555,15 +615,30 @@ pub fn optimize(
     config: &InspectionConfig,
     admission: AdmissionConfig,
 ) -> PhysicalPlan {
-    optimize_with(plans, config, admission, &mut |_, _| None)
+    optimize_with(plans, config, admission, None, &mut |_, _| None)
 }
 
-/// [`optimize`] with a score-cache lookup: items whose frame the session
-/// already holds are placed as `Cached` and never scheduled.
+/// [`optimize`] with a behavior-store binding: each group's source is
+/// chosen by probing the store for the group's union unit columns under
+/// the `(model fingerprint, dataset fingerprint)` key — full hits scan
+/// everything, partial hits scan the stored columns and extract only the
+/// missing units, models without a fingerprint extract live.
+pub fn optimize_store(
+    plans: &[Arc<LogicalPlan>],
+    config: &InspectionConfig,
+    admission: AdmissionConfig,
+    binding: Option<&StoreBinding>,
+) -> PhysicalPlan {
+    optimize_with(plans, config, admission, binding, &mut |_, _| None)
+}
+
+/// [`optimize_store`] with a score-cache lookup: items whose frame the
+/// session already holds are placed as `Cached` and never scheduled.
 pub(crate) fn optimize_with(
     plans: &[Arc<LogicalPlan>],
     config: &InspectionConfig,
     admission: AdmissionConfig,
+    binding: Option<&StoreBinding>,
     cached_frame: &mut dyn FnMut(usize, usize) -> Option<Arc<ResultFrame>>,
 ) -> PhysicalPlan {
     let mut stats = PlanStats::default();
@@ -598,6 +673,7 @@ pub(crate) fn optimize_with(
                     requested_measure_states: 0,
                     waves: Vec::new(),
                     wave_widths: Vec::new(),
+                    source: GroupSource::Extract,
                 });
                 group_of.push(key);
                 groups.len() - 1
@@ -677,6 +753,44 @@ pub(crate) fn optimize_with(
         group.unique_hypotheses = hyp_cols.len();
         group.shared_measure_states = state_keys.len();
 
+        // Source choice: probe the store for the union columns under the
+        // group's (model fingerprint, dataset fingerprint) key. Groups
+        // key on extractor identity, so any member yields the
+        // fingerprints. Only the streaming DeepBase engine consumes
+        // store sources — the materializing fallbacks would silently
+        // ignore one, so their groups stay plain `Extract` and `explain`
+        // never promises a scan that cannot happen.
+        let streaming = config.engine == EngineKind::DeepBase;
+        if let (true, Some(binding), Some(first)) = (streaming, binding, group.items.first()) {
+            let plan = &plans[first.query];
+            let model = &plan.models[first.model_pos];
+            group.source = match model.fingerprint() {
+                None => GroupSource::ExtractUnkeyed,
+                Some(model_fp) => {
+                    let dataset_fp = plan.dataset_fingerprint();
+                    let hits =
+                        binding
+                            .store
+                            .available_units(model_fp, dataset_fp, &group.union_units);
+                    let misses: Vec<usize> = group
+                        .union_units
+                        .iter()
+                        .copied()
+                        .filter(|u| hits.binary_search(u).is_err())
+                        .collect();
+                    GroupSource::StoreScan(StorePlan {
+                        model_fp,
+                        dataset_fp,
+                        hits,
+                        misses,
+                        read: true,
+                        write: binding.policy == MaterializationPolicy::ReadWrite,
+                        writeback_limit_bytes: binding.writeback_limit_bytes,
+                    })
+                }
+            };
+        }
+
         // Admission: split into in-order waves whose widths respect the
         // bound; a lone item wider than the bound gets its own wave.
         let width = group.stream_width();
@@ -715,6 +829,7 @@ pub(crate) fn optimize_with(
         stats,
         block_records: config.block_records.max(1),
         admission,
+        store: binding.map(|b| Arc::clone(&b.store)),
     }
 }
 
@@ -746,6 +861,9 @@ pub struct GroupReport {
     pub extraction_passes: usize,
     /// The shared pass itself: union-stream records/blocks and timings.
     pub pass: Profile,
+    /// Behavior-store accounting for the pass (all zeros without a store
+    /// source).
+    pub store: StoreStats,
 }
 
 /// Per-query, per-pass and plan-pipeline accounting for one batch.
@@ -761,6 +879,10 @@ pub struct BatchReport {
     pub cache: CacheStats,
     /// Plan-cache, score-cache and admission counters.
     pub plan: PlanStats,
+    /// Behavior-store accounting summed over the batch's passes: blocks
+    /// read/written, pool hits/evictions, forward passes avoided, and
+    /// any corruption errors survived by falling back to live extraction.
+    pub store: StoreStats,
 }
 
 /// Result of a batch execution: one table per input query plus the
@@ -839,6 +961,16 @@ impl PhysicalPlan {
         // independent groups fan out across the runtime pool on the
         // parallel device.
         let run_group = |g: &PlanGroup| -> Result<Vec<SharedOutcome>, DniError> {
+            // The store source is shared by the group's waves: every wave
+            // streams the same (model, dataset), so hits apply to each
+            // wave's (sub-)union.
+            let source: Option<StoreSource> = match (&g.source, &self.store) {
+                (GroupSource::StoreScan(sp), Some(store)) => Some(StoreSource {
+                    store: Arc::clone(store),
+                    plan: sp.clone(),
+                }),
+                _ => None,
+            };
             g.waves
                 .iter()
                 .map(|wave| {
@@ -857,7 +989,7 @@ impl PhysicalPlan {
                             }
                         })
                         .collect();
-                    inspect_shared(&requests, &config)
+                    inspect_shared_store(&requests, &config, source.as_ref())
                 })
                 .collect()
         };
@@ -922,15 +1054,18 @@ impl PhysicalPlan {
             groups: Vec::new(),
             cache: stats_after.delta_since(&stats_before),
             plan: self.stats,
+            store: StoreStats::default(),
         };
         for (group, waves) in self.groups.iter().zip(&group_outcomes) {
             for (wave, outcome) in group.waves.iter().zip(waves) {
+                report.store.accumulate(&outcome.store);
                 report.groups.push(GroupReport {
                     model_id: group.model_id.clone(),
                     dataset_id: group.dataset_id.clone(),
                     queries: group.items[wave.clone()].iter().map(|i| i.query).collect(),
                     extraction_passes: outcome.extraction_passes,
                     pass: outcome.pass.clone(),
+                    store: outcome.store.clone(),
                 });
             }
         }
@@ -985,6 +1120,22 @@ impl PhysicalPlan {
                 "{stem}├─ measure states: {} shared ({} requested)\n",
                 g.shared_measure_states, g.requested_measure_states
             ));
+            match &g.source {
+                GroupSource::Extract => {} // no store configured: legacy tree
+                GroupSource::ExtractUnkeyed => out.push_str(&format!(
+                    "{stem}├─ source: live extract (model has no content fingerprint)\n"
+                )),
+                GroupSource::StoreScan(sp) => {
+                    let mode = if sp.write { "read-write" } else { "read-only" };
+                    out.push_str(&format!(
+                        "{stem}├─ source: store scan ({}/{} unit columns stored, \
+                         {} extracted live; {mode})\n",
+                        sp.hits.len(),
+                        g.union_units.len(),
+                        sp.misses.len(),
+                    ));
+                }
+            }
             out.push_str(&format!(
                 "{stem}├─ stream width: {} columns, {} bytes/block (ns={})\n",
                 g.stream_width(),

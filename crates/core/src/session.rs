@@ -33,11 +33,12 @@ use crate::engine::{EngineKind, InspectionConfig};
 use crate::error::DniError;
 use crate::model::{Dataset, HypothesisFn};
 use crate::plan::{
-    self, AdmissionConfig, BatchOutput, LogicalPlan, PhysicalPlan, BATCH_CACHE_BYTES,
+    self, AdmissionConfig, BatchOutput, LogicalPlan, PhysicalPlan, StoreBinding, BATCH_CACHE_BYTES,
 };
 use crate::query::{normalize_statement, parse, Catalog};
 use crate::result::ResultFrame;
 use deepbase_relational::Table;
+use deepbase_store::{BehaviorStore, MaterializationPolicy, StoreConfig, StoreStats};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -59,6 +60,12 @@ pub struct SessionConfig {
     pub max_cached_frames: usize,
     /// Byte budget of the session hypothesis cache.
     pub cache_bytes: usize,
+    /// Persistent behavior store (`None` disables durability). The store
+    /// is opened when the session is created; an open failure disables
+    /// the store and surfaces the error in [`Session::store_stats`]
+    /// rather than failing the session — the store is an accelerator,
+    /// never a correctness dependency.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for SessionConfig {
@@ -70,6 +77,7 @@ impl Default for SessionConfig {
             max_cached_plans: 256,
             max_cached_frames: 256,
             cache_bytes: BATCH_CACHE_BYTES,
+            store: None,
         }
     }
 }
@@ -169,6 +177,11 @@ pub struct Session {
     frames: HashMap<FrameKey, Arc<ResultFrame>>,
     frame_order: VecDeque<FrameKey>,
     stats: SessionStats,
+    /// The open behavior store, when configured and openable.
+    store: Option<Arc<BehaviorStore>>,
+    /// Cumulative store accounting across the session's batches (plus
+    /// the open error, if the configured store could not be opened).
+    store_stats: StoreStats,
 }
 
 /// Thin-pointer (data address) identity of an `Arc`, metadata discarded —
@@ -186,6 +199,22 @@ impl Session {
     /// Opens a session with explicit configuration.
     pub fn with_config(catalog: Catalog, config: SessionConfig) -> Session {
         let hypothesis_cache = HypothesisCache::new(config.cache_bytes);
+        let mut store_stats = StoreStats::default();
+        let store = match &config.store {
+            Some(store_config) if store_config.policy != MaterializationPolicy::Off => {
+                match BehaviorStore::open(store_config) {
+                    Ok(store) => Some(store),
+                    Err(e) => {
+                        store_stats.errors.push(format!(
+                            "store at {:?} could not be opened, persistence disabled: {e}",
+                            store_config.path
+                        ));
+                        None
+                    }
+                }
+            }
+            _ => None,
+        };
         Session {
             catalog,
             config,
@@ -198,6 +227,8 @@ impl Session {
             frames: HashMap::new(),
             frame_order: VecDeque::new(),
             stats: SessionStats::default(),
+            store,
+            store_stats,
         }
     }
 
@@ -214,6 +245,13 @@ impl Session {
     /// datasets and extractors in memory; and a mutation may re-register
     /// a dataset or hypothesis under an id the hypothesis cache already
     /// holds behaviors for, so the cache starts over too.)
+    ///
+    /// The behavior store needs no explicit invalidation: its columns are
+    /// keyed by **content fingerprints**, so a model or dataset
+    /// re-registered with different contents simply fingerprints to a
+    /// different key and misses, while an identical re-registration keeps
+    /// hitting — the re-bind after this call recomputes both fingerprints
+    /// from the new catalog entries.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
         self.generation += 1;
         self.frames.clear();
@@ -252,6 +290,30 @@ impl Session {
     /// The session configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// The open behavior store, when one is configured and healthy.
+    pub fn store(&self) -> Option<&Arc<BehaviorStore>> {
+        self.store.as_ref()
+    }
+
+    /// Cumulative behavior-store accounting across the session's batches:
+    /// blocks read/written, pool hits/evictions, forward passes avoided,
+    /// and every error survived by falling back to live extraction.
+    pub fn store_stats(&self) -> &StoreStats {
+        &self.store_stats
+    }
+
+    fn store_binding(&self) -> Option<StoreBinding> {
+        let store_config = self.config.store.as_ref()?;
+        if store_config.policy == MaterializationPolicy::Off {
+            return None;
+        }
+        Some(StoreBinding {
+            store: Arc::clone(self.store.as_ref()?),
+            policy: store_config.policy,
+            writeback_limit_bytes: store_config.writeback_limit_bytes,
+        })
     }
 
     fn fingerprint(&self) -> ConfigFp {
@@ -385,6 +447,7 @@ impl Session {
         self.stats.admission_splits += physical.stats.admission_splits;
         self.stats.admission_queued += physical.stats.admission_queued;
         self.stats.batches_executed += 1;
+        self.store_stats.accumulate(&output.report.store);
 
         // Per-call plan counters: prepare/revalidation deltas plus the
         // physical plan's own score/admission numbers.
@@ -452,6 +515,7 @@ impl Session {
             plans,
             &self.config.inspection,
             self.config.admission,
+            self.store_binding().as_ref(),
             &mut lookup,
         )
     }
@@ -471,6 +535,12 @@ impl Session {
             .iter()
             .map(|e| Arc::clone(&e.plan))
             .collect();
-        Ok(plan::optimize(&plans, &self.config.inspection, self.config.admission).explain())
+        Ok(plan::optimize_store(
+            &plans,
+            &self.config.inspection,
+            self.config.admission,
+            self.store_binding().as_ref(),
+        )
+        .explain())
     }
 }

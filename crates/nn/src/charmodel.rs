@@ -70,6 +70,18 @@ impl CharLstmModel {
         self.mode
     }
 
+    /// Visits every trainable parameter matrix in a fixed order (LSTM
+    /// projections and bias, then the output layer). Used to fingerprint
+    /// the model's weights for the persistent behavior store: two models
+    /// visit identical sequences iff their parameters are bit-identical.
+    pub fn visit_params(&self, mut f: impl FnMut(&Matrix)) {
+        for m in self.lstm.params() {
+            f(m);
+        }
+        f(self.out.weights());
+        f(self.out.bias());
+    }
+
     /// Runs the recurrent stack over a batch of equal-length id sequences,
     /// returning the LSTM cache (whose `hs` are the unit behaviors).
     pub fn run(&self, inputs: &[Vec<u32>]) -> LstmCache {

@@ -46,6 +46,11 @@ impl Dense {
         &self.w
     }
 
+    /// Borrow the bias row.
+    pub fn bias(&self) -> &Matrix {
+        &self.b
+    }
+
     /// Forward pass: `x` is `batch x in_dim`, result `batch x out_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let mut y = x.matmul(&self.w);

@@ -267,6 +267,13 @@ impl Lstm {
         self.grad_b.scale_inplace(0.0);
     }
 
+    /// The trainable parameter matrices (`wx`, `wh`, `b`), in a fixed
+    /// order — used to fingerprint a model's weights for the persistent
+    /// behavior store.
+    pub fn params(&self) -> [&Matrix; 3] {
+        [&self.wx, &self.wh, &self.b]
+    }
+
     /// Mutable access to the input projection (used by gradient-check
     /// tests only).
     #[doc(hidden)]

@@ -1,0 +1,514 @@
+//! The self-describing column file format.
+//!
+//! One file persists one unit-behavior column: the behaviors of a single
+//! hidden unit over every record of a dataset, `nd * ns` f32 values in
+//! record-position-major order. The layout (all integers little-endian):
+//!
+//! ```text
+//! header   magic "DBSBCOL\0" (8) | version u16 | flags u16 | crc32 u32
+//! schema   model_fp u64 | dataset_fp u64 | unit u64 | nd u64 | ns u64
+//!          | block_records u64 | crc32 u32
+//! zones    per block: min f32 | max f32 | rows u32 | data crc32 u32
+//!          then crc32 u32 over the zone table
+//! data     per block: rows * ns f32 (records [b*block_records ..))
+//! ```
+//!
+//! The file is self-describing: a reader needs nothing but the path — the
+//! schema section names the key and shape, the zone table carries per-block
+//! min/max statistics (zone maps, for future predicate pushdown) plus a
+//! CRC32 per data block, and every section is independently checksummed so
+//! truncation or bit rot is detected at exactly the granularity it
+//! corrupts. Readers validate the header, schema and zone checksums up
+//! front and each block's data checksum on load.
+
+use crate::StoreError;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// File magic for behavior-column files.
+pub const MAGIC: [u8; 8] = *b"DBSBCOL\0";
+/// Format version.
+pub const VERSION: u16 = 1;
+
+const HEADER_LEN: u64 = 8 + 2 + 2 + 4;
+const SCHEMA_LEN: u64 = 6 * 8 + 4;
+const ZONE_ENTRY_LEN: u64 = 4 + 4 + 4 + 4;
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — implemented here so the crate stays
+// dependency-free.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------
+
+/// The schema section of a column file: the column's key and shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnMeta {
+    /// Model content fingerprint.
+    pub model_fp: u64,
+    /// Dataset content fingerprint.
+    pub dataset_fp: u64,
+    /// Hidden-unit index within the model.
+    pub unit: u64,
+    /// Records in the dataset.
+    pub nd: u64,
+    /// Symbols per record (rows per record in the column).
+    pub ns: u64,
+    /// Records per data block (the zone-map / checksum granularity).
+    pub block_records: u64,
+}
+
+impl ColumnMeta {
+    /// Number of data blocks (`ceil(nd / block_records)`).
+    pub fn n_blocks(&self) -> usize {
+        if self.nd == 0 {
+            0
+        } else {
+            self.nd.div_ceil(self.block_records) as usize
+        }
+    }
+
+    /// Records covered by block `b` (the last block may be short).
+    pub fn rows_in_block(&self, b: usize) -> usize {
+        let start = b as u64 * self.block_records;
+        (self.nd.saturating_sub(start)).min(self.block_records) as usize
+    }
+
+    /// Block holding record position `pos`.
+    pub fn block_of(&self, pos: usize) -> usize {
+        pos / self.block_records as usize
+    }
+
+    /// File offset of block `b`'s data.
+    fn data_offset(&self, b: usize) -> u64 {
+        let zone_len = self.n_blocks() as u64 * ZONE_ENTRY_LEN + 4;
+        HEADER_LEN
+            + SCHEMA_LEN
+            + zone_len
+            + b as u64 * self.block_records * self.ns * std::mem::size_of::<f32>() as u64
+    }
+
+    fn to_bytes(self) -> [u8; SCHEMA_LEN as usize] {
+        let mut out = [0u8; SCHEMA_LEN as usize];
+        let fields = [
+            self.model_fp,
+            self.dataset_fp,
+            self.unit,
+            self.nd,
+            self.ns,
+            self.block_records,
+        ];
+        for (i, f) in fields.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&f.to_le_bytes());
+        }
+        let crc = crc32(&out[..48]);
+        out[48..52].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn from_bytes(bytes: &[u8; SCHEMA_LEN as usize]) -> Result<ColumnMeta, StoreError> {
+        let stored_crc = u32::from_le_bytes(bytes[48..52].try_into().unwrap());
+        if crc32(&bytes[..48]) != stored_crc {
+            return Err(StoreError::Corrupt("schema checksum mismatch".into()));
+        }
+        let field = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+        let meta = ColumnMeta {
+            model_fp: field(0),
+            dataset_fp: field(1),
+            unit: field(2),
+            nd: field(3),
+            ns: field(4),
+            block_records: field(5),
+        };
+        if meta.block_records == 0 || meta.ns == 0 {
+            return Err(StoreError::Corrupt(
+                "schema declares a zero-sized block or record".into(),
+            ));
+        }
+        Ok(meta)
+    }
+}
+
+/// One zone-map entry: per-block statistics plus the block data checksum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneEntry {
+    /// Minimum value in the block.
+    pub min: f32,
+    /// Maximum value in the block.
+    pub max: f32,
+    /// Records in the block.
+    pub rows: u32,
+    /// CRC32 of the block's raw data bytes.
+    pub crc: u32,
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+/// Serializes a complete column (`data.len() == nd * ns`, record-major)
+/// into `w` in the format above. Returns the number of data blocks.
+pub fn write_column<W: Write>(
+    w: &mut W,
+    meta: &ColumnMeta,
+    data: &[f32],
+) -> Result<usize, StoreError> {
+    debug_assert_eq!(data.len() as u64, meta.nd * meta.ns);
+    // Header.
+    let mut header = Vec::with_capacity(HEADER_LEN as usize);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&0u16.to_le_bytes()); // flags
+    let crc = crc32(&header);
+    header.extend_from_slice(&crc.to_le_bytes());
+    w.write_all(&header)?;
+    // Schema.
+    w.write_all(&meta.to_bytes())?;
+    // Data blocks are serialized once; zone entries derive from the bytes.
+    let n_blocks = meta.n_blocks();
+    let mut zone_bytes = Vec::with_capacity(n_blocks * ZONE_ENTRY_LEN as usize);
+    let mut block_bytes: Vec<Vec<u8>> = Vec::with_capacity(n_blocks);
+    for b in 0..n_blocks {
+        let rows = meta.rows_in_block(b);
+        let start = b * meta.block_records as usize * meta.ns as usize;
+        let values = &data[start..start + rows * meta.ns as usize];
+        let mut bytes = Vec::with_capacity(values.len() * 4);
+        let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+            min = min.min(v);
+            max = max.max(v);
+        }
+        zone_bytes.extend_from_slice(&min.to_bits().to_le_bytes());
+        zone_bytes.extend_from_slice(&max.to_bits().to_le_bytes());
+        zone_bytes.extend_from_slice(&(rows as u32).to_le_bytes());
+        zone_bytes.extend_from_slice(&crc32(&bytes).to_le_bytes());
+        block_bytes.push(bytes);
+    }
+    let zone_crc = crc32(&zone_bytes);
+    zone_bytes.extend_from_slice(&zone_crc.to_le_bytes());
+    w.write_all(&zone_bytes)?;
+    for bytes in &block_bytes {
+        w.write_all(bytes)?;
+    }
+    Ok(n_blocks)
+}
+
+// ---------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------
+
+/// Reads and validates the header, schema and zone table of a column
+/// file. Any mismatch (magic, version, checksum, truncation) is
+/// [`StoreError::Corrupt`].
+pub fn read_meta(file: &mut File) -> Result<(ColumnMeta, Vec<ZoneEntry>), StoreError> {
+    file.seek(SeekFrom::Start(0))?;
+    let mut header = [0u8; HEADER_LEN as usize];
+    file.read_exact(&mut header)
+        .map_err(|_| StoreError::Corrupt("file too small for header".into()))?;
+    if header[..8] != MAGIC {
+        return Err(StoreError::Corrupt("bad magic".into()));
+    }
+    let version = u16::from_le_bytes(header[8..10].try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let stored = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    if crc32(&header[..12]) != stored {
+        return Err(StoreError::Corrupt("header checksum mismatch".into()));
+    }
+    let mut schema = [0u8; SCHEMA_LEN as usize];
+    file.read_exact(&mut schema)
+        .map_err(|_| StoreError::Corrupt("file too small for schema".into()))?;
+    let meta = ColumnMeta::from_bytes(&schema)?;
+    let n_blocks = meta.n_blocks();
+    // Bound the zone-table allocation by the actual file length before
+    // trusting the declared shape: a schema whose CRC happens to
+    // validate but declares an absurd `nd` must surface as corruption,
+    // not as a giant allocation.
+    let zone_len = (n_blocks as u64)
+        .checked_mul(ZONE_ENTRY_LEN)
+        .and_then(|z| z.checked_add(4))
+        .ok_or_else(|| StoreError::Corrupt("zone table size overflows".into()))?;
+    let file_len = file.metadata()?.len();
+    if HEADER_LEN + SCHEMA_LEN + zone_len > file_len {
+        return Err(StoreError::Corrupt(format!(
+            "declared shape needs a {zone_len}-byte zone table but the file \
+             holds {file_len} bytes"
+        )));
+    }
+    let mut zone_bytes = vec![0u8; zone_len as usize];
+    file.read_exact(&mut zone_bytes)
+        .map_err(|_| StoreError::Corrupt("file too small for zone table".into()))?;
+    let (table, crc_bytes) = zone_bytes.split_at(n_blocks * ZONE_ENTRY_LEN as usize);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(table) != stored {
+        return Err(StoreError::Corrupt("zone table checksum mismatch".into()));
+    }
+    let mut zones = Vec::with_capacity(n_blocks);
+    for b in 0..n_blocks {
+        let e = &table[b * ZONE_ENTRY_LEN as usize..(b + 1) * ZONE_ENTRY_LEN as usize];
+        zones.push(ZoneEntry {
+            min: f32::from_bits(u32::from_le_bytes(e[0..4].try_into().unwrap())),
+            max: f32::from_bits(u32::from_le_bytes(e[4..8].try_into().unwrap())),
+            rows: u32::from_le_bytes(e[8..12].try_into().unwrap()),
+            crc: u32::from_le_bytes(e[12..16].try_into().unwrap()),
+        });
+    }
+    Ok((meta, zones))
+}
+
+/// Reads one data block, verifying its checksum against the zone entry.
+pub fn read_block(
+    file: &mut File,
+    meta: &ColumnMeta,
+    zones: &[ZoneEntry],
+    b: usize,
+) -> Result<Vec<f32>, StoreError> {
+    let zone = zones
+        .get(b)
+        .ok_or_else(|| StoreError::Corrupt(format!("block {b} out of range")))?;
+    let rows = meta.rows_in_block(b);
+    if zone.rows as usize != rows {
+        return Err(StoreError::Corrupt(format!(
+            "block {b} zone rows {} disagree with schema ({rows})",
+            zone.rows
+        )));
+    }
+    let n_bytes = rows * meta.ns as usize * std::mem::size_of::<f32>();
+    let mut bytes = vec![0u8; n_bytes];
+    file.seek(SeekFrom::Start(meta.data_offset(b)))?;
+    file.read_exact(&mut bytes)
+        .map_err(|_| StoreError::Corrupt(format!("block {b} truncated")))?;
+    if crc32(&bytes) != zone.crc {
+        return Err(StoreError::Corrupt(format!("block {b} checksum mismatch")));
+    }
+    let values = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok(values)
+}
+
+/// Writes a column file atomically: serialize to `path` with a temporary
+/// suffix, then rename into place.
+pub fn write_column_file(
+    path: &Path,
+    tmp_path: &Path,
+    meta: &ColumnMeta,
+    data: &[f32],
+) -> Result<usize, StoreError> {
+    let mut file = File::create(tmp_path)?;
+    let blocks = write_column(&mut file, meta, data)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(tmp_path, path)?;
+    Ok(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> ColumnMeta {
+        ColumnMeta {
+            model_fp: 0xAB,
+            dataset_fp: 0xCD,
+            unit: 3,
+            nd: 10,
+            ns: 4,
+            block_records: 4,
+        }
+    }
+
+    fn column_data(m: &ColumnMeta) -> Vec<f32> {
+        (0..(m.nd * m.ns) as usize)
+            .map(|i| (i as f32) * 0.5 - 3.0)
+            .collect()
+    }
+
+    fn test_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp-store-tests")
+            .join(format!("fmt-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_bits_and_zones() {
+        let m = meta();
+        let data = column_data(&m);
+        let dir = test_dir("roundtrip");
+        let path = dir.join("u3.col");
+        write_column_file(&path, &dir.join("u3.tmp"), &m, &data).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let (read, zones) = read_meta(&mut f).unwrap();
+        assert_eq!(read, m);
+        assert_eq!(zones.len(), 3, "10 records at 4/block = 3 blocks");
+        assert_eq!(zones[0].rows, 4);
+        assert_eq!(zones[2].rows, 2, "tail block is short");
+        let mut all = Vec::new();
+        for b in 0..read.n_blocks() {
+            let block = read_block(&mut f, &read, &zones, b).unwrap();
+            // Zone map brackets the block.
+            for &v in &block {
+                assert!(v >= zones[b].min && v <= zones[b].max);
+            }
+            all.extend(block);
+        }
+        assert_eq!(all, data, "bit-identical roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected_per_block() {
+        let m = meta();
+        let data = column_data(&m);
+        let dir = test_dir("corrupt");
+        let path = dir.join("u3.col");
+        write_column_file(&path, &dir.join("u3.tmp"), &m, &data).unwrap();
+        // Flip one byte inside block 1's data region.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = m.data_offset(1) as usize + 3;
+        bytes[offset] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let (read, zones) = read_meta(&mut f).unwrap();
+        let err = read_block(&mut f, &read, &zones, 1).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
+        // Untouched block 0 still verifies.
+        assert!(read_block(&mut f, &read, &zones, 0).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_corrupt() {
+        let m = meta();
+        let data = column_data(&m);
+        let dir = test_dir("trunc");
+        let path = dir.join("u3.col");
+        write_column_file(&path, &dir.join("u3.tmp"), &m, &data).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Truncate inside the last data block.
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let (read, zones) = read_meta(&mut f).unwrap();
+        let last = read.n_blocks() - 1;
+        assert!(matches!(
+            read_block(&mut f, &read, &zones, last),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Truncate into the zone table.
+        std::fs::write(&path, &bytes[..30]).unwrap();
+        let mut f = File::open(&path).unwrap();
+        assert!(matches!(read_meta(&mut f), Err(StoreError::Corrupt(_))));
+        // Bad magic.
+        let mut evil = bytes.clone();
+        evil[0] = b'X';
+        std::fs::write(&path, &evil).unwrap();
+        let mut f = File::open(&path).unwrap();
+        assert!(matches!(read_meta(&mut f), Err(StoreError::Corrupt(_))));
+        // Header checksum mismatch (flip flags without recomputing crc).
+        let mut evil = bytes.clone();
+        evil[10] ^= 1;
+        std::fs::write(&path, &evil).unwrap();
+        let mut f = File::open(&path).unwrap();
+        assert!(matches!(read_meta(&mut f), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absurd_declared_shape_is_corrupt_not_a_giant_allocation() {
+        // A schema whose CRC validates but declares nd huge must error
+        // against the actual file length before sizing the zone table.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let absurd = ColumnMeta {
+            nd: 1 << 40,
+            block_records: 1,
+            ..meta()
+        };
+        bytes.extend_from_slice(&absurd.to_bytes());
+        let dir = test_dir("absurd");
+        let path = dir.join("u.col");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let err = read_meta(&mut f).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("zone table"), "got {err}");
+        // Overflow-sized shapes are caught too.
+        let mut overflow_bytes = bytes[..HEADER_LEN as usize].to_vec();
+        let overflow = ColumnMeta {
+            nd: u64::MAX / 2,
+            block_records: 1,
+            ..meta()
+        };
+        overflow_bytes.extend_from_slice(&overflow.to_bytes());
+        std::fs::write(&path, &overflow_bytes).unwrap();
+        let mut f = File::open(&path).unwrap();
+        assert!(matches!(read_meta(&mut f), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_column_roundtrips() {
+        let m = ColumnMeta { nd: 0, ..meta() };
+        let dir = test_dir("empty");
+        let path = dir.join("u.col");
+        write_column_file(&path, &dir.join("u.tmp"), &m, &[]).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let (read, zones) = read_meta(&mut f).unwrap();
+        assert_eq!(read.n_blocks(), 0);
+        assert!(zones.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

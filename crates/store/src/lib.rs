@@ -1,0 +1,241 @@
+//! # deepbase-store
+//!
+//! Durable materialization for DeepBase: an embedded, on-disk columnar
+//! **behavior store** that persists extracted unit-behavior columns so
+//! repeated inspection never re-runs a model (the paper's headline
+//! optimization, extended across process lifetimes).
+//!
+//! The store is deliberately database-shaped:
+//!
+//! * [`format`] — the self-describing column file format: a checksummed
+//!   header, a schema section naming the column's key and shape, a
+//!   per-block **zone map** (min/max/row-count) with a CRC32 checksum per
+//!   data block, then the raw f32 data. Files are written with `std::fs`
+//!   only — no external dependencies — via a temp-file + rename so a
+//!   crashed writer never leaves a half-written column behind.
+//! * [`pool`] — a [`BufferPool`] of decoded block pages with **pinned
+//!   pages** and **CLOCK** (second-chance) eviction under a configurable
+//!   byte budget. Scans pin the page they are copying out of; eviction
+//!   skips pinned frames.
+//! * [`store`] — the [`BehaviorStore`]: columns keyed by
+//!   `(model fingerprint, dataset fingerprint, unit id)`, an in-memory
+//!   index of available columns, checksum-verified block reads through
+//!   the pool, and quarantine of corrupted files (renamed aside so the
+//!   next read-write pass re-materializes them).
+//!
+//! Keys are **content fingerprints** ([`FpHasher`], FNV-1a 64): a model
+//! that changes its weights or a dataset that changes its records hashes
+//! to a different key, so stale columns are never read — invalidation is
+//! free and implicit. The engine layers in `deepbase` (the core crate)
+//! decide *when* to scan vs extract; this crate only stores bytes
+//! faithfully and says no loudly (a typed [`StoreError`]) when a checksum
+//! disagrees.
+
+pub mod format;
+pub mod pool;
+pub mod store;
+
+pub use pool::{BufferPool, PageKey, PinnedPage, PoolStats};
+pub use store::{BehaviorStore, ColumnKey, MaterializationPolicy, StoreConfig, WriteReport};
+
+use std::fmt;
+
+/// Errors surfaced by store operations. `Corrupt` means the bytes on disk
+/// failed validation (magic, version, shape or checksum); `Io` wraps the
+/// underlying filesystem error. Both are recoverable: callers fall back
+/// to live extraction and surface the message in [`StoreStats::errors`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem-level failure.
+    Io(String),
+    /// On-disk bytes failed a validation check.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "store io error: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "store corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// Accounting for store-backed passes, carried per shared pass and
+/// aggregated per batch / per session by the core crate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreStats {
+    /// Unit columns served (fully or partially) from the store.
+    pub columns_scanned: usize,
+    /// Block pages fetched through the buffer pool (hits + misses).
+    pub blocks_read: usize,
+    /// Pool lookups served from memory.
+    pub pool_hits: usize,
+    /// Pool lookups that had to read and verify a block from disk.
+    pub pool_misses: usize,
+    /// Pages evicted by the CLOCK policy during this window.
+    pub pool_evictions: usize,
+    /// Unit columns newly persisted by write-back.
+    pub columns_written: usize,
+    /// Data blocks written to disk by write-back.
+    pub blocks_written: usize,
+    /// Extractor forward passes avoided: streamed engine blocks whose
+    /// unit behaviors were served entirely from the store.
+    pub forward_passes_avoided: usize,
+    /// Errors survived by falling back to live extraction (corrupted or
+    /// unreadable blocks, failed write-backs). Never fatal.
+    pub errors: Vec<String>,
+}
+
+impl StoreStats {
+    /// Adds another window's counters (and errors) into this one.
+    pub fn accumulate(&mut self, other: &StoreStats) {
+        self.columns_scanned += other.columns_scanned;
+        self.blocks_read += other.blocks_read;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.pool_evictions += other.pool_evictions;
+        self.columns_written += other.columns_written;
+        self.blocks_written += other.blocks_written;
+        self.forward_passes_avoided += other.forward_passes_avoided;
+        self.errors.extend(other.errors.iter().cloned());
+    }
+}
+
+/// Incremental FNV-1a 64-bit hasher for content fingerprints.
+///
+/// Deterministic across processes and platforms (unlike
+/// `std::collections::hash_map::DefaultHasher`, whose seed is
+/// randomized), which is what makes fingerprints usable as durable store
+/// keys. Not cryptographic — the store is a cache of recomputable data,
+/// so collision resistance only has to be statistical.
+#[derive(Debug, Clone, Copy)]
+pub struct FpHasher {
+    state: u64,
+}
+
+impl Default for FpHasher {
+    fn default() -> Self {
+        FpHasher::new()
+    }
+}
+
+impl FpHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> FpHasher {
+        FpHasher {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Hashes raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Hashes a string (length-prefixed so concatenations can't collide).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Hashes a u64 (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Hashes a u32.
+    pub fn write_u32(&mut self, v: u32) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Hashes an f32 by bit pattern (bit-exact, -0.0 != 0.0).
+    pub fn write_f32(&mut self, v: f32) -> &mut Self {
+        self.write_u32(v.to_bits())
+    }
+
+    /// Hashes a whole f32 slice (length-prefixed).
+    pub fn write_f32s(&mut self, vs: &[f32]) -> &mut Self {
+        self.write_u64(vs.len() as u64);
+        for &v in vs {
+            self.write_u32(v.to_bits());
+        }
+        self
+    }
+
+    /// The fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_hasher_is_deterministic_and_sensitive() {
+        let fp = |f: &dyn Fn(&mut FpHasher)| {
+            let mut h = FpHasher::new();
+            f(&mut h);
+            h.finish()
+        };
+        let a = fp(&|h| {
+            h.write_str("model").write_u64(7).write_f32s(&[1.0, 2.0]);
+        });
+        let b = fp(&|h| {
+            h.write_str("model").write_u64(7).write_f32s(&[1.0, 2.0]);
+        });
+        assert_eq!(a, b, "same content, same fingerprint");
+        let c = fp(&|h| {
+            h.write_str("model").write_u64(7).write_f32s(&[1.0, 2.5]);
+        });
+        assert_ne!(a, c, "one weight changed, fingerprint changed");
+        // Length prefixes keep concatenations apart.
+        let d = fp(&|h| {
+            h.write_str("ab").write_str("c");
+        });
+        let e = fp(&|h| {
+            h.write_str("a").write_str("bc");
+        });
+        assert_ne!(d, e);
+    }
+
+    #[test]
+    fn store_stats_accumulate() {
+        let mut a = StoreStats {
+            blocks_read: 2,
+            pool_hits: 1,
+            errors: vec!["x".into()],
+            ..StoreStats::default()
+        };
+        let b = StoreStats {
+            blocks_read: 3,
+            pool_misses: 4,
+            forward_passes_avoided: 5,
+            errors: vec!["y".into()],
+            ..StoreStats::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.blocks_read, 5);
+        assert_eq!(a.pool_hits, 1);
+        assert_eq!(a.pool_misses, 4);
+        assert_eq!(a.forward_passes_avoided, 5);
+        assert_eq!(a.errors, vec!["x".to_string(), "y".to_string()]);
+    }
+}

@@ -1,0 +1,478 @@
+//! The buffer pool: decoded block pages cached in memory under a byte
+//! budget, with **pinned pages** and **CLOCK** (second-chance) eviction.
+//!
+//! Scans fetch pages through [`BufferPool::get`], which returns a
+//! [`PinnedPage`] guard: while the guard lives, the frame cannot be
+//! evicted (readers copy rows out of a page that is guaranteed resident).
+//! Eviction runs at insert time when the budget is exceeded: the clock
+//! hand sweeps the frame table, skipping pinned frames, granting each
+//! referenced frame a second chance (clearing its bit) and evicting the
+//! first unreferenced, unpinned frame it meets. If every frame is pinned
+//! the pool temporarily exceeds its budget rather than deadlock — pins
+//! are short-lived (one block copy).
+
+use crate::StoreError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of one cached page: a data block of one stored column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageKey {
+    /// Model content fingerprint.
+    pub model_fp: u64,
+    /// Dataset content fingerprint.
+    pub dataset_fp: u64,
+    /// Hidden-unit index.
+    pub unit: u64,
+    /// Block index within the column.
+    pub block: u32,
+}
+
+/// Pool-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Lookups served from memory.
+    pub hits: usize,
+    /// Lookups that had to load the page.
+    pub misses: usize,
+    /// Frames evicted by the CLOCK sweep.
+    pub evictions: usize,
+    /// Bytes currently resident.
+    pub resident_bytes: usize,
+    /// Pages currently resident.
+    pub resident_pages: usize,
+}
+
+struct Frame {
+    key: PageKey,
+    data: Arc<Vec<f32>>,
+    referenced: bool,
+    pins: u32,
+}
+
+impl Frame {
+    fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+struct PoolInner {
+    /// Frame table; `None` slots are free (CLOCK needs stable indices).
+    slots: Vec<Option<Frame>>,
+    free: Vec<usize>,
+    map: HashMap<PageKey, usize>,
+    hand: usize,
+    bytes: usize,
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+}
+
+impl PoolInner {
+    /// Evicts until `bytes <= budget` or nothing evictable remains.
+    /// Returns how many frames were evicted.
+    fn enforce_budget(&mut self, budget: usize) -> usize {
+        let mut evicted = 0;
+        let mut scanned_since_progress = 0;
+        while self.bytes > budget && !self.slots.is_empty() {
+            // Two full sweeps with no progress means everything left is
+            // pinned: give up and run over budget until pins drop.
+            if scanned_since_progress > 2 * self.slots.len() {
+                break;
+            }
+            let idx = self.hand % self.slots.len();
+            self.hand = (self.hand + 1) % self.slots.len();
+            scanned_since_progress += 1;
+            let Some(frame) = &mut self.slots[idx] else {
+                continue;
+            };
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false; // second chance
+                continue;
+            }
+            let frame = self.slots[idx].take().expect("checked above");
+            self.bytes -= frame.bytes();
+            self.map.remove(&frame.key);
+            self.free.push(idx);
+            self.evictions += 1;
+            evicted += 1;
+            scanned_since_progress = 0;
+        }
+        evicted
+    }
+
+    fn install(&mut self, key: PageKey, data: Arc<Vec<f32>>, pins: u32) -> usize {
+        let frame = Frame {
+            key,
+            data,
+            referenced: true,
+            pins,
+        };
+        self.bytes += frame.bytes();
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Some(frame);
+                idx
+            }
+            None => {
+                self.slots.push(Some(frame));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        idx
+    }
+}
+
+/// A byte-budgeted page cache shared by every scan of a
+/// [`crate::BehaviorStore`].
+pub struct BufferPool {
+    budget_bytes: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// Creates a pool with the given byte budget.
+    pub fn new(budget_bytes: usize) -> BufferPool {
+        BufferPool {
+            budget_bytes,
+            inner: Mutex::new(PoolInner {
+                slots: Vec::new(),
+                free: Vec::new(),
+                map: HashMap::new(),
+                hand: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Fetches a page, running `load` on a miss (outside the pool lock).
+    /// The returned guard pins the page until dropped; `hit`/`evictions`
+    /// report what this particular fetch did.
+    pub fn get(
+        &self,
+        key: PageKey,
+        load: impl FnOnce() -> Result<Vec<f32>, StoreError>,
+    ) -> Result<PinnedPage<'_>, StoreError> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(&idx) = inner.map.get(&key) {
+                inner.hits += 1;
+                let frame = inner.slots[idx].as_mut().expect("mapped frame exists");
+                frame.referenced = true;
+                frame.pins += 1;
+                let data = Arc::clone(&frame.data);
+                return Ok(PinnedPage {
+                    pool: self,
+                    slot: idx,
+                    data,
+                    hit: true,
+                    evictions: 0,
+                });
+            }
+            inner.misses += 1;
+        }
+        let data = Arc::new(load()?);
+        let mut inner = self.inner.lock();
+        // Another thread may have loaded the same page concurrently;
+        // reuse its frame so bytes are charged once.
+        if let Some(&idx) = inner.map.get(&key) {
+            let frame = inner.slots[idx].as_mut().expect("mapped frame exists");
+            frame.referenced = true;
+            frame.pins += 1;
+            let data = Arc::clone(&frame.data);
+            return Ok(PinnedPage {
+                pool: self,
+                slot: idx,
+                data,
+                hit: false,
+                evictions: 0,
+            });
+        }
+        let idx = inner.install(key, Arc::clone(&data), 1);
+        let evictions = inner.enforce_budget(self.budget_bytes);
+        Ok(PinnedPage {
+            pool: self,
+            slot: idx,
+            data,
+            hit: false,
+            evictions,
+        })
+    }
+
+    /// Inserts (or refreshes) a page without pinning it — the write-back
+    /// path pushes freshly persisted blocks through the pool so the next
+    /// scan hits memory. Returns the evictions the insert caused.
+    pub fn insert(&self, key: PageKey, data: Vec<f32>) -> usize {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.map.get(&key) {
+            let frame = inner.slots[idx].as_mut().expect("mapped frame exists");
+            let old = frame.bytes();
+            frame.data = Arc::new(data);
+            frame.referenced = true;
+            inner.bytes = inner.bytes - old + inner.slots[idx].as_ref().unwrap().bytes();
+        } else {
+            inner.install(key, Arc::new(data), 0);
+        }
+        inner.enforce_budget(self.budget_bytes)
+    }
+
+    /// Drops every resident page of one column (quarantine support).
+    pub fn purge_column(&self, model_fp: u64, dataset_fp: u64, unit: u64) {
+        let mut inner = self.inner.lock();
+        let victims: Vec<PageKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.model_fp == model_fp && k.dataset_fp == dataset_fp && k.unit == unit)
+            .copied()
+            .collect();
+        for key in victims {
+            if let Some(idx) = inner.map.remove(&key) {
+                if let Some(frame) = inner.slots[idx].take() {
+                    inner.bytes -= frame.bytes();
+                    inner.free.push(idx);
+                }
+            }
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock();
+        PoolStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            resident_bytes: inner.bytes,
+            resident_pages: inner.map.len(),
+        }
+    }
+
+    fn unpin(&self, slot: usize) {
+        let mut inner = self.inner.lock();
+        if let Some(frame) = inner.slots.get_mut(slot).and_then(|s| s.as_mut()) {
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+        // A scan may pin a working set larger than the budget (pinned
+        // frames are unevictable); re-enforce as the pins drop so the
+        // pool returns under budget without waiting for the next insert.
+        if inner.bytes > self.budget_bytes {
+            inner.enforce_budget(self.budget_bytes);
+        }
+    }
+}
+
+/// A pinned page: dereferences to the block's values; the frame cannot be
+/// evicted while the guard lives.
+pub struct PinnedPage<'p> {
+    pool: &'p BufferPool,
+    slot: usize,
+    data: Arc<Vec<f32>>,
+    /// Whether this fetch was served from memory.
+    pub hit: bool,
+    /// Frames evicted to make room for this fetch.
+    pub evictions: usize,
+}
+
+impl std::fmt::Debug for PinnedPage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedPage")
+            .field("slot", &self.slot)
+            .field("len", &self.data.len())
+            .field("hit", &self.hit)
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
+impl std::ops::Deref for PinnedPage<'_> {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl Drop for PinnedPage<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(unit: u64, block: u32) -> PageKey {
+        PageKey {
+            model_fp: 1,
+            dataset_fp: 2,
+            unit,
+            block,
+        }
+    }
+
+    fn page(v: f32, len: usize) -> Vec<f32> {
+        vec![v; len]
+    }
+
+    #[test]
+    fn hit_after_miss_and_stats() {
+        let pool = BufferPool::new(1 << 20);
+        let p = pool.get(key(0, 0), || Ok(page(1.0, 8))).unwrap();
+        assert!(!p.hit);
+        assert_eq!(&p[..2], &[1.0, 1.0]);
+        drop(p);
+        let p = pool
+            .get(key(0, 0), || -> Result<Vec<f32>, StoreError> {
+                unreachable!("must hit")
+            })
+            .unwrap();
+        assert!(p.hit);
+        drop(p);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert_eq!(s.resident_pages, 1);
+        assert_eq!(s.resident_bytes, 8 * 4);
+    }
+
+    #[test]
+    fn clock_evicts_past_pins_with_second_chances() {
+        // Budget: 2 pages of 8 floats (32 bytes each).
+        let pool = BufferPool::new(64);
+        let pinned = pool.get(key(0, 0), || Ok(page(0.0, 8))).unwrap();
+        drop(pool.get(key(1, 0), || Ok(page(1.0, 8))).unwrap());
+        // Inserting a third page sweeps: page 0 is pinned (skipped), page
+        // 1 gets its reference bit cleared (second chance), the new page
+        // is pinned, and the wrap-around takes page 1.
+        let third = pool.get(key(2, 0), || Ok(page(2.0, 8))).unwrap();
+        assert_eq!(third.evictions, 1);
+        let s = pool.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident_pages, 2);
+        assert!(s.resident_bytes <= 64);
+        drop(third);
+        // Page 0 survived (pinned); page 1 was the victim.
+        assert_eq!(&pinned[..1], &[0.0]);
+        drop(pinned);
+        let mut reloaded = false;
+        drop(
+            pool.get(key(1, 0), || {
+                reloaded = true;
+                Ok(page(1.0, 8))
+            })
+            .unwrap(),
+        );
+        assert!(reloaded, "page 1 must have been the victim");
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let pool = BufferPool::new(32); // one 8-float page
+        let pinned = pool.get(key(0, 0), || Ok(page(0.0, 8))).unwrap();
+        // Inserting more while the only evictable candidate is pinned
+        // runs the pool over budget instead of evicting it.
+        let second = pool.get(key(1, 0), || Ok(page(1.0, 8))).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.resident_pages, 2, "both pages stay resident");
+        assert!(s.resident_bytes > 32, "over budget while pinned");
+        assert_eq!(&pinned[..1], &[0.0], "pinned data still valid");
+        drop(pinned);
+        drop(second);
+        // With pins released, the next insert can evict.
+        drop(pool.get(key(2, 0), || Ok(page(2.0, 8))).unwrap());
+        assert!(pool.stats().evictions >= 1);
+        assert!(pool.stats().resident_bytes <= 32);
+    }
+
+    #[test]
+    fn insert_populates_without_pinning() {
+        let pool = BufferPool::new(1 << 20);
+        pool.insert(key(0, 0), page(7.0, 4));
+        let p = pool
+            .get(key(0, 0), || -> Result<Vec<f32>, StoreError> {
+                unreachable!("insert must have populated")
+            })
+            .unwrap();
+        assert!(p.hit);
+        assert_eq!(&p[..1], &[7.0]);
+        // Refresh replaces bytes accounting, not duplicates it.
+        drop(p);
+        pool.insert(key(0, 0), page(8.0, 16));
+        assert_eq!(pool.stats().resident_bytes, 16 * 4);
+    }
+
+    #[test]
+    fn purge_column_drops_only_that_column() {
+        let pool = BufferPool::new(1 << 20);
+        pool.insert(key(0, 0), page(0.0, 4));
+        pool.insert(key(0, 1), page(0.0, 4));
+        pool.insert(key(1, 0), page(1.0, 4));
+        pool.purge_column(1, 2, 0);
+        let s = pool.stats();
+        assert_eq!(s.resident_pages, 1);
+        assert_eq!(s.resident_bytes, 4 * 4);
+        let p = pool
+            .get(key(1, 0), || -> Result<Vec<f32>, StoreError> {
+                unreachable!("other column survives")
+            })
+            .unwrap();
+        assert!(p.hit);
+    }
+
+    #[test]
+    fn load_errors_propagate_and_cache_nothing() {
+        let pool = BufferPool::new(1 << 20);
+        let err = pool
+            .get(key(0, 0), || Err(StoreError::Corrupt("boom".into())))
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        assert_eq!(pool.stats().resident_pages, 0);
+        let mut loaded = false;
+        drop(
+            pool.get(key(0, 0), || {
+                loaded = true;
+                Ok(page(1.0, 4))
+            })
+            .unwrap(),
+        );
+        assert!(loaded, "error was not cached");
+    }
+
+    #[test]
+    fn concurrent_same_key_misses_settle_on_one_frame() {
+        let pool = Arc::new(BufferPool::new(1 << 20));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let pool = Arc::clone(&pool);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    let p = pool
+                        .get(key(0, 0), || {
+                            barrier.wait();
+                            Ok(page(3.0, 64))
+                        })
+                        .unwrap();
+                    assert_eq!(p[0], 3.0);
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.resident_pages, 1);
+        assert_eq!(s.resident_bytes, 64 * 4, "bytes charged once");
+        assert_eq!(s.misses, 2, "both lookups missed");
+    }
+}

@@ -1,0 +1,552 @@
+//! The behavior store: durable unit-behavior columns addressed by
+//! content fingerprints, scanned through the buffer pool.
+//!
+//! On disk a store is a directory tree:
+//!
+//! ```text
+//! <root>/<model_fp:016x>.<dataset_fp:016x>/u<unit>.col
+//! ```
+//!
+//! one column file per `(model fingerprint, dataset fingerprint, unit)`
+//! key. Opening a store walks the tree once into an in-memory index of
+//! available columns; writers update the index as they commit. Column
+//! metadata (shape + zone table) is cached after first validation so a
+//! warm scan touches the filesystem only on buffer-pool misses.
+//!
+//! Corruption handling is fail-soft: a block whose checksum disagrees
+//! surfaces a [`StoreError::Corrupt`] to the caller (who falls back to
+//! live extraction) and the store **quarantines** the file — renames it
+//! to `*.corrupt`, drops it from the index and purges its pool pages —
+//! so the next read-write pass re-materializes a clean copy.
+
+use crate::format::{self, ColumnMeta, ZoneEntry};
+use crate::pool::{BufferPool, PageKey};
+use crate::{StoreError, StoreStats};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a store-configured session is allowed to do with the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MaterializationPolicy {
+    /// The store is ignored entirely (scans and write-back both off).
+    Off,
+    /// Stored columns are scanned; nothing new is persisted.
+    ReadOnly,
+    /// Stored columns are scanned and newly extracted columns are
+    /// persisted at the end of a fully streamed pass.
+    #[default]
+    ReadWrite,
+}
+
+/// Store configuration (carried by `SessionConfig` in the core crate).
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Root directory of the store (created on open).
+    pub path: PathBuf,
+    /// Buffer-pool byte budget for decoded block pages.
+    pub pool_bytes: usize,
+    /// What the engine may do with the store.
+    pub policy: MaterializationPolicy,
+    /// Records per on-disk block (zone-map / checksum granularity) for
+    /// newly written columns; existing files keep their own grid.
+    pub block_records: usize,
+    /// Write-back capture budget: a pass whose missing columns would
+    /// buffer more than this many bytes skips materialization rather
+    /// than balloon memory.
+    pub writeback_limit_bytes: usize,
+}
+
+impl StoreConfig {
+    /// Configuration rooted at `path` with defaults: 64 MiB pool,
+    /// read-write policy, 64-record blocks, 256 MiB write-back budget.
+    pub fn at(path: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            path: path.into(),
+            pool_bytes: 64 << 20,
+            policy: MaterializationPolicy::ReadWrite,
+            block_records: 64,
+            writeback_limit_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Key of one stored column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnKey {
+    /// Model content fingerprint.
+    pub model_fp: u64,
+    /// Dataset content fingerprint.
+    pub dataset_fp: u64,
+    /// Hidden-unit index within the model.
+    pub unit: usize,
+}
+
+/// Outcome of one column write.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteReport {
+    /// Data blocks written.
+    pub blocks_written: usize,
+    /// Pool evictions caused by populating the written blocks.
+    pub pool_evictions: usize,
+}
+
+/// An open behavior store (see the module docs).
+/// Validated column metadata: the schema section plus the zone table.
+type CachedMeta = Arc<(ColumnMeta, Vec<ZoneEntry>)>;
+
+pub struct BehaviorStore {
+    root: PathBuf,
+    block_records: usize,
+    pool: BufferPool,
+    index: Mutex<HashSet<ColumnKey>>,
+    /// Validated (meta, zones) per column, filled on first scan.
+    meta_cache: Mutex<HashMap<ColumnKey, CachedMeta>>,
+    tmp_counter: AtomicU64,
+}
+
+impl BehaviorStore {
+    /// Opens (creating if needed) the store rooted at `config.path` and
+    /// indexes the columns already on disk.
+    pub fn open(config: &StoreConfig) -> Result<Arc<BehaviorStore>, StoreError> {
+        std::fs::create_dir_all(&config.path)?;
+        let mut index = HashSet::new();
+        for entry in std::fs::read_dir(&config.path)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let Some((model_fp, dataset_fp)) = parse_pair_dir(&entry.file_name()) else {
+                continue;
+            };
+            for col in std::fs::read_dir(entry.path())? {
+                let col = col?;
+                let name = col.file_name();
+                if let Some(unit) = parse_column_file(&name) {
+                    index.insert(ColumnKey {
+                        model_fp,
+                        dataset_fp,
+                        unit,
+                    });
+                } else if name.to_str().is_some_and(|n| n.contains(".tmp.")) {
+                    // A writer died between create and rename: the temp
+                    // file can never be read, so sweep it on open.
+                    let _ = std::fs::remove_file(col.path());
+                }
+            }
+        }
+        Ok(Arc::new(BehaviorStore {
+            root: config.path.clone(),
+            block_records: config.block_records.max(1),
+            pool: BufferPool::new(config.pool_bytes),
+            index: Mutex::new(index),
+            meta_cache: Mutex::new(HashMap::new()),
+            tmp_counter: AtomicU64::new(0),
+        }))
+    }
+
+    /// The store's buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of indexed columns.
+    pub fn columns(&self) -> usize {
+        self.index.lock().len()
+    }
+
+    /// True when the column is indexed (file present; contents are only
+    /// validated when scanned).
+    pub fn contains(&self, key: &ColumnKey) -> bool {
+        self.index.lock().contains(key)
+    }
+
+    /// The subset of `units` with an indexed column under
+    /// `(model_fp, dataset_fp)`, in input order.
+    pub fn available_units(&self, model_fp: u64, dataset_fp: u64, units: &[usize]) -> Vec<usize> {
+        let index = self.index.lock();
+        units
+            .iter()
+            .copied()
+            .filter(|&unit| {
+                index.contains(&ColumnKey {
+                    model_fp,
+                    dataset_fp,
+                    unit,
+                })
+            })
+            .collect()
+    }
+
+    fn column_path(&self, key: &ColumnKey) -> PathBuf {
+        self.root
+            .join(format!("{:016x}.{:016x}", key.model_fp, key.dataset_fp))
+            .join(format!("u{}.col", key.unit))
+    }
+
+    /// Persists a complete column (`data.len() == nd * ns`, record-major)
+    /// atomically and pushes its blocks through the pool so an immediate
+    /// scan hits memory.
+    pub fn write_column(
+        &self,
+        key: &ColumnKey,
+        nd: usize,
+        ns: usize,
+        data: &[f32],
+    ) -> Result<WriteReport, StoreError> {
+        if data.len() != nd * ns {
+            return Err(StoreError::Io(format!(
+                "column shape mismatch: {} values for nd={nd} ns={ns}",
+                data.len()
+            )));
+        }
+        let meta = ColumnMeta {
+            model_fp: key.model_fp,
+            dataset_fp: key.dataset_fp,
+            unit: key.unit as u64,
+            nd: nd as u64,
+            ns: ns as u64,
+            block_records: self.block_records as u64,
+        };
+        let path = self.column_path(key);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let blocks_written = format::write_column_file(&path, &tmp, &meta, data)?;
+        // Populate the pool so scans in this process hit memory, and
+        // refresh the caches (an overwrite replaces stale state).
+        let mut pool_evictions = 0;
+        for b in 0..meta.n_blocks() {
+            let rows = meta.rows_in_block(b);
+            let start = b * self.block_records * ns;
+            pool_evictions += self
+                .pool
+                .insert(page_key(key, b), data[start..start + rows * ns].to_vec());
+        }
+        self.meta_cache.lock().remove(key);
+        self.index.lock().insert(*key);
+        Ok(WriteReport {
+            blocks_written,
+            pool_evictions,
+        })
+    }
+
+    /// Validated metadata for a column, cached after the first read.
+    fn column_meta(
+        &self,
+        key: &ColumnKey,
+    ) -> Result<Arc<(ColumnMeta, Vec<ZoneEntry>)>, StoreError> {
+        if let Some(meta) = self.meta_cache.lock().get(key) {
+            return Ok(Arc::clone(meta));
+        }
+        let mut file = File::open(self.column_path(key))?;
+        let parsed = Arc::new(format::read_meta(&mut file)?);
+        self.meta_cache
+            .lock()
+            .entry(*key)
+            .or_insert_with(|| Arc::clone(&parsed));
+        Ok(parsed)
+    }
+
+    /// Scans one column for the given record positions, writing the `ns`
+    /// values of position `positions[i]` into
+    /// `out[(i * ns + t) * stride + col]` — i.e. straight into column
+    /// `col` of a row-major `(positions.len() * ns) x stride` matrix.
+    /// Pages are fetched (and their checksums verified) through the pool;
+    /// `stats` receives the per-call page accounting (`blocks_read`,
+    /// pool hit/miss/eviction counters — `columns_scanned` is per-pass
+    /// and counted by the caller).
+    #[allow(clippy::too_many_arguments)] // a scan is genuinely this wide
+    pub fn scan_into(
+        &self,
+        key: &ColumnKey,
+        nd: usize,
+        ns: usize,
+        positions: &[usize],
+        out: &mut [f32],
+        stride: usize,
+        col: usize,
+        stats: &mut StoreStats,
+    ) -> Result<(), StoreError> {
+        let cached = self.column_meta(key)?;
+        let (meta, zones) = (&cached.0, &cached.1);
+        if meta.nd != nd as u64 || meta.ns != ns as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "stored shape (nd={}, ns={}) disagrees with dataset (nd={nd}, ns={ns})",
+                meta.nd, meta.ns
+            )));
+        }
+        // Pin each distinct page once for the whole call (positions are
+        // shuffled, so consecutive positions land on arbitrary blocks);
+        // the pins drop together when `pages` goes out of scope.
+        let mut pages: Vec<Option<crate::pool::PinnedPage<'_>>> =
+            (0..meta.n_blocks()).map(|_| None).collect();
+        for (i, &pos) in positions.iter().enumerate() {
+            if pos >= nd {
+                return Err(StoreError::Corrupt(format!(
+                    "record position {pos} out of range (nd={nd})"
+                )));
+            }
+            let b = meta.block_of(pos);
+            if pages[b].is_none() {
+                let page = self.pool.get(page_key(key, b), || {
+                    let mut file = File::open(self.column_path(key))?;
+                    format::read_block(&mut file, meta, zones, b)
+                })?;
+                stats.blocks_read += 1;
+                if page.hit {
+                    stats.pool_hits += 1;
+                } else {
+                    stats.pool_misses += 1;
+                }
+                stats.pool_evictions += page.evictions;
+                pages[b] = Some(page);
+            }
+            let page = pages[b].as_ref().expect("pinned above");
+            let local = pos - b * meta.block_records as usize;
+            let row = &page[local * ns..(local + 1) * ns];
+            for (t, &v) in row.iter().enumerate() {
+                out[(i * ns + t) * stride + col] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Quarantines a column that failed validation: renames the file to
+    /// `*.corrupt`, drops it from the index and purges its pool pages.
+    /// The next read-write pass re-materializes it from live extraction.
+    pub fn quarantine(&self, key: &ColumnKey) {
+        self.index.lock().remove(key);
+        self.meta_cache.lock().remove(key);
+        self.pool
+            .purge_column(key.model_fp, key.dataset_fp, key.unit as u64);
+        let path = self.column_path(key);
+        let _ = std::fs::rename(&path, path.with_extension("corrupt"));
+    }
+}
+
+fn page_key(key: &ColumnKey, block: usize) -> PageKey {
+    PageKey {
+        model_fp: key.model_fp,
+        dataset_fp: key.dataset_fp,
+        unit: key.unit as u64,
+        block: block as u32,
+    }
+}
+
+fn parse_pair_dir(name: &std::ffi::OsStr) -> Option<(u64, u64)> {
+    let name = name.to_str()?;
+    let (model, dataset) = name.split_once('.')?;
+    Some((
+        u64::from_str_radix(model, 16).ok()?,
+        u64::from_str_radix(dataset, 16).ok()?,
+    ))
+}
+
+fn parse_column_file(name: &std::ffi::OsStr) -> Option<usize> {
+    let name = name.to_str()?;
+    name.strip_prefix('u')?.strip_suffix(".col")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_store(name: &str, pool_bytes: usize) -> (Arc<BehaviorStore>, PathBuf) {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp-store-tests")
+            .join(format!("store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = StoreConfig::at(&dir);
+        config.pool_bytes = pool_bytes;
+        config.block_records = 4;
+        (BehaviorStore::open(&config).unwrap(), dir)
+    }
+
+    fn key(unit: usize) -> ColumnKey {
+        ColumnKey {
+            model_fp: 0x11,
+            dataset_fp: 0x22,
+            unit,
+        }
+    }
+
+    fn column(nd: usize, ns: usize, unit: usize) -> Vec<f32> {
+        (0..nd * ns)
+            .map(|i| (i * 7 + unit * 1000) as f32 * 0.25)
+            .collect()
+    }
+
+    #[test]
+    fn write_scan_roundtrip_in_shuffled_order() {
+        let (store, dir) = test_store("roundtrip", 1 << 20);
+        let (nd, ns) = (10, 3);
+        let data = column(nd, ns, 0);
+        store.write_column(&key(0), nd, ns, &data).unwrap();
+        assert!(store.contains(&key(0)));
+        // Scan positions out of order into column 1 of a stride-2 buffer.
+        let positions = [7, 0, 9, 3];
+        let mut out = vec![0.0f32; positions.len() * ns * 2];
+        let mut stats = StoreStats::default();
+        store
+            .scan_into(&key(0), nd, ns, &positions, &mut out, 2, 1, &mut stats)
+            .unwrap();
+        for (i, &pos) in positions.iter().enumerate() {
+            for t in 0..ns {
+                assert_eq!(out[(i * ns + t) * 2 + 1], data[pos * ns + t]);
+                assert_eq!(out[(i * ns + t) * 2], 0.0, "other column untouched");
+            }
+        }
+        // Positions 7,0,9,3 at 4 records/block touch blocks {0, 1, 2},
+        // each pinned exactly once for the whole call.
+        assert_eq!(stats.blocks_read, 3);
+        // Write populated the pool, so every fetch hit memory.
+        assert_eq!(stats.pool_hits, 3);
+        assert_eq!(stats.pool_misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_indexes_existing_columns_and_reads_from_disk() {
+        let (store, dir) = test_store("reopen", 1 << 20);
+        let (nd, ns) = (8, 2);
+        store
+            .write_column(&key(2), nd, ns, &column(nd, ns, 2))
+            .unwrap();
+        store
+            .write_column(&key(5), nd, ns, &column(nd, ns, 5))
+            .unwrap();
+        drop(store);
+        // Fresh process semantics: reopen from disk.
+        let store = BehaviorStore::open(&StoreConfig {
+            block_records: 4,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        assert_eq!(store.columns(), 2);
+        assert_eq!(store.available_units(0x11, 0x22, &[0, 2, 5, 9]), vec![2, 5]);
+        assert_eq!(
+            store.available_units(0x99, 0x22, &[2, 5]),
+            Vec::<usize>::new()
+        );
+        let mut out = vec![0.0f32; nd * ns];
+        let mut stats = StoreStats::default();
+        let positions: Vec<usize> = (0..nd).collect();
+        store
+            .scan_into(&key(5), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .unwrap();
+        assert_eq!(out, column(nd, ns, 5), "bit-identical across reopen");
+        assert!(stats.pool_misses > 0, "cold pool reads from disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_column_errors_and_quarantine_self_heals() {
+        let (store, dir) = test_store("quarantine", 1 << 20);
+        let (nd, ns) = (8, 2);
+        store
+            .write_column(&key(0), nd, ns, &column(nd, ns, 0))
+            .unwrap();
+        drop(store);
+        // Corrupt a data byte on disk, then reopen cold.
+        let path = dir.join("0000000000000011.0000000000000022").join("u0.col");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = BehaviorStore::open(&StoreConfig {
+            block_records: 4,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        let positions: Vec<usize> = (0..nd).collect();
+        let mut out = vec![0.0f32; nd * ns];
+        let mut stats = StoreStats::default();
+        let err = store
+            .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
+        store.quarantine(&key(0));
+        assert!(!store.contains(&key(0)));
+        assert!(path.with_extension("corrupt").exists());
+        assert!(!path.exists());
+        // Re-materializing writes a clean copy that scans again.
+        store
+            .write_column(&key(0), nd, ns, &column(nd, ns, 0))
+            .unwrap();
+        store
+            .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .unwrap();
+        assert_eq!(out, column(nd, ns, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files_from_crashed_writers() {
+        let (store, dir) = test_store("tmp-sweep", 1 << 20);
+        let (nd, ns) = (8, 2);
+        store
+            .write_column(&key(0), nd, ns, &column(nd, ns, 0))
+            .unwrap();
+        drop(store);
+        // A writer killed between create and rename leaves a temp file.
+        let pair = dir.join("0000000000000011.0000000000000022");
+        let stale = pair.join("u7.tmp.99999.0");
+        std::fs::write(&stale, b"half-written").unwrap();
+        let store = BehaviorStore::open(&StoreConfig {
+            block_records: 4,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        assert!(!stale.exists(), "stale temp file swept on open");
+        assert_eq!(store.columns(), 1, "real column survives the sweep");
+        assert!(store.contains(&key(0)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shape_mismatch_is_corrupt_not_wrong_data() {
+        let (store, dir) = test_store("shape", 1 << 20);
+        store.write_column(&key(0), 8, 2, &column(8, 2, 0)).unwrap();
+        let mut out = vec![0.0f32; 4];
+        let mut stats = StoreStats::default();
+        let err = store
+            .scan_into(&key(0), 8, 4, &[0], &mut out, 1, 0, &mut stats)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scans_respect_pool_budget() {
+        // Pool holds one 4-record x 2-symbol page (32 bytes).
+        let (store, dir) = test_store("budget", 32);
+        let (nd, ns) = (16, 2);
+        store
+            .write_column(&key(0), nd, ns, &column(nd, ns, 0))
+            .unwrap();
+        let positions: Vec<usize> = (0..nd).collect();
+        let mut out = vec![0.0f32; nd * ns];
+        let mut stats = StoreStats::default();
+        store
+            .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .unwrap();
+        assert_eq!(out, column(nd, ns, 0));
+        assert!(stats.pool_evictions > 0 || store.pool().stats().evictions > 0);
+        assert!(store.pool().stats().resident_bytes <= 32);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
