@@ -1,0 +1,286 @@
+//! Partial-column persistence benchmark (ISSUE 5): early-stopped cold
+//! extraction vs warm watermark-resume across *process-fresh* sessions.
+//!
+//! PR 4's store only persisted columns after a *fully* streamed pass —
+//! an early-stopped (converged) pass threw its extraction work away.
+//! With the completed-block watermark, the streamed prefix is persisted
+//! as a partial column and a warm re-run scans it, resuming live
+//! extraction exactly at the watermark. This bin measures that payoff on
+//! a real char-LSTM extractor with an early-stopping correlation
+//! workload (a loose epsilon converges after the first streamed block,
+//! the paper's §5.2.3 behavior): every iteration opens a **fresh**
+//! `Session` (fresh-process semantics — plan cache, score cache and
+//! buffer pool all start cold, only the on-disk store persists) and runs
+//! the same 3-query batch:
+//!
+//! * `cold_early_stop` — no store configured: the LSTM forward passes of
+//!   the streamed prefix run every iteration.
+//! * `warm_resume`     — read-write store holding the partial columns of
+//!   one early-stopped pass: the prefix is scanned from disk, the pass
+//!   converges inside it, and the extractor is never called (asserted
+//!   via a counting wrapper).
+//!
+//! Writes `BENCH_PR5.json` in the current directory.
+//!
+//! Run with: `cargo run --release -p deepbase-bench --bin fig_store_partial`
+
+use deepbase::prelude::*;
+use deepbase::query::UnitMeta;
+use deepbase_nn::{CharLstmModel, OutputMode};
+use deepbase_tensor::Matrix;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ND: usize = 384;
+const NS: usize = 16;
+const UNITS: usize = 96;
+
+/// Owned char-LSTM extractor with forward-pass counting and a weight
+/// fingerprint — the store key that survives process restarts.
+struct OwnedLstmExtractor {
+    model: CharLstmModel,
+    forward_passes: Arc<AtomicUsize>,
+}
+
+impl Extractor for OwnedLstmExtractor {
+    fn n_units(&self) -> usize {
+        self.model.hidden()
+    }
+
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
+        self.forward_passes.fetch_add(1, Ordering::SeqCst);
+        if records.is_empty() {
+            return Matrix::zeros(0, unit_ids.len());
+        }
+        let inputs: Vec<Vec<u32>> = records.iter().map(|r| r.symbols.clone()).collect();
+        let full = self.model.extract_activations(&inputs);
+        let mut out = Matrix::zeros(full.rows(), unit_ids.len());
+        for r in 0..full.rows() {
+            let src = full.row(r);
+            let dst = out.row_mut(r);
+            for (c, &u) in unit_ids.iter().enumerate() {
+                dst[c] = src[u];
+            }
+        }
+        out
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(char_model_fingerprint(&self.model))
+    }
+}
+
+fn build_catalog(forward_passes: &Arc<AtomicUsize>) -> Catalog {
+    let records: Vec<Record> = (0..ND)
+        .map(|i| {
+            let chars: Vec<char> = (0..NS)
+                .map(|t| match (i * 11 + t * 5) % 7 {
+                    0 | 4 => 'a',
+                    1 | 5 => 'b',
+                    2 => 'c',
+                    _ => 'd',
+                })
+                .collect();
+            let symbols: Vec<u32> = chars.iter().map(|&c| c as u32 - 'a' as u32).collect();
+            Record::standalone(i, symbols, chars.into_iter().collect())
+        })
+        .collect();
+    let mut catalog = Catalog::new();
+    catalog.add_model_with_units(
+        "probe",
+        5,
+        Arc::new(OwnedLstmExtractor {
+            model: CharLstmModel::new(4, UNITS, OutputMode::LastStep, 42),
+            forward_passes: Arc::clone(forward_passes),
+        }),
+        (0..UNITS)
+            .map(|uid| UnitMeta {
+                uid,
+                layer: (uid % 2) as i64,
+            })
+            .collect(),
+    );
+    catalog.add_hypotheses(
+        "chars",
+        vec![
+            Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a')),
+            Arc::new(FnHypothesis::char_class("is_b", |c| c == 'b')),
+        ],
+    );
+    catalog.add_dataset("seq", Arc::new(Dataset::new("seq", NS, records).unwrap()));
+    catalog
+}
+
+/// The repeated early-stopping batch: a loose epsilon converges every
+/// correlation pair after the first 64-record block, so the cold pass
+/// streams (and pays the LSTM for) exactly the prefix the watermark then
+/// persists.
+const QUERIES: [&str; 3] = [
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D",
+    "SELECT S.group_id, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D GROUP BY U.layer",
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D WHERE U.layer = 0",
+];
+
+fn inspection_config() -> InspectionConfig {
+    InspectionConfig {
+        block_records: 64,
+        epsilon: Some(10.0), // converge after the first streamed block
+        ..Default::default()
+    }
+}
+
+fn fresh_session(forward_passes: &Arc<AtomicUsize>, store: Option<StoreConfig>) -> Session {
+    Session::with_config(
+        build_catalog(forward_passes),
+        SessionConfig {
+            inspection: inspection_config(),
+            store,
+            ..SessionConfig::default()
+        },
+    )
+}
+
+/// Median nanoseconds per iteration; `f` builds and runs one
+/// process-fresh session per call.
+fn time_runs(mut f: impl FnMut()) -> f64 {
+    f(); // warm the OS caches, not the session (each call is fresh)
+    let mut samples = Vec::new();
+    let mut spent = Duration::ZERO;
+    while samples.len() < 9 && (spent < Duration::from_millis(1500) || samples.len() < 3) {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        spent += elapsed;
+        samples.push(elapsed.as_secs_f64() * 1e9);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let store_dir = PathBuf::from("target/tmp-fig-store-partial");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_config = || StoreConfig {
+        block_records: 64,
+        ..StoreConfig::at(&store_dir)
+    };
+
+    // Correctness gate: an early-stopped cold pass persists its prefix
+    // as partial columns, then a fresh session resumes at the watermark
+    // with zero forward passes and bit-identical tables.
+    let live_passes = Arc::new(AtomicUsize::new(0));
+    let mut live = fresh_session(&live_passes, None);
+    let reference = live.run_batch(&QUERIES).unwrap();
+    let forward_passes_cold = live_passes.load(Ordering::SeqCst);
+    assert!(forward_passes_cold > 0);
+    assert!(
+        reference.report.per_query[0].records_read < ND,
+        "the workload must early-stop, read {} of {ND}",
+        reference.report.per_query[0].records_read
+    );
+    drop(live);
+
+    let cold_passes = Arc::new(AtomicUsize::new(0));
+    let mut cold = fresh_session(&cold_passes, Some(store_config()));
+    let populated = cold.run_batch(&QUERIES).unwrap();
+    assert_eq!(populated.tables, reference.tables);
+    let partial_columns_written = populated.report.store.partial_columns_written;
+    assert_eq!(
+        partial_columns_written, UNITS,
+        "the early-stopped pass persists every union column's prefix"
+    );
+    assert_eq!(populated.report.store.columns_written, 0);
+    drop(cold);
+
+    let warm_passes = Arc::new(AtomicUsize::new(0));
+    let mut warm = fresh_session(&warm_passes, Some(store_config()));
+    let warmed = warm.run_batch(&QUERIES).unwrap();
+    assert_eq!(
+        warmed.tables, reference.tables,
+        "warm watermark resume must be bit-identical to live extraction"
+    );
+    assert_eq!(
+        warm_passes.load(Ordering::SeqCst),
+        0,
+        "the pass converges inside the stored prefix: zero forward passes"
+    );
+    let warm_stats = warmed.report.store.clone();
+    assert_eq!(warm_stats.partial_columns_scanned, UNITS);
+    drop(warm);
+
+    // Timed comparison: one process-fresh session per iteration.
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, ns: f64| {
+        println!("{name:<28} {ns:>14.0} ns");
+        entries.push((name.to_string(), ns));
+    };
+    let timing_passes = Arc::new(AtomicUsize::new(0));
+    record(
+        "cold_early_stop",
+        time_runs(|| {
+            let mut session = fresh_session(&timing_passes, None);
+            black_box(session.run_batch(&QUERIES).unwrap());
+        }),
+    );
+    let resume_passes = Arc::new(AtomicUsize::new(0));
+    record(
+        "warm_resume",
+        time_runs(|| {
+            let mut session = fresh_session(&resume_passes, Some(store_config()));
+            black_box(session.run_batch(&QUERIES).unwrap());
+        }),
+    );
+    assert_eq!(
+        resume_passes.load(Ordering::SeqCst),
+        0,
+        "every timed warm iteration stays extraction-free"
+    );
+
+    let ns_of = |name: &str| entries.iter().find(|(n, _)| n == name).unwrap().1;
+    let speedup = ns_of("cold_early_stop") / ns_of("warm_resume");
+    println!("partial columns written   : {partial_columns_written}");
+    println!(
+        "records streamed cold     : {} of {ND} (early stop)",
+        reference.report.per_query[0].records_read
+    );
+    println!(
+        "warm blocks read          : {} ({} pool hits, {} pool misses)",
+        warm_stats.blocks_read, warm_stats.pool_hits, warm_stats.pool_misses
+    );
+    println!(
+        "forward passes avoided    : {} per warm batch ({forward_passes_cold} cold)",
+        warm_stats.forward_passes_avoided
+    );
+    println!("warm resume speedup       : {speedup:.2}x");
+
+    let mut json = String::from("{\n  \"pr\": 5,\n  \"benchmarks\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{name}\": {{\"ns_per_iter\": {ns:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"warm_resume_speedup\": {speedup:.3},\n  \
+         \"partial_columns_written\": {partial_columns_written},\n  \
+         \"records_streamed_cold\": {},\n  \
+         \"warm_partial_columns_scanned\": {},\n  \
+         \"warm_blocks_read\": {},\n  \
+         \"warm_forward_passes_avoided\": {},\n  \
+         \"forward_passes_cold\": {forward_passes_cold},\n  \
+         \"forward_passes_warm\": 0\n}}\n",
+        reference.report.per_query[0].records_read,
+        warm_stats.partial_columns_scanned,
+        warm_stats.blocks_read,
+        warm_stats.forward_passes_avoided,
+    ));
+    deepbase_bench::emit_json("BENCH_PR5.json", &json);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

@@ -82,7 +82,7 @@ use crate::model::{validate_behavior, Dataset, HypothesisFn, Record, UnitGroup};
 use crate::result::{ResultFrame, RowSpan, ScoreRow};
 use deepbase_relational as rel;
 use deepbase_stats::split::shuffled_indices;
-use deepbase_store::{BehaviorStore, ColumnKey, StoreStats};
+use deepbase_store::{BehaviorStore, ColumnKey, Coverage, StoreStats};
 use deepbase_tensor::Matrix;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -577,17 +577,22 @@ pub struct SharedOutcome {
 }
 
 /// The optimizer's store decision for one shared pass: the column key
-/// fingerprints, the plan-time hit/miss split, and the policy flags.
-/// Produced by [`crate::plan`], carried in its `GroupSource::StoreScan`,
-/// and bound to an open store as a [`StoreSource`] at execution time.
+/// fingerprints, the plan-time hit/partial/miss split, and the policy
+/// flags. Produced by [`crate::plan`], carried in its
+/// `GroupSource::StoreScan`, and bound to an open store as a
+/// [`StoreSource`] at execution time.
 #[derive(Debug, Clone)]
 pub struct StorePlan {
     /// Content fingerprint of the pass's model.
     pub model_fp: u64,
     /// Content fingerprint of the pass's dataset.
     pub dataset_fp: u64,
-    /// Union unit columns with a stored column at plan time.
+    /// Union unit columns with a *complete* stored column at plan time.
     pub hits: Vec<usize>,
+    /// Union unit columns with a *partial* stored column (the persisted
+    /// prefix of an earlier early-stopped pass): scanned up to their
+    /// watermark, extracted live past it.
+    pub partials: Vec<usize>,
     /// Union unit columns that will be extracted live.
     pub misses: Vec<usize>,
     /// Scan stored columns (off under a write-only policy).
@@ -623,9 +628,13 @@ pub struct StoreSource {
 /// Per-pass mutable state of a [`StoreSource`].
 struct StorePass<'s> {
     source: &'s StoreSource,
-    /// Union units servable from the store, in union order.
-    hits: Vec<usize>,
-    /// Union units that must be extracted live, in union order.
+    /// Union units servable from the store, in union order (complete
+    /// hits first, then partials with their validated coverage). A
+    /// partial column is scanned only for blocks whose record positions
+    /// all fall under its watermark; past it, the column extracts live
+    /// for the block (the resume-at-the-watermark path).
+    scan_order: Vec<(usize, Option<Coverage>)>,
+    /// Union units that must be extracted live on every block.
     misses: Vec<usize>,
     /// Hits demoted after a scan failure (corrupt columns are also
     /// quarantined; transient I/O failures only demote for this pass).
@@ -636,51 +645,124 @@ struct StorePass<'s> {
     stats: StoreStats,
 }
 
-/// Write-back capture: complete columns for the pass's miss units,
-/// assembled from the live-extracted blocks in shuffled order.
+/// Write-back capture: one column buffer per miss or partial unit,
+/// assembled from the union stream (scanned and live-extracted blocks
+/// alike) in shuffled order. A fully streamed pass commits complete
+/// columns; an early-stopped pass commits the streamed prefix as partial
+/// columns with a watermark.
 struct WriteBack {
-    /// Captured units (the pass's initial misses), in union order.
-    units: Vec<usize>,
-    /// One `nd * ns` column per captured unit.
-    cols: Vec<Vec<f32>>,
-    /// Which record positions have been filled.
+    units: Vec<WbUnit>,
+    /// Which record positions the pass has streamed.
     filled: Vec<bool>,
     n_filled: usize,
+}
+
+struct WbUnit {
+    unit: usize,
+    /// The unit's column index in the union matrix (capture source).
+    union_col: usize,
+    /// The `nd * ns` column buffer (unstreamed positions stay 0.0).
+    col: Vec<f32>,
+    /// Coverage already durable before the pass (partial resume); `None`
+    /// for plan-time misses. An early-stopped pass only rewrites the
+    /// column when the new fill strictly extends this.
+    prior: Option<Coverage>,
 }
 
 impl<'s> StorePass<'s> {
     fn new(source: &'s StoreSource, union_units: &[usize], nd: usize, ns: usize) -> StorePass<'s> {
         let plan = &source.plan;
-        let hit_set: HashSet<usize> = if plan.read {
-            plan.hits.iter().copied().collect()
+        let (hit_plan, partial_plan): (HashSet<usize>, HashSet<usize>) = if plan.read {
+            (
+                plan.hits.iter().copied().collect(),
+                plan.partials.iter().copied().collect(),
+            )
         } else {
-            HashSet::new()
+            (HashSet::new(), HashSet::new())
         };
-        let hits: Vec<usize> = union_units
-            .iter()
-            .copied()
-            .filter(|u| hit_set.contains(u))
-            .collect();
-        let misses: Vec<usize> = union_units
-            .iter()
-            .copied()
-            .filter(|u| !hit_set.contains(u))
-            .collect();
         let mut stats = StoreStats::default();
-        let writeback = if plan.write && !misses.is_empty() {
-            let bytes = misses.len() * nd * ns * std::mem::size_of::<f32>();
+        let mut hits: Vec<usize> = Vec::new();
+        let mut partials: Vec<(usize, Coverage)> = Vec::new();
+        let mut misses: Vec<usize> = Vec::new();
+        let key = |unit: usize| ColumnKey {
+            model_fp: plan.model_fp,
+            dataset_fp: plan.dataset_fp,
+            unit,
+        };
+        for &u in union_units {
+            if hit_plan.contains(&u) {
+                hits.push(u);
+            } else if partial_plan.contains(&u) {
+                // Validate the partial's coverage up front; a column that
+                // cannot be read (or whose shape disagrees) is a miss.
+                match source.store.coverage(&key(u)) {
+                    Ok(cov) if cov.nd() != nd => {
+                        stats.record_error(format!(
+                            "unit {u} partial column covers {} records but the dataset \
+                             has {nd}, extracting live",
+                            cov.nd()
+                        ));
+                        if plan.write {
+                            source.store.quarantine(&key(u));
+                        }
+                        misses.push(u);
+                    }
+                    // Another session may have completed the column since
+                    // plan time; a full watermark scans like a hit.
+                    Ok(cov) if cov.is_complete() => hits.push(u),
+                    Ok(cov) => partials.push((u, cov)),
+                    Err(e) => {
+                        stats.record_error(format!(
+                            "unit {u} partial column unusable, extracting live: {e}"
+                        ));
+                        if plan.write && matches!(e, deepbase_store::StoreError::Corrupt(_)) {
+                            source.store.quarantine(&key(u));
+                        }
+                        misses.push(u);
+                    }
+                }
+            } else {
+                misses.push(u);
+            }
+        }
+        // Capture misses *and* partials: a fully streamed pass completes
+        // both, an early-stopped pass extends the partials' watermarks.
+        let captured: Vec<(usize, Option<Coverage>)> = union_units
+            .iter()
+            .filter_map(|&u| {
+                if misses.binary_search(&u).is_ok() {
+                    Some((u, None))
+                } else {
+                    partials
+                        .iter()
+                        .find(|(p, _)| *p == u)
+                        .map(|(_, cov)| (u, Some(cov.clone())))
+                }
+            })
+            .collect();
+        let writeback = if plan.write && !captured.is_empty() {
+            let bytes = captured.len() * nd * ns * std::mem::size_of::<f32>();
             if bytes <= plan.writeback_limit_bytes {
                 Some(WriteBack {
-                    units: misses.clone(),
-                    cols: vec![vec![0.0; nd * ns]; misses.len()],
+                    units: captured
+                        .into_iter()
+                        .map(|(unit, prior)| WbUnit {
+                            unit,
+                            union_col: union_units
+                                .binary_search(&unit)
+                                .expect("captured unit is in the union"),
+                            col: vec![0.0; nd * ns],
+                            prior,
+                        })
+                        .collect(),
                     filled: vec![false; nd],
                     n_filled: 0,
                 })
             } else {
-                stats.errors.push(format!(
-                    "write-back skipped: {} missing columns would buffer {bytes} bytes \
+                stats.record_error(format!(
+                    "write-back skipped: {} captured columns would buffer {bytes} bytes \
                      (limit {})",
-                    misses.len(),
+                    captured.len(),
                     plan.writeback_limit_bytes
                 ));
                 None
@@ -688,9 +770,14 @@ impl<'s> StorePass<'s> {
         } else {
             None
         };
+        let scan_order: Vec<(usize, Option<Coverage>)> = hits
+            .iter()
+            .map(|&u| (u, None))
+            .chain(partials.iter().map(|(u, cov)| (*u, Some(cov.clone()))))
+            .collect();
         StorePass {
             source,
-            hits,
+            scan_order,
             misses,
             demoted: HashSet::new(),
             scanned: HashSet::new(),
@@ -708,8 +795,9 @@ impl<'s> StorePass<'s> {
     }
 
     /// Produces the union behavior matrix for one streamed block: stored
-    /// columns are scanned through the pool, the rest extracted live in a
-    /// single narrowed call and scattered into union column positions.
+    /// columns are scanned through the pool (partial columns only while
+    /// the block stays under their watermark), the rest extracted live in
+    /// a single narrowed call and scattered into union column positions.
     #[allow(clippy::too_many_arguments)]
     fn fetch_block(
         &mut self,
@@ -726,16 +814,27 @@ impl<'s> StorePass<'s> {
         let mut out = Matrix::zeros(rows, width);
         let union_pos = |u: usize| union_units.binary_search(&u).expect("unit in union");
 
-        // Scan the still-trusted hit columns. Any failure demotes the
+        // Scan the still-trusted stored columns — complete hits always,
+        // partial columns only when every position of this block falls
+        // under their watermark (past it, the column goes live for the
+        // block: that is the resume point). Any scan failure demotes the
         // column to live extraction for this and every remaining block;
         // only *corruption* (checksum/shape disagreement) additionally
         // quarantines the file — a transient I/O error must not destroy
         // a valid column, and a read-only store must stay byte-identical
         // on disk short of proven corruption.
         let mut failed: Vec<usize> = Vec::new();
-        for &u in &self.hits {
+        let mut live_this_block: Vec<usize> = Vec::new();
+        for (u, cov) in &self.scan_order {
+            let (u, is_partial) = (*u, cov.is_some());
             if self.demoted.contains(&u) {
                 continue;
+            }
+            if let Some(cov) = cov {
+                if !cov.covers_all(positions) {
+                    live_this_block.push(u);
+                    continue;
+                }
             }
             let col = union_pos(u);
             let scan = self.source.store.scan_into(
@@ -752,12 +851,14 @@ impl<'s> StorePass<'s> {
                 Ok(()) => {
                     if self.scanned.insert(u) {
                         self.stats.columns_scanned += 1;
+                        if is_partial {
+                            self.stats.partial_columns_scanned += 1;
+                        }
                     }
                 }
                 Err(e) => {
                     self.stats
-                        .errors
-                        .push(format!("unit {u} column unusable, extracting live: {e}"));
+                        .record_error(format!("unit {u} column unusable, extracting live: {e}"));
                     // Quarantine only proven corruption, and only when
                     // the policy lets this pass touch the store at all —
                     // a read-only store stays byte-identical on disk.
@@ -771,26 +872,35 @@ impl<'s> StorePass<'s> {
         }
         self.demoted.extend(failed);
 
-        // One narrowed extractor call covers the misses and any demoted
-        // units. Column-wise consistency of extractors (see
+        // One narrowed extractor call covers the misses, any demoted
+        // units, and the partial columns this block runs past.
+        // Column-wise consistency of extractors (see
         // [`crate::extract::ColumnDemux`]) makes the merged matrix
         // bit-identical to a full live extraction of the union.
         let live: Vec<usize> = union_units
             .iter()
             .copied()
-            .filter(|u| self.demoted.contains(u) || self.misses.binary_search(u).is_ok())
+            .filter(|u| {
+                self.demoted.contains(u)
+                    || self.misses.binary_search(u).is_ok()
+                    || live_this_block.binary_search(u).is_ok()
+            })
             .collect();
         if live.is_empty() {
             self.stats.forward_passes_avoided += 1;
-            return out;
-        }
-        let live_m = extract_records(extractor, block, &live, device, ns);
-        for (li, &u) in live.iter().enumerate() {
-            let col = union_pos(u);
-            for r in 0..rows {
-                out.set(r, col, live_m.get(r, li));
+        } else {
+            let live_m = extract_records(extractor, block, &live, device, ns);
+            for (li, &u) in live.iter().enumerate() {
+                let col = union_pos(u);
+                for r in 0..rows {
+                    out.set(r, col, live_m.get(r, li));
+                }
             }
         }
+        // Capture the streamed positions for write-back from the merged
+        // union matrix — scanned and live values alike, so partial
+        // columns can be completed (stored values are exactly what the
+        // extractor produced, so the written column stays bit-identical).
         if let Some(wb) = &mut self.writeback {
             for (pi, &pos) in positions.iter().enumerate() {
                 if wb.filled[pos] {
@@ -798,10 +908,9 @@ impl<'s> StorePass<'s> {
                 }
                 wb.filled[pos] = true;
                 wb.n_filled += 1;
-                for (wi, &u) in wb.units.iter().enumerate() {
-                    let li = live.binary_search(&u).expect("captured unit is live");
+                for wu in wb.units.iter_mut() {
                     for t in 0..ns {
-                        wb.cols[wi][pos * ns + t] = live_m.get(pi * ns + t, li);
+                        wu.col[pos * ns + t] = out.get(pi * ns + t, wu.union_col);
                     }
                 }
             }
@@ -809,31 +918,60 @@ impl<'s> StorePass<'s> {
         out
     }
 
-    /// Persists the captured miss columns if the pass streamed every
-    /// record (an early-stopped pass has incomplete columns and persists
-    /// nothing). Write failures are recorded, never fatal.
+    /// Persists the captured columns: a fully streamed pass commits
+    /// complete columns; an early-stopped pass commits the streamed
+    /// prefix as partial columns with a watermark, but only where that
+    /// strictly extends what the store already holds. Write failures are
+    /// recorded, never fatal.
     fn flush_writeback(&mut self, nd: usize, ns: usize) {
         let Some(wb) = self.writeback.take() else {
             return;
         };
-        if wb.n_filled != nd {
+        if wb.n_filled == 0 {
             return;
         }
-        for (wi, &u) in wb.units.iter().enumerate() {
+        for wu in &wb.units {
+            let key = self.key(wu.unit);
+            if wb.n_filled == nd {
+                // Fully streamed: commit the complete column (this also
+                // supersedes the unit's partial file, if any).
+                match self.source.store.write_column(&key, nd, ns, &wu.col) {
+                    Ok(report) => {
+                        self.stats.columns_written += 1;
+                        self.stats.blocks_written += report.blocks_written;
+                        self.stats.pool_evictions += report.pool_evictions;
+                    }
+                    Err(e) => self
+                        .stats
+                        .record_error(format!("unit {} write-back failed: {e}", wu.unit)),
+                }
+                continue;
+            }
+            // Early stop: persist the streamed prefix, unless the store
+            // already holds at least as much. A quarantined (demoted)
+            // column's prior file is gone, so anything streamed is a
+            // strict improvement.
+            if let (Some(prior), false) = (&wu.prior, self.demoted.contains(&wu.unit)) {
+                let extends = prior.is_subset_of_filled(&wb.filled)
+                    && wb.n_filled > prior.completed_records();
+                if !extends {
+                    continue;
+                }
+            }
             match self
                 .source
                 .store
-                .write_column(&self.key(u), nd, ns, &wb.cols[wi])
+                .write_partial_column(&key, nd, ns, &wu.col, &wb.filled)
             {
-                Ok(report) => {
-                    self.stats.columns_written += 1;
+                Ok(report) if report.blocks_written > 0 => {
+                    self.stats.partial_columns_written += 1;
                     self.stats.blocks_written += report.blocks_written;
                     self.stats.pool_evictions += report.pool_evictions;
                 }
+                Ok(_) => {}
                 Err(e) => self
                     .stats
-                    .errors
-                    .push(format!("unit {u} write-back failed: {e}")),
+                    .record_error(format!("unit {} partial write-back failed: {e}", wu.unit)),
             }
         }
     }

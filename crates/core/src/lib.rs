@@ -63,6 +63,35 @@
 //! union stream; under `MaterializationPolicy::ReadWrite` the missing
 //! columns are persisted at the end of a fully streamed pass.
 //!
+//! **Partial columns.** An early-stopped (converged) pass no longer
+//! throws its extraction work away: the fully streamed prefix is
+//! persisted as a *partial column* — the valid records densely packed
+//! with a completed-record **watermark** and a checksummed coverage
+//! bitmap (`crates/store/src/format.rs`). The optimizer plans a
+//! `StoreScan` over partials, and the engine scans each streamed block
+//! from the stored prefix until it runs past the watermark, resuming
+//! live extraction exactly there — a warm re-run of a previously
+//! early-stopped batch does strictly fewer forward passes and stays
+//! bit-identical. A fully streamed pass completes the column (the
+//! superseded partial file is reclaimed by compaction).
+//!
+//! **Store-aware admission.** [`plan::AdmissionConfig`] charges
+//! store-hit unit columns to a separate scan budget
+//! (`max_scan_width`, default unbounded) instead of
+//! `max_stream_width`, because a scanned column holds one pooled page,
+//! not an extraction stream slot: a fully warm over-wide group runs in
+//! one wave where the same group cold splits into queued extraction
+//! waves. [`plan::PlanStats::scan_charged_columns`] and `explain()`
+//! surface the distinction.
+//!
+//! **Compaction.** Every read-write batch ends with a store sweep
+//! ([`session::Session::compact_store`] runs one on demand): quarantined
+//! `*.corrupt.*` files past `StoreConfig::quarantine_retention_bytes`
+//! (newest kept as forensic samples), stale temporaries of crashed
+//! writers, and partial columns superseded by completed versions are
+//! deleted, with the reclaimed bytes reported through
+//! [`prelude::StoreStats`].
+//!
 //! Columns are keyed by **content fingerprints**: the model's
 //! ([`extract::Extractor::fingerprint`], hashing the actual weights — a
 //! model that cannot be hashed returns `None` and simply opts out) and
@@ -71,15 +100,19 @@
 //! ([`session::Session::catalog_mut`]) re-binds and re-fingerprints, so
 //! changed contents miss the store while identical re-registrations keep
 //! hitting — there is no stale-read window. Corruption is handled
-//! fail-soft: every block carries a CRC32 checksum; a block that fails
-//! validation is quarantined (the file is renamed aside and re-
-//! materialized by the next read-write pass) and the pass falls back to
-//! live extraction, surfacing the error in
-//! [`prelude::StoreStats::errors`] — never a panic, never a wrong score.
-//! `explain` renders the chosen source per group (`store scan (k/n unit
-//! columns stored, m extracted live)`), and every [`plan::BatchReport`]
-//! carries the batch's [`prelude::StoreStats`] (blocks read/written,
-//! pool hits/evictions, forward passes avoided);
+//! fail-soft: every section and block carries a CRC32 checksum; a block
+//! that fails validation is quarantined (the file is renamed aside —
+//! collision-safe unique names — and re-materialized by the next
+//! read-write pass) and the pass falls back to live extraction,
+//! surfacing the error in [`prelude::StoreStats::errors`] (a bounded
+//! ring; `error_count` stays exact) — never a panic, never a wrong
+//! score, a property enforced by a ≥1000-case single-bit fault-injection
+//! suite (`crates/store/tests/fault_injection.rs`,
+//! `crates/core/tests/store_fault_tests.rs`). `explain` renders the
+//! chosen source per group (`store scan (k/n unit columns stored, p
+//! partial, m extracted live)`), and every [`plan::BatchReport`] carries
+//! the batch's [`prelude::StoreStats`] (blocks read/written, pool
+//! hits/evictions, forward passes avoided, bytes reclaimed);
 //! [`session::Session::store_stats`] accumulates them per session.
 //!
 //! Modules map to the paper:
@@ -157,7 +190,7 @@ pub mod prelude {
     pub use crate::result::{ResultFrame, ScoreRow};
     pub use crate::session::{PreparedBatch, PreparedQuery, Session, SessionConfig, SessionStats};
     pub use deepbase_store::{
-        BehaviorStore, ColumnKey, FpHasher, MaterializationPolicy, StoreConfig, StoreError,
-        StoreStats,
+        BehaviorStore, ColumnKey, CompactionReport, Coverage, FpHasher, MaterializationPolicy,
+        StoreConfig, StoreError, StoreStats, ERROR_RING_CAP,
     };
 }

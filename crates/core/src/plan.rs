@@ -458,13 +458,26 @@ fn apply_post(
 /// queries over one model) from holding an unbounded block resident:
 /// oversized groups are **split** into member waves that run **queued**
 /// (sequentially), each within the bound, instead of OOMing the pass.
+///
+/// Admission is **store-aware**: a unit column with a complete stored
+/// copy is served by a buffer-pool scan, not a model forward pass, so it
+/// is charged to the separate `max_scan_width` budget instead of
+/// `max_stream_width`. A fully warm over-wide group therefore runs in
+/// one wave where the same group cold would split into queued extraction
+/// waves. (Partial columns still extract their tail live and stay on the
+/// extraction budget.)
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AdmissionConfig {
-    /// Maximum union-stream width (unit + hypothesis columns) one shared
-    /// pass may carry. `None` admits everything unsplit. A single work
-    /// item whose own width exceeds the bound cannot be split further and
-    /// runs alone in its own wave.
+    /// Maximum *extraction* width (live unit columns + hypothesis
+    /// columns) one shared pass may carry. `None` admits everything
+    /// unsplit. A single work item whose own width exceeds the bound
+    /// cannot be split further and runs alone in its own wave.
     pub max_stream_width: Option<usize>,
+    /// Maximum store-scanned unit columns one shared pass may carry
+    /// (each holds one pooled page resident, far cheaper than an
+    /// extraction stream slot). `None` — the default — admits any number
+    /// of scanned columns.
+    pub max_scan_width: Option<usize>,
 }
 
 /// Plan-pipeline counters carried per batch in [`BatchReport`].
@@ -480,6 +493,10 @@ pub struct PlanStats {
     pub admission_splits: usize,
     /// Waves beyond the first, i.e. passes that had to queue.
     pub admission_queued: usize,
+    /// Union unit columns charged to the scan budget instead of the
+    /// stream width (complete store hits, summed over groups) — the
+    /// store-aware admission distinction made visible.
+    pub scan_charged_columns: usize,
 }
 
 /// One work item: a `(query, model)` pair scheduled into a shared group.
@@ -545,8 +562,11 @@ pub struct PlanGroup {
     pub requested_measure_states: usize,
     /// Admission outcome: item-index ranges, one per sequential wave.
     pub waves: Vec<std::ops::Range<usize>>,
-    /// Union-stream width of each wave (unit + hypothesis columns).
+    /// Extraction width of each wave (live unit + hypothesis columns;
+    /// store-scanned columns are charged to `wave_scan_widths` instead).
     pub wave_widths: Vec<usize>,
+    /// Store-scanned column count of each wave.
+    pub wave_scan_widths: Vec<usize>,
     /// Where the union unit behaviors come from (store scan vs live
     /// extraction), decided at optimize time.
     pub source: GroupSource,
@@ -556,6 +576,24 @@ impl PlanGroup {
     /// Union-stream width of the unsplit group.
     pub fn stream_width(&self) -> usize {
         self.union_units.len() + self.unique_hypotheses
+    }
+
+    /// Union unit columns served by a complete store scan (charged to
+    /// the admission scan budget).
+    pub fn scan_width(&self) -> usize {
+        match &self.source {
+            GroupSource::StoreScan(sp) if sp.read => sp.hits.len(),
+            _ => 0,
+        }
+    }
+
+    /// Union-stream columns that require live work — unit columns
+    /// without a complete stored copy (including partial columns, whose
+    /// tails extract live) plus hypothesis columns (always evaluated
+    /// live). This is the width `AdmissionConfig::max_stream_width`
+    /// bounds.
+    pub fn extract_width(&self) -> usize {
+        self.stream_width() - self.scan_width()
     }
 
     /// Estimated bytes one streamed block of this group holds.
@@ -591,9 +629,15 @@ fn thin<T: ?Sized>(arc: &Arc<T>) -> *const u8 {
     Arc::as_ptr(arc) as *const u8
 }
 
-/// Union-stream width of a set of items: distinct unit columns plus
-/// function-identity-distinct hypothesis columns.
-fn items_width(plans: &[Arc<LogicalPlan>], items: &[PlanItem]) -> usize {
+/// `(extraction width, scan width)` of a set of items: distinct unit
+/// columns split by whether a complete stored copy serves them
+/// (`scan_hits`), plus function-identity-distinct hypothesis columns
+/// (always live, charged to extraction).
+fn items_widths(
+    plans: &[Arc<LogicalPlan>],
+    items: &[PlanItem],
+    scan_hits: &HashSet<usize>,
+) -> (usize, usize) {
     let mut units: HashSet<usize> = HashSet::new();
     let mut hyps: HashSet<*const u8> = HashSet::new();
     for item in items {
@@ -603,7 +647,8 @@ fn items_width(plans: &[Arc<LogicalPlan>], items: &[PlanItem]) -> usize {
         }
         hyps.extend(plan.hypotheses.iter().map(thin));
     }
-    units.len() + hyps.len()
+    let scanned = units.iter().filter(|u| scan_hits.contains(u)).count();
+    (units.len() - scanned + hyps.len(), scanned)
 }
 
 /// Groups the bound queries' work items by `(extractor, dataset)`,
@@ -673,6 +718,7 @@ pub(crate) fn optimize_with(
                     requested_measure_states: 0,
                     waves: Vec::new(),
                     wave_widths: Vec::new(),
+                    wave_scan_widths: Vec::new(),
                     source: GroupSource::Extract,
                 });
                 group_of.push(key);
@@ -772,16 +818,23 @@ pub(crate) fn optimize_with(
                         binding
                             .store
                             .available_units(model_fp, dataset_fp, &group.union_units);
+                    let partials =
+                        binding
+                            .store
+                            .partial_units(model_fp, dataset_fp, &group.union_units);
                     let misses: Vec<usize> = group
                         .union_units
                         .iter()
                         .copied()
-                        .filter(|u| hits.binary_search(u).is_err())
+                        .filter(|u| {
+                            hits.binary_search(u).is_err() && partials.binary_search(u).is_err()
+                        })
                         .collect();
                     GroupSource::StoreScan(StorePlan {
                         model_fp,
                         dataset_fp,
                         hits,
+                        partials,
                         misses,
                         read: true,
                         write: binding.policy == MaterializationPolicy::ReadWrite,
@@ -791,33 +844,42 @@ pub(crate) fn optimize_with(
             };
         }
 
-        // Admission: split into in-order waves whose widths respect the
-        // bound; a lone item wider than the bound gets its own wave.
-        let width = group.stream_width();
-        match admission.max_stream_width {
-            Some(bound) if width > bound => {
-                let mut start = 0;
-                while start < group.items.len() {
-                    let mut end = start + 1;
-                    while end < group.items.len()
-                        && items_width(plans, &group.items[start..=end]) <= bound
-                    {
-                        end += 1;
-                    }
-                    group
-                        .wave_widths
-                        .push(items_width(plans, &group.items[start..end]));
-                    group.waves.push(start..end);
-                    start = end;
+        // Admission: store-scanned columns are charged to the scan
+        // budget, everything live to the stream width. Oversized groups
+        // split into in-order waves that respect both bounds; a lone
+        // item wider than a bound gets its own wave.
+        let scan_hits: HashSet<usize> = match &group.source {
+            GroupSource::StoreScan(sp) if sp.read => sp.hits.iter().copied().collect(),
+            _ => HashSet::new(),
+        };
+        stats.scan_charged_columns += scan_hits.len();
+        let fits = |extract: usize, scan: usize| {
+            admission.max_stream_width.is_none_or(|b| extract <= b)
+                && admission.max_scan_width.is_none_or(|b| scan <= b)
+        };
+        if fits(group.extract_width(), group.scan_width()) {
+            group.waves.push(0..group.items.len());
+            group.wave_widths.push(group.extract_width());
+            group.wave_scan_widths.push(group.scan_width());
+        } else {
+            let mut start = 0;
+            while start < group.items.len() {
+                let mut end = start + 1;
+                while end < group.items.len() && {
+                    let (e, s) = items_widths(plans, &group.items[start..=end], &scan_hits);
+                    fits(e, s)
+                } {
+                    end += 1;
                 }
-                if group.waves.len() > 1 {
-                    stats.admission_splits += 1;
-                    stats.admission_queued += group.waves.len() - 1;
-                }
+                let (e, s) = items_widths(plans, &group.items[start..end], &scan_hits);
+                group.wave_widths.push(e);
+                group.wave_scan_widths.push(s);
+                group.waves.push(start..end);
+                start = end;
             }
-            _ => {
-                group.waves.push(0..group.items.len());
-                group.wave_widths.push(width);
+            if group.waves.len() > 1 {
+                stats.admission_splits += 1;
+                stats.admission_queued += group.waves.len() - 1;
             }
         }
     }
@@ -1127,9 +1189,14 @@ impl PhysicalPlan {
                 )),
                 GroupSource::StoreScan(sp) => {
                     let mode = if sp.write { "read-write" } else { "read-only" };
+                    let partial = if sp.partials.is_empty() {
+                        String::new()
+                    } else {
+                        format!("{} partial, ", sp.partials.len())
+                    };
                     out.push_str(&format!(
                         "{stem}├─ source: store scan ({}/{} unit columns stored, \
-                         {} extracted live; {mode})\n",
+                         {partial}{} extracted live; {mode})\n",
                         sp.hits.len(),
                         g.union_units.len(),
                         sp.misses.len(),
@@ -1142,18 +1209,54 @@ impl PhysicalPlan {
                 g.block_bytes(self.block_records),
                 g.dataset.ns
             ));
-            match (self.admission.max_stream_width, g.waves.len()) {
-                (None, _) => out.push_str(&format!("{stem}└─ admission: 1 wave (unbounded)\n")),
-                (Some(bound), 1) => out.push_str(&format!(
-                    "{stem}└─ admission: 1 wave (width {} <= bound {bound})\n",
-                    g.stream_width()
+            let (extract_w, scan_w) = (g.extract_width(), g.scan_width());
+            let unbounded = self.admission.max_stream_width.is_none()
+                && self.admission.max_scan_width.is_none();
+            match (g.waves.len(), self.admission.max_stream_width) {
+                (_, _) if unbounded => {
+                    out.push_str(&format!("{stem}└─ admission: 1 wave (unbounded)\n"))
+                }
+                (1, Some(bound)) if scan_w == 0 && extract_w <= bound => out.push_str(&format!(
+                    "{stem}└─ admission: 1 wave (width {extract_w} <= bound {bound})\n",
                 )),
-                (Some(bound), n) => {
+                (1, Some(bound)) if scan_w == 0 => out.push_str(&format!(
+                    // A lone work item cannot be split further, so it
+                    // runs alone even over the bound.
+                    "{stem}└─ admission: 1 wave (lone item, width {extract_w} > bound {bound})\n",
+                )),
+                (1, bound) => {
+                    let bound = match bound {
+                        Some(b) if extract_w <= b => format!(" <= bound {b}"),
+                        Some(b) => format!(" (lone item over bound {b})"),
+                        None => String::new(),
+                    };
+                    out.push_str(&format!(
+                        "{stem}└─ admission: 1 wave (extract width {extract_w}{bound}; \
+                         {scan_w} columns on the scan budget)\n",
+                    ));
+                }
+                (n, Some(bound)) if scan_w == 0 => {
                     let widths: Vec<String> = g.wave_widths.iter().map(|w| w.to_string()).collect();
                     out.push_str(&format!(
                         "{stem}└─ admission: split into {n} queued waves \
-                         (width {} > bound {bound}; wave widths [{}])\n",
-                        g.stream_width(),
+                         (width {extract_w} > bound {bound}; wave widths [{}])\n",
+                        widths.join(", ")
+                    ));
+                }
+                (n, bound) => {
+                    let stream_bound = match bound {
+                        Some(b) => format!(" vs bound {b}"),
+                        None => String::new(),
+                    };
+                    let scan_bound = match self.admission.max_scan_width {
+                        Some(b) => format!(" vs scan budget {b}"),
+                        None => String::new(),
+                    };
+                    let widths: Vec<String> = g.wave_widths.iter().map(|w| w.to_string()).collect();
+                    out.push_str(&format!(
+                        "{stem}└─ admission: split into {n} queued waves \
+                         (extract width {extract_w}{stream_bound}, \
+                         scan width {scan_w}{scan_bound}; wave widths [{}])\n",
                         widths.join(", ")
                     ));
                 }

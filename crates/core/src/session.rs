@@ -179,6 +179,9 @@ pub struct Session {
     stats: SessionStats,
     /// The open behavior store, when configured and openable.
     store: Option<Arc<BehaviorStore>>,
+    /// Whether the once-per-session compaction sweep (picking up what a
+    /// crashed predecessor left behind) has run.
+    store_swept_once: bool,
     /// Cumulative store accounting across the session's batches (plus
     /// the open error, if the configured store could not be opened).
     store_stats: StoreStats,
@@ -205,7 +208,7 @@ impl Session {
                 match BehaviorStore::open(store_config) {
                     Ok(store) => Some(store),
                     Err(e) => {
-                        store_stats.errors.push(format!(
+                        store_stats.record_error(format!(
                             "store at {:?} could not be opened, persistence disabled: {e}",
                             store_config.path
                         ));
@@ -228,6 +231,7 @@ impl Session {
             frame_order: VecDeque::new(),
             stats: SessionStats::default(),
             store,
+            store_swept_once: false,
             store_stats,
         }
     }
@@ -302,6 +306,25 @@ impl Session {
     /// and every error survived by falling back to live extraction.
     pub fn store_stats(&self) -> &StoreStats {
         &self.store_stats
+    }
+
+    /// Runs one store compaction sweep now (read-write sessions run one
+    /// automatically after every batch): deletes quarantined files past
+    /// the configured retention budget, stale temporaries left by
+    /// crashed writers, and partial columns superseded by completed
+    /// versions. Returns what was reclaimed (also accumulated into
+    /// [`Session::store_stats`]), or `None` when no writable store is
+    /// open.
+    pub fn compact_store(&mut self) -> Option<deepbase_store::CompactionReport> {
+        let store_config = self.config.store.as_ref()?;
+        if store_config.policy != MaterializationPolicy::ReadWrite {
+            return None;
+        }
+        let store = self.store.as_ref()?;
+        let report = store.compact(store_config.quarantine_retention_bytes);
+        self.store_stats.files_reclaimed += report.files_reclaimed;
+        self.store_stats.bytes_reclaimed += report.bytes_reclaimed;
+        Some(report)
     }
 
     fn store_binding(&self) -> Option<StoreBinding> {
@@ -448,6 +471,27 @@ impl Session {
         self.stats.admission_queued += physical.stats.admission_queued;
         self.stats.batches_executed += 1;
         self.store_stats.accumulate(&output.report.store);
+
+        // Store lifecycle: a read-write batch ends with a compaction
+        // sweep — superseded partial columns (completed this batch or
+        // earlier), stale temporaries of crashed writers, and quarantined
+        // files past the retention budget are reclaimed, with the bytes
+        // reported through the batch's and the session's StoreStats. The
+        // sweep walks the store tree, so it only runs when this batch
+        // could have left something reclaimable (completed columns
+        // supersede partials, errors quarantine files) or once per
+        // session to pick up what a crashed predecessor left behind —
+        // never on the steady warm path.
+        let may_reclaim = output.report.store.columns_written > 0
+            || output.report.store.error_count > 0
+            || !self.store_swept_once;
+        if may_reclaim {
+            if let Some(report) = self.compact_store() {
+                self.store_swept_once = true;
+                output.report.store.files_reclaimed += report.files_reclaimed;
+                output.report.store.bytes_reclaimed += report.bytes_reclaimed;
+            }
+        }
 
         // Per-call plan counters: prepare/revalidation deltas plus the
         // physical plan's own score/admission numbers.

@@ -386,6 +386,7 @@ fn admission_splits_oversized_batch_without_changing_results() {
         SessionConfig {
             admission: AdmissionConfig {
                 max_stream_width: Some(16),
+                ..AdmissionConfig::default()
             },
             ..SessionConfig::default()
         },
@@ -428,6 +429,7 @@ fn admission_waves_respect_the_width_bound_at_plan_level() {
         &config,
         AdmissionConfig {
             max_stream_width: Some(bound),
+            ..AdmissionConfig::default()
         },
     );
     assert_eq!(physical.groups.len(), 1);
@@ -478,6 +480,7 @@ fn explain_shows_admission_split() {
         SessionConfig {
             admission: AdmissionConfig {
                 max_stream_width: Some(16),
+                ..AdmissionConfig::default()
             },
             ..SessionConfig::default()
         },

@@ -1,0 +1,355 @@
+//! End-to-end fault injection and partial-column differential testing
+//! (ISSUE 5): the store-level generator from
+//! `crates/store/tests/fault_injection.rs` is driven through a full
+//! `Session` — an arbitrary single-bit flip anywhere in a populated
+//! store must never change a score (detected corruption falls back to
+//! live extraction; scores stay bit-identical to a store-less session) —
+//! and partial columns are checked differentially: for random early-stop
+//! watermarks, `scan(partial prefix) + extract(tail)` equals
+//! `extract(full)` bit-for-bit on SingleCore and Parallel, including the
+//! degenerate watermark-at-zero and watermark-at-end cases.
+
+use deepbase::prelude::*;
+use deepbase::query::UnitMeta;
+use deepbase_stats::split::shuffled_indices;
+use deepbase_tensor::Matrix;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const NS: usize = 4;
+const UNITS: usize = 4;
+
+/// Extractor wrapper counting forward passes, forwarding the inner
+/// extractor's content fingerprint.
+struct CountingExtractor {
+    inner: PrecomputedExtractor,
+    calls: Arc<AtomicUsize>,
+}
+
+impl Extractor for CountingExtractor {
+    fn n_units(&self) -> usize {
+        self.inner.n_units()
+    }
+
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.extract(records, unit_ids)
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        self.inner.fingerprint()
+    }
+}
+
+fn records(nd: usize) -> Vec<Record> {
+    (0..nd)
+        .map(|i| {
+            let text: String = (0..NS)
+                .map(|t| match (i * 13 + t * 5) % 4 {
+                    0 => 'a',
+                    1 => 'b',
+                    _ => 'c',
+                })
+                .collect();
+            Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+        })
+        .collect()
+}
+
+fn behaviors(nd: usize) -> Matrix {
+    let recs = records(nd);
+    let mut m = Matrix::zeros(nd * NS, UNITS);
+    for (ri, rec) in recs.iter().enumerate() {
+        for (t, c) in rec.text.chars().enumerate() {
+            let r = ri * NS + t;
+            m.set(r, 0, if c == 'a' { 0.7 } else { -0.1 });
+            m.set(r, 1, if c == 'b' { 0.9 } else { 0.2 });
+            for u in 2..UNITS {
+                m.set(r, u, ((r * (u + 3) * 17) % 89) as f32 / 89.0 - 0.5);
+            }
+        }
+    }
+    m
+}
+
+fn test_catalog(nd: usize) -> (Catalog, Arc<AtomicUsize>) {
+    let calls = Arc::new(AtomicUsize::new(0));
+    let mut catalog = Catalog::new();
+    catalog.add_model_with_units(
+        "m1",
+        1,
+        Arc::new(CountingExtractor {
+            inner: PrecomputedExtractor::new(behaviors(nd), NS),
+            calls: Arc::clone(&calls),
+        }),
+        (0..UNITS)
+            .map(|uid| UnitMeta {
+                uid,
+                layer: (uid % 2) as i64,
+            })
+            .collect(),
+    );
+    catalog.add_hypotheses(
+        "chars",
+        vec![
+            Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a')),
+            Arc::new(FnHypothesis::char_class("is_b", |c| c == 'b')),
+        ],
+    );
+    catalog.add_dataset(
+        "seq",
+        Arc::new(Dataset::new("seq", NS, records(nd)).unwrap()),
+    );
+    (catalog, calls)
+}
+
+const Q_ALL: &str = "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+                     FROM models M, units U, hypotheses H, inputs D";
+
+/// Full-stream config (epsilon so small no pair converges early).
+fn config(device: Device) -> InspectionConfig {
+    InspectionConfig {
+        device,
+        block_records: 8,
+        epsilon: Some(1e-12),
+        ..InspectionConfig::default()
+    }
+}
+
+fn store_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/tmp-store-tests")
+        .join(format!("fault-core-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_config(dir: &Path) -> StoreConfig {
+    StoreConfig {
+        block_records: 4,
+        ..StoreConfig::at(dir)
+    }
+}
+
+fn session_with_store(nd: usize, device: Device, dir: &Path) -> (Session, Arc<AtomicUsize>) {
+    let (catalog, calls) = test_catalog(nd);
+    let session = Session::with_config(
+        catalog,
+        SessionConfig {
+            inspection: config(device),
+            store: Some(store_config(dir)),
+            ..SessionConfig::default()
+        },
+    );
+    (session, calls)
+}
+
+// ---------------------------------------------------------------------
+// Session-level fault injection
+// ---------------------------------------------------------------------
+
+struct FaultWorld {
+    dir: PathBuf,
+    /// Pristine store files (relative path, bytes) captured after the
+    /// populating cold run.
+    pristine: Vec<(PathBuf, Vec<u8>)>,
+    reference: Vec<deepbase_relational::Table>,
+}
+
+fn fault_world() -> &'static FaultWorld {
+    static WORLD: OnceLock<FaultWorld> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let nd = 24;
+        let dir = store_dir("world");
+        let (catalog, _) = test_catalog(nd);
+        let reference = catalog
+            .run_batch(&[Q_ALL], &config(Device::SingleCore))
+            .unwrap()
+            .tables;
+        let (mut cold, _) = session_with_store(nd, Device::SingleCore, &dir);
+        let out = cold.run_batch(&[Q_ALL]).unwrap();
+        assert_eq!(out.tables, reference);
+        assert_eq!(out.report.store.columns_written, UNITS);
+        drop(cold);
+        let mut pristine = Vec::new();
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            if !entry.file_type().unwrap().is_dir() {
+                continue;
+            }
+            for col in std::fs::read_dir(entry.path()).unwrap().flatten() {
+                let rel = col.path().strip_prefix(&dir).unwrap().to_path_buf();
+                pristine.push((rel, std::fs::read(col.path()).unwrap()));
+            }
+        }
+        assert_eq!(pristine.len(), UNITS, "one column file per unit");
+        FaultWorld {
+            dir,
+            pristine,
+            reference,
+        }
+    })
+}
+
+fn restore_pristine(world: &FaultWorld) {
+    let _ = std::fs::remove_dir_all(&world.dir);
+    for (rel, bytes) in &world.pristine {
+        let path = world.dir.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, bytes).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn session_scores_survive_any_single_bit_flip_bit_identically(
+        file_sel in 0usize..1000,
+        flip_sel in 0usize..1_000_000,
+    ) {
+        let world = fault_world();
+        restore_pristine(world);
+        let (rel, bytes) = &world.pristine[file_sel % world.pristine.len()];
+        let bit = flip_sel % (bytes.len() * 8);
+        let mut corrupted = bytes.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        std::fs::write(world.dir.join(rel), &corrupted).unwrap();
+
+        let (mut session, _) = session_with_store(24, Device::SingleCore, &world.dir);
+        let out = session.run_batch(&[Q_ALL]).unwrap();
+        prop_assert_eq!(
+            &out.tables,
+            &world.reference,
+            "flip of bit {} in {:?} changed a score silently",
+            bit,
+            rel
+        );
+        // Every byte of the format is checksummed, so a flip in a file
+        // this query scans end-to-end must be *detected*, not ignored.
+        prop_assert!(
+            out.report.store.error_count > 0,
+            "flip of bit {} in {:?} went undetected",
+            bit,
+            rel
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential property: partial scan + tail extraction == full extraction
+// ---------------------------------------------------------------------
+
+/// Writes partial columns holding the true behaviors of the first `k`
+/// records in stream order (the engine's shuffled order for seed 0), as
+/// an early-stopped pass would have persisted them.
+fn seed_partial_columns(dir: &Path, nd: usize, k: usize) {
+    let m = behaviors(nd);
+    let extractor = PrecomputedExtractor::new(behaviors(nd), NS);
+    let model_fp = extractor.fingerprint().unwrap();
+    let dataset_fp = Dataset::new("seq", NS, records(nd))
+        .unwrap()
+        .content_fingerprint();
+    let order = shuffled_indices(nd, 0);
+    let mut filled = vec![false; nd];
+    for &pos in order.iter().take(k) {
+        filled[pos] = true;
+    }
+    let store = BehaviorStore::open(&store_config(dir)).unwrap();
+    for unit in 0..UNITS {
+        let mut col = vec![0.0f32; nd * NS];
+        for (pos, &f) in filled.iter().enumerate() {
+            if f {
+                for t in 0..NS {
+                    col[pos * NS + t] = m.get(pos * NS + t, unit);
+                }
+            }
+        }
+        store
+            .write_partial_column(
+                &ColumnKey {
+                    model_fp,
+                    dataset_fp,
+                    unit,
+                },
+                nd,
+                NS,
+                &col,
+                &filled,
+            )
+            .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+    #[test]
+    fn partial_scan_plus_tail_extraction_equals_full_extraction(
+        nd in 9usize..28,
+        k_sel in 0usize..1000,
+    ) {
+        // Watermark: degenerate 0 and nd often, the rest uniform.
+        let k = match k_sel % 4 {
+            0 => 0,
+            1 => nd,
+            _ => k_sel / 4 % (nd + 1),
+        };
+        // Stream blocks of 8 records; a block is servable from a partial
+        // column iff it ends at or under the watermark (coverage is the
+        // stream-order prefix).
+        let nb = 8usize;
+        let total_blocks = nd.div_ceil(nb);
+        let covered_blocks = (0..total_blocks)
+            .filter(|i| ((i + 1) * nb).min(nd) <= k)
+            .count();
+
+        for device in [Device::SingleCore, Device::Parallel(3)] {
+            // Reference: pure live extraction (no store).
+            let (catalog, live_calls) = test_catalog(nd);
+            let reference = catalog.run_batch(&[Q_ALL], &config(device)).unwrap().tables;
+            let live = live_calls.load(Ordering::SeqCst);
+
+            let dir = store_dir(&format!("diff-{nd}-{k}-{:?}", device).replace(['(', ')'], "-"));
+            seed_partial_columns(&dir, nd, k);
+            let (mut warm, warm_calls) = session_with_store(nd, device, &dir);
+            let out = warm.run_batch(&[Q_ALL]).unwrap();
+            prop_assert_eq!(
+                &out.tables,
+                &reference,
+                "scan(partial, k={}) + extract(tail) diverged from extract(full) on {:?}",
+                k,
+                device
+            );
+            let warm_n = warm_calls.load(Ordering::SeqCst);
+            if k == nd {
+                prop_assert_eq!(warm_n, 0, "watermark-at-end is a full hit");
+            } else if covered_blocks > 0 {
+                prop_assert!(
+                    warm_n < live,
+                    "resume must do strictly fewer forward passes ({} vs {})",
+                    warm_n,
+                    live
+                );
+            } else {
+                prop_assert_eq!(warm_n, live, "no covered block, no savings");
+            }
+            if device == Device::SingleCore {
+                // One narrowed call per un-covered block, none past the
+                // watermark's covered prefix.
+                prop_assert_eq!(warm_n, total_blocks - covered_blocks);
+            }
+            prop_assert!(out.report.store.errors.is_empty(), "{:?}", out.report.store.errors);
+            // The full stream completed every captured column, so a
+            // fresh session is a pure store hit: zero forward passes.
+            if k < nd {
+                prop_assert_eq!(out.report.store.columns_written, UNITS);
+            }
+            drop(warm);
+            let (mut verify, verify_calls) = session_with_store(nd, device, &dir);
+            let again = verify.run_batch(&[Q_ALL]).unwrap();
+            prop_assert_eq!(&again.tables, &reference);
+            prop_assert_eq!(verify_calls.load(Ordering::SeqCst), 0);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -1,0 +1,724 @@
+//! Store lifecycle completion (ISSUE 5 acceptance): an early-stopped
+//! batch persists its completed prefix and a warm re-run resumes at the
+//! watermark with strictly fewer forward passes, bit-identically on both
+//! devices; store-aware admission runs a fully warm over-wide group in
+//! one wave while the same group cold still splits; compaction reclaims
+//! quarantined and superseded files under the retention budget with
+//! bytes reported in `StoreStats`; and concurrent sessions sharing one
+//! store path stay panic-free, torn-read-free and bit-identical to solo
+//! runs (a read-only session never creates files).
+
+use deepbase::prelude::*;
+use deepbase::query::UnitMeta;
+use deepbase_store::ERROR_RING_CAP;
+use deepbase_tensor::Matrix;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+const ND: usize = 64;
+const NS: usize = 8;
+const UNITS: usize = 6;
+
+/// Extractor wrapper counting forward passes and recording the unit ids
+/// of every call, forwarding the inner extractor's content fingerprint.
+struct CountingExtractor {
+    inner: PrecomputedExtractor,
+    calls: Arc<AtomicUsize>,
+    unit_calls: Arc<Mutex<Vec<Vec<usize>>>>,
+}
+
+impl Extractor for CountingExtractor {
+    fn n_units(&self) -> usize {
+        self.inner.n_units()
+    }
+
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        self.unit_calls.lock().unwrap().push(unit_ids.to_vec());
+        self.inner.extract(records, unit_ids)
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        self.inner.fingerprint()
+    }
+}
+
+struct Counters {
+    calls: Arc<AtomicUsize>,
+    unit_calls: Arc<Mutex<Vec<Vec<usize>>>>,
+}
+
+impl Counters {
+    fn calls(&self) -> usize {
+        self.calls.load(Ordering::SeqCst)
+    }
+
+    fn units_extracted(&self) -> Vec<usize> {
+        let mut units: Vec<usize> = self
+            .unit_calls
+            .lock()
+            .unwrap()
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        units.sort_unstable();
+        units.dedup();
+        units
+    }
+}
+
+fn records() -> Vec<Record> {
+    (0..ND)
+        .map(|i| {
+            let text: String = (0..NS)
+                .map(|t| match (i * 7 + t * 3) % 5 {
+                    0 | 3 => 'a',
+                    1 => 'b',
+                    _ => 'c',
+                })
+                .collect();
+            Record::standalone(i, text.chars().map(|c| c as u32).collect(), text)
+        })
+        .collect()
+}
+
+fn behaviors() -> Matrix {
+    let recs = records();
+    let mut m = Matrix::zeros(ND * NS, UNITS);
+    for (ri, rec) in recs.iter().enumerate() {
+        for (t, c) in rec.text.chars().enumerate() {
+            let r = ri * NS + t;
+            m.set(r, 0, if c == 'a' { 0.8 } else { 0.1 });
+            m.set(r, 1, if c == 'b' { 0.9 } else { -0.2 });
+            for u in 2..UNITS {
+                m.set(r, u, ((r * (u + 7) * 31) % 97) as f32 / 97.0 - 0.5);
+            }
+        }
+    }
+    m
+}
+
+fn test_catalog() -> (Catalog, Counters) {
+    let counters = Counters {
+        calls: Arc::new(AtomicUsize::new(0)),
+        unit_calls: Arc::new(Mutex::new(Vec::new())),
+    };
+    let mut catalog = Catalog::new();
+    catalog.add_model_with_units(
+        "m1",
+        3,
+        Arc::new(CountingExtractor {
+            inner: PrecomputedExtractor::new(behaviors(), NS),
+            calls: Arc::clone(&counters.calls),
+            unit_calls: Arc::clone(&counters.unit_calls),
+        }),
+        (0..UNITS)
+            .map(|uid| UnitMeta {
+                uid,
+                layer: (uid % 2) as i64,
+            })
+            .collect(),
+    );
+    catalog.add_hypotheses(
+        "chars",
+        vec![
+            Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a')),
+            Arc::new(FnHypothesis::char_class("is_b", |c| c == 'b')),
+        ],
+    );
+    catalog.add_dataset("seq", Arc::new(Dataset::new("seq", NS, records()).unwrap()));
+    (catalog, counters)
+}
+
+const Q_ALL: &str = "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+                     FROM models M, units U, hypotheses H, inputs D";
+const Q_LAYER0: &str = "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr \
+                        OVER D.seq AS S FROM models M, units U, hypotheses H, inputs D \
+                        WHERE U.layer = 0";
+
+/// Full-stream configuration (never converges early).
+fn full_config(device: Device) -> InspectionConfig {
+    InspectionConfig {
+        device,
+        block_records: 16,
+        epsilon: Some(1e-12),
+        ..InspectionConfig::default()
+    }
+}
+
+/// Early-stop configuration: every pair converges after the first block,
+/// so a cold pass streams 16 of the 64 records and stops.
+fn early_config(device: Device) -> InspectionConfig {
+    InspectionConfig {
+        device,
+        block_records: 16,
+        epsilon: Some(1e6),
+        ..InspectionConfig::default()
+    }
+}
+
+fn store_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/tmp-store-tests")
+        .join(format!("lifecycle-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_config(dir: &Path, policy: MaterializationPolicy) -> StoreConfig {
+    StoreConfig {
+        policy,
+        block_records: 8,
+        ..StoreConfig::at(dir)
+    }
+}
+
+fn session(
+    inspection: InspectionConfig,
+    dir: &Path,
+    policy: MaterializationPolicy,
+    admission: AdmissionConfig,
+) -> (Session, Counters) {
+    let (catalog, counters) = test_catalog();
+    let sess = Session::with_config(
+        catalog,
+        SessionConfig {
+            inspection,
+            admission,
+            store: Some(store_config(dir, policy)),
+            ..SessionConfig::default()
+        },
+    );
+    (sess, counters)
+}
+
+/// Store-less reference run.
+fn live_tables(
+    inspection: &InspectionConfig,
+    queries: &[&str],
+) -> (Vec<deepbase_relational::Table>, usize) {
+    let (catalog, counters) = test_catalog();
+    let tables = catalog.run_batch(queries, inspection).unwrap().tables;
+    (tables, counters.calls())
+}
+
+/// Recursive file listing (relative paths), for no-new-files assertions.
+fn file_listing(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return files;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            files.extend(file_listing(&path));
+        } else {
+            files.push(path);
+        }
+    }
+    files.sort();
+    files
+}
+
+fn files_with(dir: &Path, needle: &str) -> Vec<PathBuf> {
+    file_listing(dir)
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(needle))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Early-stop persistence: the completed prefix survives and resumes
+// ---------------------------------------------------------------------
+
+#[test]
+fn early_stopped_batch_persists_its_prefix_and_resumes_with_fewer_passes() {
+    for device in [Device::SingleCore, Device::Parallel(3)] {
+        let dir = store_dir(&format!("early-{:?}", device).replace(['(', ')'], "-"));
+        let config = early_config(device);
+        let (reference, live_calls) = live_tables(&config, &[Q_ALL]);
+        assert!(live_calls > 0);
+
+        // Cold early-stopping pass: streams one block, persists the
+        // prefix as partial columns with a watermark.
+        let (mut cold, cold_counters) = session(
+            config.clone(),
+            &dir,
+            MaterializationPolicy::ReadWrite,
+            AdmissionConfig::default(),
+        );
+        let out = cold.run_batch(&[Q_ALL]).unwrap();
+        assert_eq!(out.tables, reference, "cold run matches live ({device:?})");
+        let cold_calls = cold_counters.calls();
+        assert!(cold_calls > 0);
+        assert_eq!(
+            out.report.store.partial_columns_written, UNITS,
+            "early stop persists the completed prefix of every column"
+        );
+        assert_eq!(out.report.store.columns_written, 0, "nothing completed");
+        assert_eq!(files_with(&dir, ".part").len(), UNITS);
+        drop(cold);
+
+        // Fresh process semantics: the plan sees the partials, the pass
+        // scans the prefix and converges inside it — strictly fewer
+        // forward passes (here: zero), bit-identical tables.
+        let (mut warm, warm_counters) = session(
+            config.clone(),
+            &dir,
+            MaterializationPolicy::ReadWrite,
+            AdmissionConfig::default(),
+        );
+        let explain = warm.explain(Q_ALL).unwrap();
+        assert!(
+            explain.contains(
+                "source: store scan (0/6 unit columns stored, 6 partial, 0 extracted live; \
+                 read-write)"
+            ),
+            "got:\n{explain}"
+        );
+        let out = warm.run_batch(&[Q_ALL]).unwrap();
+        assert_eq!(
+            out.tables, reference,
+            "warm resume is bit-identical ({device:?})"
+        );
+        assert!(
+            warm_counters.calls() < cold_calls,
+            "warm re-run must do strictly fewer forward passes \
+             ({} vs {cold_calls}, {device:?})",
+            warm_counters.calls()
+        );
+        assert_eq!(
+            warm_counters.calls(),
+            0,
+            "the stream converges inside the stored prefix ({device:?})"
+        );
+        let stats = &out.report.store;
+        assert_eq!(stats.partial_columns_scanned, UNITS);
+        assert!(stats.forward_passes_avoided > 0);
+        assert_eq!(
+            stats.partial_columns_written, 0,
+            "no rewrite when the watermark does not advance"
+        );
+        assert!(stats.errors.is_empty(), "{stats:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn full_stream_completes_partials_and_compaction_reclaims_them() {
+    let dir = store_dir("complete-partials");
+    // Early-stopped pass leaves partial columns behind.
+    let (mut early, _) = session(
+        early_config(Device::SingleCore),
+        &dir,
+        MaterializationPolicy::ReadWrite,
+        AdmissionConfig::default(),
+    );
+    early.run_batch(&[Q_ALL]).unwrap();
+    drop(early);
+    assert_eq!(files_with(&dir, ".part").len(), UNITS);
+
+    // A full-stream pass scans the prefix, extracts the tail, completes
+    // every column — and its post-batch compaction sweep reclaims the
+    // superseded partial files, reporting the bytes.
+    let full = full_config(Device::SingleCore);
+    let (reference, _) = live_tables(&full, &[Q_ALL]);
+    let (mut sess, counters) = session(
+        full,
+        &dir,
+        MaterializationPolicy::ReadWrite,
+        AdmissionConfig::default(),
+    );
+    let out = sess.run_batch(&[Q_ALL]).unwrap();
+    assert_eq!(out.tables, reference);
+    assert!(counters.calls() > 0, "the tail past the watermark extracts");
+    assert_eq!(
+        counters.units_extracted(),
+        (0..UNITS).collect::<Vec<_>>(),
+        "every partial column extracts its tail live"
+    );
+    assert_eq!(out.report.store.columns_written, UNITS, "all completed");
+    assert!(
+        out.report.store.files_reclaimed >= UNITS,
+        "superseded partials reclaimed, got {:?}",
+        out.report.store
+    );
+    assert!(out.report.store.bytes_reclaimed > 0);
+    assert_eq!(files_with(&dir, ".part").len(), 0, "no .part files remain");
+    assert_eq!(
+        sess.store_stats().files_reclaimed,
+        out.report.store.files_reclaimed,
+        "session accounting accumulates the sweep"
+    );
+    drop(sess);
+
+    // The completed store is a pure hit.
+    let (mut verify, counters) = session(
+        full_config(Device::SingleCore),
+        &dir,
+        MaterializationPolicy::ReadWrite,
+        AdmissionConfig::default(),
+    );
+    assert_eq!(verify.run_batch(&[Q_ALL]).unwrap().tables, reference);
+    assert_eq!(counters.calls(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Store-aware admission: warm over-wide groups run in one wave
+// ---------------------------------------------------------------------
+
+#[test]
+fn fully_warm_over_wide_group_runs_in_one_wave_cold_still_splits() {
+    let dir = store_dir("admission");
+    let bound = AdmissionConfig {
+        max_stream_width: Some(4),
+        ..AdmissionConfig::default()
+    };
+    let config = full_config(Device::SingleCore);
+    let (reference, _) = live_tables(&config, &[Q_ALL, Q_LAYER0]);
+
+    // Cold: 6 union units + 2 hypothesis columns = width 8 > bound 4,
+    // so the two-member group splits into queued extraction waves.
+    let (mut cold, _) = session(
+        config.clone(),
+        &dir,
+        MaterializationPolicy::ReadWrite,
+        bound,
+    );
+    let explain = cold.explain_batch(&[Q_ALL, Q_LAYER0]).unwrap();
+    assert!(
+        explain.contains("admission: split into 2 queued waves"),
+        "cold over-wide group must split, got:\n{explain}"
+    );
+    let out = cold.run_batch(&[Q_ALL, Q_LAYER0]).unwrap();
+    assert_eq!(out.tables, reference);
+    assert_eq!(out.report.plan.admission_splits, 1);
+    assert!(out.report.plan.admission_queued >= 1);
+    assert_eq!(
+        out.report.plan.scan_charged_columns, 0,
+        "nothing stored yet"
+    );
+    assert!(out.report.groups.len() > 1, "one report per executed wave");
+    drop(cold);
+
+    // Warm: every unit column is a complete store hit, charged to the
+    // scan budget — the extraction width is just the 2 hypothesis
+    // columns, so the same over-wide group is admitted in one wave.
+    let (mut warm, counters) = session(
+        config.clone(),
+        &dir,
+        MaterializationPolicy::ReadWrite,
+        bound,
+    );
+    let explain = warm.explain_batch(&[Q_ALL, Q_LAYER0]).unwrap();
+    assert!(
+        explain.contains("source: store scan (6/6 unit columns stored, 0 extracted live"),
+        "got:\n{explain}"
+    );
+    assert!(
+        explain.contains(
+            "admission: 1 wave (extract width 2 <= bound 4; 6 columns on the scan budget)"
+        ),
+        "warm group must admit in one wave, got:\n{explain}"
+    );
+    let out = warm.run_batch(&[Q_ALL, Q_LAYER0]).unwrap();
+    assert_eq!(out.tables, reference, "one-wave warm run is bit-identical");
+    assert_eq!(counters.calls(), 0);
+    assert_eq!(out.report.plan.admission_splits, 0, "no split when warm");
+    assert_eq!(out.report.plan.admission_queued, 0);
+    assert_eq!(
+        out.report.plan.scan_charged_columns, UNITS,
+        "all six unit columns charged to the scan budget"
+    );
+    assert_eq!(out.report.groups.len(), 1, "exactly one executed wave");
+    drop(warm);
+
+    // The scan budget is a real bound of its own: capping it below the
+    // hit count splits the warm group again.
+    let scan_bound = AdmissionConfig {
+        max_stream_width: Some(4),
+        max_scan_width: Some(3),
+    };
+    let (mut capped, _) = session(config, &dir, MaterializationPolicy::ReadWrite, scan_bound);
+    let explain = capped.explain_batch(&[Q_ALL, Q_LAYER0]).unwrap();
+    assert!(
+        explain.contains("queued waves") && explain.contains("scan budget 3"),
+        "scan-budget overflow must split, got:\n{explain}"
+    );
+    let out = capped.run_batch(&[Q_ALL, Q_LAYER0]).unwrap();
+    assert_eq!(out.tables, reference, "split execution stays bit-identical");
+    assert_eq!(out.report.plan.admission_splits, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Compaction: quarantine retention
+// ---------------------------------------------------------------------
+
+#[test]
+fn compaction_deletes_quarantined_files_past_the_retention_budget() {
+    let dir = store_dir("retention");
+    let config = full_config(Device::SingleCore);
+    let (reference, _) = live_tables(&config, &[Q_ALL]);
+    let (mut cold, _) = session(
+        config.clone(),
+        &dir,
+        MaterializationPolicy::ReadWrite,
+        AdmissionConfig::default(),
+    );
+    cold.run_batch(&[Q_ALL]).unwrap();
+    drop(cold);
+
+    // Corrupt two columns on disk.
+    let pair_dir = std::fs::read_dir(&dir)
+        .unwrap()
+        .find(|e| e.as_ref().unwrap().file_type().unwrap().is_dir())
+        .unwrap()
+        .unwrap()
+        .path();
+    for unit in [1usize, 4] {
+        let path = pair_dir.join(format!("u{unit}.col"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+    }
+
+    // A session with a zero retention budget: the batch quarantines both
+    // columns, heals them via write-back, and its post-batch compaction
+    // sweep deletes the quarantined samples immediately — with the
+    // reclaimed bytes reported.
+    let (catalog, counters) = test_catalog();
+    let mut sess = Session::with_config(
+        catalog,
+        SessionConfig {
+            inspection: config.clone(),
+            store: Some(StoreConfig {
+                quarantine_retention_bytes: 0,
+                ..store_config(&dir, MaterializationPolicy::ReadWrite)
+            }),
+            reuse_scores: false,
+            ..SessionConfig::default()
+        },
+    );
+    let out = sess.run_batch(&[Q_ALL]).unwrap();
+    assert_eq!(out.tables, reference, "corruption never changes results");
+    assert!(counters.calls() > 0, "damaged columns re-extract live");
+    assert!(out.report.store.error_count >= 2);
+    assert!(
+        out.report.store.files_reclaimed >= 2,
+        "expired quarantine samples deleted, got {:?}",
+        out.report.store
+    );
+    assert!(out.report.store.bytes_reclaimed > 0);
+    assert!(
+        files_with(&dir, ".corrupt").is_empty(),
+        "zero retention keeps no samples"
+    );
+    // The quarantined columns are plan-time misses now: the next batch
+    // heals them.
+    let out = sess.run_batch(&[Q_ALL]).unwrap();
+    assert_eq!(out.tables, reference);
+    assert_eq!(out.report.store.columns_written, 2, "both healed");
+    drop(sess);
+
+    // Default retention (64 MiB) keeps the samples instead.
+    let path = pair_dir.join("u2.col");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[40] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+    let (mut keep, _) = session(
+        config,
+        &dir,
+        MaterializationPolicy::ReadWrite,
+        AdmissionConfig::default(),
+    );
+    let out = keep.run_batch(&[Q_ALL]).unwrap();
+    assert_eq!(out.tables, reference);
+    assert_eq!(
+        files_with(&dir, ".corrupt").len(),
+        1,
+        "default retention keeps the forensic sample"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent sessions sharing one store path
+// ---------------------------------------------------------------------
+
+#[test]
+fn concurrent_read_write_and_read_only_sessions_stay_bit_identical() {
+    let dir = store_dir("rw-ro");
+    let config = full_config(Device::SingleCore);
+    let (reference, _) = live_tables(&config, &[Q_ALL]);
+
+    // Populate once so the read-only session has something to scan.
+    let (mut cold, _) = session(
+        config.clone(),
+        &dir,
+        MaterializationPolicy::ReadWrite,
+        AdmissionConfig::default(),
+    );
+    cold.run_batch(&[Q_ALL]).unwrap();
+    drop(cold);
+    let before = file_listing(&dir);
+
+    let barrier = std::sync::Barrier::new(2);
+    std::thread::scope(|s| {
+        let rw = s.spawn(|| {
+            let (mut sess, _) = session(
+                config.clone(),
+                &dir,
+                MaterializationPolicy::ReadWrite,
+                AdmissionConfig::default(),
+            );
+            barrier.wait();
+            for _ in 0..3 {
+                let out = sess.run_batch(&[Q_ALL]).unwrap();
+                assert_eq!(out.tables, reference, "read-write interleaved run");
+            }
+        });
+        let ro = s.spawn(|| {
+            let (mut sess, _) = session(
+                config.clone(),
+                &dir,
+                MaterializationPolicy::ReadOnly,
+                AdmissionConfig::default(),
+            );
+            barrier.wait();
+            for _ in 0..3 {
+                let out = sess.run_batch(&[Q_ALL]).unwrap();
+                assert_eq!(out.tables, reference, "read-only interleaved run");
+                assert_eq!(out.report.store.columns_written, 0);
+                assert_eq!(out.report.store.partial_columns_written, 0);
+            }
+            assert_eq!(sess.store_stats().error_count, 0);
+        });
+        rw.join().unwrap();
+        ro.join().unwrap();
+    });
+    assert_eq!(
+        file_listing(&dir),
+        before,
+        "a warm read-write pass and a read-only session leave the tree untouched"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_concurrent_read_write_sessions_race_without_torn_reads() {
+    let dir = store_dir("rw-rw");
+    let config = full_config(Device::SingleCore);
+    let (reference, _) = live_tables(&config, &[Q_ALL]);
+
+    // Both sessions start cold on an empty store and race their
+    // write-backs (atomic tmp+rename, identical contents by
+    // construction): no panics, no torn reads, bit-identical results.
+    let barrier = std::sync::Barrier::new(2);
+    std::thread::scope(|s| {
+        let spawn_rw = || {
+            s.spawn(|| {
+                let (mut sess, _) = session(
+                    config.clone(),
+                    &dir,
+                    MaterializationPolicy::ReadWrite,
+                    AdmissionConfig::default(),
+                );
+                barrier.wait();
+                for _ in 0..2 {
+                    let out = sess.run_batch(&[Q_ALL]).unwrap();
+                    assert_eq!(out.tables, reference, "racing read-write run");
+                }
+            })
+        };
+        let a = spawn_rw();
+        let b = spawn_rw();
+        a.join().unwrap();
+        b.join().unwrap();
+    });
+
+    // Whatever interleaving happened, the store converged to a clean
+    // fully warm state.
+    let (mut verify, counters) = session(
+        config,
+        &dir,
+        MaterializationPolicy::ReadWrite,
+        AdmissionConfig::default(),
+    );
+    let out = verify.run_batch(&[Q_ALL]).unwrap();
+    assert_eq!(out.tables, reference);
+    assert_eq!(counters.calls(), 0, "store is fully warm after the race");
+    assert!(out.report.store.errors.is_empty(), "{:?}", out.report.store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Error accounting stays bounded across a long-lived session
+// ---------------------------------------------------------------------
+
+#[test]
+fn session_error_ring_stays_capped_while_the_count_stays_exact() {
+    let dir = store_dir("error-ring");
+    let config = full_config(Device::SingleCore);
+    let (mut cold, _) = session(
+        config.clone(),
+        &dir,
+        MaterializationPolicy::ReadWrite,
+        AdmissionConfig::default(),
+    );
+    cold.run_batch(&[Q_ALL]).unwrap();
+    drop(cold);
+
+    // Corrupt every column, then hammer them through a read-only session
+    // (no quarantine, no healing — every batch re-detects all six).
+    let pair_dir = std::fs::read_dir(&dir)
+        .unwrap()
+        .find(|e| e.as_ref().unwrap().file_type().unwrap().is_dir())
+        .unwrap()
+        .unwrap()
+        .path();
+    for unit in 0..UNITS {
+        let path = pair_dir.join(format!("u{unit}.col"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let (catalog, _) = test_catalog();
+    let (reference, _) = live_tables(&config, &[Q_ALL]);
+    let mut sess = Session::with_config(
+        catalog,
+        SessionConfig {
+            inspection: config,
+            store: Some(store_config(&dir, MaterializationPolicy::ReadOnly)),
+            reuse_scores: false,
+            ..SessionConfig::default()
+        },
+    );
+    let batches = 8;
+    for _ in 0..batches {
+        let out = sess.run_batch(&[Q_ALL]).unwrap();
+        assert_eq!(out.tables, reference, "fallback stays bit-identical");
+    }
+    let stats = sess.store_stats();
+    assert_eq!(
+        stats.error_count,
+        batches * UNITS,
+        "every detection is counted"
+    );
+    assert!(stats.error_count > ERROR_RING_CAP, "the cap was exercised");
+    assert_eq!(
+        stats.errors.len(),
+        ERROR_RING_CAP,
+        "the message ring stays bounded"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

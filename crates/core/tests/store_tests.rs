@@ -367,7 +367,15 @@ fn corrupted_column_falls_back_to_live_extraction_and_self_heals() {
         stats.errors
     );
     assert!(!u2.exists(), "corrupt file quarantined");
-    assert!(u2.with_extension("corrupt").exists());
+    let quarantined: Vec<String> = std::fs::read_dir(&pair_dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().to_str().map(str::to_string))
+        .filter(|n| n.contains(".corrupt"))
+        .collect();
+    assert!(
+        quarantined.iter().any(|n| n.starts_with("u2.col.corrupt")),
+        "unique quarantine sample kept, got {quarantined:?}"
+    );
     drop(warm);
 
     // The quarantined columns re-materialize on the next read-write pass
@@ -428,10 +436,12 @@ fn missing_column_file_is_a_transient_error_not_a_quarantine() {
     assert_eq!(out.tables, reference);
     assert!(counters.calls() > 0, "missing column re-extracts live");
     assert!(out.report.store.errors.iter().any(|e| e.contains("unit 3")));
-    assert!(
-        !u3.with_extension("corrupt").exists(),
-        "an I/O failure must not quarantine"
-    );
+    let quarantined = std::fs::read_dir(&pair_dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().to_str().map(str::to_string))
+        .filter(|n| n.contains(".corrupt"))
+        .count();
+    assert_eq!(quarantined, 0, "an I/O failure must not quarantine");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -7,10 +7,14 @@
 //! ```text
 //! header   magic "DBSBCOL\0" (8) | version u16 | flags u16 | crc32 u32
 //! schema   model_fp u64 | dataset_fp u64 | unit u64 | nd u64 | ns u64
-//!          | block_records u64 | crc32 u32
-//! zones    per block: min f32 | max f32 | rows u32 | data crc32 u32
+//!          | block_records u64 | completed_records u64 | crc32 u32
+//! zones    per data block: min f32 | max f32 | rows u32 | data crc32 u32
 //!          then crc32 u32 over the zone table
-//! data     per block: rows * ns f32 (records [b*block_records ..))
+//! coverage (only when completed_records < nd)
+//!          ceil(nd / 8) bitmap bytes (bit p set = record position p is
+//!          valid) | crc32 u32
+//! data     per block: rows * ns f32 — the `completed_records` valid
+//!          records, densely packed in ascending position order
 //! ```
 //!
 //! The file is self-describing: a reader needs nothing but the path — the
@@ -18,8 +22,25 @@
 //! min/max statistics (zone maps, for future predicate pushdown) plus a
 //! CRC32 per data block, and every section is independently checksummed so
 //! truncation or bit rot is detected at exactly the granularity it
-//! corrupts. Readers validate the header, schema and zone checksums up
-//! front and each block's data checksum on load.
+//! corrupts. Readers validate the header, schema, zone and coverage
+//! checksums up front and each block's data checksum on load.
+//!
+//! ## Partial columns (the watermark)
+//!
+//! `completed_records` is the column's **watermark**: how many record
+//! positions hold real extractor output. A *complete* column has
+//! `completed_records == nd` and no coverage section. A *partial* column —
+//! the persisted prefix of an early-stopped streaming pass — declares
+//! `completed_records < nd` and carries a coverage bitmap naming exactly
+//! which positions are valid (streaming passes visit records in shuffled
+//! order, so the valid set is not a positional prefix). The data region
+//! holds **only** the valid records, densely packed in ascending position
+//! order: a record's data row is its rank among the covered positions.
+//! Packing matters for economics, not just size — a warm resume of an
+//! early-stopped pass reads exactly the prefix's bytes instead of paging
+//! a mostly empty full-size grid — and it leaves no unprotected filler:
+//! the bitmap's population count must equal the watermark and its slack
+//! bits must be zero, or the file is corrupt.
 
 use crate::StoreError;
 use std::fs::File;
@@ -28,11 +49,12 @@ use std::path::Path;
 
 /// File magic for behavior-column files.
 pub const MAGIC: [u8; 8] = *b"DBSBCOL\0";
-/// Format version.
-pub const VERSION: u16 = 1;
+/// Format version (2 added the completed-record watermark + coverage
+/// bitmap; version-1 files read as corrupt and re-materialize).
+pub const VERSION: u16 = 2;
 
 const HEADER_LEN: u64 = 8 + 2 + 2 + 4;
-const SCHEMA_LEN: u64 = 6 * 8 + 4;
+const SCHEMA_LEN: u64 = 7 * 8 + 4;
 const ZONE_ENTRY_LEN: u64 = 4 + 4 + 4 + 4;
 
 // ---------------------------------------------------------------------
@@ -90,27 +112,55 @@ pub struct ColumnMeta {
     pub ns: u64,
     /// Records per data block (the zone-map / checksum granularity).
     pub block_records: u64,
+    /// The watermark: record positions holding real extractor output.
+    /// `== nd` for a complete column; `< nd` for the persisted prefix of
+    /// an early-stopped pass (the coverage bitmap names which positions).
+    pub completed_records: u64,
 }
 
 impl ColumnMeta {
-    /// Number of data blocks (`ceil(nd / block_records)`).
+    /// True when every record position is valid (no coverage section).
+    pub fn is_complete(&self) -> bool {
+        self.completed_records == self.nd
+    }
+
+    /// Records actually stored in the data region (`nd` for a complete
+    /// column, the watermark for a partial one — valid records are
+    /// densely packed).
+    pub fn data_records(&self) -> u64 {
+        self.completed_records
+    }
+
+    /// Number of data blocks (`ceil(data_records / block_records)`).
     pub fn n_blocks(&self) -> usize {
-        if self.nd == 0 {
+        if self.data_records() == 0 {
             0
         } else {
-            self.nd.div_ceil(self.block_records) as usize
+            self.data_records().div_ceil(self.block_records) as usize
         }
     }
 
-    /// Records covered by block `b` (the last block may be short).
+    /// Records stored in block `b` (the last block may be short).
     pub fn rows_in_block(&self, b: usize) -> usize {
         let start = b as u64 * self.block_records;
-        (self.nd.saturating_sub(start)).min(self.block_records) as usize
+        (self.data_records().saturating_sub(start)).min(self.block_records) as usize
     }
 
-    /// Block holding record position `pos`.
-    pub fn block_of(&self, pos: usize) -> usize {
-        pos / self.block_records as usize
+    /// Block holding data row `row` (for a complete column the row *is*
+    /// the record position; for a partial column it is the position's
+    /// rank among the covered positions).
+    pub fn block_of(&self, row: usize) -> usize {
+        row / self.block_records as usize
+    }
+
+    /// Bytes of the coverage section (bitmap + crc32), zero when
+    /// complete.
+    fn coverage_len(&self) -> u64 {
+        if self.is_complete() {
+            0
+        } else {
+            coverage_bytes(self.nd as usize) as u64 + 4
+        }
     }
 
     /// File offset of block `b`'s data.
@@ -119,6 +169,7 @@ impl ColumnMeta {
         HEADER_LEN
             + SCHEMA_LEN
             + zone_len
+            + self.coverage_len()
             + b as u64 * self.block_records * self.ns * std::mem::size_of::<f32>() as u64
     }
 
@@ -131,18 +182,19 @@ impl ColumnMeta {
             self.nd,
             self.ns,
             self.block_records,
+            self.completed_records,
         ];
         for (i, f) in fields.iter().enumerate() {
             out[i * 8..i * 8 + 8].copy_from_slice(&f.to_le_bytes());
         }
-        let crc = crc32(&out[..48]);
-        out[48..52].copy_from_slice(&crc.to_le_bytes());
+        let crc = crc32(&out[..56]);
+        out[56..60].copy_from_slice(&crc.to_le_bytes());
         out
     }
 
     fn from_bytes(bytes: &[u8; SCHEMA_LEN as usize]) -> Result<ColumnMeta, StoreError> {
-        let stored_crc = u32::from_le_bytes(bytes[48..52].try_into().unwrap());
-        if crc32(&bytes[..48]) != stored_crc {
+        let stored_crc = u32::from_le_bytes(bytes[56..60].try_into().unwrap());
+        if crc32(&bytes[..56]) != stored_crc {
             return Err(StoreError::Corrupt("schema checksum mismatch".into()));
         }
         let field = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
@@ -153,11 +205,18 @@ impl ColumnMeta {
             nd: field(3),
             ns: field(4),
             block_records: field(5),
+            completed_records: field(6),
         };
         if meta.block_records == 0 || meta.ns == 0 {
             return Err(StoreError::Corrupt(
                 "schema declares a zero-sized block or record".into(),
             ));
+        }
+        if meta.completed_records > meta.nd {
+            return Err(StoreError::Corrupt(format!(
+                "watermark {} exceeds the declared record count {}",
+                meta.completed_records, meta.nd
+            )));
         }
         Ok(meta)
     }
@@ -177,17 +236,84 @@ pub struct ZoneEntry {
 }
 
 // ---------------------------------------------------------------------
+// Coverage bitmaps
+// ---------------------------------------------------------------------
+
+/// Bytes needed for an `nd`-position coverage bitmap.
+pub fn coverage_bytes(nd: usize) -> usize {
+    nd.div_ceil(8)
+}
+
+/// Whether position `pos` is set in a coverage bitmap.
+pub fn coverage_covers(bits: &[u8], pos: usize) -> bool {
+    bits.get(pos / 8).is_some_and(|b| b & (1 << (pos % 8)) != 0)
+}
+
+/// Packs a per-position validity slice into a bitmap.
+pub fn coverage_from_filled(filled: &[bool]) -> Vec<u8> {
+    let mut bits = vec![0u8; coverage_bytes(filled.len())];
+    for (pos, &f) in filled.iter().enumerate() {
+        if f {
+            bits[pos / 8] |= 1 << (pos % 8);
+        }
+    }
+    bits
+}
+
+fn coverage_popcount(bits: &[u8]) -> u64 {
+    bits.iter().map(|b| b.count_ones() as u64).sum()
+}
+
+/// Packs the filled rows of a full `nd * ns` record-major buffer into
+/// the dense ascending-position layout a partial column stores.
+pub fn pack_rows(data: &[f32], filled: &[bool], ns: usize) -> Vec<f32> {
+    let mut packed = Vec::with_capacity(filled.iter().filter(|&&f| f).count() * ns);
+    for (pos, &f) in filled.iter().enumerate() {
+        if f {
+            packed.extend_from_slice(&data[pos * ns..(pos + 1) * ns]);
+        }
+    }
+    packed
+}
+
+/// Rank table of a coverage bitmap: `ranks[pos]` is the data row of
+/// position `pos` (its rank among covered positions; meaningful only
+/// when `pos` is covered).
+pub fn coverage_ranks(bits: &[u8], nd: usize) -> Vec<u32> {
+    let mut ranks = Vec::with_capacity(nd);
+    let mut rank = 0u32;
+    for pos in 0..nd {
+        ranks.push(rank);
+        if coverage_covers(bits, pos) {
+            rank += 1;
+        }
+    }
+    ranks
+}
+
+// ---------------------------------------------------------------------
 // Writing
 // ---------------------------------------------------------------------
 
-/// Serializes a complete column (`data.len() == nd * ns`, record-major)
-/// into `w` in the format above. Returns the number of data blocks.
+/// Serializes a column into `w` in the format above. `data` holds the
+/// **packed** valid records in ascending position order
+/// (`data.len() == completed_records * ns`; see [`pack_rows`]). A
+/// complete column (`meta.completed_records == meta.nd`) passes
+/// `covered: None`; a partial column passes its coverage bitmap, whose
+/// population count must equal the watermark. Returns the number of
+/// data blocks.
 pub fn write_column<W: Write>(
     w: &mut W,
     meta: &ColumnMeta,
     data: &[f32],
+    covered: Option<&[u8]>,
 ) -> Result<usize, StoreError> {
-    debug_assert_eq!(data.len() as u64, meta.nd * meta.ns);
+    debug_assert_eq!(data.len() as u64, meta.data_records() * meta.ns);
+    debug_assert_eq!(
+        covered.is_some(),
+        !meta.is_complete(),
+        "coverage bitmap iff partial"
+    );
     // Header.
     let mut header = Vec::with_capacity(HEADER_LEN as usize);
     header.extend_from_slice(&MAGIC);
@@ -222,6 +348,13 @@ pub fn write_column<W: Write>(
     let zone_crc = crc32(&zone_bytes);
     zone_bytes.extend_from_slice(&zone_crc.to_le_bytes());
     w.write_all(&zone_bytes)?;
+    // Coverage bitmap (partial columns only).
+    if let Some(bits) = covered {
+        debug_assert_eq!(bits.len(), coverage_bytes(meta.nd as usize));
+        debug_assert_eq!(coverage_popcount(bits), meta.completed_records);
+        w.write_all(bits)?;
+        w.write_all(&crc32(bits).to_le_bytes())?;
+    }
     for bytes in &block_bytes {
         w.write_all(bytes)?;
     }
@@ -232,10 +365,15 @@ pub fn write_column<W: Write>(
 // Reading
 // ---------------------------------------------------------------------
 
-/// Reads and validates the header, schema and zone table of a column
-/// file. Any mismatch (magic, version, checksum, truncation) is
-/// [`StoreError::Corrupt`].
-pub fn read_meta(file: &mut File) -> Result<(ColumnMeta, Vec<ZoneEntry>), StoreError> {
+/// Everything [`read_meta`] validates up front: the schema, the zone
+/// table, and (for partial columns) the coverage bitmap.
+pub type ValidatedMeta = (ColumnMeta, Vec<ZoneEntry>, Option<Vec<u8>>);
+
+/// Reads and validates the header, schema, zone table and (for partial
+/// columns) coverage bitmap of a column file. Any mismatch (magic,
+/// version, checksum, truncation, watermark/bitmap disagreement) is
+/// [`StoreError::Corrupt`]. The bitmap is `None` for complete columns.
+pub fn read_meta(file: &mut File) -> Result<ValidatedMeta, StoreError> {
     file.seek(SeekFrom::Start(0))?;
     let mut header = [0u8; HEADER_LEN as usize];
     file.read_exact(&mut header)
@@ -258,19 +396,23 @@ pub fn read_meta(file: &mut File) -> Result<(ColumnMeta, Vec<ZoneEntry>), StoreE
         .map_err(|_| StoreError::Corrupt("file too small for schema".into()))?;
     let meta = ColumnMeta::from_bytes(&schema)?;
     let n_blocks = meta.n_blocks();
-    // Bound the zone-table allocation by the actual file length before
-    // trusting the declared shape: a schema whose CRC happens to
-    // validate but declares an absurd `nd` must surface as corruption,
-    // not as a giant allocation.
+    // Bound the zone-table and coverage allocations by the actual file
+    // length before trusting the declared shape: a schema whose CRC
+    // happens to validate but declares an absurd `nd` must surface as
+    // corruption, not as a giant allocation.
     let zone_len = (n_blocks as u64)
         .checked_mul(ZONE_ENTRY_LEN)
         .and_then(|z| z.checked_add(4))
         .ok_or_else(|| StoreError::Corrupt("zone table size overflows".into()))?;
+    let sections = zone_len
+        .checked_add(meta.coverage_len())
+        .and_then(|s| s.checked_add(HEADER_LEN + SCHEMA_LEN))
+        .ok_or_else(|| StoreError::Corrupt("section sizes overflow".into()))?;
     let file_len = file.metadata()?.len();
-    if HEADER_LEN + SCHEMA_LEN + zone_len > file_len {
+    if sections > file_len {
         return Err(StoreError::Corrupt(format!(
-            "declared shape needs a {zone_len}-byte zone table but the file \
-             holds {file_len} bytes"
+            "declared shape needs {sections} bytes of zone table and \
+             coverage but the file holds {file_len} bytes"
         )));
     }
     let mut zone_bytes = vec![0u8; zone_len as usize];
@@ -291,7 +433,40 @@ pub fn read_meta(file: &mut File) -> Result<(ColumnMeta, Vec<ZoneEntry>), StoreE
             crc: u32::from_le_bytes(e[12..16].try_into().unwrap()),
         });
     }
-    Ok((meta, zones))
+    // Coverage bitmap: present exactly when the watermark is short of nd.
+    let covered = if meta.is_complete() {
+        None
+    } else {
+        let n_bits_bytes = coverage_bytes(meta.nd as usize);
+        let mut section = vec![0u8; n_bits_bytes + 4];
+        file.read_exact(&mut section)
+            .map_err(|_| StoreError::Corrupt("file too small for coverage bitmap".into()))?;
+        let (bits, crc_bytes) = section.split_at(n_bits_bytes);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(bits) != stored {
+            return Err(StoreError::Corrupt(
+                "coverage bitmap checksum mismatch".into(),
+            ));
+        }
+        if coverage_popcount(bits) != meta.completed_records {
+            return Err(StoreError::Corrupt(format!(
+                "coverage bitmap covers {} positions but the watermark says {}",
+                coverage_popcount(bits),
+                meta.completed_records
+            )));
+        }
+        // Slack bits past nd must be zero so the bitmap has one canonical
+        // encoding (and any flip in the slack is detected, not ignored).
+        for pos in meta.nd as usize..n_bits_bytes * 8 {
+            if coverage_covers(bits, pos) {
+                return Err(StoreError::Corrupt(
+                    "coverage bitmap sets a position past the record count".into(),
+                ));
+            }
+        }
+        Some(bits.to_vec())
+    };
+    Ok((meta, zones, covered))
 }
 
 /// Reads one data block, verifying its checksum against the zone entry.
@@ -327,15 +502,17 @@ pub fn read_block(
 }
 
 /// Writes a column file atomically: serialize to `path` with a temporary
-/// suffix, then rename into place.
+/// suffix, then rename into place. `covered` follows [`write_column`]'s
+/// contract (None iff the column is complete).
 pub fn write_column_file(
     path: &Path,
     tmp_path: &Path,
     meta: &ColumnMeta,
     data: &[f32],
+    covered: Option<&[u8]>,
 ) -> Result<usize, StoreError> {
     let mut file = File::create(tmp_path)?;
-    let blocks = write_column(&mut file, meta, data)?;
+    let blocks = write_column(&mut file, meta, data, covered)?;
     file.sync_all()?;
     drop(file);
     std::fs::rename(tmp_path, path)?;
@@ -354,6 +531,7 @@ mod tests {
             nd: 10,
             ns: 4,
             block_records: 4,
+            completed_records: 10,
         }
     }
 
@@ -385,10 +563,11 @@ mod tests {
         let data = column_data(&m);
         let dir = test_dir("roundtrip");
         let path = dir.join("u3.col");
-        write_column_file(&path, &dir.join("u3.tmp"), &m, &data).unwrap();
+        write_column_file(&path, &dir.join("u3.tmp"), &m, &data, None).unwrap();
         let mut f = File::open(&path).unwrap();
-        let (read, zones) = read_meta(&mut f).unwrap();
+        let (read, zones, covered) = read_meta(&mut f).unwrap();
         assert_eq!(read, m);
+        assert!(covered.is_none(), "complete columns carry no bitmap");
         assert_eq!(zones.len(), 3, "10 records at 4/block = 3 blocks");
         assert_eq!(zones[0].rows, 4);
         assert_eq!(zones[2].rows, 2, "tail block is short");
@@ -406,19 +585,102 @@ mod tests {
     }
 
     #[test]
+    fn partial_column_roundtrips_watermark_and_bitmap() {
+        // Positions 0, 3, 7 valid (watermark 3 of 10), densely packed
+        // into a single data block.
+        let m = ColumnMeta {
+            completed_records: 3,
+            ..meta()
+        };
+        let ns = m.ns as usize;
+        let mut filled = vec![false; m.nd as usize];
+        for p in [0usize, 3, 7] {
+            filled[p] = true;
+        }
+        let bits = coverage_from_filled(&filled);
+        let mut full = vec![0.0f32; (m.nd * m.ns) as usize];
+        for p in [0usize, 3, 7] {
+            for t in 0..ns {
+                full[p * ns + t] = (p * 10 + t) as f32;
+            }
+        }
+        let packed = pack_rows(&full, &filled, ns);
+        assert_eq!(packed.len(), 3 * ns, "only valid rows are stored");
+        let dir = test_dir("partial");
+        let path = dir.join("u3.part");
+        write_column_file(&path, &dir.join("u3.tmp"), &m, &packed, Some(&bits)).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let (read, zones, covered) = read_meta(&mut f).unwrap();
+        assert_eq!(read, m);
+        assert!(!read.is_complete());
+        assert_eq!(read.n_blocks(), 1, "3 packed rows at 4/block = 1 block");
+        let covered = covered.expect("partial columns carry a bitmap");
+        for (p, &f) in filled.iter().enumerate() {
+            assert_eq!(coverage_covers(&covered, p), f, "position {p}");
+        }
+        // The rank table maps positions to packed rows; the stored rows
+        // are bit-identical to the originals.
+        let ranks = coverage_ranks(&covered, m.nd as usize);
+        assert_eq!(ranks[0], 0);
+        assert_eq!(ranks[3], 1);
+        assert_eq!(ranks[7], 2);
+        let block = read_block(&mut f, &read, &zones, 0).unwrap();
+        for p in [0usize, 3, 7] {
+            let row = ranks[p] as usize;
+            assert_eq!(
+                &block[row * ns..(row + 1) * ns],
+                &full[p * ns..(p + 1) * ns],
+                "position {p}"
+            );
+        }
+        // Corrupting the bitmap (set an extra bit) is detected: either
+        // the checksum disagrees or the popcount/watermark check fires.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let cov_offset = (HEADER_LEN + SCHEMA_LEN + ZONE_ENTRY_LEN + 4) as usize;
+        bytes[cov_offset] ^= 0x02; // flip position 1
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = File::open(&path).unwrap();
+        assert!(matches!(read_meta(&mut f), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watermark_past_record_count_is_corrupt() {
+        let m = meta();
+        let data = column_data(&m);
+        let dir = test_dir("watermark");
+        let path = dir.join("u3.col");
+        write_column_file(&path, &dir.join("u3.tmp"), &m, &data, None).unwrap();
+        // Rewrite the schema with completed_records > nd and a valid CRC.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let bad = ColumnMeta {
+            completed_records: m.nd + 1,
+            ..m
+        };
+        bytes[HEADER_LEN as usize..(HEADER_LEN + SCHEMA_LEN) as usize]
+            .copy_from_slice(&bad.to_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = File::open(&path).unwrap();
+        let err = read_meta(&mut f).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("watermark"), "got {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corruption_is_detected_per_block() {
         let m = meta();
         let data = column_data(&m);
         let dir = test_dir("corrupt");
         let path = dir.join("u3.col");
-        write_column_file(&path, &dir.join("u3.tmp"), &m, &data).unwrap();
+        write_column_file(&path, &dir.join("u3.tmp"), &m, &data, None).unwrap();
         // Flip one byte inside block 1's data region.
         let mut bytes = std::fs::read(&path).unwrap();
         let offset = m.data_offset(1) as usize + 3;
         bytes[offset] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
         let mut f = File::open(&path).unwrap();
-        let (read, zones) = read_meta(&mut f).unwrap();
+        let (read, zones, _) = read_meta(&mut f).unwrap();
         let err = read_block(&mut f, &read, &zones, 1).unwrap_err();
         assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
         // Untouched block 0 still verifies.
@@ -432,12 +694,12 @@ mod tests {
         let data = column_data(&m);
         let dir = test_dir("trunc");
         let path = dir.join("u3.col");
-        write_column_file(&path, &dir.join("u3.tmp"), &m, &data).unwrap();
+        write_column_file(&path, &dir.join("u3.tmp"), &m, &data, None).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         // Truncate inside the last data block.
         std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
         let mut f = File::open(&path).unwrap();
-        let (read, zones) = read_meta(&mut f).unwrap();
+        let (read, zones, _) = read_meta(&mut f).unwrap();
         let last = read.n_blocks() - 1;
         assert!(matches!(
             read_block(&mut f, &read, &zones, last),
@@ -475,6 +737,7 @@ mod tests {
         let absurd = ColumnMeta {
             nd: 1 << 40,
             block_records: 1,
+            completed_records: 1 << 40,
             ..meta()
         };
         bytes.extend_from_slice(&absurd.to_bytes());
@@ -490,6 +753,7 @@ mod tests {
         let overflow = ColumnMeta {
             nd: u64::MAX / 2,
             block_records: 1,
+            completed_records: u64::MAX / 2,
             ..meta()
         };
         overflow_bytes.extend_from_slice(&overflow.to_bytes());
@@ -501,14 +765,19 @@ mod tests {
 
     #[test]
     fn empty_column_roundtrips() {
-        let m = ColumnMeta { nd: 0, ..meta() };
+        let m = ColumnMeta {
+            nd: 0,
+            completed_records: 0,
+            ..meta()
+        };
         let dir = test_dir("empty");
         let path = dir.join("u.col");
-        write_column_file(&path, &dir.join("u.tmp"), &m, &[]).unwrap();
+        write_column_file(&path, &dir.join("u.tmp"), &m, &[], None).unwrap();
         let mut f = File::open(&path).unwrap();
-        let (read, zones) = read_meta(&mut f).unwrap();
+        let (read, zones, covered) = read_meta(&mut f).unwrap();
         assert_eq!(read.n_blocks(), 0);
         assert!(zones.is_empty());
+        assert!(covered.is_none(), "nd == 0 is complete by definition");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -36,7 +36,10 @@ pub mod pool;
 pub mod store;
 
 pub use pool::{BufferPool, PageKey, PinnedPage, PoolStats};
-pub use store::{BehaviorStore, ColumnKey, MaterializationPolicy, StoreConfig, WriteReport};
+pub use store::{
+    BehaviorStore, ColumnKey, CompactionReport, Coverage, MaterializationPolicy, StoreConfig,
+    WriteReport,
+};
 
 use std::fmt;
 
@@ -69,12 +72,21 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// Most recent error messages a [`StoreStats`] retains. The total is
+/// tracked separately in [`StoreStats::error_count`], so a long-lived
+/// session accumulating errors across thousands of batches keeps a
+/// bounded ring of recent messages instead of growing without limit.
+pub const ERROR_RING_CAP: usize = 32;
+
 /// Accounting for store-backed passes, carried per shared pass and
 /// aggregated per batch / per session by the core crate.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StoreStats {
     /// Unit columns served (fully or partially) from the store.
     pub columns_scanned: usize,
+    /// Subset of `columns_scanned` that were partial columns (scanned up
+    /// to their watermark, extracted live past it).
+    pub partial_columns_scanned: usize,
     /// Block pages fetched through the buffer pool (hits + misses).
     pub blocks_read: usize,
     /// Pool lookups served from memory.
@@ -83,30 +95,61 @@ pub struct StoreStats {
     pub pool_misses: usize,
     /// Pages evicted by the CLOCK policy during this window.
     pub pool_evictions: usize,
-    /// Unit columns newly persisted by write-back.
+    /// Complete unit columns newly persisted by write-back.
     pub columns_written: usize,
+    /// Partial unit columns persisted by an early-stopped pass (the
+    /// completed prefix, resumable at the watermark).
+    pub partial_columns_written: usize,
     /// Data blocks written to disk by write-back.
     pub blocks_written: usize,
     /// Extractor forward passes avoided: streamed engine blocks whose
     /// unit behaviors were served entirely from the store.
     pub forward_passes_avoided: usize,
-    /// Errors survived by falling back to live extraction (corrupted or
-    /// unreadable blocks, failed write-backs). Never fatal.
+    /// Files deleted by compaction (expired quarantined files, stale
+    /// temporaries, partial columns superseded by completed versions).
+    pub files_reclaimed: usize,
+    /// Bytes those deletions returned to the filesystem.
+    pub bytes_reclaimed: u64,
+    /// Total errors survived by falling back to live extraction
+    /// (corrupted or unreadable blocks, failed write-backs). Never fatal.
+    pub error_count: usize,
+    /// The most recent `error_count` messages, capped at
+    /// [`ERROR_RING_CAP`] (oldest dropped first).
     pub errors: Vec<String>,
 }
 
 impl StoreStats {
-    /// Adds another window's counters (and errors) into this one.
+    /// Records a survived error: bumps the total and appends the message
+    /// to the bounded ring (dropping the oldest past the cap).
+    pub fn record_error(&mut self, msg: String) {
+        self.error_count += 1;
+        if self.errors.len() >= ERROR_RING_CAP {
+            self.errors.remove(0);
+        }
+        self.errors.push(msg);
+    }
+
+    /// Adds another window's counters (and errors) into this one. The
+    /// error ring keeps the most recent messages across both windows;
+    /// `error_count` stays exact.
     pub fn accumulate(&mut self, other: &StoreStats) {
         self.columns_scanned += other.columns_scanned;
+        self.partial_columns_scanned += other.partial_columns_scanned;
         self.blocks_read += other.blocks_read;
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
         self.pool_evictions += other.pool_evictions;
         self.columns_written += other.columns_written;
+        self.partial_columns_written += other.partial_columns_written;
         self.blocks_written += other.blocks_written;
         self.forward_passes_avoided += other.forward_passes_avoided;
+        self.files_reclaimed += other.files_reclaimed;
+        self.bytes_reclaimed += other.bytes_reclaimed;
+        self.error_count += other.error_count;
         self.errors.extend(other.errors.iter().cloned());
+        if self.errors.len() > ERROR_RING_CAP {
+            self.errors.drain(..self.errors.len() - ERROR_RING_CAP);
+        }
     }
 }
 
@@ -221,21 +264,56 @@ mod tests {
         let mut a = StoreStats {
             blocks_read: 2,
             pool_hits: 1,
-            errors: vec!["x".into()],
             ..StoreStats::default()
         };
-        let b = StoreStats {
+        a.record_error("x".into());
+        let mut b = StoreStats {
             blocks_read: 3,
             pool_misses: 4,
             forward_passes_avoided: 5,
-            errors: vec!["y".into()],
+            bytes_reclaimed: 7,
             ..StoreStats::default()
         };
+        b.record_error("y".into());
         a.accumulate(&b);
         assert_eq!(a.blocks_read, 5);
         assert_eq!(a.pool_hits, 1);
         assert_eq!(a.pool_misses, 4);
         assert_eq!(a.forward_passes_avoided, 5);
+        assert_eq!(a.bytes_reclaimed, 7);
+        assert_eq!(a.error_count, 2);
         assert_eq!(a.errors, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn error_ring_is_bounded_but_the_count_is_exact() {
+        let mut stats = StoreStats::default();
+        for i in 0..(3 * ERROR_RING_CAP) {
+            stats.record_error(format!("err {i}"));
+        }
+        assert_eq!(stats.error_count, 3 * ERROR_RING_CAP);
+        assert_eq!(stats.errors.len(), ERROR_RING_CAP, "ring stays capped");
+        assert_eq!(
+            stats.errors.last().unwrap(),
+            &format!("err {}", 3 * ERROR_RING_CAP - 1),
+            "newest message retained"
+        );
+        assert_eq!(
+            stats.errors.first().unwrap(),
+            &format!("err {}", 2 * ERROR_RING_CAP),
+            "oldest messages dropped first"
+        );
+        // Accumulating two full rings stays capped, count stays exact.
+        let mut other = StoreStats::default();
+        for i in 0..ERROR_RING_CAP {
+            other.record_error(format!("other {i}"));
+        }
+        stats.accumulate(&other);
+        assert_eq!(stats.error_count, 4 * ERROR_RING_CAP);
+        assert_eq!(stats.errors.len(), ERROR_RING_CAP);
+        assert_eq!(
+            stats.errors.last().unwrap(),
+            &format!("other {}", ERROR_RING_CAP - 1)
+        );
     }
 }

@@ -4,40 +4,58 @@
 //! On disk a store is a directory tree:
 //!
 //! ```text
-//! <root>/<model_fp:016x>.<dataset_fp:016x>/u<unit>.col
+//! <root>/<model_fp:016x>.<dataset_fp:016x>/u<unit>.col    complete column
+//!                                          u<unit>.part   partial column
 //! ```
 //!
 //! one column file per `(model fingerprint, dataset fingerprint, unit)`
-//! key. Opening a store walks the tree once into an in-memory index of
-//! available columns; writers update the index as they commit. Column
-//! metadata (shape + zone table) is cached after first validation so a
-//! warm scan touches the filesystem only on buffer-pool misses.
+//! key. A **complete** column (`u<unit>.col`) holds every record; a
+//! **partial** column (`u<unit>.part`) holds the completed prefix of an
+//! early-stopped streaming pass up to its watermark (see
+//! [`crate::format`]) and is superseded — left for compaction to reclaim
+//! — once a completed version lands beside it. Opening a store walks the
+//! tree once into an in-memory index of available columns; writers update
+//! the index as they commit. Column metadata (shape + zone table +
+//! coverage) is cached after first validation so a warm scan touches the
+//! filesystem only on buffer-pool misses.
 //!
 //! Corruption handling is fail-soft: a block whose checksum disagrees
 //! surfaces a [`StoreError::Corrupt`] to the caller (who falls back to
 //! live extraction) and the store **quarantines** the file — renames it
-//! to `*.corrupt`, drops it from the index and purges its pool pages —
-//! so the next read-write pass re-materializes a clean copy.
+//! to a unique `*.corrupt.<pid>.<n>` name (collision-safe when one column
+//! is quarantined repeatedly), drops it from the index and purges its
+//! pool pages — so the next read-write pass re-materializes a clean copy.
+//! Quarantined files are forensic samples, not live data;
+//! [`BehaviorStore::compact`] deletes them past a retention budget,
+//! together with stale temporaries and superseded partials.
+//!
+//! A store opened under [`MaterializationPolicy::ReadOnly`] never touches
+//! the filesystem beyond reads: no directory creation, no temp-file
+//! sweep, no quarantine renames, no compaction.
 
-use crate::format::{self, ColumnMeta, ZoneEntry};
+use crate::format::{self, coverage_covers, ColumnMeta, ZoneEntry};
 use crate::pool::{BufferPool, PageKey};
 use crate::{StoreError, StoreStats};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::SystemTime;
 
 /// What a store-configured session is allowed to do with the store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum MaterializationPolicy {
     /// The store is ignored entirely (scans and write-back both off).
     Off,
-    /// Stored columns are scanned; nothing new is persisted.
+    /// Stored columns are scanned; nothing new is persisted and nothing
+    /// on disk is created, renamed or deleted.
     ReadOnly,
     /// Stored columns are scanned and newly extracted columns are
-    /// persisted at the end of a fully streamed pass.
+    /// persisted at the end of a streamed pass (complete columns after a
+    /// full stream, partial columns up to the watermark after an early
+    /// stop).
     #[default]
     ReadWrite,
 }
@@ -45,7 +63,7 @@ pub enum MaterializationPolicy {
 /// Store configuration (carried by `SessionConfig` in the core crate).
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
-    /// Root directory of the store (created on open).
+    /// Root directory of the store (created on open, unless read-only).
     pub path: PathBuf,
     /// Buffer-pool byte budget for decoded block pages.
     pub pool_bytes: usize,
@@ -58,11 +76,17 @@ pub struct StoreConfig {
     /// buffer more than this many bytes skips materialization rather
     /// than balloon memory.
     pub writeback_limit_bytes: usize,
+    /// Compaction retention budget for quarantined (`*.corrupt.*`)
+    /// files: the newest files totalling up to this many bytes are kept
+    /// as forensic samples, older ones are deleted by
+    /// [`BehaviorStore::compact`].
+    pub quarantine_retention_bytes: u64,
 }
 
 impl StoreConfig {
     /// Configuration rooted at `path` with defaults: 64 MiB pool,
-    /// read-write policy, 64-record blocks, 256 MiB write-back budget.
+    /// read-write policy, 64-record blocks, 256 MiB write-back budget,
+    /// 64 MiB quarantine retention.
     pub fn at(path: impl Into<PathBuf>) -> StoreConfig {
         StoreConfig {
             path: path.into(),
@@ -70,6 +94,7 @@ impl StoreConfig {
             policy: MaterializationPolicy::ReadWrite,
             block_records: 64,
             writeback_limit_bytes: 256 << 20,
+            quarantine_retention_bytes: 64 << 20,
         }
     }
 }
@@ -94,27 +119,142 @@ pub struct WriteReport {
     pub pool_evictions: usize,
 }
 
-/// An open behavior store (see the module docs).
-/// Validated column metadata: the schema section plus the zone table.
-type CachedMeta = Arc<(ColumnMeta, Vec<ZoneEntry>)>;
+/// Outcome of one [`BehaviorStore::compact`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Files deleted (expired quarantined files, stale temporaries,
+    /// superseded partial columns).
+    pub files_reclaimed: usize,
+    /// Bytes those files occupied.
+    pub bytes_reclaimed: u64,
+}
 
+/// How old a temp file must be before open/compaction reaps it. A live
+/// writer holds its temp for milliseconds (serialize + fsync + rename),
+/// so anything this old belongs to a crashed writer; a younger foreign
+/// temp may be an in-flight write of a concurrent process and is left
+/// alone.
+const TMP_REAP_AGE: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// True when the file at `path` is older than the reap threshold (an
+/// unreadable mtime counts as young — never delete what we cannot date).
+fn older_than_reap_age(path: &Path) -> bool {
+    std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+        .is_some_and(|age| age > TMP_REAP_AGE)
+}
+
+/// Which file currently backs a column key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Disposition {
+    /// `u<unit>.col` — every record valid.
+    Complete,
+    /// `u<unit>.part` — valid up to the watermark only.
+    Partial,
+}
+
+/// Validated position coverage of one stored column: which record
+/// positions hold real extractor output. Complete columns cover every
+/// position; partial columns cover exactly the watermarked set.
+#[derive(Debug, Clone)]
+pub struct Coverage {
+    nd: usize,
+    completed: usize,
+    /// `None` = complete (all positions valid).
+    bits: Option<Arc<Vec<u8>>>,
+}
+
+impl Coverage {
+    /// Total record positions in the column.
+    pub fn nd(&self) -> usize {
+        self.nd
+    }
+
+    /// The watermark: how many positions are valid.
+    pub fn completed_records(&self) -> usize {
+        self.completed
+    }
+
+    /// True when every position is valid.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.nd
+    }
+
+    /// Whether record position `pos` holds real data.
+    pub fn covers(&self, pos: usize) -> bool {
+        if pos >= self.nd {
+            return false;
+        }
+        match &self.bits {
+            None => true,
+            Some(bits) => coverage_covers(bits, pos),
+        }
+    }
+
+    /// Whether every position in `positions` holds real data.
+    pub fn covers_all(&self, positions: &[usize]) -> bool {
+        positions.iter().all(|&p| self.covers(p))
+    }
+
+    /// Whether every covered position is marked in `filled` — i.e. a
+    /// column rebuilt from `filled` would lose nothing this coverage
+    /// holds.
+    pub fn is_subset_of_filled(&self, filled: &[bool]) -> bool {
+        match &self.bits {
+            None => filled.iter().take(self.nd).all(|&f| f),
+            Some(bits) => (0..self.nd)
+                .all(|p| !coverage_covers(bits, p) || filled.get(p).copied().unwrap_or(false)),
+        }
+    }
+}
+
+/// Validated column metadata: schema, zone table, and (for partial
+/// columns) the coverage bitmap, plus which file it was read from.
+struct ColumnFileInfo {
+    meta: ColumnMeta,
+    zones: Vec<ZoneEntry>,
+    covered: Option<Arc<Vec<u8>>>,
+    /// Position → packed data row (rank among covered positions), for
+    /// partial columns.
+    ranks: Option<Vec<u32>>,
+    disposition: Disposition,
+}
+
+type CachedInfo = Arc<ColumnFileInfo>;
+
+/// An open behavior store (see the module docs).
 pub struct BehaviorStore {
     root: PathBuf,
     block_records: usize,
+    read_only: bool,
     pool: BufferPool,
-    index: Mutex<HashSet<ColumnKey>>,
-    /// Validated (meta, zones) per column, filled on first scan.
-    meta_cache: Mutex<HashMap<ColumnKey, CachedMeta>>,
-    tmp_counter: AtomicU64,
+    index: Mutex<HashMap<ColumnKey, Disposition>>,
+    /// Validated file info per column, filled on first scan.
+    meta_cache: Mutex<HashMap<ColumnKey, CachedInfo>>,
+    /// Uniquifies temp-file and quarantine names within this process.
+    name_counter: AtomicU64,
 }
 
 impl BehaviorStore {
-    /// Opens (creating if needed) the store rooted at `config.path` and
-    /// indexes the columns already on disk.
+    /// Opens the store rooted at `config.path` and indexes the columns
+    /// already on disk. A read-write store creates the root if missing
+    /// and sweeps temporaries left by crashed writers; a read-only store
+    /// performs no filesystem mutation at all (a missing root is simply
+    /// an empty store).
     pub fn open(config: &StoreConfig) -> Result<Arc<BehaviorStore>, StoreError> {
-        std::fs::create_dir_all(&config.path)?;
-        let mut index = HashSet::new();
-        for entry in std::fs::read_dir(&config.path)? {
+        let read_only = config.policy == MaterializationPolicy::ReadOnly;
+        if !read_only {
+            std::fs::create_dir_all(&config.path)?;
+        }
+        let mut index = HashMap::new();
+        let entries = match std::fs::read_dir(&config.path) {
+            Ok(entries) => Some(entries),
+            Err(e) if read_only && e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries.into_iter().flatten() {
             let entry = entry?;
             if !entry.file_type()?.is_dir() {
                 continue;
@@ -125,15 +265,28 @@ impl BehaviorStore {
             for col in std::fs::read_dir(entry.path())? {
                 let col = col?;
                 let name = col.file_name();
-                if let Some(unit) = parse_column_file(&name) {
-                    index.insert(ColumnKey {
+                if let Some((unit, disposition)) = parse_column_file(&name) {
+                    let key = ColumnKey {
                         model_fp,
                         dataset_fp,
                         unit,
-                    });
-                } else if name.to_str().is_some_and(|n| n.contains(".tmp.")) {
+                    };
+                    // A complete column always wins over a leftover
+                    // partial of the same unit.
+                    match index.get(&key) {
+                        Some(Disposition::Complete) => {}
+                        _ => {
+                            index.insert(key, disposition);
+                        }
+                    }
+                } else if !read_only
+                    && name.to_str().is_some_and(|n| n.contains(".tmp."))
+                    && older_than_reap_age(&col.path())
+                {
                     // A writer died between create and rename: the temp
-                    // file can never be read, so sweep it on open.
+                    // file can never be read, so sweep it on open. Young
+                    // temps may be in-flight writes of a concurrent
+                    // process and are kept.
                     let _ = std::fs::remove_file(col.path());
                 }
             }
@@ -141,10 +294,11 @@ impl BehaviorStore {
         Ok(Arc::new(BehaviorStore {
             root: config.path.clone(),
             block_records: config.block_records.max(1),
+            read_only,
             pool: BufferPool::new(config.pool_bytes),
             index: Mutex::new(index),
             meta_cache: Mutex::new(HashMap::new()),
-            tmp_counter: AtomicU64::new(0),
+            name_counter: AtomicU64::new(0),
         }))
     }
 
@@ -158,43 +312,91 @@ impl BehaviorStore {
         &self.root
     }
 
-    /// Number of indexed columns.
+    /// True when this store was opened read-only (no writes, renames or
+    /// deletions ever touch the filesystem).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Number of indexed *complete* columns.
     pub fn columns(&self) -> usize {
-        self.index.lock().len()
+        self.index
+            .lock()
+            .values()
+            .filter(|d| **d == Disposition::Complete)
+            .count()
     }
 
-    /// True when the column is indexed (file present; contents are only
-    /// validated when scanned).
+    /// Number of indexed partial columns.
+    pub fn partial_columns(&self) -> usize {
+        self.index
+            .lock()
+            .values()
+            .filter(|d| **d == Disposition::Partial)
+            .count()
+    }
+
+    /// True when a complete column is indexed (file present; contents are
+    /// only validated when scanned).
     pub fn contains(&self, key: &ColumnKey) -> bool {
-        self.index.lock().contains(key)
+        self.index.lock().get(key) == Some(&Disposition::Complete)
     }
 
-    /// The subset of `units` with an indexed column under
+    /// The subset of `units` with an indexed *complete* column under
     /// `(model_fp, dataset_fp)`, in input order.
     pub fn available_units(&self, model_fp: u64, dataset_fp: u64, units: &[usize]) -> Vec<usize> {
+        self.units_with(model_fp, dataset_fp, units, Disposition::Complete)
+    }
+
+    /// The subset of `units` with an indexed *partial* column (and no
+    /// complete one) under `(model_fp, dataset_fp)`, in input order.
+    pub fn partial_units(&self, model_fp: u64, dataset_fp: u64, units: &[usize]) -> Vec<usize> {
+        self.units_with(model_fp, dataset_fp, units, Disposition::Partial)
+    }
+
+    fn units_with(
+        &self,
+        model_fp: u64,
+        dataset_fp: u64,
+        units: &[usize],
+        want: Disposition,
+    ) -> Vec<usize> {
         let index = self.index.lock();
         units
             .iter()
             .copied()
             .filter(|&unit| {
-                index.contains(&ColumnKey {
+                index.get(&ColumnKey {
                     model_fp,
                     dataset_fp,
                     unit,
-                })
+                }) == Some(&want)
             })
             .collect()
     }
 
-    fn column_path(&self, key: &ColumnKey) -> PathBuf {
+    fn column_path(&self, key: &ColumnKey, disposition: Disposition) -> PathBuf {
+        let file = match disposition {
+            Disposition::Complete => format!("u{}.col", key.unit),
+            Disposition::Partial => format!("u{}.part", key.unit),
+        };
         self.root
             .join(format!("{:016x}.{:016x}", key.model_fp, key.dataset_fp))
-            .join(format!("u{}.col", key.unit))
+            .join(file)
+    }
+
+    fn unique_suffix(&self) -> String {
+        format!(
+            "{}.{}",
+            std::process::id(),
+            self.name_counter.fetch_add(1, Ordering::Relaxed)
+        )
     }
 
     /// Persists a complete column (`data.len() == nd * ns`, record-major)
     /// atomically and pushes its blocks through the pool so an immediate
-    /// scan hits memory.
+    /// scan hits memory. Any partial file of the same key is superseded
+    /// (reclaimed by the next [`BehaviorStore::compact`]).
     pub fn write_column(
         &self,
         key: &ColumnKey,
@@ -202,12 +404,102 @@ impl BehaviorStore {
         ns: usize,
         data: &[f32],
     ) -> Result<WriteReport, StoreError> {
+        self.write_column_inner(key, nd, ns, data, None)
+    }
+
+    /// Persists the completed prefix of an early-stopped pass: `data` is
+    /// a full `nd * ns` buffer whose positions marked in `filled` hold
+    /// real extractor output (the rest must be `0.0`). Writes a partial
+    /// column with watermark `filled.count(true)`; a fully filled buffer
+    /// is promoted to a complete column. An empty fill, or a key that
+    /// already has a complete column, is a no-op.
+    pub fn write_partial_column(
+        &self,
+        key: &ColumnKey,
+        nd: usize,
+        ns: usize,
+        data: &[f32],
+        filled: &[bool],
+    ) -> Result<WriteReport, StoreError> {
+        if filled.len() != nd {
+            return Err(StoreError::Io(format!(
+                "fill mask has {} entries for nd={nd}",
+                filled.len()
+            )));
+        }
+        let completed = filled.iter().filter(|&&f| f).count();
+        if completed == nd {
+            return self.write_column(key, nd, ns, data);
+        }
+        if completed == 0 {
+            return Ok(WriteReport::default());
+        }
+        if self.read_only {
+            return Err(StoreError::Io("store opened read-only".into()));
+        }
+        // Freshen this instance's view from the filesystem before
+        // deciding: the index and meta cache are instance-local, and a
+        // concurrent store instance may have created, extended or
+        // completed this column since we last looked.
+        self.meta_cache.lock().remove(key);
+        if self.column_path(key, Disposition::Complete).exists() {
+            self.index.lock().insert(*key, Disposition::Complete);
+            return Ok(WriteReport::default());
+        }
+        if self.column_path(key, Disposition::Partial).exists() {
+            {
+                let mut index = self.index.lock();
+                if index.get(key) != Some(&Disposition::Complete) {
+                    index.insert(*key, Disposition::Partial);
+                }
+            }
+            // Never shrink stored coverage: an existing partial whose
+            // valid coverage is not strictly extended by this fill keeps
+            // its file (a pass that transiently failed to read it — or
+            // early-stopped sooner than a previous one — must not
+            // replace a larger prefix with a smaller one). Only a
+            // *provably corrupt* existing partial is junk that may be
+            // overwritten; a transient I/O failure says nothing about
+            // the file, so the write is refused too. (The decision is
+            // made against freshly read metadata; a racing writer can
+            // still slip between read and rename, which at worst loses
+            // re-computable coverage, never correctness.)
+            match self.coverage(key) {
+                Ok(prior) => {
+                    let extends =
+                        prior.is_subset_of_filled(filled) && completed > prior.completed_records();
+                    if !extends {
+                        return Ok(WriteReport::default());
+                    }
+                }
+                Err(StoreError::Corrupt(_)) => {}
+                Err(StoreError::Io(_)) => return Ok(WriteReport::default()),
+            }
+        }
+        self.write_column_inner(key, nd, ns, data, Some(filled))
+    }
+
+    fn write_column_inner(
+        &self,
+        key: &ColumnKey,
+        nd: usize,
+        ns: usize,
+        data: &[f32],
+        filled: Option<&[bool]>,
+    ) -> Result<WriteReport, StoreError> {
+        if self.read_only {
+            return Err(StoreError::Io("store opened read-only".into()));
+        }
         if data.len() != nd * ns {
             return Err(StoreError::Io(format!(
                 "column shape mismatch: {} values for nd={nd} ns={ns}",
                 data.len()
             )));
         }
+        let completed = match filled {
+            Some(f) => f.iter().filter(|&&x| x).count(),
+            None => nd,
+        };
         let meta = ColumnMeta {
             model_fp: key.model_fp,
             dataset_fp: key.dataset_fp,
@@ -215,50 +507,102 @@ impl BehaviorStore {
             nd: nd as u64,
             ns: ns as u64,
             block_records: self.block_records as u64,
+            completed_records: completed as u64,
         };
-        let path = self.column_path(key);
+        let disposition = if filled.is_some() {
+            Disposition::Partial
+        } else {
+            Disposition::Complete
+        };
+        let path = self.column_path(key, disposition);
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
-        let tmp = path.with_extension(format!(
-            "tmp.{}.{}",
-            std::process::id(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
-        ));
-        let blocks_written = format::write_column_file(&path, &tmp, &meta, data)?;
-        // Populate the pool so scans in this process hit memory, and
-        // refresh the caches (an overwrite replaces stale state).
+        let tmp = path.with_extension(format!("tmp.{}", self.unique_suffix()));
+        let bitmap = filled.map(format::coverage_from_filled);
+        // Partial columns store only their valid rows, densely packed in
+        // ascending position order (a warm resume then reads exactly the
+        // prefix's bytes, not a mostly empty grid).
+        let packed = filled.map(|f| format::pack_rows(data, f, ns));
+        let stored: &[f32] = packed.as_deref().unwrap_or(data);
+        let blocks_written =
+            format::write_column_file(&path, &tmp, &meta, stored, bitmap.as_deref())?;
+        // Refresh the caches (an overwrite replaces stale state), then
+        // populate the pool with the written pages so an immediate scan
+        // hits memory.
+        self.pool
+            .purge_column(key.model_fp, key.dataset_fp, key.unit as u64);
         let mut pool_evictions = 0;
         for b in 0..meta.n_blocks() {
             let rows = meta.rows_in_block(b);
             let start = b * self.block_records * ns;
             pool_evictions += self
                 .pool
-                .insert(page_key(key, b), data[start..start + rows * ns].to_vec());
+                .insert(page_key(key, b), stored[start..start + rows * ns].to_vec());
         }
         self.meta_cache.lock().remove(key);
-        self.index.lock().insert(*key);
+        let mut index = self.index.lock();
+        // Never let a partial write demote an indexed complete column.
+        match (disposition, index.get(key)) {
+            (Disposition::Partial, Some(Disposition::Complete)) => {}
+            _ => {
+                index.insert(*key, disposition);
+            }
+        }
         Ok(WriteReport {
             blocks_written,
             pool_evictions,
         })
     }
 
-    /// Validated metadata for a column, cached after the first read.
-    fn column_meta(
-        &self,
-        key: &ColumnKey,
-    ) -> Result<Arc<(ColumnMeta, Vec<ZoneEntry>)>, StoreError> {
-        if let Some(meta) = self.meta_cache.lock().get(key) {
-            return Ok(Arc::clone(meta));
+    /// Validated file info for a column, cached after the first read.
+    fn column_info(&self, key: &ColumnKey) -> Result<CachedInfo, StoreError> {
+        if let Some(info) = self.meta_cache.lock().get(key) {
+            return Ok(Arc::clone(info));
         }
-        let mut file = File::open(self.column_path(key))?;
-        let parsed = Arc::new(format::read_meta(&mut file)?);
+        let disposition = self
+            .index
+            .lock()
+            .get(key)
+            .copied()
+            .ok_or_else(|| StoreError::Io(format!("unit {} is not indexed", key.unit)))?;
+        let mut file = File::open(self.column_path(key, disposition))?;
+        let (meta, zones, covered) = format::read_meta(&mut file)?;
+        // The file's own watermark decides completeness; the index only
+        // remembers which path to open.
+        if disposition == Disposition::Partial && meta.is_complete() {
+            return Err(StoreError::Corrupt(
+                "partial file declares a full watermark".into(),
+            ));
+        }
+        let ranks = covered
+            .as_ref()
+            .map(|bits| format::coverage_ranks(bits, meta.nd as usize));
+        let parsed = Arc::new(ColumnFileInfo {
+            meta,
+            zones,
+            covered: covered.map(Arc::new),
+            ranks,
+            disposition,
+        });
         self.meta_cache
             .lock()
             .entry(*key)
             .or_insert_with(|| Arc::clone(&parsed));
         Ok(parsed)
+    }
+
+    /// The validated position coverage of a column: complete columns
+    /// cover everything, partial columns exactly their watermarked set.
+    /// Reads (and caches) the file metadata; any validation failure is
+    /// the usual [`StoreError::Corrupt`].
+    pub fn coverage(&self, key: &ColumnKey) -> Result<Coverage, StoreError> {
+        let info = self.column_info(key)?;
+        Ok(Coverage {
+            nd: info.meta.nd as usize,
+            completed: info.meta.completed_records as usize,
+            bits: info.covered.clone(),
+        })
     }
 
     /// Scans one column for the given record positions, writing the `ns`
@@ -268,7 +612,18 @@ impl BehaviorStore {
     /// Pages are fetched (and their checksums verified) through the pool;
     /// `stats` receives the per-call page accounting (`blocks_read`,
     /// pool hit/miss/eviction counters — `columns_scanned` is per-pass
-    /// and counted by the caller).
+    /// and counted by the caller). Every requested position must be
+    /// covered by the column's watermark: serving a position a partial
+    /// column never filled would be a silent wrong score, so it is
+    /// refused as corruption.
+    ///
+    /// A validation failure is retried **once** against freshly read
+    /// metadata (cached info and pooled pages dropped first): a
+    /// concurrent store instance may have extended a partial column in
+    /// place (atomic rename onto the same path repacks the rows), which
+    /// makes this instance's cached zone table stale — that is a valid
+    /// newer file, not corruption. Only a failure against the file's
+    /// current bytes surfaces as [`StoreError::Corrupt`].
     #[allow(clippy::too_many_arguments)] // a scan is genuinely this wide
     pub fn scan_into(
         &self,
@@ -281,8 +636,31 @@ impl BehaviorStore {
         col: usize,
         stats: &mut StoreStats,
     ) -> Result<(), StoreError> {
-        let cached = self.column_meta(key)?;
-        let (meta, zones) = (&cached.0, &cached.1);
+        match self.scan_attempt(key, nd, ns, positions, out, stride, col, stats) {
+            Err(StoreError::Corrupt(_)) => {
+                self.meta_cache.lock().remove(key);
+                self.pool
+                    .purge_column(key.model_fp, key.dataset_fp, key.unit as u64);
+                self.scan_attempt(key, nd, ns, positions, out, stride, col, stats)
+            }
+            other => other,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_attempt(
+        &self,
+        key: &ColumnKey,
+        nd: usize,
+        ns: usize,
+        positions: &[usize],
+        out: &mut [f32],
+        stride: usize,
+        col: usize,
+        stats: &mut StoreStats,
+    ) -> Result<(), StoreError> {
+        let cached = self.column_info(key)?;
+        let (meta, zones) = (&cached.meta, &cached.zones);
         if meta.nd != nd as u64 || meta.ns != ns as u64 {
             return Err(StoreError::Corrupt(format!(
                 "stored shape (nd={}, ns={}) disagrees with dataset (nd={nd}, ns={ns})",
@@ -300,10 +678,25 @@ impl BehaviorStore {
                     "record position {pos} out of range (nd={nd})"
                 )));
             }
-            let b = meta.block_of(pos);
+            if let Some(bits) = &cached.covered {
+                if !coverage_covers(bits, pos) {
+                    return Err(StoreError::Corrupt(format!(
+                        "record position {pos} is past the column's watermark \
+                         ({} of {nd} records completed)",
+                        meta.completed_records
+                    )));
+                }
+            }
+            // A partial column stores its valid rows densely packed: the
+            // position's data row is its rank among covered positions.
+            let row = match &cached.ranks {
+                Some(ranks) => ranks[pos] as usize,
+                None => pos,
+            };
+            let b = meta.block_of(row);
             if pages[b].is_none() {
                 let page = self.pool.get(page_key(key, b), || {
-                    let mut file = File::open(self.column_path(key))?;
+                    let mut file = File::open(self.column_path(key, cached.disposition))?;
                     format::read_block(&mut file, meta, zones, b)
                 })?;
                 stats.blocks_read += 1;
@@ -316,25 +709,138 @@ impl BehaviorStore {
                 pages[b] = Some(page);
             }
             let page = pages[b].as_ref().expect("pinned above");
-            let local = pos - b * meta.block_records as usize;
-            let row = &page[local * ns..(local + 1) * ns];
-            for (t, &v) in row.iter().enumerate() {
+            let local = row - b * meta.block_records as usize;
+            let values = &page[local * ns..(local + 1) * ns];
+            for (t, &v) in values.iter().enumerate() {
                 out[(i * ns + t) * stride + col] = v;
             }
         }
         Ok(())
     }
 
-    /// Quarantines a column that failed validation: renames the file to
-    /// `*.corrupt`, drops it from the index and purges its pool pages.
-    /// The next read-write pass re-materializes it from live extraction.
+    /// Quarantines a column that failed validation: renames the file to a
+    /// unique `*.corrupt.<pid>.<n>` name (so repeated quarantines of one
+    /// column never collide or overwrite an earlier sample), drops it
+    /// from the index and purges its pool pages. The next read-write pass
+    /// re-materializes it from live extraction. No-op on a read-only
+    /// store.
     pub fn quarantine(&self, key: &ColumnKey) {
-        self.index.lock().remove(key);
+        if self.read_only {
+            return;
+        }
+        let disposition = self.index.lock().remove(key);
         self.meta_cache.lock().remove(key);
         self.pool
             .purge_column(key.model_fp, key.dataset_fp, key.unit as u64);
-        let path = self.column_path(key);
-        let _ = std::fs::rename(&path, path.with_extension("corrupt"));
+        let dispositions = match disposition {
+            Some(d) => vec![d],
+            // Not indexed (e.g. already quarantined by a racing pass):
+            // move aside whichever files exist.
+            None => vec![Disposition::Complete, Disposition::Partial],
+        };
+        for d in dispositions {
+            let path = self.column_path(key, d);
+            if !path.exists() {
+                continue;
+            }
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("column")
+                .to_string();
+            let target = path.with_file_name(format!("{name}.corrupt.{}", self.unique_suffix()));
+            let _ = std::fs::rename(&path, &target);
+        }
+    }
+
+    /// Reclaims disk space the store no longer needs: stale temporaries
+    /// left by *other* (crashed) processes, partial columns superseded by
+    /// a completed version, and quarantined files past the retention
+    /// budget (the newest quarantined files totalling up to
+    /// `quarantine_retention_bytes` are kept as forensic samples). No-op
+    /// on a read-only store.
+    pub fn compact(&self, quarantine_retention_bytes: u64) -> CompactionReport {
+        let mut report = CompactionReport::default();
+        if self.read_only {
+            return report;
+        }
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return report;
+        };
+        let mut quarantined: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+        let my_pid = std::process::id();
+        for entry in entries.flatten() {
+            if !entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                continue;
+            }
+            let Some((model_fp, dataset_fp)) = parse_pair_dir(&entry.file_name()) else {
+                continue;
+            };
+            let Ok(cols) = std::fs::read_dir(entry.path()) else {
+                continue;
+            };
+            for col in cols.flatten() {
+                let path = col.path();
+                let Some(name) = col.file_name().to_str().map(str::to_string) else {
+                    continue;
+                };
+                let len = col.metadata().map(|m| m.len()).unwrap_or(0);
+                if name.contains(".corrupt") {
+                    let modified = col
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .unwrap_or(SystemTime::UNIX_EPOCH);
+                    quarantined.push((path, len, modified));
+                } else if let Some(pid) = tmp_file_pid(&name) {
+                    // A stale temporary of a crashed writer can never be
+                    // renamed into place. Our own temps may be in-flight
+                    // (the writer holds them only briefly), and a young
+                    // foreign temp may belong to a live concurrent
+                    // process — only provably abandoned files go.
+                    if pid != my_pid
+                        && older_than_reap_age(&path)
+                        && std::fs::remove_file(&path).is_ok()
+                    {
+                        report.files_reclaimed += 1;
+                        report.bytes_reclaimed += len;
+                    }
+                } else if let Some((unit, Disposition::Partial)) =
+                    parse_column_file(&col.file_name())
+                {
+                    // A partial column beside (or indexed behind) a
+                    // completed version is superseded.
+                    let key = ColumnKey {
+                        model_fp,
+                        dataset_fp,
+                        unit,
+                    };
+                    let superseded = self.index.lock().get(&key) == Some(&Disposition::Complete);
+                    if superseded && std::fs::remove_file(&path).is_ok() {
+                        report.files_reclaimed += 1;
+                        report.bytes_reclaimed += len;
+                    }
+                }
+            }
+            // Pair directories are deliberately left in place even when
+            // empty: removing one here races a concurrent writer's
+            // create_dir_all → File::create window and would fail its
+            // write-back. An empty directory costs nothing and is reused
+            // by the next write.
+        }
+        // Quarantine retention: keep the newest files within the budget.
+        quarantined.sort_by_key(|q| std::cmp::Reverse(q.2));
+        let mut kept: u64 = 0;
+        for (path, len, _) in quarantined {
+            if kept + len <= quarantine_retention_bytes {
+                kept += len;
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                report.files_reclaimed += 1;
+                report.bytes_reclaimed += len;
+            }
+        }
+        report
     }
 }
 
@@ -356,9 +862,24 @@ fn parse_pair_dir(name: &std::ffi::OsStr) -> Option<(u64, u64)> {
     ))
 }
 
-fn parse_column_file(name: &std::ffi::OsStr) -> Option<usize> {
+fn parse_column_file(name: &std::ffi::OsStr) -> Option<(usize, Disposition)> {
     let name = name.to_str()?;
-    name.strip_prefix('u')?.strip_suffix(".col")?.parse().ok()
+    let stem = name.strip_prefix('u')?;
+    if let Some(unit) = stem.strip_suffix(".col") {
+        return Some((unit.parse().ok()?, Disposition::Complete));
+    }
+    if let Some(unit) = stem.strip_suffix(".part") {
+        return Some((unit.parse().ok()?, Disposition::Partial));
+    }
+    None
+}
+
+/// The process id embedded in a temp-file name (`*.tmp.<pid>.<n>`), if
+/// the name is a temp file.
+fn tmp_file_pid(name: &str) -> Option<u32> {
+    let (_, suffix) = name.split_once(".tmp.")?;
+    let (pid, _) = suffix.split_once('.')?;
+    pid.parse().ok()
 }
 
 #[cfg(test)]
@@ -388,6 +909,17 @@ mod tests {
         (0..nd * ns)
             .map(|i| (i * 7 + unit * 1000) as f32 * 0.25)
             .collect()
+    }
+
+    /// Backdates a file past the temp-reap threshold (simulating a
+    /// crashed writer from long ago).
+    fn age_file(path: &Path) {
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .unwrap()
+            .set_modified(SystemTime::now() - 2 * TMP_REAP_AGE)
+            .unwrap();
     }
 
     #[test]
@@ -454,6 +986,221 @@ mod tests {
     }
 
     #[test]
+    fn partial_write_scan_and_completion_lifecycle() {
+        let (store, dir) = test_store("partial", 1 << 20);
+        let (nd, ns) = (12, 2);
+        let data = column(nd, ns, 0);
+        // Fill positions 0..8 (blocks 0 and 1 fully valid, block 2 empty).
+        let mut partial = vec![0.0f32; nd * ns];
+        partial[..8 * ns].copy_from_slice(&data[..8 * ns]);
+        let mut filled = vec![false; nd];
+        filled[..8].fill(true);
+        store
+            .write_partial_column(&key(0), nd, ns, &partial, &filled)
+            .unwrap();
+        assert!(!store.contains(&key(0)), "partial is not a complete hit");
+        assert_eq!(store.partial_units(0x11, 0x22, &[0, 1]), vec![0]);
+        assert_eq!(store.partial_columns(), 1);
+        let cov = store.coverage(&key(0)).unwrap();
+        assert_eq!(cov.completed_records(), 8);
+        assert!(cov.covers_all(&[0, 3, 7]));
+        assert!(!cov.covers(8));
+        // Covered positions scan bit-identically...
+        let positions: Vec<usize> = (0..8).collect();
+        let mut out = vec![0.0f32; 8 * ns];
+        let mut stats = StoreStats::default();
+        store
+            .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .unwrap();
+        assert_eq!(out, &data[..8 * ns]);
+        // ...and a position past the watermark is refused, never served.
+        let err = store
+            .scan_into(&key(0), nd, ns, &[9], &mut out, 1, 0, &mut stats)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
+        assert!(err.to_string().contains("watermark"), "got {err}");
+        // Reopen sees the partial from disk.
+        drop(store);
+        let store = BehaviorStore::open(&StoreConfig {
+            block_records: 4,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        assert_eq!(store.partial_units(0x11, 0x22, &[0]), vec![0]);
+        // Completing the column supersedes the partial: complete file
+        // indexed, partial file still on disk until compaction reclaims.
+        store.write_column(&key(0), nd, ns, &data).unwrap();
+        assert!(store.contains(&key(0)));
+        assert_eq!(store.partial_units(0x11, 0x22, &[0]), Vec::<usize>::new());
+        let part_path = store.column_path(&key(0), Disposition::Partial);
+        assert!(part_path.exists(), "superseded partial awaits compaction");
+        let report = store.compact(u64::MAX);
+        assert_eq!(report.files_reclaimed, 1);
+        assert!(report.bytes_reclaimed > 0);
+        assert!(!part_path.exists(), "compaction reclaimed it");
+        // The complete column still scans.
+        let positions: Vec<usize> = (0..nd).collect();
+        let mut out = vec![0.0f32; nd * ns];
+        store
+            .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .unwrap();
+        assert_eq!(out, data);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_writes_never_shrink_stored_coverage() {
+        let (store, dir) = test_store("partial-shrink", 1 << 20);
+        let (nd, ns) = (12, 2);
+        let data = column(nd, ns, 0);
+        let fill = |positions: &[usize]| {
+            let mut filled = vec![false; nd];
+            let mut col = vec![0.0f32; nd * ns];
+            for &p in positions {
+                filled[p] = true;
+                col[p * ns..(p + 1) * ns].copy_from_slice(&data[p * ns..(p + 1) * ns]);
+            }
+            (col, filled)
+        };
+        let (col8, filled8) = fill(&(0..8).collect::<Vec<_>>());
+        store
+            .write_partial_column(&key(0), nd, ns, &col8, &filled8)
+            .unwrap();
+        assert_eq!(store.coverage(&key(0)).unwrap().completed_records(), 8);
+        // A smaller prefix (an earlier early stop) is refused...
+        let (col4, filled4) = fill(&(0..4).collect::<Vec<_>>());
+        let report = store
+            .write_partial_column(&key(0), nd, ns, &col4, &filled4)
+            .unwrap();
+        assert_eq!(report, WriteReport::default());
+        assert_eq!(store.coverage(&key(0)).unwrap().completed_records(), 8);
+        // ...as is a disjoint fill that would lose covered positions...
+        let (col_d, filled_d) = fill(&[8, 9, 10, 11]);
+        store
+            .write_partial_column(&key(0), nd, ns, &col_d, &filled_d)
+            .unwrap();
+        assert_eq!(store.coverage(&key(0)).unwrap().completed_records(), 8);
+        // ...while a strict extension goes through.
+        let (col10, filled10) = fill(&(0..10).collect::<Vec<_>>());
+        let report = store
+            .write_partial_column(&key(0), nd, ns, &col10, &filled10)
+            .unwrap();
+        assert!(report.blocks_written > 0);
+        assert_eq!(store.coverage(&key(0)).unwrap().completed_records(), 10);
+        let mut out = vec![0.0f32; 10 * ns];
+        let mut stats = StoreStats::default();
+        store
+            .scan_into(
+                &key(0),
+                nd,
+                ns,
+                &(0..10).collect::<Vec<_>>(),
+                &mut out,
+                1,
+                0,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(out, &data[..10 * ns]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_partial_extension_revalidates_instead_of_false_corruption() {
+        // Two store instances over one path: B extends a partial column
+        // in place (rename onto the same file repacks the rows), which
+        // makes A's cached zone table stale. A's next pool-missing scan
+        // must revalidate against the new file and serve correct values
+        // — never report the valid newer file as corrupt.
+        let (a, dir) = test_store("concurrent-extend", 32); // tiny pool: pages evict at once
+        let (nd, ns) = (12, 2);
+        let data = column(nd, ns, 0);
+        let fill = |positions: &[usize]| {
+            let mut filled = vec![false; nd];
+            let mut col = vec![0.0f32; nd * ns];
+            for &p in positions {
+                filled[p] = true;
+                col[p * ns..(p + 1) * ns].copy_from_slice(&data[p * ns..(p + 1) * ns]);
+            }
+            (col, filled)
+        };
+        // Scattered coverage so the extension changes every row's rank.
+        let (col_a, filled_a) = fill(&[1, 5, 9]);
+        a.write_partial_column(&key(0), nd, ns, &col_a, &filled_a)
+            .unwrap();
+        let mut out = vec![0.0f32; 3 * ns];
+        let mut stats = StoreStats::default();
+        a.scan_into(&key(0), nd, ns, &[1, 5, 9], &mut out, 1, 0, &mut stats)
+            .unwrap(); // caches A's meta/ranks; tiny pool evicts the page
+        let b = BehaviorStore::open(&StoreConfig {
+            pool_bytes: 32,
+            block_records: 4,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        let (col_b, filled_b) = fill(&[0, 1, 4, 5, 8, 9]);
+        b.write_partial_column(&key(0), nd, ns, &col_b, &filled_b)
+            .unwrap();
+        assert_eq!(b.coverage(&key(0)).unwrap().completed_records(), 6);
+        // A scans through its stale cache: must succeed bit-identically.
+        let mut out = vec![0.0f32; 3 * ns];
+        a.scan_into(&key(0), nd, ns, &[1, 5, 9], &mut out, 1, 0, &mut stats)
+            .unwrap();
+        for (i, &pos) in [1usize, 5, 9].iter().enumerate() {
+            assert_eq!(
+                &out[i * ns..(i + 1) * ns],
+                &data[pos * ns..(pos + 1) * ns],
+                "position {pos} after concurrent extension"
+            );
+        }
+        // And A now sees the extended coverage on a fresh read.
+        let mut out = vec![0.0f32; 6 * ns];
+        a.scan_into(
+            &key(0),
+            nd,
+            ns,
+            &[0, 1, 4, 5, 8, 9],
+            &mut out,
+            1,
+            0,
+            &mut stats,
+        )
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_or_redundant_partial_writes_are_no_ops() {
+        let (store, dir) = test_store("partial-noop", 1 << 20);
+        let (nd, ns) = (8, 2);
+        let data = column(nd, ns, 0);
+        // Nothing filled: no file.
+        let report = store
+            .write_partial_column(&key(0), nd, ns, &vec![0.0; nd * ns], &vec![false; nd])
+            .unwrap();
+        assert_eq!(report, WriteReport::default());
+        assert_eq!(store.partial_columns(), 0);
+        // Everything filled: promoted to a complete column.
+        let report = store
+            .write_partial_column(&key(0), nd, ns, &data, &vec![true; nd])
+            .unwrap();
+        assert!(report.blocks_written > 0);
+        assert!(store.contains(&key(0)));
+        assert_eq!(store.partial_columns(), 0);
+        // A partial write under an existing complete column is dropped.
+        let report = store
+            .write_partial_column(&key(0), nd, ns, &data, &{
+                let mut f = vec![false; nd];
+                f[0] = true;
+                f
+            })
+            .unwrap();
+        assert_eq!(report, WriteReport::default());
+        assert!(store.contains(&key(0)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_column_errors_and_quarantine_self_heals() {
         let (store, dir) = test_store("quarantine", 1 << 20);
         let (nd, ns) = (8, 2);
@@ -481,7 +1228,7 @@ mod tests {
         assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
         store.quarantine(&key(0));
         assert!(!store.contains(&key(0)));
-        assert!(path.with_extension("corrupt").exists());
+        assert_eq!(quarantined_files(&dir).len(), 1);
         assert!(!path.exists());
         // Re-materializing writes a clean copy that scans again.
         store
@@ -491,6 +1238,97 @@ mod tests {
             .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
             .unwrap();
         assert_eq!(out, column(nd, ns, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn quarantined_files(dir: &Path) -> Vec<PathBuf> {
+        let mut found = Vec::new();
+        for entry in std::fs::read_dir(dir).unwrap().flatten() {
+            if !entry.file_type().unwrap().is_dir() {
+                continue;
+            }
+            for col in std::fs::read_dir(entry.path()).unwrap().flatten() {
+                if col.file_name().to_str().unwrap().contains(".corrupt") {
+                    found.push(col.path());
+                }
+            }
+        }
+        found
+    }
+
+    #[test]
+    fn repeated_quarantines_of_one_column_never_collide() {
+        let (store, dir) = test_store("quarantine-twice", 1 << 20);
+        let (nd, ns) = (8, 2);
+        for round in 0..3 {
+            store
+                .write_column(&key(0), nd, ns, &column(nd, ns, 0))
+                .unwrap();
+            store.quarantine(&key(0));
+            assert!(!store.contains(&key(0)));
+            assert_eq!(
+                quarantined_files(&dir).len(),
+                round + 1,
+                "every quarantine keeps its own sample"
+            );
+        }
+        // Compaction with a zero retention budget deletes all samples.
+        let report = store.compact(0);
+        assert_eq!(report.files_reclaimed, 3);
+        assert!(report.bytes_reclaimed > 0);
+        assert!(quarantined_files(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_respects_the_quarantine_retention_budget() {
+        let (store, dir) = test_store("retention", 1 << 20);
+        let (nd, ns) = (8, 2);
+        // Three quarantined samples of equal size.
+        for _ in 0..3 {
+            store
+                .write_column(&key(0), nd, ns, &column(nd, ns, 0))
+                .unwrap();
+            store.quarantine(&key(0));
+        }
+        let files = quarantined_files(&dir);
+        assert_eq!(files.len(), 3);
+        let each = std::fs::metadata(&files[0]).unwrap().len();
+        // Budget for two files: the oldest one goes.
+        let report = store.compact(2 * each);
+        assert_eq!(report.files_reclaimed, 1);
+        assert_eq!(report.bytes_reclaimed, each);
+        assert_eq!(quarantined_files(&dir).len(), 2);
+        // A huge budget deletes nothing further.
+        let report = store.compact(u64::MAX);
+        assert_eq!(report, CompactionReport::default());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_sweeps_foreign_tmp_files_only() {
+        let (store, dir) = test_store("tmp-compact", 1 << 20);
+        let (nd, ns) = (8, 2);
+        store
+            .write_column(&key(0), nd, ns, &column(nd, ns, 0))
+            .unwrap();
+        let pair = dir.join("0000000000000011.0000000000000022");
+        let foreign_stale = pair.join("u7.tmp.99999.0");
+        std::fs::write(&foreign_stale, b"half-written").unwrap();
+        age_file(&foreign_stale);
+        let foreign_fresh = pair.join("u9.tmp.99999.1");
+        std::fs::write(&foreign_fresh, b"mid-write").unwrap();
+        let mine = pair.join(format!("u8.tmp.{}.77", std::process::id()));
+        std::fs::write(&mine, b"in-flight").unwrap();
+        age_file(&mine);
+        let report = store.compact(u64::MAX);
+        assert_eq!(report.files_reclaimed, 1);
+        assert!(!foreign_stale.exists(), "stale foreign temp swept");
+        assert!(
+            foreign_fresh.exists(),
+            "a young foreign temp may be a live writer's in-flight file"
+        );
+        assert!(mine.exists(), "own (possibly in-flight) temp kept");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -506,14 +1344,69 @@ mod tests {
         let pair = dir.join("0000000000000011.0000000000000022");
         let stale = pair.join("u7.tmp.99999.0");
         std::fs::write(&stale, b"half-written").unwrap();
+        age_file(&stale);
+        let fresh = pair.join("u9.tmp.99999.1");
+        std::fs::write(&fresh, b"mid-write").unwrap();
         let store = BehaviorStore::open(&StoreConfig {
             block_records: 4,
             ..StoreConfig::at(&dir)
         })
         .unwrap();
         assert!(!stale.exists(), "stale temp file swept on open");
+        assert!(fresh.exists(), "young temp kept (may be a live writer)");
         assert_eq!(store.columns(), 1, "real column survives the sweep");
         assert!(store.contains(&key(0)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_only_open_never_mutates_the_filesystem() {
+        let (store, dir) = test_store("ro", 1 << 20);
+        let (nd, ns) = (8, 2);
+        store
+            .write_column(&key(0), nd, ns, &column(nd, ns, 0))
+            .unwrap();
+        drop(store);
+        // Leave bait: a stale temp a read-write open would sweep.
+        let pair = dir.join("0000000000000011.0000000000000022");
+        let stale = pair.join("u7.tmp.99999.0");
+        std::fs::write(&stale, b"half-written").unwrap();
+        let ro = BehaviorStore::open(&StoreConfig {
+            block_records: 4,
+            policy: MaterializationPolicy::ReadOnly,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        assert!(ro.is_read_only());
+        assert!(stale.exists(), "read-only open sweeps nothing");
+        // Reads work; writes, quarantine and compaction are refused.
+        let mut out = vec![0.0f32; nd * ns];
+        let mut stats = StoreStats::default();
+        let positions: Vec<usize> = (0..nd).collect();
+        ro.scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .unwrap();
+        assert_eq!(out, column(nd, ns, 0));
+        assert!(matches!(
+            ro.write_column(&key(1), nd, ns, &column(nd, ns, 1)),
+            Err(StoreError::Io(_))
+        ));
+        ro.quarantine(&key(0));
+        assert!(ro.contains(&key(0)), "read-only quarantine is a no-op");
+        assert!(dir
+            .join("0000000000000011.0000000000000022/u0.col")
+            .exists());
+        assert_eq!(ro.compact(0), CompactionReport::default());
+        assert!(stale.exists());
+        drop(ro);
+        // A read-only store over a missing directory is simply empty.
+        let missing = dir.join("does-not-exist");
+        let empty = BehaviorStore::open(&StoreConfig {
+            policy: MaterializationPolicy::ReadOnly,
+            ..StoreConfig::at(&missing)
+        })
+        .unwrap();
+        assert_eq!(empty.columns(), 0);
+        assert!(!missing.exists(), "read-only open creates no directories");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

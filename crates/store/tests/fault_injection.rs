@@ -1,0 +1,164 @@
+//! Systematic fault injection over the column file format (ISSUE 5):
+//! every single-bit flip in a written column file — header, schema
+//! section, zone table, coverage bitmap, data blocks, or any checksum
+//! byte — must be **detected** (a `StoreError::Corrupt` / `Io` from
+//! validation) or **provably harmless** (every subsequent read returns
+//! bytes bit-identical to the pristine file). A flip that silently
+//! changes served values is the one unacceptable outcome.
+//!
+//! The generator is a deterministic proptest (the offline stub seeds its
+//! RNG from the test name), so CI replays the exact same ≥1000
+//! corruptions every run. The same generator drives the end-to-end
+//! session-level suite in the core crate
+//! (`crates/core/tests/store_fault_tests.rs`).
+
+use deepbase_store::format::{self, coverage_from_filled, ColumnMeta};
+use deepbase_store::{BehaviorStore, ColumnKey, StoreConfig, StoreError, StoreStats};
+use proptest::prelude::*;
+use std::fs::File;
+use std::path::PathBuf;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/tmp-store-tests")
+        .join(format!("fault-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deterministic column values.
+fn column_data(nd: usize, ns: usize) -> Vec<f32> {
+    (0..nd * ns)
+        .map(|i| ((i * 37 + 11) % 101) as f32 * 0.125 - 6.0)
+        .collect()
+}
+
+/// A deterministic `k`-element fill mask (an LCG permutation prefix, so
+/// watermarked sets are scattered like a real shuffled stream prefix).
+fn fill_mask(nd: usize, k: usize, salt: usize) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..nd).collect();
+    let mut state = salt as u64 | 1;
+    for i in (1..nd).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        order.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    let mut filled = vec![false; nd];
+    for &p in order.iter().take(k) {
+        filled[p] = true;
+    }
+    filled
+}
+
+/// Everything a consumer could read from a column file: the validated
+/// meta, the coverage bitmap, and every data block.
+type FileContents = (ColumnMeta, Option<Vec<u8>>, Vec<Vec<f32>>);
+
+/// Reads a whole column file; `Err` means some validation step refused
+/// it (detection).
+fn read_everything(path: &PathBuf) -> Result<FileContents, StoreError> {
+    let mut f = File::open(path)?;
+    let (meta, zones, covered) = format::read_meta(&mut f)?;
+    let mut blocks = Vec::with_capacity(meta.n_blocks());
+    for b in 0..meta.n_blocks() {
+        blocks.push(format::read_block(&mut f, &meta, &zones, b)?);
+    }
+    Ok((meta, covered, blocks))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+    #[test]
+    fn every_single_bit_flip_is_detected_or_harmless(
+        nd in 1usize..24,
+        ns in 1usize..4,
+        block_records in 1usize..6,
+        watermark_sel in 0usize..1000,
+        flip_sel in 0usize..1_000_000,
+    ) {
+        // Degenerate watermarks (0 and nd) are exercised often, the rest
+        // of the range uniformly.
+        let k = match watermark_sel % 4 {
+            0 => nd,
+            1 => 0,
+            _ => watermark_sel / 4 % (nd + 1),
+        };
+        let filled = fill_mask(nd, k, watermark_sel);
+        let full = column_data(nd, ns);
+        // Partial columns store only the valid rows, densely packed.
+        let data = if k < nd {
+            format::pack_rows(&full, &filled, ns)
+        } else {
+            full.clone()
+        };
+        let meta = ColumnMeta {
+            model_fp: 0x5EED,
+            dataset_fp: 0xF00D,
+            unit: 1,
+            nd: nd as u64,
+            ns: ns as u64,
+            block_records: block_records as u64,
+            completed_records: if k < nd { k as u64 } else { nd as u64 },
+        };
+        let bitmap = (k < nd).then(|| coverage_from_filled(&filled));
+        let dir = test_dir("flip");
+        let path = dir.join("u1.col");
+        format::write_column_file(&path, &dir.join("u1.tmp"), &meta, &data, bitmap.as_deref())
+            .unwrap();
+        let pristine_bytes = std::fs::read(&path).unwrap();
+        let pristine = read_everything(&path).expect("pristine file validates");
+
+        // Flip exactly one bit somewhere in the file.
+        let bit = flip_sel % (pristine_bytes.len() * 8);
+        let mut corrupted = pristine_bytes.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(&corrupted, &pristine_bytes);
+        std::fs::write(&path, &corrupted).unwrap();
+
+        match read_everything(&path) {
+            Err(_) => {} // detected — the acceptable common outcome
+            Ok((meta, covered, blocks)) => {
+                // Validation let the flip through: it must be provably
+                // harmless — everything served is bit-identical.
+                prop_assert_eq!(meta, pristine.0, "silent schema change");
+                prop_assert_eq!(covered, pristine.1.clone(), "silent coverage change");
+                prop_assert_eq!(blocks, pristine.2.clone(), "silent data change");
+            }
+        }
+
+        // The same file through the full store scan path: either an
+        // error or bit-identical values, never a silent wrong read.
+        let store = BehaviorStore::open(&StoreConfig {
+            block_records,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        let key = ColumnKey { model_fp: 0x5EED, dataset_fp: 0xF00D, unit: 1 };
+        let positions: Vec<usize> = (0..nd).filter(|&p| filled[p] || k == nd).collect();
+        if !positions.is_empty() {
+            let mut out = vec![f32::NAN; positions.len() * ns];
+            let mut stats = StoreStats::default();
+            match store.scan_into(&key, nd, ns, &positions, &mut out, 1, 0, &mut stats) {
+                Err(_) => {} // detected
+                Ok(()) => {
+                    for (i, &pos) in positions.iter().enumerate() {
+                        for t in 0..ns {
+                            let got = out[i * ns + t];
+                            let want = column_data(nd, ns)[pos * ns + t];
+                            prop_assert_eq!(
+                                got.to_bits(),
+                                want.to_bits(),
+                                "silent wrong value at position {} (flip bit {})",
+                                pos,
+                                bit
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
