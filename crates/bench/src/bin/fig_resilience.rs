@@ -1,0 +1,332 @@
+//! Resilience benchmark (ISSUE 6): run budgets on a real char-LSTM
+//! workload — tight vs infinite deadlines.
+//!
+//! Three claims, each asserted here:
+//!
+//! * **Unconstrained overhead < 2%.** The budget poll runs once per
+//!   streamed block, and an unlimited budget is never armed at all, so a
+//!   run under an effectively-infinite deadline must cost the same as a
+//!   budget-free run (min-of-N timings, the stable statistic for a CI
+//!   gate).
+//! * **Graceful degradation.** A tight deadline (calibrated to half the
+//!   measured full-stream time) interrupts the pass mid-stream: the run
+//!   still returns a full-shape frame tagged `DeadlineExceeded` with the
+//!   streamed row count, and persists the prefix as watermark-extending
+//!   partial columns.
+//! * **Resume-after-deadline speedup.** A warm re-run over the
+//!   deadline-written partials scans the prefix and extracts only the
+//!   tail — fewer LSTM forward passes, bit-identical tables, and a
+//!   wall-clock speedup reported against the cold full stream.
+//!
+//! Writes `BENCH_PR6.json` in the current directory.
+//!
+//! Run with: `cargo run --release -p deepbase-bench --bin fig_resilience`
+
+use deepbase::engine::RunBudget;
+use deepbase::prelude::*;
+use deepbase::query::UnitMeta;
+use deepbase_nn::{CharLstmModel, OutputMode};
+use deepbase_tensor::Matrix;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ND: usize = 384;
+const NS: usize = 16;
+const UNITS: usize = 96;
+const BLOCK: usize = 64;
+
+/// Owned char-LSTM extractor with forward-pass counting and a weight
+/// fingerprint (the store key).
+struct OwnedLstmExtractor {
+    model: CharLstmModel,
+    forward_passes: Arc<AtomicUsize>,
+}
+
+impl Extractor for OwnedLstmExtractor {
+    fn n_units(&self) -> usize {
+        self.model.hidden()
+    }
+
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
+        self.forward_passes.fetch_add(1, Ordering::SeqCst);
+        if records.is_empty() {
+            return Matrix::zeros(0, unit_ids.len());
+        }
+        let inputs: Vec<Vec<u32>> = records.iter().map(|r| r.symbols.clone()).collect();
+        let full = self.model.extract_activations(&inputs);
+        let mut out = Matrix::zeros(full.rows(), unit_ids.len());
+        for r in 0..full.rows() {
+            let src = full.row(r);
+            let dst = out.row_mut(r);
+            for (c, &u) in unit_ids.iter().enumerate() {
+                dst[c] = src[u];
+            }
+        }
+        out
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(char_model_fingerprint(&self.model))
+    }
+}
+
+fn build_catalog(forward_passes: &Arc<AtomicUsize>) -> Catalog {
+    let records: Vec<Record> = (0..ND)
+        .map(|i| {
+            let chars: Vec<char> = (0..NS)
+                .map(|t| match (i * 11 + t * 5) % 7 {
+                    0 | 4 => 'a',
+                    1 | 5 => 'b',
+                    2 => 'c',
+                    _ => 'd',
+                })
+                .collect();
+            let symbols: Vec<u32> = chars.iter().map(|&c| c as u32 - 'a' as u32).collect();
+            Record::standalone(i, symbols, chars.into_iter().collect())
+        })
+        .collect();
+    let mut catalog = Catalog::new();
+    catalog.add_model_with_units(
+        "probe",
+        5,
+        Arc::new(OwnedLstmExtractor {
+            model: CharLstmModel::new(4, UNITS, OutputMode::LastStep, 42),
+            forward_passes: Arc::clone(forward_passes),
+        }),
+        (0..UNITS)
+            .map(|uid| UnitMeta {
+                uid,
+                layer: (uid % 2) as i64,
+            })
+            .collect(),
+    );
+    catalog.add_hypotheses(
+        "chars",
+        vec![
+            Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a')),
+            Arc::new(FnHypothesis::char_class("is_b", |c| c == 'b')),
+        ],
+    );
+    catalog.add_dataset("seq", Arc::new(Dataset::new("seq", NS, records).unwrap()));
+    catalog
+}
+
+const QUERY: &str = "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+                     FROM models M, units U, hypotheses H, inputs D";
+
+/// Full-stream config (epsilon so small no pair converges early) with
+/// the given budget.
+fn inspection_config(budget: RunBudget) -> InspectionConfig {
+    InspectionConfig {
+        block_records: BLOCK,
+        epsilon: Some(1e-12),
+        budget,
+        ..Default::default()
+    }
+}
+
+fn fresh_session(
+    forward_passes: &Arc<AtomicUsize>,
+    budget: RunBudget,
+    store: Option<StoreConfig>,
+) -> Session {
+    Session::with_config(
+        build_catalog(forward_passes),
+        SessionConfig {
+            inspection: inspection_config(budget),
+            store,
+            ..SessionConfig::default()
+        },
+    )
+}
+
+/// Minimum nanoseconds over `n` iterations — the stable statistic for a
+/// CI overhead gate (the minimum strips scheduler noise that medians
+/// still carry at the 2% scale).
+fn min_time(n: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm OS caches
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e9);
+    }
+    best
+}
+
+/// Minimum nanoseconds for two variants timed in *interleaved* pairs, so
+/// both sample the same machine conditions — back-to-back loops see
+/// several percent of frequency/thermal drift, which would swamp a 2%
+/// overhead gate.
+fn min_time_pair(n: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    a();
+    b(); // warm OS caches
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..n {
+        let start = Instant::now();
+        a();
+        best_a = best_a.min(start.elapsed().as_secs_f64() * 1e9);
+        let start = Instant::now();
+        b();
+        best_b = best_b.min(start.elapsed().as_secs_f64() * 1e9);
+    }
+    (best_a, best_b)
+}
+
+fn main() {
+    let store_dir = PathBuf::from("target/tmp-fig-resilience");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_config = |policy: MaterializationPolicy| StoreConfig {
+        block_records: BLOCK,
+        policy,
+        ..StoreConfig::at(&store_dir)
+    };
+
+    // Reference: unbudgeted, store-less full stream.
+    let ref_passes = Arc::new(AtomicUsize::new(0));
+    let mut reference_session = fresh_session(&ref_passes, RunBudget::default(), None);
+    let t0 = Instant::now();
+    let reference = reference_session.run_batch(&[QUERY]).unwrap();
+    let full_stream = t0.elapsed();
+    let full_passes = ref_passes.load(Ordering::SeqCst);
+    assert_eq!(
+        reference.report.completion.status,
+        CompletionStatus::Converged
+    );
+    assert_eq!(reference.report.completion.rows_read, ND);
+    drop(reference_session);
+
+    // --- Claim 1: budget-check overhead on the unconstrained path < 2%.
+    // "Infinite deadline" arms the budget (worst case: one poll per
+    // block); an unlimited budget never arms at all. Both must match the
+    // budget-free time within the gate.
+    let n = 15;
+    let timing_passes = Arc::new(AtomicUsize::new(0));
+    let (ns_unbudgeted, ns_infinite) = min_time_pair(
+        n,
+        || {
+            let mut s = fresh_session(&timing_passes, RunBudget::default(), None);
+            black_box(s.run_batch(&[QUERY]).unwrap());
+        },
+        || {
+            let mut s = fresh_session(
+                &timing_passes,
+                RunBudget::with_deadline(Duration::from_secs(3600)),
+                None,
+            );
+            black_box(s.run_batch(&[QUERY]).unwrap());
+        },
+    );
+    let overhead = ns_infinite / ns_unbudgeted - 1.0;
+    println!("unbudgeted            {ns_unbudgeted:>14.0} ns");
+    println!("infinite deadline     {ns_infinite:>14.0} ns");
+    println!("armed-budget overhead {:>13.2}%", overhead * 100.0);
+    assert!(
+        overhead < 0.02,
+        "budget polling must stay under 2% on the unconstrained path, measured {:.2}%",
+        overhead * 100.0
+    );
+
+    // --- Claim 2: a tight deadline degrades gracefully. Calibrated to
+    // half the measured full-stream time, so it trips mid-stream on any
+    // machine.
+    let tight = Duration::from_secs_f64((full_stream.as_secs_f64() / 2.0).max(0.001));
+    let cold_passes = Arc::new(AtomicUsize::new(0));
+    let mut cold = fresh_session(
+        &cold_passes,
+        RunBudget::with_deadline(tight),
+        Some(store_config(MaterializationPolicy::ReadWrite)),
+    );
+    let interrupted = cold.run_batch(&[QUERY]).unwrap();
+    let completion = interrupted.report.completion.clone();
+    let interrupted_passes = cold_passes.load(Ordering::SeqCst);
+    assert_eq!(completion.status, CompletionStatus::DeadlineExceeded);
+    assert!(
+        completion.rows_read > 0 && completion.rows_read < ND,
+        "deadline must trip mid-stream, read {} of {ND}",
+        completion.rows_read
+    );
+    assert_eq!(
+        interrupted.tables[0].len(),
+        reference.tables[0].len(),
+        "the interrupted frame keeps the full answer shape"
+    );
+    let partials = interrupted.report.store.partial_columns_written;
+    assert_eq!(partials, UNITS, "the streamed prefix persists per column");
+    drop(cold);
+
+    // --- Claim 3: resume after the deadline. Read-only store, so every
+    // timed iteration resumes from the same deadline watermark.
+    let resume_passes = Arc::new(AtomicUsize::new(0));
+    let mut resume = fresh_session(
+        &resume_passes,
+        RunBudget::default(),
+        Some(store_config(MaterializationPolicy::ReadOnly)),
+    );
+    let resumed = resume.run_batch(&[QUERY]).unwrap();
+    assert_eq!(
+        resumed.tables, reference.tables,
+        "resume at the watermark must be bit-identical to the full stream"
+    );
+    assert_eq!(
+        resumed.report.completion.status,
+        CompletionStatus::Converged
+    );
+    let resumed_passes = resume_passes.load(Ordering::SeqCst);
+    assert!(
+        resumed_passes < full_passes,
+        "resume must do strictly fewer forward passes ({resumed_passes} vs {full_passes})"
+    );
+    drop(resume);
+
+    let ns_cold_full = min_time(5, || {
+        let mut s = fresh_session(&timing_passes, RunBudget::default(), None);
+        black_box(s.run_batch(&[QUERY]).unwrap());
+    });
+    let ns_resume = min_time(5, || {
+        let mut s = fresh_session(
+            &timing_passes,
+            RunBudget::default(),
+            Some(store_config(MaterializationPolicy::ReadOnly)),
+        );
+        black_box(s.run_batch(&[QUERY]).unwrap());
+    });
+    let speedup = ns_cold_full / ns_resume;
+    println!(
+        "rows read under deadline  : {} of {ND}",
+        completion.rows_read
+    );
+    println!("partial columns written   : {partials}");
+    println!("forward passes            : {full_passes} full, {interrupted_passes} interrupted, {resumed_passes} resumed");
+    println!("resume-after-deadline     : {speedup:.2}x");
+
+    let mut json = String::from("{\n  \"pr\": 6,\n  \"benchmarks\": {\n");
+    json.push_str(&format!(
+        "    \"unbudgeted\": {{\"ns_per_iter\": {ns_unbudgeted:.1}}},\n"
+    ));
+    json.push_str(&format!(
+        "    \"infinite_deadline\": {{\"ns_per_iter\": {ns_infinite:.1}}},\n"
+    ));
+    json.push_str(&format!(
+        "    \"cold_full_stream\": {{\"ns_per_iter\": {ns_cold_full:.1}}},\n"
+    ));
+    json.push_str(&format!(
+        "    \"resume_after_deadline\": {{\"ns_per_iter\": {ns_resume:.1}}}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"armed_budget_overhead\": {overhead:.4},\n  \
+         \"resume_after_deadline_speedup\": {speedup:.3},\n  \
+         \"deadline_rows_read\": {},\n  \
+         \"partial_columns_written\": {partials},\n  \
+         \"forward_passes_full\": {full_passes},\n  \
+         \"forward_passes_interrupted\": {interrupted_passes},\n  \
+         \"forward_passes_resumed\": {resumed_passes}\n}}\n",
+        completion.rows_read,
+    ));
+    deepbase_bench::emit_json("BENCH_PR6.json", &json);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

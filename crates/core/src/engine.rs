@@ -79,12 +79,13 @@ use crate::error::DniError;
 use crate::extract::{ColumnDemux, Extractor};
 use crate::measure::{Measure, MeasureKind, MeasureState, MergedState};
 use crate::model::{validate_behavior, Dataset, HypothesisFn, Record, UnitGroup};
-use crate::result::{ResultFrame, RowSpan, ScoreRow};
+use crate::result::{Completion, CompletionStatus, PendingPair, ResultFrame, RowSpan, ScoreRow};
 use deepbase_relational as rel;
 use deepbase_stats::split::shuffled_indices;
 use deepbase_store::{BehaviorStore, ColumnKey, Coverage, StoreStats};
 use deepbase_tensor::Matrix;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -122,6 +123,155 @@ impl Device {
     }
 }
 
+/// A shareable cancellation handle: an `Arc`'d atomic flag that another
+/// thread (a connection handler, a timeout watchdog, a user hitting ^C)
+/// can trip while a run is streaming. The engine polls it at block
+/// boundaries; a tripped token makes the streaming pass stop gracefully —
+/// committing watermark-extending partial columns and returning its
+/// current estimates tagged [`CompletionStatus::Cancelled`] — while the
+/// materializing engines surface [`DniError::Cancelled`].
+///
+/// Clones share the flag; cancellation is sticky (there is no reset —
+/// make a fresh token per run).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the token. Every clone observes the cancellation; safe to
+    /// call from any thread, any number of times.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has called [`CancelToken::cancel`].
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Bounds on a run: wall-clock deadline, cooperative cancellation, and
+/// work caps. The default is unlimited — and the unlimited case is free:
+/// the streaming loop skips budget polling entirely when no bound is set.
+///
+/// The deadline is a *relative* duration (kept deterministic in configs
+/// and `explain` output); it is converted to an absolute expiry instant
+/// once per batch, so every group and admission wave of the batch shares
+/// one deadline instead of each getting a fresh allowance.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Wall-clock allowance for the whole batch.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation handle (see [`CancelToken`]).
+    pub cancel: Option<CancelToken>,
+    /// Cap on records read per shared pass; the pass stops at the first
+    /// block boundary at or past the cap.
+    pub max_records: Option<usize>,
+    /// Cap on blocks processed per shared pass.
+    pub max_blocks: Option<usize>,
+}
+
+impl RunBudget {
+    /// A budget bounded only by a wall-clock deadline.
+    pub fn with_deadline(deadline: Duration) -> RunBudget {
+        RunBudget {
+            deadline: Some(deadline),
+            ..RunBudget::default()
+        }
+    }
+
+    /// A budget bounded only by a cancellation token.
+    pub fn with_cancel(cancel: CancelToken) -> RunBudget {
+        RunBudget {
+            cancel: Some(cancel),
+            ..RunBudget::default()
+        }
+    }
+
+    /// True when no bound is set (the default): the engine skips budget
+    /// polling entirely.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.cancel.is_none()
+            && self.max_records.is_none()
+            && self.max_blocks.is_none()
+    }
+
+    /// Arms the budget at a batch's start: the relative deadline becomes
+    /// an absolute expiry shared by everything the batch runs. `None`
+    /// when unlimited, so the hot path stays poll-free.
+    pub(crate) fn arm(&self) -> Option<ArmedBudget> {
+        if self.is_unlimited() {
+            return None;
+        }
+        Some(ArmedBudget {
+            expires_at: self.deadline.map(|d| Instant::now() + d),
+            cancel: self.cancel.clone(),
+            max_records: self.max_records,
+            max_blocks: self.max_blocks,
+        })
+    }
+}
+
+/// A [`RunBudget`] armed with its absolute expiry, shared (by reference)
+/// across the groups and waves of one batch.
+#[derive(Debug, Clone)]
+pub(crate) struct ArmedBudget {
+    expires_at: Option<Instant>,
+    cancel: Option<CancelToken>,
+    max_records: Option<usize>,
+    max_blocks: Option<usize>,
+}
+
+impl ArmedBudget {
+    /// Polls the budget at a block boundary. Returns the interruption
+    /// status when a bound has tripped — cancellation first (it is the
+    /// cheapest check and the most explicit signal), then the deadline,
+    /// then work caps — or `None` while the run may continue.
+    fn check(&self, records_read: usize, blocks_processed: usize) -> Option<CompletionStatus> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                return Some(CompletionStatus::Cancelled);
+            }
+        }
+        if let Some(expires_at) = self.expires_at {
+            if Instant::now() >= expires_at {
+                return Some(CompletionStatus::DeadlineExceeded);
+            }
+        }
+        if let Some(cap) = self.max_records {
+            if records_read >= cap {
+                return Some(CompletionStatus::BudgetExhausted);
+            }
+        }
+        if let Some(cap) = self.max_blocks {
+            if blocks_processed >= cap {
+                return Some(CompletionStatus::BudgetExhausted);
+            }
+        }
+        None
+    }
+
+    /// Coarse check for engines that cannot return partial answers (the
+    /// materializing fallbacks and the MADLib baseline): a tripped budget
+    /// is a typed error instead of a degraded frame.
+    fn check_fatal(&self) -> Result<(), DniError> {
+        match self.check(0, 0) {
+            Some(CompletionStatus::Cancelled) => Err(DniError::Cancelled),
+            Some(_) => Err(DniError::DeadlineExceeded(
+                "budget expired in a non-streaming engine (no partial answer available)".into(),
+            )),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Inspection configuration.
 #[derive(Clone)]
 pub struct InspectionConfig {
@@ -138,6 +288,11 @@ pub struct InspectionConfig {
     pub seed: u64,
     /// Optional hypothesis-behavior cache shared across runs (Fig. 9).
     pub cache: Option<Arc<HypothesisCache>>,
+    /// Run bounds: deadline, cancellation, work caps. Unlimited by
+    /// default. The streaming engine degrades gracefully when a bound
+    /// trips (partial frame, watermark-extending partial columns); the
+    /// materializing engines surface a transient [`DniError`] instead.
+    pub budget: RunBudget,
 }
 
 impl Default for InspectionConfig {
@@ -149,6 +304,7 @@ impl Default for InspectionConfig {
             epsilon: None,
             seed: 0,
             cache: None,
+            budget: RunBudget::default(),
         }
     }
 }
@@ -241,9 +397,25 @@ fn validate_request(req: &InspectionRequest<'_>) -> Result<(), DniError> {
 }
 
 /// Runs an inspection, returning the score frame and a cost profile.
+///
+/// A configured [`RunBudget`] applies: the streaming `DeepBase` engine
+/// degrades gracefully on an interrupted run (the frame holds the current
+/// estimates; use [`inspect_shared_store`] to also observe the
+/// [`Completion`] tag), the materializing engines surface
+/// [`DniError::DeadlineExceeded`] / [`DniError::Cancelled`].
 pub fn inspect(
     req: &InspectionRequest<'_>,
     config: &InspectionConfig,
+) -> Result<(ResultFrame, Profile), DniError> {
+    let armed = config.budget.arm();
+    inspect_budgeted(req, config, armed.as_ref())
+}
+
+/// [`inspect`] against an already armed budget (shared batch deadline).
+fn inspect_budgeted(
+    req: &InspectionRequest<'_>,
+    config: &InspectionConfig,
+    budget: Option<&ArmedBudget>,
 ) -> Result<(ResultFrame, Profile), DniError> {
     validate_config(config)?;
     validate_request(req)?;
@@ -252,9 +424,9 @@ pub fn inspect(
     }
 
     match config.engine {
-        EngineKind::Madlib => inspect_madlib(req, config),
-        EngineKind::DeepBase => inspect_streaming(req, config),
-        _ => inspect_materialized(req, config),
+        EngineKind::Madlib => inspect_madlib(req, config, budget),
+        EngineKind::DeepBase => inspect_streaming(req, config, budget),
+        _ => inspect_materialized(req, config, budget),
     }
 }
 
@@ -367,12 +539,19 @@ fn emit_rows(
 fn inspect_materialized(
     req: &InspectionRequest<'_>,
     config: &InspectionConfig,
+    budget: Option<&ArmedBudget>,
 ) -> Result<(ResultFrame, Profile), DniError> {
     let t_start = Instant::now();
     let mut profile = Profile::default();
     let ns = req.dataset.ns;
     let records = shuffled_records(req.dataset, config.seed);
     profile.records_read = records.len();
+    // Materializing engines have no partial answer to degrade to: a
+    // tripped budget is a typed error, checked coarsely (here, after each
+    // materialization phase, and per (group, measure) round below).
+    if let Some(b) = budget {
+        b.check_fatal()?;
+    }
 
     // Materialize unit behaviors per group.
     let t0 = Instant::now();
@@ -382,6 +561,9 @@ fn inspect_materialized(
         .map(|g| extract_records(req.extractor, &records, &g.units, config.device, ns))
         .collect();
     profile.unit_extraction = t0.elapsed();
+    if let Some(b) = budget {
+        b.check_fatal()?;
+    }
 
     // Materialize all hypothesis behaviors.
     let t1 = Instant::now();
@@ -396,6 +578,9 @@ fn inspect_materialized(
         )?);
     }
     profile.hypothesis_extraction = t1.elapsed();
+    if let Some(b) = budget {
+        b.check_fatal()?;
+    }
 
     let merging = matches!(
         config.engine,
@@ -409,6 +594,9 @@ fn inspect_materialized(
     let mut frame = ResultFrame::default();
     for (group, behaviors) in req.groups.iter().zip(group_behaviors.iter()) {
         for measure in &req.measures {
+            if let Some(b) = budget {
+                b.check_fatal()?;
+            }
             let eps = epsilon_for(*measure, config);
             let merged_state = if merging {
                 measure.new_merged_state(group.units.len(), req.hypotheses.len())
@@ -574,6 +762,12 @@ pub struct SharedOutcome {
     /// counters, forward passes avoided, and any corruption errors the
     /// pass survived by falling back to live extraction.
     pub store: StoreStats,
+    /// How the pass ended: converged, or interrupted by its run budget
+    /// (with rows read and the still-converging pairs). An interrupted
+    /// pass has committed its watermark-extending partial columns (when a
+    /// writable store source was bound), so a warm re-run resumes exactly
+    /// where this one stopped.
+    pub completion: Completion,
 }
 
 /// The optimizer's store decision for one shared pass: the column key
@@ -1000,6 +1194,10 @@ enum SlotState {
         /// Column index into the union hypothesis set.
         hyp: usize,
         result: Option<PairResult>,
+        /// Convergence error after the last processed block
+        /// (`f32::INFINITY` before the first); reported for pairs still
+        /// pending when an interrupted pass stops.
+        last_err: f32,
     },
     Merged {
         state: Box<dyn MergedState>,
@@ -1007,6 +1205,9 @@ enum SlotState {
         hyps: Vec<usize>,
         done: bool,
         results: Vec<Option<PairResult>>,
+        /// Per-hypothesis convergence errors after the last processed
+        /// block (`f32::INFINITY` before the first).
+        last_errs: Vec<f32>,
     },
 }
 
@@ -1053,8 +1254,9 @@ struct MemberRun {
 fn inspect_streaming(
     req: &InspectionRequest<'_>,
     config: &InspectionConfig,
+    budget: Option<&ArmedBudget>,
 ) -> Result<(ResultFrame, Profile), DniError> {
-    let mut outcome = inspect_shared(std::slice::from_ref(req), config)?;
+    let mut outcome = inspect_shared_store_armed(std::slice::from_ref(req), config, None, budget)?;
     Ok(outcome.results.pop().expect("one member, one result"))
 }
 
@@ -1083,6 +1285,19 @@ pub fn inspect_shared_store(
     reqs: &[InspectionRequest<'_>],
     config: &InspectionConfig,
     source: Option<&StoreSource>,
+) -> Result<SharedOutcome, DniError> {
+    let armed = config.budget.arm();
+    inspect_shared_store_armed(reqs, config, source, armed.as_ref())
+}
+
+/// [`inspect_shared_store`] against an already armed budget: the batch
+/// scheduler arms the configured [`RunBudget`] once and shares the
+/// absolute deadline across every group and admission wave it executes.
+pub(crate) fn inspect_shared_store_armed(
+    reqs: &[InspectionRequest<'_>],
+    config: &InspectionConfig,
+    source: Option<&StoreSource>,
+    budget: Option<&ArmedBudget>,
 ) -> Result<SharedOutcome, DniError> {
     validate_config(config)?;
     if reqs.is_empty() {
@@ -1119,10 +1334,11 @@ pub fn inspect_shared_store(
             ..SharedOutcome::default()
         };
         for req in reqs {
-            let (frame, profile) = inspect(req, config)?;
+            let (frame, profile) = inspect_budgeted(req, config, budget)?;
             outcome.pass.accumulate(&profile);
             outcome.results.push((frame, profile));
         }
+        outcome.completion.rows_read = outcome.pass.records_read;
         return Ok(outcome);
     }
 
@@ -1238,6 +1454,7 @@ pub fn inspect_shared_store(
                             state: SlotState::Merged {
                                 state,
                                 results: vec![None; req.hypotheses.len()],
+                                last_errs: vec![f32::INFINITY; req.hypotheses.len()],
                                 hyps,
                                 done: false,
                             },
@@ -1273,6 +1490,7 @@ pub fn inspect_shared_store(
                                             state: Some(measure.new_state(group.units.len())),
                                             hyp: col,
                                             result: None,
+                                            last_err: f32::INFINITY,
                                         },
                                     });
                                     slots.len() - 1
@@ -1309,10 +1527,22 @@ pub fn inspect_shared_store(
     let mut pass = Profile::default();
     let nb = config.block_records;
     let mut block_start = 0usize;
+    let mut interrupted: Option<CompletionStatus> = None;
     while block_start < records.len() {
         let live_at_start: Vec<bool> = members.iter().map(|m| m.live).collect();
         if !live_at_start.iter().any(|&l| l) {
             break; // §5.2.3: stop reading the moment everything converged.
+        }
+        // Budget poll, amortized to one check per block: an unlimited run
+        // never reaches here with a budget, and an interrupted run exits
+        // through exactly the early-stop path below — write-back commits
+        // the streamed prefix as watermark-extending partial columns and
+        // the frames carry the current estimates.
+        if let Some(b) = budget {
+            if let Some(status) = b.check(pass.records_read, pass.blocks_processed) {
+                interrupted = Some(status);
+                break;
+            }
         }
         let block_end = (block_start + nb).min(records.len());
         let block = &records[block_start..block_end];
@@ -1380,6 +1610,7 @@ pub fn inspect_shared_store(
                     state: maybe_state,
                     hyp,
                     result,
+                    last_err,
                 } => {
                     if let Some(state) = maybe_state {
                         // `None` means the identity selection: use the
@@ -1388,6 +1619,7 @@ pub fn inspect_shared_store(
                             sel_behaviors[slot.sel].as_ref().unwrap_or(&union_behaviors);
                         let col = hyp_cols[*hyp].as_ref().expect("consumed column");
                         let err = state.process_block(behaviors, col);
+                        *last_err = err;
                         if err <= slot.eps {
                             *result = Some((state.unit_scores(), state.group_score()));
                             *maybe_state = None; // converged: stop feeding
@@ -1400,6 +1632,7 @@ pub fn inspect_shared_store(
                     hyps,
                     done,
                     results,
+                    last_errs,
                 } => {
                     if *done {
                         continue;
@@ -1413,6 +1646,7 @@ pub fn inspect_shared_store(
                         }
                     }
                     let errs = state.process_block(behaviors, &hyps_matrix);
+                    last_errs.copy_from_slice(&errs);
                     if errs.iter().all(|&e| e <= slot.eps) {
                         *done = true;
                         for (h, r) in results.iter_mut().enumerate() {
@@ -1452,14 +1686,60 @@ pub fn inspect_shared_store(
         block_start = block_end;
     }
 
-    // Persist captured miss columns (only after a fully streamed pass)
-    // and detach the pass's store accounting.
+    // Persist the captured columns — complete after a fully streamed
+    // pass, watermark-extending partials after an early stop or a budget
+    // interruption (the two are indistinguishable here by design: a
+    // deadline-interrupted pass resumes at its watermark like any other
+    // early-stopped one) — and detach the pass's store accounting.
     let store_stats = match &mut store_pass {
         Some(pass) => {
             pass.flush_writeback(nd, ns);
             std::mem::take(&mut pass.stats)
         }
         None => StoreStats::default(),
+    };
+
+    // How the pass ended: the interruption status (if any) plus every
+    // pair whose convergence error was still above its epsilon — also
+    // populated for a naturally exhausted stream, where the scores are
+    // the full-data scores but the epsilon target was never met.
+    let mut pending: Vec<PendingPair> = Vec::new();
+    for slot in &slots {
+        let mut push_pending = |hyp_col: usize, error: f32| {
+            pending.push(PendingPair {
+                group_id: slot.group_id.clone(),
+                measure_id: slot.measure_id.clone(),
+                hyp_id: union_hyps[hyp_col].id().to_string(),
+                error,
+                epsilon: slot.eps,
+            });
+        };
+        match &slot.state {
+            SlotState::PerHyp {
+                state: Some(_),
+                hyp,
+                last_err,
+                ..
+            } => push_pending(*hyp, *last_err),
+            SlotState::Merged {
+                done: false,
+                hyps,
+                last_errs,
+                ..
+            } => {
+                for (h, &c) in hyps.iter().enumerate() {
+                    if last_errs[h] > slot.eps {
+                        push_pending(c, last_errs[h]);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let completion = Completion {
+        status: interrupted.unwrap_or(CompletionStatus::Converged),
+        rows_read: pass.records_read,
+        pending,
     };
 
     // Emit every unique pair once into the merged frame (converged pairs
@@ -1487,7 +1767,9 @@ pub fn inspect_shared_store(
             slot_spans.push((start, units.len()));
         };
         match &slot.state {
-            SlotState::PerHyp { state, hyp, result } => {
+            SlotState::PerHyp {
+                state, hyp, result, ..
+            } => {
                 let result = result.clone().unwrap_or_else(|| {
                     let state = state.as_ref().expect("unconverged pair keeps its state");
                     (state.unit_scores(), state.group_score())
@@ -1571,6 +1853,7 @@ pub fn inspect_shared_store(
         pass,
         extraction_passes: 1,
         store: store_stats,
+        completion,
     })
 }
 
@@ -1581,6 +1864,7 @@ pub fn inspect_shared_store(
 fn inspect_madlib(
     req: &InspectionRequest<'_>,
     config: &InspectionConfig,
+    budget: Option<&ArmedBudget>,
 ) -> Result<(ResultFrame, Profile), DniError> {
     let t_start = Instant::now();
     let mut profile = Profile::default();
@@ -1591,6 +1875,11 @@ fn inspect_madlib(
 
     let mut frame = ResultFrame::default();
     for group in &req.groups {
+        // Coarse budget check per group: the relational baseline has no
+        // partial answer to return, so a tripped budget is an error.
+        if let Some(b) = budget {
+            b.check_fatal()?;
+        }
         // Materialize the dense behavior relations (unitsb_dense /
         // hyposb_dense of §5.1.1), joined on symbolid.
         let t0 = Instant::now();

@@ -3,7 +3,13 @@
 use std::fmt;
 
 /// Errors surfaced by DeepBase operations.
+///
+/// Marked `#[non_exhaustive]`: the set grows as the pipeline hardens
+/// (this revision added [`DniError::DeadlineExceeded`],
+/// [`DniError::Cancelled`] and [`DniError::Internal`]) and future
+/// variants must not be semver-breaking for downstream matchers.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum DniError {
     /// A record violated dataset invariants.
     BadRecord {
@@ -33,6 +39,18 @@ pub enum DniError {
     BadConfig(String),
     /// INSPECT query syntax or binding error.
     Query(String),
+    /// The run budget's wall-clock deadline (or a row/pass cap) expired
+    /// before the pass could produce a result. The streaming engine
+    /// degrades gracefully instead of raising this; only engines without
+    /// partial answers (materializing fallbacks) surface it as an error.
+    DeadlineExceeded(String),
+    /// The run was cancelled through a [`crate::engine::CancelToken`].
+    Cancelled,
+    /// A worker panicked; the panic was contained at the extraction-group
+    /// boundary and its original payload is carried here verbatim. One
+    /// poisoned group fails only its own queries — siblings complete and
+    /// the runtime pool stays usable.
+    Internal(String),
 }
 
 impl fmt::Display for DniError {
@@ -49,11 +67,26 @@ impl fmt::Display for DniError {
             DniError::BadUnitGroup { group, msg } => write!(f, "unit group {group:?}: {msg}"),
             DniError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             DniError::Query(msg) => write!(f, "query error: {msg}"),
+            DniError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
+            DniError::Cancelled => write!(f, "run cancelled"),
+            DniError::Internal(msg) => write!(f, "internal error (worker panic): {msg}"),
         }
     }
 }
 
 impl std::error::Error for DniError {}
+
+impl DniError {
+    /// True for errors that a retry of the same statement could clear
+    /// without any change to query, catalog, or configuration: budget
+    /// expiry and cancellation. Everything else — bad inputs, corrupt
+    /// state, contained panics — is deterministic and will recur. The
+    /// store retry path uses the same transient/permanent split for IO
+    /// errors (see `deepbase_store::StoreError::is_transient`).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DniError::DeadlineExceeded(_) | DniError::Cancelled)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -78,5 +111,14 @@ mod tests {
             DniError::BadConfig("x".into())
         );
         assert_ne!(DniError::BadConfig("x".into()), DniError::Query("x".into()));
+    }
+
+    #[test]
+    fn transience_splits_budget_errors_from_everything_else() {
+        assert!(DniError::DeadlineExceeded("10ms".into()).is_transient());
+        assert!(DniError::Cancelled.is_transient());
+        assert!(!DniError::Internal("boom".into()).is_transient());
+        assert!(!DniError::BadConfig("x".into()).is_transient());
+        assert!(!DniError::Query("x".into()).is_transient());
     }
 }

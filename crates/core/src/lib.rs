@@ -115,6 +115,43 @@
 //! hits/evictions, forward passes avoided, bytes reclaimed);
 //! [`session::Session::store_stats`] accumulates them per session.
 //!
+//! ## Bounded execution & failure domains
+//!
+//! Every execution can be bounded by a [`engine::RunBudget`]
+//! ([`engine::InspectionConfig::budget`]): a relative wall-clock
+//! **deadline**, a shareable [`engine::CancelToken`] (an `Arc`'d atomic,
+//! cancellable from another thread), and optional row/block caps. The
+//! streaming engine polls the armed budget once per block boundary —
+//! amortized to near-zero overhead, and skipped entirely when the budget
+//! is unlimited — and on expiry **degrades gracefully** instead of
+//! erroring: the pass stops where it is, persists its extraction work as
+//! watermark-extending partial columns through the normal write-back
+//! path (a deadline-interrupted pass is indistinguishable from an
+//! early-stopped one; the next warm run resumes at the watermark and
+//! does strictly fewer forward passes), and returns the current score
+//! estimates tagged with a [`result::Completion`] — status
+//! ([`result::CompletionStatus`]: `Converged` / `DeadlineExceeded` /
+//! `Cancelled` / `BudgetExhausted`), rows read, and the per-pair
+//! convergence error of everything still pending — carried per pass in
+//! [`engine::SharedOutcome`], per wave in [`plan::GroupReport`] and
+//! batch-wide in [`plan::BatchReport::completion`]. Interrupted frames
+//! are valid partial answers but never seed the session score cache.
+//! Engines without partial answers (the materializing fallbacks and the
+//! MADLib baseline) surface budget expiry as typed errors
+//! ([`DniError::DeadlineExceeded`] / [`DniError::Cancelled`], both
+//! `is_transient()`).
+//!
+//! Failure domains are bounded the same way. A worker panic (a
+//! hypothesis or extractor that panics mid-stream) is contained at the
+//! extraction-group boundary: the dead group's queries fail with
+//! [`DniError::Internal`] carrying the original panic payload verbatim
+//! ([`plan::BatchReport::query_errors`]), sibling groups run to
+//! completion, and the runtime pool stays usable. Store IO distinguishes
+//! **transient** error kinds (interrupted/would-block/timed-out reads —
+//! retried with bounded backoff and counted in
+//! [`prelude::StoreStats::io_retries`]) from corruption, which is
+//! quarantined as always.
+//!
 //! Modules map to the paper:
 //!
 //! * [`model`] — the DNI problem model: datasets, records, unit groups,
@@ -166,8 +203,8 @@ pub use error::DniError;
 pub mod prelude {
     pub use crate::cache::{CacheStats, HypothesisCache};
     pub use crate::engine::{
-        inspect, inspect_shared, inspect_shared_store, Device, EngineKind, InspectionConfig,
-        InspectionRequest, Profile, SharedOutcome, StoreSource,
+        inspect, inspect_shared, inspect_shared_store, CancelToken, Device, EngineKind,
+        InspectionConfig, InspectionRequest, Profile, RunBudget, SharedOutcome, StoreSource,
     };
     pub use crate::error::DniError;
     pub use crate::extract::{
@@ -187,7 +224,7 @@ pub mod prelude {
         GroupSource, LogicalPlan, PhysicalPlan, PlanStats, StoreBinding, StorePlan,
     };
     pub use crate::query::{execute, execute_batch, parse, run_query, Catalog};
-    pub use crate::result::{ResultFrame, ScoreRow};
+    pub use crate::result::{Completion, CompletionStatus, PendingPair, ResultFrame, ScoreRow};
     pub use crate::session::{PreparedBatch, PreparedQuery, Session, SessionConfig, SessionStats};
     pub use deepbase_store::{
         BehaviorStore, ColumnKey, CompactionReport, Coverage, FpHasher, MaterializationPolicy,

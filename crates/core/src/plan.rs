@@ -34,8 +34,8 @@
 
 use crate::cache::{CacheStats, HypothesisCache};
 use crate::engine::{
-    inspect_shared_store, Device, EngineKind, InspectionConfig, InspectionRequest, Profile,
-    SharedOutcome, StoreSource,
+    inspect_shared_store_armed, Device, EngineKind, InspectionConfig, InspectionRequest, Profile,
+    RunBudget, SharedOutcome, StoreSource,
 };
 // The optimizer's per-group store decision lives next to the executor
 // that consumes it; re-exported here because it is a planning artifact.
@@ -45,10 +45,11 @@ use crate::extract::Extractor;
 use crate::measure::Measure;
 use crate::model::{Dataset, HypothesisFn, UnitGroup};
 use crate::query::{Catalog, ColRef, Cond, InspectQuery, Literal, UnitMeta};
-use crate::result::ResultFrame;
+use crate::result::{Completion, ResultFrame};
 use deepbase_relational::{ColType, Schema, Table, Value};
 use deepbase_store::{BehaviorStore, MaterializationPolicy, StoreStats};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 
 /// Byte budget of the hypothesis cache the batch shims install when the
@@ -617,6 +618,10 @@ pub struct PhysicalPlan {
     pub stats: PlanStats,
     block_records: usize,
     admission: AdmissionConfig,
+    /// The run budget captured at optimize time, rendered by `explain`
+    /// (execution arms the budget of the config it is given, which is
+    /// normally the same one).
+    budget: RunBudget,
     /// The open store the `StoreScan` sources execute against.
     store: Option<Arc<BehaviorStore>>,
 }
@@ -891,6 +896,7 @@ pub(crate) fn optimize_with(
         stats,
         block_records: config.block_records.max(1),
         admission,
+        budget: config.budget.clone(),
         store: binding.map(|b| Arc::clone(&b.store)),
     }
 }
@@ -926,6 +932,9 @@ pub struct GroupReport {
     /// Behavior-store accounting for the pass (all zeros without a store
     /// source).
     pub store: StoreStats,
+    /// How the pass ended: converged, or interrupted by the run budget,
+    /// with rows read and the pairs still converging.
+    pub completion: Completion,
 }
 
 /// Per-query, per-pass and plan-pipeline accounting for one batch.
@@ -945,6 +954,18 @@ pub struct BatchReport {
     /// read/written, pool hits/evictions, forward passes avoided, and
     /// any corruption errors survived by falling back to live extraction.
     pub store: StoreStats,
+    /// Batch-wide completion: the most severe status across the batch's
+    /// passes, total rows read, and every pair still converging. A
+    /// deadline that expired mid-batch tags the whole report
+    /// `DeadlineExceeded` while the tables carry the partial answers.
+    pub completion: Completion,
+    /// Per-query failure slots, aligned with `tables`. `Some` only for
+    /// queries whose extraction group died of a contained worker panic
+    /// ([`DniError::Internal`]): those queries get empty tables while
+    /// sibling groups' queries complete normally. Errors that indict the
+    /// whole batch (bad config, bad records, store corruption) still fail
+    /// `execute` itself.
+    pub query_errors: Vec<Option<DniError>>,
 }
 
 /// Result of a batch execution: one table per input query plus the
@@ -961,6 +982,18 @@ pub struct BatchOutput {
 /// Frames computed for `(query, model_pos)` work items during one
 /// execution, handed back so the session can feed its score cache.
 pub(crate) type ComputedFrames = Vec<(usize, usize, Arc<ResultFrame>)>;
+
+/// Renders a contained panic payload for [`DniError::Internal`]:
+/// `panic!` string payloads (the common case) are carried verbatim.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 impl PhysicalPlan {
     /// Executes the plan with batch semantics: a default-budget hypothesis
@@ -1017,6 +1050,10 @@ impl PhysicalPlan {
             cache: cache.clone(),
             ..config.clone()
         };
+        // Arm the run budget once for the whole batch: every group and
+        // wave shares one absolute expiry, so a deadline bounds the batch
+        // end to end rather than restarting per pass.
+        let armed = config.budget.arm();
 
         // Run every wave of every group through one shared pass; waves of
         // one group run sequentially (that is the admission queue), while
@@ -1033,27 +1070,43 @@ impl PhysicalPlan {
                 }),
                 _ => None,
             };
-            g.waves
-                .iter()
-                .map(|wave| {
-                    let requests: Vec<InspectionRequest> = g.items[wave.clone()]
-                        .iter()
-                        .map(|item| {
-                            let plan = &self.plans[item.query];
-                            let model = &plan.models[item.model_pos];
-                            InspectionRequest {
-                                model_id: model.mid.clone(),
-                                extractor: model.extractor.as_ref(),
-                                groups: model.groups.clone(),
-                                dataset: &plan.dataset,
-                                hypotheses: plan.hypotheses.iter().map(|h| h.as_ref()).collect(),
-                                measures: plan.measures.iter().map(|m| m.as_ref()).collect(),
-                            }
-                        })
-                        .collect();
-                    inspect_shared_store(&requests, &config, source.as_ref())
-                })
-                .collect()
+            // Contain worker panics at the group boundary: a hypothesis
+            // or extractor that panics mid-stream poisons only its own
+            // group's queries — the payload surfaces as
+            // `DniError::Internal` and sibling groups run to completion.
+            catch_unwind(AssertUnwindSafe(|| {
+                g.waves
+                    .iter()
+                    .map(|wave| {
+                        let requests: Vec<InspectionRequest> = g.items[wave.clone()]
+                            .iter()
+                            .map(|item| {
+                                let plan = &self.plans[item.query];
+                                let model = &plan.models[item.model_pos];
+                                InspectionRequest {
+                                    model_id: model.mid.clone(),
+                                    extractor: model.extractor.as_ref(),
+                                    groups: model.groups.clone(),
+                                    dataset: &plan.dataset,
+                                    hypotheses: plan
+                                        .hypotheses
+                                        .iter()
+                                        .map(|h| h.as_ref())
+                                        .collect(),
+                                    measures: plan.measures.iter().map(|m| m.as_ref()).collect(),
+                                }
+                            })
+                            .collect();
+                        inspect_shared_store_armed(
+                            &requests,
+                            &config,
+                            source.as_ref(),
+                            armed.as_ref(),
+                        )
+                    })
+                    .collect()
+            }))
+            .unwrap_or_else(|payload| Err(DniError::Internal(panic_message(payload))))
         };
         let fan_out = matches!(config.device, Device::Parallel(_)) && self.groups.len() > 1;
         let outcomes: Vec<Result<Vec<SharedOutcome>, DniError>> = if fan_out {
@@ -1074,22 +1127,44 @@ impl PhysicalPlan {
         } else {
             self.groups.iter().map(run_group).collect()
         };
+        // Contained panics (`DniError::Internal`) fail only the dead
+        // group's queries; every other error indicts the batch as a whole
+        // (bad inputs, store corruption, budget expiry in a non-streaming
+        // engine) and keeps failing it here.
         let mut group_outcomes: Vec<Vec<SharedOutcome>> = Vec::with_capacity(outcomes.len());
+        let mut group_errors: Vec<Option<DniError>> = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
-            group_outcomes.push(outcome?);
+            match outcome {
+                Ok(waves) => {
+                    group_outcomes.push(waves);
+                    group_errors.push(None);
+                }
+                Err(e @ DniError::Internal(_)) => {
+                    group_outcomes.push(Vec::new());
+                    group_errors.push(Some(e));
+                }
+                Err(e) => return Err(e),
+            }
         }
 
         // Flatten wave outcomes into per-item results (waves partition the
-        // item list in order, so concatenation restores item order).
-        let item_results: Vec<Vec<&(ResultFrame, Profile)>> = group_outcomes
+        // item list in order, so concatenation restores item order), each
+        // paired with its wave's completion.
+        let item_results: Vec<Vec<(&(ResultFrame, Profile), &Completion)>> = group_outcomes
             .iter()
-            .map(|waves| waves.iter().flat_map(|o| o.results.iter()).collect())
+            .map(|waves| {
+                waves
+                    .iter()
+                    .flat_map(|o| o.results.iter().map(move |r| (r, &o.completion)))
+                    .collect()
+            })
             .collect();
 
         // Assemble each query's table from its placements, models in
         // catalog order, its own HAVING/projection applied.
         let mut tables = Vec::with_capacity(self.plans.len());
         let mut per_query = vec![Profile::default(); self.plans.len()];
+        let mut query_errors: Vec<Option<DniError>> = vec![None; self.plans.len()];
         let mut computed: ComputedFrames = Vec::new();
         for (qi, plan) in self.plans.iter().enumerate() {
             let mut out = plan.output_table();
@@ -1098,10 +1173,22 @@ impl PhysicalPlan {
                     Placement::Skip => {}
                     Placement::Cached(frame) => apply_post(plan, model, frame, &mut out)?,
                     Placement::Run { group, item } => {
-                        let (frame, profile) = item_results[*group][*item];
+                        if let Some(err) = &group_errors[*group] {
+                            // The group died of a contained panic: this
+                            // query's table stays empty and the error
+                            // rides in `query_errors`.
+                            query_errors[qi] = Some(err.clone());
+                            continue;
+                        }
+                        let ((frame, profile), completion) = item_results[*group][*item];
                         per_query[qi].accumulate(profile);
                         apply_post(plan, model, frame, &mut out)?;
-                        if collect_frames {
+                        // Only converged frames may seed the session
+                        // score cache: a budget-interrupted frame is a
+                        // valid partial answer for *this* run, but caching
+                        // it would leak approximation into future
+                        // unbudgeted runs.
+                        if collect_frames && completion.is_complete() {
                             computed.push((qi, pos, Arc::new(frame.clone())));
                         }
                     }
@@ -1117,10 +1204,13 @@ impl PhysicalPlan {
             cache: stats_after.delta_since(&stats_before),
             plan: self.stats,
             store: StoreStats::default(),
+            completion: Completion::default(),
+            query_errors,
         };
         for (group, waves) in self.groups.iter().zip(&group_outcomes) {
             for (wave, outcome) in group.waves.iter().zip(waves) {
                 report.store.accumulate(&outcome.store);
+                report.completion.merge(&outcome.completion);
                 report.groups.push(GroupReport {
                     model_id: group.model_id.clone(),
                     dataset_id: group.dataset_id.clone(),
@@ -1128,6 +1218,7 @@ impl PhysicalPlan {
                     extraction_passes: outcome.extraction_passes,
                     pass: outcome.pass.clone(),
                     store: outcome.store.clone(),
+                    completion: outcome.completion.clone(),
                 });
             }
         }
@@ -1149,6 +1240,25 @@ impl PhysicalPlan {
             if self.groups.len() == 1 { "" } else { "s" },
             self.block_records,
         ));
+        if !self.budget.is_unlimited() {
+            // Only rendered for a bounded run, so unbudgeted plan
+            // snapshots are unchanged. The deadline is the configured
+            // relative duration (deterministic), never an absolute time.
+            let mut parts: Vec<String> = Vec::new();
+            if let Some(d) = self.budget.deadline {
+                parts.push(format!("deadline={d:?}"));
+            }
+            if self.budget.cancel.is_some() {
+                parts.push("cancellable".to_string());
+            }
+            if let Some(n) = self.budget.max_records {
+                parts.push(format!("max_records={n}"));
+            }
+            if let Some(n) = self.budget.max_blocks {
+                parts.push(format!("max_blocks={n}"));
+            }
+            out.push_str(&format!("├─ budget: {}\n", parts.join(", ")));
+        }
         if cached > 0 {
             out.push_str(&format!(
                 "├─ score cache: {cached} work item{} answered without execution\n",

@@ -32,6 +32,99 @@ pub struct ResultFrame {
     pub rows: Vec<ScoreRow>,
 }
 
+/// Why an inspection pass stopped streaming.
+///
+/// Every status except [`CompletionStatus::Converged`] marks an
+/// *interrupted* pass: the run budget tripped at a block boundary and the
+/// engine returned its current estimates instead of erroring (graceful
+/// degradation). A pass that streams every record without converging is
+/// still `Converged` — its scores are the full-data scores, the best any
+/// uninterrupted run could produce — with the unconverged pairs listed in
+/// [`Completion::pending`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CompletionStatus {
+    /// The pass ran to its natural end: every pair converged, or the
+    /// records ran out.
+    #[default]
+    Converged,
+    /// The run budget's wall-clock deadline expired mid-stream.
+    DeadlineExceeded,
+    /// The run's `CancelToken` was tripped from another thread.
+    Cancelled,
+    /// A row or block cap of the run budget was reached mid-stream.
+    BudgetExhausted,
+}
+
+impl CompletionStatus {
+    /// True for every status except [`CompletionStatus::Converged`].
+    pub fn is_interrupted(&self) -> bool {
+        !matches!(self, CompletionStatus::Converged)
+    }
+
+    /// Severity rank for aggregation across groups/waves: an explicit
+    /// cancellation outranks a deadline, which outranks a work cap, which
+    /// outranks convergence.
+    fn severity(&self) -> u8 {
+        match self {
+            CompletionStatus::Converged => 0,
+            CompletionStatus::BudgetExhausted => 1,
+            CompletionStatus::DeadlineExceeded => 2,
+            CompletionStatus::Cancelled => 3,
+        }
+    }
+}
+
+/// A `(group, measure, hypothesis)` pair that had not converged when its
+/// pass stopped, with the distance still to cover.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingPair {
+    /// Unit-group identifier.
+    pub group_id: String,
+    /// Measure identifier.
+    pub measure_id: String,
+    /// Hypothesis identifier.
+    pub hyp_id: String,
+    /// The pair's convergence error after the last processed block
+    /// (`f32::INFINITY` when the pass stopped before its first block).
+    pub error: f32,
+    /// The threshold the error had to reach.
+    pub epsilon: f32,
+}
+
+/// How an inspection pass ended: status, work done, and which pairs were
+/// still converging. Carried per shared pass in `SharedOutcome`, per
+/// group in `GroupReport`, and batch-wide in `BatchReport`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Why the pass stopped.
+    pub status: CompletionStatus,
+    /// Records the pass actually read before stopping.
+    pub rows_read: usize,
+    /// Pairs whose convergence error was still above epsilon when the
+    /// pass stopped. Empty for a fully converged pass.
+    pub pending: Vec<PendingPair>,
+}
+
+impl Completion {
+    /// True when the pass ran to its natural end (statuses other than
+    /// [`CompletionStatus::Converged`] mean the returned scores are
+    /// partial estimates from an interrupted stream).
+    pub fn is_complete(&self) -> bool {
+        !self.status.is_interrupted()
+    }
+
+    /// Folds another pass's completion into this one: the most severe
+    /// status wins, rows and pending pairs accumulate.
+    pub fn merge(&mut self, other: &Completion) {
+        if other.status.severity() > self.status.severity() {
+            self.status = other.status;
+        }
+        self.rows_read += other.rows_read;
+        self.pending.extend(other.pending.iter().cloned());
+    }
+}
+
 /// One contiguous slice of a merged shared-pass frame, as claimed by a
 /// member query during demultiplexing.
 ///
@@ -374,5 +467,48 @@ mod tests {
         let b = frame();
         a.extend(b);
         assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn completion_merge_keeps_most_severe_status_and_accumulates() {
+        let pending = |h: &str| PendingPair {
+            group_id: "g".into(),
+            measure_id: "corr".into(),
+            hyp_id: h.into(),
+            error: 0.5,
+            epsilon: 0.025,
+        };
+        let mut total = Completion {
+            status: CompletionStatus::Converged,
+            rows_read: 10,
+            pending: vec![],
+        };
+        total.merge(&Completion {
+            status: CompletionStatus::DeadlineExceeded,
+            rows_read: 7,
+            pending: vec![pending("a")],
+        });
+        assert_eq!(total.status, CompletionStatus::DeadlineExceeded);
+        assert_eq!(total.rows_read, 17);
+        assert_eq!(total.pending.len(), 1);
+        // A less severe status never downgrades the aggregate...
+        total.merge(&Completion {
+            status: CompletionStatus::BudgetExhausted,
+            rows_read: 3,
+            pending: vec![],
+        });
+        assert_eq!(total.status, CompletionStatus::DeadlineExceeded);
+        // ...but a cancellation outranks everything.
+        total.merge(&Completion {
+            status: CompletionStatus::Cancelled,
+            rows_read: 0,
+            pending: vec![pending("b")],
+        });
+        assert_eq!(total.status, CompletionStatus::Cancelled);
+        assert_eq!(total.rows_read, 20);
+        assert_eq!(total.pending.len(), 2);
+        assert!(total.status.is_interrupted());
+        assert!(!total.is_complete());
+        assert!(Completion::default().is_complete());
     }
 }

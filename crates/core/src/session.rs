@@ -400,6 +400,17 @@ impl Session {
             entries: vec![prepared.clone()],
         };
         let mut output = self.execute_batch(&batch)?;
+        // Per-query failure routing exists to protect *siblings* in a
+        // batch; a lone statement has none, so a contained worker panic
+        // surfaces as this statement's own error, not an empty table.
+        if let Some(err) = output
+            .report
+            .query_errors
+            .first_mut()
+            .and_then(Option::take)
+        {
+            return Err(err);
+        }
         Ok(output.tables.pop().expect("one query, one table"))
     }
 

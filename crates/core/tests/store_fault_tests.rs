@@ -282,6 +282,81 @@ fn seed_partial_columns(dir: &Path, nd: usize, k: usize) {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn budget_interrupted_partials_plus_tail_extraction_equals_full_extraction(
+        nd in 9usize..28,
+        j_sel in 0usize..1000,
+    ) {
+        // A block-capped run is the deterministic stand-in for a
+        // deadline-interrupted one: both break the streaming loop at the
+        // same block boundary and persist the streamed prefix through
+        // the same write-back path. `scan(budget-partial) +
+        // extract(tail)` must equal `extract(full)` bit-for-bit.
+        let nb = 8usize; // engine block_records in `config`
+        let total_blocks = nd.div_ceil(nb);
+        let j = 1 + j_sel % (total_blocks - 1).max(1);
+        prop_assume!(j < total_blocks);
+
+        for device in [Device::SingleCore, Device::Parallel(3)] {
+            let (catalog, live_calls) = test_catalog(nd);
+            let reference = catalog.run_batch(&[Q_ALL], &config(device)).unwrap().tables;
+            let live = live_calls.load(Ordering::SeqCst);
+
+            let dir = store_dir(&format!("budget-{nd}-{j}-{:?}", device).replace(['(', ')'], "-"));
+            let (catalog, cold_calls) = test_catalog(nd);
+            let mut cold = Session::with_config(
+                catalog,
+                SessionConfig {
+                    inspection: InspectionConfig {
+                        budget: deepbase::engine::RunBudget {
+                            max_blocks: Some(j),
+                            ..Default::default()
+                        },
+                        ..config(device)
+                    },
+                    store: Some(store_config(&dir)),
+                    ..SessionConfig::default()
+                },
+            );
+            let out = cold.run_batch(&[Q_ALL]).unwrap();
+            prop_assert_eq!(
+                out.report.completion.status,
+                deepbase::result::CompletionStatus::BudgetExhausted
+            );
+            prop_assert_eq!(out.report.completion.rows_read, j * nb);
+            if device == Device::SingleCore {
+                // One forward pass per streamed block (Parallel splits
+                // each block's extraction across workers).
+                prop_assert_eq!(cold_calls.load(Ordering::SeqCst), j);
+            }
+            prop_assert_eq!(out.report.store.partial_columns_written, UNITS);
+            prop_assert!(out.report.store.errors.is_empty(), "{:?}", out.report.store.errors);
+            drop(cold);
+
+            // Warm uncapped run: scans the budget-written prefix, extracts
+            // only the tail, and lands bit-identical to full extraction.
+            let (mut warm, warm_calls) = session_with_store(nd, device, &dir);
+            let again = warm.run_batch(&[Q_ALL]).unwrap();
+            prop_assert_eq!(
+                &again.tables,
+                &reference,
+                "scan(budget-partial, j={}) + extract(tail) diverged on {:?}",
+                j,
+                device
+            );
+            let warm_n = warm_calls.load(Ordering::SeqCst);
+            prop_assert!(warm_n < live, "resume must be cheaper ({warm_n} vs {live})");
+            if device == Device::SingleCore {
+                prop_assert_eq!(warm_n, total_blocks - j);
+            }
+            prop_assert!(again.report.store.errors.is_empty());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
     #[test]
     fn partial_scan_plus_tail_extraction_equals_full_extraction(

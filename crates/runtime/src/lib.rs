@@ -23,9 +23,12 @@
 //!
 //! Worker panics are captured and re-raised on the scope's thread after all
 //! sibling jobs complete, mirroring `crossbeam::thread::scope` semantics.
+//! The first job's original panic payload is preserved and re-raised
+//! verbatim, so `panic!("why")` messages survive the pool boundary.
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
@@ -101,7 +104,7 @@ impl ThreadPool {
         let state = Arc::new(ScopeState {
             remaining: Mutex::new(0),
             done: Condvar::new(),
-            panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
         });
         let scope = Scope {
             pool: self,
@@ -116,8 +119,11 @@ impl ThreadPool {
         };
         let result = f(&scope);
         drop(guard);
-        if state.panicked.load(Ordering::SeqCst) {
-            panic!("a job spawned on the runtime pool panicked");
+        // Re-raise the first job panic with its original payload, so the
+        // caller sees the worker's own message (not a generic wrapper).
+        let payload = state.panic_payload.lock().expect("scope poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
         }
         result
     }
@@ -162,7 +168,9 @@ fn worker_loop(queue: &Queue) {
 struct ScopeState {
     remaining: Mutex<usize>,
     done: Condvar,
-    panicked: AtomicBool,
+    /// First panic payload captured from a spawned job; re-raised verbatim
+    /// on the scope's thread after every sibling finishes.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl ScopeState {
@@ -195,8 +203,11 @@ impl<'env> Scope<'_, 'env> {
         // completion count is maintained even on unwind.
         let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
         self.pool.queue.push(Box::new(move || {
-            if catch_unwind(AssertUnwindSafe(job)).is_err() {
-                state.panicked.store(true, Ordering::SeqCst);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                let mut slot = state.panic_payload.lock().expect("scope poisoned");
+                // Keep the first payload; later sibling panics are dropped
+                // (matching crossbeam: one unwind per scope).
+                slot.get_or_insert(payload);
             }
             state.job_finished();
         }));
@@ -382,7 +393,12 @@ mod tests {
                 }
             });
         }));
-        assert!(result.is_err(), "scope must re-raise the job panic");
+        let payload = result.expect_err("scope must re-raise the job panic");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"boom"),
+            "original panic payload must be re-raised verbatim"
+        );
         assert_eq!(finished.load(Ordering::SeqCst), 5, "siblings still ran");
         // The pool stays usable after a panic.
         let ok = AtomicUsize::new(0);
@@ -392,6 +408,23 @@ mod tests {
             });
         });
         assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn formatted_panic_payload_survives_the_pool_boundary() {
+        let pool = ThreadPool::new(2);
+        let id = std::hint::black_box(7usize);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(move || panic!("hypothesis {id} misbehaved"));
+            });
+        }));
+        let payload = result.expect_err("scope must re-raise the job panic");
+        assert_eq!(
+            payload.downcast_ref::<String>().map(String::as_str),
+            Some("hypothesis 7 misbehaved"),
+            "formatted panic message must survive verbatim"
+        );
     }
 
     #[test]

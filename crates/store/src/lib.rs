@@ -44,15 +44,21 @@ pub use store::{
 use std::fmt;
 
 /// Errors surfaced by store operations. `Corrupt` means the bytes on disk
-/// failed validation (magic, version, shape or checksum); `Io` wraps the
-/// underlying filesystem error. Both are recoverable: callers fall back
-/// to live extraction and surface the message in [`StoreStats::errors`].
+/// failed validation (magic, version, shape or checksum); `Io` wraps a
+/// permanent filesystem error; `TransientIo` wraps a filesystem error
+/// whose [`std::io::ErrorKind`] signals a retryable condition (interrupted
+/// syscall, would-block, timeout) — the store's read paths retry those
+/// with bounded backoff before surfacing them. All are recoverable:
+/// callers fall back to live extraction and surface the message in
+/// [`StoreStats::errors`], but only `Corrupt` may quarantine a file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
-    /// Filesystem-level failure.
+    /// Permanent filesystem-level failure.
     Io(String),
     /// On-disk bytes failed a validation check.
     Corrupt(String),
+    /// Retryable filesystem-level failure (see [`StoreError::is_transient`]).
+    TransientIo(String),
 }
 
 impl fmt::Display for StoreError {
@@ -60,15 +66,32 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(msg) => write!(f, "store io error: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "store corruption: {msg}"),
+            StoreError::TransientIo(msg) => write!(f, "transient store io error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
 
+impl StoreError {
+    /// True when retrying the same operation could succeed without any
+    /// change to the file (the error came from a retryable
+    /// [`std::io::ErrorKind`], not from the bytes themselves). Corruption
+    /// is never transient: the bytes are wrong and will stay wrong.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::TransientIo(_))
+    }
+}
+
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> StoreError {
-        StoreError::Io(e.to_string())
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                StoreError::TransientIo(e.to_string())
+            }
+            _ => StoreError::Io(e.to_string()),
+        }
     }
 }
 
@@ -110,6 +133,10 @@ pub struct StoreStats {
     pub files_reclaimed: usize,
     /// Bytes those deletions returned to the filesystem.
     pub bytes_reclaimed: u64,
+    /// Transient IO errors that were retried (successfully or not) by the
+    /// store's bounded-backoff read path. A retry that ultimately succeeds
+    /// bumps this without touching `error_count`.
+    pub io_retries: usize,
     /// Total errors survived by falling back to live extraction
     /// (corrupted or unreadable blocks, failed write-backs). Never fatal.
     pub error_count: usize,
@@ -145,6 +172,7 @@ impl StoreStats {
         self.forward_passes_avoided += other.forward_passes_avoided;
         self.files_reclaimed += other.files_reclaimed;
         self.bytes_reclaimed += other.bytes_reclaimed;
+        self.io_retries += other.io_retries;
         self.error_count += other.error_count;
         self.errors.extend(other.errors.iter().cloned());
         if self.errors.len() > ERROR_RING_CAP {
@@ -272,11 +300,13 @@ mod tests {
             pool_misses: 4,
             forward_passes_avoided: 5,
             bytes_reclaimed: 7,
+            io_retries: 2,
             ..StoreStats::default()
         };
         b.record_error("y".into());
         a.accumulate(&b);
         assert_eq!(a.blocks_read, 5);
+        assert_eq!(a.io_retries, 2);
         assert_eq!(a.pool_hits, 1);
         assert_eq!(a.pool_misses, 4);
         assert_eq!(a.forward_passes_avoided, 5);

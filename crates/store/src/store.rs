@@ -136,6 +136,38 @@ pub struct CompactionReport {
 /// alone.
 const TMP_REAP_AGE: std::time::Duration = std::time::Duration::from_secs(60);
 
+/// Backoff schedule for transient IO errors on the scan path: an
+/// operation failing with a retryable [`std::io::ErrorKind`] (interrupted
+/// syscall, would-block, timeout — see [`StoreError::is_transient`]) is
+/// re-attempted after each of these sleeps before the error surfaces.
+/// Bounded: at most `len + 1` attempts, ~7ms of waiting total.
+const IO_RETRY_BACKOFF: [std::time::Duration; 3] = [
+    std::time::Duration::from_millis(1),
+    std::time::Duration::from_millis(2),
+    std::time::Duration::from_millis(4),
+];
+
+/// Runs `op`, retrying transient IO failures per [`IO_RETRY_BACKOFF`] and
+/// counting each retry in `retries` (successful or not — the counter
+/// measures how often the filesystem misbehaved, not how often we gave
+/// up). Permanent IO errors and corruption surface immediately: retrying
+/// wrong bytes cannot make them right.
+fn retry_transient<T>(
+    retries: &mut usize,
+    mut op: impl FnMut() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    for backoff in IO_RETRY_BACKOFF {
+        match op() {
+            Err(e) if e.is_transient() => {
+                *retries += 1;
+                std::thread::sleep(backoff);
+            }
+            other => return other,
+        }
+    }
+    op()
+}
+
 /// True when the file at `path` is older than the reap threshold (an
 /// unreadable mtime counts as young — never delete what we cannot date).
 fn older_than_reap_age(path: &Path) -> bool {
@@ -473,7 +505,9 @@ impl BehaviorStore {
                     }
                 }
                 Err(StoreError::Corrupt(_)) => {}
-                Err(StoreError::Io(_)) => return Ok(WriteReport::default()),
+                Err(StoreError::Io(_)) | Err(StoreError::TransientIo(_)) => {
+                    return Ok(WriteReport::default())
+                }
             }
         }
         self.write_column_inner(key, nd, ns, data, Some(filled))
@@ -659,7 +693,7 @@ impl BehaviorStore {
         col: usize,
         stats: &mut StoreStats,
     ) -> Result<(), StoreError> {
-        let cached = self.column_info(key)?;
+        let cached = retry_transient(&mut stats.io_retries, || self.column_info(key))?;
         let (meta, zones) = (&cached.meta, &cached.zones);
         if meta.nd != nd as u64 || meta.ns != ns as u64 {
             return Err(StoreError::Corrupt(format!(
@@ -695,9 +729,11 @@ impl BehaviorStore {
             };
             let b = meta.block_of(row);
             if pages[b].is_none() {
-                let page = self.pool.get(page_key(key, b), || {
-                    let mut file = File::open(self.column_path(key, cached.disposition))?;
-                    format::read_block(&mut file, meta, zones, b)
+                let page = retry_transient(&mut stats.io_retries, || {
+                    self.pool.get(page_key(key, b), || {
+                        let mut file = File::open(self.column_path(key, cached.disposition))?;
+                        format::read_block(&mut file, meta, zones, b)
+                    })
                 })?;
                 stats.blocks_read += 1;
                 if page.hit {
@@ -920,6 +956,73 @@ mod tests {
             .unwrap()
             .set_modified(SystemTime::now() - 2 * TMP_REAP_AGE)
             .unwrap();
+    }
+
+    #[test]
+    fn transient_io_is_retried_with_bounded_backoff() {
+        // Two transient failures, then success: the value comes through
+        // and both retries are counted.
+        let mut retries = 0;
+        let mut failures = 2;
+        let out = retry_transient(&mut retries, || {
+            if failures > 0 {
+                failures -= 1;
+                return Err(StoreError::TransientIo("EINTR".into()));
+            }
+            Ok(42)
+        });
+        assert_eq!(out, Ok(42));
+        assert_eq!(retries, 2);
+
+        // A persistently transient error surfaces after the full backoff
+        // schedule is spent; the final attempt's error comes through.
+        let mut retries = 0;
+        let mut attempts = 0;
+        let out: Result<(), StoreError> = retry_transient(&mut retries, || {
+            attempts += 1;
+            Err(StoreError::TransientIo("still busy".into()))
+        });
+        assert_eq!(out, Err(StoreError::TransientIo("still busy".into())));
+        assert_eq!(retries, IO_RETRY_BACKOFF.len());
+        assert_eq!(attempts, IO_RETRY_BACKOFF.len() + 1);
+
+        // Permanent errors surface immediately: no retries, one attempt.
+        for err in [
+            StoreError::Io("gone".into()),
+            StoreError::Corrupt("bad crc".into()),
+        ] {
+            let mut retries = 0;
+            let mut attempts = 0;
+            let out: Result<(), StoreError> = retry_transient(&mut retries, || {
+                attempts += 1;
+                Err(err.clone())
+            });
+            assert_eq!(out, Err(err));
+            assert_eq!(retries, 0);
+            assert_eq!(attempts, 1);
+        }
+    }
+
+    #[test]
+    fn io_error_kinds_classify_transient_vs_permanent() {
+        use std::io::{Error, ErrorKind};
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+        ] {
+            let e = StoreError::from(Error::new(kind, "flaky"));
+            assert!(e.is_transient(), "{kind:?} must classify transient");
+        }
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::UnexpectedEof,
+        ] {
+            let e = StoreError::from(Error::new(kind, "broken"));
+            assert!(!e.is_transient(), "{kind:?} must classify permanent");
+        }
+        assert!(!StoreError::Corrupt("x".into()).is_transient());
     }
 
     #[test]
