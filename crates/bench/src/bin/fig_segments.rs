@@ -1,0 +1,282 @@
+//! Segmented-dataset benchmark (ISSUE 7): the append-and-reinspect loop,
+//! cold full re-extraction vs warm incremental re-inspection.
+//!
+//! The workload models a growing dataset: start with one sealed segment,
+//! then repeatedly append a segment and re-run the same correlation
+//! batch. Without a store every re-run pays char-LSTM forward passes
+//! over the *whole* dataset; with per-segment store keys the old
+//! segments scan warm and only the appended records are extracted, so
+//! the per-append cost stays flat while the dataset grows:
+//!
+//! * `cold_append_reinspect` — no store: each post-append run re-extracts
+//!   every segment seen so far.
+//! * `warm_append_reinspect` — read-write store: each post-append run
+//!   extracts exactly the new segment (asserted via forward-pass counts)
+//!   and stays bit-identical to the cold run.
+//!
+//! Writes `BENCH_PR7.json` in the current directory.
+//!
+//! Run with: `cargo run --release -p deepbase-bench --bin fig_segments`
+
+use deepbase::prelude::*;
+use deepbase::query::UnitMeta;
+use deepbase_nn::{CharLstmModel, OutputMode};
+use deepbase_tensor::Matrix;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEG: usize = 64;
+const APPENDS: usize = 4;
+const NS: usize = 16;
+/// LSTM hidden width — forward cost is quadratic in this, so it sets
+/// how expensive a cold re-extraction is.
+const HIDDEN: usize = 256;
+/// Units actually inspected (and stored): a slice of the hidden state,
+/// as in the paper's setting where the probe looks at a few units of a
+/// large model.
+const UNITS: usize = 16;
+const BLOCK: usize = 64;
+
+/// Owned char-LSTM extractor with forward-pass counting and a weight
+/// fingerprint — the store key that survives process restarts.
+struct OwnedLstmExtractor {
+    model: CharLstmModel,
+    forward_passes: Arc<AtomicUsize>,
+}
+
+impl Extractor for OwnedLstmExtractor {
+    fn n_units(&self) -> usize {
+        self.model.hidden()
+    }
+
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
+        self.forward_passes.fetch_add(1, Ordering::SeqCst);
+        if records.is_empty() {
+            return Matrix::zeros(0, unit_ids.len());
+        }
+        let inputs: Vec<Vec<u32>> = records.iter().map(|r| r.symbols.clone()).collect();
+        let full = self.model.extract_activations(&inputs);
+        let mut out = Matrix::zeros(full.rows(), unit_ids.len());
+        for r in 0..full.rows() {
+            let src = full.row(r);
+            let dst = out.row_mut(r);
+            for (c, &u) in unit_ids.iter().enumerate() {
+                dst[c] = src[u];
+            }
+        }
+        out
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(char_model_fingerprint(&self.model))
+    }
+}
+
+/// One segment's worth of records, ids contiguous across segments.
+fn segment_records(segment: usize) -> Vec<Record> {
+    (segment * SEG..(segment + 1) * SEG)
+        .map(|i| {
+            let chars: Vec<char> = (0..NS)
+                .map(|t| match (i * 11 + t * 5) % 7 {
+                    0 | 4 => 'a',
+                    1 | 5 => 'b',
+                    2 => 'c',
+                    _ => 'd',
+                })
+                .collect();
+            let symbols: Vec<u32> = chars.iter().map(|&c| c as u32 - 'a' as u32).collect();
+            Record::standalone(i, symbols, chars.into_iter().collect())
+        })
+        .collect()
+}
+
+fn build_catalog(forward_passes: &Arc<AtomicUsize>) -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.add_model_with_units(
+        "probe",
+        5,
+        Arc::new(OwnedLstmExtractor {
+            model: CharLstmModel::new(4, HIDDEN, OutputMode::LastStep, 42),
+            forward_passes: Arc::clone(forward_passes),
+        }),
+        (0..UNITS)
+            .map(|uid| UnitMeta {
+                uid,
+                layer: (uid % 2) as i64,
+            })
+            .collect(),
+    );
+    catalog.add_hypotheses(
+        "chars",
+        vec![
+            Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a')),
+            Arc::new(FnHypothesis::char_class("is_b", |c| c == 'b')),
+        ],
+    );
+    catalog.add_dataset(
+        "seq",
+        Arc::new(Dataset::with_segments("seq", NS, vec![segment_records(0)]).unwrap()),
+    );
+    catalog
+}
+
+const QUERIES: [&str; 2] = [
+    "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D HAVING S.unit_score > 0.5",
+    "SELECT S.group_id, S.uid INSPECT U.uid AND H.h USING corr OVER D.seq AS S \
+     FROM models M, units U, hypotheses H, inputs D GROUP BY U.layer",
+];
+
+fn fresh_session(forward_passes: &Arc<AtomicUsize>, store: Option<StoreConfig>) -> Session {
+    Session::with_config(
+        build_catalog(forward_passes),
+        SessionConfig {
+            inspection: InspectionConfig {
+                block_records: BLOCK,
+                epsilon: Some(1e-12),
+                ..Default::default()
+            },
+            store,
+            ..SessionConfig::default()
+        },
+    )
+}
+
+/// One full append-and-reinspect loop: seed run over segment 0, then
+/// `APPENDS` rounds of (append one segment, re-run the batch). Returns
+/// the tables of every step, the summed re-inspection time (appends and
+/// the seed run excluded), and the forward passes per re-inspection.
+struct LoopRun {
+    steps: Vec<BatchOutput>,
+    reinspect_ns: f64,
+    step_passes: Vec<usize>,
+    store: StoreStats,
+}
+
+fn run_loop(store: Option<StoreConfig>) -> LoopRun {
+    let forward_passes = Arc::new(AtomicUsize::new(0));
+    let mut session = fresh_session(&forward_passes, store);
+    let mut steps = vec![session.run_batch(&QUERIES).unwrap()];
+    let mut reinspect_ns = 0.0;
+    let mut step_passes = Vec::new();
+    for round in 0..APPENDS {
+        session
+            .append_records("seq", segment_records(round + 1))
+            .unwrap();
+        let before = forward_passes.load(Ordering::SeqCst);
+        let start = Instant::now();
+        let out = black_box(session.run_batch(&QUERIES).unwrap());
+        reinspect_ns += start.elapsed().as_secs_f64() * 1e9;
+        step_passes.push(forward_passes.load(Ordering::SeqCst) - before);
+        steps.push(out);
+    }
+    LoopRun {
+        steps,
+        reinspect_ns,
+        step_passes,
+        store: session.store_stats().clone(),
+    }
+}
+
+/// Median summed re-inspection nanoseconds across loop repetitions.
+fn time_loops(mut f: impl FnMut() -> f64) -> f64 {
+    f(); // warm the OS caches (every loop is otherwise self-contained)
+    let mut samples = Vec::new();
+    let mut spent = Duration::ZERO;
+    while samples.len() < 7 && (spent < Duration::from_millis(2500) || samples.len() < 3) {
+        let start = Instant::now();
+        samples.push(f());
+        spent += start.elapsed();
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let store_dir = PathBuf::from("target/tmp-fig-segments");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_config = || StoreConfig {
+        block_records: BLOCK,
+        ..StoreConfig::at(&store_dir)
+    };
+    let blocks_per_segment = SEG.div_ceil(BLOCK);
+
+    // Correctness gate: the warm incremental loop must match the cold
+    // loop bit-identically at every step while extracting only the new
+    // segment per append.
+    let cold = run_loop(None);
+    let warm = run_loop(Some(store_config()));
+    assert_eq!(cold.steps.len(), warm.steps.len());
+    for (c, w) in cold.steps.iter().zip(&warm.steps) {
+        assert_eq!(c.tables, w.tables, "warm == cold per step");
+    }
+    for (round, (&c, &w)) in cold.step_passes.iter().zip(&warm.step_passes).enumerate() {
+        assert_eq!(
+            c,
+            (round + 2) * blocks_per_segment,
+            "cold re-extracts every segment"
+        );
+        assert_eq!(
+            w, blocks_per_segment,
+            "warm re-inspection extracts only the appended segment"
+        );
+    }
+    assert!(warm.store.forward_passes_avoided > 0);
+    let warm_stats = warm.store;
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, ns: f64| {
+        println!("{name:<28} {ns:>14.0} ns");
+        entries.push((name.to_string(), ns));
+    };
+    record(
+        "cold_append_reinspect",
+        time_loops(|| run_loop(None).reinspect_ns),
+    );
+    record(
+        "warm_append_reinspect",
+        time_loops(|| {
+            let _ = std::fs::remove_dir_all(&store_dir);
+            run_loop(Some(store_config())).reinspect_ns
+        }),
+    );
+
+    let ns_of = |name: &str| entries.iter().find(|(n, _)| n == name).unwrap().1;
+    let speedup = ns_of("cold_append_reinspect") / ns_of("warm_append_reinspect");
+    println!(
+        "appends                   : {APPENDS} x {SEG} records ({} segments final)",
+        APPENDS + 1
+    );
+    println!(
+        "warm passes per append    : {blocks_per_segment} (cold grows to {})",
+        (APPENDS + 1) * blocks_per_segment
+    );
+    println!(
+        "segment passes (warm loop): {} ({} forward passes avoided)",
+        warm_stats.segment_passes, warm_stats.forward_passes_avoided
+    );
+    println!("incremental speedup       : {speedup:.2}x");
+
+    let mut json = String::from("{\n  \"pr\": 7,\n  \"benchmarks\": {\n");
+    for (i, (name, ns)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{name}\": {{\"ns_per_iter\": {ns:.1}}}{sep}\n"
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"incremental_speedup\": {speedup:.3},\n  \
+         \"appends\": {APPENDS},\n  \
+         \"segment_records\": {SEG},\n  \
+         \"warm_passes_per_append\": {blocks_per_segment},\n  \
+         \"warm_segment_passes\": {},\n  \
+         \"warm_forward_passes_avoided\": {}\n}}\n",
+        warm_stats.segment_passes, warm_stats.forward_passes_avoided
+    ));
+    deepbase_bench::emit_json("BENCH_PR7.json", &json);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

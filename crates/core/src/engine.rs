@@ -779,7 +779,9 @@ pub struct SharedOutcome {
 pub struct StorePlan {
     /// Content fingerprint of the pass's model.
     pub model_fp: u64,
-    /// Content fingerprint of the pass's dataset.
+    /// Content fingerprint of the pass's dataset — or, on a segmented
+    /// pass, of the one **segment** this plan covers (store columns are
+    /// keyed per segment so appends leave old segments warm).
     pub dataset_fp: u64,
     /// Union unit columns with a *complete* stored column at plan time.
     pub hits: Vec<usize>,
@@ -1256,7 +1258,8 @@ fn inspect_streaming(
     config: &InspectionConfig,
     budget: Option<&ArmedBudget>,
 ) -> Result<(ResultFrame, Profile), DniError> {
-    let mut outcome = inspect_shared_store_armed(std::slice::from_ref(req), config, None, budget)?;
+    let mut outcome =
+        inspect_shared_store_armed(std::slice::from_ref(req), config, PassSource::None, budget)?;
     Ok(outcome.results.pop().expect("one member, one result"))
 }
 
@@ -1287,7 +1290,28 @@ pub fn inspect_shared_store(
     source: Option<&StoreSource>,
 ) -> Result<SharedOutcome, DniError> {
     let armed = config.budget.arm();
+    let source = match source {
+        Some(s) => PassSource::Whole(s),
+        None => PassSource::None,
+    };
     inspect_shared_store_armed(reqs, config, source, armed.as_ref())
+}
+
+/// The store binding for one shared pass, in the shapes the two
+/// executors need: one whole-dataset source for the unsegmented pass, or
+/// one optional source **per segment** (keyed by the segment's
+/// fingerprint) for the segmented pass. `Whole` on a multi-segment
+/// dataset is ignored — the planner never produces that combination, and
+/// scanning whole-dataset columns against per-segment streams would read
+/// the wrong rows.
+#[derive(Clone, Copy)]
+pub(crate) enum PassSource<'s> {
+    /// No store bound: every block extracts live.
+    None,
+    /// One source covering the whole (single-segment) dataset.
+    Whole(&'s StoreSource),
+    /// One optional source per dataset segment, in segment-index order.
+    PerSegment(&'s [Option<StoreSource>]),
 }
 
 /// [`inspect_shared_store`] against an already armed budget: the batch
@@ -1296,7 +1320,7 @@ pub fn inspect_shared_store(
 pub(crate) fn inspect_shared_store_armed(
     reqs: &[InspectionRequest<'_>],
     config: &InspectionConfig,
-    source: Option<&StoreSource>,
+    source: PassSource<'_>,
     budget: Option<&ArmedBudget>,
 ) -> Result<SharedOutcome, DniError> {
     validate_config(config)?;
@@ -1342,6 +1366,18 @@ pub(crate) fn inspect_shared_store_armed(
         return Ok(outcome);
     }
 
+    // Multi-segment datasets run the segmented executor: one shuffled
+    // stream per segment, per-segment store sources, states merged in
+    // segment order. Single-segment datasets (every pre-segmentation
+    // caller) stay on the unsegmented pass below, bit-identically.
+    if dataset.segment_count() > 1 {
+        let seg_sources = match source {
+            PassSource::PerSegment(s) => Some(s),
+            _ => None,
+        };
+        return inspect_segmented(reqs, config, seg_sources, budget);
+    }
+
     let t_start = Instant::now();
     let ns = dataset.ns;
     let nd = dataset.len();
@@ -1360,7 +1396,10 @@ pub(crate) fn inspect_shared_store_armed(
 
     // The pass's store state: which union columns can be scanned vs must
     // be extracted, plus write-back capture for the misses.
-    let mut store_pass = source.map(|s| StorePass::new(s, &union_units, nd, ns));
+    let mut store_pass = match source {
+        PassSource::Whole(s) => Some(StorePass::new(s, &union_units, nd, ns)),
+        _ => None,
+    };
 
     // Union of member hypotheses, deduplicated by *function identity*
     // (data pointer), not by id string: two different functions may be
@@ -1852,6 +1891,437 @@ pub(crate) fn inspect_shared_store_armed(
         merged,
         pass,
         extraction_passes: 1,
+        store: store_stats,
+        completion,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Segmented execution
+// ---------------------------------------------------------------------
+
+/// Shuffle seed for one dataset segment. Segment 0 keeps the configured
+/// seed unchanged (a one-segment dataset shuffles exactly like the
+/// unsegmented pass); later segments derive theirs by hashing
+/// `(seed, segment index)` so per-segment streams decorrelate while
+/// staying deterministic across devices and processes.
+pub(crate) fn segment_seed(seed: u64, segment: usize) -> u64 {
+    if segment == 0 {
+        return seed;
+    }
+    let mut h = deepbase_store::FpHasher::new();
+    h.write_str("segment-seed")
+        .write_u64(seed)
+        .write_u64(segment as u64);
+    h.finish()
+}
+
+/// Everything one segment stream produces: the per-slot measure states
+/// over that segment's records, profile/store accounting, and how the
+/// stream ended.
+struct SegOutput {
+    states: Vec<Box<dyn MeasureState>>,
+    profile: Profile,
+    stats: StoreStats,
+    interrupted: Option<CompletionStatus>,
+}
+
+/// The segmented streaming pass: one shuffled stream **per segment**
+/// (seeded via [`segment_seed`]), measure states computed per segment and
+/// merged in canonical segment-index order, store columns scanned per
+/// `(model fp, segment fp, unit)`. On `Device::Parallel` the segments fan
+/// across the runtime pool (intra-segment extraction then runs
+/// single-core — extraction output is device-independent, so results stay
+/// bit-identical to `Device::SingleCore`).
+///
+/// Differences from the unsegmented pass, by design:
+/// - **No early stopping.** Every block of every segment is processed, so
+///   the merged scores and the extractor call counts are independent of
+///   device and segment schedule; ε only classifies pairs as pending.
+/// - **Budget row/block caps apply per segment** (each segment stream
+///   checks its own local counts), which keeps cap semantics identical
+///   whether segments run sequentially or fanned out. The wall-clock
+///   deadline and cancellation stay global. An interrupted segment stops
+///   streaming; the others still run, and the first (lowest-index)
+///   interruption is reported as the pass's completion status.
+/// - **Per-hypothesis states only.** Merged composite states (logreg's
+///   model merging) never arise here: measures without
+///   [`Measure::supports_segment_merge`] are rejected up front with the
+///   typed error the planner also raises at bind time.
+fn inspect_segmented(
+    reqs: &[InspectionRequest<'_>],
+    config: &InspectionConfig,
+    seg_sources: Option<&[Option<StoreSource>]>,
+    budget: Option<&ArmedBudget>,
+) -> Result<SharedOutcome, DniError> {
+    let t_start = Instant::now();
+    let extractor = reqs[0].extractor;
+    let dataset = reqs[0].dataset;
+    let ns = dataset.ns;
+    let segments = dataset.segments();
+
+    // Up-front typed guard: never a silently wrong cross-segment score.
+    for req in reqs {
+        for measure in &req.measures {
+            if !measure.supports_segment_merge() {
+                return Err(DniError::Query(format!(
+                    "measure {} cannot run on segmented datasets",
+                    measure.id()
+                )));
+            }
+        }
+    }
+    if let Some(sources) = seg_sources {
+        if sources.len() != segments.len() {
+            return Err(DniError::BadConfig(format!(
+                "{} store sources for {} segments",
+                sources.len(),
+                segments.len()
+            )));
+        }
+    }
+
+    // Union units, union hypotheses (by function identity), unit
+    // selections and deduplicated per-pair slots — the same sharing
+    // structure as the unsegmented pass, minus merged composites.
+    let mut union_units: Vec<usize> = reqs
+        .iter()
+        .flat_map(|r| r.groups.iter().flat_map(|g| g.units.iter().copied()))
+        .collect();
+    union_units.sort_unstable();
+    union_units.dedup();
+
+    let hyp_ptr = |h: &dyn HypothesisFn| h as *const dyn HypothesisFn as *const u8;
+    let mut union_hyps: Vec<&dyn HypothesisFn> = Vec::new();
+    let mut hyp_col_of: HashMap<*const u8, usize> = HashMap::new();
+    for req in reqs {
+        for hyp in &req.hypotheses {
+            hyp_col_of.entry(hyp_ptr(*hyp)).or_insert_with(|| {
+                union_hyps.push(*hyp);
+                union_hyps.len() - 1
+            });
+        }
+    }
+
+    struct Selection {
+        units: Vec<usize>,
+        demux: ColumnDemux,
+        identity: bool,
+    }
+    /// One deduplicated (unit selection, measure, hypothesis) pair; fresh
+    /// states are minted from `measure` per segment and merged afterward.
+    struct SegSlot<'m> {
+        sel: usize,
+        eps: f32,
+        measure: &'m dyn Measure,
+        model_id: String,
+        group_id: String,
+        hyp: usize,
+    }
+    let mut selections: Vec<Selection> = Vec::new();
+    let mut sel_of: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut slots: Vec<SegSlot<'_>> = Vec::new();
+    let mut slot_of: HashMap<(Vec<usize>, String, usize), usize> = HashMap::new();
+    let mut members: Vec<Vec<MemberEntry>> = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        let mut entries = Vec::new();
+        for group in &req.groups {
+            let sel = match sel_of.get(&group.units) {
+                Some(&sel) => sel,
+                None => {
+                    let demux = ColumnDemux::new(&union_units, &group.units)?;
+                    selections.push(Selection {
+                        units: group.units.clone(),
+                        identity: demux.is_identity(union_units.len()),
+                        demux,
+                    });
+                    sel_of.insert(group.units.clone(), selections.len() - 1);
+                    selections.len() - 1
+                }
+            };
+            for measure in &req.measures {
+                let eps = epsilon_for(*measure, config);
+                let pair_slots: Vec<usize> = req
+                    .hypotheses
+                    .iter()
+                    .map(|hyp| {
+                        let col = hyp_col_of[&hyp_ptr(*hyp)];
+                        let key = (group.units.clone(), measure.id().to_string(), col);
+                        *slot_of.entry(key).or_insert_with(|| {
+                            slots.push(SegSlot {
+                                sel,
+                                eps,
+                                measure: *measure,
+                                model_id: req.model_id.clone(),
+                                group_id: group.id.clone(),
+                                hyp: col,
+                            });
+                            slots.len() - 1
+                        })
+                    })
+                    .collect();
+                entries.push(MemberEntry {
+                    slots: MemberSlots::PerHyp(pair_slots),
+                    group_id: group.id.clone(),
+                });
+            }
+        }
+        members.push(entries);
+    }
+
+    // Intra-segment work always runs single-core: on the parallel device
+    // the *segments* are the fan-out grain (nesting pool scopes would
+    // deadlock-prone the fixed pool), and extraction output is
+    // device-independent, so this changes schedule, never results.
+    let run_segment = |seg: &crate::model::SegmentInfo| -> Result<SegOutput, DniError> {
+        let order = shuffled_indices(seg.len, segment_seed(config.seed, seg.index));
+        let records: Vec<&Record> = order
+            .iter()
+            .map(|&i| &dataset.records[seg.start + i])
+            .collect();
+        let mut store_pass = seg_sources
+            .and_then(|s| s[seg.index].as_ref())
+            .map(|src| StorePass::new(src, &union_units, seg.len, ns));
+        let mut states: Vec<Box<dyn MeasureState>> = slots
+            .iter()
+            .map(|slot| slot.measure.new_state(selections[slot.sel].units.len()))
+            .collect();
+
+        let mut profile = Profile::default();
+        let mut interrupted = None;
+        let nb = config.block_records;
+        let mut block_start = 0usize;
+        while block_start < records.len() {
+            // Row/block caps are checked against this segment's local
+            // counts (see the function docs); deadline/cancel are global.
+            if let Some(b) = budget {
+                if let Some(status) = b.check(profile.records_read, profile.blocks_processed) {
+                    interrupted = Some(status);
+                    break;
+                }
+            }
+            let block_end = (block_start + nb).min(records.len());
+            let block = &records[block_start..block_end];
+            profile.records_read += block.len();
+            profile.blocks_processed += 1;
+
+            let t0 = Instant::now();
+            let block_positions = &order[block_start..block_end];
+            let union_behaviors = match &mut store_pass {
+                Some(pass) => pass.fetch_block(
+                    extractor,
+                    block,
+                    block_positions,
+                    &union_units,
+                    Device::SingleCore,
+                    ns,
+                    seg.len,
+                ),
+                None => extract_records(extractor, block, &union_units, Device::SingleCore, ns),
+            };
+            let mut sel_behaviors: Vec<Option<Matrix>> = vec![None; selections.len()];
+            for slot in &slots {
+                if sel_behaviors[slot.sel].is_none() && !selections[slot.sel].identity {
+                    sel_behaviors[slot.sel] =
+                        Some(selections[slot.sel].demux.apply(&union_behaviors));
+                }
+            }
+            let d0 = t0.elapsed();
+
+            let t1 = Instant::now();
+            let mut hyp_cols: Vec<Option<Vec<f32>>> = vec![None; union_hyps.len()];
+            for (c, hyp) in union_hyps.iter().enumerate() {
+                hyp_cols[c] = Some(hypothesis_column(
+                    *hyp,
+                    block,
+                    ns,
+                    &dataset.id,
+                    config.cache.as_ref(),
+                )?);
+            }
+            let d1 = t1.elapsed();
+
+            let t2 = Instant::now();
+            for (slot, state) in slots.iter().zip(states.iter_mut()) {
+                let behaviors = sel_behaviors[slot.sel].as_ref().unwrap_or(&union_behaviors);
+                let col = hyp_cols[slot.hyp].as_ref().expect("evaluated column");
+                // No early stopping on segment streams: the returned
+                // error only matters merged, via `convergence_error`.
+                let _ = state.process_block(behaviors, col);
+            }
+            let d2 = t2.elapsed();
+
+            profile.unit_extraction += d0;
+            profile.hypothesis_extraction += d1;
+            profile.inspection += d2;
+            block_start = block_end;
+        }
+
+        let mut stats = match &mut store_pass {
+            Some(pass) => {
+                // A fully streamed segment commits complete columns; an
+                // interrupted one commits its prefix as partials.
+                pass.flush_writeback(seg.len, ns);
+                std::mem::take(&mut pass.stats)
+            }
+            None => StoreStats::default(),
+        };
+        if profile.blocks_processed > 0 {
+            stats.segment_passes = 1;
+        }
+        Ok(SegOutput {
+            states,
+            profile,
+            stats,
+            interrupted,
+        })
+    };
+
+    // Stream every segment: sequentially on the single-core device,
+    // fanned across the runtime pool on the parallel device. Either way
+    // the outputs land in segment-index order.
+    let mut outputs: Vec<Option<Result<SegOutput, DniError>>> =
+        (0..segments.len()).map(|_| None).collect();
+    if config.device.threads() <= 1 || segments.len() < 2 {
+        for (seg, out) in segments.iter().zip(outputs.iter_mut()) {
+            *out = Some(run_segment(seg));
+        }
+    } else {
+        let run_segment = &run_segment;
+        deepbase_runtime::global().scope(|scope| {
+            for (seg, out) in segments.iter().zip(outputs.iter_mut()) {
+                scope.spawn(move || {
+                    *out = Some(run_segment(seg));
+                });
+            }
+        });
+    }
+
+    // Fold the per-segment outputs in canonical segment-index order:
+    // first error wins, states merge pairwise, accounting accumulates.
+    let mut pass = Profile::default();
+    let mut store_stats = StoreStats::default();
+    let mut interrupted: Option<CompletionStatus> = None;
+    let mut extraction_passes = 0usize;
+    let mut merged_states: Vec<Option<Box<dyn MeasureState>>> = Vec::new();
+    for output in outputs {
+        let output = output.expect("every segment slot filled")?;
+        pass.records_read += output.profile.records_read;
+        pass.blocks_processed += output.profile.blocks_processed;
+        pass.unit_extraction += output.profile.unit_extraction;
+        pass.hypothesis_extraction += output.profile.hypothesis_extraction;
+        pass.inspection += output.profile.inspection;
+        store_stats.accumulate(&output.stats);
+        if output.stats.segment_passes > 0 {
+            extraction_passes += 1;
+        }
+        if interrupted.is_none() {
+            interrupted = output.interrupted;
+        }
+        if merged_states.is_empty() {
+            merged_states = output.states.into_iter().map(Some).collect();
+        } else {
+            for (base, seg_state) in merged_states.iter_mut().zip(output.states.iter()) {
+                let base = base.as_mut().expect("merged state present");
+                if !base.merge_from(seg_state.as_ref()) {
+                    return Err(DniError::Internal(
+                        "measure state refused a cross-segment merge it advertised".into(),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Pending pairs come from the *merged* states' convergence errors —
+    // the estimate one pass over all the data would have reported last.
+    let mut pending: Vec<PendingPair> = Vec::new();
+    for (slot, state) in slots.iter().zip(merged_states.iter()) {
+        let err = state
+            .as_ref()
+            .expect("merged state present")
+            .convergence_error();
+        if err > slot.eps {
+            pending.push(PendingPair {
+                group_id: slot.group_id.clone(),
+                measure_id: slot.measure.id().to_string(),
+                hyp_id: union_hyps[slot.hyp].id().to_string(),
+                error: err,
+                epsilon: slot.eps,
+            });
+        }
+    }
+    let completion = Completion {
+        status: interrupted.unwrap_or(CompletionStatus::Converged),
+        rows_read: pass.records_read,
+        pending,
+    };
+
+    // Emit each unique pair once, then demux per member — the same span
+    // machinery as the unsegmented pass, with exactly one span per slot.
+    let mut merged = ResultFrame::default();
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(slots.len());
+    for (slot, state) in slots.iter().zip(merged_states.iter()) {
+        let state = state.as_ref().expect("merged state present");
+        let units = &selections[slot.sel].units;
+        let start = merged.rows.len();
+        let unit_scores = state.unit_scores();
+        let group_score = state.group_score();
+        debug_assert_eq!(unit_scores.len(), units.len());
+        for (&unit, &score) in units.iter().zip(unit_scores.iter()) {
+            merged.rows.push(ScoreRow {
+                model_id: slot.model_id.clone(),
+                group_id: slot.group_id.clone(),
+                measure_id: slot.measure.id().to_string(),
+                hyp_id: union_hyps[slot.hyp].id().to_string(),
+                unit,
+                unit_score: score,
+                group_score,
+            });
+        }
+        spans.push((start, units.len()));
+    }
+
+    let total = t_start.elapsed();
+    pass.total = total;
+    let mut results = Vec::with_capacity(members.len());
+    for (entries, req) in members.iter().zip(reqs) {
+        let mut member_spans: Vec<RowSpan> = Vec::new();
+        for entry in entries {
+            let MemberSlots::PerHyp(pair_slots) = &entry.slots else {
+                unreachable!("segmented slots are always per-hypothesis");
+            };
+            for &s in pair_slots {
+                let (start, len) = spans[s];
+                member_spans.push(RowSpan {
+                    start,
+                    len,
+                    model_id: req.model_id.clone(),
+                    group_id: entry.group_id.clone(),
+                });
+            }
+        }
+        // Without early stopping every member consumes the full pass, so
+        // the pass profile *is* each member's profile.
+        let sole_member_tiles = reqs.len() == 1 && {
+            let mut cursor = 0usize;
+            member_spans.iter().all(|s| {
+                let aligned = s.start == cursor;
+                cursor += s.len;
+                aligned
+            }) && cursor == merged.len()
+        };
+        let frame = if sole_member_tiles {
+            std::mem::take(&mut merged)
+        } else {
+            merged.demux(&member_spans)
+        };
+        results.push((frame, pass.clone()));
+    }
+    Ok(SharedOutcome {
+        results,
+        merged,
+        pass,
+        extraction_passes,
         store: store_stats,
         completion,
     })

@@ -51,6 +51,12 @@ pub enum DniError {
     /// poisoned group fails only its own queries — siblings complete and
     /// the runtime pool stays usable.
     Internal(String),
+    /// An ingest I/O failure (WAL append, segment seal, reopen). The
+    /// behavior *store* keeps its own fail-soft error channel
+    /// (`StoreStats::errors`) because persistence there is an
+    /// accelerator; the ingest WAL is the durability path itself, so its
+    /// failures surface as typed errors.
+    Io(String),
 }
 
 impl fmt::Display for DniError {
@@ -70,6 +76,7 @@ impl fmt::Display for DniError {
             DniError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
             DniError::Cancelled => write!(f, "run cancelled"),
             DniError::Internal(msg) => write!(f, "internal error (worker panic): {msg}"),
+            DniError::Io(msg) => write!(f, "ingest io error: {msg}"),
         }
     }
 }

@@ -178,6 +178,62 @@ impl Extractor for PrecomputedExtractor {
     }
 }
 
+/// Wraps any extractor and counts forward passes: `extract` invocations
+/// and total records streamed through them. The incremental-reinspection
+/// tests and the `fig_segments` bench use this to assert *exactly* how
+/// much extraction a warm run performed (e.g. "only the new segment's
+/// blocks"). Delegates `n_units` and `fingerprint` untouched, so planner
+/// and store behave as if the inner extractor ran bare.
+pub struct CountingExtractor {
+    inner: std::sync::Arc<dyn Extractor>,
+    calls: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    records: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl CountingExtractor {
+    /// Wraps `inner` with fresh counters.
+    pub fn new(inner: std::sync::Arc<dyn Extractor>) -> Self {
+        CountingExtractor {
+            inner,
+            calls: Default::default(),
+            records: Default::default(),
+        }
+    }
+
+    /// Number of `extract` calls so far.
+    pub fn calls(&self) -> usize {
+        self.calls.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Total records forwarded through `extract` so far.
+    pub fn records_extracted(&self) -> usize {
+        self.records.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Resets both counters to zero (e.g. between cold and warm runs).
+    pub fn reset(&self) {
+        self.calls.store(0, std::sync::atomic::Ordering::SeqCst);
+        self.records.store(0, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl Extractor for CountingExtractor {
+    fn n_units(&self) -> usize {
+        self.inner.n_units()
+    }
+
+    fn extract(&self, records: &[&Record], unit_ids: &[usize]) -> Matrix {
+        self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.records
+            .fetch_add(records.len(), std::sync::atomic::Ordering::SeqCst);
+        self.inner.extract(records, unit_ids)
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        self.inner.fingerprint()
+    }
+}
+
 /// Extracts behaviors for an entire dataset in one call.
 pub fn extract_all(extractor: &dyn Extractor, dataset: &Dataset, unit_ids: &[usize]) -> Matrix {
     let refs: Vec<&Record> = dataset.records.iter().collect();

@@ -115,6 +115,39 @@
 //! hits/evictions, forward passes avoided, bytes reclaimed);
 //! [`session::Session::store_stats`] accumulates them per session.
 //!
+//! ## Segments & streaming ingest
+//!
+//! Datasets grow. A [`model::SegmentedDataset`] ingests records through a
+//! length-prefixed, checksummed **write-ahead log** (`std::fs` only) and
+//! seals them into immutable **segments** — one atomically written
+//! (tmp + rename) segment file per [`model::SegmentedDataset::seal`] —
+//! and [`model::SegmentedDataset::snapshot`] yields an ordinary
+//! [`model::Dataset`] whose segment map mirrors the sealed files. A
+//! crash mid-append loses at most the torn tail frame: recovery keeps
+//! the checksummed prefix, truncates the rest, and quarantines corrupt
+//! segment files aside (they re-ingest like any other records). The
+//! plain [`model::Dataset::new`] constructor is simply the one-segment
+//! case, so every unsegmented caller behaves bit-identically.
+//!
+//! Execution follows the segment map. The streaming engine runs one
+//! pass **per segment** (per-segment shuffle seeded from `(seed,
+//! segment index)`, `Device::Parallel` fans segments across the runtime
+//! pool) and combines per-segment measure states by exact merging
+//! ([`measure::MeasureState::merge_from`], e.g. `StreamingPearson::merge`)
+//! in canonical segment order — SingleCore and Parallel stay
+//! bit-identical. Measures whose states cannot merge exactly (the
+//! order-dependent SGD probes) are rejected at bind time with a typed
+//! [`DniError::Query`], never silently mis-scored. Store columns are
+//! keyed per **segment** fingerprint ([`model::Dataset::segment_fingerprint`]),
+//! and the optimizer makes the scan-vs-extract decision per segment
+//! ([`plan::GroupSource::Segments`]): appending records
+//! ([`session::Session::append_records`]) and re-running a query scans
+//! the old segments warm and pays forward passes **only for the new
+//! ones** — warm incremental re-inspection, bit-identical to a cold run
+//! over the same segmented dataset. [`session::Session::watermark`]
+//! reports the per-dataset ingest high-water mark the session last
+//! inspected.
+//!
 //! ## Bounded execution & failure domains
 //!
 //! Every execution can be bounded by a [`engine::RunBudget`]
@@ -208,8 +241,8 @@ pub mod prelude {
     };
     pub use crate::error::DniError;
     pub use crate::extract::{
-        char_model_fingerprint, extract_all, CharModelExtractor, ColumnDemux, Extractor,
-        PrecomputedExtractor, Seq2SeqEncoderExtractor,
+        char_model_fingerprint, extract_all, CharModelExtractor, ColumnDemux, CountingExtractor,
+        Extractor, PrecomputedExtractor, Seq2SeqEncoderExtractor,
     };
     pub use crate::measure::{
         standard_library, CorrelationMeasure, DiffMeansMeasure, GroupMiMeasure, JaccardMeasure,
@@ -217,15 +250,18 @@ pub mod prelude {
         RandomBaselineMeasure,
     };
     pub use crate::model::{
-        Dataset, FnHypothesis, HypothesisFn, ParseCache, ParseHypothesis, Record, UnitGroup,
+        Dataset, FnHypothesis, HypothesisFn, ParseCache, ParseHypothesis, Record, SegmentInfo,
+        SegmentedDataset, UnitGroup,
     };
     pub use crate::plan::{
         bind, optimize, optimize_store, AdmissionConfig, BatchOutput, BatchReport, GroupReport,
-        GroupSource, LogicalPlan, PhysicalPlan, PlanStats, StoreBinding, StorePlan,
+        GroupSource, LogicalPlan, PhysicalPlan, PlanStats, SegmentSource, StoreBinding, StorePlan,
     };
     pub use crate::query::{execute, execute_batch, parse, run_query, Catalog};
     pub use crate::result::{Completion, CompletionStatus, PendingPair, ResultFrame, ScoreRow};
-    pub use crate::session::{PreparedBatch, PreparedQuery, Session, SessionConfig, SessionStats};
+    pub use crate::session::{
+        PreparedBatch, PreparedQuery, SegmentWatermark, Session, SessionConfig, SessionStats,
+    };
     pub use deepbase_store::{
         BehaviorStore, ColumnKey, CompactionReport, Coverage, FpHasher, MaterializationPolicy,
         StoreConfig, StoreError, StoreStats, ERROR_RING_CAP,

@@ -44,6 +44,16 @@ pub trait Measure: Send + Sync {
     /// Default convergence threshold ε (paper §6.2: 0.025 for correlation,
     /// 0.01 for logistic regression).
     fn default_epsilon(&self) -> f32;
+
+    /// True when states of this measure can be combined across dataset
+    /// segments via [`MeasureState::merge_from`] with the same result as
+    /// one pass over the concatenated stream. Measures that cannot
+    /// (order-dependent SGD probes like logistic regression) return
+    /// `false`, and the planner rejects them on segmented datasets with a
+    /// typed error instead of a silently wrong cross-segment score.
+    fn supports_segment_merge(&self) -> bool {
+        false
+    }
 }
 
 /// Incremental state for one (unit group, hypothesis) pair.
@@ -57,6 +67,30 @@ pub trait MeasureState: Send {
 
     /// Current group score.
     fn group_score(&self) -> f32;
+
+    /// Self as `Any`, so sibling states of the same concrete type can
+    /// downcast each other inside [`MeasureState::merge_from`].
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Folds another state of the **same measure and unit group** (fed a
+    /// disjoint record range, e.g. one dataset segment) into this one.
+    /// Returns `false` when the measure does not support merging (the
+    /// default) or `other` is not the expected concrete type; the engine
+    /// treats `false` on a path that requires merging as an internal
+    /// error, because the planner gates those paths on
+    /// [`Measure::supports_segment_merge`].
+    fn merge_from(&mut self, _other: &dyn MeasureState) -> bool {
+        false
+    }
+
+    /// The current convergence-error estimate, as the last
+    /// [`MeasureState::process_block`] would have reported it — without
+    /// consuming data. Lets the engine re-derive pending pairs after
+    /// cross-segment merges. The default `∞` is only reached for states
+    /// that never merge (their per-block return value is used instead).
+    fn convergence_error(&self) -> f32 {
+        f32::INFINITY
+    }
 }
 
 /// Incremental state shared across all hypotheses (model merging).
@@ -97,6 +131,10 @@ impl Measure for CorrelationMeasure {
 
     fn default_epsilon(&self) -> f32 {
         0.025
+    }
+
+    fn supports_segment_merge(&self) -> bool {
+        true
     }
 }
 
@@ -140,10 +178,7 @@ impl MeasureState for CorrState {
             }
             acc.accumulate(hyp.len() as u64, sx, sy, sxx, syy, sxy);
         }
-        self.accs
-            .iter()
-            .map(|a| a.fisher_half_width(Z_95))
-            .fold(0.0f32, f32::max)
+        self.convergence_error()
     }
 
     fn unit_scores(&self) -> Vec<f32> {
@@ -155,6 +190,30 @@ impl MeasureState for CorrState {
             .iter()
             .map(|a| a.correlation().abs())
             .fold(0.0, f32::max)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn merge_from(&mut self, other: &dyn MeasureState) -> bool {
+        let Some(other) = other.as_any().downcast_ref::<CorrState>() else {
+            return false;
+        };
+        if other.accs.len() != self.accs.len() {
+            return false;
+        }
+        for (a, b) in self.accs.iter_mut().zip(other.accs.iter()) {
+            a.merge(b);
+        }
+        true
+    }
+
+    fn convergence_error(&self) -> f32 {
+        self.accs
+            .iter()
+            .map(|a| a.fisher_half_width(Z_95))
+            .fold(0.0f32, f32::max)
     }
 }
 
@@ -201,6 +260,10 @@ impl Measure for MutualInfoMeasure {
     fn default_epsilon(&self) -> f32 {
         0.01
     }
+
+    fn supports_segment_merge(&self) -> bool {
+        true
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -246,6 +309,10 @@ impl Measure for JaccardMeasure {
     fn default_epsilon(&self) -> f32 {
         0.01
     }
+
+    fn supports_segment_merge(&self) -> bool {
+        true
+    }
 }
 
 enum BufferedScore {
@@ -283,12 +350,7 @@ impl MeasureState for BufferedState {
             }
             self.hyp_buffer.push(h);
         }
-        let n = self.hyp_buffer.len();
-        if n < 8 {
-            f32::INFINITY
-        } else {
-            1.0 / (n as f32).sqrt()
-        }
+        self.convergence_error()
     }
 
     fn unit_scores(&self) -> Vec<f32> {
@@ -309,6 +371,49 @@ impl MeasureState for BufferedState {
 
     fn group_score(&self) -> f32 {
         self.unit_scores().into_iter().fold(0.0, f32::max)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn merge_from(&mut self, other: &dyn MeasureState) -> bool {
+        let Some(other) = other.as_any().downcast_ref::<BufferedState>() else {
+            return false;
+        };
+        self.merge_buffered(other)
+    }
+
+    fn convergence_error(&self) -> f32 {
+        let n = self.hyp_buffer.len();
+        if n < 8 {
+            f32::INFINITY
+        } else {
+            1.0 / (n as f32).sqrt()
+        }
+    }
+}
+
+impl BufferedState {
+    /// Appends `other`'s buffered sample after this one's, truncated at
+    /// `max_buffer` — exactly what one pass over the concatenated stream
+    /// would have buffered, so segment merges are deterministic.
+    fn merge_buffered(&mut self, other: &BufferedState) -> bool {
+        let compatible = match (&self.score, &other.score) {
+            (BufferedScore::Mi(a), BufferedScore::Mi(b)) => a == b,
+            (BufferedScore::Jaccard(a), BufferedScore::Jaccard(b)) => a == b,
+            _ => false,
+        };
+        if !compatible || other.unit_buffers.len() != self.unit_buffers.len() {
+            return false;
+        }
+        let room = self.max_buffer.saturating_sub(self.hyp_buffer.len());
+        let take = room.min(other.hyp_buffer.len());
+        for (buf, src) in self.unit_buffers.iter_mut().zip(other.unit_buffers.iter()) {
+            buf.extend_from_slice(&src[..take]);
+        }
+        self.hyp_buffer.extend_from_slice(&other.hyp_buffer[..take]);
+        true
     }
 }
 
@@ -338,6 +443,10 @@ impl Measure for DiffMeansMeasure {
 
     fn default_epsilon(&self) -> f32 {
         0.02
+    }
+
+    fn supports_segment_merge(&self) -> bool {
+        true
     }
 }
 
@@ -386,18 +495,7 @@ impl MeasureState for DiffMeansState {
                 m.push(u);
             }
         }
-        let n = self
-            .on
-            .first()
-            .map(|m| m.n)
-            .unwrap_or(0)
-            .min(self.off.first().map(|m| m.n).unwrap_or(0));
-        if n < 4 {
-            f32::INFINITY
-        } else {
-            // Standard-error style rate for a difference of means.
-            (2.0 / n as f32).sqrt()
-        }
+        self.convergence_error()
     }
 
     fn unit_scores(&self) -> Vec<f32> {
@@ -426,6 +524,42 @@ impl MeasureState for DiffMeansState {
             .into_iter()
             .map(f32::abs)
             .fold(0.0, f32::max)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn merge_from(&mut self, other: &dyn MeasureState) -> bool {
+        let Some(other) = other.as_any().downcast_ref::<DiffMeansState>() else {
+            return false;
+        };
+        if other.on.len() != self.on.len() {
+            return false;
+        }
+        for (side, other_side) in [(&mut self.on, &other.on), (&mut self.off, &other.off)] {
+            for (m, o) in side.iter_mut().zip(other_side.iter()) {
+                m.n += o.n;
+                m.sum += o.sum;
+                m.sumsq += o.sumsq;
+            }
+        }
+        true
+    }
+
+    fn convergence_error(&self) -> f32 {
+        let n = self
+            .on
+            .first()
+            .map(|m| m.n)
+            .unwrap_or(0)
+            .min(self.off.first().map(|m| m.n).unwrap_or(0));
+        if n < 4 {
+            f32::INFINITY
+        } else {
+            // Standard-error style rate for a difference of means.
+            (2.0 / n as f32).sqrt()
+        }
     }
 }
 
@@ -658,6 +792,13 @@ impl MeasureState for LogRegState {
     fn group_score(&self) -> f32 {
         self.inner.group_score(0)
     }
+
+    // No `merge_from`: SGD training is order-dependent, so cross-segment
+    // merging would not reproduce the single-pass probe. The planner
+    // rejects logreg on segmented datasets instead.
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -688,6 +829,10 @@ impl Measure for MajorityBaselineMeasure {
     fn default_epsilon(&self) -> f32 {
         0.01
     }
+
+    fn supports_segment_merge(&self) -> bool {
+        true
+    }
 }
 
 /// Random-class baseline.
@@ -716,6 +861,10 @@ impl Measure for RandomBaselineMeasure {
     fn default_epsilon(&self) -> f32 {
         0.01
     }
+
+    fn supports_segment_merge(&self) -> bool {
+        true
+    }
 }
 
 struct BaselineState {
@@ -728,11 +877,7 @@ impl MeasureState for BaselineState {
     fn process_block(&mut self, _units: &Matrix, hyp: &[f32]) -> f32 {
         self.labels
             .extend(hyp.iter().map(|&h| if h > 0.0 { 1.0 } else { 0.0 }));
-        if self.labels.len() < 8 {
-            f32::INFINITY
-        } else {
-            1.0 / (self.labels.len() as f32).sqrt()
-        }
+        self.convergence_error()
     }
 
     fn unit_scores(&self) -> Vec<f32> {
@@ -743,6 +888,29 @@ impl MeasureState for BaselineState {
         match self.random_seed {
             Some(seed) => baselines::random_class_f1(&self.labels, seed),
             None => baselines::majority_class_f1(&self.labels),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn merge_from(&mut self, other: &dyn MeasureState) -> bool {
+        let Some(other) = other.as_any().downcast_ref::<BaselineState>() else {
+            return false;
+        };
+        if other.random_seed != self.random_seed || other.n_units != self.n_units {
+            return false;
+        }
+        self.labels.extend_from_slice(&other.labels);
+        true
+    }
+
+    fn convergence_error(&self) -> f32 {
+        if self.labels.len() < 8 {
+            f32::INFINITY
+        } else {
+            1.0 / (self.labels.len() as f32).sqrt()
         }
     }
 }
@@ -807,6 +975,10 @@ impl Measure for GroupMiMeasure {
     fn default_epsilon(&self) -> f32 {
         0.01
     }
+
+    fn supports_segment_merge(&self) -> bool {
+        true
+    }
 }
 
 struct GroupMiState {
@@ -832,6 +1004,21 @@ impl MeasureState for GroupMiState {
             .map(|b| b.as_slice())
             .collect();
         mi::multivariate_mi(&refs, &self.buffered.hyp_buffer, self.bins)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn merge_from(&mut self, other: &dyn MeasureState) -> bool {
+        let Some(other) = other.as_any().downcast_ref::<GroupMiState>() else {
+            return false;
+        };
+        other.bins == self.bins && self.buffered.merge_buffered(&other.buffered)
+    }
+
+    fn convergence_error(&self) -> f32 {
+        self.buffered.convergence_error()
     }
 }
 

@@ -34,8 +34,8 @@
 
 use crate::cache::{CacheStats, HypothesisCache};
 use crate::engine::{
-    inspect_shared_store_armed, Device, EngineKind, InspectionConfig, InspectionRequest, Profile,
-    RunBudget, SharedOutcome, StoreSource,
+    inspect_shared_store_armed, Device, EngineKind, InspectionConfig, InspectionRequest,
+    PassSource, Profile, RunBudget, SharedOutcome, StoreSource,
 };
 // The optimizer's per-group store decision lives next to the executor
 // that consumes it; re-exported here because it is a planning artifact.
@@ -340,14 +340,23 @@ pub fn bind(query: &InspectQuery, catalog: &Catalog) -> Result<LogicalPlan, DniE
         }
     };
 
-    // Bind measures.
+    // Bind measures. On a segmented dataset every measure must be able
+    // to combine per-segment states exactly; anything else (the
+    // order-dependent SGD probes) is rejected here, at bind time, with
+    // the same typed error the engine raises — never a silently wrong
+    // cross-segment score.
     let mut measures: Vec<Arc<dyn Measure>> = Vec::new();
     for name in &query.measures {
-        measures.push(
-            catalog
-                .measure(name)
-                .ok_or_else(|| DniError::Query(format!("unknown measure {name:?}")))?,
-        );
+        let measure = catalog
+            .measure(name)
+            .ok_or_else(|| DniError::Query(format!("unknown measure {name:?}")))?;
+        if dataset.segment_count() > 1 && !measure.supports_segment_merge() {
+            return Err(DniError::Query(format!(
+                "measure {} cannot run on segmented datasets",
+                measure.id()
+            )));
+        }
+        measures.push(measure);
     }
 
     // Validate the SELECT list into the output schema.
@@ -538,6 +547,38 @@ pub enum GroupSource {
     /// Store-backed: scan the `hits`, extract the `misses`, merge into
     /// the union stream (and write back under a read-write policy).
     StoreScan(StorePlan),
+    /// Segmented store-backed: the dataset has sealed segments and the
+    /// scan-vs-extract decision is made *per segment*, each under its
+    /// own `(model fp, segment fp)` column key. Appending records and
+    /// re-running therefore scans the old segments warm and extracts
+    /// only the new ones.
+    Segments(Vec<SegmentSource>),
+}
+
+/// Per-segment source decision of a [`GroupSource::Segments`] group.
+pub struct SegmentSource {
+    /// Segment index within the dataset's canonical order.
+    pub index: usize,
+    /// First record of the segment.
+    pub start: usize,
+    /// Record count of the segment.
+    pub len: usize,
+    /// The segment's content fingerprint (the dataset-fp slot of the
+    /// store column key for this segment's scans and write-backs).
+    pub fingerprint: u64,
+    /// Store plan for this segment, `None` when the store holds nothing
+    /// for it (pure live extraction, written back under read-write).
+    pub plan: Option<StorePlan>,
+}
+
+impl SegmentSource {
+    /// Unit columns a complete stored copy serves in this segment.
+    fn scan_hits(&self) -> usize {
+        match &self.plan {
+            Some(sp) if sp.read => sp.hits.len(),
+            _ => 0,
+        }
+    }
 }
 
 /// One `(extractor, dataset)` shared-extraction group of a physical plan.
@@ -580,10 +621,15 @@ impl PlanGroup {
     }
 
     /// Union unit columns served by a complete store scan (charged to
-    /// the admission scan budget).
+    /// the admission scan budget). Segmented groups run one pass per
+    /// segment, so the scan budget is charged at the widest single
+    /// segment, not the sum.
     pub fn scan_width(&self) -> usize {
         match &self.source {
             GroupSource::StoreScan(sp) if sp.read => sp.hits.len(),
+            GroupSource::Segments(segs) => {
+                segs.iter().map(SegmentSource::scan_hits).max().unwrap_or(0)
+            }
             _ => 0,
         }
     }
@@ -592,9 +638,38 @@ impl PlanGroup {
     /// without a complete stored copy (including partial columns, whose
     /// tails extract live) plus hypothesis columns (always evaluated
     /// live). This is the width `AdmissionConfig::max_stream_width`
-    /// bounds.
+    /// bounds. A segmented group credits a unit column off the
+    /// extraction budget only when *every* segment can scan it
+    /// (strictly conservative: a column warm in some segments still
+    /// extracts live in the others).
     pub fn extract_width(&self) -> usize {
-        self.stream_width() - self.scan_width()
+        match &self.source {
+            GroupSource::Segments(_) => self.stream_width() - self.segment_scan_hits().len(),
+            _ => self.stream_width() - self.scan_width(),
+        }
+    }
+
+    /// Unit columns with a complete stored copy in every segment (the
+    /// set credited off the extraction budget for segmented groups).
+    fn segment_scan_hits(&self) -> HashSet<usize> {
+        let GroupSource::Segments(segs) = &self.source else {
+            return HashSet::new();
+        };
+        let mut iter = segs.iter();
+        let mut common: HashSet<usize> = match iter.next() {
+            Some(s) => match &s.plan {
+                Some(sp) if sp.read => sp.hits.iter().copied().collect(),
+                _ => HashSet::new(),
+            },
+            None => HashSet::new(),
+        };
+        for s in iter {
+            match &s.plan {
+                Some(sp) if sp.read => common.retain(|u| sp.hits.binary_search(u).is_ok()),
+                _ => common.clear(),
+            }
+        }
+        common
     }
 
     /// Estimated bytes one streamed block of this group holds.
@@ -815,36 +890,59 @@ pub(crate) fn optimize_with(
         if let (true, Some(binding), Some(first)) = (streaming, binding, group.items.first()) {
             let plan = &plans[first.query];
             let model = &plan.models[first.model_pos];
+            let probe = |dataset_fp: u64, model_fp: u64| {
+                let hits = binding
+                    .store
+                    .available_units(model_fp, dataset_fp, &group.union_units);
+                let partials =
+                    binding
+                        .store
+                        .partial_units(model_fp, dataset_fp, &group.union_units);
+                let misses: Vec<usize> = group
+                    .union_units
+                    .iter()
+                    .copied()
+                    .filter(|u| {
+                        hits.binary_search(u).is_err() && partials.binary_search(u).is_err()
+                    })
+                    .collect();
+                StorePlan {
+                    model_fp,
+                    dataset_fp,
+                    hits,
+                    partials,
+                    misses,
+                    read: true,
+                    write: binding.policy == MaterializationPolicy::ReadWrite,
+                    writeback_limit_bytes: binding.writeback_limit_bytes,
+                }
+            };
             group.source = match model.fingerprint() {
                 None => GroupSource::ExtractUnkeyed,
-                Some(model_fp) => {
-                    let dataset_fp = plan.dataset_fingerprint();
-                    let hits =
-                        binding
-                            .store
-                            .available_units(model_fp, dataset_fp, &group.union_units);
-                    let partials =
-                        binding
-                            .store
-                            .partial_units(model_fp, dataset_fp, &group.union_units);
-                    let misses: Vec<usize> = group
-                        .union_units
-                        .iter()
-                        .copied()
-                        .filter(|u| {
-                            hits.binary_search(u).is_err() && partials.binary_search(u).is_err()
+                Some(model_fp) if plan.dataset.segment_count() > 1 => {
+                    // Each sealed segment is probed under its own
+                    // fingerprint, so an append invalidates nothing:
+                    // the old segments' columns stay warm and only the
+                    // new segments extract (and write back) live.
+                    let segs = plan
+                        .dataset
+                        .segments()
+                        .into_iter()
+                        .map(|seg| {
+                            let fp = plan.dataset.segment_fingerprint(seg.index);
+                            SegmentSource {
+                                index: seg.index,
+                                start: seg.start,
+                                len: seg.len,
+                                fingerprint: fp,
+                                plan: Some(probe(fp, model_fp)),
+                            }
                         })
                         .collect();
-                    GroupSource::StoreScan(StorePlan {
-                        model_fp,
-                        dataset_fp,
-                        hits,
-                        partials,
-                        misses,
-                        read: true,
-                        write: binding.policy == MaterializationPolicy::ReadWrite,
-                        writeback_limit_bytes: binding.writeback_limit_bytes,
-                    })
+                    GroupSource::Segments(segs)
+                }
+                Some(model_fp) => {
+                    GroupSource::StoreScan(probe(plan.dataset_fingerprint(), model_fp))
                 }
             };
         }
@@ -855,6 +953,7 @@ pub(crate) fn optimize_with(
         // item wider than a bound gets its own wave.
         let scan_hits: HashSet<usize> = match &group.source {
             GroupSource::StoreScan(sp) if sp.read => sp.hits.iter().copied().collect(),
+            GroupSource::Segments(_) => group.segment_scan_hits(),
             _ => HashSet::new(),
         };
         stats.scan_charged_columns += scan_hits.len();
@@ -1062,13 +1161,32 @@ impl PhysicalPlan {
         let run_group = |g: &PlanGroup| -> Result<Vec<SharedOutcome>, DniError> {
             // The store source is shared by the group's waves: every wave
             // streams the same (model, dataset), so hits apply to each
-            // wave's (sub-)union.
-            let source: Option<StoreSource> = match (&g.source, &self.store) {
+            // wave's (sub-)union. Segmented groups carry one source per
+            // segment, handed to the engine in canonical segment order.
+            let whole: Option<StoreSource> = match (&g.source, &self.store) {
                 (GroupSource::StoreScan(sp), Some(store)) => Some(StoreSource {
                     store: Arc::clone(store),
                     plan: sp.clone(),
                 }),
                 _ => None,
+            };
+            let per_segment: Option<Vec<Option<StoreSource>>> = match (&g.source, &self.store) {
+                (GroupSource::Segments(segs), Some(store)) => Some(
+                    segs.iter()
+                        .map(|s| {
+                            s.plan.as_ref().map(|sp| StoreSource {
+                                store: Arc::clone(store),
+                                plan: sp.clone(),
+                            })
+                        })
+                        .collect(),
+                ),
+                _ => None,
+            };
+            let source: PassSource<'_> = match (&whole, &per_segment) {
+                (Some(s), _) => PassSource::Whole(s),
+                (None, Some(segs)) => PassSource::PerSegment(segs),
+                (None, None) => PassSource::None,
             };
             // Contain worker panics at the group boundary: a hypothesis
             // or extractor that panics mid-stream poisons only its own
@@ -1097,12 +1215,7 @@ impl PhysicalPlan {
                                 }
                             })
                             .collect();
-                        inspect_shared_store_armed(
-                            &requests,
-                            &config,
-                            source.as_ref(),
-                            armed.as_ref(),
-                        )
+                        inspect_shared_store_armed(&requests, &config, source, armed.as_ref())
                     })
                     .collect()
             }))
@@ -1310,6 +1423,26 @@ impl PhysicalPlan {
                         sp.hits.len(),
                         g.union_units.len(),
                         sp.misses.len(),
+                    ));
+                }
+                GroupSource::Segments(segs) => {
+                    // A segment is warm when every union unit column has a
+                    // complete stored copy, cold when none does.
+                    let total = g.union_units.len();
+                    let warm = segs
+                        .iter()
+                        .filter(|s| total > 0 && s.scan_hits() == total)
+                        .count();
+                    let cold = segs.iter().filter(|s| s.scan_hits() == 0).count();
+                    let partial = segs.len() - warm - cold;
+                    let mode = match segs.iter().find_map(|s| s.plan.as_ref()) {
+                        Some(sp) if sp.write => "read-write",
+                        _ => "read-only",
+                    };
+                    out.push_str(&format!(
+                        "{stem}├─ segments: {} sealed, {warm} warm, {partial} partial, \
+                         {cold} cold; {mode}\n",
+                        segs.len(),
                     ));
                 }
             }

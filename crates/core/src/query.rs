@@ -130,6 +130,25 @@ impl Catalog {
         self.measures.insert(measure.id().to_string(), measure);
     }
 
+    /// Appends a batch of records to a registered dataset as one new
+    /// sealed segment, re-registering the grown dataset under the same
+    /// name. The existing segments (and their content fingerprints) are
+    /// untouched, so store columns keyed per segment stay warm and a
+    /// re-run extracts only the appended records.
+    pub fn append_to_dataset(
+        &mut self,
+        name: &str,
+        records: Vec<crate::model::Record>,
+    ) -> Result<(), DniError> {
+        let dataset = self
+            .datasets
+            .get(name)
+            .ok_or_else(|| DniError::Query(format!("unknown dataset {name:?}")))?;
+        let grown = dataset.append_segment(records)?;
+        self.datasets.insert(name.to_string(), Arc::new(grown));
+        Ok(())
+    }
+
     /// Registered models, in registration order.
     pub fn models(&self) -> &[CatalogModel] {
         &self.models

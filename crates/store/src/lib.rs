@@ -128,6 +128,12 @@ pub struct StoreStats {
     /// Extractor forward passes avoided: streamed engine blocks whose
     /// unit behaviors were served entirely from the store.
     pub forward_passes_avoided: usize,
+    /// Segment streams executed by segmented passes (one per dataset
+    /// segment actually streamed; 0 on unsegmented passes). On segmented
+    /// passes the column key's dataset fingerprint is the *segment*
+    /// fingerprint, so warm re-inspection after an append scans old
+    /// segments and extracts only the new ones.
+    pub segment_passes: usize,
     /// Files deleted by compaction (expired quarantined files, stale
     /// temporaries, partial columns superseded by completed versions).
     pub files_reclaimed: usize,
@@ -170,6 +176,7 @@ impl StoreStats {
         self.partial_columns_written += other.partial_columns_written;
         self.blocks_written += other.blocks_written;
         self.forward_passes_avoided += other.forward_passes_avoided;
+        self.segment_passes += other.segment_passes;
         self.files_reclaimed += other.files_reclaimed;
         self.bytes_reclaimed += other.bytes_reclaimed;
         self.io_retries += other.io_retries;
