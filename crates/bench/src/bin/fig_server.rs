@@ -1,0 +1,207 @@
+//! Inspection-server benchmark (ISSUE 8): sustained QPS and p50/p99
+//! latency under concurrent TCP clients, cold vs warm store.
+//!
+//! An in-process `InspectionServer` serves the demo char-LSTM catalog;
+//! `CLIENTS` client threads each hold one connection and issue INSPECT
+//! requests back-to-back (closed loop). Two serving regimes:
+//!
+//! * `cold_live_extraction` — no store: every request runs the LSTM
+//!   forward passes. This is repeatable cold service, not a one-shot
+//!   first-touch.
+//! * `warm_store_scan` — a read-write store populated once up front:
+//!   requests scan unit columns through the shared buffer pool; the
+//!   serving extractor is asserted to run zero forward passes.
+//!
+//! Both regimes run under a process-wide admission budget so the bench
+//! also exercises the global scheduler (`peak_stream_width` is asserted
+//! to respect it across all connections).
+//!
+//! Writes `BENCH_PR8.json` in the current directory.
+//!
+//! Run with: `cargo run --release -p deepbase-bench --bin fig_server`
+
+use deepbase::prelude::*;
+use deepbase_client::Client;
+use deepbase_server::{demo, wire, InspectionServer, ServerConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Concurrent client connections (the acceptance floor is 4).
+const CLIENTS: usize = 4;
+/// Requests each client issues per measured regime.
+const REQUESTS_PER_CLIENT: usize = 24;
+/// Process-wide stream-width budget both regimes serve under.
+const STREAM_BUDGET: usize = 48;
+
+fn session_config(store: Option<StoreConfig>) -> SessionConfig {
+    SessionConfig {
+        inspection: demo::inspection(),
+        admission: AdmissionConfig {
+            max_stream_width: Some(STREAM_BUDGET),
+            max_scan_width: None,
+        },
+        store,
+        // The per-connection score cache would serve every repeated
+        // statement without touching extractor OR store; this bench
+        // measures the *store's* serving payoff, so each request must
+        // actually execute.
+        reuse_scores: false,
+        ..SessionConfig::default()
+    }
+}
+
+fn start_server(passes: &Arc<AtomicUsize>, store: Option<StoreConfig>) -> ServerHandle {
+    InspectionServer::start(
+        "127.0.0.1:0",
+        demo::catalog(passes),
+        ServerConfig {
+            session: session_config(store),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Latency distribution of one closed-loop run.
+struct Regime {
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    requests: usize,
+}
+
+/// Runs `CLIENTS` closed-loop connections against `addr`, each issuing
+/// `REQUESTS_PER_CLIENT` single-statement INSPECT requests round-robin
+/// over the demo batch, and folds all per-request latencies together.
+fn drive(addr: SocketAddr) -> Regime {
+    let start = Instant::now();
+    let mut latencies_ns: Vec<u64> = thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let statement = demo::QUERIES[(c + i) % demo::QUERIES.len()];
+                        let t0 = Instant::now();
+                        let result = client.inspect(statement).expect("inspect");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        assert_eq!(result.status, wire::STATUS_CONVERGED);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    latencies_ns.sort_unstable();
+    let requests = latencies_ns.len();
+    let pct = |q: f64| latencies_ns[((requests - 1) as f64 * q) as usize] as f64 / 1e6;
+    Regime {
+        qps: requests as f64 / wall,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        requests,
+    }
+}
+
+fn main() {
+    let store_dir = PathBuf::from("target/tmp-fig-server");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_config = || StoreConfig {
+        block_records: 64,
+        ..StoreConfig::at(&store_dir)
+    };
+
+    // Cold regime: live extraction on every request.
+    let cold_passes = Arc::new(AtomicUsize::new(0));
+    let cold_server = start_server(&cold_passes, None);
+    // One untimed warm-up request per connection path (OS, allocator).
+    Client::connect(cold_server.addr())
+        .expect("warm-up connect")
+        .inspect(demo::QUERIES[0])
+        .expect("warm-up inspect");
+    let cold = drive(cold_server.addr());
+    assert!(
+        cold_passes.load(Ordering::SeqCst) > 0,
+        "cold serving must extract live"
+    );
+    let cold_sched = cold_server.scheduler().stats();
+    assert!(cold_sched.peak_stream_width <= STREAM_BUDGET);
+    drop(cold_server);
+
+    // Warm regime: populate the store once, then serve from it.
+    {
+        let populate = Arc::new(AtomicUsize::new(0));
+        let mut session = Session::with_config(
+            demo::catalog(&populate),
+            session_config(Some(store_config())),
+        );
+        session.run_batch(&demo::QUERIES).expect("populate store");
+    }
+    let warm_passes = Arc::new(AtomicUsize::new(0));
+    let warm_server = start_server(&warm_passes, Some(store_config()));
+    Client::connect(warm_server.addr())
+        .expect("warm-up connect")
+        .inspect(demo::QUERIES[0])
+        .expect("warm-up inspect");
+    let warm = drive(warm_server.addr());
+    assert_eq!(
+        warm_passes.load(Ordering::SeqCst),
+        0,
+        "warm serving must run zero extractor forward passes"
+    );
+    let warm_sched = warm_server.scheduler().stats();
+    assert!(warm_sched.peak_stream_width <= STREAM_BUDGET);
+    let server_stats = warm_server.stats();
+    assert_eq!(server_stats.query_errors, 0);
+    drop(warm_server);
+
+    let speedup = cold.p50_ms / warm.p50_ms;
+    println!("clients                   : {CLIENTS}");
+    println!("requests per regime       : {}", cold.requests);
+    println!(
+        "cold_live_extraction      : {:>8.1} qps  p50 {:>8.2} ms  p99 {:>8.2} ms",
+        cold.qps, cold.p50_ms, cold.p99_ms
+    );
+    println!(
+        "warm_store_scan           : {:>8.1} qps  p50 {:>8.2} ms  p99 {:>8.2} ms",
+        warm.qps, warm.p50_ms, warm.p99_ms
+    );
+    println!("warm p50 speedup          : {speedup:.2}x");
+    println!(
+        "scheduler (warm)          : {} waves admitted, {} waited, peak width {}",
+        warm_sched.waves_admitted, warm_sched.waves_waited, warm_sched.peak_stream_width
+    );
+
+    let regime_json = |r: &Regime| {
+        format!(
+            "{{\"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"requests\": {}}}",
+            r.qps, r.p50_ms, r.p99_ms, r.requests
+        )
+    };
+    let json = format!(
+        "{{\n  \"pr\": 8,\n  \"clients\": {CLIENTS},\n  \"benchmarks\": {{\n    \
+         \"cold_live_extraction\": {},\n    \
+         \"warm_store_scan\": {}\n  }},\n  \
+         \"warm_p50_speedup\": {speedup:.3},\n  \
+         \"stream_budget\": {STREAM_BUDGET},\n  \
+         \"warm_peak_stream_width\": {},\n  \
+         \"warm_waves_admitted\": {},\n  \
+         \"warm_forward_passes\": 0\n}}\n",
+        regime_json(&cold),
+        regime_json(&warm),
+        warm_sched.peak_stream_width,
+        warm_sched.waves_admitted,
+    );
+    deepbase_bench::emit_json("BENCH_PR8.json", &json);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

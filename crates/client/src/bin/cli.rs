@@ -1,0 +1,94 @@
+//! `deepbase-cli`: command-line client for the inspection server.
+//!
+//! ```text
+//! deepbase-cli ADDR inspect STATEMENT [--deadline-ms N]
+//!                                     [--max-records N] [--max-blocks N]
+//! deepbase-cli ADDR explain STATEMENT
+//! deepbase-cli ADDR stats
+//! deepbase-cli ADDR shutdown
+//! ```
+
+use deepbase_client::Client;
+use deepbase_server::wire::{status_name, WireBudget};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: deepbase-cli ADDR COMMAND\n\
+         commands:\n  \
+         inspect STATEMENT [--deadline-ms N] [--max-records N] [--max-blocks N]\n  \
+         explain STATEMENT\n  \
+         stats\n  \
+         shutdown"
+    );
+    exit(2)
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("deepbase-cli: {message}");
+    exit(1)
+}
+
+fn num(flag: &str, value: Option<String>) -> u64 {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(n)) => n,
+        _ => fail(format!("{flag} needs a numeric argument")),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(addr), Some(command)) = (args.next(), args.next()) else {
+        usage()
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => fail(format!("could not connect to {addr}: {e}")),
+    };
+    match command.as_str() {
+        "inspect" => {
+            let Some(statement) = args.next() else {
+                usage()
+            };
+            let mut budget = WireBudget::default();
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--deadline-ms" => budget.deadline_ms = num(&flag, args.next()),
+                    "--max-records" => budget.max_records = num(&flag, args.next()),
+                    "--max-blocks" => budget.max_blocks = num(&flag, args.next()),
+                    other => fail(format!("unknown inspect flag {other}")),
+                }
+            }
+            match client.inspect_with_budget(&statement, budget) {
+                Ok(result) => {
+                    print!("{}", result.table.render(50));
+                    println!(
+                        "-- {} rows, {} records read, {}",
+                        result.table.len(),
+                        result.rows_read,
+                        status_name(result.status)
+                    );
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "explain" => {
+            let Some(statement) = args.next() else {
+                usage()
+            };
+            match client.explain(&statement) {
+                Ok(text) => print!("{text}"),
+                Err(e) => fail(e),
+            }
+        }
+        "stats" => match client.stats() {
+            Ok(text) => print!("{text}"),
+            Err(e) => fail(e),
+        },
+        "shutdown" => match client.shutdown() {
+            Ok(()) => println!("server draining"),
+            Err(e) => fail(e),
+        },
+        _ => usage(),
+    }
+}

@@ -83,7 +83,123 @@ impl fmt::Display for DniError {
 
 impl std::error::Error for DniError {}
 
+/// Parses a Rust `{:?}`-escaped string literal at the head of `s`:
+/// returns the unescaped contents and the remainder after the closing
+/// quote. Handles the escapes `escape_debug` emits (`\"`, `\\`, `\n`,
+/// `\r`, `\t`, `\0`, `\'` and `\u{..}`), which is exactly what
+/// [`DniError`]'s `Display` produces for its quoted fields.
+fn parse_debug_str(s: &str) -> Option<(String, &str)> {
+    let rest = s.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &rest[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                '0' => out.push('\0'),
+                '\'' => out.push('\''),
+                'u' => {
+                    let (open, _) = chars.next()?;
+                    let hex_start = open + 1;
+                    let mut hex_end = hex_start;
+                    for (j, h) in chars.by_ref() {
+                        hex_end = j;
+                        if h == '}' {
+                            break;
+                        }
+                    }
+                    let code = u32::from_str_radix(&rest[hex_start..hex_end], 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            other => out.push(other),
+        }
+    }
+    None
+}
+
 impl DniError {
+    /// Stable numeric code of this error variant, for the wire protocol
+    /// and greppable logs. Codes are append-only: a variant's code never
+    /// changes and codes of removed variants are never reused. Code `0`
+    /// is reserved for protocol-level (non-`DniError`) failures.
+    ///
+    /// The match is intentionally exhaustive *inside this crate* (where
+    /// `#[non_exhaustive]` still permits it): adding a variant without
+    /// assigning a code is a compile error, which is what keeps the
+    /// wire mapping total (see the `codes_are_exhaustive_and_stable`
+    /// test).
+    pub fn code(&self) -> u16 {
+        match self {
+            DniError::BadRecord { .. } => 1,
+            DniError::BadHypothesisOutput { .. } => 2,
+            DniError::BadUnitGroup { .. } => 3,
+            DniError::BadConfig(_) => 4,
+            DniError::Query(_) => 5,
+            DniError::DeadlineExceeded(_) => 6,
+            DniError::Cancelled => 7,
+            DniError::Internal(_) => 8,
+            DniError::Io(_) => 9,
+        }
+    }
+
+    /// Reconstructs an error from its wire form: the stable
+    /// [`DniError::code`] plus the `Display` rendering. The round trip
+    /// `DniError::from_wire(e.code(), &e.to_string()) == e` holds for
+    /// every variant (structured fields are parsed back out of the
+    /// display prefix), so errors serialize losslessly over the wire.
+    /// Unknown codes — a newer server talking to an older client — and
+    /// unparseable messages degrade to [`DniError::Query`] carrying the
+    /// raw message rather than being dropped.
+    pub fn from_wire(code: u16, message: &str) -> DniError {
+        fn tail<'m>(message: &'m str, prefix: &str) -> Option<&'m str> {
+            message.strip_prefix(prefix)
+        }
+        let parsed = match code {
+            1 => tail(message, "record ").and_then(|rest| {
+                let (record, msg) = rest.split_once(": ")?;
+                Some(DniError::BadRecord {
+                    record: record.parse().ok()?,
+                    msg: msg.to_string(),
+                })
+            }),
+            2 => tail(message, "hypothesis ").and_then(|rest| {
+                let (hypothesis, rest) = parse_debug_str(rest)?;
+                let rest = rest.strip_prefix(" on record ")?;
+                let (record, msg) = rest.split_once(": ")?;
+                Some(DniError::BadHypothesisOutput {
+                    hypothesis,
+                    record: record.parse().ok()?,
+                    msg: msg.to_string(),
+                })
+            }),
+            3 => tail(message, "unit group ").and_then(|rest| {
+                let (group, rest) = parse_debug_str(rest)?;
+                let msg = rest.strip_prefix(": ")?;
+                Some(DniError::BadUnitGroup {
+                    group,
+                    msg: msg.to_string(),
+                })
+            }),
+            4 => tail(message, "bad configuration: ").map(|m| DniError::BadConfig(m.to_string())),
+            5 => tail(message, "query error: ").map(|m| DniError::Query(m.to_string())),
+            6 => tail(message, "deadline exceeded: ")
+                .map(|m| DniError::DeadlineExceeded(m.to_string())),
+            7 => Some(DniError::Cancelled),
+            8 => tail(message, "internal error (worker panic): ")
+                .map(|m| DniError::Internal(m.to_string())),
+            9 => tail(message, "ingest io error: ").map(|m| DniError::Io(m.to_string())),
+            _ => None,
+        };
+        parsed.unwrap_or_else(|| DniError::Query(format!("[code {code}] {message}")))
+    }
+
     /// True for errors that a retry of the same statement could clear
     /// without any change to query, catalog, or configuration: budget
     /// expiry and cancellation. Everything else — bad inputs, corrupt
@@ -118,6 +234,69 @@ mod tests {
             DniError::BadConfig("x".into())
         );
         assert_ne!(DniError::BadConfig("x".into()), DniError::Query("x".into()));
+    }
+
+    /// Every variant carries a distinct, stable, non-zero code. The list
+    /// below is the full constructor set; `DniError::code` uses an
+    /// exhaustive in-crate match, so a new variant fails compilation
+    /// there until a code is assigned, and fails this test until the
+    /// sample list (and the wire docs) are extended.
+    fn one_of_each_variant() -> Vec<DniError> {
+        vec![
+            DniError::BadRecord {
+                record: 7,
+                msg: "empty symbol stream".into(),
+            },
+            DniError::BadHypothesisOutput {
+                hypothesis: "kw:\"SELECT\"\n\ttab".into(),
+                record: 3,
+                msg: "behavior length 5 != ns 30".into(),
+            },
+            DniError::BadUnitGroup {
+                group: "layer-1\\cells".into(),
+                msg: "unit 99 out of range".into(),
+            },
+            DniError::BadConfig("block_records must be > 0".into()),
+            DniError::Query("unknown dataset \"D\"".into()),
+            DniError::DeadlineExceeded("10ms elapsed before first block".into()),
+            DniError::Cancelled,
+            DniError::Internal("worker panic: index out of bounds".into()),
+            DniError::Io("WAL append failed: disk full".into()),
+        ]
+    }
+
+    #[test]
+    fn codes_are_exhaustive_and_stable() {
+        let samples = one_of_each_variant();
+        let codes: Vec<u16> = samples.iter().map(DniError::code).collect();
+        // Pinned assignments: these are wire-visible and append-only.
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        // Distinct and never the reserved protocol-error code 0.
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len());
+        assert!(codes.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn wire_round_trip_is_lossless_for_every_variant() {
+        for e in one_of_each_variant() {
+            let back = DniError::from_wire(e.code(), &e.to_string());
+            assert_eq!(back, e, "round trip mangled {e:?}");
+        }
+    }
+
+    #[test]
+    fn from_wire_degrades_gracefully_on_unknown_or_mangled_input() {
+        // Unknown code (newer server, older client): keep the message.
+        let e = DniError::from_wire(4242, "some future failure");
+        assert_eq!(e, DniError::Query("[code 4242] some future failure".into()));
+        // Known code but a message that doesn't match the variant's
+        // display grammar: degrade, don't panic or drop.
+        let e = DniError::from_wire(1, "not the bad-record shape");
+        assert!(matches!(e, DniError::Query(_)));
+        assert!(e.to_string().contains("not the bad-record shape"));
     }
 
     #[test]

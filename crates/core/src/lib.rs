@@ -185,6 +185,59 @@
 //! [`prelude::StoreStats::io_retries`]) from corruption, which is
 //! quarantined as always.
 //!
+//! ## Serving
+//!
+//! The library scales out to a long-lived **inspection server**
+//! (`deepbase-server`, with a `deepbase-client` library + CLI): a
+//! dependency-free TCP frontend over `std::net` speaking a
+//! length-prefixed binary protocol. Every frame is `u32 big-endian
+//! payload length` followed by the payload, whose first byte is the
+//! opcode:
+//!
+//! ```text
+//! request  := INSPECT(0x01)  deadline_ms:u64 max_records:u64 max_blocks:u64 statement:utf8
+//!           | EXPLAIN(0x02)  statement:utf8
+//!           | APPEND(0x03)   name_len:u16 name count:u32 record*
+//!           | STATS(0x04) | SHUTDOWN(0x05)
+//!           | BATCH(0x06)    deadline_ms:u64 max_records:u64 max_blocks:u64
+//!                            count:u16 (len:u32 statement)*
+//! response := RESULT(0x81)   status:u8 rows_read:u64 table
+//!           | TEXT(0x82)     utf8
+//!           | ERROR(0x83)    code:u16 message:utf8
+//!           | OK(0x84)       value:u64
+//!           | BATCH(0x85)    status:u8 rows_read:u64 plan_stats
+//!                            count:u16 (tag:u8 table|error)*
+//! ```
+//!
+//! Tables travel losslessly (`Float` cells as raw `f32::to_bits`), so a
+//! warm-store query answered over TCP is **bit-identical** to the same
+//! statement run through the in-process [`session::Session`] API.
+//! Errors travel as stable [`DniError::code`] + display text and are
+//! reconstructed with [`DniError::from_wire`] (round-trip lossless).
+//!
+//! The server runs **one logical session per connection**: each
+//! connection's session clones one master catalog (cheap, identity-
+//! preserving — see [`query::Catalog`]) and refreshes its clone when an
+//! APPEND from any connection bumps the master generation. All sessions
+//! share one process-wide behavior store handle
+//! ([`session::SessionConfig::shared_store`]) and one runtime pool, and
+//! per-request budgets map from the wire through
+//! [`session::Session::set_budget`].
+//!
+//! **Global admission** ([`admission::AdmissionScheduler`], bound via
+//! [`session::SessionConfig::scheduler`]) lifts the
+//! [`plan::AdmissionConfig`] width budgets from per-batch to
+//! process-wide: plans still split into waves against the same budgets,
+//! but every wave additionally acquires a fair-FIFO width permit before
+//! streaming, so `max_stream_width`/`max_scan_width` bound the **sum of
+//! in-flight widths across all connections** instead of each batch
+//! holding a private budget. [`plan::PlanStats::global_waves`] counts a
+//! plan's permit-acquiring waves and `explain` renders the scheduler
+//! line. A SHUTDOWN frame (or idle timeout) drains in-flight batches
+//! through the shared [`engine::CancelToken`] — streaming passes degrade
+//! gracefully and persist watermark-extending partial columns — then
+//! runs one final compaction sweep before the listener closes.
+//!
 //! Modules map to the paper:
 //!
 //! * [`model`] — the DNI problem model: datasets, records, unit groups,
@@ -212,10 +265,13 @@
 //!   `explain`).
 //! * [`session`] — long-lived sessions: prepared statements, the
 //!   cross-batch plan cache, score reuse, admission configuration.
+//! * [`admission`] — the process-wide fair-FIFO admission scheduler
+//!   concurrent sessions share (the serving path's global budgets).
 //! * [`vision`] — CNN inspection and the NetDissect pipeline (Appendix E).
 //! * [`workloads`] — the paper's evaluation workloads, shared by the
 //!   examples, integration tests and benchmark harnesses.
 
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod error;
@@ -234,6 +290,7 @@ pub use error::DniError;
 
 /// Convenience re-exports covering the common API surface.
 pub mod prelude {
+    pub use crate::admission::{AdmissionPermit, AdmissionScheduler, SchedulerStats};
     pub use crate::cache::{CacheStats, HypothesisCache};
     pub use crate::engine::{
         inspect, inspect_shared, inspect_shared_store, CancelToken, Device, EngineKind,

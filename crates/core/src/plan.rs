@@ -32,6 +32,7 @@
 //! [`InspectionRequest`]s a physical plan produces, never raw
 //! [`InspectQuery`] structs.
 
+use crate::admission::AdmissionScheduler;
 use crate::cache::{CacheStats, HypothesisCache};
 use crate::engine::{
     inspect_shared_store_armed, Device, EngineKind, InspectionConfig, InspectionRequest,
@@ -507,6 +508,11 @@ pub struct PlanStats {
     /// stream width (complete store hits, summed over groups) — the
     /// store-aware admission distinction made visible.
     pub scan_charged_columns: usize,
+    /// Execution waves that will acquire a permit from the process-wide
+    /// [`AdmissionScheduler`] before streaming (total across groups).
+    /// Zero when the plan was built without a scheduler — per-batch
+    /// admission only.
+    pub global_waves: usize,
 }
 
 /// One work item: a `(query, model)` pair scheduled into a shared group.
@@ -699,6 +705,10 @@ pub struct PhysicalPlan {
     budget: RunBudget,
     /// The open store the `StoreScan` sources execute against.
     store: Option<Arc<BehaviorStore>>,
+    /// Process-wide admission scheduler: when set, every execution wave
+    /// acquires a width permit before streaming, so the plan's waves
+    /// share one cross-session budget instead of a private one.
+    scheduler: Option<Arc<AdmissionScheduler>>,
 }
 
 /// Thin-pointer identity of an `Arc<dyn T>` (data pointer, metadata
@@ -740,7 +750,7 @@ pub fn optimize(
     config: &InspectionConfig,
     admission: AdmissionConfig,
 ) -> PhysicalPlan {
-    optimize_with(plans, config, admission, None, &mut |_, _| None)
+    optimize_with(plans, config, admission, None, None, &mut |_, _| None)
 }
 
 /// [`optimize`] with a behavior-store binding: each group's source is
@@ -754,16 +764,19 @@ pub fn optimize_store(
     admission: AdmissionConfig,
     binding: Option<&StoreBinding>,
 ) -> PhysicalPlan {
-    optimize_with(plans, config, admission, binding, &mut |_, _| None)
+    optimize_with(plans, config, admission, binding, None, &mut |_, _| None)
 }
 
-/// [`optimize_store`] with a score-cache lookup: items whose frame the
-/// session already holds are placed as `Cached` and never scheduled.
+/// [`optimize_store`] with a score-cache lookup (items whose frame the
+/// session already holds are placed as `Cached` and never scheduled) and
+/// an optional process-wide [`AdmissionScheduler`] whose permits the
+/// plan's execution waves will acquire.
 pub(crate) fn optimize_with(
     plans: &[Arc<LogicalPlan>],
     config: &InspectionConfig,
     admission: AdmissionConfig,
     binding: Option<&StoreBinding>,
+    scheduler: Option<Arc<AdmissionScheduler>>,
     cached_frame: &mut dyn FnMut(usize, usize) -> Option<Arc<ResultFrame>>,
 ) -> PhysicalPlan {
     let mut stats = PlanStats::default();
@@ -988,6 +1001,10 @@ pub(crate) fn optimize_with(
         }
     }
 
+    if scheduler.is_some() {
+        stats.global_waves = groups.iter().map(|g| g.waves.len()).sum();
+    }
+
     PhysicalPlan {
         plans: plans.to_vec(),
         groups,
@@ -997,6 +1014,7 @@ pub(crate) fn optimize_with(
         admission,
         budget: config.budget.clone(),
         store: binding.map(|b| Arc::clone(&b.store)),
+        scheduler,
     }
 }
 
@@ -1195,7 +1213,17 @@ impl PhysicalPlan {
             catch_unwind(AssertUnwindSafe(|| {
                 g.waves
                     .iter()
-                    .map(|wave| {
+                    .enumerate()
+                    .map(|(wi, wave)| {
+                        // Global admission: hold a process-wide width
+                        // permit for exactly the duration of this wave's
+                        // pass. Permits are re-acquired per wave (never
+                        // held across waves), so concurrent batches
+                        // interleave fairly at wave granularity.
+                        let _permit = self
+                            .scheduler
+                            .as_ref()
+                            .map(|s| s.acquire(g.wave_widths[wi], g.wave_scan_widths[wi]));
                         let requests: Vec<InspectionRequest> = g.items[wave.clone()]
                             .iter()
                             .map(|item| {
@@ -1371,6 +1399,28 @@ impl PhysicalPlan {
                 parts.push(format!("max_blocks={n}"));
             }
             out.push_str(&format!("├─ budget: {}\n", parts.join(", ")));
+        }
+        if let Some(sched) = &self.scheduler {
+            // Rendered only for scheduler-bound sessions, so library
+            // plan snapshots are unchanged. Budgets are config values,
+            // deterministic across runs.
+            let fmt = |b: Option<usize>| match b {
+                Some(v) => v.to_string(),
+                None => "unbounded".to_string(),
+            };
+            let a = sched.admission();
+            out.push_str(&format!(
+                "├─ admission: global scheduler (process-wide stream budget {}, \
+                 scan budget {}; {} wave{} FIFO permits)\n",
+                fmt(a.max_stream_width),
+                fmt(a.max_scan_width),
+                self.stats.global_waves,
+                if self.stats.global_waves == 1 {
+                    " acquires"
+                } else {
+                    "s acquire"
+                },
+            ));
         }
         if cached > 0 {
             out.push_str(&format!(

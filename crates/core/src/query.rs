@@ -55,6 +55,13 @@ pub struct UnitMeta {
 }
 
 /// One registered model.
+///
+/// Cloning is cheap (the extractor is `Arc`-shared) and **preserves
+/// extractor identity** — a cloned catalog's queries group, deduplicate,
+/// fingerprint and hypothesis-cache exactly like the original's. The
+/// serving frontend relies on this: every connection's session clones
+/// one master catalog.
+#[derive(Clone)]
 pub struct CatalogModel {
     /// Model identifier (`M.mid`).
     pub mid: String,
@@ -67,7 +74,10 @@ pub struct CatalogModel {
 }
 
 /// The catalog the query planner binds against.
-#[derive(Default)]
+///
+/// Cloning shares every registered entry (`Arc` clones, identity
+/// preserved — see [`CatalogModel`]); the clone only copies the id maps.
+#[derive(Clone, Default)]
 pub struct Catalog {
     models: Vec<CatalogModel>,
     hypothesis_sets: BTreeMap<String, Vec<Arc<dyn HypothesisFn>>>,

@@ -28,8 +28,9 @@
 //! [`BatchReport::plan`]; [`Session::stats`] accumulates them across the
 //! session's lifetime.
 
+use crate::admission::AdmissionScheduler;
 use crate::cache::HypothesisCache;
-use crate::engine::{EngineKind, InspectionConfig};
+use crate::engine::{EngineKind, InspectionConfig, RunBudget};
 use crate::error::DniError;
 use crate::model::{Dataset, HypothesisFn, Record};
 use crate::plan::{
@@ -66,6 +67,21 @@ pub struct SessionConfig {
     /// rather than failing the session — the store is an accelerator,
     /// never a correctness dependency.
     pub store: Option<StoreConfig>,
+    /// An already-open behavior store to share instead of opening a
+    /// private instance from `store`. A serving process hands every
+    /// connection's session the *same* handle so they share one buffer
+    /// pool, one index, and one set of in-flight write-backs (the store
+    /// is internally synchronized). `store` must still be set — it
+    /// supplies the policy and write-back knobs — and must describe the
+    /// same on-disk tree the handle was opened from.
+    pub shared_store: Option<Arc<BehaviorStore>>,
+    /// Process-wide admission scheduler shared across sessions. When
+    /// set, it *overrides* `admission` — plans are split against the
+    /// scheduler's budgets and every execution wave acquires a permit
+    /// from it — so concurrent batches from different sessions (or
+    /// connections) compose under one budget instead of each getting a
+    /// private one. See [`crate::admission`].
+    pub scheduler: Option<Arc<AdmissionScheduler>>,
 }
 
 impl Default for SessionConfig {
@@ -78,6 +94,8 @@ impl Default for SessionConfig {
             max_cached_frames: 256,
             cache_bytes: BATCH_CACHE_BYTES,
             store: None,
+            shared_store: None,
+            scheduler: None,
         }
     }
 }
@@ -222,14 +240,21 @@ impl Session {
         let mut store_stats = StoreStats::default();
         let store = match &config.store {
             Some(store_config) if store_config.policy != MaterializationPolicy::Off => {
-                match BehaviorStore::open(store_config) {
-                    Ok(store) => Some(store),
-                    Err(e) => {
-                        store_stats.record_error(format!(
-                            "store at {:?} could not be opened, persistence disabled: {e}",
-                            store_config.path
-                        ));
-                        None
+                if let Some(shared) = &config.shared_store {
+                    // A serving process opens the store once and shares
+                    // the handle; the per-session open below is the
+                    // library path.
+                    Some(Arc::clone(shared))
+                } else {
+                    match BehaviorStore::open(store_config) {
+                        Ok(store) => Some(store),
+                        Err(e) => {
+                            store_stats.record_error(format!(
+                                "store at {:?} could not be opened, persistence disabled: {e}",
+                                store_config.path
+                            ));
+                            None
+                        }
                     }
                 }
             }
@@ -312,6 +337,27 @@ impl Session {
     /// The session configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// Replaces the run budget applied to subsequent executions — the
+    /// serving path maps each request's wire-carried deadline/caps here
+    /// before executing it. Budget changes never touch the plan or score
+    /// caches: the config fingerprint deliberately excludes the budget
+    /// (an interrupted run's partial frames are never cached, and a
+    /// converged result is converged under any budget).
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.config.inspection.budget = budget;
+    }
+
+    /// The admission budgets this session splits plans against: the
+    /// process-wide scheduler's when one is bound, else the session's
+    /// own. Keeping these identical to the scheduler's means a wave
+    /// normally fits its permit exactly, with no clamping at acquire.
+    fn effective_admission(&self) -> AdmissionConfig {
+        match &self.config.scheduler {
+            Some(scheduler) => scheduler.admission(),
+            None => self.config.admission,
+        }
     }
 
     /// The open behavior store, when one is configured and healthy.
@@ -606,8 +652,9 @@ impl Session {
         plan::optimize_with(
             plans,
             &self.config.inspection,
-            self.config.admission,
+            self.effective_admission(),
             self.store_binding().as_ref(),
+            self.config.scheduler.clone(),
             &mut lookup,
         )
     }
@@ -647,11 +694,13 @@ impl Session {
             .iter()
             .map(|e| Arc::clone(&e.plan))
             .collect();
-        Ok(plan::optimize_store(
+        Ok(plan::optimize_with(
             &plans,
             &self.config.inspection,
-            self.config.admission,
+            self.effective_admission(),
             self.store_binding().as_ref(),
+            self.config.scheduler.clone(),
+            &mut |_, _| None,
         )
         .explain())
     }

@@ -607,3 +607,105 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Process-wide admission: sessions sharing one scheduler (ISSUE 8)
+// ---------------------------------------------------------------------
+
+/// Two sessions bound to one `AdmissionScheduler` run over-wide batches
+/// concurrently: results stay bit-identical to sequential execution,
+/// every wave acquires a global permit, and the *summed* in-flight
+/// stream width never exceeds the single shared budget.
+#[test]
+fn concurrent_sessions_share_one_global_admission_budget() {
+    let queries = wide_queries();
+    let refs: Vec<&str> = queries.iter().map(|s| s.as_str()).collect();
+    let config = InspectionConfig::default();
+    let catalog = wide_catalog();
+    let sequential: Vec<Table> = refs
+        .iter()
+        .map(|q| run_query(q, &catalog, &config).unwrap())
+        .collect();
+
+    let scheduler = AdmissionScheduler::new(AdmissionConfig {
+        max_stream_width: Some(16),
+        ..AdmissionConfig::default()
+    });
+    let outcomes: Vec<(Vec<Table>, usize)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let scheduler = Arc::clone(&scheduler);
+                let refs = refs.clone();
+                scope.spawn(move || {
+                    let mut session = Session::with_config(
+                        wide_catalog(),
+                        SessionConfig {
+                            scheduler: Some(scheduler),
+                            ..SessionConfig::default()
+                        },
+                    );
+                    let batch = session.run_batch(&refs).unwrap();
+                    (batch.tables, batch.report.plan.global_waves)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    let mut total_waves = 0;
+    for (tables, global_waves) in &outcomes {
+        assert_eq!(
+            tables, &sequential,
+            "globally scheduled execution stays bit-identical"
+        );
+        assert!(
+            *global_waves >= 2,
+            "a 36-wide group under budget 16 splits into permit-acquiring waves"
+        );
+        total_waves += global_waves;
+    }
+    let stats = scheduler.stats();
+    assert_eq!(
+        stats.waves_admitted as usize, total_waves,
+        "each planned wave acquired exactly one permit"
+    );
+    assert!(
+        stats.peak_stream_width <= 16,
+        "both sessions' waves drew from ONE budget (peak {})",
+        stats.peak_stream_width
+    );
+}
+
+/// The scheduler overrides the session's own admission config: plans are
+/// split against the scheduler's budgets even when the session sets a
+/// different (or no) per-batch budget, and `explain` says so.
+#[test]
+fn scheduler_budgets_override_per_session_admission() {
+    let scheduler = AdmissionScheduler::new(AdmissionConfig {
+        max_stream_width: Some(16),
+        ..AdmissionConfig::default()
+    });
+    let mut session = Session::with_config(
+        wide_catalog(),
+        SessionConfig {
+            // Unbounded per-session admission: the scheduler must win.
+            admission: AdmissionConfig::default(),
+            scheduler: Some(Arc::clone(&scheduler)),
+            ..SessionConfig::default()
+        },
+    );
+    let queries = wide_queries();
+    let refs: Vec<&str> = queries.iter().map(|s| s.as_str()).collect();
+    let explain = session.explain_batch(&refs).unwrap();
+    assert!(
+        explain.contains("global scheduler"),
+        "explain must render the process-wide admission line:\n{explain}"
+    );
+    let batch = session.run_batch(&refs).unwrap();
+    assert_eq!(batch.report.plan.admission_splits, 1);
+    assert!(batch.report.plan.global_waves >= 2);
+    assert_eq!(
+        scheduler.stats().waves_admitted as usize,
+        batch.report.plan.global_waves
+    );
+}

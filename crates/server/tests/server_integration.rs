@@ -1,0 +1,452 @@
+//! End-to-end tests of the inspection server over real TCP sockets:
+//! bit-identical warm serving, per-connection panic isolation, global
+//! admission sharing, shutdown drain, and cross-connection appends.
+//!
+//! Every test binds `127.0.0.1:0` (an ephemeral port) so they run in
+//! parallel without colliding.
+
+use deepbase::prelude::*;
+use deepbase_client::{Client, ClientError};
+use deepbase_server::{demo, wire, InspectionServer, ServerConfig, ServerHandle};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Small demo sizing: fast enough for tests, big enough that the
+/// workload still streams multiple blocks (block size 64).
+const ND: usize = 96;
+const NS: usize = 12;
+const UNITS: usize = 32;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "deepbase-server-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_config(dir: &PathBuf) -> StoreConfig {
+    StoreConfig {
+        block_records: 64,
+        ..StoreConfig::at(dir)
+    }
+}
+
+fn session_config(store: Option<StoreConfig>) -> SessionConfig {
+    SessionConfig {
+        inspection: demo::inspection(),
+        store,
+        ..SessionConfig::default()
+    }
+}
+
+fn start_server(catalog: Catalog, session: SessionConfig) -> ServerHandle {
+    InspectionServer::start(
+        "127.0.0.1:0",
+        catalog,
+        ServerConfig {
+            session,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Reference answers from a plain in-process library session (no store,
+/// live extraction) — the ground truth every serving path must match
+/// bit for bit.
+fn reference_tables() -> Vec<deepbase_relational::Table> {
+    let passes = Arc::new(AtomicUsize::new(0));
+    let mut session = Session::with_config(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        session_config(None),
+    );
+    session
+        .run_batch(&demo::QUERIES)
+        .expect("reference batch")
+        .tables
+}
+
+#[test]
+fn concurrent_warm_queries_are_bit_identical_with_zero_forward_passes() {
+    let reference = reference_tables();
+
+    // Populate the store once with a throwaway library session.
+    let dir = temp_dir("warm");
+    let populate_passes = Arc::new(AtomicUsize::new(0));
+    let mut populate = Session::with_config(
+        demo::catalog_sized(ND, NS, UNITS, &populate_passes),
+        session_config(Some(store_config(&dir))),
+    );
+    populate.run_batch(&demo::QUERIES).expect("populate store");
+    drop(populate);
+    assert!(populate_passes.load(Ordering::SeqCst) > 0);
+
+    // Serve the same catalog (same weights, same fingerprints) from the
+    // warm store; the server's own extractor must never run.
+    let serve_passes = Arc::new(AtomicUsize::new(0));
+    let handle = start_server(
+        demo::catalog_sized(ND, NS, UNITS, &serve_passes),
+        session_config(Some(store_config(&dir))),
+    );
+    let addr = handle.addr();
+
+    thread::scope(|scope| {
+        for _ in 0..3 {
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for (statement, expected) in demo::QUERIES.iter().zip(reference) {
+                    let result = client.inspect(statement).expect("inspect over TCP");
+                    assert_eq!(result.status, wire::STATUS_CONVERGED);
+                    assert_eq!(
+                        &result.table, expected,
+                        "TCP answer must be bit-identical to the library run"
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        serve_passes.load(Ordering::SeqCst),
+        0,
+        "warm serving must run zero extractor forward passes"
+    );
+    let stats = handle.stats();
+    assert_eq!(stats.connections, 3);
+    assert_eq!(stats.queries_ok, 3 * demo::QUERIES.len() as u64);
+    assert_eq!(stats.query_errors, 0);
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poisoned_connection_does_not_disturb_siblings() {
+    let reference = reference_tables();
+    let passes = Arc::new(AtomicUsize::new(0));
+    let mut catalog = demo::catalog_sized(ND, NS, UNITS, &passes);
+    catalog.add_hypotheses(
+        "poison",
+        vec![Arc::new(FnHypothesis::new("boom", |_| {
+            panic!("poison hypothesis")
+        }))],
+    );
+    let handle = start_server(catalog, session_config(None));
+    let addr = handle.addr();
+
+    const POISON: &str = "SELECT S.uid, S.unit_score INSPECT U.uid AND H.h USING corr \
+                          OVER D.seq AS S FROM models M, units U, hypotheses H, inputs D \
+                          WHERE H.name = 'poison'";
+    // Statements that name their hypothesis set explicitly — an
+    // unfiltered `H.h` would bind the poison set too and panic
+    // legitimately. These three never touch it.
+    let safe: Vec<usize> = vec![1, 2, 4];
+    thread::scope(|scope| {
+        // One connection repeatedly triggers a worker panic...
+        scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("connect poison");
+            for _ in 0..3 {
+                match client.inspect(POISON) {
+                    Err(ClientError::Server(e)) => {
+                        assert!(
+                            matches!(e, DniError::Internal(_)),
+                            "contained panic must surface as DniError::Internal, got {e:?}"
+                        );
+                        assert_eq!(e.code(), 8);
+                    }
+                    other => panic!("poison query must fail with a server error, got {other:?}"),
+                }
+            }
+            // The connection itself survives its own panics.
+            let ok = client.inspect(demo::QUERIES[1]).expect("post-panic query");
+            assert_eq!(&ok.table, &reference[1]);
+        });
+        // ...while sibling connections keep getting exact answers.
+        for _ in 0..2 {
+            let reference = &reference;
+            let safe = &safe;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect sibling");
+                for round in 0..3 {
+                    for &qi in safe {
+                        let result = client.inspect(demo::QUERIES[qi]).expect("sibling inspect");
+                        assert_eq!(&result.table, &reference[qi], "round {round} query {qi}");
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = handle.stats();
+    assert_eq!(stats.query_errors, 3);
+    assert_eq!(
+        stats.queries_ok,
+        1 + 2 * 3 * safe.len() as u64,
+        "sibling queries (and the post-panic one) all succeed"
+    );
+}
+
+#[test]
+fn concurrent_batches_share_the_global_admission_budget() {
+    // Budget of 12 stream columns against 32-unit queries: every batch
+    // must split into waves, and *all* waves — across both connections —
+    // acquire permits from one scheduler.
+    let passes = Arc::new(AtomicUsize::new(0));
+    let handle = start_server(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        SessionConfig {
+            admission: AdmissionConfig {
+                max_stream_width: Some(12),
+                max_scan_width: None,
+            },
+            ..session_config(None)
+        },
+    );
+    let addr = handle.addr();
+
+    let mut explain_client = Client::connect(addr).expect("connect explain");
+    let explain = explain_client.explain(demo::QUERIES[0]).expect("explain");
+    assert!(
+        explain.contains("global scheduler"),
+        "explain must show the process-wide admission line:\n{explain}"
+    );
+
+    let plans: Vec<wire::WirePlanStats> = thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect batch");
+                    let batch = client
+                        .batch(&demo::QUERIES, wire::WireBudget::default())
+                        .expect("over-wide batch");
+                    for result in &batch.results {
+                        assert!(result.is_ok());
+                    }
+                    batch.plan
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    let mut total_waves = 0;
+    for plan in &plans {
+        assert!(
+            plan.admission_splits > 0,
+            "a 32-wide group under budget 12 must split: {plan:?}"
+        );
+        assert!(plan.global_waves >= 2, "{plan:?}");
+        total_waves += plan.global_waves;
+    }
+    let sched = handle.scheduler().stats();
+    assert_eq!(
+        sched.waves_admitted, total_waves,
+        "every wave reported by PlanStats acquired a global permit"
+    );
+    assert!(
+        sched.peak_stream_width <= 12,
+        "summed in-flight width across connections stayed under the one budget \
+         (peak {})",
+        sched.peak_stream_width
+    );
+    assert!(sched.max_queue_depth >= 1);
+}
+
+#[test]
+fn shutdown_drains_flushes_and_leaves_no_temporaries() {
+    let dir = temp_dir("shutdown");
+    let passes = Arc::new(AtomicUsize::new(0));
+    let handle = start_server(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        session_config(Some(store_config(&dir))),
+    );
+    let addr = handle.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let batch = client
+        .batch(&demo::QUERIES, wire::WireBudget::default())
+        .expect("populating batch");
+    assert!(batch.results.iter().all(Result::is_ok));
+    client.shutdown().expect("shutdown acknowledged");
+    // Blocks until every handler exited and the final compaction ran.
+    handle.join();
+
+    let mut stack = vec![dir.clone()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).expect("store dir readable") {
+            let entry = entry.expect("dir entry");
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                assert!(
+                    !name.contains(".tmp"),
+                    "shutdown must not leave temporaries: {name}"
+                );
+            }
+        }
+    }
+
+    // The write-backs that batch produced are durable: a fresh library
+    // session over the same store serves the workload with zero passes.
+    let warm_passes = Arc::new(AtomicUsize::new(0));
+    let mut warm = Session::with_config(
+        demo::catalog_sized(ND, NS, UNITS, &warm_passes),
+        session_config(Some(store_config(&dir))),
+    );
+    warm.run_batch(&demo::QUERIES).expect("warm re-read");
+    assert_eq!(
+        warm_passes.load(Ordering::SeqCst),
+        0,
+        "columns flushed before shutdown must serve a fresh session warm"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn appends_are_visible_to_every_connection() {
+    let passes = Arc::new(AtomicUsize::new(0));
+    let handle = start_server(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        session_config(None),
+    );
+    let addr = handle.addr();
+
+    let mut writer = Client::connect(addr).expect("connect writer");
+    let mut reader = Client::connect(addr).expect("connect reader");
+
+    let before = reader.inspect(demo::QUERIES[0]).expect("cold inspect");
+    assert_eq!(before.rows_read, ND as u64);
+
+    // Grow the dataset over the wire: 16 fresh records in the demo
+    // pattern, appended as one sealed segment.
+    let grown = demo::records(ND + 16, NS).split_off(ND);
+    let wire_records: Vec<wire::WireRecord> = grown
+        .iter()
+        .map(|r| wire::WireRecord {
+            id: r.id as u64,
+            symbols: r.symbols.clone(),
+            text: r.text.clone(),
+        })
+        .collect();
+    assert_eq!(writer.append("seq", wire_records).expect("append"), 16);
+
+    // Both the writer's and the reader's next queries see the growth
+    // (the reader's session silently rebuilds from the bumped master).
+    for client in [&mut writer, &mut reader] {
+        let after = client.inspect(demo::QUERIES[0]).expect("warm inspect");
+        assert_eq!(after.rows_read, (ND + 16) as u64);
+    }
+    // And the answer matches an in-process session over the same grown
+    // dataset, bit for bit.
+    let check_passes = Arc::new(AtomicUsize::new(0));
+    let mut check = Session::with_config(
+        demo::catalog_sized(ND, NS, UNITS, &check_passes),
+        session_config(None),
+    );
+    check
+        .append_records("seq", demo::records(ND + 16, NS).split_off(ND))
+        .expect("library append");
+    let expected = check.run(demo::QUERIES[0]).expect("library run");
+    let over_wire = reader.inspect(demo::QUERIES[0]).expect("post-append");
+    assert_eq!(over_wire.table, expected);
+
+    assert_eq!(handle.stats().appends, 1);
+}
+
+#[test]
+fn malformed_frames_get_protocol_errors_and_the_connection_survives() {
+    use std::io::Write;
+    let passes = Arc::new(AtomicUsize::new(0));
+    let handle = start_server(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        session_config(None),
+    );
+
+    let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect raw");
+    // A well-framed payload with a bogus opcode.
+    let garbage = [0x7fu8, 1, 2, 3];
+    raw.write_all(&(garbage.len() as u32).to_be_bytes())
+        .unwrap();
+    raw.write_all(&garbage).unwrap();
+    let payload = wire::read_frame(&mut raw, wire::MAX_FRAME_BYTES).expect("error frame");
+    match wire::decode_response(&payload).expect("decodable response") {
+        wire::Response::Error { code, .. } => assert_eq!(code, wire::PROTOCOL_ERROR),
+        other => panic!("expected a protocol error frame, got {other:?}"),
+    }
+
+    // The stream is still at a frame boundary: a real request works.
+    let req = wire::encode_request(&wire::Request::Stats);
+    raw.write_all(&(req.len() as u32).to_be_bytes()).unwrap();
+    raw.write_all(&req).unwrap();
+    let payload = wire::read_frame(&mut raw, wire::MAX_FRAME_BYTES).expect("stats frame");
+    assert!(matches!(
+        wire::decode_response(&payload),
+        Ok(wire::Response::Text(_))
+    ));
+    assert_eq!(handle.stats().protocol_errors, 1);
+}
+
+#[test]
+fn per_request_budgets_tag_interrupted_answers() {
+    let passes = Arc::new(AtomicUsize::new(0));
+    let handle = start_server(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        session_config(None),
+    );
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // One block of 64 records out of 96: the run budget stops the pass
+    // early and the status byte says so.
+    let capped = client
+        .inspect_with_budget(
+            demo::QUERIES[0],
+            wire::WireBudget {
+                deadline_ms: 0,
+                max_records: 0,
+                max_blocks: 1,
+            },
+        )
+        .expect("budgeted inspect");
+    assert_eq!(capped.status, wire::STATUS_BUDGET);
+    assert!(capped.rows_read < ND as u64);
+
+    // The same statement unbudgeted converges on the same connection:
+    // interrupted frames never poison the score cache.
+    let full = client.inspect(demo::QUERIES[0]).expect("full inspect");
+    assert_eq!(full.status, wire::STATUS_CONVERGED);
+    assert_eq!(full.rows_read, ND as u64);
+    assert_eq!(full.table, reference_tables()[0]);
+}
+
+#[test]
+fn idle_connections_are_closed_after_the_timeout() {
+    let passes = Arc::new(AtomicUsize::new(0));
+    let handle = InspectionServer::start(
+        "127.0.0.1:0",
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        ServerConfig {
+            session: session_config(None),
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.stats().expect("first request on a live connection");
+    thread::sleep(Duration::from_millis(400));
+    // The server closed the idle connection; the next call fails with an
+    // IO error rather than hanging.
+    match client.stats() {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected a closed connection, got {other:?}"),
+    }
+}
