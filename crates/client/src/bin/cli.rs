@@ -4,11 +4,16 @@
 //! deepbase-cli ADDR inspect STATEMENT [--deadline-ms N]
 //!                                     [--max-records N] [--max-blocks N]
 //! deepbase-cli ADDR explain STATEMENT
+//! deepbase-cli ADDR view-create NAME STATEMENT
+//! deepbase-cli ADDR view-read NAME
+//! deepbase-cli ADDR view-refresh NAME
+//! deepbase-cli ADDR view-drop NAME
+//! deepbase-cli ADDR view-list
 //! deepbase-cli ADDR stats
 //! deepbase-cli ADDR shutdown
 //! ```
 
-use deepbase_client::Client;
+use deepbase_client::{Client, ViewRefreshOutcome};
 use deepbase_server::wire::{status_name, WireBudget};
 use std::process::exit;
 
@@ -18,6 +23,11 @@ fn usage() -> ! {
          commands:\n  \
          inspect STATEMENT [--deadline-ms N] [--max-records N] [--max-blocks N]\n  \
          explain STATEMENT\n  \
+         view-create NAME STATEMENT\n  \
+         view-read NAME\n  \
+         view-refresh NAME\n  \
+         view-drop NAME\n  \
+         view-list\n  \
          stats\n  \
          shutdown"
     );
@@ -81,6 +91,53 @@ fn main() {
                 Err(e) => fail(e),
             }
         }
+        "view-create" => {
+            let (Some(name), Some(statement)) = (args.next(), args.next()) else {
+                usage()
+            };
+            match client.create_view(&name, &statement) {
+                Ok(()) => println!("view {name} materialized"),
+                Err(e) => fail(e),
+            }
+        }
+        "view-read" => {
+            let Some(name) = args.next() else { usage() };
+            match client.read_view(&name) {
+                Ok(table) => {
+                    print!("{}", table.render(50));
+                    println!("-- {} rows, replayed from view {name}", table.len());
+                }
+                Err(e) => fail(e),
+            }
+        }
+        "view-refresh" => {
+            let Some(name) = args.next() else { usage() };
+            match client.refresh_view(&name) {
+                Ok(ViewRefreshOutcome::Noop) => println!("view {name} already fresh"),
+                Ok(ViewRefreshOutcome::Incremental { new_segments }) => {
+                    println!("view {name} folded {new_segments} new segments")
+                }
+                Ok(ViewRefreshOutcome::Rebuilt) => println!("view {name} rebuilt"),
+                Err(e) => fail(e),
+            }
+        }
+        "view-drop" => {
+            let Some(name) = args.next() else { usage() };
+            match client.drop_view(&name) {
+                Ok(true) => println!("view {name} dropped"),
+                Ok(false) => println!("view {name} did not exist"),
+                Err(e) => fail(e),
+            }
+        }
+        "view-list" => match client.list_views() {
+            Ok(views) if views.is_empty() => println!("no views"),
+            Ok(views) => {
+                for (name, freshness, statement) in views {
+                    println!("{name} [{freshness}] {statement}");
+                }
+            }
+            Err(e) => fail(e),
+        },
         "stats" => match client.stats() {
             Ok(text) => print!("{text}"),
             Err(e) => fail(e),

@@ -208,6 +208,90 @@ impl Client {
             other => Err(unexpected("OK", &other)),
         }
     }
+
+    /// Materializes one INSPECT statement as a named durable view on the
+    /// server (full segmented pass; replaces an existing view of the
+    /// same name).
+    pub fn create_view(&mut self, name: &str, statement: &str) -> Result<(), ClientError> {
+        match self.call(&Request::ViewCreate {
+            name: name.to_string(),
+            statement: statement.to_string(),
+        })? {
+            Response::Done(_) => Ok(()),
+            other => Err(unexpected("OK", &other)),
+        }
+    }
+
+    /// Replays a fresh view's stored frame — zero extraction, zero store
+    /// scans server-side; bit-identical to executing the statement cold.
+    /// A stale view comes back as `ClientError::Server(DniError::ViewStale)`.
+    pub fn read_view(&mut self, name: &str) -> Result<Table, ClientError> {
+        match self.call(&Request::ViewRead {
+            name: name.to_string(),
+        })? {
+            Response::Result { table, .. } => Ok(table),
+            other => Err(unexpected("RESULT", &other)),
+        }
+    }
+
+    /// Brings a view up to date. The answer distinguishes the three
+    /// outcomes: already fresh ([`ViewRefreshOutcome::Noop`]), appended
+    /// segments folded in incrementally, or a full rebuild.
+    pub fn refresh_view(&mut self, name: &str) -> Result<ViewRefreshOutcome, ClientError> {
+        match self.call(&Request::ViewRefresh {
+            name: name.to_string(),
+        })? {
+            Response::Done(wire::REFRESH_NOOP) => Ok(ViewRefreshOutcome::Noop),
+            Response::Done(wire::REFRESH_REBUILT) => Ok(ViewRefreshOutcome::Rebuilt),
+            Response::Done(n) => Ok(ViewRefreshOutcome::Incremental { new_segments: n }),
+            other => Err(unexpected("OK", &other)),
+        }
+    }
+
+    /// Deletes a view; returns whether one existed.
+    pub fn drop_view(&mut self, name: &str) -> Result<bool, ClientError> {
+        match self.call(&Request::ViewDrop {
+            name: name.to_string(),
+        })? {
+            Response::Done(existed) => Ok(existed != 0),
+            other => Err(unexpected("OK", &other)),
+        }
+    }
+
+    /// Lists every view with its freshness: `(name, freshness,
+    /// normalized statement)` per entry, decoded from the server's
+    /// tab-separated rendering.
+    pub fn list_views(&mut self) -> Result<Vec<(String, String, String)>, ClientError> {
+        match self.call(&Request::ViewList)? {
+            Response::Text(text) => Ok(text
+                .lines()
+                .filter(|line| !line.is_empty())
+                .map(|line| {
+                    let mut parts = line.splitn(3, '\t');
+                    (
+                        parts.next().unwrap_or_default().to_string(),
+                        parts.next().unwrap_or_default().to_string(),
+                        parts.next().unwrap_or_default().to_string(),
+                    )
+                })
+                .collect()),
+            other => Err(unexpected("TEXT", &other)),
+        }
+    }
+}
+
+/// How a [`Client::refresh_view`] call was satisfied server-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewRefreshOutcome {
+    /// Every input was unchanged; nothing ran.
+    Noop,
+    /// Only the appended segments were streamed and folded in.
+    Incremental {
+        /// Number of new segments folded into the stored states.
+        new_segments: u64,
+    },
+    /// An input other than dataset growth changed; full rebuild.
+    Rebuilt,
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {

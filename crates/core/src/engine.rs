@@ -1926,6 +1926,30 @@ struct SegOutput {
     interrupted: Option<CompletionStatus>,
 }
 
+/// One serialized merged measure state, identified by its slot triple —
+/// the durable fold point a materialized view stores and an incremental
+/// refresh revives.
+pub(crate) struct ViewStateCapture {
+    pub group_id: String,
+    pub measure_id: String,
+    pub hyp_id: String,
+    pub bytes: Vec<u8>,
+}
+
+/// View-specific options for the segmented pass.
+#[derive(Default)]
+pub(crate) struct SegmentedRunOpts<'a> {
+    /// Stream only segments `skip_segments..`; the revived `base_states`
+    /// stand in for the skipped prefix. `0` streams everything.
+    pub skip_segments: usize,
+    /// Serialized merged states covering segments `0..skip_segments`,
+    /// matched to slots by `(group, measure, hypothesis)` triple.
+    pub base_states: Option<&'a [ViewStateCapture]>,
+    /// Serialize the final merged states into the returned capture list
+    /// (the view-build half of the fold-point contract).
+    pub capture_states: bool,
+}
+
 /// The segmented streaming pass: one shuffled stream **per segment**
 /// (seeded via [`segment_seed`]), measure states computed per segment and
 /// merged in canonical segment-index order, store columns scanned per
@@ -1954,11 +1978,57 @@ fn inspect_segmented(
     seg_sources: Option<&[Option<StoreSource>]>,
     budget: Option<&ArmedBudget>,
 ) -> Result<SharedOutcome, DniError> {
+    inspect_segmented_with(
+        reqs,
+        config,
+        seg_sources,
+        budget,
+        &SegmentedRunOpts::default(),
+    )
+    .map(|(outcome, _)| outcome)
+}
+
+/// [`inspect_segmented`] with view hooks: an optional skipped prefix
+/// revived from serialized base states, and optional capture of the
+/// final merged states. Because the per-segment streams are seeded by
+/// true segment index and never early-stop, `stored(0..k) ⊕ fresh(k..n)`
+/// reproduces the cold fold `fresh(0..n)` bit-exactly — the refresh ≡
+/// cold invariant materialized views rely on. Callable on one-segment
+/// datasets too (view builds always come through here so their states
+/// are full-pass deterministic).
+pub(crate) fn inspect_segmented_with(
+    reqs: &[InspectionRequest<'_>],
+    config: &InspectionConfig,
+    seg_sources: Option<&[Option<StoreSource>]>,
+    budget: Option<&ArmedBudget>,
+    opts: &SegmentedRunOpts<'_>,
+) -> Result<(SharedOutcome, Option<Vec<ViewStateCapture>>), DniError> {
+    validate_config(config)?;
+    if reqs.is_empty() {
+        return Ok((SharedOutcome::default(), None));
+    }
+    for req in reqs {
+        validate_request(req)?;
+    }
     let t_start = Instant::now();
     let extractor = reqs[0].extractor;
     let dataset = reqs[0].dataset;
     let ns = dataset.ns;
     let segments = dataset.segments();
+    if opts.skip_segments > 0
+        && (opts.base_states.is_none() || opts.skip_segments >= segments.len())
+    {
+        return Err(DniError::BadConfig(format!(
+            "cannot skip {} of {} segments{}",
+            opts.skip_segments,
+            segments.len(),
+            if opts.base_states.is_none() {
+                " without base states"
+            } else {
+                ""
+            }
+        )));
+    }
 
     // Up-front typed guard: never a silently wrong cross-segment score.
     for req in reqs {
@@ -2177,19 +2247,20 @@ fn inspect_segmented(
         })
     };
 
-    // Stream every segment: sequentially on the single-core device,
-    // fanned across the runtime pool on the parallel device. Either way
-    // the outputs land in segment-index order.
+    // Stream every non-skipped segment: sequentially on the single-core
+    // device, fanned across the runtime pool on the parallel device.
+    // Either way the outputs land in segment-index order.
+    let streamed = &segments[opts.skip_segments..];
     let mut outputs: Vec<Option<Result<SegOutput, DniError>>> =
-        (0..segments.len()).map(|_| None).collect();
-    if config.device.threads() <= 1 || segments.len() < 2 {
-        for (seg, out) in segments.iter().zip(outputs.iter_mut()) {
+        (0..streamed.len()).map(|_| None).collect();
+    if config.device.threads() <= 1 || streamed.len() < 2 {
+        for (seg, out) in streamed.iter().zip(outputs.iter_mut()) {
             *out = Some(run_segment(seg));
         }
     } else {
         let run_segment = &run_segment;
         deepbase_runtime::global().scope(|scope| {
-            for (seg, out) in segments.iter().zip(outputs.iter_mut()) {
+            for (seg, out) in streamed.iter().zip(outputs.iter_mut()) {
                 scope.spawn(move || {
                     *out = Some(run_segment(seg));
                 });
@@ -2199,11 +2270,46 @@ fn inspect_segmented(
 
     // Fold the per-segment outputs in canonical segment-index order:
     // first error wins, states merge pairwise, accounting accumulates.
+    // With a skipped prefix the fold starts from the revived base states
+    // — exactly the state the cold fold had after the prefix.
     let mut pass = Profile::default();
     let mut store_stats = StoreStats::default();
     let mut interrupted: Option<CompletionStatus> = None;
     let mut extraction_passes = 0usize;
     let mut merged_states: Vec<Option<Box<dyn MeasureState>>> = Vec::new();
+    if let Some(base) = opts.base_states.filter(|_| opts.skip_segments > 0) {
+        merged_states = slots
+            .iter()
+            .map(|slot| {
+                let hyp_id = union_hyps[slot.hyp].id();
+                let stored = base
+                    .iter()
+                    .find(|s| {
+                        s.group_id == slot.group_id
+                            && s.measure_id == slot.measure.id()
+                            && s.hyp_id == hyp_id
+                    })
+                    .ok_or_else(|| {
+                        DniError::BadConfig(format!(
+                            "stored view state missing slot ({}, {}, {hyp_id})",
+                            slot.group_id,
+                            slot.measure.id(),
+                        ))
+                    })?;
+                let state = slot
+                    .measure
+                    .deserialize_state(selections[slot.sel].units.len(), &stored.bytes)
+                    .ok_or_else(|| {
+                        DniError::BadConfig(format!(
+                            "stored view state for ({}, {}, {hyp_id}) does not revive",
+                            slot.group_id,
+                            slot.measure.id(),
+                        ))
+                    })?;
+                Ok(Some(state))
+            })
+            .collect::<Result<_, DniError>>()?;
+    }
     for output in outputs {
         let output = output.expect("every segment slot filled")?;
         pass.records_read += output.profile.records_read;
@@ -2317,14 +2423,47 @@ fn inspect_segmented(
         };
         results.push((frame, pass.clone()));
     }
-    Ok(SharedOutcome {
-        results,
-        merged,
-        pass,
-        extraction_passes,
-        store: store_stats,
-        completion,
-    })
+    // Serialize the fold point for view storage. An interrupted pass has
+    // partial states that would poison every later refresh, so capture
+    // refuses it with a typed error instead of persisting it.
+    let captures = if opts.capture_states {
+        if completion.status != CompletionStatus::Converged {
+            return Err(DniError::DeadlineExceeded(
+                "view materialization needs a complete pass; the run budget interrupted it".into(),
+            ));
+        }
+        let mut captures = Vec::with_capacity(slots.len());
+        for (slot, state) in slots.iter().zip(merged_states.iter()) {
+            let state = state.as_ref().expect("merged state present");
+            let bytes = state.serialize_state().ok_or_else(|| {
+                DniError::Query(format!(
+                    "measure {} has no durable state; it cannot back a view",
+                    slot.measure.id()
+                ))
+            })?;
+            captures.push(ViewStateCapture {
+                group_id: slot.group_id.clone(),
+                measure_id: slot.measure.id().to_string(),
+                hyp_id: union_hyps[slot.hyp].id().to_string(),
+                bytes,
+            });
+        }
+        Some(captures)
+    } else {
+        None
+    };
+
+    Ok((
+        SharedOutcome {
+            results,
+            merged,
+            pass,
+            extraction_passes,
+            store: store_stats,
+            completion,
+        },
+        captures,
+    ))
 }
 
 // ---------------------------------------------------------------------

@@ -57,6 +57,18 @@ pub enum DniError {
     /// accelerator; the ingest WAL is the durability path itself, so its
     /// failures surface as typed errors.
     Io(String),
+    /// A view operation named a view the catalog doesn't hold.
+    UnknownView(String),
+    /// A `read_view` found the stored frame out of date with the current
+    /// inputs; the reason says whether a refresh (dataset grew) or a full
+    /// rebuild (anything else changed) would cure it. Reads never rebuild
+    /// implicitly — that would silently forfeit the replay guarantee.
+    ViewStale {
+        /// View name.
+        view: String,
+        /// Human-readable staleness cause.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DniError {
@@ -77,6 +89,10 @@ impl fmt::Display for DniError {
             DniError::Cancelled => write!(f, "run cancelled"),
             DniError::Internal(msg) => write!(f, "internal error (worker panic): {msg}"),
             DniError::Io(msg) => write!(f, "ingest io error: {msg}"),
+            DniError::UnknownView(name) => write!(f, "unknown view {name:?}"),
+            DniError::ViewStale { view, reason } => {
+                write!(f, "view {view:?} is stale: {reason}")
+            }
         }
     }
 }
@@ -146,6 +162,8 @@ impl DniError {
             DniError::Cancelled => 7,
             DniError::Internal(_) => 8,
             DniError::Io(_) => 9,
+            DniError::UnknownView(_) => 10,
+            DniError::ViewStale { .. } => 11,
         }
     }
 
@@ -195,6 +213,18 @@ impl DniError {
             8 => tail(message, "internal error (worker panic): ")
                 .map(|m| DniError::Internal(m.to_string())),
             9 => tail(message, "ingest io error: ").map(|m| DniError::Io(m.to_string())),
+            10 => tail(message, "unknown view ").and_then(|rest| {
+                let (name, rest) = parse_debug_str(rest)?;
+                rest.is_empty().then_some(DniError::UnknownView(name))
+            }),
+            11 => tail(message, "view ").and_then(|rest| {
+                let (view, rest) = parse_debug_str(rest)?;
+                let reason = rest.strip_prefix(" is stale: ")?;
+                Some(DniError::ViewStale {
+                    view,
+                    reason: reason.to_string(),
+                })
+            }),
             _ => None,
         };
         parsed.unwrap_or_else(|| DniError::Query(format!("[code {code}] {message}")))
@@ -262,6 +292,11 @@ mod tests {
             DniError::Cancelled,
             DniError::Internal("worker panic: index out of bounds".into()),
             DniError::Io("WAL append failed: disk full".into()),
+            DniError::UnknownView("dash\"board\"".into()),
+            DniError::ViewStale {
+                view: "dashboard\ttab".into(),
+                reason: "2 new segments; REFRESH to fold them in".into(),
+            },
         ]
     }
 
@@ -270,7 +305,7 @@ mod tests {
         let samples = one_of_each_variant();
         let codes: Vec<u16> = samples.iter().map(DniError::code).collect();
         // Pinned assignments: these are wire-visible and append-only.
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
         // Distinct and never the reserved protocol-error code 0.
         let mut dedup = codes.clone();
         dedup.sort_unstable();

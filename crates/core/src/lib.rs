@@ -148,6 +148,46 @@
 //! reports the per-dataset ingest high-water mark the session last
 //! inspected.
 //!
+//! ## Materialized views
+//!
+//! A **materialized view** ([`session::Session::create_view`]) persists
+//! the complete answer to one INSPECT statement under a name: the
+//! normalized statement text (whitespace/case variants of one statement
+//! map to one view, exactly like the plan cache), the result frame with
+//! scores stored as raw `f32` bits, the **mergeable measure states** of
+//! the full pass, and a high-water mark over every input — model
+//! fingerprint, per-segment dataset fingerprints, and the
+//! result-determining config fields. Views live in `<store>/views/` as
+//! checksummed, atomically replaced files
+//! (`deepbase_store::ViewCatalog`), shared across every session over the
+//! store.
+//!
+//! Freshness is judged by fingerprint comparison alone:
+//!
+//! * **Unchanged inputs** — [`session::Session::read_view`] replays the
+//!   stored frame through the statement's HAVING/projection with **zero
+//!   extractor forward passes and zero store block reads**,
+//!   bit-identical to a cold execution. The optimizer makes the same
+//!   decision for plain INSPECT statements: one matching a fresh view
+//!   short-circuits to [`plan::GroupSource::ViewReplay`] and `explain`
+//!   renders the `view: <name>, fresh` line.
+//! * **Dataset grew** — [`session::Session::refresh_view`] streams
+//!   **only the appended segments** and folds them into the stored
+//!   measure states ([`measure::MeasureState::merge_from`] over
+//!   deserialized states). Because per-segment streams are seeded by
+//!   true segment index and view passes never early-stop, the refreshed
+//!   frame is bit-identical to a full cold rebuild. Reads of a stale
+//!   view raise [`DniError::ViewStale`] instead of silently paying
+//!   extraction.
+//! * **Anything else changed** (model weights, config, mutated
+//!   records) — the view is invalid; `refresh_view` rebuilds it from
+//!   scratch.
+//!
+//! [`session::Session::list_views`] / [`session::Session::drop_view`]
+//! complete the catalog surface; the server exposes all five operations
+//! as wire frames and [`prelude::StoreStats`] counts view hits,
+//! refreshes, builds and bytes written.
+//!
 //! ## Bounded execution & failure domains
 //!
 //! Every execution can be bounded by a [`engine::RunBudget`]
@@ -201,6 +241,11 @@
 //!           | STATS(0x04) | SHUTDOWN(0x05)
 //!           | BATCH(0x06)    deadline_ms:u64 max_records:u64 max_blocks:u64
 //!                            count:u16 (len:u32 statement)*
+//!           | VIEW_CREATE(0x07)  name_len:u16 name statement:utf8
+//!           | VIEW_READ(0x08)    name:utf8
+//!           | VIEW_REFRESH(0x09) name:utf8
+//!           | VIEW_DROP(0x0A)    name:utf8
+//!           | VIEW_LIST(0x0B)
 //! response := RESULT(0x81)   status:u8 rows_read:u64 table
 //!           | TEXT(0x82)     utf8
 //!           | ERROR(0x83)    code:u16 message:utf8
@@ -311,16 +356,19 @@ pub mod prelude {
         SegmentedDataset, UnitGroup,
     };
     pub use crate::plan::{
-        bind, optimize, optimize_store, AdmissionConfig, BatchOutput, BatchReport, GroupReport,
-        GroupSource, LogicalPlan, PhysicalPlan, PlanStats, SegmentSource, StoreBinding, StorePlan,
+        bind, freshness_label, optimize, optimize_store, AdmissionConfig, BatchOutput, BatchReport,
+        GroupReport, GroupSource, LogicalPlan, PhysicalPlan, PlanStats, SegmentSource,
+        StoreBinding, StorePlan, ViewNote,
     };
     pub use crate::query::{execute, execute_batch, parse, run_query, Catalog};
     pub use crate::result::{Completion, CompletionStatus, PendingPair, ResultFrame, ScoreRow};
     pub use crate::session::{
         PreparedBatch, PreparedQuery, SegmentWatermark, Session, SessionConfig, SessionStats,
+        ViewInfo, ViewRefresh,
     };
     pub use deepbase_store::{
         BehaviorStore, ColumnKey, CompactionReport, Coverage, FpHasher, MaterializationPolicy,
-        StoreConfig, StoreError, StoreStats, ERROR_RING_CAP,
+        StoreConfig, StoreError, StoreStats, ViewCatalog, ViewDoc, ViewFreshness, ViewRow,
+        ViewSlotState, ERROR_RING_CAP,
     };
 }

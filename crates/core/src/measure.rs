@@ -54,6 +54,18 @@ pub trait Measure: Send + Sync {
     fn supports_segment_merge(&self) -> bool {
         false
     }
+
+    /// Reconstructs a state of this measure from bytes produced by
+    /// [`MeasureState::serialize_state`] — the durable half of
+    /// materialized views: a refresh revives the stored fold point and
+    /// merges only new segments into it. Bit-exact: the revived state's
+    /// scores and subsequent merges are identical to the original's.
+    /// `None` (the default, and always for non-mergeable measures) means
+    /// the bytes were not produced by this measure/shape or the measure
+    /// does not support durable states.
+    fn deserialize_state(&self, _n_units: usize, _bytes: &[u8]) -> Option<Box<dyn MeasureState>> {
+        None
+    }
 }
 
 /// Incremental state for one (unit group, hypothesis) pair.
@@ -90,6 +102,64 @@ pub trait MeasureState: Send {
     /// that never merge (their per-block return value is used instead).
     fn convergence_error(&self) -> f32 {
         f32::INFINITY
+    }
+
+    /// Serializes this state to bytes that the owning measure's
+    /// [`Measure::deserialize_state`] revives bit-exactly (floats travel
+    /// as raw bits). `None` (the default) for states without a durable
+    /// form; mergeable measures must implement it for views to cover
+    /// them.
+    fn serialize_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// State codec helpers (little-endian, floats as raw bits)
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_u32(out, v.to_bits());
+    }
+}
+
+/// Bounds-checked little-endian reader over serialized state bytes.
+struct StateCur<'a>(&'a [u8], usize);
+
+impl StateCur<'_> {
+    fn u32(&mut self) -> Option<u32> {
+        let s = self.0.get(self.1..self.1 + 4)?;
+        self.1 += 4;
+        Some(u32::from_le_bytes(s.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        let s = self.0.get(self.1..self.1 + 8)?;
+        self.1 += 8;
+        Some(u64::from_le_bytes(s.try_into().ok()?))
+    }
+    fn f32s(&mut self) -> Option<Vec<f32>> {
+        let n = self.u32()? as usize;
+        if self.0.len().saturating_sub(self.1) < n * 4 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f32::from_bits(self.u32()?));
+        }
+        Some(out)
+    }
+    fn done(&self) -> bool {
+        self.1 == self.0.len()
     }
 }
 
@@ -136,7 +206,32 @@ impl Measure for CorrelationMeasure {
     fn supports_segment_merge(&self) -> bool {
         true
     }
+
+    fn deserialize_state(&self, n_units: usize, bytes: &[u8]) -> Option<Box<dyn MeasureState>> {
+        let mut cur = StateCur(bytes, 0);
+        if cur.u32()? != STATE_TAG_CORR || cur.u32()? as usize != n_units {
+            return None;
+        }
+        let mut accs = Vec::with_capacity(n_units);
+        for _ in 0..n_units {
+            let mut bits = [0u64; 10];
+            for b in &mut bits {
+                *b = cur.u64()?;
+            }
+            accs.push(StreamingPearson::from_state_bits(bits));
+        }
+        cur.done()
+            .then(|| Box::new(CorrState { accs }) as Box<dyn MeasureState>)
+    }
 }
+
+/// Leading tag of each serialized-state family, so bytes of one measure
+/// fed to another are rejected instead of misread.
+const STATE_TAG_CORR: u32 = 1;
+const STATE_TAG_BUFFERED: u32 = 2;
+const STATE_TAG_DIFF_MEANS: u32 = 3;
+const STATE_TAG_BASELINE: u32 = 4;
+const STATE_TAG_GROUP_MI: u32 = 5;
 
 struct CorrState {
     accs: Vec<StreamingPearson>,
@@ -215,6 +310,18 @@ impl MeasureState for CorrState {
             .map(|a| a.fisher_half_width(Z_95))
             .fold(0.0f32, f32::max)
     }
+
+    fn serialize_state(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        put_u32(&mut out, STATE_TAG_CORR);
+        put_u32(&mut out, self.accs.len() as u32);
+        for acc in &self.accs {
+            for b in acc.state_bits() {
+                put_u64(&mut out, b);
+            }
+        }
+        Some(out)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -263,6 +370,20 @@ impl Measure for MutualInfoMeasure {
 
     fn supports_segment_merge(&self) -> bool {
         true
+    }
+
+    fn deserialize_state(&self, n_units: usize, bytes: &[u8]) -> Option<Box<dyn MeasureState>> {
+        let mut cur = StateCur(bytes, 0);
+        if cur.u32()? != STATE_TAG_BUFFERED {
+            return None;
+        }
+        let state = BufferedState::decode_buffers(
+            &mut cur,
+            n_units,
+            self.max_buffer,
+            BufferedScore::Mi(self.bins),
+        )?;
+        cur.done().then(|| Box::new(state) as Box<dyn MeasureState>)
     }
 }
 
@@ -313,6 +434,20 @@ impl Measure for JaccardMeasure {
     fn supports_segment_merge(&self) -> bool {
         true
     }
+
+    fn deserialize_state(&self, n_units: usize, bytes: &[u8]) -> Option<Box<dyn MeasureState>> {
+        let mut cur = StateCur(bytes, 0);
+        if cur.u32()? != STATE_TAG_BUFFERED {
+            return None;
+        }
+        let state = BufferedState::decode_buffers(
+            &mut cur,
+            n_units,
+            self.max_buffer,
+            BufferedScore::Jaccard(self.top_quantile),
+        )?;
+        cur.done().then(|| Box::new(state) as Box<dyn MeasureState>)
+    }
 }
 
 enum BufferedScore {
@@ -336,6 +471,56 @@ impl BufferedState {
             max_buffer,
             score,
         }
+    }
+
+    /// Score-config discriminator bits, so serialized buffers of e.g.
+    /// `jaccard@0.95` are rejected by a `jaccard@0.995` measure.
+    fn score_bits(score: &BufferedScore) -> (u32, u32) {
+        match score {
+            BufferedScore::Mi(bins) => (0, *bins as u32),
+            BufferedScore::Jaccard(q) => (1, q.to_bits()),
+        }
+    }
+
+    /// Encodes the buffered sample (the entire mergeable state).
+    fn encode_buffers(&self, out: &mut Vec<u8>) {
+        let (kind, param) = Self::score_bits(&self.score);
+        put_u32(out, kind);
+        put_u32(out, param);
+        put_u32(out, self.unit_buffers.len() as u32);
+        put_f32s(out, &self.hyp_buffer);
+        for buf in &self.unit_buffers {
+            put_f32s(out, buf);
+        }
+    }
+
+    /// Decodes buffers written by [`BufferedState::encode_buffers`] into
+    /// a fresh state owned by a measure with `score` / `max_buffer`.
+    fn decode_buffers(
+        cur: &mut StateCur,
+        n_units: usize,
+        max_buffer: usize,
+        score: BufferedScore,
+    ) -> Option<BufferedState> {
+        let (kind, param) = Self::score_bits(&score);
+        if cur.u32()? != kind || cur.u32()? != param || cur.u32()? as usize != n_units {
+            return None;
+        }
+        let hyp_buffer = cur.f32s()?;
+        let mut unit_buffers = Vec::with_capacity(n_units);
+        for _ in 0..n_units {
+            let buf = cur.f32s()?;
+            if buf.len() != hyp_buffer.len() {
+                return None;
+            }
+            unit_buffers.push(buf);
+        }
+        Some(BufferedState {
+            unit_buffers,
+            hyp_buffer,
+            max_buffer,
+            score,
+        })
     }
 }
 
@@ -392,6 +577,13 @@ impl MeasureState for BufferedState {
             1.0 / (n as f32).sqrt()
         }
     }
+
+    fn serialize_state(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        put_u32(&mut out, STATE_TAG_BUFFERED);
+        self.encode_buffers(&mut out);
+        Some(out)
+    }
 }
 
 impl BufferedState {
@@ -447,6 +639,28 @@ impl Measure for DiffMeansMeasure {
 
     fn supports_segment_merge(&self) -> bool {
         true
+    }
+
+    fn deserialize_state(&self, n_units: usize, bytes: &[u8]) -> Option<Box<dyn MeasureState>> {
+        fn side(cur: &mut StateCur, n_units: usize) -> Option<Vec<Moments>> {
+            let mut out = Vec::with_capacity(n_units);
+            for _ in 0..n_units {
+                out.push(Moments {
+                    n: cur.u64()?,
+                    sum: f64::from_bits(cur.u64()?),
+                    sumsq: f64::from_bits(cur.u64()?),
+                });
+            }
+            Some(out)
+        }
+        let mut cur = StateCur(bytes, 0);
+        if cur.u32()? != STATE_TAG_DIFF_MEANS || cur.u32()? as usize != n_units {
+            return None;
+        }
+        let on = side(&mut cur, n_units)?;
+        let off = side(&mut cur, n_units)?;
+        cur.done()
+            .then(|| Box::new(DiffMeansState { on, off }) as Box<dyn MeasureState>)
     }
 }
 
@@ -560,6 +774,20 @@ impl MeasureState for DiffMeansState {
             // Standard-error style rate for a difference of means.
             (2.0 / n as f32).sqrt()
         }
+    }
+
+    fn serialize_state(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        put_u32(&mut out, STATE_TAG_DIFF_MEANS);
+        put_u32(&mut out, self.on.len() as u32);
+        for side in [&self.on, &self.off] {
+            for m in side.iter() {
+                put_u64(&mut out, m.n);
+                put_u64(&mut out, m.sum.to_bits());
+                put_u64(&mut out, m.sumsq.to_bits());
+            }
+        }
+        Some(out)
     }
 }
 
@@ -833,6 +1061,10 @@ impl Measure for MajorityBaselineMeasure {
     fn supports_segment_merge(&self) -> bool {
         true
     }
+
+    fn deserialize_state(&self, n_units: usize, bytes: &[u8]) -> Option<Box<dyn MeasureState>> {
+        decode_baseline(n_units, bytes, None)
+    }
 }
 
 /// Random-class baseline.
@@ -865,6 +1097,39 @@ impl Measure for RandomBaselineMeasure {
     fn supports_segment_merge(&self) -> bool {
         true
     }
+
+    fn deserialize_state(&self, n_units: usize, bytes: &[u8]) -> Option<Box<dyn MeasureState>> {
+        decode_baseline(n_units, bytes, Some(self.seed))
+    }
+}
+
+/// Shared decoder for the two baseline measures: the stored seed must
+/// match the deserializing measure's exactly.
+fn decode_baseline(
+    n_units: usize,
+    bytes: &[u8],
+    random_seed: Option<u64>,
+) -> Option<Box<dyn MeasureState>> {
+    let mut cur = StateCur(bytes, 0);
+    if cur.u32()? != STATE_TAG_BASELINE || cur.u32()? as usize != n_units {
+        return None;
+    }
+    let stored_seed = match cur.u32()? {
+        0 => None,
+        1 => Some(cur.u64()?),
+        _ => return None,
+    };
+    if stored_seed != random_seed {
+        return None;
+    }
+    let labels = cur.f32s()?;
+    cur.done().then(|| {
+        Box::new(BaselineState {
+            labels,
+            n_units,
+            random_seed,
+        }) as Box<dyn MeasureState>
+    })
 }
 
 struct BaselineState {
@@ -912,6 +1177,21 @@ impl MeasureState for BaselineState {
         } else {
             1.0 / (self.labels.len() as f32).sqrt()
         }
+    }
+
+    fn serialize_state(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        put_u32(&mut out, STATE_TAG_BASELINE);
+        put_u32(&mut out, self.n_units as u32);
+        match self.random_seed {
+            None => put_u32(&mut out, 0),
+            Some(seed) => {
+                put_u32(&mut out, 1);
+                put_u64(&mut out, seed);
+            }
+        }
+        put_f32s(&mut out, &self.labels);
+        Some(out)
     }
 }
 
@@ -979,6 +1259,25 @@ impl Measure for GroupMiMeasure {
     fn supports_segment_merge(&self) -> bool {
         true
     }
+
+    fn deserialize_state(&self, n_units: usize, bytes: &[u8]) -> Option<Box<dyn MeasureState>> {
+        let mut cur = StateCur(bytes, 0);
+        if cur.u32()? != STATE_TAG_GROUP_MI || cur.u32()? as usize != self.bins {
+            return None;
+        }
+        let buffered = BufferedState::decode_buffers(
+            &mut cur,
+            n_units,
+            self.max_buffer,
+            BufferedScore::Mi(self.bins),
+        )?;
+        cur.done().then(|| {
+            Box::new(GroupMiState {
+                buffered,
+                bins: self.bins,
+            }) as Box<dyn MeasureState>
+        })
+    }
 }
 
 struct GroupMiState {
@@ -1019,6 +1318,14 @@ impl MeasureState for GroupMiState {
 
     fn convergence_error(&self) -> f32 {
         self.buffered.convergence_error()
+    }
+
+    fn serialize_state(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        put_u32(&mut out, STATE_TAG_GROUP_MI);
+        put_u32(&mut out, self.bins as u32);
+        self.buffered.encode_buffers(&mut out);
+        Some(out)
     }
 }
 
@@ -1217,6 +1524,112 @@ mod tests {
         let group = state.group_score();
         assert!(group > 0.5, "group MI {group}");
         assert!(singles.iter().all(|&s| s < 0.05), "single MIs {singles:?}");
+    }
+
+    /// Every mergeable measure's state must survive serialization
+    /// bit-exactly: the revived state scores identically AND folds new
+    /// segments identically to the original (the materialized-view
+    /// refresh invariant).
+    #[test]
+    fn mergeable_states_serialize_and_revive_bit_exactly() {
+        let measures: Vec<Box<dyn Measure>> = vec![
+            Box::new(CorrelationMeasure),
+            Box::new(MutualInfoMeasure::default()),
+            Box::new(JaccardMeasure::default()),
+            Box::new(DiffMeansMeasure),
+            Box::new(GroupMiMeasure::default()),
+            Box::new(MajorityBaselineMeasure),
+            Box::new(RandomBaselineMeasure { seed: 9 }),
+        ];
+        let (units, hyp) = block(230);
+        let (tail_units, tail_hyp) = block(117);
+        for m in &measures {
+            assert!(m.supports_segment_merge(), "{} must merge", m.id());
+            let mut original = m.new_state(2);
+            original.process_block(&units, &hyp);
+            let bytes = original
+                .serialize_state()
+                .unwrap_or_else(|| panic!("{} state must serialize", m.id()));
+            let mut revived = m
+                .deserialize_state(2, &bytes)
+                .unwrap_or_else(|| panic!("{} state must deserialize", m.id()));
+            let bit = |v: Vec<f32>| v.into_iter().map(f32::to_bits).collect::<Vec<_>>();
+            assert_eq!(
+                bit(revived.unit_scores()),
+                bit(original.unit_scores()),
+                "{} scores changed across the round trip",
+                m.id()
+            );
+            // Fold the same tail segment into both; they must stay equal.
+            let mut tail_a = m.new_state(2);
+            tail_a.process_block(&tail_units, &tail_hyp);
+            let mut tail_b = m.new_state(2);
+            tail_b.process_block(&tail_units, &tail_hyp);
+            assert!(original.merge_from(tail_a.as_ref()));
+            assert!(revived.merge_from(tail_b.as_ref()));
+            assert_eq!(
+                bit(revived.unit_scores()),
+                bit(original.unit_scores()),
+                "{} diverged after a post-revival merge",
+                m.id()
+            );
+            assert_eq!(
+                revived.group_score().to_bits(),
+                original.group_score().to_bits(),
+                "{} group score diverged",
+                m.id()
+            );
+            assert_eq!(
+                revived.convergence_error().to_bits(),
+                original.convergence_error().to_bits(),
+                "{} convergence error diverged",
+                m.id()
+            );
+        }
+    }
+
+    #[test]
+    fn state_deserialization_rejects_foreign_or_mangled_bytes() {
+        let (units, hyp) = block(64);
+        let mut corr = CorrelationMeasure.new_state(2);
+        corr.process_block(&units, &hyp);
+        let bytes = corr.serialize_state().unwrap();
+        // Wrong measure family.
+        assert!(MutualInfoMeasure::default()
+            .deserialize_state(2, &bytes)
+            .is_none());
+        // Wrong unit count.
+        assert!(CorrelationMeasure.deserialize_state(3, &bytes).is_none());
+        // Truncated.
+        assert!(CorrelationMeasure
+            .deserialize_state(2, &bytes[..bytes.len() - 1])
+            .is_none());
+        // Trailing garbage.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(CorrelationMeasure.deserialize_state(2, &padded).is_none());
+        // Different jaccard quantile rejects the other's buffers.
+        let mut j95 = JaccardMeasure::default().new_state(2);
+        j95.process_block(&units, &hyp);
+        let jb = j95.serialize_state().unwrap();
+        let j995 = JaccardMeasure {
+            top_quantile: 0.995,
+            max_buffer: 65_536,
+        };
+        assert!(j995.deserialize_state(2, &jb).is_none());
+        // Mismatched baseline seed rejects.
+        let mut rnd = RandomBaselineMeasure { seed: 1 }.new_state(2);
+        rnd.process_block(&units, &hyp);
+        let rb = rnd.serialize_state().unwrap();
+        assert!(RandomBaselineMeasure { seed: 2 }
+            .deserialize_state(2, &rb)
+            .is_none());
+        assert!(MajorityBaselineMeasure.deserialize_state(2, &rb).is_none());
+        // Non-mergeable logreg has no durable form at all.
+        let lr = LogRegMeasure::l1(0.01);
+        let s = lr.new_state(2);
+        assert!(s.serialize_state().is_none());
+        assert!(lr.deserialize_state(2, &bytes).is_none());
     }
 
     #[test]

@@ -35,8 +35,9 @@
 use crate::admission::AdmissionScheduler;
 use crate::cache::{CacheStats, HypothesisCache};
 use crate::engine::{
-    inspect_shared_store_armed, Device, EngineKind, InspectionConfig, InspectionRequest,
-    PassSource, Profile, RunBudget, SharedOutcome, StoreSource,
+    inspect_segmented_with, inspect_shared_store_armed, Device, EngineKind, InspectionConfig,
+    InspectionRequest, PassSource, Profile, RunBudget, SegmentedRunOpts, SharedOutcome,
+    StoreSource, ViewStateCapture,
 };
 // The optimizer's per-group store decision lives next to the executor
 // that consumes it; re-exported here because it is a planning artifact.
@@ -48,7 +49,7 @@ use crate::model::{Dataset, HypothesisFn, UnitGroup};
 use crate::query::{Catalog, ColRef, Cond, InspectQuery, Literal, UnitMeta};
 use crate::result::{Completion, ResultFrame};
 use deepbase_relational::{ColType, Schema, Table, Value};
-use deepbase_store::{BehaviorStore, MaterializationPolicy, StoreStats};
+use deepbase_store::{BehaviorStore, MaterializationPolicy, StoreStats, ViewFreshness};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
@@ -392,8 +393,10 @@ pub fn bind(query: &InspectQuery, catalog: &Catalog) -> Result<LogicalPlan, DniE
 }
 
 /// Applies HAVING and the SELECT projection to one model's score frame,
-/// appending the surviving rows to `out`.
-fn apply_post(
+/// appending the surviving rows to `out`. Also the view replay path: a
+/// stored frame fed through here yields exactly the table a live
+/// execution of the statement would have produced.
+pub(crate) fn apply_post(
     plan: &LogicalPlan,
     model: &BoundModel,
     frame: &ResultFrame,
@@ -513,6 +516,9 @@ pub struct PlanStats {
     /// Zero when the plan was built without a scheduler — per-batch
     /// admission only.
     pub global_waves: usize,
+    /// Work items answered by replaying a fresh materialized view
+    /// (decided at optimize time: zero extraction, zero store scans).
+    pub view_replays: usize,
 }
 
 /// One work item: a `(query, model)` pair scheduled into a shared group.
@@ -559,6 +565,43 @@ pub enum GroupSource {
     /// re-running therefore scans the old segments warm and extracts
     /// only the new ones.
     Segments(Vec<SegmentSource>),
+    /// Served by replaying a fresh materialized view's stored frame:
+    /// the group schedules zero waves — zero extraction passes and zero
+    /// store block reads.
+    ViewReplay {
+        /// Name of the replayed view.
+        name: String,
+    },
+}
+
+/// A materialized view matched to a statement at optimize time, as
+/// rendered by [`PhysicalPlan::explain`]. A fresh match replaces the
+/// group's source with [`GroupSource::ViewReplay`]; a stale or invalid
+/// one only annotates the group that still runs.
+#[derive(Clone)]
+pub struct ViewNote {
+    /// View name.
+    pub name: String,
+    /// Freshness verdict against the statement's current inputs.
+    pub freshness: ViewFreshness,
+}
+
+/// What the session's view probe hands the optimizer for one query.
+pub(crate) struct ViewHit {
+    /// View name plus freshness verdict.
+    pub note: ViewNote,
+    /// The stored result frame, decoded — present only when fresh.
+    pub frame: Option<Arc<ResultFrame>>,
+}
+
+/// Human-readable freshness tag (`fresh`, `stale(k new segments)`,
+/// `invalid`), shared by `explain` and the serving layer.
+pub fn freshness_label(freshness: &ViewFreshness) -> String {
+    match freshness {
+        ViewFreshness::Fresh => "fresh".to_string(),
+        ViewFreshness::Stale { new_segments } => format!("stale({new_segments} new segments)"),
+        ViewFreshness::Invalid => "invalid".to_string(),
+    }
 }
 
 /// Per-segment source decision of a [`GroupSource::Segments`] group.
@@ -618,6 +661,8 @@ pub struct PlanGroup {
     /// Where the union unit behaviors come from (store scan vs live
     /// extraction), decided at optimize time.
     pub source: GroupSource,
+    /// The materialized view matched to this group's statement, if any.
+    pub view: Option<ViewNote>,
 }
 
 impl PlanGroup {
@@ -750,7 +795,15 @@ pub fn optimize(
     config: &InspectionConfig,
     admission: AdmissionConfig,
 ) -> PhysicalPlan {
-    optimize_with(plans, config, admission, None, None, &mut |_, _| None)
+    optimize_with(
+        plans,
+        config,
+        admission,
+        None,
+        None,
+        &mut |_, _| None,
+        &mut |_| None,
+    )
 }
 
 /// [`optimize`] with a behavior-store binding: each group's source is
@@ -764,13 +817,26 @@ pub fn optimize_store(
     admission: AdmissionConfig,
     binding: Option<&StoreBinding>,
 ) -> PhysicalPlan {
-    optimize_with(plans, config, admission, binding, None, &mut |_, _| None)
+    optimize_with(
+        plans,
+        config,
+        admission,
+        binding,
+        None,
+        &mut |_, _| None,
+        &mut |_| None,
+    )
 }
 
 /// [`optimize_store`] with a score-cache lookup (items whose frame the
-/// session already holds are placed as `Cached` and never scheduled) and
-/// an optional process-wide [`AdmissionScheduler`] whose permits the
-/// plan's execution waves will acquire.
+/// session already holds are placed as `Cached` and never scheduled), an
+/// optional process-wide [`AdmissionScheduler`] whose permits the
+/// plan's execution waves will acquire, and a materialized-view probe: a
+/// statement matching a **fresh** view short-circuits to
+/// [`GroupSource::ViewReplay`] (the stored frame is replayed with zero
+/// extraction and zero store scans), while a stale or invalid match only
+/// annotates the plan tree.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn optimize_with(
     plans: &[Arc<LogicalPlan>],
     config: &InspectionConfig,
@@ -778,6 +844,7 @@ pub(crate) fn optimize_with(
     binding: Option<&StoreBinding>,
     scheduler: Option<Arc<AdmissionScheduler>>,
     cached_frame: &mut dyn FnMut(usize, usize) -> Option<Arc<ResultFrame>>,
+    view_probe: &mut dyn FnMut(usize) -> Option<ViewHit>,
 ) -> PhysicalPlan {
     let mut stats = PlanStats::default();
     let mut groups: Vec<PlanGroup> = Vec::new();
@@ -786,6 +853,13 @@ pub(crate) fn optimize_with(
 
     for (qi, plan) in plans.iter().enumerate() {
         let mut places = Vec::with_capacity(plan.models.len());
+        // Views are single-model by construction, so a probe hit against
+        // a multi-model statement cannot exist and is never asked for.
+        let view = if plan.models.len() == 1 {
+            view_probe(qi)
+        } else {
+            None
+        };
         for (pos, model) in plan.models.iter().enumerate() {
             if model.groups.is_empty() {
                 places.push(Placement::Skip);
@@ -795,6 +869,57 @@ pub(crate) fn optimize_with(
                 stats.score_cache_hits += 1;
                 places.push(Placement::Cached(frame));
                 continue;
+            }
+            if let Some(hit) = &view {
+                // Replay only where a cold INSPECT would also run the
+                // segmented full pass: on a single-segment dataset the
+                // live path may stop early, and the contract is
+                // bit-identity between replay and cold execution.
+                if let (ViewFreshness::Fresh, Some(frame), true) = (
+                    hit.note.freshness,
+                    &hit.frame,
+                    plan.dataset.segment_count() > 1,
+                ) {
+                    stats.view_replays += 1;
+                    let gidx = groups
+                        .iter()
+                        .position(|g| {
+                            matches!(&g.source,
+                                GroupSource::ViewReplay { name } if *name == hit.note.name)
+                        })
+                        .unwrap_or_else(|| {
+                            groups.push(PlanGroup {
+                                model_id: model.mid.clone(),
+                                dataset_id: plan.dataset.id.clone(),
+                                dataset: Arc::clone(&plan.dataset),
+                                items: Vec::new(),
+                                union_units: Vec::new(),
+                                requested_unit_columns: 0,
+                                unique_hypotheses: 0,
+                                requested_hypotheses: 0,
+                                shared_measure_states: 0,
+                                requested_measure_states: 0,
+                                waves: Vec::new(),
+                                wave_widths: Vec::new(),
+                                wave_scan_widths: Vec::new(),
+                                source: GroupSource::ViewReplay {
+                                    name: hit.note.name.clone(),
+                                },
+                                view: Some(hit.note.clone()),
+                            });
+                            // Null key: never matches a real extractor/
+                            // dataset identity, so ordinary items cannot
+                            // join a replay group.
+                            group_of.push((std::ptr::null(), std::ptr::null()));
+                            groups.len() - 1
+                        });
+                    groups[gidx].items.push(PlanItem {
+                        query: qi,
+                        model_pos: pos,
+                    });
+                    places.push(Placement::Cached(Arc::clone(frame)));
+                    continue;
+                }
             }
             let key = (thin(&model.extractor), thin(&plan.dataset));
             let gidx = group_of.iter().position(|&k| k == key).unwrap_or_else(|| {
@@ -813,10 +938,18 @@ pub(crate) fn optimize_with(
                     wave_widths: Vec::new(),
                     wave_scan_widths: Vec::new(),
                     source: GroupSource::Extract,
+                    view: None,
                 });
                 group_of.push(key);
                 groups.len() - 1
             });
+            if let Some(hit) = &view {
+                // A stale or invalid view annotates the group that runs
+                // in its stead, so `explain` shows why no replay fired.
+                if groups[gidx].view.is_none() {
+                    groups[gidx].view = Some(hit.note.clone());
+                }
+            }
             let item = groups[gidx].items.len();
             groups[gidx].items.push(PlanItem {
                 query: qi,
@@ -829,6 +962,11 @@ pub(crate) fn optimize_with(
 
     // Per-group sharing estimates and admission waves.
     for group in groups.iter_mut() {
+        if matches!(group.source, GroupSource::ViewReplay { .. }) {
+            // Replay groups schedule nothing: no waves, no admission, no
+            // store probe — their items are placed as cached frames.
+            continue;
+        }
         let mut units: Vec<usize> = Vec::new();
         let mut hyp_cols: HashMap<*const u8, usize> = HashMap::new();
         // Merged-measure support memoized per (measure id, shape), exactly
@@ -1442,6 +1580,13 @@ impl PhysicalPlan {
                 g.dataset_id,
                 members.join(", ")
             ));
+            if let GroupSource::ViewReplay { name } = &g.source {
+                out.push_str(&format!(
+                    "{stem}└─ view: {name}, fresh (replaying the stored frame: \
+                     zero extraction, zero store scans)\n"
+                ));
+                continue;
+            }
             out.push_str(&format!(
                 "{stem}├─ unit columns: {} union ({} requested)\n",
                 g.union_units.len(),
@@ -1475,6 +1620,7 @@ impl PhysicalPlan {
                         sp.misses.len(),
                     ));
                 }
+                GroupSource::ViewReplay { .. } => unreachable!("rendered above"),
                 GroupSource::Segments(segs) => {
                     // A segment is warm when every union unit column has a
                     // complete stored copy, cold when none does.
@@ -1495,6 +1641,13 @@ impl PhysicalPlan {
                         segs.len(),
                     ));
                 }
+            }
+            if let Some(note) = &g.view {
+                out.push_str(&format!(
+                    "{stem}├─ view: {}, {}\n",
+                    note.name,
+                    freshness_label(&note.freshness)
+                ));
             }
             out.push_str(&format!(
                 "{stem}├─ stream width: {} columns, {} bytes/block (ns={})\n",
@@ -1557,4 +1710,100 @@ impl PhysicalPlan {
         }
         out
     }
+}
+
+// ---------------------------------------------------------------------
+// View build / refresh execution
+// ---------------------------------------------------------------------
+
+/// Runs the segmented full pass a materialized view is built from (or
+/// refreshed by): one single-model statement, always through
+/// [`inspect_segmented_with`] — even on a one-segment dataset — so the
+/// captured measure states are full-pass deterministic and valid merge
+/// bases for later incremental refreshes.
+///
+/// Store-backed segments scan warm columns exactly as a regular
+/// optimized pass would; the pass holds one process-wide admission
+/// permit (when a scheduler is bound) for its full extraction width.
+pub(crate) fn run_view_pass(
+    plan: &LogicalPlan,
+    config: &InspectionConfig,
+    binding: Option<&StoreBinding>,
+    scheduler: Option<&Arc<AdmissionScheduler>>,
+    opts: &SegmentedRunOpts<'_>,
+) -> Result<(SharedOutcome, Vec<ViewStateCapture>), DniError> {
+    let [model] = &plan.models[..] else {
+        return Err(DniError::Query(
+            "materialized views require a single-model statement".into(),
+        ));
+    };
+    let mut union_units: Vec<usize> = model
+        .groups
+        .iter()
+        .flat_map(|g| g.units.iter().copied())
+        .collect();
+    union_units.sort_unstable();
+    union_units.dedup();
+    // Per-segment store sources, chosen exactly as the optimizer would:
+    // warm segments scan, cold ones extract live (and write back under a
+    // read-write policy), so a view build over a warm store pays no
+    // redundant forward passes.
+    let seg_sources: Option<Vec<Option<StoreSource>>> = match (binding, model.fingerprint()) {
+        (Some(b), Some(model_fp)) if config.engine == EngineKind::DeepBase => Some(
+            plan.dataset
+                .segments()
+                .into_iter()
+                .map(|seg| {
+                    let dataset_fp = plan.dataset.segment_fingerprint(seg.index);
+                    let hits = b.store.available_units(model_fp, dataset_fp, &union_units);
+                    let partials = b.store.partial_units(model_fp, dataset_fp, &union_units);
+                    let misses: Vec<usize> = union_units
+                        .iter()
+                        .copied()
+                        .filter(|u| {
+                            hits.binary_search(u).is_err() && partials.binary_search(u).is_err()
+                        })
+                        .collect();
+                    Some(StoreSource {
+                        store: Arc::clone(&b.store),
+                        plan: StorePlan {
+                            model_fp,
+                            dataset_fp,
+                            hits,
+                            partials,
+                            misses,
+                            read: true,
+                            write: b.policy == MaterializationPolicy::ReadWrite,
+                            writeback_limit_bytes: b.writeback_limit_bytes,
+                        },
+                    })
+                })
+                .collect(),
+        ),
+        _ => None,
+    };
+    // One permit for the whole pass (a view pass is a single wave),
+    // charged conservatively at the statement's full extraction width so
+    // concurrent refreshes compose under the process-wide budget.
+    let _permit = scheduler.map(|s| s.acquire(union_units.len() + plan.hypotheses.len(), 0));
+    let request = InspectionRequest {
+        model_id: model.mid.clone(),
+        extractor: model.extractor.as_ref(),
+        groups: model.groups.clone(),
+        dataset: &plan.dataset,
+        hypotheses: plan.hypotheses.iter().map(|h| h.as_ref()).collect(),
+        measures: plan.measures.iter().map(|m| m.as_ref()).collect(),
+    };
+    let armed = config.budget.arm();
+    let (outcome, captures) = catch_unwind(AssertUnwindSafe(|| {
+        inspect_segmented_with(
+            &[request],
+            config,
+            seg_sources.as_deref(),
+            armed.as_ref(),
+            opts,
+        )
+    }))
+    .unwrap_or_else(|payload| Err(DniError::Internal(panic_message(payload))))?;
+    Ok((outcome, captures.unwrap_or_default()))
 }

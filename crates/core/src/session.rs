@@ -30,16 +30,19 @@
 
 use crate::admission::AdmissionScheduler;
 use crate::cache::HypothesisCache;
-use crate::engine::{EngineKind, InspectionConfig, RunBudget};
+use crate::engine::{EngineKind, InspectionConfig, RunBudget, SegmentedRunOpts, ViewStateCapture};
 use crate::error::DniError;
 use crate::model::{Dataset, HypothesisFn, Record};
 use crate::plan::{
     self, AdmissionConfig, BatchOutput, LogicalPlan, PhysicalPlan, StoreBinding, BATCH_CACHE_BYTES,
 };
 use crate::query::{normalize_statement, parse, Catalog};
-use crate::result::ResultFrame;
+use crate::result::{ResultFrame, ScoreRow};
 use deepbase_relational::Table;
-use deepbase_store::{BehaviorStore, MaterializationPolicy, StoreConfig, StoreStats};
+use deepbase_store::{
+    BehaviorStore, MaterializationPolicy, StoreConfig, StoreError, StoreStats, ViewDoc,
+    ViewFreshness, ViewRow, ViewSlotState,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -187,6 +190,100 @@ pub struct SegmentWatermark {
     pub segments: usize,
     /// Records inspected.
     pub records: usize,
+}
+
+/// One catalog view as listed by [`Session::list_views`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewInfo {
+    /// View name.
+    pub name: String,
+    /// The normalized statement the view materializes.
+    pub statement: String,
+    /// Freshness against the session's current catalog and config.
+    pub freshness: ViewFreshness,
+}
+
+/// What [`Session::refresh_view`] actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewRefresh {
+    /// Every input fingerprint still matched: nothing ran.
+    Noop,
+    /// The dataset grew: only the appended segments were extracted and
+    /// folded into the stored measure states (refresh ≡ cold rebuild,
+    /// bit-identically, by the segmented fold-point contract).
+    Incremental {
+        /// Segments extracted and folded.
+        new_segments: usize,
+    },
+    /// Some other input changed: the view was rebuilt from scratch.
+    Rebuilt,
+}
+
+/// Decodes a stored view frame back into the engine's result frame,
+/// bit-exactly (scores are persisted as raw `f32` bits).
+fn view_frame(doc: &ViewDoc) -> ResultFrame {
+    ResultFrame {
+        rows: doc
+            .rows
+            .iter()
+            .map(|r| ScoreRow {
+                model_id: r.model_id.clone(),
+                group_id: r.group_id.clone(),
+                measure_id: r.measure_id.clone(),
+                hyp_id: r.hyp_id.clone(),
+                unit: r.unit as usize,
+                unit_score: f32::from_bits(r.unit_score_bits),
+                group_score: f32::from_bits(r.group_score_bits),
+            })
+            .collect(),
+    }
+}
+
+/// Encodes a computed frame for durable storage, bit-exactly.
+fn view_rows(frame: &ResultFrame) -> Vec<ViewRow> {
+    frame
+        .rows
+        .iter()
+        .map(|r| ViewRow {
+            model_id: r.model_id.clone(),
+            group_id: r.group_id.clone(),
+            measure_id: r.measure_id.clone(),
+            hyp_id: r.hyp_id.clone(),
+            unit: r.unit as u64,
+            unit_score_bits: r.unit_score.to_bits(),
+            group_score_bits: r.group_score.to_bits(),
+        })
+        .collect()
+}
+
+/// Captured engine states → durable slot states.
+fn slot_states(captures: Vec<ViewStateCapture>) -> Vec<ViewSlotState> {
+    captures
+        .into_iter()
+        .map(|c| ViewSlotState {
+            group_id: c.group_id,
+            measure_id: c.measure_id,
+            hyp_id: c.hyp_id,
+            state: c.bytes,
+        })
+        .collect()
+}
+
+/// Durable slot states → the engine's merge-base representation.
+fn base_states(doc: &ViewDoc) -> Vec<ViewStateCapture> {
+    doc.states
+        .iter()
+        .map(|s| ViewStateCapture {
+            group_id: s.group_id.clone(),
+            measure_id: s.measure_id.clone(),
+            hyp_id: s.hyp_id.clone(),
+            bytes: s.state.clone(),
+        })
+        .collect()
+}
+
+fn store_view_err(op: &str, name: &str, e: StoreError) -> DniError {
+    DniError::Io(format!("view {name:?} {op} failed: {e}"))
 }
 
 /// A long-lived query session (see the module docs).
@@ -546,6 +643,9 @@ impl Session {
         self.stats.admission_queued += physical.stats.admission_queued;
         self.stats.batches_executed += 1;
         self.store_stats.accumulate(&output.report.store);
+        // Statements the optimizer answered by replaying a fresh
+        // materialized view (zero extraction, zero store scans).
+        self.store_stats.view_hits += physical.stats.view_replays;
 
         // Advance the ingest high-water mark of every dataset whose
         // queries all completed (a failed query never advances a mark —
@@ -649,6 +749,8 @@ impl Session {
                 .get(&(entries[qi].key.clone(), generation, pos, fp.clone()))
                 .cloned()
         };
+        let mut view_probe =
+            |qi: usize| -> Option<plan::ViewHit> { self.probe_view(&entries[qi].key, &plans[qi]) };
         plan::optimize_with(
             plans,
             &self.config.inspection,
@@ -656,7 +758,52 @@ impl Session {
             self.store_binding().as_ref(),
             self.config.scheduler.clone(),
             &mut lookup,
+            &mut view_probe,
         )
+    }
+
+    /// The engine tag views are keyed under (part of the config
+    /// fingerprint a view's freshness is judged against).
+    fn engine_tag(&self) -> String {
+        format!("{:?}", self.config.inspection.engine)
+    }
+
+    /// Judges a stored view against the statement's *current* inputs:
+    /// model fingerprints, per-segment dataset fingerprints, and the
+    /// result-determining config fields.
+    fn view_freshness_for(&self, doc: &ViewDoc, plan: &LogicalPlan) -> ViewFreshness {
+        let model_fps: Option<Vec<u64>> = plan.models.iter().map(|m| m.fingerprint()).collect();
+        let Some(model_fps) = model_fps else {
+            return ViewFreshness::Invalid;
+        };
+        let segment_fps: Vec<u64> = (0..plan.dataset.segment_count())
+            .map(|i| plan.dataset.segment_fingerprint(i))
+            .collect();
+        doc.freshness(
+            &self.engine_tag(),
+            self.config.inspection.block_records as u64,
+            self.config.inspection.epsilon.map(f32::to_bits),
+            self.config.inspection.seed,
+            &model_fps,
+            &segment_fps,
+        )
+    }
+
+    /// The optimizer's view probe: does a view materialize this
+    /// normalized statement, and how fresh is it? Fresh hits carry the
+    /// decoded frame so the optimizer can place a replay.
+    fn probe_view(&self, key: &str, plan: &Arc<LogicalPlan>) -> Option<plan::ViewHit> {
+        let store = self.store.as_ref()?;
+        let doc = store.views().find_by_statement(key)?;
+        let freshness = self.view_freshness_for(&doc, plan);
+        let frame = matches!(freshness, ViewFreshness::Fresh).then(|| Arc::new(view_frame(&doc)));
+        Some(plan::ViewHit {
+            note: plan::ViewNote {
+                name: doc.name.clone(),
+                freshness,
+            },
+            frame,
+        })
     }
 
     /// The ingest high-water mark last recorded for a dataset id: how
@@ -694,6 +841,9 @@ impl Session {
             .iter()
             .map(|e| Arc::clone(&e.plan))
             .collect();
+        let mut view_probe = |qi: usize| -> Option<plan::ViewHit> {
+            self.probe_view(&prepared.entries[qi].key, &plans[qi])
+        };
         Ok(plan::optimize_with(
             &plans,
             &self.config.inspection,
@@ -701,7 +851,241 @@ impl Session {
             self.store_binding().as_ref(),
             self.config.scheduler.clone(),
             &mut |_, _| None,
+            &mut view_probe,
         )
         .explain())
+    }
+
+    // -----------------------------------------------------------------
+    // Materialized views
+    // -----------------------------------------------------------------
+
+    /// The open store, or the typed error every view operation raises
+    /// without one.
+    fn view_store(&self) -> Result<Arc<BehaviorStore>, DniError> {
+        self.store.as_ref().map(Arc::clone).ok_or_else(|| {
+            DniError::Query("materialized views need a configured behavior store".into())
+        })
+    }
+
+    /// Materializes one INSPECT statement as a named durable view: runs
+    /// the segmented full pass (warm store segments scan, cold ones
+    /// extract), captures the mergeable measure states alongside the
+    /// result frame, and persists everything atomically under
+    /// `<store>/views/`. An existing view of the same name is replaced.
+    ///
+    /// The statement must bind to a single fingerprinted model over a
+    /// non-empty dataset, and every measure must have durable state
+    /// (the order-dependent SGD probes do not) — violations surface as
+    /// typed [`DniError::Query`] errors before anything is written.
+    pub fn create_view(&mut self, name: &str, sql: &str) -> Result<(), DniError> {
+        if name.is_empty() {
+            return Err(DniError::Query("view name must not be empty".into()));
+        }
+        let prepared = self.prepare(sql)?;
+        let plan = Arc::clone(&prepared.plan);
+        self.materialize_view(name, &prepared.key, &plan)
+    }
+
+    /// The full-pass build half of `create_view` / rebuild-refresh.
+    fn materialize_view(
+        &mut self,
+        name: &str,
+        statement: &str,
+        plan: &Arc<LogicalPlan>,
+    ) -> Result<(), DniError> {
+        let store = self.view_store()?;
+        if store.is_read_only() {
+            return Err(DniError::Query(
+                "the behavior store is read-only; views cannot be written".into(),
+            ));
+        }
+        let [model] = &plan.models[..] else {
+            return Err(DniError::Query(
+                "materialized views require a single-model statement".into(),
+            ));
+        };
+        let Some(model_fp) = model.fingerprint() else {
+            return Err(DniError::Query(format!(
+                "model {:?} has no content fingerprint; its results cannot back a view",
+                model.mid
+            )));
+        };
+        if plan.dataset.records.is_empty() {
+            return Err(DniError::Query(
+                "cannot materialize a view over an empty dataset".into(),
+            ));
+        }
+        let (outcome, captures) = plan::run_view_pass(
+            plan,
+            &self.config.inspection,
+            self.store_binding().as_ref(),
+            self.config.scheduler.as_ref(),
+            &SegmentedRunOpts {
+                skip_segments: 0,
+                base_states: None,
+                capture_states: true,
+            },
+        )?;
+        let doc = ViewDoc {
+            name: name.to_string(),
+            statement: statement.to_string(),
+            engine: self.engine_tag(),
+            block_records: self.config.inspection.block_records as u64,
+            epsilon_bits: self.config.inspection.epsilon.map(f32::to_bits),
+            seed: self.config.inspection.seed,
+            model_fps: vec![model_fp],
+            segment_fps: (0..plan.dataset.segment_count())
+                .map(|i| plan.dataset.segment_fingerprint(i))
+                .collect(),
+            states: slot_states(captures),
+            rows: view_rows(&outcome.results[0].0),
+        };
+        let bytes = store
+            .views()
+            .save(&doc)
+            .map_err(|e| store_view_err("save", name, e))?;
+        self.store_stats.view_builds += 1;
+        self.store_stats.view_bytes_written += bytes;
+        self.store_stats.accumulate(&outcome.store);
+        Ok(())
+    }
+
+    /// Replays a **fresh** view's stored frame through the statement's
+    /// HAVING/projection — zero extractor forward passes, zero store
+    /// block reads, bit-identical to executing the statement cold. A
+    /// stale or invalid view raises [`DniError::ViewStale`] instead of
+    /// silently rebuilding: reads never pay extraction, by contract.
+    pub fn read_view(&mut self, name: &str) -> Result<Table, DniError> {
+        let store = self.view_store()?;
+        let doc = store
+            .views()
+            .load(name)
+            .map_err(|e| store_view_err("load", name, e))?
+            .ok_or_else(|| DniError::UnknownView(name.to_string()))?;
+        let prepared = self.prepare(&doc.statement)?;
+        let plan = Arc::clone(&prepared.plan);
+        match self.view_freshness_for(&doc, &plan) {
+            ViewFreshness::Fresh => {
+                let [model] = &plan.models[..] else {
+                    return Err(DniError::Query(
+                        "materialized views require a single-model statement".into(),
+                    ));
+                };
+                let frame = view_frame(&doc);
+                let mut out = plan.output_table();
+                plan::apply_post(&plan, model, &frame, &mut out)?;
+                self.store_stats.view_hits += 1;
+                Ok(out)
+            }
+            ViewFreshness::Stale { new_segments } => Err(DniError::ViewStale {
+                view: name.to_string(),
+                reason: format!("{new_segments} new segments; REFRESH to fold them in"),
+            }),
+            ViewFreshness::Invalid => Err(DniError::ViewStale {
+                view: name.to_string(),
+                reason: "inputs changed; refresh rebuilds the view".to_string(),
+            }),
+        }
+    }
+
+    /// Brings a view up to date with the statement's current inputs.
+    /// Unchanged inputs are a no-op; a dataset that only grew streams
+    /// **only the appended segments** and folds them into the stored
+    /// measure states (bit-identical to a full cold rebuild, by the
+    /// segmented fold-point contract); any other change rebuilds from
+    /// scratch.
+    pub fn refresh_view(&mut self, name: &str) -> Result<ViewRefresh, DniError> {
+        let store = self.view_store()?;
+        let doc = store
+            .views()
+            .load(name)
+            .map_err(|e| store_view_err("load", name, e))?
+            .ok_or_else(|| DniError::UnknownView(name.to_string()))?;
+        let prepared = self.prepare(&doc.statement)?;
+        let plan = Arc::clone(&prepared.plan);
+        match self.view_freshness_for(&doc, &plan) {
+            ViewFreshness::Fresh => Ok(ViewRefresh::Noop),
+            ViewFreshness::Stale { new_segments } => {
+                if store.is_read_only() {
+                    return Err(DniError::Query(
+                        "the behavior store is read-only; views cannot be written".into(),
+                    ));
+                }
+                let base = base_states(&doc);
+                let (outcome, captures) = plan::run_view_pass(
+                    &plan,
+                    &self.config.inspection,
+                    self.store_binding().as_ref(),
+                    self.config.scheduler.as_ref(),
+                    &SegmentedRunOpts {
+                        skip_segments: doc.segment_fps.len(),
+                        base_states: Some(&base),
+                        capture_states: true,
+                    },
+                )?;
+                let updated = ViewDoc {
+                    segment_fps: (0..plan.dataset.segment_count())
+                        .map(|i| plan.dataset.segment_fingerprint(i))
+                        .collect(),
+                    states: slot_states(captures),
+                    rows: view_rows(&outcome.results[0].0),
+                    ..(*doc).clone()
+                };
+                let bytes = store
+                    .views()
+                    .save(&updated)
+                    .map_err(|e| store_view_err("save", name, e))?;
+                self.store_stats.view_refreshes += 1;
+                self.store_stats.view_bytes_written += bytes;
+                self.store_stats.accumulate(&outcome.store);
+                Ok(ViewRefresh::Incremental { new_segments })
+            }
+            ViewFreshness::Invalid => {
+                let statement = doc.statement.clone();
+                self.materialize_view(name, &statement, &plan)?;
+                Ok(ViewRefresh::Rebuilt)
+            }
+        }
+    }
+
+    /// Deletes a view. Returns `true` when one existed.
+    pub fn drop_view(&mut self, name: &str) -> Result<bool, DniError> {
+        let store = self.view_store()?;
+        store
+            .views()
+            .remove(name)
+            .map_err(|e| store_view_err("drop", name, e))
+    }
+
+    /// Every view in the catalog with its freshness against the current
+    /// catalog and config. A view whose statement no longer binds
+    /// (catalog entries replaced or removed) lists as invalid.
+    pub fn list_views(&mut self) -> Result<Vec<ViewInfo>, DniError> {
+        let store = self.view_store()?;
+        let names = store.views().list();
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            let Some(doc) = store
+                .views()
+                .load(&name)
+                .map_err(|e| store_view_err("load", &name, e))?
+            else {
+                continue;
+            };
+            let freshness = match self.prepare(&doc.statement) {
+                Ok(p) => {
+                    let plan = Arc::clone(&p.plan);
+                    self.view_freshness_for(&doc, &plan)
+                }
+                Err(_) => ViewFreshness::Invalid,
+            };
+            out.push(ViewInfo {
+                name,
+                statement: doc.statement.clone(),
+                freshness,
+            });
+        }
+        Ok(out)
     }
 }

@@ -48,8 +48,8 @@ use std::time::{Duration, Instant};
 
 use deepbase::engine::CancelToken;
 use deepbase::prelude::{
-    AdmissionScheduler, BehaviorStore, Catalog, CompletionStatus, DniError, MaterializationPolicy,
-    Record, SchedulerStats, Session, SessionConfig,
+    freshness_label, AdmissionScheduler, BehaviorStore, Catalog, CompletionStatus, DniError,
+    MaterializationPolicy, Record, SchedulerStats, Session, SessionConfig, ViewRefresh,
 };
 
 use crate::wire::{Request, Response, WirePlanStats};
@@ -105,6 +105,12 @@ pub struct ServerStats {
     pub appends: u64,
     /// Malformed frames answered with a protocol error.
     pub protocol_errors: u64,
+    /// VIEW_CREATE frames that materialized a view.
+    pub view_builds: u64,
+    /// VIEW_READ frames answered from a stored frame (zero extraction).
+    pub view_reads: u64,
+    /// VIEW_REFRESH frames that folded new segments or rebuilt.
+    pub view_refreshes: u64,
 }
 
 /// The master catalog all connections serve from, with a generation
@@ -246,6 +252,74 @@ impl Shared {
                 self.begin_shutdown();
                 Response::Done(0)
             }
+            Request::ViewCreate { name, statement } => {
+                let session = self.ensure_session(slot);
+                match session.create_view(&name, &statement) {
+                    Ok(()) => {
+                        self.bump(|s| s.view_builds += 1);
+                        Response::Done(0)
+                    }
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::ViewRead { name } => {
+                let session = self.ensure_session(slot);
+                match session.read_view(&name) {
+                    Ok(table) => {
+                        self.bump(|s| {
+                            s.view_reads += 1;
+                            s.queries_ok += 1;
+                        });
+                        Response::Result {
+                            status: wire::STATUS_CONVERGED,
+                            rows_read: 0,
+                            table,
+                        }
+                    }
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::ViewRefresh { name } => {
+                let session = self.ensure_session(slot);
+                match session.refresh_view(&name) {
+                    Ok(ViewRefresh::Noop) => Response::Done(wire::REFRESH_NOOP),
+                    Ok(ViewRefresh::Incremental { new_segments }) => {
+                        self.bump(|s| s.view_refreshes += 1);
+                        Response::Done(new_segments as u64)
+                    }
+                    Ok(ViewRefresh::Rebuilt) => {
+                        self.bump(|s| s.view_refreshes += 1);
+                        Response::Done(wire::REFRESH_REBUILT)
+                    }
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::ViewDrop { name } => {
+                let session = self.ensure_session(slot);
+                match session.drop_view(&name) {
+                    Ok(existed) => Response::Done(existed as u64),
+                    Err(e) => self.error_response(e),
+                }
+            }
+            Request::ViewList => {
+                let session = self.ensure_session(slot);
+                match session.list_views() {
+                    Ok(views) => Response::Text(
+                        views
+                            .iter()
+                            .map(|v| {
+                                format!(
+                                    "{}\t{}\t{}\n",
+                                    v.name,
+                                    freshness_label(&v.freshness),
+                                    v.statement
+                                )
+                            })
+                            .collect(),
+                    ),
+                    Err(e) => self.error_response(e),
+                }
+            }
         }
     }
 
@@ -263,6 +337,7 @@ impl Shared {
         format!(
             "server: connections={} requests={} queries_ok={} query_errors={} \
              appends={} protocol_errors={}\n\
+             views: builds={} reads={} refreshes={}\n\
              scheduler: waves_admitted={} waves_waited={} peak_stream_width={} \
              peak_scan_width={} max_queue_depth={}\n\
              store: {}\n",
@@ -272,6 +347,9 @@ impl Shared {
             s.query_errors,
             s.appends,
             s.protocol_errors,
+            s.view_builds,
+            s.view_reads,
+            s.view_refreshes,
             g.waves_admitted,
             g.waves_waited,
             g.peak_stream_width,

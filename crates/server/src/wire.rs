@@ -39,6 +39,11 @@ const OP_APPEND: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
 const OP_BATCH: u8 = 0x06;
+const OP_VIEW_CREATE: u8 = 0x07;
+const OP_VIEW_READ: u8 = 0x08;
+const OP_VIEW_REFRESH: u8 = 0x09;
+const OP_VIEW_DROP: u8 = 0x0A;
+const OP_VIEW_LIST: u8 = 0x0B;
 
 // Response opcodes.
 const OP_RESULT: u8 = 0x81;
@@ -174,7 +179,43 @@ pub enum Request {
         /// Per-request budget (zeros = unlimited).
         budget: WireBudget,
     },
+    /// Materialize one INSPECT statement as a named durable view
+    /// (answered with OK carrying 0).
+    ViewCreate {
+        /// View name.
+        name: String,
+        /// Statement text.
+        statement: String,
+    },
+    /// Replay a fresh view's stored frame — zero extraction, zero store
+    /// scans (answered with a RESULT frame; stale views answer with the
+    /// typed `ViewStale` error frame).
+    ViewRead {
+        /// View name.
+        name: String,
+    },
+    /// Bring a view up to date (answered with OK: [`REFRESH_NOOP`],
+    /// a new-segment count, or [`REFRESH_REBUILT`]).
+    ViewRefresh {
+        /// View name.
+        name: String,
+    },
+    /// Delete a view (answered with OK carrying 1 if one existed).
+    ViewDrop {
+        /// View name.
+        name: String,
+    },
+    /// List every view with its freshness (answered with a TEXT frame,
+    /// one `name\tfreshness\tstatement` line per view).
+    ViewList,
 }
+
+/// OK value of a VIEW_REFRESH that found the view already fresh.
+pub const REFRESH_NOOP: u64 = 0;
+/// OK value of a VIEW_REFRESH that rebuilt the view from scratch
+/// (distinguished from incremental folds, which carry the new-segment
+/// count — always small and never near this sentinel).
+pub const REFRESH_REBUILT: u64 = u64::MAX;
 
 /// A decoded response frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -528,6 +569,24 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 put_str32(&mut buf, s);
             }
         }
+        Request::ViewCreate { name, statement } => {
+            buf.push(OP_VIEW_CREATE);
+            put_str16(&mut buf, name);
+            buf.extend_from_slice(statement.as_bytes());
+        }
+        Request::ViewRead { name } => {
+            buf.push(OP_VIEW_READ);
+            buf.extend_from_slice(name.as_bytes());
+        }
+        Request::ViewRefresh { name } => {
+            buf.push(OP_VIEW_REFRESH);
+            buf.extend_from_slice(name.as_bytes());
+        }
+        Request::ViewDrop { name } => {
+            buf.push(OP_VIEW_DROP);
+            buf.extend_from_slice(name.as_bytes());
+        }
+        Request::ViewList => buf.push(OP_VIEW_LIST),
     }
     buf
 }
@@ -570,12 +629,25 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             }
             Request::Batch { statements, budget }
         }
+        OP_VIEW_CREATE => Request::ViewCreate {
+            name: cur.str16()?,
+            statement: cur.rest()?,
+        },
+        OP_VIEW_READ => Request::ViewRead { name: cur.rest()? },
+        OP_VIEW_REFRESH => Request::ViewRefresh { name: cur.rest()? },
+        OP_VIEW_DROP => Request::ViewDrop { name: cur.rest()? },
+        OP_VIEW_LIST => Request::ViewList,
         op => return Err(WireError(format!("unknown request opcode {op:#04x}"))),
     };
     match &req {
-        // INSPECT/EXPLAIN consume the rest of the frame; others must end
-        // exactly at the frame boundary.
-        Request::Inspect { .. } | Request::Explain { .. } => {}
+        // Statement- and name-tailed requests consume the rest of the
+        // frame; the fixed-shape ones must end exactly at the boundary.
+        Request::Inspect { .. }
+        | Request::Explain { .. }
+        | Request::ViewCreate { .. }
+        | Request::ViewRead { .. }
+        | Request::ViewRefresh { .. }
+        | Request::ViewDrop { .. } => {}
         _ => cur.done()?,
     }
     Ok(req)
@@ -821,6 +893,18 @@ mod tests {
                 statements: vec!["a".into(), "b".into()],
                 budget: WireBudget::default(),
             },
+            Request::ViewCreate {
+                name: "v".into(),
+                statement: "SELECT S.uid INSPECT …".into(),
+            },
+            Request::ViewRead { name: "v".into() },
+            Request::ViewRefresh {
+                name: String::new(),
+            },
+            Request::ViewDrop {
+                name: "long-ish name with spaces".into(),
+            },
+            Request::ViewList,
         ];
         for req in reqs {
             let payload = encode_request(&req);

@@ -427,6 +427,313 @@ fn per_request_budgets_tag_interrupted_answers() {
     assert_eq!(full.table, reference_tables()[0]);
 }
 
+/// 16 fresh demo records extending the `ND`-record dataset by one
+/// sealed segment, as wire records (offset by `extra` prior appends).
+fn wire_segment(extra: usize) -> Vec<wire::WireRecord> {
+    demo::records(ND + (extra + 1) * 16, NS)
+        .split_off(ND + extra * 16)
+        .iter()
+        .map(|r| wire::WireRecord {
+            id: r.id as u64,
+            symbols: r.symbols.clone(),
+            text: r.text.clone(),
+        })
+        .collect()
+}
+
+/// In-process reference table for `QUERIES[0]` after `appends` 16-record
+/// segments landed on the demo dataset.
+fn reference_after_appends(appends: usize) -> deepbase_relational::Table {
+    let passes = Arc::new(AtomicUsize::new(0));
+    let mut session = Session::with_config(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        session_config(None),
+    );
+    for extra in 0..appends {
+        session
+            .append_records(
+                "seq",
+                demo::records(ND + (extra + 1) * 16, NS).split_off(ND + extra * 16),
+            )
+            .expect("library append");
+    }
+    session.run(demo::QUERIES[0]).expect("library reference")
+}
+
+#[test]
+fn view_read_over_tcp_replays_bit_identically_with_zero_passes_and_zero_scans() {
+    let dir = temp_dir("views");
+    let passes = Arc::new(AtomicUsize::new(0));
+    let handle = start_server(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        session_config(Some(store_config(&dir))),
+    );
+    let addr = handle.addr();
+    let store = Arc::clone(handle.store().expect("store open"));
+
+    // Grow to two segments so the optimizer's replay rule applies, then
+    // take the cold answer as the bit-exactness yardstick.
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(client.append("seq", wire_segment(0)).expect("append"), 16);
+    let cold = client.inspect(demo::QUERIES[0]).expect("cold inspect");
+    assert_eq!(cold.table, reference_after_appends(1));
+    client.create_view("v", demo::QUERIES[0]).expect("create");
+
+    // VIEW_READ replays the stored frame: zero extractor forward passes
+    // AND zero store block reads (the buffer pool is never consulted).
+    let passes_before = passes.load(Ordering::SeqCst);
+    let pool_before = store.pool().stats();
+    let replay = client.read_view("v").expect("read view");
+    assert_eq!(
+        replay, cold.table,
+        "VIEW_READ must be bit-identical to the cold INSPECT"
+    );
+    assert_eq!(
+        passes.load(Ordering::SeqCst),
+        passes_before,
+        "replay must run zero forward passes"
+    );
+    let pool_after = store.pool().stats();
+    assert_eq!(
+        (pool_after.hits, pool_after.misses),
+        (pool_before.hits, pool_before.misses),
+        "replay must read zero store blocks"
+    );
+
+    // Views are shared across connections, and a *plain INSPECT* from a
+    // fresh connection short-circuits to the same replay.
+    let mut sibling = Client::connect(addr).expect("connect sibling");
+    let listed = sibling.list_views().expect("list");
+    assert_eq!(listed.len(), 1);
+    assert_eq!((listed[0].0.as_str(), listed[0].1.as_str()), ("v", "fresh"));
+    let explain = sibling.explain(demo::QUERIES[0]).expect("explain");
+    assert!(
+        explain.contains("view: v, fresh"),
+        "explain must show the replay:\n{explain}"
+    );
+    let optimized = sibling.inspect(demo::QUERIES[0]).expect("replayed inspect");
+    assert_eq!(optimized.table, cold.table);
+    assert_eq!(
+        passes.load(Ordering::SeqCst),
+        passes_before,
+        "the optimizer replay must run zero forward passes"
+    );
+    let pool_final = store.pool().stats();
+    assert_eq!(
+        (pool_final.hits, pool_final.misses),
+        (pool_before.hits, pool_before.misses),
+        "the optimizer replay must read zero store blocks"
+    );
+
+    let stats_text = client.stats().expect("stats");
+    assert!(
+        stats_text.contains("views: builds=1 reads=1 refreshes=0"),
+        "STATS must report view counters:\n{stats_text}"
+    );
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_views_refuse_reads_and_refresh_folds_new_segments() {
+    let dir = temp_dir("view-refresh");
+    let passes = Arc::new(AtomicUsize::new(0));
+    let handle = start_server(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        session_config(Some(store_config(&dir))),
+    );
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    assert_eq!(client.append("seq", wire_segment(0)).expect("append"), 16);
+    client.create_view("v", demo::QUERIES[0]).expect("create");
+    assert_eq!(
+        client.refresh_view("v").expect("noop refresh"),
+        deepbase_client::ViewRefreshOutcome::Noop
+    );
+
+    // A second append leaves the view stale: reads refuse with the typed
+    // error, refresh folds exactly the one new segment in.
+    assert_eq!(client.append("seq", wire_segment(1)).expect("append"), 16);
+    match client.read_view("v") {
+        Err(ClientError::Server(DniError::ViewStale { view, reason })) => {
+            assert_eq!(view, "v");
+            assert!(reason.contains("1 new segments"), "{reason}");
+        }
+        other => panic!("stale read must raise ViewStale, got {other:?}"),
+    }
+    assert_eq!(
+        client.refresh_view("v").expect("incremental refresh"),
+        deepbase_client::ViewRefreshOutcome::Incremental { new_segments: 1 }
+    );
+    assert_eq!(
+        client.read_view("v").expect("refreshed read"),
+        reference_after_appends(2),
+        "the folded frame must be bit-identical to a cold rebuild"
+    );
+
+    assert!(client.drop_view("v").expect("drop"));
+    assert!(!client.drop_view("v").expect("second drop"));
+    match client.read_view("v") {
+        Err(ClientError::Server(DniError::UnknownView(name))) => assert_eq!(name, "v"),
+        other => panic!("dropped view must be unknown, got {other:?}"),
+    }
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two connections read the view in a loop while a third appends and
+/// refreshes: every successful read is bit-identical to the old frame or
+/// the new one — never torn — and stale windows surface only as the
+/// typed `ViewStale` error.
+#[test]
+fn concurrent_view_readers_see_old_or_new_frames_never_torn() {
+    let dir = temp_dir("view-concurrent");
+    let passes = Arc::new(AtomicUsize::new(0));
+    let handle = start_server(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        session_config(Some(store_config(&dir))),
+    );
+    let addr = handle.addr();
+
+    let mut writer = Client::connect(addr).expect("connect writer");
+    assert_eq!(writer.append("seq", wire_segment(0)).expect("append"), 16);
+    writer.create_view("v", demo::QUERIES[0]).expect("create");
+    let old_frame = writer.read_view("v").expect("old frame");
+    assert_eq!(old_frame, reference_after_appends(1));
+    let new_frame = reference_after_appends(2);
+
+    let stop = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let (stop, old_frame, new_frame) = (&stop, &old_frame, &new_frame);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect reader");
+                    let (mut saw_old, mut saw_new) = (0usize, 0usize);
+                    while stop.load(Ordering::SeqCst) == 0 {
+                        match client.read_view("v") {
+                            Ok(table) if table == *old_frame => saw_old += 1,
+                            Ok(table) if table == *new_frame => saw_new += 1,
+                            Ok(_) => panic!("torn frame: matches neither old nor new"),
+                            Err(ClientError::Server(DniError::ViewStale { .. })) => {}
+                            Err(e) => panic!("reader failed: {e}"),
+                        }
+                    }
+                    (saw_old, saw_new)
+                })
+            })
+            .collect();
+
+        // Let the readers hammer the old frame, then append + refresh.
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(writer.append("seq", wire_segment(1)).expect("append"), 16);
+        assert_eq!(
+            writer.refresh_view("v").expect("refresh"),
+            deepbase_client::ViewRefreshOutcome::Incremental { new_segments: 1 }
+        );
+        // Both readers must observe the refreshed frame before stopping.
+        thread::sleep(Duration::from_millis(50));
+        stop.store(1, Ordering::SeqCst);
+        for reader in readers {
+            let (saw_old, saw_new) = reader.join().expect("reader thread");
+            assert!(saw_old > 0, "reader never saw the pre-append frame");
+            assert!(saw_new > 0, "reader never saw the refreshed frame");
+        }
+    });
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// 500 deterministic fuzz cases against the frame decoder: random
+/// payloads and truncated real requests. The server must answer every
+/// delivered frame with a decodable response (protocol errors carry
+/// code 0) or close the connection cleanly — never hang, never panic.
+#[test]
+fn fuzzed_frames_never_panic_the_decoder() {
+    use std::io::Write;
+    let passes = Arc::new(AtomicUsize::new(0));
+    let handle = start_server(
+        demo::catalog_sized(ND, NS, UNITS, &passes),
+        session_config(None),
+    );
+    let addr = handle.addr();
+
+    // xorshift64: deterministic, dependency-free.
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let templates = [
+        wire::encode_request(&wire::Request::Append {
+            dataset: "seq".into(),
+            records: vec![wire::WireRecord {
+                id: 1,
+                symbols: vec![1, 2, 3],
+                text: "abc".into(),
+            }],
+        }),
+        wire::encode_request(&wire::Request::Batch {
+            statements: vec!["a".into(), "b".into()],
+            budget: wire::WireBudget::default(),
+        }),
+        wire::encode_request(&wire::Request::ViewCreate {
+            name: "v".into(),
+            statement: "SELECT".into(),
+        }),
+        wire::encode_request(&wire::Request::ViewRead { name: "v".into() }),
+    ];
+
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect raw");
+    for case in 0..500 {
+        let payload: Vec<u8> = if case % 3 == 0 {
+            // A real request truncated mid-structure.
+            let template = &templates[(rng() % templates.len() as u64) as usize];
+            let cut = 1 + (rng() as usize) % template.len();
+            template[..cut].to_vec()
+        } else {
+            let len = (rng() % 64) as usize;
+            (0..len).map(|_| (rng() & 0xff) as u8).collect()
+        };
+        // A random frame that happens to spell SHUTDOWN would drain the
+        // server out from under the remaining cases.
+        if matches!(wire::decode_request(&payload), Ok(wire::Request::Shutdown)) {
+            continue;
+        }
+        let mut framed = (payload.len() as u32).to_be_bytes().to_vec();
+        framed.extend_from_slice(&payload);
+        if raw.write_all(&framed).is_err() {
+            raw = std::net::TcpStream::connect(addr).expect("reconnect after close");
+            continue;
+        }
+        match wire::read_frame(&mut raw, wire::MAX_FRAME_BYTES) {
+            Ok(frame) => {
+                // Whatever came back must decode; malformed requests
+                // specifically carry the reserved protocol-error code.
+                let response = wire::decode_response(&frame)
+                    .unwrap_or_else(|e| panic!("case {case}: undecodable response: {e}"));
+                if let wire::Response::Error { code, .. } = response {
+                    assert!(
+                        code == wire::PROTOCOL_ERROR || code > 0,
+                        "case {case}: error frame with invalid code"
+                    );
+                }
+            }
+            // Clean close is a legal answer; reconnect and continue.
+            Err(_) => raw = std::net::TcpStream::connect(addr).expect("reconnect"),
+        }
+    }
+
+    // The server survived all 500 cases and still answers real requests.
+    let mut client = Client::connect(addr).expect("connect after fuzz");
+    assert!(client
+        .stats()
+        .expect("stats after fuzz")
+        .contains("server:"));
+    assert!(!handle.is_shutting_down());
+}
+
 #[test]
 fn idle_connections_are_closed_after_the_timeout() {
     let passes = Arc::new(AtomicUsize::new(0));

@@ -293,6 +293,45 @@ impl StreamingPearson {
     pub fn converged(&self, epsilon: f32, z_crit: f64) -> bool {
         self.fisher_half_width(z_crit) <= epsilon
     }
+
+    /// The accumulator's complete internal state as raw bits: the
+    /// observation count followed by the nine `f64` fields in declaration
+    /// order. [`StreamingPearson::from_state_bits`] reconstructs an
+    /// accumulator that is bit-identical in every future operation —
+    /// the serialization contract behind durable materialized views,
+    /// where a stored state must merge exactly like the live one it
+    /// snapshots.
+    pub fn state_bits(&self) -> [u64; 10] {
+        [
+            self.n,
+            self.kx.to_bits(),
+            self.ky.to_bits(),
+            self.sum_x.to_bits(),
+            self.sum_y.to_bits(),
+            self.sum_xx.to_bits(),
+            self.sum_yy.to_bits(),
+            self.sum_xy.to_bits(),
+            self.err_xx.to_bits(),
+            self.err_yy.to_bits(),
+        ]
+    }
+
+    /// Rebuilds an accumulator from [`StreamingPearson::state_bits`]
+    /// output, bit-exactly.
+    pub fn from_state_bits(bits: [u64; 10]) -> StreamingPearson {
+        StreamingPearson {
+            n: bits[0],
+            kx: f64::from_bits(bits[1]),
+            ky: f64::from_bits(bits[2]),
+            sum_x: f64::from_bits(bits[3]),
+            sum_y: f64::from_bits(bits[4]),
+            sum_xx: f64::from_bits(bits[5]),
+            sum_yy: f64::from_bits(bits[6]),
+            sum_xy: f64::from_bits(bits[7]),
+            err_xx: f64::from_bits(bits[8]),
+            err_yy: f64::from_bits(bits[9]),
+        }
+    }
 }
 
 /// Critical value for a 95% two-sided normal interval.
@@ -552,6 +591,30 @@ mod tests {
             acc.push(x, 0.9 * x + ((i * 3) % 7) as f32);
         }
         assert!(acc.converged(0.05, Z_95));
+    }
+
+    #[test]
+    fn state_bits_round_trip_is_bit_exact() {
+        let mut acc = StreamingPearson::new();
+        for i in 0..257u32 {
+            acc.push(((i * 37) % 19) as f32 - 3.5, ((i * 11) % 23) as f32);
+        }
+        let back = StreamingPearson::from_state_bits(acc.state_bits());
+        assert_eq!(back.state_bits(), acc.state_bits());
+        // Future operations agree bit for bit: merge the same partial
+        // into both and compare the resulting states exactly.
+        let mut tail = StreamingPearson::new();
+        tail.push_block(&[1.0, 2.0, 5.0], &[0.5, -1.0, 2.0]);
+        let mut a = acc.clone();
+        let mut b = back;
+        a.merge(&tail);
+        b.merge(&tail);
+        assert_eq!(a.state_bits(), b.state_bits());
+        assert_eq!(
+            a.correlation().to_bits(),
+            b.correlation().to_bits(),
+            "restored accumulator must score bit-identically"
+        );
     }
 
     #[test]

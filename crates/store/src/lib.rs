@@ -34,12 +34,14 @@
 pub mod format;
 pub mod pool;
 pub mod store;
+pub mod views;
 
 pub use pool::{BufferPool, PageKey, PinnedPage, PoolStats};
 pub use store::{
     BehaviorStore, ColumnKey, CompactionReport, Coverage, MaterializationPolicy, StoreConfig,
     WriteReport,
 };
+pub use views::{ViewCatalog, ViewDoc, ViewFreshness, ViewRow, ViewSlotState};
 
 use std::fmt;
 
@@ -143,6 +145,17 @@ pub struct StoreStats {
     /// store's bounded-backoff read path. A retry that ultimately succeeds
     /// bumps this without touching `error_count`.
     pub io_retries: usize,
+    /// Materialized-view reads answered by replaying a stored frame —
+    /// zero extraction, zero store block reads.
+    pub view_hits: usize,
+    /// Materialized views refreshed incrementally (new segments only,
+    /// folded into the stored measure states).
+    pub view_refreshes: usize,
+    /// Materialized views built (created, or fully rebuilt because an
+    /// input other than dataset growth changed).
+    pub view_builds: usize,
+    /// Bytes written to view files (create + refresh + rebuild).
+    pub view_bytes_written: u64,
     /// Total errors survived by falling back to live extraction
     /// (corrupted or unreadable blocks, failed write-backs). Never fatal.
     pub error_count: usize,
@@ -180,6 +193,10 @@ impl StoreStats {
         self.files_reclaimed += other.files_reclaimed;
         self.bytes_reclaimed += other.bytes_reclaimed;
         self.io_retries += other.io_retries;
+        self.view_hits += other.view_hits;
+        self.view_refreshes += other.view_refreshes;
+        self.view_builds += other.view_builds;
+        self.view_bytes_written += other.view_bytes_written;
         self.error_count += other.error_count;
         self.errors.extend(other.errors.iter().cloned());
         if self.errors.len() > ERROR_RING_CAP {

@@ -267,6 +267,8 @@ pub struct BehaviorStore {
     meta_cache: Mutex<HashMap<ColumnKey, CachedInfo>>,
     /// Uniquifies temp-file and quarantine names within this process.
     name_counter: AtomicU64,
+    /// Materialized-view catalog at `<root>/views/`.
+    views: crate::views::ViewCatalog,
 }
 
 impl BehaviorStore {
@@ -331,6 +333,7 @@ impl BehaviorStore {
             index: Mutex::new(index),
             meta_cache: Mutex::new(HashMap::new()),
             name_counter: AtomicU64::new(0),
+            views: crate::views::ViewCatalog::open(&config.path, read_only),
         }))
     }
 
@@ -348,6 +351,13 @@ impl BehaviorStore {
     /// deletions ever touch the filesystem).
     pub fn is_read_only(&self) -> bool {
         self.read_only
+    }
+
+    /// The materialized-view catalog at `<root>/views/`. Shared by every
+    /// holder of this store handle (the server shares one store across
+    /// all connections, so views are shared the same way).
+    pub fn views(&self) -> &crate::views::ViewCatalog {
+        &self.views
     }
 
     /// Number of indexed *complete* columns.
