@@ -288,6 +288,11 @@ pub struct InspectionConfig {
     pub seed: u64,
     /// Optional hypothesis-behavior cache shared across runs (Fig. 9).
     pub cache: Option<Arc<HypothesisCache>>,
+    /// Store-side predicate pushdown: scans consult zone maps and skip
+    /// blocks whose contents the zone entry proves (reconstructed
+    /// bit-exactly, so results never change — this is an escape hatch
+    /// for differential testing, not a semantics knob).
+    pub pushdown: bool,
     /// Run bounds: deadline, cancellation, work caps. Unlimited by
     /// default. The streaming engine degrades gracefully when a bound
     /// trips (partial frame, watermark-extending partial columns); the
@@ -304,6 +309,7 @@ impl Default for InspectionConfig {
             epsilon: None,
             seed: 0,
             cache: None,
+            pushdown: true,
             budget: RunBudget::default(),
         }
     }
@@ -798,6 +804,14 @@ pub struct StorePlan {
     /// Skip write-back capture when the missing columns would buffer more
     /// than this many bytes.
     pub writeback_limit_bytes: usize,
+    /// Consult zone maps during scans and skip blocks whose exact
+    /// contents the zone entry proves (predicate pushdown). Results are
+    /// bit-identical either way; see [`InspectionConfig::pushdown`].
+    pub prune: bool,
+    /// Plan-time pushdown estimate over the complete hits:
+    /// `(prunable blocks, total blocks)`, rendered by `explain`. `None`
+    /// when pushdown is off or nothing was probed.
+    pub pruned_estimate: Option<(usize, usize)>,
 }
 
 /// A store-backed unit-behavior source for one shared pass: a
@@ -1041,6 +1055,7 @@ impl<'s> StorePass<'s> {
                 out.as_mut_slice(),
                 width,
                 col,
+                self.source.plan.prune,
                 &mut self.stats,
             );
             match scan {
@@ -1136,6 +1151,8 @@ impl<'s> StorePass<'s> {
                         self.stats.columns_written += 1;
                         self.stats.blocks_written += report.blocks_written;
                         self.stats.pool_evictions += report.pool_evictions;
+                        self.stats.raw_bytes_written += report.raw_data_bytes;
+                        self.stats.stored_bytes_written += report.stored_data_bytes;
                     }
                     Err(e) => self
                         .stats
@@ -1163,6 +1180,8 @@ impl<'s> StorePass<'s> {
                     self.stats.partial_columns_written += 1;
                     self.stats.blocks_written += report.blocks_written;
                     self.stats.pool_evictions += report.pool_evictions;
+                    self.stats.raw_bytes_written += report.raw_data_bytes;
+                    self.stats.stored_bytes_written += report.stored_data_bytes;
                 }
                 Ok(_) => {}
                 Err(e) => self

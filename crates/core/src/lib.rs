@@ -84,13 +84,35 @@
 //! waves. [`plan::PlanStats::scan_charged_columns`] and `explain()`
 //! surface the distinction.
 //!
+//! **Pushdown, compression & disk budget.** Column files (format v3)
+//! carry a NaN-safe **zone map**: per-block min/max, a non-finite flag,
+//! and a codec tag — blocks are stored `Raw`, `Constant` (a single
+//! 4-byte bit pattern), or `Dict` (bit-packed small-alphabet indices),
+//! whichever is smallest, each checksummed over its encoded bytes. The
+//! optimizer pushes a block-prune predicate into every `StoreScan`
+//! ([`engine::InspectionConfig::pushdown`], on by default): a block the
+//! zone map proves constant-and-finite is served straight from the zone
+//! entry — no read, no checksum, bit-identical values — and `explain`
+//! shows the plan-time estimate as `pruned: k/n blocks (zone-map
+//! pushdown)`. Blocks containing NaN or ±Inf are flagged and never
+//! pruned; pre-compression v2 files read back transparently and never
+//! prune. [`prelude::StoreConfig::disk_budget_bytes`] bounds the store
+//! on disk: compaction evicts complete columns coldest-first (by a
+//! persisted access stamp kept outside every checksum, so in-place
+//! stamp bumps cannot corrupt a file) until under budget, skipping
+//! columns with pages pinned by concurrent scans; a later lookup of an
+//! evicted column fails typed ([`prelude::StoreError::Evicted`]) and
+//! falls back to live extraction — re-materializing, never
+//! quarantining. [`prelude::StoreStats`] reports `blocks_pruned`,
+//! raw-vs-stored bytes written, and eviction counts.
+//!
 //! **Compaction.** Every read-write batch ends with a store sweep
 //! ([`session::Session::compact_store`] runs one on demand): quarantined
 //! `*.corrupt.*` files past `StoreConfig::quarantine_retention_bytes`
 //! (newest kept as forensic samples), stale temporaries of crashed
-//! writers, and partial columns superseded by completed versions are
-//! deleted, with the reclaimed bytes reported through
-//! [`prelude::StoreStats`].
+//! writers, partial columns superseded by completed versions, and — when
+//! a disk budget is set — the coldest complete columns are deleted, with
+//! the reclaimed bytes reported through [`prelude::StoreStats`].
 //!
 //! Columns are keyed by **content fingerprints**: the model's
 //! ([`extract::Extractor::fingerprint`], hashing the actual weights — a

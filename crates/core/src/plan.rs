@@ -1057,6 +1057,21 @@ pub(crate) fn optimize_with(
                         hits.binary_search(u).is_err() && partials.binary_search(u).is_err()
                     })
                     .collect();
+                // Plan-time pushdown estimate: sum each complete hit's
+                // prunable/total block counts from its (cached) zone
+                // table. Advisory — the scan re-decides per block.
+                let pruned_estimate = config.pushdown.then(|| {
+                    hits.iter().fold((0usize, 0usize), |(p, t), &unit| {
+                        match binding.store.zone_summary(&deepbase_store::ColumnKey {
+                            model_fp,
+                            dataset_fp,
+                            unit,
+                        }) {
+                            Some((prunable, total)) => (p + prunable, t + total),
+                            None => (p, t),
+                        }
+                    })
+                });
                 StorePlan {
                     model_fp,
                     dataset_fp,
@@ -1066,6 +1081,8 @@ pub(crate) fn optimize_with(
                     read: true,
                     write: binding.policy == MaterializationPolicy::ReadWrite,
                     writeback_limit_bytes: binding.writeback_limit_bytes,
+                    prune: config.pushdown,
+                    pruned_estimate,
                 }
             };
             group.source = match model.fingerprint() {
@@ -1619,6 +1636,13 @@ impl PhysicalPlan {
                         g.union_units.len(),
                         sp.misses.len(),
                     ));
+                    if let Some((pruned, total)) = sp.pruned_estimate {
+                        if total > 0 {
+                            out.push_str(&format!(
+                                "{stem}├─ pruned: {pruned}/{total} blocks (zone-map pushdown)\n"
+                            ));
+                        }
+                    }
                 }
                 GroupSource::ViewReplay { .. } => unreachable!("rendered above"),
                 GroupSource::Segments(segs) => {
@@ -1775,6 +1799,8 @@ pub(crate) fn run_view_pass(
                             read: true,
                             write: b.policy == MaterializationPolicy::ReadWrite,
                             writeback_limit_bytes: b.writeback_limit_bytes,
+                            prune: config.pushdown,
+                            pruned_estimate: None,
                         },
                     })
                 })

@@ -473,7 +473,9 @@ impl Session {
     /// automatically after every batch): deletes quarantined files past
     /// the configured retention budget, stale temporaries left by
     /// crashed writers, and partial columns superseded by completed
-    /// versions. Returns what was reclaimed (also accumulated into
+    /// versions, and evicts the coldest complete columns when the store
+    /// exceeds its disk budget. Returns what was reclaimed (also
+    /// accumulated into
     /// [`Session::store_stats`]), or `None` when no writable store is
     /// open.
     pub fn compact_store(&mut self) -> Option<deepbase_store::CompactionReport> {
@@ -485,6 +487,8 @@ impl Session {
         let report = store.compact(store_config.quarantine_retention_bytes);
         self.store_stats.files_reclaimed += report.files_reclaimed;
         self.store_stats.bytes_reclaimed += report.bytes_reclaimed;
+        self.store_stats.columns_evicted += report.columns_evicted;
+        self.store_stats.evicted_bytes += report.evicted_bytes;
         Some(report)
     }
 

@@ -152,9 +152,12 @@ fn session_with_store(nd: usize, device: Device, dir: &Path) -> (Session, Arc<At
 
 struct FaultWorld {
     dir: PathBuf,
-    /// Pristine store files (relative path, bytes) captured after the
-    /// populating cold run.
-    pristine: Vec<(PathBuf, Vec<u8>)>,
+    /// Pristine store files captured after the populating cold run:
+    /// relative path, bytes, and the byte ranges the format deliberately
+    /// leaves unvalidated (the v3 access stamp; payloads of prunable
+    /// blocks). Flips inside those ranges are provably harmless and may
+    /// legitimately go undetected.
+    pristine: Vec<(PathBuf, Vec<u8>, Vec<std::ops::Range<u64>>)>,
     reference: Vec<deepbase_relational::Table>,
 }
 
@@ -180,7 +183,11 @@ fn fault_world() -> &'static FaultWorld {
             }
             for col in std::fs::read_dir(entry.path()).unwrap().flatten() {
                 let rel = col.path().strip_prefix(&dir).unwrap().to_path_buf();
-                pristine.push((rel, std::fs::read(col.path()).unwrap()));
+                let mut f = std::fs::File::open(col.path()).unwrap();
+                let unchecked = deepbase_store::format::read_meta(&mut f)
+                    .unwrap()
+                    .unvalidated_ranges();
+                pristine.push((rel, std::fs::read(col.path()).unwrap(), unchecked));
             }
         }
         assert_eq!(pristine.len(), UNITS, "one column file per unit");
@@ -194,7 +201,7 @@ fn fault_world() -> &'static FaultWorld {
 
 fn restore_pristine(world: &FaultWorld) {
     let _ = std::fs::remove_dir_all(&world.dir);
-    for (rel, bytes) in &world.pristine {
+    for (rel, bytes, _) in &world.pristine {
         let path = world.dir.join(rel);
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, bytes).unwrap();
@@ -210,7 +217,7 @@ proptest! {
     ) {
         let world = fault_world();
         restore_pristine(world);
-        let (rel, bytes) = &world.pristine[file_sel % world.pristine.len()];
+        let (rel, bytes, unchecked) = &world.pristine[file_sel % world.pristine.len()];
         let bit = flip_sel % (bytes.len() * 8);
         let mut corrupted = bytes.clone();
         corrupted[bit / 8] ^= 1 << (bit % 8);
@@ -225,14 +232,238 @@ proptest! {
             bit,
             rel
         );
-        // Every byte of the format is checksummed, so a flip in a file
-        // this query scans end-to-end must be *detected*, not ignored.
+        // Every byte of the format is checksummed except the ranges it
+        // deliberately leaves unvalidated (the v3 access stamp, which
+        // only orders disk-budget eviction, and payloads of prunable
+        // blocks a pruned scan never opens), so a flip anywhere else in
+        // a file this query scans end-to-end must be *detected*, not
+        // ignored. Flips inside the unvalidated ranges are already
+        // proven harmless by the score comparison above.
+        let in_unchecked = unchecked.iter().any(|r| r.contains(&((bit / 8) as u64)));
         prop_assert!(
-            out.report.store.error_count > 0,
+            out.report.store.error_count > 0 || in_unchecked,
             "flip of bit {} in {:?} went undetected",
             bit,
             rel
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential property: pruned + compressed v3 == raw v2 == live
+// ---------------------------------------------------------------------
+
+/// Behaviors with a unit mix that exercises every v3 codec and the NaN
+/// guard at once: unit 0 is constant (every block prunable), unit 1
+/// saturates to a two-level alphabet (Dict payloads, Constant on uniform
+/// blocks), unit 2 sprinkles NaN into otherwise low-cardinality data
+/// (its blocks must never prune), unit 3 is full-cardinality Raw data.
+fn mixed_behaviors(nd: usize, salt: u64) -> Matrix {
+    let recs = records(nd);
+    let mut m = Matrix::zeros(nd * NS, UNITS);
+    for (ri, rec) in recs.iter().enumerate() {
+        for (t, c) in rec.text.chars().enumerate() {
+            let r = ri * NS + t;
+            m.set(r, 0, 0.25);
+            m.set(r, 1, if c == 'a' { 1.0 } else { -1.0 });
+            m.set(
+                r,
+                2,
+                if r.is_multiple_of(7) {
+                    f32::NAN
+                } else {
+                    (r % 3) as f32 - 1.0
+                },
+            );
+            let x = (r as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add(salt.wrapping_mul(97));
+            m.set(r, 3, (x % 1009) as f32 / 1009.0 - 0.5);
+        }
+    }
+    m
+}
+
+fn mixed_catalog(nd: usize, salt: u64) -> (Catalog, Arc<AtomicUsize>) {
+    let calls = Arc::new(AtomicUsize::new(0));
+    let mut catalog = Catalog::new();
+    catalog.add_model_with_units(
+        "m1",
+        1,
+        Arc::new(CountingExtractor {
+            inner: PrecomputedExtractor::new(mixed_behaviors(nd, salt), NS),
+            calls: Arc::clone(&calls),
+        }),
+        (0..UNITS)
+            .map(|uid| UnitMeta {
+                uid,
+                layer: (uid % 2) as i64,
+            })
+            .collect(),
+    );
+    catalog.add_hypotheses(
+        "chars",
+        vec![
+            Arc::new(FnHypothesis::char_class("is_a", |c| c == 'a')),
+            Arc::new(FnHypothesis::char_class("is_b", |c| c == 'b')),
+        ],
+    );
+    catalog.add_dataset(
+        "seq",
+        Arc::new(Dataset::new("seq", NS, records(nd)).unwrap()),
+    );
+    (catalog, calls)
+}
+
+/// Seeds complete **v2** (raw, pre-compression) column files for every
+/// unit of the mixed catalog, bypassing the store writer, exactly as a
+/// pre-upgrade deployment would have left them on disk.
+fn seed_v2_columns(dir: &Path, nd: usize, salt: u64) {
+    let m = mixed_behaviors(nd, salt);
+    let extractor = PrecomputedExtractor::new(mixed_behaviors(nd, salt), NS);
+    let model_fp = extractor.fingerprint().unwrap();
+    let dataset_fp = Dataset::new("seq", NS, records(nd))
+        .unwrap()
+        .content_fingerprint();
+    let sub = dir.join(format!("{model_fp:016x}.{dataset_fp:016x}"));
+    std::fs::create_dir_all(&sub).unwrap();
+    for unit in 0..UNITS {
+        let mut col = vec![0.0f32; nd * NS];
+        for pos in 0..nd {
+            for t in 0..NS {
+                col[pos * NS + t] = m.get(pos * NS + t, unit);
+            }
+        }
+        let meta = deepbase_store::format::ColumnMeta {
+            model_fp,
+            dataset_fp,
+            unit: unit as u64,
+            nd: nd as u64,
+            ns: NS as u64,
+            block_records: 4,
+            completed_records: nd as u64,
+        };
+        deepbase_store::format::write_column_file_v2(
+            &sub.join(format!("u{unit}.col")),
+            &sub.join(format!("u{unit}.tmp")),
+            &meta,
+            &col,
+            None,
+        )
+        .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn pruned_compressed_v3_scans_match_raw_v2_scans_and_live_extraction(
+        nd in 9usize..28,
+        salt in 0u64..1_000_000,
+    ) {
+        for device in [Device::SingleCore, Device::Parallel(3)] {
+            // Reference: pure live extraction, no store.
+            let (catalog, _) = mixed_catalog(nd, salt);
+            let reference = catalog.run_batch(&[Q_ALL], &config(device)).unwrap().tables;
+
+            // v3 path: cold populate, then a warm scan with pushdown on
+            // (the default) and one with pushdown forced off.
+            let tag = format!("v3-{nd}-{salt}-{device:?}").replace(['(', ')'], "-");
+            let v3_dir = store_dir(&tag);
+            let (catalog, _) = mixed_catalog(nd, salt);
+            let mut cold = Session::with_config(
+                catalog,
+                SessionConfig {
+                    inspection: config(device),
+                    store: Some(store_config(&v3_dir)),
+                    ..SessionConfig::default()
+                },
+            );
+            prop_assert_eq!(&cold.run_batch(&[Q_ALL]).unwrap().tables, &reference);
+            drop(cold);
+
+            let (mut pruned, pruned_calls) = {
+                let (catalog, calls) = mixed_catalog(nd, salt);
+                (
+                    Session::with_config(
+                        catalog,
+                        SessionConfig {
+                            inspection: config(device),
+                            store: Some(store_config(&v3_dir)),
+                            ..SessionConfig::default()
+                        },
+                    ),
+                    calls,
+                )
+            };
+            let out = pruned.run_batch(&[Q_ALL]).unwrap();
+            prop_assert_eq!(
+                &out.tables,
+                &reference,
+                "pruned v3 scan diverged from live extraction on {:?}",
+                device
+            );
+            prop_assert_eq!(pruned_calls.load(Ordering::SeqCst), 0, "warm hit must not extract");
+            prop_assert!(
+                out.report.store.blocks_pruned > 0,
+                "the constant unit guarantees prunable blocks, got 0"
+            );
+            prop_assert!(out.report.store.errors.is_empty(), "{:?}", out.report.store.errors);
+            drop(pruned);
+
+            let (catalog, _) = mixed_catalog(nd, salt);
+            let mut unpruned = Session::with_config(
+                catalog,
+                SessionConfig {
+                    inspection: InspectionConfig {
+                        pushdown: false,
+                        ..config(device)
+                    },
+                    store: Some(store_config(&v3_dir)),
+                    ..SessionConfig::default()
+                },
+            );
+            let out = unpruned.run_batch(&[Q_ALL]).unwrap();
+            prop_assert_eq!(
+                &out.tables,
+                &reference,
+                "pushdown-off v3 scan diverged from live extraction on {:?}",
+                device
+            );
+            prop_assert_eq!(out.report.store.blocks_pruned, 0);
+            drop(unpruned);
+            let _ = std::fs::remove_dir_all(&v3_dir);
+
+            // v2 path: pre-upgrade raw files scan bit-identically and
+            // never prune (their zone maps carry no codec evidence).
+            let v2_dir = store_dir(&tag.replace("v3", "v2"));
+            seed_v2_columns(&v2_dir, nd, salt);
+            let (mut v2, v2_calls) = {
+                let (catalog, calls) = mixed_catalog(nd, salt);
+                (
+                    Session::with_config(
+                        catalog,
+                        SessionConfig {
+                            inspection: config(device),
+                            store: Some(store_config(&v2_dir)),
+                            ..SessionConfig::default()
+                        },
+                    ),
+                    calls,
+                )
+            };
+            let out = v2.run_batch(&[Q_ALL]).unwrap();
+            prop_assert_eq!(
+                &out.tables,
+                &reference,
+                "raw v2 scan diverged from live extraction on {:?}",
+                device
+            );
+            prop_assert_eq!(v2_calls.load(Ordering::SeqCst), 0, "v2 files are a warm hit");
+            prop_assert_eq!(out.report.store.blocks_pruned, 0, "v2 files must never prune");
+            prop_assert!(out.report.store.errors.is_empty(), "{:?}", out.report.store.errors);
+            let _ = std::fs::remove_dir_all(&v2_dir);
+        }
     }
 }
 

@@ -7,12 +7,16 @@
 //!
 //! The store is deliberately database-shaped:
 //!
-//! * [`format`] — the self-describing column file format: a checksummed
-//!   header, a schema section naming the column's key and shape, a
-//!   per-block **zone map** (min/max/row-count) with a CRC32 checksum per
-//!   data block, then the raw f32 data. Files are written with `std::fs`
-//!   only — no external dependencies — via a temp-file + rename so a
-//!   crashed writer never leaves a half-written column behind.
+//! * [`format`] — the self-describing column file format (v3): a
+//!   checksummed header, a schema section naming the column's key and
+//!   shape plus a persisted **access stamp** for disk-budget LRU, a
+//!   per-block **zone map** (NaN-safe min/max, row count, codec tag,
+//!   non-finite flag, encoded size) with a CRC32 checksum per encoded
+//!   data block, then the per-block encoded payloads (raw f32, constant,
+//!   or bit-packed dictionary). Files are written with `std::fs` only —
+//!   no external dependencies — via a temp-file + rename so a crashed
+//!   writer never leaves a half-written column behind. v2 files (raw
+//!   data, NaN-blind zones) read back transparently and never prune.
 //! * [`pool`] — a [`BufferPool`] of decoded block pages with **pinned
 //!   pages** and **CLOCK** (second-chance) eviction under a configurable
 //!   byte budget. Scans pin the page they are copying out of; eviction
@@ -50,7 +54,9 @@ use std::fmt;
 /// permanent filesystem error; `TransientIo` wraps a filesystem error
 /// whose [`std::io::ErrorKind`] signals a retryable condition (interrupted
 /// syscall, would-block, timeout) — the store's read paths retry those
-/// with bounded backoff before surfacing them. All are recoverable:
+/// with bounded backoff before surfacing them; `Evicted` means the
+/// disk-budget eviction deleted the (healthy) column between index lookup
+/// and read, so the caller should re-extract. All are recoverable:
 /// callers fall back to live extraction and surface the message in
 /// [`StoreStats::errors`], but only `Corrupt` may quarantine a file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +67,11 @@ pub enum StoreError {
     Corrupt(String),
     /// Retryable filesystem-level failure (see [`StoreError::is_transient`]).
     TransientIo(String),
+    /// The column was deliberately deleted by the disk-budget eviction in
+    /// [`BehaviorStore::compact`]. The file is gone on purpose — the bytes
+    /// were healthy — so this never quarantines anything; callers
+    /// re-extract (a read-write pass re-materializes the column).
+    Evicted(String),
 }
 
 impl fmt::Display for StoreError {
@@ -69,6 +80,7 @@ impl fmt::Display for StoreError {
             StoreError::Io(msg) => write!(f, "store io error: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "store corruption: {msg}"),
             StoreError::TransientIo(msg) => write!(f, "transient store io error: {msg}"),
+            StoreError::Evicted(msg) => write!(f, "store column evicted: {msg}"),
         }
     }
 }
@@ -114,6 +126,11 @@ pub struct StoreStats {
     pub partial_columns_scanned: usize,
     /// Block pages fetched through the buffer pool (hits + misses).
     pub blocks_read: usize,
+    /// Blocks the scan never fetched because their zone map proved the
+    /// contents (a finite constant block is reconstructed from the zone
+    /// entry alone — no read, no checksum). Counted once per distinct
+    /// block per scan call.
+    pub blocks_pruned: usize,
     /// Pool lookups served from memory.
     pub pool_hits: usize,
     /// Pool lookups that had to read and verify a block from disk.
@@ -127,6 +144,11 @@ pub struct StoreStats {
     pub partial_columns_written: usize,
     /// Data blocks written to disk by write-back.
     pub blocks_written: usize,
+    /// Uncompressed (raw f32) size of the data written by write-back.
+    pub raw_bytes_written: u64,
+    /// Encoded size actually stored on disk for that data (`<=` raw when
+    /// the per-block codecs compress; equal when every block stays raw).
+    pub stored_bytes_written: u64,
     /// Extractor forward passes avoided: streamed engine blocks whose
     /// unit behaviors were served entirely from the store.
     pub forward_passes_avoided: usize,
@@ -141,6 +163,12 @@ pub struct StoreStats {
     pub files_reclaimed: usize,
     /// Bytes those deletions returned to the filesystem.
     pub bytes_reclaimed: u64,
+    /// Complete columns deleted by the disk-budget (LRU by access stamp)
+    /// eviction in compaction. Distinct from `files_reclaimed`, which
+    /// counts garbage; evicted columns were healthy but cold.
+    pub columns_evicted: usize,
+    /// Bytes those evictions returned to the filesystem.
+    pub evicted_bytes: u64,
     /// Transient IO errors that were retried (successfully or not) by the
     /// store's bounded-backoff read path. A retry that ultimately succeeds
     /// bumps this without touching `error_count`.
@@ -182,16 +210,21 @@ impl StoreStats {
         self.columns_scanned += other.columns_scanned;
         self.partial_columns_scanned += other.partial_columns_scanned;
         self.blocks_read += other.blocks_read;
+        self.blocks_pruned += other.blocks_pruned;
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
         self.pool_evictions += other.pool_evictions;
         self.columns_written += other.columns_written;
         self.partial_columns_written += other.partial_columns_written;
         self.blocks_written += other.blocks_written;
+        self.raw_bytes_written += other.raw_bytes_written;
+        self.stored_bytes_written += other.stored_bytes_written;
         self.forward_passes_avoided += other.forward_passes_avoided;
         self.segment_passes += other.segment_passes;
         self.files_reclaimed += other.files_reclaimed;
         self.bytes_reclaimed += other.bytes_reclaimed;
+        self.columns_evicted += other.columns_evicted;
+        self.evicted_bytes += other.evicted_bytes;
         self.io_retries += other.io_retries;
         self.view_hits += other.view_hits;
         self.view_refreshes += other.view_refreshes;

@@ -49,6 +49,12 @@ struct Frame {
     data: Arc<Vec<f32>>,
     referenced: bool,
     pins: u32,
+    /// Purged while pinned: the frame is out of the map (no new hits)
+    /// but its bytes stay charged until the last pin drops, when the
+    /// slot is freed. Guarantees a purge never yanks a slot out from
+    /// under a live [`PinnedPage`] (whose unpin would otherwise hit a
+    /// recycled slot and corrupt another frame's pin count).
+    doomed: bool,
 }
 
 impl Frame {
@@ -111,6 +117,7 @@ impl PoolInner {
             data,
             referenced: true,
             pins,
+            doomed: false,
         };
         self.bytes += frame.bytes();
         let idx = match self.free.pop() {
@@ -229,7 +236,12 @@ impl BufferPool {
         inner.enforce_budget(self.budget_bytes)
     }
 
-    /// Drops every resident page of one column (quarantine support).
+    /// Drops every resident page of one column (quarantine, overwrite
+    /// and disk-eviction support). Pages a concurrent scan holds pinned
+    /// are **doomed** instead of dropped: unmapped immediately (no new
+    /// lookups find them) but kept resident — and byte-charged — until
+    /// the last pin releases, so the pinned reader finishes against a
+    /// valid frame.
     pub fn purge_column(&self, model_fp: u64, dataset_fp: u64, unit: u64) {
         let mut inner = self.inner.lock();
         let victims: Vec<PageKey> = inner
@@ -240,12 +252,61 @@ impl BufferPool {
             .collect();
         for key in victims {
             if let Some(idx) = inner.map.remove(&key) {
-                if let Some(frame) = inner.slots[idx].take() {
-                    inner.bytes -= frame.bytes();
-                    inner.free.push(idx);
+                match &mut inner.slots[idx] {
+                    Some(frame) if frame.pins > 0 => frame.doomed = true,
+                    slot => {
+                        if let Some(frame) = slot.take() {
+                            inner.bytes -= frame.bytes();
+                            inner.free.push(idx);
+                        }
+                    }
                 }
             }
         }
+    }
+
+    /// True when any resident page of the column is currently pinned by
+    /// a scan. The disk-budget eviction path refuses to delete a column
+    /// file while this holds.
+    pub fn column_pinned(&self, model_fp: u64, dataset_fp: u64, unit: u64) -> bool {
+        self.inner.lock().slots.iter().flatten().any(|f| {
+            f.pins > 0
+                && f.key.model_fp == model_fp
+                && f.key.dataset_fp == dataset_fp
+                && f.key.unit == unit
+        })
+    }
+
+    /// Cross-checks the pool's running byte/page counters against the
+    /// frame table. `resident_bytes` must equal the sum of every resident
+    /// frame's **decoded** size (what actually occupies memory — pages
+    /// are decompressed before they enter the pool, so on-disk compressed
+    /// sizes never leak into the budget), and the map must name exactly
+    /// the non-doomed frames. Returns a description of the first
+    /// inconsistency found.
+    pub fn verify_accounting(&self) -> Result<(), String> {
+        let inner = self.inner.lock();
+        let frame_bytes: usize = inner.slots.iter().flatten().map(|f| f.bytes()).sum();
+        if frame_bytes != inner.bytes {
+            return Err(format!(
+                "resident_bytes {} != sum of frame bytes {frame_bytes}",
+                inner.bytes
+            ));
+        }
+        let live = inner.slots.iter().flatten().filter(|f| !f.doomed).count();
+        if live != inner.map.len() {
+            return Err(format!(
+                "map holds {} entries but {live} live frames exist",
+                inner.map.len()
+            ));
+        }
+        for (key, &idx) in &inner.map {
+            match inner.slots.get(idx).and_then(|s| s.as_ref()) {
+                Some(frame) if frame.key == *key && !frame.doomed => {}
+                _ => return Err(format!("map entry for {key:?} points at a wrong frame")),
+            }
+        }
+        Ok(())
     }
 
     /// Current statistics.
@@ -264,6 +325,13 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         if let Some(frame) = inner.slots.get_mut(slot).and_then(|s| s.as_mut()) {
             frame.pins = frame.pins.saturating_sub(1);
+            // A frame purged while pinned leaves once its last pin drops
+            // (it is already out of the map).
+            if frame.doomed && frame.pins == 0 {
+                let frame = inner.slots[slot].take().expect("checked above");
+                inner.bytes -= frame.bytes();
+                inner.free.push(slot);
+            }
         }
         // A scan may pin a working set larger than the budget (pinned
         // frames are unevictable); re-enforce as the pins drop so the
@@ -474,5 +542,37 @@ mod tests {
         assert_eq!(s.resident_pages, 1);
         assert_eq!(s.resident_bytes, 64 * 4, "bytes charged once");
         assert_eq!(s.misses, 2, "both lookups missed");
+        // The running counters agree with the frame table: bytes are the
+        // decoded frame sizes, charged exactly once per resident frame.
+        pool.verify_accounting().unwrap();
+    }
+
+    #[test]
+    fn purge_while_pinned_dooms_the_frame_instead_of_recycling_its_slot() {
+        let pool = BufferPool::new(1 << 20);
+        let pinned = pool.get(key(0, 0), || Ok(page(5.0, 8))).unwrap();
+        // Purging the column under a live pin: the frame leaves the map
+        // (no new hits) but stays resident and byte-charged.
+        pool.purge_column(1, 2, 0);
+        assert!(pool.column_pinned(1, 2, 0));
+        let s = pool.stats();
+        assert_eq!(s.resident_pages, 0, "doomed frame is unmapped");
+        assert_eq!(s.resident_bytes, 8 * 4, "…but still charged");
+        pool.verify_accounting().unwrap();
+        // A fresh lookup misses and loads a new frame; the doomed frame's
+        // slot is NOT recycled while the pin lives, so the guard's later
+        // unpin cannot touch the new frame.
+        let fresh = pool.get(key(0, 0), || Ok(page(6.0, 8))).unwrap();
+        assert!(!fresh.hit);
+        assert_eq!(&pinned[..1], &[5.0], "old guard still reads old bytes");
+        assert_eq!(&fresh[..1], &[6.0]);
+        drop(pinned); // last pin drops: doomed frame leaves, bytes fall
+        let s = pool.stats();
+        assert_eq!(s.resident_pages, 1);
+        assert_eq!(s.resident_bytes, 8 * 4);
+        assert!(pool.column_pinned(1, 2, 0), "fresh frame still pinned");
+        drop(fresh);
+        assert!(!pool.column_pinned(1, 2, 0));
+        pool.verify_accounting().unwrap();
     }
 }

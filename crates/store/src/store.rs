@@ -33,11 +33,11 @@
 //! the filesystem beyond reads: no directory creation, no temp-file
 //! sweep, no quarantine renames, no compaction.
 
-use crate::format::{self, coverage_covers, ColumnMeta, ZoneEntry};
+use crate::format::{self, coverage_covers, ColumnMeta};
 use crate::pool::{BufferPool, PageKey};
 use crate::{StoreError, StoreStats};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -81,12 +81,19 @@ pub struct StoreConfig {
     /// as forensic samples, older ones are deleted by
     /// [`BehaviorStore::compact`].
     pub quarantine_retention_bytes: u64,
+    /// Disk budget for *complete* column files: when their total size
+    /// exceeds this, [`BehaviorStore::compact`] evicts the coldest
+    /// columns (LRU by persisted access stamp — the on-disk analogue of
+    /// the CLOCK pool's memory budget) until the rest fit. Evicted
+    /// columns are healthy and re-materialize on the next read-write
+    /// pass. `u64::MAX` (the default) disables eviction.
+    pub disk_budget_bytes: u64,
 }
 
 impl StoreConfig {
     /// Configuration rooted at `path` with defaults: 64 MiB pool,
     /// read-write policy, 64-record blocks, 256 MiB write-back budget,
-    /// 64 MiB quarantine retention.
+    /// 64 MiB quarantine retention, unbounded disk budget.
     pub fn at(path: impl Into<PathBuf>) -> StoreConfig {
         StoreConfig {
             path: path.into(),
@@ -95,6 +102,7 @@ impl StoreConfig {
             block_records: 64,
             writeback_limit_bytes: 256 << 20,
             quarantine_retention_bytes: 64 << 20,
+            disk_budget_bytes: u64::MAX,
         }
     }
 }
@@ -117,6 +125,10 @@ pub struct WriteReport {
     pub blocks_written: usize,
     /// Pool evictions caused by populating the written blocks.
     pub pool_evictions: usize,
+    /// Raw (uncompressed f32) size of the data region.
+    pub raw_data_bytes: u64,
+    /// Encoded size the data region actually occupies on disk.
+    pub stored_data_bytes: u64,
 }
 
 /// Outcome of one [`BehaviorStore::compact`] sweep.
@@ -127,6 +139,11 @@ pub struct CompactionReport {
     pub files_reclaimed: usize,
     /// Bytes those files occupied.
     pub bytes_reclaimed: u64,
+    /// Healthy complete columns evicted to meet the disk budget (LRU by
+    /// access stamp; see [`StoreConfig::disk_budget_bytes`]).
+    pub columns_evicted: usize,
+    /// Bytes those evictions returned to the filesystem.
+    pub evicted_bytes: u64,
 }
 
 /// How old a temp file must be before open/compaction reaps it. A live
@@ -242,11 +259,11 @@ impl Coverage {
     }
 }
 
-/// Validated column metadata: schema, zone table, and (for partial
-/// columns) the coverage bitmap, plus which file it was read from.
+/// Validated column metadata: the parsed file (schema, zone table,
+/// payload offsets) with the coverage bitmap lifted into an `Arc` for
+/// cheap sharing, plus which file it was read from.
 struct ColumnFileInfo {
-    meta: ColumnMeta,
-    zones: Vec<ZoneEntry>,
+    file: format::ColumnFile,
     covered: Option<Arc<Vec<u8>>>,
     /// Position → packed data row (rank among covered positions), for
     /// partial columns.
@@ -261,14 +278,30 @@ pub struct BehaviorStore {
     root: PathBuf,
     block_records: usize,
     read_only: bool,
+    /// Disk budget for complete columns, enforced by
+    /// [`BehaviorStore::compact`] (see [`StoreConfig::disk_budget_bytes`]).
+    disk_budget_bytes: u64,
     pool: BufferPool,
     index: Mutex<HashMap<ColumnKey, Disposition>>,
     /// Validated file info per column, filled on first scan.
     meta_cache: Mutex<HashMap<ColumnKey, CachedInfo>>,
+    /// Columns this instance's disk-budget eviction deleted. Lets a later
+    /// lookup fail with the typed [`StoreError::Evicted`] (re-extract)
+    /// instead of a generic not-indexed error; cleared by the next write.
+    evicted: Mutex<HashSet<ColumnKey>>,
     /// Uniquifies temp-file and quarantine names within this process.
     name_counter: AtomicU64,
     /// Materialized-view catalog at `<root>/views/`.
     views: crate::views::ViewCatalog,
+}
+
+/// Milliseconds since the Unix epoch, for access stamps. Saturates to 0
+/// on a pre-epoch clock (such a stamp just reads as maximally cold).
+fn now_stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 impl BehaviorStore {
@@ -329,9 +362,11 @@ impl BehaviorStore {
             root: config.path.clone(),
             block_records: config.block_records.max(1),
             read_only,
+            disk_budget_bytes: config.disk_budget_bytes,
             pool: BufferPool::new(config.pool_bytes),
             index: Mutex::new(index),
             meta_cache: Mutex::new(HashMap::new()),
+            evicted: Mutex::new(HashSet::new()),
             name_counter: AtomicU64::new(0),
             views: crate::views::ViewCatalog::open(&config.path, read_only),
         }))
@@ -514,7 +549,9 @@ impl BehaviorStore {
                         return Ok(WriteReport::default());
                     }
                 }
-                Err(StoreError::Corrupt(_)) => {}
+                // A provably corrupt (or deliberately evicted) prior file
+                // protects nothing; overwrite it.
+                Err(StoreError::Corrupt(_)) | Err(StoreError::Evicted(_)) => {}
                 Err(StoreError::Io(_)) | Err(StoreError::TransientIo(_)) => {
                     return Ok(WriteReport::default())
                 }
@@ -569,8 +606,8 @@ impl BehaviorStore {
         // prefix's bytes, not a mostly empty grid).
         let packed = filled.map(|f| format::pack_rows(data, f, ns));
         let stored: &[f32] = packed.as_deref().unwrap_or(data);
-        let blocks_written =
-            format::write_column_file(&path, &tmp, &meta, stored, bitmap.as_deref())?;
+        let summary =
+            format::write_column_file(&path, &tmp, &meta, stored, bitmap.as_deref(), now_stamp())?;
         // Refresh the caches (an overwrite replaces stale state), then
         // populate the pool with the written pages so an immediate scan
         // hits memory.
@@ -585,6 +622,8 @@ impl BehaviorStore {
                 .insert(page_key(key, b), stored[start..start + rows * ns].to_vec());
         }
         self.meta_cache.lock().remove(key);
+        // A fresh write resurrects a disk-budget-evicted column.
+        self.evicted.lock().remove(key);
         let mut index = self.index.lock();
         // Never let a partial write demote an indexed complete column.
         match (disposition, index.get(key)) {
@@ -594,38 +633,52 @@ impl BehaviorStore {
             }
         }
         Ok(WriteReport {
-            blocks_written,
+            blocks_written: summary.n_blocks,
             pool_evictions,
+            raw_data_bytes: summary.raw_data_bytes,
+            stored_data_bytes: summary.stored_data_bytes,
         })
     }
 
-    /// Validated file info for a column, cached after the first read.
+    /// Validated file info for a column, cached after the first read. A
+    /// cache miss on a read-write store also freshens the file's
+    /// persisted access stamp (best-effort, v3 files only) so disk-budget
+    /// eviction sees recently scanned columns as warm.
     fn column_info(&self, key: &ColumnKey) -> Result<CachedInfo, StoreError> {
         if let Some(info) = self.meta_cache.lock().get(key) {
             return Ok(Arc::clone(info));
         }
-        let disposition = self
-            .index
-            .lock()
-            .get(key)
-            .copied()
-            .ok_or_else(|| StoreError::Io(format!("unit {} is not indexed", key.unit)))?;
-        let mut file = File::open(self.column_path(key, disposition))?;
-        let (meta, zones, covered) = format::read_meta(&mut file)?;
+        let Some(disposition) = self.index.lock().get(key).copied() else {
+            if self.evicted.lock().contains(key) {
+                return Err(StoreError::Evicted(format!(
+                    "unit {} was deleted by disk-budget eviction",
+                    key.unit
+                )));
+            }
+            return Err(StoreError::Io(format!("unit {} is not indexed", key.unit)));
+        };
+        let path = self.column_path(key, disposition);
+        let mut file = File::open(&path)?;
+        let mut parsed = format::read_meta(&mut file)?;
         // The file's own watermark decides completeness; the index only
         // remembers which path to open.
-        if disposition == Disposition::Partial && meta.is_complete() {
+        if disposition == Disposition::Partial && parsed.meta.is_complete() {
             return Err(StoreError::Corrupt(
                 "partial file declares a full watermark".into(),
             ));
         }
+        if !self.read_only {
+            // Failure to bump the stamp never fails the read — the
+            // column just stays cold in the eviction order.
+            let _ = format::write_access_stamp(&path, now_stamp());
+        }
+        let covered = parsed.covered.take().map(Arc::new);
         let ranks = covered
             .as_ref()
-            .map(|bits| format::coverage_ranks(bits, meta.nd as usize));
+            .map(|bits| format::coverage_ranks(bits, parsed.meta.nd as usize));
         let parsed = Arc::new(ColumnFileInfo {
-            meta,
-            zones,
-            covered: covered.map(Arc::new),
+            file: parsed,
+            covered,
             ranks,
             disposition,
         });
@@ -636,6 +689,15 @@ impl BehaviorStore {
         Ok(parsed)
     }
 
+    /// How many of a column's blocks a pruned scan could serve from the
+    /// zone map alone, as `(prunable, total)`. `None` when the column is
+    /// not indexed or fails validation — pruning estimates are advisory,
+    /// so errors are swallowed here and surface on the real scan.
+    pub fn zone_summary(&self, key: &ColumnKey) -> Option<(usize, usize)> {
+        let info = self.column_info(key).ok()?;
+        Some((info.file.prunable_blocks(), info.file.meta.n_blocks()))
+    }
+
     /// The validated position coverage of a column: complete columns
     /// cover everything, partial columns exactly their watermarked set.
     /// Reads (and caches) the file metadata; any validation failure is
@@ -643,8 +705,8 @@ impl BehaviorStore {
     pub fn coverage(&self, key: &ColumnKey) -> Result<Coverage, StoreError> {
         let info = self.column_info(key)?;
         Ok(Coverage {
-            nd: info.meta.nd as usize,
-            completed: info.meta.completed_records as usize,
+            nd: info.file.meta.nd as usize,
+            completed: info.file.meta.completed_records as usize,
             bits: info.covered.clone(),
         })
     }
@@ -660,6 +722,15 @@ impl BehaviorStore {
     /// covered by the column's watermark: serving a position a partial
     /// column never filled would be a silent wrong score, so it is
     /// refused as corruption.
+    ///
+    /// With `prune` set, blocks whose zone entry proves their exact
+    /// contents — a finite `Constant` block is `zone.min` repeated — are
+    /// reconstructed from the (CRC-protected) zone table without reading
+    /// or checksumming their payload, counted in `stats.blocks_pruned`.
+    /// The reconstruction is bit-exact, so pruned and unpruned scans
+    /// return identical bytes; blocks flagged `has_non_finite` never
+    /// qualify (their zone statistics cannot speak for NaN/Inf values),
+    /// and v2 files never prune at all.
     ///
     /// A validation failure is retried **once** against freshly read
     /// metadata (cached info and pooled pages dropped first): a
@@ -678,14 +749,15 @@ impl BehaviorStore {
         out: &mut [f32],
         stride: usize,
         col: usize,
+        prune: bool,
         stats: &mut StoreStats,
     ) -> Result<(), StoreError> {
-        match self.scan_attempt(key, nd, ns, positions, out, stride, col, stats) {
+        match self.scan_attempt(key, nd, ns, positions, out, stride, col, prune, stats) {
             Err(StoreError::Corrupt(_)) => {
                 self.meta_cache.lock().remove(key);
                 self.pool
                     .purge_column(key.model_fp, key.dataset_fp, key.unit as u64);
-                self.scan_attempt(key, nd, ns, positions, out, stride, col, stats)
+                self.scan_attempt(key, nd, ns, positions, out, stride, col, prune, stats)
             }
             other => other,
         }
@@ -701,10 +773,12 @@ impl BehaviorStore {
         out: &mut [f32],
         stride: usize,
         col: usize,
+        prune: bool,
         stats: &mut StoreStats,
     ) -> Result<(), StoreError> {
         let cached = retry_transient(&mut stats.io_retries, || self.column_info(key))?;
-        let (meta, zones) = (&cached.meta, &cached.zones);
+        let meta = &cached.file.meta;
+        let zones = &cached.file.zones;
         if meta.nd != nd as u64 || meta.ns != ns as u64 {
             return Err(StoreError::Corrupt(format!(
                 "stored shape (nd={}, ns={}) disagrees with dataset (nd={nd}, ns={ns})",
@@ -713,9 +787,11 @@ impl BehaviorStore {
         }
         // Pin each distinct page once for the whole call (positions are
         // shuffled, so consecutive positions land on arbitrary blocks);
-        // the pins drop together when `pages` goes out of scope.
+        // the pins drop together when `pages` goes out of scope. Pruned
+        // blocks are counted once per call the same way.
         let mut pages: Vec<Option<crate::pool::PinnedPage<'_>>> =
             (0..meta.n_blocks()).map(|_| None).collect();
+        let mut pruned_counted = vec![false; meta.n_blocks()];
         for (i, &pos) in positions.iter().enumerate() {
             if pos >= nd {
                 return Err(StoreError::Corrupt(format!(
@@ -738,11 +814,28 @@ impl BehaviorStore {
                 None => pos,
             };
             let b = meta.block_of(row);
+            if prune {
+                // Predicate pushdown: the zone entry of a finite constant
+                // block determines every value in it, so the block is
+                // served without touching its payload (no read, no
+                // checksum, no pool traffic). `constant_value` is `None`
+                // for non-finite-flagged blocks and all v2 zones.
+                if let Some(v) = zones[b].constant_value() {
+                    if !pruned_counted[b] {
+                        pruned_counted[b] = true;
+                        stats.blocks_pruned += 1;
+                    }
+                    for t in 0..ns {
+                        out[(i * ns + t) * stride + col] = v;
+                    }
+                    continue;
+                }
+            }
             if pages[b].is_none() {
                 let page = retry_transient(&mut stats.io_retries, || {
                     self.pool.get(page_key(key, b), || {
                         let mut file = File::open(self.column_path(key, cached.disposition))?;
-                        format::read_block(&mut file, meta, zones, b)
+                        format::read_block(&mut file, &cached.file, b)
                     })
                 })?;
                 stats.blocks_read += 1;
@@ -803,8 +896,13 @@ impl BehaviorStore {
     /// left by *other* (crashed) processes, partial columns superseded by
     /// a completed version, and quarantined files past the retention
     /// budget (the newest quarantined files totalling up to
-    /// `quarantine_retention_bytes` are kept as forensic samples). No-op
-    /// on a read-only store.
+    /// `quarantine_retention_bytes` are kept as forensic samples). When
+    /// the complete columns together exceed
+    /// [`StoreConfig::disk_budget_bytes`], the coldest of them (LRU by
+    /// persisted access stamp; v2 files without a stamp count as coldest)
+    /// are evicted until the rest fit — except columns whose pages a
+    /// concurrent scan currently holds pinned, which are never deleted
+    /// out from under the scan. No-op on a read-only store.
     pub fn compact(&self, quarantine_retention_bytes: u64) -> CompactionReport {
         let mut report = CompactionReport::default();
         if self.read_only {
@@ -886,7 +984,75 @@ impl BehaviorStore {
                 report.bytes_reclaimed += len;
             }
         }
+        self.enforce_disk_budget(&mut report);
         report
+    }
+
+    /// Evicts cold complete columns until the survivors fit the disk
+    /// budget (the compaction leg of [`StoreConfig::disk_budget_bytes`]).
+    fn enforce_disk_budget(&self, report: &mut CompactionReport) {
+        if self.disk_budget_bytes == u64::MAX {
+            return;
+        }
+        // Snapshot the complete columns with size and persisted access
+        // stamp. Stamps are read fresh from disk (not the meta cache):
+        // another store instance over the same path may have scanned —
+        // and stamped — a column this instance never touched.
+        let keys: Vec<ColumnKey> = self
+            .index
+            .lock()
+            .iter()
+            .filter(|(_, d)| **d == Disposition::Complete)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut columns: Vec<(ColumnKey, PathBuf, u64, u64)> = Vec::with_capacity(keys.len());
+        let mut total: u64 = 0;
+        for key in keys {
+            let path = self.column_path(&key, Disposition::Complete);
+            let Ok(len) = std::fs::metadata(&path).map(|m| m.len()) else {
+                continue;
+            };
+            let stamp = format::read_access_stamp(&path).ok().flatten().unwrap_or(0);
+            total += len;
+            columns.push((key, path, len, stamp));
+        }
+        if total <= self.disk_budget_bytes {
+            return;
+        }
+        // Coldest first; ties break on the path for determinism.
+        columns.sort_by(|a, b| a.3.cmp(&b.3).then_with(|| a.1.cmp(&b.1)));
+        for (key, path, len, _) in columns {
+            if total <= self.disk_budget_bytes {
+                break;
+            }
+            // Never delete a column a concurrent scan holds pinned: the
+            // scan would read a dead path and misreport it as corruption.
+            // A pinned column simply survives this sweep (it is warm by
+            // definition) and the next-coldest is considered instead.
+            if self
+                .pool
+                .column_pinned(key.model_fp, key.dataset_fp, key.unit as u64)
+            {
+                continue;
+            }
+            // De-index before deleting so a racing scan resolves to the
+            // typed `Evicted` error, not a dangling open.
+            self.index.lock().remove(&key);
+            self.meta_cache.lock().remove(&key);
+            self.evicted.lock().insert(key);
+            self.pool
+                .purge_column(key.model_fp, key.dataset_fp, key.unit as u64);
+            if std::fs::remove_file(&path).is_ok() {
+                report.columns_evicted += 1;
+                report.evicted_bytes += len;
+                total -= len;
+            } else {
+                // Deletion failed (e.g. a racing external delete): the
+                // column is gone either way; keep the evicted marker so
+                // lookups stay typed, but claim no reclaimed bytes.
+                total = total.saturating_sub(len);
+            }
+        }
     }
 }
 
@@ -1047,7 +1213,17 @@ mod tests {
         let mut out = vec![0.0f32; positions.len() * ns * 2];
         let mut stats = StoreStats::default();
         store
-            .scan_into(&key(0), nd, ns, &positions, &mut out, 2, 1, &mut stats)
+            .scan_into(
+                &key(0),
+                nd,
+                ns,
+                &positions,
+                &mut out,
+                2,
+                1,
+                true,
+                &mut stats,
+            )
             .unwrap();
         for (i, &pos) in positions.iter().enumerate() {
             for t in 0..ns {
@@ -1091,7 +1267,17 @@ mod tests {
         let mut stats = StoreStats::default();
         let positions: Vec<usize> = (0..nd).collect();
         store
-            .scan_into(&key(5), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .scan_into(
+                &key(5),
+                nd,
+                ns,
+                &positions,
+                &mut out,
+                1,
+                0,
+                true,
+                &mut stats,
+            )
             .unwrap();
         assert_eq!(out, column(nd, ns, 5), "bit-identical across reopen");
         assert!(stats.pool_misses > 0, "cold pool reads from disk");
@@ -1123,12 +1309,22 @@ mod tests {
         let mut out = vec![0.0f32; 8 * ns];
         let mut stats = StoreStats::default();
         store
-            .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .scan_into(
+                &key(0),
+                nd,
+                ns,
+                &positions,
+                &mut out,
+                1,
+                0,
+                true,
+                &mut stats,
+            )
             .unwrap();
         assert_eq!(out, &data[..8 * ns]);
         // ...and a position past the watermark is refused, never served.
         let err = store
-            .scan_into(&key(0), nd, ns, &[9], &mut out, 1, 0, &mut stats)
+            .scan_into(&key(0), nd, ns, &[9], &mut out, 1, 0, true, &mut stats)
             .unwrap_err();
         assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
         assert!(err.to_string().contains("watermark"), "got {err}");
@@ -1155,7 +1351,17 @@ mod tests {
         let positions: Vec<usize> = (0..nd).collect();
         let mut out = vec![0.0f32; nd * ns];
         store
-            .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .scan_into(
+                &key(0),
+                nd,
+                ns,
+                &positions,
+                &mut out,
+                1,
+                0,
+                true,
+                &mut stats,
+            )
             .unwrap();
         assert_eq!(out, data);
         let _ = std::fs::remove_dir_all(&dir);
@@ -1211,6 +1417,7 @@ mod tests {
                 &mut out,
                 1,
                 0,
+                true,
                 &mut stats,
             )
             .unwrap();
@@ -1243,8 +1450,18 @@ mod tests {
             .unwrap();
         let mut out = vec![0.0f32; 3 * ns];
         let mut stats = StoreStats::default();
-        a.scan_into(&key(0), nd, ns, &[1, 5, 9], &mut out, 1, 0, &mut stats)
-            .unwrap(); // caches A's meta/ranks; tiny pool evicts the page
+        a.scan_into(
+            &key(0),
+            nd,
+            ns,
+            &[1, 5, 9],
+            &mut out,
+            1,
+            0,
+            true,
+            &mut stats,
+        )
+        .unwrap(); // caches A's meta/ranks; tiny pool evicts the page
         let b = BehaviorStore::open(&StoreConfig {
             pool_bytes: 32,
             block_records: 4,
@@ -1257,8 +1474,18 @@ mod tests {
         assert_eq!(b.coverage(&key(0)).unwrap().completed_records(), 6);
         // A scans through its stale cache: must succeed bit-identically.
         let mut out = vec![0.0f32; 3 * ns];
-        a.scan_into(&key(0), nd, ns, &[1, 5, 9], &mut out, 1, 0, &mut stats)
-            .unwrap();
+        a.scan_into(
+            &key(0),
+            nd,
+            ns,
+            &[1, 5, 9],
+            &mut out,
+            1,
+            0,
+            true,
+            &mut stats,
+        )
+        .unwrap();
         for (i, &pos) in [1usize, 5, 9].iter().enumerate() {
             assert_eq!(
                 &out[i * ns..(i + 1) * ns],
@@ -1276,6 +1503,7 @@ mod tests {
             &mut out,
             1,
             0,
+            true,
             &mut stats,
         )
         .unwrap();
@@ -1336,7 +1564,17 @@ mod tests {
         let mut out = vec![0.0f32; nd * ns];
         let mut stats = StoreStats::default();
         let err = store
-            .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .scan_into(
+                &key(0),
+                nd,
+                ns,
+                &positions,
+                &mut out,
+                1,
+                0,
+                true,
+                &mut stats,
+            )
             .unwrap_err();
         assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
         store.quarantine(&key(0));
@@ -1348,7 +1586,17 @@ mod tests {
             .write_column(&key(0), nd, ns, &column(nd, ns, 0))
             .unwrap();
         store
-            .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .scan_into(
+                &key(0),
+                nd,
+                ns,
+                &positions,
+                &mut out,
+                1,
+                0,
+                true,
+                &mut stats,
+            )
             .unwrap();
         assert_eq!(out, column(nd, ns, 0));
         let _ = std::fs::remove_dir_all(&dir);
@@ -1496,8 +1744,18 @@ mod tests {
         let mut out = vec![0.0f32; nd * ns];
         let mut stats = StoreStats::default();
         let positions: Vec<usize> = (0..nd).collect();
-        ro.scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
-            .unwrap();
+        ro.scan_into(
+            &key(0),
+            nd,
+            ns,
+            &positions,
+            &mut out,
+            1,
+            0,
+            true,
+            &mut stats,
+        )
+        .unwrap();
         assert_eq!(out, column(nd, ns, 0));
         assert!(matches!(
             ro.write_column(&key(1), nd, ns, &column(nd, ns, 1)),
@@ -1530,7 +1788,7 @@ mod tests {
         let mut out = vec![0.0f32; 4];
         let mut stats = StoreStats::default();
         let err = store
-            .scan_into(&key(0), 8, 4, &[0], &mut out, 1, 0, &mut stats)
+            .scan_into(&key(0), 8, 4, &[0], &mut out, 1, 0, true, &mut stats)
             .unwrap_err();
         assert!(matches!(err, StoreError::Corrupt(_)));
         let _ = std::fs::remove_dir_all(&dir);
@@ -1548,11 +1806,307 @@ mod tests {
         let mut out = vec![0.0f32; nd * ns];
         let mut stats = StoreStats::default();
         store
-            .scan_into(&key(0), nd, ns, &positions, &mut out, 1, 0, &mut stats)
+            .scan_into(
+                &key(0),
+                nd,
+                ns,
+                &positions,
+                &mut out,
+                1,
+                0,
+                true,
+                &mut stats,
+            )
             .unwrap();
         assert_eq!(out, column(nd, ns, 0));
         assert!(stats.pool_evictions > 0 || store.pool().stats().evictions > 0);
         assert!(store.pool().stats().resident_bytes <= 32);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Scans a whole column twice — pruned and unpruned — and asserts
+    /// the outputs are bit-identical (NaN patterns included).
+    fn scan_both_ways(
+        store: &BehaviorStore,
+        k: &ColumnKey,
+        nd: usize,
+        ns: usize,
+    ) -> (Vec<f32>, Vec<f32>, StoreStats) {
+        let positions: Vec<usize> = (0..nd).collect();
+        let mut pruned = vec![0.0f32; nd * ns];
+        let mut plain = vec![0.0f32; nd * ns];
+        let mut stats = StoreStats::default();
+        store
+            .scan_into(k, nd, ns, &positions, &mut pruned, 1, 0, true, &mut stats)
+            .unwrap();
+        let mut plain_stats = StoreStats::default();
+        store
+            .scan_into(
+                k,
+                nd,
+                ns,
+                &positions,
+                &mut plain,
+                1,
+                0,
+                false,
+                &mut plain_stats,
+            )
+            .unwrap();
+        assert_eq!(plain_stats.blocks_pruned, 0, "prune=false never prunes");
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&pruned),
+            bits(&plain),
+            "pruned == unpruned bit-exactly"
+        );
+        (pruned, plain, stats)
+    }
+
+    #[test]
+    fn pruned_scans_are_bit_exact_and_nan_blocks_are_never_pruned() {
+        let (store, dir) = test_store("nan-prune", 1 << 20);
+        let (nd, ns) = (12, 2);
+        // Block 0: finite constant (prunable). Block 1: all NaN — the
+        // regression case: a NaN-blind zone map would write inverted
+        // +inf/-inf bounds and prune it. Block 2: mixed values with an
+        // Inf. Only block 0 may ever be pruned.
+        let mut data = vec![1.5f32; nd * ns];
+        for v in &mut data[4 * ns..8 * ns] {
+            *v = f32::NAN;
+        }
+        for (j, v) in data[8 * ns..].iter_mut().enumerate() {
+            *v = if j == 3 {
+                f32::INFINITY
+            } else {
+                j as f32 - 2.0
+            };
+        }
+        store.write_column(&key(0), nd, ns, &data).unwrap();
+        let (pruned_out, _, stats) = scan_both_ways(&store, &key(0), nd, ns);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&pruned_out), bits(&data), "scan returns the column");
+        assert_eq!(stats.blocks_pruned, 1, "only the finite constant block");
+        assert_eq!(stats.blocks_read, 2, "NaN and mixed blocks were fetched");
+        assert_eq!(store.zone_summary(&key(0)), Some((1, 3)));
+        // Cold re-open: pruning works off the freshly validated zone
+        // table, still without touching the pruned block's payload.
+        drop(store);
+        let store = BehaviorStore::open(&StoreConfig {
+            block_records: 4,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        let (_, _, stats) = scan_both_ways(&store, &key(0), nd, ns);
+        assert_eq!(stats.blocks_pruned, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_report_shows_compression_wins_on_constant_columns() {
+        let (store, dir) = test_store("compress", 1 << 20);
+        let (nd, ns) = (64, 4);
+        let report = store
+            .write_column(&key(0), nd, ns, &vec![0.25f32; nd * ns])
+            .unwrap();
+        assert_eq!(report.raw_data_bytes, (nd * ns * 4) as u64);
+        assert!(
+            report.stored_data_bytes < report.raw_data_bytes,
+            "constant blocks compress: {} vs {}",
+            report.stored_data_bytes,
+            report.raw_data_bytes
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_files_scan_through_the_store_but_never_prune() {
+        let (store, dir) = test_store("v2-compat", 1 << 20);
+        let (nd, ns) = (8, 2);
+        // A constant column written by the previous format version: its
+        // zone map is NaN-blind, so pruning must refuse it even though
+        // min == max.
+        let meta = ColumnMeta {
+            model_fp: 0x11,
+            dataset_fp: 0x22,
+            unit: 0,
+            nd: nd as u64,
+            ns: ns as u64,
+            block_records: 4,
+            completed_records: nd as u64,
+        };
+        let pair = dir.join("0000000000000011.0000000000000022");
+        std::fs::create_dir_all(&pair).unwrap();
+        let data = vec![2.0f32; nd * ns];
+        format::write_column_file_v2(
+            &pair.join("u0.col"),
+            &pair.join("u0.tmp.legacy"),
+            &meta,
+            &data,
+            None,
+        )
+        .unwrap();
+        drop(store);
+        let store = BehaviorStore::open(&StoreConfig {
+            block_records: 4,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        assert!(store.contains(&key(0)));
+        assert_eq!(store.zone_summary(&key(0)), Some((0, 2)));
+        let (out, _, stats) = scan_both_ways(&store, &key(0), nd, ns);
+        assert_eq!(out, data);
+        assert_eq!(stats.blocks_pruned, 0, "v2 zone maps never drive pruning");
+        assert_eq!(stats.blocks_read, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_budget_evicts_coldest_columns_and_lookups_fail_typed() {
+        let (store, dir) = test_store("disk-budget", 1 << 20);
+        let (nd, ns) = (8, 2);
+        for unit in 0..3 {
+            store
+                .write_column(&key(unit), nd, ns, &column(nd, ns, unit))
+                .unwrap();
+        }
+        drop(store);
+        let pair = dir.join("0000000000000011.0000000000000022");
+        let len = std::fs::metadata(pair.join("u0.col")).unwrap().len();
+        // Backdate the stamps so unit 0 is coldest, unit 2 warmest.
+        for unit in 0..3u64 {
+            assert!(
+                format::write_access_stamp(&pair.join(format!("u{unit}.col")), 100 + unit).unwrap()
+            );
+        }
+        // Budget for two columns: compaction must evict exactly unit 0.
+        let store = BehaviorStore::open(&StoreConfig {
+            block_records: 4,
+            disk_budget_bytes: 2 * len,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        let report = store.compact(u64::MAX);
+        assert_eq!(report.columns_evicted, 1);
+        assert_eq!(report.evicted_bytes, len);
+        assert!(!pair.join("u0.col").exists(), "coldest column deleted");
+        assert!(!store.contains(&key(0)));
+        // The evicted column fails with the typed error — no fallback to
+        // quarantine, no `.corrupt` file, and the caller knows to
+        // re-extract rather than report corruption.
+        let mut out = vec![0.0f32; nd * ns];
+        let mut stats = StoreStats::default();
+        let positions: Vec<usize> = (0..nd).collect();
+        let err = store
+            .scan_into(
+                &key(0),
+                nd,
+                ns,
+                &positions,
+                &mut out,
+                1,
+                0,
+                true,
+                &mut stats,
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Evicted(_)), "got {err:?}");
+        assert!(quarantined_files(&dir).is_empty());
+        // The warmer columns still scan...
+        for unit in [1usize, 2] {
+            store
+                .scan_into(
+                    &key(unit),
+                    nd,
+                    ns,
+                    &positions,
+                    &mut out,
+                    1,
+                    0,
+                    true,
+                    &mut stats,
+                )
+                .unwrap();
+            assert_eq!(out, column(nd, ns, unit));
+        }
+        // ...an in-budget store evicts nothing further...
+        assert_eq!(store.compact(u64::MAX).columns_evicted, 0);
+        // ...and re-materializing the evicted column clears the marker.
+        store
+            .write_column(&key(0), nd, ns, &column(nd, ns, 0))
+            .unwrap();
+        store
+            .scan_into(
+                &key(0),
+                nd,
+                ns,
+                &positions,
+                &mut out,
+                1,
+                0,
+                true,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(out, column(nd, ns, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_budget_never_evicts_a_column_with_pinned_pages() {
+        let (store, dir) = test_store("pinned-evict", 1 << 20);
+        let (nd, ns) = (8, 2);
+        store
+            .write_column(&key(0), nd, ns, &column(nd, ns, 0))
+            .unwrap();
+        store
+            .write_column(&key(1), nd, ns, &column(nd, ns, 1))
+            .unwrap();
+        drop(store);
+        let pair = dir.join("0000000000000011.0000000000000022");
+        let len = std::fs::metadata(pair.join("u0.col")).unwrap().len();
+        // Unit 0 is much colder than unit 1...
+        assert!(format::write_access_stamp(&pair.join("u0.col"), 1).unwrap());
+        assert!(format::write_access_stamp(&pair.join("u1.col"), 2).unwrap());
+        let store = BehaviorStore::open(&StoreConfig {
+            block_records: 4,
+            disk_budget_bytes: len,
+            ..StoreConfig::at(&dir)
+        })
+        .unwrap();
+        // ...but a concurrent scan holds one of unit 0's pages pinned, so
+        // the budget (room for one column) evicts unit 1 instead.
+        let pin = store
+            .pool
+            .get(page_key(&key(0), 0), || {
+                let mut file = File::open(pair.join("u0.col"))?;
+                let col = format::read_meta(&mut file)?;
+                format::read_block(&mut file, &col, 0)
+            })
+            .unwrap();
+        let report = store.compact(u64::MAX);
+        assert_eq!(report.columns_evicted, 1);
+        assert!(pair.join("u0.col").exists(), "pinned column survives");
+        assert!(!pair.join("u1.col").exists(), "next-coldest evicted");
+        drop(pin);
+        // The pinned column still scans from disk after the sweep.
+        let positions: Vec<usize> = (0..nd).collect();
+        let mut out = vec![0.0f32; nd * ns];
+        let mut stats = StoreStats::default();
+        store
+            .scan_into(
+                &key(0),
+                nd,
+                ns,
+                &positions,
+                &mut out,
+                1,
+                0,
+                true,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(out, column(nd, ns, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

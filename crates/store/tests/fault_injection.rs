@@ -1,10 +1,14 @@
 //! Systematic fault injection over the column file format (ISSUE 5):
 //! every single-bit flip in a written column file — header, schema
-//! section, zone table, coverage bitmap, data blocks, or any checksum
-//! byte — must be **detected** (a `StoreError::Corrupt` / `Io` from
-//! validation) or **provably harmless** (every subsequent read returns
-//! bytes bit-identical to the pristine file). A flip that silently
-//! changes served values is the one unacceptable outcome.
+//! section, zone table (including v3 codec tags and non-finite flags),
+//! coverage bitmap, encoded data payloads, or any checksum byte — must
+//! be **detected** (a `StoreError::Corrupt` / `Io` from validation) or
+//! **provably harmless** (every subsequent read returns bytes
+//! bit-identical to the pristine file; a flipped access stamp only
+//! perturbs eviction order, never data). A flip that silently changes
+//! served values is the one unacceptable outcome. The store scan runs
+//! with pruning enabled, so zone-driven block reconstruction is under
+//! the same sweep as the decode paths.
 //!
 //! The generator is a deterministic proptest (the offline stub seeds its
 //! RNG from the test name), so CI replays the exact same ≥1000
@@ -27,10 +31,19 @@ fn test_dir(name: &str) -> PathBuf {
     dir
 }
 
-/// Deterministic column values.
+/// Deterministic column values, deliberately low-cardinality (five bit
+/// patterns plus a NaN sprinkle) so the v3 writer picks every codec —
+/// Constant on single-pattern blocks, Dict on small-alphabet blocks, Raw
+/// on the rest — and the flip sweep covers all of their payloads.
 fn column_data(nd: usize, ns: usize) -> Vec<f32> {
     (0..nd * ns)
-        .map(|i| ((i * 37 + 11) % 101) as f32 * 0.125 - 6.0)
+        .map(|i| {
+            if i % 13 == 0 {
+                f32::NAN
+            } else {
+                ((i * 37 + 11) % 5) as f32 * 0.75 - 1.5
+            }
+        })
         .collect()
 }
 
@@ -53,19 +66,23 @@ fn fill_mask(nd: usize, k: usize, salt: usize) -> Vec<bool> {
 }
 
 /// Everything a consumer could read from a column file: the validated
-/// meta, the coverage bitmap, and every data block.
-type FileContents = (ColumnMeta, Option<Vec<u8>>, Vec<Vec<f32>>);
+/// meta, the coverage bitmap, and every (decoded) data block. The access
+/// stamp is deliberately excluded: it is outside every checksum, and a
+/// flipped stamp only reorders disk-budget eviction.
+type FileContents = (ColumnMeta, Option<Vec<u8>>, Vec<Vec<u32>>);
 
 /// Reads a whole column file; `Err` means some validation step refused
-/// it (detection).
+/// it (detection). Block values come back as f32 bit patterns so the
+/// harmlessness comparison is bit-exact (NaN == NaN at the bit level).
 fn read_everything(path: &PathBuf) -> Result<FileContents, StoreError> {
     let mut f = File::open(path)?;
-    let (meta, zones, covered) = format::read_meta(&mut f)?;
-    let mut blocks = Vec::with_capacity(meta.n_blocks());
-    for b in 0..meta.n_blocks() {
-        blocks.push(format::read_block(&mut f, &meta, &zones, b)?);
+    let col = format::read_meta(&mut f)?;
+    let mut blocks = Vec::with_capacity(col.meta.n_blocks());
+    for b in 0..col.meta.n_blocks() {
+        let page = format::read_block(&mut f, &col, b)?;
+        blocks.push(page.iter().map(|v| v.to_bits()).collect());
     }
-    Ok((meta, covered, blocks))
+    Ok((col.meta, col.covered, blocks))
 }
 
 proptest! {
@@ -105,7 +122,7 @@ proptest! {
         let bitmap = (k < nd).then(|| coverage_from_filled(&filled));
         let dir = test_dir("flip");
         let path = dir.join("u1.col");
-        format::write_column_file(&path, &dir.join("u1.tmp"), &meta, &data, bitmap.as_deref())
+        format::write_column_file(&path, &dir.join("u1.tmp"), &meta, &data, bitmap.as_deref(), 7)
             .unwrap();
         let pristine_bytes = std::fs::read(&path).unwrap();
         let pristine = read_everything(&path).expect("pristine file validates");
@@ -140,7 +157,7 @@ proptest! {
         if !positions.is_empty() {
             let mut out = vec![f32::NAN; positions.len() * ns];
             let mut stats = StoreStats::default();
-            match store.scan_into(&key, nd, ns, &positions, &mut out, 1, 0, &mut stats) {
+            match store.scan_into(&key, nd, ns, &positions, &mut out, 1, 0, true, &mut stats) {
                 Err(_) => {} // detected
                 Ok(()) => {
                     for (i, &pos) in positions.iter().enumerate() {
